@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Technology-sensitivity ablation: the paper's striking claim is that
+ * RISC I wins even at HALF the VAX's clock (400 ns vs 200 ns). This
+ * sweep varies the assumed RISC I cycle time and reports how much of
+ * the suite it still wins — locating the break-even technology point.
+ */
+
+#include <iostream>
+
+#include <algorithm>
+
+#include "core/run.hh"
+#include "core/table.hh"
+#include "support/logging.hh"
+
+int
+main()
+{
+    using namespace risc1;
+    using core::cell;
+
+    // Cycle counts don't depend on the clock: measure once.
+    struct Counts
+    {
+        std::string name;
+        uint64_t riscCycles;
+        uint64_t vaxCycles;
+    };
+    std::vector<Counts> counts;
+    for (const auto &wl : workloads::allWorkloads()) {
+        core::RiscRun risc = core::runRisc(wl, wl.defaultScale);
+        core::VaxRun vaxr = core::runVax(wl, wl.defaultScale);
+        if (!risc.ok || !vaxr.ok) {
+            std::cerr << wl.name << " failed\n";
+            return 1;
+        }
+        counts.push_back(
+            Counts{wl.name, risc.stats.cycles, vaxr.stats.cycles});
+    }
+
+    const double vax_ns = vax::VaxTiming{}.cycleTimeNs; // 200 ns
+    core::Table table({"RISC cycle (ns)", "suite wins", "mean speedup",
+                       "min speedup", "max speedup"});
+    for (double risc_ns : {200.0, 300.0, 400.0, 600.0, 800.0, 1200.0,
+                           1600.0}) {
+        unsigned wins = 0;
+        double sum = 0, mn = 1e30, mx = 0;
+        for (const Counts &c : counts) {
+            const double risc_us = static_cast<double>(c.riscCycles) *
+                                   risc_ns / 1000.0;
+            const double vax_us = static_cast<double>(c.vaxCycles) *
+                                  vax_ns / 1000.0;
+            const double speedup = vax_us / risc_us;
+            if (speedup > 1.0)
+                ++wins;
+            sum += speedup;
+            mn = std::min(mn, speedup);
+            mx = std::max(mx, speedup);
+        }
+        table.row({cell(risc_ns, 0),
+                   risc1::strprintf("%u/%zu", wins, counts.size()),
+                   cell(sum / static_cast<double>(counts.size())),
+                   cell(mn), cell(mx)});
+    }
+    std::cout << "Clock-rate ablation: how slow can RISC I's technology "
+                 "be and still win? (vax80 fixed at 200 ns)\n"
+              << table.str() << "\n";
+    return 0;
+}

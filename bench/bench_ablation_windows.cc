@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Ablation A1: the register-window win in isolation — 8 windows vs a
+ * degenerate 2-window file that spills on every call.
+ */
+
+#include <iostream>
+
+#include "core/experiments.hh"
+
+int
+main()
+{
+    auto rows = risc1::core::windowAblation();
+    std::cout << risc1::core::windowAblationTable(rows) << "\n";
+    return 0;
+}

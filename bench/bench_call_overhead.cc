@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Experiment E3: procedure call/return cost, RISC I register windows
+ * vs vax80 CALLS/RET, across argument counts.
+ */
+
+#include <iostream>
+
+#include "core/experiments.hh"
+
+int
+main()
+{
+    auto rows = risc1::core::callOverhead();
+    std::cout << risc1::core::callOverheadTable(rows) << "\n";
+    return 0;
+}

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Experiment E4: static code size of every suite program on both
+ * machines (the paper's size-ratio table).
+ */
+
+#include <iostream>
+
+#include "core/experiments.hh"
+
+int
+main()
+{
+    auto rows = risc1::core::codeSize();
+    std::cout << risc1::core::codeSizeTable(rows) << "\n";
+    return 0;
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Experiment E9: delay-slot fill rate and the cycles it saves.
+ */
+
+#include <iostream>
+
+#include "core/experiments.hh"
+
+int
+main()
+{
+    auto rows = risc1::core::delaySlots();
+    std::cout << risc1::core::delaySlotTable(rows) << "\n";
+    return 0;
+}

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Experiment E5: execution time of every suite program on both
+ * machines at the paper's cycle-time assumptions.
+ */
+
+#include <iostream>
+
+#include "core/experiments.hh"
+
+int
+main()
+{
+    auto rows = risc1::core::execTime();
+    std::cout << risc1::core::execTimeTable(rows) << "\n";
+    return 0;
+}

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Experiment E8: dynamic instruction mix on RISC I, plus the A2
+ * immediate-usage table (constant synthesis statistics).
+ */
+
+#include <iostream>
+
+#include "core/experiments.hh"
+
+int
+main()
+{
+    std::cout << risc1::core::instrMixTable(risc1::core::instrMix())
+              << "\n";
+    std::cout << risc1::core::opcodeFrequencyTable(
+                     risc1::core::opcodeFrequencies())
+              << "\n";
+    std::cout << risc1::core::immediateUsageTable(
+                     risc1::core::immediateUsage())
+              << "\n";
+    return 0;
+}

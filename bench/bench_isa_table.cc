@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Experiment E1: regenerate Table I — the RISC I instruction set.
+ */
+
+#include <iostream>
+
+#include "core/experiments.hh"
+
+int
+main()
+{
+    std::cout << risc1::core::isaTable() << "\n";
+    return 0;
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Experiment E7: memory traffic per program on both machines.
+ */
+
+#include <iostream>
+
+#include "core/experiments.hh"
+
+int
+main()
+{
+    auto rows = risc1::core::memTraffic();
+    std::cout << risc1::core::memTrafficTable(rows) << "\n";
+    return 0;
+}

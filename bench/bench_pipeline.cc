@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Pipeline-organisation study (the paper's §"future work" direction,
+ * realised as RISC II): two-stage fetch/execute vs a three-stage
+ * organisation with load-use interlocks but a shorter cycle. Prints
+ * cycles, stall breakdown, and wall-time at each design's cycle time
+ * for the whole suite.
+ */
+
+#include <iostream>
+
+#include "core/table.hh"
+#include "sim/pipeline.hh"
+#include "workloads/workload.hh"
+
+int
+main()
+{
+    using namespace risc1;
+    using core::cell;
+
+    core::Table table({"program", "2-stage cyc", "3-stage cyc",
+                       "interlocks", "fetch stalls", "2-stage us",
+                       "3-stage us", "3-stage gain"});
+    for (const auto &wl : workloads::allWorkloads()) {
+        assembler::Program prog =
+            workloads::buildRisc(wl, wl.defaultScale);
+
+        sim::Cpu cpu2;
+        cpu2.load(prog);
+        sim::PipelineModel two(sim::PipelineVariant::TwoStage);
+        auto r2 = sim::runWithPipeline(cpu2, two);
+
+        sim::Cpu cpu3;
+        cpu3.load(prog);
+        sim::PipelineModel three(sim::PipelineVariant::ThreeStage);
+        auto r3 = sim::runWithPipeline(cpu3, three);
+
+        if (!r2.halted() || !r3.halted()) {
+            std::cerr << wl.name << " failed\n";
+            return 1;
+        }
+        const double us2 = two.stats().timeUs();
+        const double us3 = three.stats().timeUs();
+        table.row({wl.name, cell(two.stats().cycles),
+                   cell(three.stats().cycles),
+                   cell(three.stats().loadUseInterlocks),
+                   cell(three.stats().fetchStallCycles), cell(us2, 1),
+                   cell(us3, 1), cell(us2 / us3)});
+    }
+    std::cout << "Pipeline organisation study: 2-stage (RISC I, 400 ns) "
+                 "vs 3-stage (RISC II direction, 330 ns)\n"
+              << table.str() << "\n";
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Host-side google-benchmark harness: throughput of the two simulators
+ * (simulated instructions per wall-clock second) over the whole suite.
+ * This measures the reproduction's own speed, not the paper's machines;
+ * the paper-facing tables come from the bench_* table printers.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/run.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace risc1;
+
+void
+riscThroughput(benchmark::State &state, const workloads::Workload *wl)
+{
+    assembler::Program prog = workloads::buildRisc(*wl, wl->defaultScale);
+    sim::Cpu cpu;
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        cpu.load(prog);
+        sim::ExecResult result = cpu.run();
+        if (!result.halted())
+            state.SkipWithError("run did not halt");
+        insts += result.instructions;
+    }
+    state.counters["sim_insts/s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+
+void
+vaxThroughput(benchmark::State &state, const workloads::Workload *wl)
+{
+    vax::VaxProgram prog = wl->buildVax(wl->defaultScale);
+    vax::VaxCpu cpu;
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        cpu.load(prog);
+        sim::ExecResult result = cpu.run();
+        if (!result.halted())
+            state.SkipWithError("run did not halt");
+        insts += result.instructions;
+    }
+    state.counters["sim_insts/s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+
+void
+assemblerThroughput(benchmark::State &state,
+                    const workloads::Workload *wl)
+{
+    const std::string src = wl->riscSource(wl->defaultScale);
+    uint64_t bytes = 0;
+    for (auto _ : state) {
+        assembler::AsmResult result = assembler::assemble(src);
+        benchmark::DoNotOptimize(result);
+        bytes += src.size();
+    }
+    state.counters["asm_bytes/s"] = benchmark::Counter(
+        static_cast<double>(bytes), benchmark::Counter::kIsRate);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const auto &wl : risc1::workloads::allWorkloads()) {
+        benchmark::RegisterBenchmark(("risc1/" + wl.name).c_str(),
+                                     riscThroughput, &wl);
+        benchmark::RegisterBenchmark(("vax80/" + wl.name).c_str(),
+                                     vaxThroughput, &wl);
+    }
+    const auto *fib = risc1::workloads::findWorkload("fibonacci");
+    const auto *qsort = risc1::workloads::findWorkload("i_quicksort");
+    benchmark::RegisterBenchmark("assembler/fibonacci",
+                                 assemblerThroughput, fib);
+    benchmark::RegisterBenchmark("assembler/i_quicksort",
+                                 assemblerThroughput, qsort);
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

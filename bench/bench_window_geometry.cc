@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Experiment E2: regenerate the overlapped register-window figure as a
+ * mapping table, for the architected 8 windows and two study points.
+ */
+
+#include <iostream>
+
+#include "core/experiments.hh"
+
+int
+main()
+{
+    using risc1::core::windowGeometryReport;
+    std::cout << windowGeometryReport(8) << "\n";
+    std::cout << windowGeometryReport(4) << "\n";
+    return 0;
+}

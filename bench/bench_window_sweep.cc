@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Experiment E6: window overflow rate vs number of windows over the
+ * recursive suite (the paper's figure arguing for 8 windows).
+ */
+
+#include <iostream>
+
+#include "core/calltrace.hh"
+#include "core/experiments.hh"
+
+int
+main()
+{
+    // Worst case: the recursive benchmark suite (deep excursions).
+    auto rows = risc1::core::windowSweep();
+    std::cout << risc1::core::windowSweepTable(rows) << "\n";
+
+    // Typical case: a C-like call/return trace (the paper's argument
+    // that 8 windows catch all but ~1% of calls).
+    auto synth = risc1::core::syntheticWindowSweep(
+        {2, 4, 6, 8, 12, 16});
+    std::cout << risc1::core::syntheticWindowSweepTable(synth) << "\n";
+    return 0;
+}

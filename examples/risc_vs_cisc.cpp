@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The paper's headline comparison on one benchmark: run a suite
+ * workload on RISC I and on the vax80 baseline, and print the size,
+ * time, call-cost and traffic numbers side by side.
+ *
+ * Usage: risc_vs_cisc [workload] [scale]
+ * Default: fibonacci at its default scale. `risc_vs_cisc list` prints
+ * the available workloads.
+ */
+
+#include <cstdlib>
+#include <vector>
+#include <iostream>
+
+#include "core/run.hh"
+#include "core/table.hh"
+#include "sim/statsdump.hh"
+#include "vax/statsdump.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace risc1;
+    using core::cell;
+
+    bool want_stats = false;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--stats")
+            want_stats = true;
+        else
+            positional.emplace_back(argv[i]);
+    }
+
+    std::string name = !positional.empty() ? positional[0] : "fibonacci";
+    if (name == "list") {
+        for (const auto &wl : workloads::allWorkloads())
+            std::cout << wl.name << " — " << wl.description << "\n";
+        return 0;
+    }
+
+    const workloads::Workload *wl = workloads::findWorkload(name);
+    if (!wl) {
+        std::cerr << "unknown workload '" << name
+                  << "' (try: risc_vs_cisc list)\n";
+        return 1;
+    }
+    const uint64_t scale =
+        positional.size() > 1
+            ? std::strtoull(positional[1].c_str(), nullptr, 0)
+            : wl->defaultScale;
+
+    std::cout << "workload: " << wl->name << " (" << wl->paperTag
+              << "), scale " << scale << "\n\n";
+
+    core::RiscRun risc = core::runRisc(*wl, scale);
+    core::VaxRun vaxr = core::runVax(*wl, scale);
+
+    const double risc_us =
+        risc.stats.timeUs(sim::TimingModel{}.cycleTimeNs);
+    const double vax_us = vaxr.stats.timeUs(vax::VaxTiming{}.cycleTimeNs);
+
+    core::Table table({"metric", "RISC I", "vax80"});
+    table.row({"result ok", risc.ok ? "yes" : "NO",
+               vaxr.ok ? "yes" : "NO"});
+    table.row({"code bytes", cell(uint64_t{risc.codeBytes}),
+               cell(uint64_t{vaxr.codeBytes})});
+    table.row({"instructions", cell(risc.stats.instructions),
+               cell(vaxr.stats.instructions)});
+    table.row({"cycles", cell(risc.stats.cycles),
+               cell(vaxr.stats.cycles)});
+    table.row({"CPI", cell(risc.stats.cpi()),
+               cell(vaxr.stats.cpi())});
+    table.row({"time (us)", cell(risc_us, 1), cell(vax_us, 1)});
+    table.row({"calls", cell(risc.stats.calls),
+               cell(vaxr.stats.calls)});
+    table.row({"window overflows", cell(risc.stats.windowOverflows),
+               "-"});
+    table.row({"regs saved to stack", cell(risc.stats.spillWords),
+               cell(vaxr.stats.savedRegs)});
+    table.row({"data mem accesses",
+               cell(risc.stats.memory.dataReads +
+                    risc.stats.memory.dataWrites),
+               cell(vaxr.stats.memory.dataReads +
+                    vaxr.stats.memory.dataWrites)});
+    table.print(std::cout);
+
+    std::cout << "\nspeedup (time ratio vax80/RISC I): "
+              << cell(risc_us > 0 ? vax_us / risc_us : 0) << "x\n";
+
+    // Full gem5-style dumps on request.
+    if (want_stats) {
+        std::cout << "\n" << sim::formatStats(risc.stats) << "\n"
+                  << vax::formatStats(vaxr.stats);
+    }
+    return risc.ok && vaxr.ok ? 0 : 1;
+}

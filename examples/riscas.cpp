@@ -1,0 +1,101 @@
+/**
+ * @file
+ * `riscas` — a command-line RISC I assembler/disassembler built on the
+ * library: assembles a .s file and prints the listing, symbols, slot
+ * statistics; `-o file.r1o` additionally writes an object file, and a
+ * .r1o input disassembles instead.
+ *
+ * Usage: riscas file.s [--no-fill] [--explicit-slots] [-o out.r1o]
+ *        riscas file.r1o
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "asm/assembler.hh"
+#include "asm/objfile.hh"
+#include "isa/disasm.hh"
+#include "support/logging.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace risc1;
+
+    if (argc < 2) {
+        std::cerr << "usage: riscas file.s [--no-fill] "
+                     "[--explicit-slots]\n";
+        return 2;
+    }
+
+    assembler::AsmOptions options;
+    options.makeListing = true;
+    std::string path;
+    std::string out_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--no-fill")
+            options.fillDelaySlots = false;
+        else if (arg == "--explicit-slots")
+            options.autoDelaySlots = false;
+        else if (arg == "-o" && i + 1 < argc)
+            out_path = argv[++i];
+        else
+            path = arg;
+    }
+
+    // Object-file input: disassemble it.
+    if (path.size() > 4 && path.substr(path.size() - 4) == ".r1o") {
+        assembler::Program prog = assembler::readObjectFile(path);
+        std::cout << strprintf("entry 0x%08x, %u instructions\n\n",
+                               prog.entry, prog.instructionCount);
+        for (const assembler::Segment &seg : prog.segments) {
+            for (uint32_t off = 0; off + 4 <= seg.bytes.size();
+                 off += 4) {
+                const uint32_t addr = seg.base + off;
+                const uint32_t word = *prog.wordAt(addr);
+                std::cout << strprintf(
+                    "%08x  %08x  %s\n", addr, word,
+                    isa::disassembleWord(word, addr).c_str());
+            }
+        }
+        return 0;
+    }
+
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "cannot open " << path << "\n";
+        return 2;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+
+    assembler::AsmResult result = assembler::assemble(ss.str(), options);
+    if (!result.ok()) {
+        std::cerr << result.errorText();
+        return 1;
+    }
+
+    std::cout << result.listing;
+    std::cout << strprintf("\n%u instructions (%u code bytes, %u total "
+                           "bytes), entry 0x%08x\n",
+                           result.program.instructionCount,
+                           result.program.codeBytes(),
+                           result.program.totalBytes(),
+                           result.program.entry);
+    std::cout << strprintf("delay slots: %u/%u filled\n",
+                           result.slotStats.filledSlots,
+                           result.slotStats.totalSlots);
+    if (!result.program.symbols.empty()) {
+        std::cout << "\nsymbols:\n";
+        for (const auto &[name, value] : result.program.symbols)
+            std::cout << strprintf("  %08x  %s\n", value, name.c_str());
+    }
+    if (!out_path.empty()) {
+        assembler::writeObjectFile(result.program, out_path);
+        std::cout << "\nwrote " << out_path << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * `tinycc` — command-line tinyc compiler: compiles a .tc file and
+ * either prints the generated RISC I assembly (-S), runs it on RISC I
+ * (default), or runs it on vax80 (--vax). Exit code is main()'s result
+ * truncated to 8 bits, like a little real toolchain.
+ *
+ * Usage: tinycc file.tc [-S] [--vax] [--stats]
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "asm/assembler.hh"
+#include "cc/compiler.hh"
+#include "sim/cpu.hh"
+#include "sim/statsdump.hh"
+#include "vax/cpu.hh"
+#include "vax/statsdump.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace risc1;
+
+    std::string path;
+    bool emit_asm = false, use_vax = false, want_stats = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-S")
+            emit_asm = true;
+        else if (arg == "--vax")
+            use_vax = true;
+        else if (arg == "--stats")
+            want_stats = true;
+        else
+            path = arg;
+    }
+    if (path.empty()) {
+        std::cerr << "usage: tinycc file.tc [-S] [--vax] [--stats]\n";
+        return 2;
+    }
+
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "cannot open " << path << "\n";
+        return 2;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string source = ss.str();
+
+    if (emit_asm) {
+        cc::RiscCompileResult compiled = cc::compileToRiscAsm(source);
+        if (!compiled.ok) {
+            std::cerr << "tinycc: " << compiled.error << "\n";
+            return 1;
+        }
+        std::cout << compiled.assembly;
+        return 0;
+    }
+
+    uint32_t result_value = 0;
+    if (use_vax) {
+        cc::VaxCompileResult compiled = cc::compileToVax(source);
+        if (!compiled.ok) {
+            std::cerr << "tinycc: " << compiled.error << "\n";
+            return 1;
+        }
+        vax::VaxCpu cpu;
+        cpu.load(compiled.program);
+        auto run = cpu.run();
+        if (!run.halted()) {
+            std::cerr << "runtime fault: " << run.message << "\n";
+            return 1;
+        }
+        result_value = cpu.memory().peek32(cc::CcResultAddr);
+        std::cout << "main() = " << result_value << "  ["
+                  << run.instructions << " insts, " << run.cycles
+                  << " cycles on vax80]\n";
+        if (want_stats)
+            std::cout << vax::formatStats(cpu.stats());
+    } else {
+        cc::RiscCompileResult compiled = cc::compileToRiscAsm(source);
+        if (!compiled.ok) {
+            std::cerr << "tinycc: " << compiled.error << "\n";
+            return 1;
+        }
+        sim::Cpu cpu;
+        cpu.load(assembler::assembleOrDie(compiled.assembly));
+        auto run = cpu.run();
+        if (!run.halted()) {
+            std::cerr << "runtime fault: " << run.message << "\n";
+            return 1;
+        }
+        result_value = cpu.memory().peek32(cc::CcResultAddr);
+        std::cout << "main() = " << result_value << "  ["
+                  << run.instructions << " insts, " << run.cycles
+                  << " cycles on RISC I]\n";
+        if (want_stats)
+            std::cout << sim::formatStats(cpu.stats());
+    }
+    return static_cast<int>(result_value & 0xff);
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Instruction-level trace debugger: single-step a suite workload (or a
+ * .s file) printing the disassembly, current window, call depth and a
+ * few registers — the tool you want when writing RISC I assembly.
+ *
+ * Usage: trace_debugger [workload|file.s] [max_steps]
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "asm/assembler.hh"
+#include "isa/disasm.hh"
+#include "sim/cpu.hh"
+#include "sim/fault.hh"
+#include "workloads/workload.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace risc1;
+
+    const std::string what = argc > 1 ? argv[1] : "fibonacci";
+    const uint64_t max_steps =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 64;
+
+    assembler::Program prog;
+    if (what.size() > 2 && what.substr(what.size() - 2) == ".s") {
+        std::ifstream in(what);
+        if (!in) {
+            std::cerr << "cannot open " << what << "\n";
+            return 1;
+        }
+        std::stringstream ss;
+        ss << in.rdbuf();
+        prog = assembler::assembleOrDie(ss.str());
+    } else {
+        const workloads::Workload *wl = workloads::findWorkload(what);
+        if (!wl) {
+            std::cerr << "unknown workload '" << what << "'\n";
+            return 1;
+        }
+        prog = workloads::buildRisc(*wl, wl->defaultScale);
+    }
+
+    sim::Cpu cpu;
+    cpu.load(prog);
+
+    std::cout << "   step        pc  win depth  r10      r16      r26     "
+                 " instruction\n";
+    for (uint64_t step = 0; step < max_steps && !cpu.halted(); ++step) {
+        const uint32_t pc = cpu.pc();
+        const uint32_t word = cpu.memory().peek32(pc);
+        const isa::DecodeResult dec = isa::decode(word);
+        std::printf("%7llu  %08x  w%-2u  %4llu  %08x %08x %08x  %s\n",
+                    static_cast<unsigned long long>(step), pc, cpu.cwp(),
+                    static_cast<unsigned long long>(
+                        cpu.stats().callDepth),
+                    cpu.reg(10), cpu.reg(16), cpu.reg(26),
+                    dec.ok ? isa::disassembleWord(word, pc).c_str()
+                           : "<illegal>");
+        try {
+            cpu.step();
+        } catch (const sim::SimFault &fault) {
+            std::cout << "fault: " << fault.message << "\n";
+            return 1;
+        }
+    }
+    if (cpu.halted())
+        std::cout << "(halted after " << cpu.stats().instructions
+                  << " instructions)\n";
+    else
+        std::cout << "(stopped at step limit; rerun with a larger "
+                     "max_steps)\n";
+    return 0;
+}

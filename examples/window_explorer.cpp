@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Register-window explorer: run a deeply recursive program across
+ * several window-file sizes and watch how overflow traps, spill
+ * traffic and cycle counts respond — the paper's central design
+ * argument, interactively.
+ *
+ * Usage: window_explorer [depth]   (default 24)
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "asm/assembler.hh"
+#include "core/table.hh"
+#include "sim/cpu.hh"
+#include "support/logging.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace risc1;
+    using core::cell;
+
+    const unsigned depth = argc > 1
+                               ? static_cast<unsigned>(
+                                     std::strtoul(argv[1], nullptr, 0))
+                               : 24;
+
+    // Straight-line recursion to the requested depth and back.
+    const std::string source = strprintf(R"(
+_start: mov   %u, r10
+        call  descend
+        halt
+descend:
+        cmp   r26, 0
+        beq   bottom
+        sub   r26, 1, r10
+        call  descend
+bottom: ret
+)",
+                                         depth);
+
+    assembler::Program prog = assembler::assembleOrDie(source);
+
+    std::cout << "recursion depth " << depth
+              << "; one window per active procedure\n\n";
+    core::Table table({"windows", "phys regs", "overflows", "underflows",
+                       "regs spilled", "cycles", "cycles vs 16-win"});
+
+    uint64_t best_cycles = 0;
+    for (unsigned nwin : {16u, 12u, 8u, 6u, 4u, 2u}) {
+        sim::CpuOptions options;
+        options.windows.numWindows = nwin;
+        sim::Cpu cpu(options);
+        cpu.load(prog);
+        sim::ExecResult result = cpu.run();
+        if (!result.halted()) {
+            std::cerr << "run failed: " << result.message << "\n";
+            return 1;
+        }
+        if (nwin == 16)
+            best_cycles = result.cycles;
+        table.row({cell(uint64_t{nwin}),
+                   cell(uint64_t{options.windows.physCount()}),
+                   cell(cpu.stats().windowOverflows),
+                   cell(cpu.stats().windowUnderflows),
+                   cell(cpu.stats().spillWords),
+                   cell(result.cycles),
+                   cell(static_cast<double>(result.cycles) /
+                        static_cast<double>(best_cycles))});
+    }
+    table.print(std::cout);
+    std::cout << "\nNote the knee: once the window file covers the "
+                 "call-depth excursion, traps vanish and extra windows "
+                 "stop paying.\n";
+    return 0;
+}

@@ -1,0 +1,43 @@
+; factorial.s — recursive factorial in RISC I assembly.
+;
+;   build/examples/riscas programs/factorial.s
+;   build/examples/trace_debugger programs/factorial.s 200
+;
+; Demonstrates the window calling convention: the argument arrives in
+; in0 (r26), the recursive argument goes out in out0 (r10), and the
+; multiply is a software subroutine (RISC I has no MUL instruction).
+
+        .equ RESULT, 3840
+
+_start: mov   10, r10         ; factorial(10)
+        call  fact
+        stl   r10, (r0)RESULT
+        halt
+
+; fact(n): n in in0; result returned through the window overlap.
+fact:   cmp   r26, 1
+        bgt   recur
+        mov   1, r26
+        ret
+recur:  sub   r26, 1, r10
+        call  fact            ; r10 = fact(n-1)
+        mov   r26, r11        ; mul32(fact(n-1), n)
+        call  mul32
+        mov   r10, r26
+        ret
+
+; mul32(a, b): shift-add multiply (from the runtime library).
+mul32:  clr   r16
+        mov   r26, r17
+        mov   r27, r18
+mloop:  cmp   r18, 0
+        beq   mdone
+        and   r18, 1, r19
+        cmp   r19, 0
+        beq   mskip
+        add   r16, r17, r16
+mskip:  sll   r17, 1, r17
+        srl   r18, 1, r18
+        b     mloop
+mdone:  mov   r16, r26
+        ret

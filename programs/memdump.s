@@ -1,0 +1,38 @@
+; memdump.s — build a small data structure and checksum it.
+;
+;   build/examples/riscas programs/memdump.s -o /tmp/memdump.r1o
+;   build/examples/riscas /tmp/memdump.r1o     ; disassemble the object
+;
+; Exercises data directives, the location counter, byte/halfword
+; access, and the hi13/lo13 constant-synthesis operators.
+
+        .equ RESULT, 3840
+        .equ COUNT, 8
+
+_start: mov   table, r2
+        clr   r16             ; checksum
+        clr   r17             ; index
+loop:   cmp   r17, COUNT
+        bge   done
+        sll   r17, 2, r18
+        ldl   (r2)r18, r19
+        xor   r16, r19, r16
+        sll   r16, 1, r18     ; rotate-ish mix
+        srl   r16, 31, r16
+        or    r16, r18, r16
+        add   r17, 1, r17
+        b     loop
+done:   mov   tag, r18        ; fold in the tag byte (address > 13-bit
+        ldbu  (r18)0, r19     ; displacement, so load it to a register)
+        add   r16, r19, r16
+        stl   r16, (r0)RESULT
+        halt
+
+        .align 4
+table:  .word 0x12345678, 0x9abcdef0
+        .word table           ; the table's own address
+        .word .+4, .+0        ; location-counter arithmetic
+        .half 0xbeef, 0xcafe
+        .word 'A', -1
+tag:    .byte 7
+msg:    .asciz "risc-i"

@@ -1,0 +1,418 @@
+#include "asm/assembler.hh"
+
+#include <map>
+
+#include "asm/expander.hh"
+#include "asm/parser.hh"
+#include "isa/disasm.hh"
+#include "isa/instruction.hh"
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace risc1::assembler {
+
+namespace {
+
+/** Shared state of the two address/encode passes. */
+class TwoPass
+{
+  public:
+    TwoPass(std::vector<Unit> units, const AsmOptions &opts,
+            AsmResult &result)
+        : units_(std::move(units)), opts_(opts), result_(result)
+    {}
+
+    void
+    run()
+    {
+        assignAddresses();
+        if (!result_.errors.empty())
+            return;
+        encodeAll();
+        if (!result_.errors.empty())
+            return;
+        chooseEntry();
+        if (opts_.makeListing)
+            makeListing();
+    }
+
+  private:
+    void
+    error(unsigned line, std::string msg)
+    {
+        result_.errors.push_back(AsmError{line, std::move(msg)});
+    }
+
+    /** Define a label; duplicate definitions are user errors. */
+    void
+    define(const std::string &name, uint32_t value, unsigned line)
+    {
+        auto [it, inserted] = symbols_.emplace(name, value);
+        if (!inserted)
+            error(line, "duplicate symbol '" + name + "'");
+        (void)it;
+    }
+
+    /**
+     * Resolve an expression; nullopt (with diagnostic) if impossible.
+     * `here` is the value of the location counter "." at the point of
+     * use (the unit's own address).
+     */
+    std::optional<int64_t>
+    resolve(const Expr &expr, unsigned line, uint32_t here = 0)
+    {
+        int64_t value = expr.addend;
+        if (expr.symbol == ".") {
+            value += here;
+        } else if (!expr.symbol.empty()) {
+            auto it = symbols_.find(expr.symbol);
+            if (it == symbols_.end()) {
+                error(line, "undefined symbol '" + expr.symbol + "'");
+                return std::nullopt;
+            }
+            value += it->second;
+        }
+        switch (expr.func) {
+          case Expr::Func::None:
+            return value;
+          case Expr::Func::Hi13: {
+            const auto u = static_cast<uint32_t>(value);
+            return static_cast<int64_t>((u + 0x1000u) >> 13);
+          }
+          case Expr::Func::Lo13: {
+            const auto u = static_cast<uint32_t>(value);
+            return sext(u & 0x1fffu, 13);
+          }
+        }
+        panic("resolve: bad Expr::Func");
+    }
+
+    /**
+     * Pass A: walk the units assigning addresses, defining labels and
+     * `.equ` symbols. Expressions consumed here (org/align/space/equ)
+     * must resolve immediately; all others wait for pass B.
+     */
+    void
+    assignAddresses()
+    {
+        uint32_t loc = opts_.defaultOrg;
+        addresses_.resize(units_.size(), 0);
+
+        for (size_t i = 0; i < units_.size(); ++i) {
+            Unit &u = units_[i];
+            // Instructions are implicitly word-aligned (mixing .ascii
+            // data and code must not produce unfetchable code).
+            if (u.kind == Unit::Kind::Inst)
+                loc = static_cast<uint32_t>(roundUp(loc, 4));
+            const bool labels_after_move = u.kind == Unit::Kind::Org ||
+                                           u.kind == Unit::Kind::Align;
+            if (!labels_after_move) {
+                for (const std::string &label : u.labels)
+                    define(label, loc, u.line);
+            }
+
+            switch (u.kind) {
+              case Unit::Kind::Org: {
+                auto value = resolve(u.values[0], u.line, loc);
+                if (!value)
+                    return;
+                loc = static_cast<uint32_t>(*value);
+                break;
+              }
+              case Unit::Kind::Align: {
+                auto value = resolve(u.values[0], u.line, loc);
+                if (!value)
+                    return;
+                if (*value <= 0 || !isPow2(static_cast<uint64_t>(*value))) {
+                    error(u.line, ".align expects a power of two");
+                    return;
+                }
+                loc = static_cast<uint32_t>(
+                    roundUp(loc, static_cast<uint64_t>(*value)));
+                break;
+              }
+              case Unit::Kind::Space: {
+                auto value = resolve(u.values[0], u.line, loc);
+                if (!value)
+                    return;
+                if (*value < 0) {
+                    error(u.line, ".space expects a non-negative size");
+                    return;
+                }
+                addresses_[i] = loc;
+                loc += static_cast<uint32_t>(*value);
+                break;
+              }
+              case Unit::Kind::Data:
+                addresses_[i] = loc;
+                loc += u.dataWidth * static_cast<uint32_t>(u.values.size());
+                break;
+              case Unit::Kind::Ascii:
+                addresses_[i] = loc;
+                loc += static_cast<uint32_t>(u.text.size());
+                break;
+              case Unit::Kind::Equ: {
+                auto value = resolve(u.values[0], u.line, loc);
+                if (!value)
+                    return;
+                define(u.text, static_cast<uint32_t>(*value), u.line);
+                break;
+              }
+              case Unit::Kind::Entry:
+                entrySymbol_ = u.text;
+                entryLine_ = u.line;
+                break;
+              case Unit::Kind::Inst:
+                addresses_[i] = loc;
+                if (firstInstAddr_ == 0)
+                    firstInstAddr_ = loc;
+                loc += isa::InstBytes;
+                break;
+            }
+
+            if (labels_after_move) {
+                for (const std::string &label : u.labels)
+                    define(label, loc, u.line);
+            }
+        }
+    }
+
+    /** Emit `width` little-endian bytes of `value` at `addr`. */
+    void
+    emitBytes(uint32_t addr, uint64_t value, unsigned width)
+    {
+        for (unsigned i = 0; i < width; ++i)
+            result_.program.addByte(addr + i,
+                                    static_cast<uint8_t>(value >> (8 * i)));
+    }
+
+    /** Pass B: resolve remaining expressions and encode everything. */
+    void
+    encodeAll()
+    {
+        for (size_t i = 0; i < units_.size(); ++i) {
+            const Unit &u = units_[i];
+            const uint32_t addr = addresses_[i];
+            switch (u.kind) {
+              case Unit::Kind::Org:
+              case Unit::Kind::Align:
+              case Unit::Kind::Equ:
+              case Unit::Kind::Entry:
+                break;
+              case Unit::Kind::Space: {
+                auto value = resolve(u.values[0], u.line, addr);
+                for (int64_t b = 0; b < *value; ++b)
+                    result_.program.addByte(addr +
+                                            static_cast<uint32_t>(b), 0);
+                break;
+              }
+              case Unit::Kind::Data: {
+                uint32_t at = addr;
+                for (const Expr &e : u.values) {
+                    auto value = resolve(e, u.line, at);
+                    if (!value)
+                        return;
+                    if (u.dataWidth < 8 &&
+                        !fitsSigned(*value, u.dataWidth * 8) &&
+                        !fitsUnsigned(static_cast<uint64_t>(*value),
+                                      u.dataWidth * 8)) {
+                        error(u.line,
+                              strprintf("value %lld does not fit in %u "
+                                        "bytes",
+                                        static_cast<long long>(*value),
+                                        u.dataWidth));
+                        return;
+                    }
+                    emitBytes(at, static_cast<uint64_t>(*value),
+                              u.dataWidth);
+                    at += u.dataWidth;
+                }
+                break;
+              }
+              case Unit::Kind::Ascii: {
+                uint32_t at = addr;
+                for (char c : u.text)
+                    result_.program.addByte(at++,
+                                            static_cast<uint8_t>(c));
+                break;
+              }
+              case Unit::Kind::Inst:
+                if (!encodeInst(u, addr))
+                    return;
+                break;
+            }
+        }
+    }
+
+    /** Encode one instruction unit at its address. */
+    bool
+    encodeInst(const Unit &u, uint32_t addr)
+    {
+        isa::Instruction inst;
+        inst.op = u.op;
+        inst.scc = u.scc;
+        inst.rd = u.rd;
+        inst.rs1 = u.rs1;
+
+        const isa::OpInfo &info = isa::opInfo(u.op);
+        if (info.format == isa::Format::LongImm) {
+            auto value = resolve(u.target, u.line, addr);
+            if (!value)
+                return false;
+            int64_t y = *value;
+            if (u.targetIsPcRel)
+                y -= addr;
+            if (u.op == isa::Opcode::Ldhi) {
+                // Accept the natural unsigned 19-bit range too.
+                if (!fitsSigned(y, isa::Imm19Bits) &&
+                    !fitsUnsigned(static_cast<uint64_t>(y),
+                                  isa::Imm19Bits)) {
+                    error(u.line,
+                          strprintf("ldhi value 0x%llx out of 19-bit "
+                                    "range",
+                                    static_cast<long long>(y)));
+                    return false;
+                }
+                y = sext(static_cast<uint64_t>(y) &
+                             mask(isa::Imm19Bits),
+                         isa::Imm19Bits);
+            } else if (!fitsSigned(y, isa::Imm19Bits)) {
+                error(u.line,
+                      strprintf("branch target out of range "
+                                "(offset %lld)",
+                                static_cast<long long>(y)));
+                return false;
+            }
+            inst.imm19 = static_cast<int32_t>(y);
+        } else {
+            inst.imm = u.imm;
+            if (u.imm) {
+                auto value = resolve(u.s2Expr, u.line, addr);
+                if (!value)
+                    return false;
+                if (!fitsSigned(*value, isa::Simm13Bits)) {
+                    error(u.line,
+                          strprintf("immediate %lld does not fit in 13 "
+                                    "signed bits",
+                                    static_cast<long long>(*value)));
+                    return false;
+                }
+                inst.simm13 = static_cast<int32_t>(*value);
+            } else {
+                inst.rs2 = u.rs2;
+            }
+        }
+
+        emitBytes(addr, isa::encode(inst), isa::InstBytes);
+        result_.program.srcLines[addr] = u.line;
+        ++result_.program.instructionCount;
+        return true;
+    }
+
+    /** Pick the entry point: .entry > _start > main > first instruction. */
+    void
+    chooseEntry()
+    {
+        result_.program.symbols = symbols_;
+        if (!entrySymbol_.empty()) {
+            auto it = symbols_.find(entrySymbol_);
+            if (it == symbols_.end()) {
+                error(entryLine_,
+                      "undefined entry symbol '" + entrySymbol_ + "'");
+                return;
+            }
+            result_.program.entry = it->second;
+            return;
+        }
+        for (const char *name : {"_start", "main"}) {
+            auto it = symbols_.find(name);
+            if (it != symbols_.end()) {
+                result_.program.entry = it->second;
+                return;
+            }
+        }
+        result_.program.entry = firstInstAddr_ ? firstInstAddr_
+                                               : opts_.defaultOrg;
+    }
+
+    /** Render a listing: address, word, disassembly, source line. */
+    void
+    makeListing()
+    {
+        std::string out;
+        for (size_t i = 0; i < units_.size(); ++i) {
+            const Unit &u = units_[i];
+            if (u.kind != Unit::Kind::Inst)
+                continue;
+            const uint32_t addr = addresses_[i];
+            const uint32_t word = *result_.program.wordAt(addr);
+            out += strprintf("%08x  %08x  %s\n", addr, word,
+                             isa::disassembleWord(word, addr).c_str());
+        }
+        result_.listing = std::move(out);
+    }
+
+    std::vector<Unit> units_;
+    const AsmOptions &opts_;
+    AsmResult &result_;
+
+    std::map<std::string, uint32_t> symbols_;
+    std::vector<uint32_t> addresses_;
+    std::string entrySymbol_;
+    unsigned entryLine_ = 0;
+    uint32_t firstInstAddr_ = 0;
+};
+
+} // namespace
+
+std::string
+AsmResult::errorText() const
+{
+    std::string out;
+    for (const AsmError &e : errors)
+        out += strprintf("line %u: %s\n", e.line, e.message.c_str());
+    return out;
+}
+
+AsmResult
+assemble(std::string_view source, const AsmOptions &opts)
+{
+    AsmResult result;
+
+    ParseResult parsed = parseSource(source);
+    result.errors = parsed.errors;
+    if (!result.errors.empty())
+        return result;
+
+    ExpandOptions exp_opts;
+    exp_opts.autoDelaySlots = opts.autoDelaySlots;
+    ExpandResult expanded = expand(parsed.stmts, exp_opts);
+    result.errors = expanded.errors;
+    if (!result.errors.empty())
+        return result;
+
+    if (opts.autoDelaySlots && opts.fillDelaySlots)
+        result.slotStats = fillDelaySlots(expanded.units);
+    else if (opts.autoDelaySlots) {
+        // Count slots anyway so fill-rate comparisons are meaningful.
+        for (const Unit &u : expanded.units) {
+            if (u.kind == Unit::Kind::Inst && u.isAutoSlot)
+                ++result.slotStats.totalSlots;
+        }
+    }
+
+    TwoPass passes(std::move(expanded.units), opts, result);
+    passes.run();
+    return result;
+}
+
+Program
+assembleOrDie(std::string_view source, const AsmOptions &opts)
+{
+    AsmResult result = assemble(source, opts);
+    if (!result.ok())
+        fatal("assembly failed:\n%s", result.errorText().c_str());
+    return std::move(result.program);
+}
+
+} // namespace risc1::assembler

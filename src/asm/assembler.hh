@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Two-pass RISC I assembler: text -> Program image. See README.md for
+ * the accepted syntax. Pseudo-instruction expansion and the delay-slot
+ * optimizer run between the passes.
+ */
+
+#ifndef RISC1_ASM_ASSEMBLER_HH
+#define RISC1_ASM_ASSEMBLER_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "asm/ast.hh"
+#include "asm/optimizer.hh"
+#include "asm/program.hh"
+
+namespace risc1::assembler {
+
+/** Assembly options. */
+struct AsmOptions
+{
+    /** Insert a NOP delay slot after every control transfer. */
+    bool autoDelaySlots = true;
+    /** Run the delay-slot filling optimizer (needs autoDelaySlots). */
+    bool fillDelaySlots = true;
+    /** Location counter before the first `.org`. */
+    uint32_t defaultOrg = 0x1000;
+    /** Produce a human-readable listing alongside the image. */
+    bool makeListing = false;
+};
+
+/** Assembly outcome: image plus diagnostics and slot statistics. */
+struct AsmResult
+{
+    Program program;
+    std::vector<AsmError> errors;
+    SlotStats slotStats;
+    std::string listing;
+
+    bool ok() const { return errors.empty(); }
+
+    /** All error messages joined, for convenient reporting. */
+    std::string errorText() const;
+};
+
+/** Assemble a source text. Collects user errors; never throws. */
+AsmResult assemble(std::string_view source, const AsmOptions &opts = {});
+
+/**
+ * Assemble and insist on success: throws FatalError listing the
+ * diagnostics otherwise. Convenience for workloads and examples.
+ */
+Program assembleOrDie(std::string_view source, const AsmOptions &opts = {});
+
+} // namespace risc1::assembler
+
+#endif // RISC1_ASM_ASSEMBLER_HH

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Parsed-source representation shared by the parser, pseudo-instruction
+ * expander, delay-slot optimizer and the encoder passes.
+ */
+
+#ifndef RISC1_ASM_AST_HH
+#define RISC1_ASM_AST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace risc1::assembler {
+
+/**
+ * A linear expression: optional symbol plus constant addend, optionally
+ * wrapped in one of the immediate-splitting functions used to synthesise
+ * 32-bit constants from the 13-bit immediate field (experiment A2):
+ * `hi13(x) = (x + 0x1000) >> 13` and `lo13(x) = sext13(x & 0x1fff)`,
+ * chosen so `(hi13(x) << 13) + lo13(x) == x` for all 32-bit x.
+ */
+struct Expr
+{
+    enum class Func : uint8_t { None, Hi13, Lo13 };
+
+    Func func = Func::None;
+    std::string symbol; //!< empty means pure constant
+    int64_t addend = 0;
+
+    bool isConst() const { return symbol.empty() && func == Func::None; }
+
+    static Expr
+    constant(int64_t value)
+    {
+        Expr e;
+        e.addend = value;
+        return e;
+    }
+
+    static Expr
+    sym(std::string name, int64_t addend = 0)
+    {
+        Expr e;
+        e.symbol = std::move(name);
+        e.addend = addend;
+        return e;
+    }
+};
+
+/** One instruction or directive operand. */
+struct Operand
+{
+    enum class Kind : uint8_t
+    {
+        Register, //!< rN / alias
+        Value,    //!< expression (immediate, label, condition name)
+        Memory,   //!< (rX)disp or (rX)rY
+        String,   //!< only for .ascii/.asciz
+    };
+
+    Kind kind = Kind::Value;
+    unsigned reg = 0;         //!< Register
+    Expr expr;                //!< Value; Memory displacement
+    unsigned base = 0;        //!< Memory base register
+    bool indexIsReg = false;  //!< Memory uses a register index
+    unsigned indexReg = 0;    //!< Memory register index
+    std::string str;          //!< String payload
+};
+
+/** One parsed source statement (a line may define labels and one stmt). */
+struct Stmt
+{
+    enum class Kind : uint8_t { Empty, Instruction, Directive };
+
+    Kind kind = Kind::Empty;
+    std::vector<std::string> labels;
+    std::string mnemonic; //!< lower-case; directives keep leading '.'
+    std::vector<Operand> operands;
+    unsigned line = 0; //!< 1-based source line
+};
+
+/** An assembly-time diagnostic. */
+struct AsmError
+{
+    unsigned line = 0;
+    std::string message;
+};
+
+/**
+ * A concrete machine statement after pseudo expansion. Instructions keep
+ * their operand expressions unresolved until the final pass so the
+ * delay-slot optimizer may still reorder them.
+ */
+struct Unit
+{
+    enum class Kind : uint8_t
+    {
+        Inst,  //!< one machine instruction
+        Org,   //!< set location counter
+        Align, //!< pad to power-of-two boundary
+        Space, //!< reserve zeroed bytes
+        Data,  //!< emit literal values (.word/.half/.byte)
+        Ascii, //!< emit string bytes
+        Equ,   //!< define symbol `text` = values[0]
+        Entry, //!< set program entry point to symbol `text`
+    };
+
+    Kind kind = Kind::Inst;
+    std::vector<std::string> labels;
+    unsigned line = 0;
+
+    // -- Kind::Inst --
+    isa::Opcode op = isa::Opcode::Add;
+    bool scc = false;
+    uint8_t rd = 0;
+    uint8_t rs1 = 0;
+    bool imm = false;       //!< short format: s2 is an expression
+    uint8_t rs2 = 0;        //!< short format register s2
+    Expr s2Expr;            //!< short format immediate expression
+    Expr target;            //!< long format Y (branch target / LDHI value)
+    bool targetIsPcRel = false; //!< resolve target as (value - pc)
+    bool isAutoSlot = false;    //!< assembler-inserted delay-slot NOP
+
+    // -- Data-ish kinds --
+    unsigned dataWidth = 4;        //!< bytes per element for Data
+    std::vector<Expr> values;      //!< Data elements / Org / Align / Space
+    std::string text;              //!< Ascii payload (already unescaped)
+
+    /** Size in bytes once the location counter is known (not Org/Align). */
+    bool hasFixedSize() const { return kind != Kind::Org; }
+};
+
+} // namespace risc1::assembler
+
+#endif // RISC1_ASM_AST_HH

@@ -1,0 +1,745 @@
+#include "asm/expander.hh"
+
+#include "isa/registers.hh"
+#include "support/bits.hh"
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace risc1::assembler {
+
+namespace {
+
+using isa::Cond;
+using isa::Opcode;
+
+/** Builds the Unit list while tracking errors and label attachment. */
+class Expander
+{
+  public:
+    explicit Expander(const ExpandOptions &opts) : opts_(opts) {}
+
+    ExpandResult
+    run(const std::vector<Stmt> &stmts)
+    {
+        for (const Stmt &stmt : stmts)
+            expandStmt(stmt);
+        ExpandResult out;
+        out.units = std::move(units_);
+        out.errors = std::move(errors_);
+        return out;
+    }
+
+  private:
+    // ---- Infrastructure -------------------------------------------------
+
+    void
+    error(unsigned line, std::string msg)
+    {
+        errors_.push_back(AsmError{line, std::move(msg)});
+    }
+
+    /** Append a unit, attaching any pending labels to it. */
+    Unit &
+    emit(Unit unit)
+    {
+        unit.labels.insert(unit.labels.end(), pendingLabels_.begin(),
+                           pendingLabels_.end());
+        pendingLabels_.clear();
+        units_.push_back(std::move(unit));
+        return units_.back();
+    }
+
+    Unit
+    instUnit(const Stmt &stmt, Opcode op)
+    {
+        Unit u;
+        u.kind = Unit::Kind::Inst;
+        u.line = stmt.line;
+        u.op = op;
+        return u;
+    }
+
+    /** Emit the auto delay-slot NOP after a transfer, if in auto mode. */
+    void
+    emitSlot(const Stmt &stmt)
+    {
+        if (!opts_.autoDelaySlots)
+            return;
+        Unit nop;
+        nop.kind = Unit::Kind::Inst;
+        nop.line = stmt.line;
+        nop.op = Opcode::Add;
+        nop.rd = isa::ZeroReg;
+        nop.rs1 = isa::ZeroReg;
+        nop.imm = false;
+        nop.rs2 = isa::ZeroReg;
+        nop.isAutoSlot = true;
+        emit(std::move(nop));
+    }
+
+    // ---- Operand helpers -------------------------------------------------
+
+    bool
+    wantCount(const Stmt &stmt, size_t count)
+    {
+        if (stmt.operands.size() != count) {
+            error(stmt.line,
+                  strprintf("%s expects %zu operand(s), got %zu",
+                            stmt.mnemonic.c_str(), count,
+                            stmt.operands.size()));
+            return false;
+        }
+        return true;
+    }
+
+    std::optional<unsigned>
+    wantReg(const Stmt &stmt, size_t idx)
+    {
+        const Operand &op = stmt.operands[idx];
+        if (op.kind != Operand::Kind::Register) {
+            error(stmt.line,
+                  strprintf("%s: operand %zu must be a register",
+                            stmt.mnemonic.c_str(), idx + 1));
+            return std::nullopt;
+        }
+        return op.reg;
+    }
+
+    std::optional<Expr>
+    wantValue(const Stmt &stmt, size_t idx)
+    {
+        const Operand &op = stmt.operands[idx];
+        if (op.kind != Operand::Kind::Value) {
+            error(stmt.line,
+                  strprintf("%s: operand %zu must be a value",
+                            stmt.mnemonic.c_str(), idx + 1));
+            return std::nullopt;
+        }
+        return op.expr;
+    }
+
+    std::optional<Cond>
+    wantCond(const Stmt &stmt, size_t idx)
+    {
+        const Operand &op = stmt.operands[idx];
+        if (op.kind == Operand::Kind::Value && !op.expr.symbol.empty() &&
+            op.expr.addend == 0 && op.expr.func == Expr::Func::None) {
+            if (auto cond = isa::condFromName(op.expr.symbol))
+                return cond;
+        }
+        error(stmt.line,
+              strprintf("%s: operand %zu must be a condition code",
+                        stmt.mnemonic.c_str(), idx + 1));
+        return std::nullopt;
+    }
+
+    /** Fill rs1/imm/rs2/s2Expr of `unit` from a Memory operand. */
+    bool
+    applyMem(Unit &unit, const Stmt &stmt, size_t idx)
+    {
+        const Operand &op = stmt.operands[idx];
+        if (op.kind != Operand::Kind::Memory) {
+            error(stmt.line,
+                  strprintf("%s: operand %zu must be a memory operand "
+                            "(rX)disp",
+                            stmt.mnemonic.c_str(), idx + 1));
+            return false;
+        }
+        unit.rs1 = static_cast<uint8_t>(op.base);
+        if (op.indexIsReg) {
+            unit.imm = false;
+            unit.rs2 = static_cast<uint8_t>(op.indexReg);
+        } else {
+            unit.imm = true;
+            unit.s2Expr = op.expr;
+        }
+        return true;
+    }
+
+    /** Fill imm/rs2/s2Expr of `unit` from a reg-or-value operand. */
+    bool
+    applyS2(Unit &unit, const Stmt &stmt, size_t idx)
+    {
+        const Operand &op = stmt.operands[idx];
+        if (op.kind == Operand::Kind::Register) {
+            unit.imm = false;
+            unit.rs2 = static_cast<uint8_t>(op.reg);
+            return true;
+        }
+        if (op.kind == Operand::Kind::Value) {
+            unit.imm = true;
+            unit.s2Expr = op.expr;
+            return true;
+        }
+        error(stmt.line,
+              strprintf("%s: operand %zu must be a register or value",
+                        stmt.mnemonic.c_str(), idx + 1));
+        return false;
+    }
+
+    // ---- Statement dispatch ----------------------------------------------
+
+    void
+    expandStmt(const Stmt &stmt)
+    {
+        pendingLabels_.insert(pendingLabels_.end(), stmt.labels.begin(),
+                              stmt.labels.end());
+        switch (stmt.kind) {
+          case Stmt::Kind::Empty:
+            // Pending labels attach to the next emitted unit.
+            return;
+          case Stmt::Kind::Directive:
+            expandDirective(stmt);
+            return;
+          case Stmt::Kind::Instruction:
+            expandInstruction(stmt);
+            return;
+        }
+    }
+
+    void
+    expandDirective(const Stmt &stmt)
+    {
+        const std::string &d = stmt.mnemonic;
+        if (d == ".org" || d == ".align" || d == ".space") {
+            if (!wantCount(stmt, 1))
+                return;
+            auto value = wantValue(stmt, 0);
+            if (!value)
+                return;
+            Unit u;
+            u.kind = d == ".org"     ? Unit::Kind::Org
+                     : d == ".align" ? Unit::Kind::Align
+                                     : Unit::Kind::Space;
+            u.line = stmt.line;
+            u.values.push_back(*value);
+            emit(std::move(u));
+            return;
+        }
+        if (d == ".word" || d == ".half" || d == ".byte") {
+            if (stmt.operands.empty()) {
+                error(stmt.line, d + " expects at least one value");
+                return;
+            }
+            Unit u;
+            u.kind = Unit::Kind::Data;
+            u.line = stmt.line;
+            u.dataWidth = d == ".word" ? 4 : d == ".half" ? 2 : 1;
+            for (size_t i = 0; i < stmt.operands.size(); ++i) {
+                auto value = wantValue(stmt, i);
+                if (!value)
+                    return;
+                u.values.push_back(*value);
+            }
+            emit(std::move(u));
+            return;
+        }
+        if (d == ".ascii" || d == ".asciz") {
+            if (!wantCount(stmt, 1))
+                return;
+            if (stmt.operands[0].kind != Operand::Kind::String) {
+                error(stmt.line, d + " expects a string literal");
+                return;
+            }
+            Unit u;
+            u.kind = Unit::Kind::Ascii;
+            u.line = stmt.line;
+            u.text = stmt.operands[0].str;
+            if (d == ".asciz")
+                u.text.push_back('\0');
+            emit(std::move(u));
+            return;
+        }
+        if (d == ".equ") {
+            if (!wantCount(stmt, 2))
+                return;
+            auto name = wantValue(stmt, 0);
+            auto value = wantValue(stmt, 1);
+            if (!name || !value)
+                return;
+            if (name->symbol.empty() || name->addend != 0) {
+                error(stmt.line, ".equ: first operand must be a name");
+                return;
+            }
+            Unit u;
+            u.kind = Unit::Kind::Equ;
+            u.line = stmt.line;
+            u.text = name->symbol;
+            u.values.push_back(*value);
+            emit(std::move(u));
+            return;
+        }
+        if (d == ".entry") {
+            if (!wantCount(stmt, 1))
+                return;
+            auto name = wantValue(stmt, 0);
+            if (!name || name->symbol.empty()) {
+                error(stmt.line, ".entry expects a symbol");
+                return;
+            }
+            Unit u;
+            u.kind = Unit::Kind::Entry;
+            u.line = stmt.line;
+            u.text = name->symbol;
+            emit(std::move(u));
+            return;
+        }
+        if (d == ".global" || d == ".text" || d == ".data") {
+            // Accepted for compatibility; no effect in a flat image.
+            return;
+        }
+        error(stmt.line, "unknown directive '" + d + "'");
+    }
+
+    void
+    expandInstruction(const Stmt &stmt)
+    {
+        const std::string &mn = stmt.mnemonic;
+
+        // `call label` (one operand) is the pseudo form; the architected
+        // CALL takes an explicit link register and memory operand.
+        if (mn == "call" && stmt.operands.size() == 1) {
+            expandPseudo(stmt);
+            return;
+        }
+
+        // Exact architected mnemonic?
+        if (const isa::OpInfo *info = isa::opInfoByMnemonic(mn)) {
+            expandReal(stmt, *info, false);
+            return;
+        }
+        // scc variant: trailing 's' on an ALU mnemonic.
+        if (mn.size() > 1 && mn.back() == 's') {
+            const std::string base = mn.substr(0, mn.size() - 1);
+            if (const isa::OpInfo *info = isa::opInfoByMnemonic(base)) {
+                if (info->mayScc) {
+                    expandReal(stmt, *info, true);
+                    return;
+                }
+            }
+        }
+        expandPseudo(stmt);
+    }
+
+    /** Expand an architected instruction with paper operand order. */
+    void
+    expandReal(const Stmt &stmt, const isa::OpInfo &info, bool scc)
+    {
+        Unit u = instUnit(stmt, info.op);
+        u.scc = scc;
+
+        switch (info.opClass) {
+          case isa::OpClass::Alu: {
+            if (!wantCount(stmt, 3))
+                return;
+            auto rs1 = wantReg(stmt, 0);
+            if (!rs1 || !applyS2(u, stmt, 1))
+                return;
+            auto rd = wantReg(stmt, 2);
+            if (!rd)
+                return;
+            u.rs1 = static_cast<uint8_t>(*rs1);
+            u.rd = static_cast<uint8_t>(*rd);
+            emit(std::move(u));
+            return;
+          }
+          case isa::OpClass::Load: {
+            if (!wantCount(stmt, 2))
+                return;
+            if (!applyMem(u, stmt, 0))
+                return;
+            auto rd = wantReg(stmt, 1);
+            if (!rd)
+                return;
+            u.rd = static_cast<uint8_t>(*rd);
+            emit(std::move(u));
+            return;
+          }
+          case isa::OpClass::Store: {
+            if (!wantCount(stmt, 2))
+                return;
+            auto rm = wantReg(stmt, 0);
+            if (!rm || !applyMem(u, stmt, 1))
+                return;
+            u.rd = static_cast<uint8_t>(*rm);
+            emit(std::move(u));
+            return;
+          }
+          case isa::OpClass::Branch: {
+            if (!wantCount(stmt, 2))
+                return;
+            auto cond = wantCond(stmt, 0);
+            if (!cond)
+                return;
+            u.rd = static_cast<uint8_t>(*cond);
+            if (info.op == Opcode::Jmpr) {
+                auto target = wantValue(stmt, 1);
+                if (!target)
+                    return;
+                u.target = *target;
+                u.targetIsPcRel = true;
+            } else {
+                if (!applyMem(u, stmt, 1))
+                    return;
+            }
+            emit(std::move(u));
+            emitSlot(stmt);
+            return;
+          }
+          case isa::OpClass::Call: {
+            if (info.op == Opcode::Callint) {
+                if (!wantCount(stmt, 1))
+                    return;
+                auto rd = wantReg(stmt, 0);
+                if (!rd)
+                    return;
+                u.rd = static_cast<uint8_t>(*rd);
+                emit(std::move(u));
+                emitSlot(stmt);
+                return;
+            }
+            if (!wantCount(stmt, 2))
+                return;
+            auto rd = wantReg(stmt, 0);
+            if (!rd)
+                return;
+            u.rd = static_cast<uint8_t>(*rd);
+            if (info.op == Opcode::Callr) {
+                auto target = wantValue(stmt, 1);
+                if (!target)
+                    return;
+                u.target = *target;
+                u.targetIsPcRel = true;
+            } else {
+                if (!applyMem(u, stmt, 1))
+                    return;
+            }
+            emit(std::move(u));
+            emitSlot(stmt);
+            return;
+          }
+          case isa::OpClass::Ret: {
+            // `ret` / `retint` with optional memory operand.
+            if (stmt.operands.empty()) {
+                u.rs1 = isa::RaReg;
+                u.imm = true;
+                u.s2Expr = Expr::constant(8);
+            } else {
+                if (!wantCount(stmt, 1) || !applyMem(u, stmt, 0))
+                    return;
+            }
+            emit(std::move(u));
+            emitSlot(stmt);
+            return;
+          }
+          case isa::OpClass::Misc: {
+            switch (info.op) {
+              case Opcode::Ldhi: {
+                if (!wantCount(stmt, 2))
+                    return;
+                auto rd = wantReg(stmt, 0);
+                auto value = wantValue(stmt, 1);
+                if (!rd || !value)
+                    return;
+                u.rd = static_cast<uint8_t>(*rd);
+                u.target = *value;
+                emit(std::move(u));
+                return;
+              }
+              case Opcode::Gtlpc:
+              case Opcode::Getpsw: {
+                if (!wantCount(stmt, 1))
+                    return;
+                auto rd = wantReg(stmt, 0);
+                if (!rd)
+                    return;
+                u.rd = static_cast<uint8_t>(*rd);
+                emit(std::move(u));
+                return;
+              }
+              case Opcode::Putpsw: {
+                if (!wantCount(stmt, 2))
+                    return;
+                auto rs1 = wantReg(stmt, 0);
+                if (!rs1 || !applyS2(u, stmt, 1))
+                    return;
+                u.rs1 = static_cast<uint8_t>(*rs1);
+                emit(std::move(u));
+                return;
+              }
+              default:
+                break;
+            }
+            panic("expandReal: unhandled misc opcode");
+          }
+        }
+    }
+
+    // ---- Pseudo instructions ----------------------------------------------
+
+    /** Branch pseudo mnemonic -> condition, or nullopt. */
+    static std::optional<Cond>
+    branchPseudoCond(const std::string &mn)
+    {
+        if (mn == "b")
+            return Cond::Alw;
+        if (mn.size() < 2 || mn[0] != 'b')
+            return std::nullopt;
+        return isa::condFromName(mn.substr(1));
+    }
+
+    void
+    expandPseudo(const Stmt &stmt)
+    {
+        const std::string &mn = stmt.mnemonic;
+
+        if (mn == "nop") {
+            if (!wantCount(stmt, 0))
+                return;
+            Unit u = instUnit(stmt, Opcode::Add);
+            emit(std::move(u));
+            return;
+        }
+        if (mn == "halt") {
+            // Transfer to address zero halts the simulator.
+            if (!wantCount(stmt, 0))
+                return;
+            Unit u = instUnit(stmt, Opcode::Jmp);
+            u.rd = static_cast<uint8_t>(Cond::Alw);
+            u.rs1 = isa::ZeroReg;
+            u.imm = true;
+            u.s2Expr = Expr::constant(0);
+            emit(std::move(u));
+            emitSlot(stmt);
+            return;
+        }
+        if (mn == "mov" || mn == "li") {
+            expandMov(stmt);
+            return;
+        }
+        if (mn == "cmp") {
+            if (!wantCount(stmt, 2))
+                return;
+            auto rs1 = wantReg(stmt, 0);
+            if (!rs1)
+                return;
+            Unit u = instUnit(stmt, Opcode::Sub);
+            u.scc = true;
+            u.rd = isa::ZeroReg;
+            u.rs1 = static_cast<uint8_t>(*rs1);
+            if (!applyS2(u, stmt, 1))
+                return;
+            emit(std::move(u));
+            return;
+        }
+        if (mn == "not") {
+            if (!wantCount(stmt, 2))
+                return;
+            auto rs = wantReg(stmt, 0);
+            auto rd = wantReg(stmt, 1);
+            if (!rs || !rd)
+                return;
+            Unit u = instUnit(stmt, Opcode::Xor);
+            u.rs1 = static_cast<uint8_t>(*rs);
+            u.imm = true;
+            u.s2Expr = Expr::constant(-1);
+            u.rd = static_cast<uint8_t>(*rd);
+            emit(std::move(u));
+            return;
+        }
+        if (mn == "neg") {
+            if (!wantCount(stmt, 2))
+                return;
+            auto rs = wantReg(stmt, 0);
+            auto rd = wantReg(stmt, 1);
+            if (!rs || !rd)
+                return;
+            Unit u = instUnit(stmt, Opcode::Subr);
+            u.rs1 = static_cast<uint8_t>(*rs);
+            u.imm = true;
+            u.s2Expr = Expr::constant(0);
+            u.rd = static_cast<uint8_t>(*rd);
+            emit(std::move(u));
+            return;
+        }
+        if (mn == "inc" || mn == "dec") {
+            if (stmt.operands.size() != 1 && stmt.operands.size() != 2) {
+                error(stmt.line, mn + " expects 1 or 2 operands");
+                return;
+            }
+            auto rd = wantReg(stmt, 0);
+            if (!rd)
+                return;
+            Expr amount = Expr::constant(1);
+            if (stmt.operands.size() == 2) {
+                auto value = wantValue(stmt, 1);
+                if (!value)
+                    return;
+                amount = *value;
+            }
+            Unit u = instUnit(stmt,
+                              mn == "inc" ? Opcode::Add : Opcode::Sub);
+            u.rs1 = static_cast<uint8_t>(*rd);
+            u.imm = true;
+            u.s2Expr = amount;
+            u.rd = static_cast<uint8_t>(*rd);
+            emit(std::move(u));
+            return;
+        }
+        if (mn == "clr") {
+            if (!wantCount(stmt, 1))
+                return;
+            auto rd = wantReg(stmt, 0);
+            if (!rd)
+                return;
+            Unit u = instUnit(stmt, Opcode::Add);
+            u.rs1 = isa::ZeroReg;
+            u.imm = true;
+            u.s2Expr = Expr::constant(0);
+            u.rd = static_cast<uint8_t>(*rd);
+            emit(std::move(u));
+            return;
+        }
+        if (auto cond = branchPseudoCond(mn)) {
+            if (!wantCount(stmt, 1))
+                return;
+            auto target = wantValue(stmt, 0);
+            if (!target)
+                return;
+            Unit u = instUnit(stmt, Opcode::Jmpr);
+            u.rd = static_cast<uint8_t>(*cond);
+            u.target = *target;
+            u.targetIsPcRel = true;
+            emit(std::move(u));
+            emitSlot(stmt);
+            return;
+        }
+        if (mn == "call" && stmt.operands.size() == 1) {
+            auto target = wantValue(stmt, 0);
+            if (!target)
+                return;
+            Unit u = instUnit(stmt, Opcode::Callr);
+            u.rd = isa::RaReg;
+            u.target = *target;
+            u.targetIsPcRel = true;
+            emit(std::move(u));
+            emitSlot(stmt);
+            return;
+        }
+        if (mn == "push") {
+            if (!wantCount(stmt, 1))
+                return;
+            auto rm = wantReg(stmt, 0);
+            if (!rm)
+                return;
+            Unit dec = instUnit(stmt, Opcode::Sub);
+            dec.rs1 = isa::SpReg;
+            dec.imm = true;
+            dec.s2Expr = Expr::constant(4);
+            dec.rd = isa::SpReg;
+            emit(std::move(dec));
+            Unit st = instUnit(stmt, Opcode::Stl);
+            st.rd = static_cast<uint8_t>(*rm);
+            st.rs1 = isa::SpReg;
+            st.imm = true;
+            st.s2Expr = Expr::constant(0);
+            emit(std::move(st));
+            return;
+        }
+        if (mn == "pop") {
+            if (!wantCount(stmt, 1))
+                return;
+            auto rd = wantReg(stmt, 0);
+            if (!rd)
+                return;
+            Unit ld = instUnit(stmt, Opcode::Ldl);
+            ld.rd = static_cast<uint8_t>(*rd);
+            ld.rs1 = isa::SpReg;
+            ld.imm = true;
+            ld.s2Expr = Expr::constant(0);
+            emit(std::move(ld));
+            Unit inc = instUnit(stmt, Opcode::Add);
+            inc.rs1 = isa::SpReg;
+            inc.imm = true;
+            inc.s2Expr = Expr::constant(4);
+            inc.rd = isa::SpReg;
+            emit(std::move(inc));
+            return;
+        }
+
+        error(stmt.line, "unknown mnemonic '" + mn + "'");
+    }
+
+    /** `mov src, rd` / `li imm, rd` with 32-bit constant synthesis. */
+    void
+    expandMov(const Stmt &stmt)
+    {
+        if (!wantCount(stmt, 2))
+            return;
+        auto rd = wantReg(stmt, 1);
+        if (!rd)
+            return;
+        const Operand &src = stmt.operands[0];
+
+        if (src.kind == Operand::Kind::Register) {
+            Unit u = instUnit(stmt, Opcode::Or);
+            u.rs1 = static_cast<uint8_t>(src.reg);
+            u.imm = true;
+            u.s2Expr = Expr::constant(0);
+            u.rd = static_cast<uint8_t>(*rd);
+            emit(std::move(u));
+            return;
+        }
+        if (src.kind != Operand::Kind::Value) {
+            error(stmt.line, stmt.mnemonic +
+                                 ": source must be a register or value");
+            return;
+        }
+
+        // Small constants fit a single ADD; labels and wide constants
+        // always take the deterministic two-instruction LDHI/ADD form.
+        if (src.expr.isConst() && fitsSigned(src.expr.addend, 13)) {
+            Unit u = instUnit(stmt, Opcode::Add);
+            u.rs1 = isa::ZeroReg;
+            u.imm = true;
+            u.s2Expr = src.expr;
+            u.rd = static_cast<uint8_t>(*rd);
+            emit(std::move(u));
+            return;
+        }
+        if (src.expr.func != Expr::Func::None) {
+            error(stmt.line,
+                  stmt.mnemonic + ": hi13/lo13 not allowed here");
+            return;
+        }
+        Unit hi = instUnit(stmt, Opcode::Ldhi);
+        hi.rd = static_cast<uint8_t>(*rd);
+        hi.target = src.expr;
+        hi.target.func = Expr::Func::Hi13;
+        emit(std::move(hi));
+
+        Unit lo = instUnit(stmt, Opcode::Add);
+        lo.rs1 = static_cast<uint8_t>(*rd);
+        lo.imm = true;
+        lo.s2Expr = src.expr;
+        lo.s2Expr.func = Expr::Func::Lo13;
+        lo.rd = static_cast<uint8_t>(*rd);
+        emit(std::move(lo));
+    }
+
+    ExpandOptions opts_;
+    std::vector<Unit> units_;
+    std::vector<AsmError> errors_;
+    std::vector<std::string> pendingLabels_;
+};
+
+} // namespace
+
+ExpandResult
+expand(const std::vector<Stmt> &stmts, const ExpandOptions &opts)
+{
+    Expander expander(opts);
+    return expander.run(stmts);
+}
+
+} // namespace risc1::assembler

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Pseudo-instruction expansion. Turns parsed statements into concrete
+ * machine Units, synthesising 32-bit constants via LDHI/ADD pairs,
+ * expanding branch pseudos, and (in auto mode) inserting the delay-slot
+ * NOP that follows every transfer of control.
+ */
+
+#ifndef RISC1_ASM_EXPANDER_HH
+#define RISC1_ASM_EXPANDER_HH
+
+#include <vector>
+
+#include "asm/ast.hh"
+
+namespace risc1::assembler {
+
+/** Expansion options. */
+struct ExpandOptions
+{
+    /**
+     * Auto mode (default): the assembler inserts a NOP after every
+     * control transfer, which the optimizer may later fill. Explicit
+     * mode: the programmer writes delay slots themselves (used by tests
+     * that pin the delayed-transfer semantics).
+     */
+    bool autoDelaySlots = true;
+};
+
+/** Result of expansion. */
+struct ExpandResult
+{
+    std::vector<Unit> units;
+    std::vector<AsmError> errors;
+
+    bool ok() const { return errors.empty(); }
+};
+
+/** Expand all statements. Collects (does not throw) user errors. */
+ExpandResult expand(const std::vector<Stmt> &stmts,
+                    const ExpandOptions &opts = {});
+
+} // namespace risc1::assembler
+
+#endif // RISC1_ASM_EXPANDER_HH

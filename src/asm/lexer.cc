@@ -1,0 +1,208 @@
+#include "asm/lexer.hh"
+
+#include <cctype>
+
+#include "support/strings.hh"
+
+namespace risc1::assembler {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+Token
+errorTok(unsigned col, std::string msg)
+{
+    return Token{TokKind::Error, std::move(msg), 0, col};
+}
+
+} // namespace
+
+std::vector<Token>
+tokenizeLine(std::string_view line)
+{
+    std::vector<Token> toks;
+    size_t i = 0;
+    const size_t n = line.size();
+
+    auto push = [&](TokKind kind, std::string text, int64_t value,
+                    size_t col) {
+        toks.push_back(Token{kind, std::move(text), value,
+                             static_cast<unsigned>(col)});
+    };
+
+    while (i < n) {
+        const char c = line[i];
+
+        // Whitespace.
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Comments.
+        if (c == ';' || c == '#')
+            break;
+        if (c == '/' && i + 1 < n && line[i + 1] == '/')
+            break;
+
+        const size_t start = i;
+        switch (c) {
+          case ',': push(TokKind::Comma, ",", 0, start); ++i; continue;
+          case ':': push(TokKind::Colon, ":", 0, start); ++i; continue;
+          case '(': push(TokKind::LParen, "(", 0, start); ++i; continue;
+          case ')': push(TokKind::RParen, ")", 0, start); ++i; continue;
+          case '+': push(TokKind::Plus, "+", 0, start); ++i; continue;
+          case '.': push(TokKind::Dot, ".", 0, start); ++i; continue;
+          default: break;
+        }
+
+        if (c == '-') {
+            // Negative number literal or standalone minus.
+            if (i + 1 < n &&
+                (std::isdigit(static_cast<unsigned char>(line[i + 1])) ||
+                 line[i + 1] == '\'')) {
+                size_t j = i + 1;
+                if (line[j] == '\'') {
+                    // Negative character literal: scan to closing quote.
+                    ++j;
+                    while (j < n && line[j] != '\'') {
+                        if (line[j] == '\\')
+                            ++j;
+                        ++j;
+                    }
+                    if (j < n)
+                        ++j;
+                } else {
+                    while (j < n && isIdentChar(line[j]))
+                        ++j;
+                }
+                auto parsed = parseInt(line.substr(i, j - i));
+                if (!parsed) {
+                    toks.push_back(errorTok(
+                        static_cast<unsigned>(start),
+                        "malformed number '" +
+                            std::string(line.substr(i, j - i)) + "'"));
+                    return toks;
+                }
+                push(TokKind::Number, std::string(line.substr(i, j - i)),
+                     *parsed, start);
+                i = j;
+                continue;
+            }
+            push(TokKind::Minus, "-", 0, start);
+            ++i;
+            continue;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t j = i;
+            while (j < n && isIdentChar(line[j]))
+                ++j;
+            auto parsed = parseInt(line.substr(i, j - i));
+            if (!parsed) {
+                toks.push_back(errorTok(
+                    static_cast<unsigned>(start),
+                    "malformed number '" +
+                        std::string(line.substr(i, j - i)) + "'"));
+                return toks;
+            }
+            push(TokKind::Number, std::string(line.substr(i, j - i)),
+                 *parsed, start);
+            i = j;
+            continue;
+        }
+
+        if (c == '\'') {
+            size_t j = i + 1;
+            while (j < n && line[j] != '\'') {
+                if (line[j] == '\\')
+                    ++j;
+                ++j;
+            }
+            if (j >= n) {
+                toks.push_back(errorTok(static_cast<unsigned>(start),
+                                        "unterminated character literal"));
+                return toks;
+            }
+            ++j;
+            auto parsed = parseInt(line.substr(i, j - i));
+            if (!parsed) {
+                toks.push_back(errorTok(static_cast<unsigned>(start),
+                                        "malformed character literal"));
+                return toks;
+            }
+            push(TokKind::Number, std::string(line.substr(i, j - i)),
+                 *parsed, start);
+            i = j;
+            continue;
+        }
+
+        if (c == '"') {
+            std::string text;
+            size_t j = i + 1;
+            bool closed = false;
+            while (j < n) {
+                if (line[j] == '"') {
+                    closed = true;
+                    ++j;
+                    break;
+                }
+                if (line[j] == '\\' && j + 1 < n) {
+                    switch (line[j + 1]) {
+                      case 'n': text += '\n'; break;
+                      case 't': text += '\t'; break;
+                      case 'r': text += '\r'; break;
+                      case '0': text += '\0'; break;
+                      case '\\': text += '\\'; break;
+                      case '"': text += '"'; break;
+                      default:
+                        toks.push_back(errorTok(
+                            static_cast<unsigned>(j),
+                            "unknown escape in string literal"));
+                        return toks;
+                    }
+                    j += 2;
+                    continue;
+                }
+                text += line[j];
+                ++j;
+            }
+            if (!closed) {
+                toks.push_back(errorTok(static_cast<unsigned>(start),
+                                        "unterminated string literal"));
+                return toks;
+            }
+            push(TokKind::String, std::move(text), 0, start);
+            i = j;
+            continue;
+        }
+
+        if (isIdentStart(c)) {
+            size_t j = i;
+            while (j < n && isIdentChar(line[j]))
+                ++j;
+            push(TokKind::Ident, std::string(line.substr(i, j - i)), 0,
+                 start);
+            i = j;
+            continue;
+        }
+
+        toks.push_back(errorTok(static_cast<unsigned>(start),
+                                std::string("unexpected character '") + c +
+                                    "'"));
+        return toks;
+    }
+    return toks;
+}
+
+} // namespace risc1::assembler

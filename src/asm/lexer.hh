@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Line tokenizer for the RISC I assembly language. Comments start with
+ * ';', '#', or '//' and run to end of line. String literals use double
+ * quotes with C escapes.
+ */
+
+#ifndef RISC1_ASM_LEXER_HH
+#define RISC1_ASM_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace risc1::assembler {
+
+/** Token categories. */
+enum class TokKind : uint8_t
+{
+    Ident,   //!< identifier / mnemonic / register / condition
+    Number,  //!< integer literal (value in `value`)
+    String,  //!< double-quoted string (decoded text in `text`)
+    Comma,
+    Colon,
+    LParen,
+    RParen,
+    Plus,
+    Minus,
+    Dot,     //!< '.' starting a directive or the location counter
+    Error,   //!< lexing error (message in `text`)
+};
+
+/** One token. */
+struct Token
+{
+    TokKind kind;
+    std::string text;  //!< raw text (Ident/String) or error message
+    int64_t value = 0; //!< numeric value for Number
+    unsigned column = 0;
+};
+
+/**
+ * Tokenize one source line (without its newline). Comments are stripped.
+ * A lexing problem produces a single Error token describing it.
+ */
+std::vector<Token> tokenizeLine(std::string_view line);
+
+} // namespace risc1::assembler
+
+#endif // RISC1_ASM_LEXER_HH

@@ -1,0 +1,204 @@
+#include "asm/objfile.hh"
+
+#include <cstdio>
+
+#include "support/logging.hh"
+
+namespace risc1::assembler {
+
+namespace {
+
+constexpr uint32_t Magic = 0x424f3152; // "R1OB" little-endian
+constexpr uint32_t Version = 1;
+
+void
+putU32(std::vector<uint8_t> &out, uint32_t value)
+{
+    for (unsigned i = 0; i < 4; ++i)
+        out.push_back(static_cast<uint8_t>(value >> (8 * i)));
+}
+
+void
+putU16(std::vector<uint8_t> &out, uint16_t value)
+{
+    out.push_back(static_cast<uint8_t>(value));
+    out.push_back(static_cast<uint8_t>(value >> 8));
+}
+
+/** Bounded little-endian reader. */
+class Reader
+{
+  public:
+    explicit Reader(const std::vector<uint8_t> &bytes) : bytes_(bytes) {}
+
+    bool
+    u32(uint32_t &value)
+    {
+        if (pos_ + 4 > bytes_.size())
+            return false;
+        value = 0;
+        for (unsigned i = 0; i < 4; ++i)
+            value |= static_cast<uint32_t>(bytes_[pos_ + i]) << (8 * i);
+        pos_ += 4;
+        return true;
+    }
+
+    bool
+    u16(uint16_t &value)
+    {
+        if (pos_ + 2 > bytes_.size())
+            return false;
+        value = static_cast<uint16_t>(
+            bytes_[pos_] | (static_cast<uint16_t>(bytes_[pos_ + 1]) << 8));
+        pos_ += 2;
+        return true;
+    }
+
+    bool
+    blob(size_t count, std::vector<uint8_t> &out)
+    {
+        if (pos_ + count > bytes_.size())
+            return false;
+        out.assign(bytes_.begin() + static_cast<long>(pos_),
+                   bytes_.begin() + static_cast<long>(pos_ + count));
+        pos_ += count;
+        return true;
+    }
+
+    bool
+    text(size_t count, std::string &out)
+    {
+        if (pos_ + count > bytes_.size())
+            return false;
+        out.assign(bytes_.begin() + static_cast<long>(pos_),
+                   bytes_.begin() + static_cast<long>(pos_ + count));
+        pos_ += count;
+        return true;
+    }
+
+  private:
+    const std::vector<uint8_t> &bytes_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+std::vector<uint8_t>
+saveObject(const Program &program)
+{
+    std::vector<uint8_t> out;
+    putU32(out, Magic);
+    putU32(out, Version);
+    putU32(out, program.entry);
+    putU32(out, program.instructionCount);
+
+    putU32(out, static_cast<uint32_t>(program.segments.size()));
+    for (const Segment &seg : program.segments) {
+        putU32(out, seg.base);
+        putU32(out, static_cast<uint32_t>(seg.bytes.size()));
+        out.insert(out.end(), seg.bytes.begin(), seg.bytes.end());
+    }
+
+    putU32(out, static_cast<uint32_t>(program.symbols.size()));
+    for (const auto &[name, value] : program.symbols) {
+        putU16(out, static_cast<uint16_t>(name.size()));
+        out.insert(out.end(), name.begin(), name.end());
+        putU32(out, value);
+    }
+    return out;
+}
+
+LoadResult
+loadObject(const std::vector<uint8_t> &bytes)
+{
+    LoadResult result;
+    Reader reader(bytes);
+
+    uint32_t magic = 0, version = 0;
+    if (!reader.u32(magic) || magic != Magic) {
+        result.error = "bad magic (not an R1OB object)";
+        return result;
+    }
+    if (!reader.u32(version) || version != Version) {
+        result.error = strprintf("unsupported object version %u",
+                                 version);
+        return result;
+    }
+    uint32_t inst_count = 0;
+    if (!reader.u32(result.program.entry) || !reader.u32(inst_count)) {
+        result.error = "truncated header";
+        return result;
+    }
+    result.program.instructionCount = inst_count;
+
+    uint32_t nsegs = 0;
+    if (!reader.u32(nsegs) || nsegs > 4096) {
+        result.error = "bad segment count";
+        return result;
+    }
+    for (uint32_t i = 0; i < nsegs; ++i) {
+        Segment seg;
+        uint32_t size = 0;
+        if (!reader.u32(seg.base) || !reader.u32(size) ||
+            !reader.blob(size, seg.bytes)) {
+            result.error = strprintf("truncated segment %u", i);
+            return result;
+        }
+        result.program.segments.push_back(std::move(seg));
+    }
+
+    uint32_t nsyms = 0;
+    if (!reader.u32(nsyms) || nsyms > 1u << 20) {
+        result.error = "bad symbol count";
+        return result;
+    }
+    for (uint32_t i = 0; i < nsyms; ++i) {
+        uint16_t len = 0;
+        std::string name;
+        uint32_t value = 0;
+        if (!reader.u16(len) || !reader.text(len, name) ||
+            !reader.u32(value)) {
+            result.error = strprintf("truncated symbol %u", i);
+            return result;
+        }
+        result.program.symbols.emplace(std::move(name), value);
+    }
+
+    result.ok = true;
+    return result;
+}
+
+void
+writeObjectFile(const Program &program, const std::string &path)
+{
+    const std::vector<uint8_t> bytes = saveObject(program);
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        fatal("cannot open '%s' for writing", path.c_str());
+    const size_t written = std::fwrite(bytes.data(), 1, bytes.size(),
+                                       file);
+    std::fclose(file);
+    if (written != bytes.size())
+        fatal("short write to '%s'", path.c_str());
+}
+
+Program
+readObjectFile(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        fatal("cannot open '%s'", path.c_str());
+    std::vector<uint8_t> bytes;
+    uint8_t buffer[4096];
+    size_t got;
+    while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0)
+        bytes.insert(bytes.end(), buffer, buffer + got);
+    std::fclose(file);
+
+    LoadResult result = loadObject(bytes);
+    if (!result.ok)
+        fatal("'%s': %s", path.c_str(), result.error.c_str());
+    return std::move(result.program);
+}
+
+} // namespace risc1::assembler

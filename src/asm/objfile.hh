@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Object-file serialization for assembled programs. A minimal
+ * paper-era-style format ("R1OB"): magic, version, entry point,
+ * instruction count, then length-prefixed segment and symbol tables.
+ * Lets `riscas` emit binaries the examples and tests can reload
+ * without reassembling.
+ *
+ * Layout (all little-endian u32 unless noted):
+ *   magic "R1OB" | version | entry | instructionCount
+ *   nsegments | { base, size, bytes[size] } ...
+ *   nsymbols  | { namelen(u16), name bytes, value } ...
+ */
+
+#ifndef RISC1_ASM_OBJFILE_HH
+#define RISC1_ASM_OBJFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asm/program.hh"
+
+namespace risc1::assembler {
+
+/** Serialize a program image to bytes. */
+std::vector<uint8_t> saveObject(const Program &program);
+
+/** Outcome of parsing an object image. */
+struct LoadResult
+{
+    bool ok = false;
+    Program program;
+    std::string error;
+};
+
+/** Parse an object image; malformed input yields ok=false. */
+LoadResult loadObject(const std::vector<uint8_t> &bytes);
+
+/** Write an object file to disk (throws FatalError on I/O failure). */
+void writeObjectFile(const Program &program, const std::string &path);
+
+/** Read an object file from disk (throws FatalError on failure). */
+Program readObjectFile(const std::string &path);
+
+} // namespace risc1::assembler
+
+#endif // RISC1_ASM_OBJFILE_HH

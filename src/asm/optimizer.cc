@@ -1,0 +1,254 @@
+#include "asm/optimizer.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "isa/registers.hh"
+
+namespace risc1::assembler {
+
+namespace {
+
+using isa::Cond;
+using isa::OpClass;
+using isa::Opcode;
+
+/** Registers read by an instruction unit (visible indices). */
+std::vector<unsigned>
+regsRead(const Unit &u)
+{
+    const isa::OpInfo &info = isa::opInfo(u.op);
+    std::vector<unsigned> regs;
+    if (info.readsRs1)
+        regs.push_back(u.rs1);
+    if (info.usesS2 && !u.imm)
+        regs.push_back(u.rs2);
+    if (info.rdIsSource)
+        regs.push_back(u.rd);
+    return regs;
+}
+
+/** Registers written by an instruction unit. */
+std::vector<unsigned>
+regsWritten(const Unit &u)
+{
+    const isa::OpInfo &info = isa::opInfo(u.op);
+    std::vector<unsigned> regs;
+    if (info.writesRd && u.rd != isa::ZeroReg)
+        regs.push_back(u.rd);
+    return regs;
+}
+
+/** True iff the unit is one of the window-crossing transfer classes. */
+bool
+crossesWindow(const Unit &u)
+{
+    const OpClass cls = isa::opInfo(u.op).opClass;
+    return cls == OpClass::Call || cls == OpClass::Ret;
+}
+
+/** True iff the candidate instruction may be placed in a delay slot. */
+bool
+isHoistable(const Unit &u)
+{
+    if (u.kind != Unit::Kind::Inst || u.isAutoSlot || !u.labels.empty())
+        return false;
+    switch (isa::opInfo(u.op).opClass) {
+      case OpClass::Alu:
+      case OpClass::Load:
+      case OpClass::Store:
+        return true;
+      case OpClass::Misc:
+        // LDHI is pure data movement. GTLPC/GETPSW/PUTPSW read or write
+        // machine state whose value changes across a transfer.
+        return u.op == Opcode::Ldhi;
+      default:
+        return false;
+    }
+}
+
+/**
+ * Decide whether `cand` (immediately before `xfer`) may be moved into the
+ * delay slot after `xfer`.
+ *
+ * Always-required conditions:
+ *  1. `cand` is plain computation with no label of its own — a label
+ *     would move with it and change what code a jump to it executes.
+ *  2. `xfer` carries no label: otherwise paths jumping straight to the
+ *     transfer would start executing `cand`, which they never did.
+ *  3. `xfer` does not read any register `cand` writes (the transfer's
+ *     target/condition is evaluated before the slot runs).
+ *  4. If `xfer` is conditional, `cand` must not set the flags (scc).
+ *
+ * Window rule: the slot of a CALL executes in the callee's window and
+ * the slot of a RET in the restored caller's window, so moving `cand`
+ * across one is only safe when every register it reads or writes is a
+ * global (physically shared by all windows).
+ */
+bool
+canHoist(const Unit &cand, const Unit &xfer)
+{
+    if (!isHoistable(cand))
+        return false;
+    if (!xfer.labels.empty())
+        return false;
+
+    const isa::OpInfo &xinfo = isa::opInfo(xfer.op);
+
+    // Rule 4: conditional transfers consume the flags.
+    const bool conditional = xinfo.rdIsCond &&
+                             static_cast<Cond>(xfer.rd & 0xf) != Cond::Alw;
+    if (conditional && cand.scc)
+        return false;
+
+    // Rule 3: registers the transfer reads.
+    const std::vector<unsigned> written = regsWritten(cand);
+    for (unsigned reg : regsRead(xfer)) {
+        if (std::find(written.begin(), written.end(), reg) !=
+            written.end())
+            return false;
+    }
+
+    // Window rule.
+    if (crossesWindow(xfer)) {
+        auto all_global = [](const std::vector<unsigned> &regs) {
+            return std::all_of(regs.begin(), regs.end(), [](unsigned r) {
+                return r < isa::NumGlobals;
+            });
+        };
+        if (!all_global(regsRead(cand)) || !all_global(regsWritten(cand)))
+            return false;
+        // A store's base/displacement are read in the other window too;
+        // already covered since its operands are all registers above.
+    }
+    return true;
+}
+
+} // namespace
+
+namespace {
+
+/**
+ * Strategy 2: copy-from-target. For each remaining auto-slot whose
+ * transfer is an always-taken, statically-targeted JMPR/CALLR, copy
+ * the instruction at the target into the slot and retarget the
+ * transfer 4 bytes past it.
+ */
+void
+fillFromTargets(std::vector<Unit> &units, SlotStats &stats)
+{
+    // Label -> unit index (first unit carrying that label).
+    std::map<std::string, size_t> label_to_unit;
+    for (size_t i = 0; i < units.size(); ++i) {
+        for (const std::string &label : units[i].labels)
+            label_to_unit.emplace(label, i);
+    }
+
+    for (size_t i = 1; i + 0 < units.size(); ++i) {
+        Unit &slot = units[i];
+        if (slot.kind != Unit::Kind::Inst || !slot.isAutoSlot ||
+            !slot.labels.empty())
+            continue;
+        Unit &xfer = units[i - 1];
+        if (xfer.kind != Unit::Kind::Inst || !xfer.targetIsPcRel)
+            continue;
+        const bool always_taken =
+            xfer.op == Opcode::Callr ||
+            (xfer.op == Opcode::Jmpr &&
+             static_cast<Cond>(xfer.rd & 0xf) == Cond::Alw);
+        if (!always_taken)
+            continue;
+        // Static target: a bare defined label.
+        if (xfer.target.symbol.empty() || xfer.target.addend != 0 ||
+            xfer.target.func != Expr::Func::None)
+            continue;
+        auto it = label_to_unit.find(xfer.target.symbol);
+        if (it == label_to_unit.end())
+            continue;
+        const Unit &target = units[it->second];
+        if (target.kind != Unit::Kind::Inst)
+            continue;
+        // Copying a NOP gains nothing.
+        if (target.op == Opcode::Add && target.rd == isa::ZeroReg &&
+            target.rs1 == isa::ZeroReg && !target.imm &&
+            target.rs2 == isa::ZeroReg)
+            continue;
+        // Only position-independent plain computation may be copied
+        // (JMPR-relative offsets, transfers, machine-state readers are
+        // location- or history-dependent).
+        switch (isa::opInfo(target.op).opClass) {
+          case OpClass::Alu:
+          case OpClass::Load:
+          case OpClass::Store:
+            break;
+          case OpClass::Misc:
+            if (target.op == Opcode::Ldhi)
+                break;
+            continue;
+          default:
+            continue;
+        }
+
+        // Copy it into the slot and skip it at the target.
+        Unit copy = target;
+        copy.labels.clear();
+        copy.isAutoSlot = false;
+        copy.line = slot.line;
+        slot = std::move(copy);
+        xfer.target.addend += static_cast<int64_t>(isa::InstBytes);
+        ++stats.filledSlots;
+        ++stats.filledFromTarget;
+    }
+}
+
+} // namespace
+
+SlotStats
+fillDelaySlots(std::vector<Unit> &units)
+{
+    SlotStats stats;
+    for (size_t i = 0; i < units.size(); ++i) {
+        Unit &slot = units[i];
+        if (slot.kind != Unit::Kind::Inst || !slot.isAutoSlot)
+            continue;
+        ++stats.totalSlots;
+
+        // Pattern: [cand][xfer][slot] with slot == units[i].
+        if (i < 2)
+            continue;
+        Unit &xfer = units[i - 1];
+        Unit &cand = units[i - 2];
+        if (xfer.kind != Unit::Kind::Inst || cand.kind != Unit::Kind::Inst)
+            continue;
+        if (!slot.labels.empty())
+            continue;
+        // `cand` must not itself sit in the delay slot of an earlier
+        // transfer: moving it would vacate that slot.
+        if (i >= 3 && units[i - 3].kind == Unit::Kind::Inst) {
+            const OpClass prev_cls = isa::opInfo(units[i - 3].op).opClass;
+            if (prev_cls == OpClass::Branch || prev_cls == OpClass::Call ||
+                prev_cls == OpClass::Ret)
+                continue;
+        }
+        if (!canHoist(cand, xfer))
+            continue;
+
+        // Move cand into the slot: [xfer][cand]; drop the NOP.
+        Unit moved = cand;
+        moved.isAutoSlot = false;
+        units.erase(units.begin() + static_cast<long>(i)); // the NOP
+        units[i - 2] = xfer;
+        units[i - 1] = moved;
+        ++stats.filledSlots;
+        ++stats.filledFromPred;
+        // `i` now indexes the instruction after the moved one; the loop
+        // increment skips it, which is fine: it cannot itself be an auto
+        // slot (slots directly follow transfers).
+        --i;
+    }
+
+    fillFromTargets(units, stats);
+    return stats;
+}
+
+} // namespace risc1::assembler

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Delay-slot optimizer (experiment E9). RISC I exposes its one-deep
+ * branch delay to software; the paper's toolchain filled most slots by
+ * code motion. This pass reproduces the mechanism: it hoists the
+ * instruction textually preceding a transfer into the transfer's
+ * assembler-inserted NOP slot when doing so provably preserves
+ * semantics.
+ *
+ * Two strategies run in order:
+ *
+ * 1. *Hoist the predecessor* into the slot. Safety rules (detailed next
+ *    to `canHoist`):
+ *    - only plain computation (ALU/load/store/LDHI) is hoisted;
+ *    - neither the hoisted instruction nor the transfer may carry a
+ *      label;
+ *    - a conditional transfer must not consume flags the candidate sets;
+ *    - the transfer must not read a register the candidate writes;
+ *    - CALL/RET slots execute in the *other* register window, so a
+ *      candidate may move across them only if every register it touches
+ *      is global (shared across windows).
+ *
+ * 2. *Copy the target* instruction into remaining slots of statically-
+ *    targeted always-taken transfers (unconditional JMPR and CALLR),
+ *    retargeting the transfer past it. Because the transfer is always
+ *    taken, the copy executes exactly when the original would have —
+ *    and a CALLR slot already runs in the callee's window, so the
+ *    callee's first instruction is correct there with no register
+ *    restrictions. Only position-independent computation is copied
+ *    (never another transfer).
+ */
+
+#ifndef RISC1_ASM_OPTIMIZER_HH
+#define RISC1_ASM_OPTIMIZER_HH
+
+#include <vector>
+
+#include "asm/ast.hh"
+
+namespace risc1::assembler {
+
+/** Fill statistics, reported per assembly. */
+struct SlotStats
+{
+    unsigned totalSlots = 0;       //!< auto-inserted delay slots seen
+    unsigned filledSlots = 0;      //!< slots filled (both strategies)
+    unsigned filledFromPred = 0;   //!< by hoisting the predecessor
+    unsigned filledFromTarget = 0; //!< by copying the branch target
+
+    double
+    fillRate() const
+    {
+        return totalSlots ? static_cast<double>(filledSlots) / totalSlots
+                          : 0.0;
+    }
+};
+
+/** Fill delay slots in place; returns fill statistics. */
+SlotStats fillDelaySlots(std::vector<Unit> &units);
+
+} // namespace risc1::assembler
+
+#endif // RISC1_ASM_OPTIMIZER_HH

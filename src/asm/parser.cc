@@ -1,0 +1,313 @@
+#include "asm/parser.hh"
+
+#include "asm/lexer.hh"
+#include "isa/registers.hh"
+#include "support/strings.hh"
+
+namespace risc1::assembler {
+
+namespace {
+
+/** Cursor over one line's tokens. */
+class TokenCursor
+{
+  public:
+    explicit TokenCursor(const std::vector<Token> &toks) : toks_(toks) {}
+
+    bool atEnd() const { return pos_ >= toks_.size(); }
+    const Token &peek() const { return toks_[pos_]; }
+    const Token &advance() { return toks_[pos_++]; }
+
+    bool
+    match(TokKind kind)
+    {
+        if (!atEnd() && peek().kind == kind) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    size_t save() const { return pos_; }
+    void restore(size_t pos) { pos_ = pos; }
+
+  private:
+    const std::vector<Token> &toks_;
+    size_t pos_ = 0;
+};
+
+/** Per-line parser building one Stmt. */
+class LineParser
+{
+  public:
+    LineParser(const std::vector<Token> &toks, unsigned line,
+               std::vector<AsmError> &errors)
+        : cur_(toks), line_(line), errors_(errors)
+    {}
+
+    /** Parse the line; returns a Stmt (possibly Kind::Empty). */
+    Stmt
+    parse()
+    {
+        Stmt stmt;
+        stmt.line = line_;
+
+        // Leading labels: IDENT ':' (repeatable).
+        while (!cur_.atEnd() && cur_.peek().kind == TokKind::Ident) {
+            // Look ahead for ':'.
+            const size_t save = cur_.save();
+            const std::string name = cur_.advance().text;
+            if (cur_.match(TokKind::Colon)) {
+                stmt.labels.push_back(name);
+                continue;
+            }
+            cur_.restore(save);
+            break;
+        }
+
+        if (cur_.atEnd())
+            return stmt;
+
+        if (cur_.peek().kind == TokKind::Error) {
+            error(cur_.peek().text);
+            return stmt;
+        }
+
+        if (cur_.match(TokKind::Dot)) {
+            // Directive.
+            if (cur_.atEnd() || cur_.peek().kind != TokKind::Ident) {
+                error("expected directive name after '.'");
+                return stmt;
+            }
+            stmt.kind = Stmt::Kind::Directive;
+            stmt.mnemonic = "." + toLower(cur_.advance().text);
+            parseOperands(stmt);
+            return stmt;
+        }
+
+        if (cur_.peek().kind != TokKind::Ident) {
+            error("expected mnemonic, label or directive");
+            return stmt;
+        }
+
+        stmt.kind = Stmt::Kind::Instruction;
+        stmt.mnemonic = toLower(cur_.advance().text);
+        parseOperands(stmt);
+        return stmt;
+    }
+
+  private:
+    void
+    error(std::string msg)
+    {
+        errors_.push_back(AsmError{line_, std::move(msg)});
+    }
+
+    /** Parse comma-separated operands until end of line. */
+    void
+    parseOperands(Stmt &stmt)
+    {
+        if (cur_.atEnd())
+            return;
+        while (true) {
+            auto operand = parseOperand();
+            if (!operand)
+                return; // error already reported
+            stmt.operands.push_back(std::move(*operand));
+            if (cur_.atEnd())
+                return;
+            if (!cur_.match(TokKind::Comma)) {
+                error("expected ',' between operands");
+                return;
+            }
+        }
+    }
+
+    /** Parse one operand. */
+    std::optional<Operand>
+    parseOperand()
+    {
+        if (cur_.atEnd()) {
+            error("expected operand");
+            return std::nullopt;
+        }
+        const Token &tok = cur_.peek();
+
+        if (tok.kind == TokKind::Error) {
+            error(tok.text);
+            return std::nullopt;
+        }
+
+        if (tok.kind == TokKind::String) {
+            Operand op;
+            op.kind = Operand::Kind::String;
+            op.str = cur_.advance().text;
+            return op;
+        }
+
+        if (tok.kind == TokKind::LParen)
+            return parseMemory();
+
+        if (tok.kind == TokKind::Ident) {
+            // Register, immediate-splitting function, or symbol.
+            if (auto reg = isa::regFromName(tok.text)) {
+                cur_.advance();
+                Operand op;
+                op.kind = Operand::Kind::Register;
+                op.reg = *reg;
+                return op;
+            }
+            const std::string lower = toLower(tok.text);
+            if (lower == "hi13" || lower == "lo13")
+                return parseFuncExpr(lower);
+        }
+
+        auto expr = parseExpr();
+        if (!expr)
+            return std::nullopt;
+        Operand op;
+        op.kind = Operand::Kind::Value;
+        op.expr = std::move(*expr);
+        return op;
+    }
+
+    /** Parse `hi13(expr)` / `lo13(expr)`. */
+    std::optional<Operand>
+    parseFuncExpr(const std::string &func)
+    {
+        cur_.advance(); // the function name
+        if (!cur_.match(TokKind::LParen)) {
+            error("expected '(' after " + func);
+            return std::nullopt;
+        }
+        auto inner = parseExpr();
+        if (!inner)
+            return std::nullopt;
+        if (!cur_.match(TokKind::RParen)) {
+            error("expected ')' closing " + func);
+            return std::nullopt;
+        }
+        inner->func = func == "hi13" ? Expr::Func::Hi13 : Expr::Func::Lo13;
+        Operand op;
+        op.kind = Operand::Kind::Value;
+        op.expr = std::move(*inner);
+        return op;
+    }
+
+    /** Parse a linear expression: symbol [+|- number] | number. */
+    std::optional<Expr>
+    parseExpr()
+    {
+        if (cur_.atEnd()) {
+            error("expected expression");
+            return std::nullopt;
+        }
+        const Token &tok = cur_.peek();
+        if (tok.kind == TokKind::Number) {
+            cur_.advance();
+            return Expr::constant(tok.value);
+        }
+        if (tok.kind == TokKind::Dot || tok.kind == TokKind::Ident) {
+            // "." is the current location counter; it resolves to the
+            // instruction's own address (what the disassembler prints
+            // for PC-relative transfers).
+            Expr e = tok.kind == TokKind::Dot
+                         ? (cur_.advance(), Expr::sym("."))
+                         : Expr::sym(cur_.advance().text);
+            if (cur_.match(TokKind::Plus)) {
+                if (cur_.atEnd() || cur_.peek().kind != TokKind::Number) {
+                    error("expected number after '+'");
+                    return std::nullopt;
+                }
+                e.addend = cur_.advance().value;
+            } else if (cur_.match(TokKind::Minus)) {
+                if (cur_.atEnd() || cur_.peek().kind != TokKind::Number) {
+                    error("expected number after '-'");
+                    return std::nullopt;
+                }
+                e.addend = -cur_.advance().value;
+            } else if (!cur_.atEnd() &&
+                       cur_.peek().kind == TokKind::Number &&
+                       !cur_.peek().text.empty() &&
+                       cur_.peek().text[0] == '-') {
+                // The lexer folds "sym-4" into sym and Number(-4).
+                e.addend = cur_.advance().value;
+            }
+            return e;
+        }
+        if (tok.kind == TokKind::Error) {
+            error(tok.text);
+            return std::nullopt;
+        }
+        error("expected expression, got '" + tok.text + "'");
+        return std::nullopt;
+    }
+
+    /** Parse `(rX)` with optional displacement or register index. */
+    std::optional<Operand>
+    parseMemory()
+    {
+        cur_.advance(); // '('
+        if (cur_.atEnd() || cur_.peek().kind != TokKind::Ident) {
+            error("expected base register after '('");
+            return std::nullopt;
+        }
+        auto base = isa::regFromName(cur_.peek().text);
+        if (!base) {
+            error("unknown register '" + cur_.peek().text + "'");
+            return std::nullopt;
+        }
+        cur_.advance();
+        if (!cur_.match(TokKind::RParen)) {
+            error("expected ')' after base register");
+            return std::nullopt;
+        }
+
+        Operand op;
+        op.kind = Operand::Kind::Memory;
+        op.base = *base;
+        op.expr = Expr::constant(0);
+
+        // Optional displacement or register index immediately after ')'.
+        if (cur_.atEnd() || cur_.peek().kind == TokKind::Comma)
+            return op;
+
+        if (cur_.peek().kind == TokKind::Ident) {
+            if (auto idx = isa::regFromName(cur_.peek().text)) {
+                cur_.advance();
+                op.indexIsReg = true;
+                op.indexReg = *idx;
+                return op;
+            }
+        }
+        auto disp = parseExpr();
+        if (!disp)
+            return std::nullopt;
+        op.expr = std::move(*disp);
+        return op;
+    }
+
+    TokenCursor cur_;
+    unsigned line_;
+    std::vector<AsmError> &errors_;
+};
+
+} // namespace
+
+ParseResult
+parseSource(std::string_view source)
+{
+    ParseResult result;
+    unsigned line_no = 0;
+    for (const std::string &line : split(source, '\n')) {
+        ++line_no;
+        std::vector<Token> toks = tokenizeLine(line);
+        LineParser parser(toks, line_no, result.errors);
+        Stmt stmt = parser.parse();
+        if (stmt.kind != Stmt::Kind::Empty || !stmt.labels.empty())
+            result.stmts.push_back(std::move(stmt));
+    }
+    return result;
+}
+
+} // namespace risc1::assembler

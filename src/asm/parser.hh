@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Source parser: turns assembly text into a list of Stmt. Syntax follows
+ * the paper's operand order (`op rs1, s2, rd`; memory operands `(rx)disp`);
+ * see README.md for the full grammar.
+ */
+
+#ifndef RISC1_ASM_PARSER_HH
+#define RISC1_ASM_PARSER_HH
+
+#include <string_view>
+#include <vector>
+
+#include "asm/ast.hh"
+
+namespace risc1::assembler {
+
+/** Result of parsing a whole source text. */
+struct ParseResult
+{
+    std::vector<Stmt> stmts;
+    std::vector<AsmError> errors;
+
+    bool ok() const { return errors.empty(); }
+};
+
+/** Parse assembly source (multi-line). Never throws; collects errors. */
+ParseResult parseSource(std::string_view source);
+
+} // namespace risc1::assembler
+
+#endif // RISC1_ASM_PARSER_HH

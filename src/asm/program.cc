@@ -1,0 +1,84 @@
+#include "asm/program.hh"
+
+#include "support/logging.hh"
+
+namespace risc1::assembler {
+
+uint32_t
+Program::totalBytes() const
+{
+    uint32_t total = 0;
+    for (const Segment &seg : segments)
+        total += static_cast<uint32_t>(seg.bytes.size());
+    return total;
+}
+
+std::optional<uint32_t>
+Program::symbol(const std::string &name) const
+{
+    auto it = symbols.find(name);
+    if (it == symbols.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+Program::addByte(uint32_t addr, uint8_t byte)
+{
+    // Common case: extend the last segment.
+    if (!segments.empty()) {
+        Segment &last = segments.back();
+        const uint32_t end = last.base +
+                             static_cast<uint32_t>(last.bytes.size());
+        if (addr == end) {
+            last.bytes.push_back(byte);
+            return;
+        }
+        if (addr >= last.base && addr < end) {
+            // Overwrite within the last segment (e.g. .org backtracking).
+            last.bytes[addr - last.base] = byte;
+            return;
+        }
+    }
+    // Check against all existing segments for overlap.
+    for (Segment &seg : segments) {
+        const uint32_t end = seg.base +
+                             static_cast<uint32_t>(seg.bytes.size());
+        if (addr >= seg.base && addr < end) {
+            seg.bytes[addr - seg.base] = byte;
+            return;
+        }
+        if (addr == end) {
+            seg.bytes.push_back(byte);
+            return;
+        }
+    }
+    segments.push_back(Segment{addr, {byte}});
+}
+
+std::optional<uint8_t>
+Program::byteAt(uint32_t addr) const
+{
+    for (const Segment &seg : segments) {
+        const uint32_t end = seg.base +
+                             static_cast<uint32_t>(seg.bytes.size());
+        if (addr >= seg.base && addr < end)
+            return seg.bytes[addr - seg.base];
+    }
+    return std::nullopt;
+}
+
+std::optional<uint32_t>
+Program::wordAt(uint32_t addr) const
+{
+    uint32_t word = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+        auto b = byteAt(addr + i);
+        if (!b)
+            return std::nullopt;
+        word |= static_cast<uint32_t>(*b) << (8 * i);
+    }
+    return word;
+}
+
+} // namespace risc1::assembler

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Loadable program image produced by the assembler: byte segments, entry
+ * point, symbol table, and source-line map. Also carries the static
+ * statistics (code vs data bytes) used by the code-size experiment (E4).
+ */
+
+#ifndef RISC1_ASM_PROGRAM_HH
+#define RISC1_ASM_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace risc1::assembler {
+
+/** One contiguous run of initialised bytes. */
+struct Segment
+{
+    uint32_t base = 0;
+    std::vector<uint8_t> bytes;
+};
+
+/** Assembled program image. */
+class Program
+{
+  public:
+    /** Contiguous initialised regions, sorted by base, non-overlapping. */
+    std::vector<Segment> segments;
+
+    /** Address where execution starts (label `_start`, else image base). */
+    uint32_t entry = 0;
+
+    /** Label values. */
+    std::map<std::string, uint32_t> symbols;
+
+    /** Instruction address -> 1-based source line (for tracing). */
+    std::map<uint32_t, unsigned> srcLines;
+
+    /** Static machine-instruction count (delay-slot NOPs included). */
+    unsigned instructionCount = 0;
+
+    /** Bytes occupied by instructions. */
+    uint32_t codeBytes() const { return instructionCount * 4; }
+
+    /** Total initialised bytes (code + data). */
+    uint32_t totalBytes() const;
+
+    /** Value of a symbol, if defined. */
+    std::optional<uint32_t> symbol(const std::string &name) const;
+
+    /** Append one byte at `addr` (assembler use; keeps segments merged). */
+    void addByte(uint32_t addr, uint8_t byte);
+
+    /** Read back one byte; nullopt outside any segment. */
+    std::optional<uint8_t> byteAt(uint32_t addr) const;
+
+    /** Read back a 32-bit little-endian word; nullopt if incomplete. */
+    std::optional<uint32_t> wordAt(uint32_t addr) const;
+};
+
+} // namespace risc1::assembler
+
+#endif // RISC1_ASM_PROGRAM_HH

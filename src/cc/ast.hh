@@ -1,0 +1,125 @@
+/**
+ * @file
+ * AST of tinyc — the reproduction's small high-level language. RISC I's
+ * design brief was "support high-level languages with registers and
+ * windows instead of microcode"; tinyc makes that testable: the same
+ * source compiles to RISC I assembly (register locals, window calls)
+ * and to vax80 (stack frames, CALLS), so compiled — not hand-tuned —
+ * code drives the comparison.
+ *
+ * Language: 32-bit unsigned integers only.
+ *
+ *   program  := funcdef*
+ *   funcdef  := name '(' [name (',' name)*] ')' block
+ *   block    := '{' stmt* '}'
+ *   stmt     := 'var' name ['=' expr] ';'
+ *             | name '=' expr ';'
+ *             | 'mem' '[' expr ']' '=' expr ';'
+ *             | 'if' '(' expr ')' block ['else' block]
+ *             | 'while' '(' expr ')' block
+ *             | 'return' [expr] ';'
+ *             | expr ';'
+ *   expr     := precedence-climbing over
+ *               || && | ^ & == != < <= > >= << >> + - * / %
+ *               with unary - ! ~, calls f(a, b), mem[expr], numbers,
+ *               parentheses. Comparisons are unsigned and yield 0/1;
+ *               && and || are logical but NOT short-circuiting.
+ *
+ * `mem[i]` is a word-addressed global array (the program's only global
+ * state); its size is a compiler option.
+ */
+
+#ifndef RISC1_CC_AST_HH
+#define RISC1_CC_AST_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace risc1::cc {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/** Expression node. */
+struct Expr
+{
+    enum class Kind : uint8_t
+    {
+        Number, //!< literal
+        Var,    //!< local or parameter
+        Unary,  //!< op: '-', '!', '~'
+        Binary, //!< op in `binop`
+        Call,   //!< name(args...)
+        Mem,    //!< mem[index]
+    };
+
+    Kind kind = Kind::Number;
+    unsigned line = 0;
+
+    uint32_t number = 0;       // Number
+    std::string name;          // Var / Call
+    char unaryOp = 0;          // Unary
+    std::string binop;         // Binary
+    ExprPtr lhs, rhs;          // Unary (lhs), Binary
+    ExprPtr index;             // Mem
+    std::vector<ExprPtr> args; // Call
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/** Statement node. */
+struct Stmt
+{
+    enum class Kind : uint8_t
+    {
+        VarDecl,
+        Assign,
+        MemAssign,
+        If,
+        While,
+        Return,
+        ExprStmt,
+    };
+
+    Kind kind = Kind::ExprStmt;
+    unsigned line = 0;
+
+    std::string name;            // VarDecl / Assign
+    ExprPtr value;               // initializer / rhs / return / expr
+    ExprPtr cond;                // If / While
+    ExprPtr index;               // MemAssign
+    std::vector<StmtPtr> body;   // If-then / While
+    std::vector<StmtPtr> orelse; // If-else
+};
+
+/** One function definition. */
+struct Function
+{
+    std::string name;
+    std::vector<std::string> params;
+    std::vector<StmtPtr> body;
+    unsigned line = 0;
+};
+
+/** A parsed translation unit. */
+struct Unit
+{
+    std::vector<Function> functions;
+
+    const Function *
+    find(const std::string &name) const
+    {
+        for (const Function &fn : functions) {
+            if (fn.name == name)
+                return &fn;
+        }
+        return nullptr;
+    }
+};
+
+} // namespace risc1::cc
+
+#endif // RISC1_CC_AST_HH

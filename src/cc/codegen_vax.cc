@@ -1,0 +1,572 @@
+/**
+ * @file
+ * tinyc -> vax80. Stack-machine code generation in the style of early
+ * CISC compilers: locals live in the CALLS frame (FP-relative),
+ * expression temporaries are pushed on the hardware stack, results
+ * flow through r0 (r1 is the binary-op scratch).
+ *
+ * Calling convention (closed world, both ends generated here): args
+ * are pushed left-to-right, so parameter i of n lives at AP+4*(n-1-i).
+ * Unsigned divide/modulo call the emitted `__udivmod` runtime (q in
+ * r0, remainder in r1); variable logical right shift calls `__lsr`.
+ */
+
+#include <map>
+
+#include "cc/compiler.hh"
+#include "cc/parser.hh"
+#include "support/logging.hh"
+
+namespace risc1::cc {
+
+namespace {
+
+using namespace risc1::vax;
+
+/** Code emitter for one translation unit. */
+class VaxGen
+{
+  public:
+    VaxGen(const Unit &unit, const CcOptions &options)
+        : unit_(unit), options_(options)
+    {}
+
+    VaxCompileResult
+    run()
+    {
+        VaxCompileResult result;
+        const Function *main_fn = unit_.find("main");
+        if (!main_fn) {
+            result.error = "no main() function";
+            return result;
+        }
+        if (!main_fn->params.empty()) {
+            result.error = "main() must take no parameters";
+            return result;
+        }
+
+        asm_.label("__entry");
+        asm_.setEntry("__entry");
+        asm_.calls(0, "main");
+        asm_.inst(VaxOp::Movl, {vreg(0), vabs(CcResultAddr)});
+        asm_.halt();
+
+        for (const Function &fn : unit_.functions) {
+            if (failed_)
+                break;
+            genFunction(fn);
+        }
+        if (failed_) {
+            result.error = error_;
+            return result;
+        }
+
+        if (usesDivMod_)
+            emitUdivmod();
+        if (usesLsr_)
+            emitLsr();
+
+        asm_.align(4);
+        asm_.label("__mem");
+        asm_.space(options_.memWords * 4);
+
+        result.ok = true;
+        result.program = asm_.finish();
+        return result;
+    }
+
+  private:
+    // ---- plumbing ---------------------------------------------------------
+
+    void
+    fail(unsigned line, const std::string &msg)
+    {
+        if (!failed_) {
+            failed_ = true;
+            error_ = strprintf("line %u: %s", line, msg.c_str());
+        }
+    }
+
+    std::string
+    newLabel()
+    {
+        return strprintf("__V%u", labelCounter_++);
+    }
+
+    /** Always-reachable jump (word displacement). */
+    void
+    jump(const std::string &label)
+    {
+        asm_.brw(label);
+    }
+
+    /**
+     * Conditional jump with unlimited reach: a short branch over a
+     * word branch.
+     */
+    void
+    branchIfZero(const std::string &label)
+    {
+        const std::string near_label = newLabel();
+        asm_.inst(VaxOp::Tstl, {vreg(0)});
+        asm_.br(VaxOp::Bneq, near_label);
+        asm_.brw(label);
+        asm_.label(near_label);
+    }
+
+    // ---- variables ----------------------------------------------------------
+
+    struct Slot
+    {
+        bool isParam = false;
+        int32_t offset = 0; //!< AP- or FP-relative
+    };
+
+    const Slot *
+    findVar(const std::string &name, unsigned line)
+    {
+        auto it = vars_.find(name);
+        if (it == vars_.end()) {
+            fail(line, "unknown variable '" + name + "'");
+            return nullptr;
+        }
+        return &it->second;
+    }
+
+    VOperand
+    varOperand(const Slot &slot)
+    {
+        return vdisp(slot.isParam ? AP : FP, slot.offset);
+    }
+
+    /** Count VarDecls in a statement tree (frame-size prepass). */
+    static unsigned
+    countLocals(const std::vector<StmtPtr> &stmts)
+    {
+        unsigned count = 0;
+        for (const StmtPtr &stmt : stmts) {
+            if (stmt->kind == Stmt::Kind::VarDecl)
+                ++count;
+            count += countLocals(stmt->body);
+            count += countLocals(stmt->orelse);
+        }
+        return count;
+    }
+
+    // ---- functions ---------------------------------------------------------------
+
+    void
+    genFunction(const Function &fn)
+    {
+        vars_.clear();
+        numLocals_ = 0;
+        const auto nparams = static_cast<unsigned>(fn.params.size());
+        for (unsigned i = 0; i < nparams; ++i) {
+            Slot slot;
+            slot.isParam = true;
+            slot.offset = static_cast<int32_t>(4 * (nparams - 1 - i));
+            vars_[fn.params[i]] = slot;
+        }
+
+        asm_.entry(fn.name, 0x0000); // temporaries live on the stack
+        const unsigned frame_locals = countLocals(fn.body);
+        if (frame_locals > 0)
+            asm_.inst(VaxOp::Subl2,
+                      {vimm(4 * frame_locals), vreg(SP)});
+        genStmts(fn.body);
+        // Implicit `return 0`.
+        asm_.inst(VaxOp::Clrl, {vreg(0)});
+        asm_.ret();
+    }
+
+    void
+    genStmts(const std::vector<StmtPtr> &stmts)
+    {
+        for (const StmtPtr &stmt : stmts) {
+            if (failed_)
+                return;
+            genStmt(*stmt);
+        }
+    }
+
+    void
+    genStmt(const Stmt &stmt)
+    {
+        switch (stmt.kind) {
+          case Stmt::Kind::VarDecl: {
+            if (vars_.count(stmt.name)) {
+                fail(stmt.line,
+                     "duplicate variable '" + stmt.name + "'");
+                return;
+            }
+            Slot slot;
+            slot.isParam = false;
+            slot.offset = -4 * static_cast<int32_t>(numLocals_ + 1);
+            vars_[stmt.name] = slot;
+            ++numLocals_;
+            if (stmt.value) {
+                genExpr(*stmt.value);
+                asm_.inst(VaxOp::Movl, {vreg(0), varOperand(slot)});
+            } else {
+                asm_.inst(VaxOp::Clrl, {varOperand(slot)});
+            }
+            return;
+          }
+          case Stmt::Kind::Assign: {
+            const Slot *slot = findVar(stmt.name, stmt.line);
+            if (!slot)
+                return;
+            genExpr(*stmt.value);
+            asm_.inst(VaxOp::Movl, {vreg(0), varOperand(*slot)});
+            return;
+          }
+          case Stmt::Kind::MemAssign:
+            genExpr(*stmt.index);
+            asm_.inst(VaxOp::Pushl, {vreg(0)});
+            genExpr(*stmt.value);
+            asm_.inst(VaxOp::Movl, {vinc(SP), vreg(1)}); // pop index
+            asm_.inst(VaxOp::Movl,
+                      {vreg(0), vidx(1, vabsSym("__mem"))});
+            return;
+          case Stmt::Kind::If: {
+            const std::string else_label = newLabel();
+            genExpr(*stmt.cond);
+            branchIfZero(else_label);
+            genStmts(stmt.body);
+            if (stmt.orelse.empty()) {
+                asm_.label(else_label);
+            } else {
+                const std::string end_label = newLabel();
+                jump(end_label);
+                asm_.label(else_label);
+                genStmts(stmt.orelse);
+                asm_.label(end_label);
+            }
+            return;
+          }
+          case Stmt::Kind::While: {
+            const std::string top_label = newLabel();
+            const std::string end_label = newLabel();
+            asm_.label(top_label);
+            genExpr(*stmt.cond);
+            branchIfZero(end_label);
+            genStmts(stmt.body);
+            jump(top_label);
+            asm_.label(end_label);
+            return;
+          }
+          case Stmt::Kind::Return:
+            if (stmt.value)
+                genExpr(*stmt.value);
+            else
+                asm_.inst(VaxOp::Clrl, {vreg(0)});
+            asm_.ret();
+            return;
+          case Stmt::Kind::ExprStmt:
+            genExpr(*stmt.value);
+            return;
+        }
+    }
+
+    // ---- expressions -----------------------------------------------------------------
+
+    /** Evaluate into r0. */
+    void
+    genExpr(const Expr &e)
+    {
+        if (failed_)
+            return;
+        switch (e.kind) {
+          case Expr::Kind::Number:
+            if (e.number <= 63)
+                asm_.inst(VaxOp::Movl, {vlit(e.number), vreg(0)});
+            else
+                asm_.inst(VaxOp::Movl, {vimm(e.number), vreg(0)});
+            return;
+          case Expr::Kind::Var: {
+            const Slot *slot = findVar(e.name, e.line);
+            if (slot)
+                asm_.inst(VaxOp::Movl, {varOperand(*slot), vreg(0)});
+            return;
+          }
+          case Expr::Kind::Unary:
+            genExpr(*e.lhs);
+            switch (e.unaryOp) {
+              case '-':
+                asm_.inst(VaxOp::Mnegl, {vreg(0), vreg(0)});
+                break;
+              case '~':
+                asm_.inst(VaxOp::Mcoml, {vreg(0), vreg(0)});
+                break;
+              case '!': {
+                const std::string t_label = newLabel();
+                const std::string d_label = newLabel();
+                asm_.inst(VaxOp::Tstl, {vreg(0)});
+                asm_.br(VaxOp::Beql, t_label);
+                asm_.inst(VaxOp::Clrl, {vreg(0)});
+                asm_.br(VaxOp::Brb, d_label);
+                asm_.label(t_label);
+                asm_.inst(VaxOp::Movl, {vlit(1), vreg(0)});
+                asm_.label(d_label);
+                break;
+              }
+              default:
+                panic("genExpr: bad unary op");
+            }
+            return;
+          case Expr::Kind::Binary:
+            genBinary(e);
+            return;
+          case Expr::Kind::Call:
+            genCall(e);
+            return;
+          case Expr::Kind::Mem:
+            genExpr(*e.index);
+            asm_.inst(VaxOp::Movl,
+                      {vidx(0, vabsSym("__mem")), vreg(0)});
+            return;
+        }
+    }
+
+    /** Normalize a register to 0/1. */
+    void
+    normalizeBool(unsigned r)
+    {
+        const std::string done = newLabel();
+        asm_.inst(VaxOp::Tstl, {vreg(r)});
+        asm_.br(VaxOp::Beql, done);
+        asm_.inst(VaxOp::Movl, {vlit(1), vreg(r)});
+        asm_.label(done);
+    }
+
+    void
+    genBinary(const Expr &e)
+    {
+        // lhs -> stack, rhs -> r0, lhs popped to r1.
+        genExpr(*e.lhs);
+        asm_.inst(VaxOp::Pushl, {vreg(0)});
+        genExpr(*e.rhs);
+        if (failed_)
+            return;
+        asm_.inst(VaxOp::Movl, {vinc(SP), vreg(1)});
+        const std::string &o = e.binop;
+
+        if (o == "+") {
+            asm_.inst(VaxOp::Addl2, {vreg(1), vreg(0)});
+            return;
+        }
+        if (o == "-") {
+            // r0 := r1 - r0 (SUBL3 dif = minuend(second) - sub(first)).
+            asm_.inst(VaxOp::Subl3, {vreg(0), vreg(1), vreg(0)});
+            return;
+        }
+        if (o == "*") {
+            asm_.inst(VaxOp::Mull2, {vreg(1), vreg(0)});
+            return;
+        }
+        if (o == "/" || o == "%") {
+            usesDivMod_ = true;
+            // Left-to-right: push a (r1) then b (r0).
+            asm_.inst(VaxOp::Pushl, {vreg(1)});
+            asm_.inst(VaxOp::Pushl, {vreg(0)});
+            asm_.calls(2, "__udivmod");
+            if (o == "%")
+                asm_.inst(VaxOp::Movl, {vreg(1), vreg(0)});
+            return;
+        }
+        if (o == "&") {
+            asm_.inst(VaxOp::Mcoml, {vreg(1), vreg(1)});
+            asm_.inst(VaxOp::Bicl2, {vreg(1), vreg(0)});
+            return;
+        }
+        if (o == "|") {
+            asm_.inst(VaxOp::Bisl2, {vreg(1), vreg(0)});
+            return;
+        }
+        if (o == "^") {
+            asm_.inst(VaxOp::Xorl2, {vreg(1), vreg(0)});
+            return;
+        }
+        if (o == "<<") {
+            // count = r0 & 31 (matching RISC I's hardware masking).
+            asm_.inst(VaxOp::Bicl2, {vimm(0xffffffe0u), vreg(0)});
+            asm_.inst(VaxOp::Ashl, {vreg(0), vreg(1), vreg(0)});
+            return;
+        }
+        if (o == ">>") {
+            usesLsr_ = true;
+            asm_.inst(VaxOp::Pushl, {vreg(1)}); // a
+            asm_.inst(VaxOp::Pushl, {vreg(0)}); // n
+            asm_.calls(2, "__lsr");
+            return;
+        }
+        if (o == "&&" || o == "||") {
+            normalizeBool(0);
+            normalizeBool(1);
+            if (o == "&&")
+                asm_.inst(VaxOp::Mull2, {vreg(1), vreg(0)});
+            else
+                asm_.inst(VaxOp::Bisl2, {vreg(1), vreg(0)});
+            return;
+        }
+
+        // Comparisons (unsigned): r1 (lhs) vs r0 (rhs) -> 0/1 in r0.
+        VaxOp branch;
+        if (o == "==")
+            branch = VaxOp::Beql;
+        else if (o == "!=")
+            branch = VaxOp::Bneq;
+        else if (o == "<")
+            branch = VaxOp::Blssu;
+        else if (o == "<=")
+            branch = VaxOp::Blequ;
+        else if (o == ">")
+            branch = VaxOp::Bgtru;
+        else if (o == ">=")
+            branch = VaxOp::Bgequ;
+        else {
+            panic("genBinary: unhandled operator %s", o.c_str());
+        }
+        const std::string t_label = newLabel();
+        const std::string d_label = newLabel();
+        asm_.inst(VaxOp::Cmpl, {vreg(1), vreg(0)});
+        asm_.br(branch, t_label);
+        asm_.inst(VaxOp::Clrl, {vreg(0)});
+        asm_.br(VaxOp::Brb, d_label);
+        asm_.label(t_label);
+        asm_.inst(VaxOp::Movl, {vlit(1), vreg(0)});
+        asm_.label(d_label);
+    }
+
+    void
+    genCall(const Expr &e)
+    {
+        const Function *callee = unit_.find(e.name);
+        if (!callee) {
+            fail(e.line, "unknown function '" + e.name + "'");
+            return;
+        }
+        if (callee->params.size() != e.args.size()) {
+            fail(e.line,
+                 strprintf("%s expects %zu argument(s), got %zu",
+                           e.name.c_str(), callee->params.size(),
+                           e.args.size()));
+            return;
+        }
+        for (const ExprPtr &arg : e.args) {
+            genExpr(*arg);
+            asm_.inst(VaxOp::Pushl, {vreg(0)});
+        }
+        asm_.calls(static_cast<unsigned>(e.args.size()), e.name);
+    }
+
+    // ---- runtime -----------------------------------------------------------------------
+
+    /**
+     * __udivmod(a, b): unsigned q -> r0, remainder -> r1, using the
+     * signed DIVL hardware (see wl_gcd.cc for the case analysis).
+     * Faults on b == 0 via the hardware divide.
+     */
+    void
+    emitUdivmod()
+    {
+        asm_.entry("__udivmod", 0x003c); // saves r2..r5
+        asm_.inst(VaxOp::Movl, {vdisp(AP, 4), vreg(2)}); // a
+        asm_.inst(VaxOp::Movl, {vdisp(AP, 0), vreg(3)}); // b
+        asm_.inst(VaxOp::Tstl, {vreg(3)});
+        asm_.br(VaxOp::Blss, "__udm_bbig");
+        asm_.inst(VaxOp::Tstl, {vreg(2)});
+        asm_.br(VaxOp::Blss, "__udm_abig");
+        asm_.inst(VaxOp::Divl3, {vreg(3), vreg(2), vreg(4)});
+        asm_.inst(VaxOp::Mull3, {vreg(4), vreg(3), vreg(5)});
+        asm_.inst(VaxOp::Subl3, {vreg(5), vreg(2), vreg(5)});
+        asm_.br(VaxOp::Brb, "__udm_done");
+        asm_.label("__udm_abig");
+        asm_.inst(VaxOp::Ashl, {vimm(static_cast<uint32_t>(-1)),
+                                vreg(2), vreg(4)});
+        asm_.inst(VaxOp::Bicl2, {vimm(0x80000000u), vreg(4)}); // half
+        asm_.inst(VaxOp::Divl3, {vreg(3), vreg(4), vreg(5)});  // q1
+        asm_.inst(VaxOp::Mull3, {vreg(5), vreg(3), vreg(1)});
+        asm_.inst(VaxOp::Subl3, {vreg(1), vreg(4), vreg(4)}); // r1'
+        asm_.inst(VaxOp::Addl2, {vreg(4), vreg(4)});
+        asm_.inst(VaxOp::Bicl3, {vimm(0xfffffffeu), vreg(2), vreg(1)});
+        asm_.inst(VaxOp::Addl2, {vreg(1), vreg(4)}); // t
+        asm_.inst(VaxOp::Addl2, {vreg(5), vreg(5)}); // q = 2*q1
+        asm_.label("__udm_adj");
+        asm_.inst(VaxOp::Cmpl, {vreg(4), vreg(3)});
+        asm_.br(VaxOp::Blssu, "__udm_swap");
+        asm_.inst(VaxOp::Subl2, {vreg(3), vreg(4)});
+        asm_.inst(VaxOp::Incl, {vreg(5)});
+        asm_.br(VaxOp::Brb, "__udm_adj");
+        asm_.label("__udm_swap");
+        // Here q is r5 and remainder is r4; done expects q=r4, r=r5.
+        asm_.inst(VaxOp::Movl, {vreg(4), vreg(1)});
+        asm_.inst(VaxOp::Movl, {vreg(5), vreg(4)});
+        asm_.inst(VaxOp::Movl, {vreg(1), vreg(5)});
+        asm_.br(VaxOp::Brb, "__udm_done");
+        asm_.label("__udm_bbig");
+        asm_.inst(VaxOp::Cmpl, {vreg(2), vreg(3)});
+        asm_.br(VaxOp::Blssu, "__udm_rema");
+        asm_.inst(VaxOp::Subl3, {vreg(3), vreg(2), vreg(5)});
+        asm_.inst(VaxOp::Movl, {vlit(1), vreg(4)});
+        asm_.br(VaxOp::Brb, "__udm_done");
+        asm_.label("__udm_rema");
+        asm_.inst(VaxOp::Movl, {vreg(2), vreg(5)});
+        asm_.inst(VaxOp::Clrl, {vreg(4)});
+        asm_.label("__udm_done");
+        asm_.inst(VaxOp::Movl, {vreg(4), vreg(0)});
+        asm_.inst(VaxOp::Movl, {vreg(5), vreg(1)});
+        asm_.ret();
+    }
+
+    /** __lsr(a, n): logical right shift by n & 31. */
+    void
+    emitLsr()
+    {
+        asm_.entry("__lsr", 0x000c); // saves r2, r3
+        asm_.inst(VaxOp::Movl, {vdisp(AP, 4), vreg(2)});
+        asm_.inst(VaxOp::Bicl3, {vimm(0xffffffe0u), vdisp(AP, 0),
+                                 vreg(3)});
+        asm_.label("__lsr_loop");
+        asm_.inst(VaxOp::Tstl, {vreg(3)});
+        asm_.br(VaxOp::Beql, "__lsr_done");
+        asm_.inst(VaxOp::Ashl, {vimm(static_cast<uint32_t>(-1)),
+                                vreg(2), vreg(2)});
+        asm_.inst(VaxOp::Bicl2, {vimm(0x80000000u), vreg(2)});
+        asm_.inst(VaxOp::Decl, {vreg(3)});
+        asm_.br(VaxOp::Brb, "__lsr_loop");
+        asm_.label("__lsr_done");
+        asm_.inst(VaxOp::Movl, {vreg(2), vreg(0)});
+        asm_.ret();
+    }
+
+    const Unit &unit_;
+    CcOptions options_;
+
+    VaxAsm asm_;
+    bool failed_ = false;
+    std::string error_;
+    unsigned labelCounter_ = 0;
+
+    std::map<std::string, Slot> vars_;
+    unsigned numLocals_ = 0;
+    bool usesDivMod_ = false;
+    bool usesLsr_ = false;
+};
+
+} // namespace
+
+VaxCompileResult
+compileToVax(std::string_view source, const CcOptions &options)
+{
+    ParseResult parsed = parse(source);
+    if (!parsed.ok) {
+        VaxCompileResult result;
+        result.error = parsed.error;
+        return result;
+    }
+    VaxGen gen(parsed.unit, options);
+    return gen.run();
+}
+
+} // namespace risc1::cc

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * tinyc code generation, one back end per machine.
+ *
+ * RISC I back end: parameters stay in the window's incoming registers
+ * (r26..), locals and expression temporaries live in LOCAL registers
+ * (r16..r24), and calls need no save/restore code at all — the window
+ * mechanism does it. This is precisely the compiler simplification the
+ * paper argues registers+windows buy.
+ *
+ * vax80 back end: era-typical stack-machine output — locals in the
+ * CALLS frame (FP-relative), expression temporaries pushed on the
+ * hardware stack, results through r0. Multiply is microcoded; unsigned
+ * divide/modulo and variable logical shifts call a small emitted
+ * runtime.
+ *
+ * Shared conventions: a program defines `main()`; the generated image
+ * calls it, stores its result at `CcResultAddr`, and halts. `mem[i]`
+ * addresses a zero-initialised word array of `CcOptions::memWords`.
+ */
+
+#ifndef RISC1_CC_COMPILER_HH
+#define RISC1_CC_COMPILER_HH
+
+#include <string>
+#include <string_view>
+
+#include "vax/builder.hh"
+
+namespace risc1::cc {
+
+/** Where compiled programs deposit main()'s return value. */
+constexpr uint32_t CcResultAddr = 3840;
+
+/** Compiler options. */
+struct CcOptions
+{
+    uint32_t memWords = 4096; //!< size of the mem[] array
+};
+
+/** Outcome of compiling to RISC I assembly text. */
+struct RiscCompileResult
+{
+    bool ok = false;
+    std::string error;
+    std::string assembly; //!< feed to assembler::assemble
+};
+
+/** Compile tinyc to RISC I assembly. */
+RiscCompileResult compileToRiscAsm(std::string_view source,
+                                   const CcOptions &options = {});
+
+/** Outcome of compiling to a vax80 image. */
+struct VaxCompileResult
+{
+    bool ok = false;
+    std::string error;
+    vax::VaxProgram program;
+};
+
+/** Compile tinyc to a loadable vax80 program. */
+VaxCompileResult compileToVax(std::string_view source,
+                              const CcOptions &options = {});
+
+} // namespace risc1::cc
+
+#endif // RISC1_CC_COMPILER_HH

@@ -1,0 +1,465 @@
+#include "cc/parser.hh"
+
+#include <cctype>
+#include <optional>
+
+#include "support/logging.hh"
+
+namespace risc1::cc {
+
+namespace {
+
+/** Token kinds of the tinyc lexer. */
+enum class Tk : uint8_t
+{
+    End,
+    Ident,
+    Number,
+    Punct, //!< operators and delimiters; text holds the spelling
+};
+
+struct Token
+{
+    Tk kind = Tk::End;
+    std::string text;
+    uint32_t number = 0;
+    unsigned line = 1;
+};
+
+/** Longest-match operator table (order matters). */
+constexpr const char *punct_table[] = {
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "(", ")", "{",
+    "}",  "[",  "]",  ",",  ";",  "=",  "+",  "-",  "*", "/", "%",
+    "&",  "|",  "^",  "<",  ">",  "!",  "~",
+};
+
+/** Tokenize the whole source; a lex error yields a diagnostic. */
+bool
+lex(std::string_view src, std::vector<Token> &out, std::string &error)
+{
+    size_t i = 0;
+    unsigned line = 1;
+    while (i < src.size()) {
+        const char c = src[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+            while (i < src.size() && src[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            uint64_t value = 0;
+            size_t j = i;
+            int base = 10;
+            if (c == '0' && j + 1 < src.size() &&
+                (src[j + 1] == 'x' || src[j + 1] == 'X')) {
+                base = 16;
+                j += 2;
+            }
+            size_t digits = 0;
+            while (j < src.size()) {
+                const char d = src[j];
+                int v;
+                if (d >= '0' && d <= '9')
+                    v = d - '0';
+                else if (base == 16 && d >= 'a' && d <= 'f')
+                    v = d - 'a' + 10;
+                else if (base == 16 && d >= 'A' && d <= 'F')
+                    v = d - 'A' + 10;
+                else
+                    break;
+                value = value * static_cast<uint64_t>(base) +
+                        static_cast<uint64_t>(v);
+                if (value > 0xffffffffull) {
+                    error = strprintf("line %u: numeric literal "
+                                      "overflows 32 bits",
+                                      line);
+                    return false;
+                }
+                ++digits;
+                ++j;
+            }
+            if (digits == 0) {
+                error = strprintf("line %u: malformed number", line);
+                return false;
+            }
+            Token tok;
+            tok.kind = Tk::Number;
+            tok.number = static_cast<uint32_t>(value);
+            tok.line = line;
+            out.push_back(tok);
+            i = j;
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            size_t j = i;
+            while (j < src.size() &&
+                   (std::isalnum(static_cast<unsigned char>(src[j])) ||
+                    src[j] == '_'))
+                ++j;
+            Token tok;
+            tok.kind = Tk::Ident;
+            tok.text = std::string(src.substr(i, j - i));
+            tok.line = line;
+            out.push_back(tok);
+            i = j;
+            continue;
+        }
+        bool matched = false;
+        for (const char *p : punct_table) {
+            const size_t len = std::char_traits<char>::length(p);
+            if (src.substr(i, len) == p) {
+                Token tok;
+                tok.kind = Tk::Punct;
+                tok.text = p;
+                tok.line = line;
+                out.push_back(tok);
+                i += len;
+                matched = true;
+                break;
+            }
+        }
+        if (!matched) {
+            error = strprintf("line %u: unexpected character '%c'",
+                              line, c);
+            return false;
+        }
+    }
+    Token end;
+    end.kind = Tk::End;
+    end.line = line;
+    out.push_back(end);
+    return true;
+}
+
+/** Binary operator precedence (higher binds tighter). */
+int
+precedence(const std::string &op)
+{
+    if (op == "*" || op == "/" || op == "%")
+        return 10;
+    if (op == "+" || op == "-")
+        return 9;
+    if (op == "<<" || op == ">>")
+        return 8;
+    if (op == "<" || op == "<=" || op == ">" || op == ">=")
+        return 7;
+    if (op == "==" || op == "!=")
+        return 6;
+    if (op == "&")
+        return 5;
+    if (op == "^")
+        return 4;
+    if (op == "|")
+        return 3;
+    if (op == "&&")
+        return 2;
+    if (op == "||")
+        return 1;
+    return -1;
+}
+
+/** Recursive-descent parser over the token list. */
+class Parser
+{
+  public:
+    Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+    ParseResult
+    run()
+    {
+        ParseResult result;
+        while (!failed_ && peek().kind != Tk::End)
+            parseFunction(result.unit);
+        if (failed_) {
+            result.error = error_;
+            return result;
+        }
+        result.ok = true;
+        return result;
+    }
+
+  private:
+    const Token &peek(unsigned ahead = 0) const
+    {
+        const size_t at = std::min(pos_ + ahead, toks_.size() - 1);
+        return toks_[at];
+    }
+    const Token &advance() { return toks_[std::min(pos_++, toks_.size() - 1)]; }
+
+    bool
+    isPunct(const char *p, unsigned ahead = 0) const
+    {
+        return peek(ahead).kind == Tk::Punct && peek(ahead).text == p;
+    }
+
+    void
+    fail(const std::string &msg)
+    {
+        if (!failed_) {
+            failed_ = true;
+            error_ = strprintf("line %u: %s", peek().line, msg.c_str());
+        }
+    }
+
+    void
+    expect(const char *p)
+    {
+        if (failed_)
+            return;
+        if (!isPunct(p)) {
+            fail(strprintf("expected '%s'", p));
+            return;
+        }
+        advance();
+    }
+
+    std::string
+    expectIdent(const char *what)
+    {
+        if (failed_)
+            return "";
+        if (peek().kind != Tk::Ident) {
+            fail(strprintf("expected %s", what));
+            return "";
+        }
+        return advance().text;
+    }
+
+    void
+    parseFunction(Unit &unit)
+    {
+        Function fn;
+        fn.line = peek().line;
+        fn.name = expectIdent("function name");
+        expect("(");
+        if (!failed_ && !isPunct(")")) {
+            while (true) {
+                fn.params.push_back(expectIdent("parameter name"));
+                if (failed_ || !isPunct(","))
+                    break;
+                advance();
+            }
+        }
+        expect(")");
+        parseBlock(fn.body);
+        if (!failed_)
+            unit.functions.push_back(std::move(fn));
+    }
+
+    void
+    parseBlock(std::vector<StmtPtr> &into)
+    {
+        expect("{");
+        while (!failed_ && !isPunct("}")) {
+            if (peek().kind == Tk::End) {
+                fail("unexpected end of input in block");
+                return;
+            }
+            StmtPtr stmt = parseStmt();
+            if (stmt)
+                into.push_back(std::move(stmt));
+        }
+        expect("}");
+    }
+
+    StmtPtr
+    parseStmt()
+    {
+        auto stmt = std::make_unique<Stmt>();
+        stmt->line = peek().line;
+
+        if (peek().kind == Tk::Ident && peek().text == "var") {
+            advance();
+            stmt->kind = Stmt::Kind::VarDecl;
+            stmt->name = expectIdent("variable name");
+            if (isPunct("=")) {
+                advance();
+                stmt->value = parseExpr();
+            }
+            expect(";");
+            return stmt;
+        }
+        if (peek().kind == Tk::Ident && peek().text == "if") {
+            advance();
+            stmt->kind = Stmt::Kind::If;
+            expect("(");
+            stmt->cond = parseExpr();
+            expect(")");
+            parseBlock(stmt->body);
+            if (peek().kind == Tk::Ident && peek().text == "else") {
+                advance();
+                parseBlock(stmt->orelse);
+            }
+            return stmt;
+        }
+        if (peek().kind == Tk::Ident && peek().text == "while") {
+            advance();
+            stmt->kind = Stmt::Kind::While;
+            expect("(");
+            stmt->cond = parseExpr();
+            expect(")");
+            parseBlock(stmt->body);
+            return stmt;
+        }
+        if (peek().kind == Tk::Ident && peek().text == "return") {
+            advance();
+            stmt->kind = Stmt::Kind::Return;
+            if (!isPunct(";"))
+                stmt->value = parseExpr();
+            expect(";");
+            return stmt;
+        }
+        if (peek().kind == Tk::Ident && peek().text == "mem" &&
+            isPunct("[", 1)) {
+            // Could be `mem[i] = e;` or an expression statement that
+            // merely starts with a mem read — look, then backtrack.
+            const size_t save = pos_;
+            advance();
+            advance(); // '['
+            stmt->index = parseExpr();
+            expect("]");
+            if (!failed_ && isPunct("=")) {
+                advance();
+                stmt->kind = Stmt::Kind::MemAssign;
+                stmt->value = parseExpr();
+                expect(";");
+                return stmt;
+            }
+            pos_ = save;
+            stmt->index.reset();
+            // fall through to the expression-statement case
+        }
+        if (peek().kind == Tk::Ident && isPunct("=", 1)) {
+            stmt->kind = Stmt::Kind::Assign;
+            stmt->name = advance().text;
+            advance(); // '='
+            stmt->value = parseExpr();
+            expect(";");
+            return stmt;
+        }
+        stmt->kind = Stmt::Kind::ExprStmt;
+        stmt->value = parseExpr();
+        expect(";");
+        return stmt;
+    }
+
+    ExprPtr
+    parseExpr()
+    {
+        return parseBinary(0);
+    }
+
+    ExprPtr
+    parseBinary(int min_prec)
+    {
+        ExprPtr lhs = parseUnary();
+        while (!failed_ && peek().kind == Tk::Punct) {
+            const int prec = precedence(peek().text);
+            if (prec < 0 || prec < min_prec)
+                break;
+            auto node = std::make_unique<Expr>();
+            node->kind = Expr::Kind::Binary;
+            node->line = peek().line;
+            node->binop = advance().text;
+            node->lhs = std::move(lhs);
+            node->rhs = parseBinary(prec + 1);
+            lhs = std::move(node);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseUnary()
+    {
+        if (isPunct("-") || isPunct("!") || isPunct("~")) {
+            auto node = std::make_unique<Expr>();
+            node->kind = Expr::Kind::Unary;
+            node->line = peek().line;
+            node->unaryOp = advance().text[0];
+            node->lhs = parseUnary();
+            return node;
+        }
+        return parsePrimary();
+    }
+
+    ExprPtr
+    parsePrimary()
+    {
+        auto node = std::make_unique<Expr>();
+        node->line = peek().line;
+
+        if (peek().kind == Tk::Number) {
+            node->kind = Expr::Kind::Number;
+            node->number = advance().number;
+            return node;
+        }
+        if (isPunct("(")) {
+            advance();
+            node = parseExpr();
+            expect(")");
+            return node;
+        }
+        if (peek().kind == Tk::Ident) {
+            const std::string name = advance().text;
+            if (name == "mem" && isPunct("[")) {
+                advance();
+                node->kind = Expr::Kind::Mem;
+                node->index = parseExpr();
+                expect("]");
+                return node;
+            }
+            if (isPunct("(")) {
+                advance();
+                node->kind = Expr::Kind::Call;
+                node->name = name;
+                if (!isPunct(")")) {
+                    while (true) {
+                        node->args.push_back(parseExpr());
+                        if (failed_ || !isPunct(","))
+                            break;
+                        advance();
+                    }
+                }
+                expect(")");
+                return node;
+            }
+            node->kind = Expr::Kind::Var;
+            node->name = name;
+            return node;
+        }
+        fail("expected an expression");
+        return node;
+    }
+
+    std::vector<Token> toks_;
+    size_t pos_ = 0;
+    bool failed_ = false;
+    std::string error_;
+};
+
+} // namespace
+
+ParseResult
+parse(std::string_view source)
+{
+    std::vector<Token> toks;
+    std::string error;
+    if (!lex(source, toks, error)) {
+        ParseResult result;
+        result.error = error;
+        return result;
+    }
+    Parser parser(std::move(toks));
+    return parser.run();
+}
+
+} // namespace risc1::cc

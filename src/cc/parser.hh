@@ -1,0 +1,30 @@
+/**
+ * @file
+ * tinyc front end: lexer + recursive-descent parser with precedence
+ * climbing. Errors carry line numbers; parsing never throws.
+ */
+
+#ifndef RISC1_CC_PARSER_HH
+#define RISC1_CC_PARSER_HH
+
+#include <string>
+#include <string_view>
+
+#include "cc/ast.hh"
+
+namespace risc1::cc {
+
+/** Result of parsing a tinyc source text. */
+struct ParseResult
+{
+    bool ok = false;
+    Unit unit;
+    std::string error; //!< first diagnostic, with line number
+};
+
+/** Parse tinyc source. */
+ParseResult parse(std::string_view source);
+
+} // namespace risc1::cc
+
+#endif // RISC1_CC_PARSER_HH

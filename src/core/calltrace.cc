@@ -1,0 +1,100 @@
+#include "core/calltrace.hh"
+#include <algorithm>
+
+#include "core/table.hh"
+#include "support/rng.hh"
+
+namespace risc1::core {
+
+namespace {
+
+/** One call/return event; true = call. */
+std::vector<bool>
+makeTrace(const CallTraceParams &params)
+{
+    Rng rng(params.seed);
+    std::vector<bool> trace;
+    trace.reserve(params.events);
+    uint64_t depth = 0;
+    for (uint64_t i = 0; i < params.events; ++i) {
+        const uint64_t decay = params.slopePct * depth;
+        const unsigned call_pct = static_cast<unsigned>(
+            decay >= params.basePct
+                ? params.floorPct
+                : std::max<uint64_t>(params.floorPct,
+                                     params.basePct - decay));
+        const bool is_call = depth == 0 || rng.chance(call_pct, 100);
+        trace.push_back(is_call);
+        depth += is_call ? 1 : -1;
+    }
+    return trace;
+}
+
+} // namespace
+
+std::vector<TraceSweepRow>
+syntheticWindowSweep(const std::vector<unsigned> &window_counts,
+                     const CallTraceParams &params)
+{
+    const std::vector<bool> trace = makeTrace(params);
+
+    std::vector<TraceSweepRow> rows;
+    for (unsigned nwin : window_counts) {
+        TraceSweepRow row;
+        row.windows = nwin;
+
+        // Counter model of the window file: `resident` frames held in
+        // registers, `spilled` frames on the save stack; one window is
+        // reserved (see Cpu::windowPush).
+        unsigned resident = 1;
+        uint64_t spilled = 0;
+        uint64_t depth = 0;
+        for (bool is_call : trace) {
+            if (is_call) {
+                ++row.calls;
+                ++depth;
+                if (depth > row.maxDepth)
+                    row.maxDepth = depth;
+                if (resident == nwin - 1) {
+                    ++row.overflows;
+                    ++spilled;
+                    --resident;
+                }
+                ++resident;
+            } else {
+                --depth;
+                if (resident == 1) {
+                    // Underflow refill (spilled is always >0 here by
+                    // construction of the trace).
+                    --spilled;
+                } else {
+                    --resident;
+                }
+            }
+        }
+        row.overflowPct = row.calls ? 100.0 *
+                                          static_cast<double>(
+                                              row.overflows) /
+                                          static_cast<double>(row.calls)
+                                    : 0;
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+std::string
+syntheticWindowSweepTable(const std::vector<TraceSweepRow> &rows)
+{
+    Table table({"windows", "calls", "overflows", "overflow %",
+                 "max depth"});
+    for (const TraceSweepRow &row : rows) {
+        table.row({cell(static_cast<uint64_t>(row.windows)),
+                   cell(row.calls), cell(row.overflows),
+                   cell(row.overflowPct), cell(row.maxDepth)});
+    }
+    return "E6 (synthetic): overflow rate on a C-like call/return "
+           "trace (Halbert & Kessler methodology)\n" +
+           table.str();
+}
+
+} // namespace risc1::core

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Trace-driven register-window simulation (experiment E6, synthetic
+ * side). The paper's window-count argument rests on call/return traces
+ * of C programs (Halbert & Kessler's methodology): programs make long
+ * runs of calls and returns but their *net* depth excursion stays
+ * inside a narrow band, so a handful of windows absorbs almost all
+ * calls. This module reproduces that study: a stochastic call/return
+ * trace with tunable run-length behaviour is replayed against the
+ * window push/pop rules (one window reserved, spill/refill one frame
+ * per trap) for each window count.
+ */
+
+#ifndef RISC1_CORE_CALLTRACE_HH
+#define RISC1_CORE_CALLTRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace risc1::core {
+
+/** Parameters of the synthetic call/return trace. */
+struct CallTraceParams
+{
+    uint64_t events = 200000; //!< call/return events to generate
+    /**
+     * Call probability is depth-dependent — programs are mean-reverting
+     * in call depth (they return toward a home nesting level):
+     * p(call at depth d) = max(floorPct, basePct - slopePct * d).
+     * The defaults give an equilibrium depth of ~3 with a thin tail of
+     * deep excursions, matching the measured-C-program behaviour the
+     * paper's window-count argument rests on.
+     */
+    unsigned basePct = 85;
+    unsigned slopePct = 12;
+    unsigned floorPct = 4;
+    uint64_t seed = 0xc0ffee;
+};
+
+/** Result of replaying one trace against one window count. */
+struct TraceSweepRow
+{
+    unsigned windows = 0;
+    uint64_t calls = 0;
+    uint64_t overflows = 0;
+    double overflowPct = 0;
+    uint64_t maxDepth = 0;
+};
+
+/**
+ * Generate a trace and replay it for each window count. The same seed
+ * yields the same trace across all counts, so rows are comparable.
+ */
+std::vector<TraceSweepRow>
+syntheticWindowSweep(const std::vector<unsigned> &window_counts,
+                     const CallTraceParams &params = {});
+
+/** Render the paper-style series. */
+std::string syntheticWindowSweepTable(
+    const std::vector<TraceSweepRow> &rows);
+
+} // namespace risc1::core
+
+#endif // RISC1_CORE_CALLTRACE_HH

@@ -1,0 +1,670 @@
+#include "core/experiments.hh"
+#include <algorithm>
+
+#include "core/table.hh"
+#include "isa/registers.hh"
+#include "support/logging.hh"
+
+namespace risc1::core {
+
+using workloads::allWorkloads;
+using workloads::Workload;
+
+// ---------------------------------------------------------------- E1 ----
+
+std::string
+isaTable()
+{
+    Table table({"#", "Mnemonic", "Format", "Class", "Operation",
+                 "Comment"});
+    unsigned count = 0;
+    const isa::OpInfo *ops = isa::opTable(count);
+    for (unsigned i = 0; i < count; ++i) {
+        const isa::OpInfo &info = ops[i];
+        const char *fmt =
+            info.format == isa::Format::LongImm ? "long" : "short";
+        const char *cls = "";
+        switch (info.opClass) {
+          case isa::OpClass::Alu:    cls = "alu"; break;
+          case isa::OpClass::Load:   cls = "load"; break;
+          case isa::OpClass::Store:  cls = "store"; break;
+          case isa::OpClass::Branch: cls = "branch"; break;
+          case isa::OpClass::Call:   cls = "call"; break;
+          case isa::OpClass::Ret:    cls = "return"; break;
+          case isa::OpClass::Misc:   cls = "misc"; break;
+        }
+        table.row({cell(static_cast<uint64_t>(i + 1)),
+                   std::string(info.mnemonic), fmt, cls,
+                   std::string(info.operation),
+                   std::string(info.comment)});
+    }
+    std::string out = "Table I: the RISC I instruction set (" +
+                      cell(static_cast<uint64_t>(count)) +
+                      " instructions)\n" + table.str();
+    out += R"(
+Instruction formats (every instruction is 32 bits):
+
+  short-immediate:
+    31      25 24 23    19 18    14 13 12            0
+   +----------+---+--------+--------+--+--------------+
+   |  opcode  |scc|  dest  |  rs1   |im|     s2       |
+   +----------+---+--------+--------+--+--------------+
+   im=0: s2<4:0> names rs2;  im=1: s2 is a signed 13-bit immediate.
+   dest carries the condition for JMP; the store datum for ST*.
+
+  long-immediate (JMPR, CALLR, LDHI):
+    31      25 24 23    19 18                         0
+   +----------+---+--------+---------------------------+
+   |  opcode  |scc|  dest  |            Y              |
+   +----------+---+--------+---------------------------+
+   Y: signed 19-bit PC-relative byte offset (LDHI: rd<31:13> value).
+)";
+    return out;
+}
+
+// ---------------------------------------------------------------- E2 ----
+
+std::string
+windowGeometryReport(unsigned nwindows)
+{
+    isa::WindowSpec spec;
+    spec.numWindows = nwindows;
+
+    std::string out = strprintf(
+        "Overlapped register windows: %u windows, %u globals, %u "
+        "registers per window, %u physical registers\n\n",
+        nwindows, isa::NumGlobals, isa::RegsPerWindow, spec.physCount());
+    out += "Visible mapping per window (phys indices):\n";
+    Table table({"window", "HIGH r26-r31", "LOCAL r16-r25",
+                 "LOW r10-r15"});
+    for (unsigned w = 0; w < nwindows; ++w) {
+        auto range = [&](unsigned lo, unsigned hi) {
+            return strprintf("%u..%u", spec.physIndex(w, lo),
+                             spec.physIndex(w, hi));
+        };
+        table.row({cell(static_cast<uint64_t>(w)),
+                   range(isa::HighBase, 31),
+                   range(isa::LocalBase, isa::HighBase - 1),
+                   range(isa::LowBase, isa::LocalBase - 1)});
+    }
+    out += table.str();
+    out += "\nInvariant: LOW of window w+1 (the caller) is HIGH of "
+           "window w — parameters pass with no copying.\n";
+    return out;
+}
+
+// ---------------------------------------------------------------- E3 ----
+
+namespace {
+
+/** RISC call microbenchmark: `iters` calls of a k-arg summing leaf. */
+std::string
+riscCallMicroSource(unsigned nargs, unsigned iters, bool with_call)
+{
+    std::string body;
+    for (unsigned a = 0; a < nargs; ++a)
+        body += strprintf("        mov   %u, r%u\n", a + 1, 10 + a);
+    if (with_call)
+        body += "        call  leaf\n";
+
+    std::string leaf = "leaf:   clr   r26\n";
+    // Re-sum the incoming arguments so they are genuinely used.
+    std::string sum;
+    for (unsigned a = 0; a < nargs; ++a)
+        sum += strprintf("        add   r26, r%u, r26\n", 26 + a);
+    // The first add above reads r26 both as acc and arg; start acc in a
+    // local instead to keep the sum exact.
+    leaf = "leaf:   clr   r16\n";
+    for (unsigned a = 0; a < nargs; ++a)
+        leaf += strprintf("        add   r16, r%u, r16\n", 26 + a);
+    leaf += "        mov   r16, r26\n";
+    leaf += "        ret\n";
+
+    return strprintf(R"(
+        .equ RESULT, %u
+_start: mov   %u, r17
+        clr   r18
+loop:   cmp   r18, r17
+        bge   done
+%s        add   r18, 1, r18
+        b     loop
+done:   stl   r10, (r0)RESULT
+        halt
+%s)",
+                     workloads::ResultAddr, iters, body.c_str(),
+                     with_call ? leaf.c_str() : "");
+}
+
+/** vax80 call microbenchmark matching the RISC one. */
+vax::VaxProgram
+vaxCallMicro(unsigned nargs, unsigned iters, bool with_call)
+{
+    using namespace risc1::vax;
+    VaxAsm a;
+    a.label("main");
+    a.inst(VaxOp::Movl, {vimm(iters), vreg(6)});
+    a.inst(VaxOp::Clrl, {vreg(7)});
+    a.label("loop");
+    a.inst(VaxOp::Cmpl, {vreg(7), vreg(6)});
+    a.br(VaxOp::Bgeq, "done");
+    if (with_call) {
+        for (unsigned arg = nargs; arg-- > 0;)
+            a.inst(VaxOp::Pushl, {vlit(arg + 1)});
+        a.calls(nargs, "leaf");
+    }
+    a.inst(VaxOp::Incl, {vreg(7)});
+    a.br(VaxOp::Brb, "loop");
+    a.label("done");
+    a.inst(VaxOp::Movl, {vreg(0), vabs(workloads::ResultAddr)});
+    a.halt();
+    if (with_call) {
+        // A compiler would allocate the accumulator + a scratch: save
+        // two registers, the era's typical leaf cost.
+        a.entry("leaf", 0x000c);
+        a.inst(VaxOp::Clrl, {vreg(2)});
+        for (unsigned arg = 0; arg < nargs; ++arg)
+            a.inst(VaxOp::Addl2,
+                   {vdisp(AP, static_cast<int32_t>(4 * arg)), vreg(2)});
+        a.inst(VaxOp::Movl, {vreg(2), vreg(0)});
+        a.ret();
+    }
+    return a.finish();
+}
+
+} // namespace
+
+std::vector<CallOverheadRow>
+callOverhead(unsigned max_args, unsigned iters)
+{
+    std::vector<CallOverheadRow> rows;
+    for (unsigned nargs = 0; nargs <= max_args; ++nargs) {
+        CallOverheadRow row;
+        row.nargs = nargs;
+
+        // RISC I: with-call minus without-call, per iteration.
+        auto risc_run = [&](bool with_call) {
+            assembler::AsmResult res = assembler::assemble(
+                riscCallMicroSource(nargs, iters, with_call));
+            if (!res.ok())
+                fatal("call micro failed to assemble:\n%s",
+                      res.errorText().c_str());
+            sim::Cpu cpu;
+            cpu.load(res.program);
+            sim::ExecResult exec = cpu.run();
+            if (!exec.halted())
+                fatal("call micro did not halt: %s",
+                      exec.message.c_str());
+            return cpu.stats();
+        };
+        const sim::SimStats risc_with = risc_run(true);
+        const sim::SimStats risc_without = risc_run(false);
+        row.riscCyclesPerCall =
+            static_cast<double>(risc_with.cycles - risc_without.cycles) /
+            iters;
+        const uint64_t risc_mem_with = risc_with.memory.dataReads +
+                                       risc_with.memory.dataWrites;
+        const uint64_t risc_mem_without =
+            risc_without.memory.dataReads + risc_without.memory.dataWrites;
+        row.riscMemPerCall =
+            static_cast<double>(risc_mem_with - risc_mem_without) / iters;
+
+        auto vax_run = [&](bool with_call) {
+            vax::VaxCpu cpu;
+            cpu.load(vaxCallMicro(nargs, iters, with_call));
+            sim::ExecResult exec = cpu.run();
+            if (!exec.halted())
+                fatal("vax call micro did not halt: %s",
+                      exec.message.c_str());
+            return cpu.stats();
+        };
+        const vax::VaxStats vax_with = vax_run(true);
+        const vax::VaxStats vax_without = vax_run(false);
+        row.vaxCyclesPerCall =
+            static_cast<double>(vax_with.cycles - vax_without.cycles) /
+            iters;
+        const uint64_t vax_mem_with = vax_with.memory.dataReads +
+                                      vax_with.memory.dataWrites;
+        const uint64_t vax_mem_without =
+            vax_without.memory.dataReads + vax_without.memory.dataWrites;
+        row.vaxMemPerCall =
+            static_cast<double>(vax_mem_with - vax_mem_without) / iters;
+
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+std::string
+callOverheadTable(const std::vector<CallOverheadRow> &rows)
+{
+    Table table({"args", "RISC cyc/call", "vax80 cyc/call",
+                 "RISC mem/call", "vax80 mem/call", "cyc ratio"});
+    for (const CallOverheadRow &row : rows) {
+        table.row({cell(static_cast<uint64_t>(row.nargs)),
+                   cell(row.riscCyclesPerCall),
+                   cell(row.vaxCyclesPerCall), cell(row.riscMemPerCall),
+                   cell(row.vaxMemPerCall),
+                   cell(row.riscCyclesPerCall > 0
+                            ? row.vaxCyclesPerCall / row.riscCyclesPerCall
+                            : 0)});
+    }
+    return "E3: procedure call + return cost (argument setup, call, "
+           "body, return; loop overhead subtracted)\n" +
+           table.str();
+}
+
+// ---------------------------------------------------------------- E4 ----
+
+std::vector<CodeSizeRow>
+codeSize()
+{
+    std::vector<CodeSizeRow> rows;
+    for (const Workload &wl : allWorkloads()) {
+        CodeSizeRow row;
+        row.name = wl.name;
+        assembler::AsmResult res = assembler::assemble(
+            wl.riscSource(wl.defaultScale));
+        if (!res.ok())
+            fatal("%s failed to assemble:\n%s", wl.name.c_str(),
+                  res.errorText().c_str());
+        row.riscBytes = res.program.codeBytes();
+        row.vaxBytes = wl.buildVax(wl.defaultScale).codeBytes;
+        row.riscOverVax = static_cast<double>(row.riscBytes) /
+                          static_cast<double>(row.vaxBytes);
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+std::string
+codeSizeTable(const std::vector<CodeSizeRow> &rows)
+{
+    Table table({"program", "RISC I bytes", "vax80 bytes",
+                 "RISC/vax80"});
+    double sum_ratio = 0;
+    for (const CodeSizeRow &row : rows) {
+        table.row({row.name, cell(static_cast<uint64_t>(row.riscBytes)),
+                   cell(static_cast<uint64_t>(row.vaxBytes)),
+                   cell(row.riscOverVax)});
+        sum_ratio += row.riscOverVax;
+    }
+    table.row({"geo/avg", "", "",
+               cell(rows.empty() ? 0 : sum_ratio / rows.size())});
+    return "E4: static code size (instruction bytes; data excluded)\n" +
+           table.str();
+}
+
+// ---------------------------------------------------------------- E5 ----
+
+std::vector<ExecTimeRow>
+execTime()
+{
+    std::vector<ExecTimeRow> rows;
+    for (const Workload &wl : allWorkloads()) {
+        ExecTimeRow row;
+        row.name = wl.name;
+        RiscRun risc = runRisc(wl, wl.defaultScale);
+        VaxRun vaxr = runVax(wl, wl.defaultScale);
+        row.resultsMatch = risc.ok && vaxr.ok;
+        row.riscInsts = risc.stats.instructions;
+        row.riscCycles = risc.stats.cycles;
+        row.vaxInsts = vaxr.stats.instructions;
+        row.vaxCycles = vaxr.stats.cycles;
+        row.riscUs = risc.stats.timeUs(sim::TimingModel{}.cycleTimeNs);
+        row.vaxUs = vaxr.stats.timeUs(vax::VaxTiming{}.cycleTimeNs);
+        row.speedup = row.riscUs > 0 ? row.vaxUs / row.riscUs : 0;
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+std::string
+execTimeTable(const std::vector<ExecTimeRow> &rows)
+{
+    Table table({"program", "ok", "RISC insts", "RISC cyc", "vax insts",
+                 "vax cyc", "RISC us", "vax us", "speedup"});
+    for (const ExecTimeRow &row : rows) {
+        table.row({row.name, row.resultsMatch ? "y" : "N",
+                   cell(row.riscInsts), cell(row.riscCycles),
+                   cell(row.vaxInsts), cell(row.vaxCycles),
+                   cell(row.riscUs, 1), cell(row.vaxUs, 1),
+                   cell(row.speedup)});
+    }
+    return "E5: execution time (RISC I at 400 ns/cycle vs vax80 at "
+           "200 ns/cycle, per the paper's machine assumptions)\n" +
+           table.str();
+}
+
+// ---------------------------------------------------------------- E6 ----
+
+std::vector<WindowSweepRow>
+windowSweep(const std::vector<unsigned> &window_counts)
+{
+    std::vector<WindowSweepRow> rows;
+    for (unsigned nwin : window_counts) {
+        WindowSweepRow row;
+        row.windows = nwin;
+        uint64_t trap_cycles = 0;
+        for (const Workload &wl : allWorkloads()) {
+            if (!wl.recursive)
+                continue;
+            sim::CpuOptions opts;
+            opts.windows.numWindows = nwin;
+            RiscRun run = runRisc(wl, wl.defaultScale, opts);
+            if (!run.ok)
+                fatal("window sweep: %s failed at %u windows",
+                      wl.name.c_str(), nwin);
+            row.calls += run.stats.calls;
+            row.overflows += run.stats.windowOverflows;
+            row.cycles += run.stats.cycles;
+            const sim::TimingModel &timing = opts.timing;
+            trap_cycles += run.stats.windowOverflows *
+                               timing.overflowCycles() +
+                           run.stats.windowUnderflows *
+                               timing.underflowCycles();
+        }
+        row.overflowPct = row.calls
+                              ? 100.0 * static_cast<double>(row.overflows) /
+                                    static_cast<double>(row.calls)
+                              : 0;
+        row.trapCyclePct = row.cycles
+                               ? 100.0 * static_cast<double>(trap_cycles) /
+                                     static_cast<double>(row.cycles)
+                               : 0;
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+std::string
+windowSweepTable(const std::vector<WindowSweepRow> &rows)
+{
+    Table table({"windows", "calls", "overflows", "overflow %",
+                 "cycles", "trap cycle %"});
+    for (const WindowSweepRow &row : rows) {
+        table.row({cell(static_cast<uint64_t>(row.windows)),
+                   cell(row.calls), cell(row.overflows),
+                   cell(row.overflowPct), cell(row.cycles),
+                   cell(row.trapCyclePct)});
+    }
+    return "E6: window overflow vs window count (recursive suite "
+           "aggregate)\n" +
+           table.str();
+}
+
+// ---------------------------------------------------------------- E7 ----
+
+std::vector<MemTrafficRow>
+memTraffic()
+{
+    std::vector<MemTrafficRow> rows;
+    for (const Workload &wl : allWorkloads()) {
+        MemTrafficRow row;
+        row.name = wl.name;
+        RiscRun risc = runRisc(wl, wl.defaultScale);
+        VaxRun vaxr = runVax(wl, wl.defaultScale);
+        row.riscDataAccesses = risc.stats.memory.dataReads +
+                               risc.stats.memory.dataWrites;
+        row.riscTotalAccesses = risc.stats.memory.totalAccesses();
+        row.vaxDataAccesses = vaxr.stats.memory.dataReads +
+                              vaxr.stats.memory.dataWrites;
+        row.vaxTotalAccesses = vaxr.stats.memory.totalAccesses();
+        row.dataRatio =
+            row.riscDataAccesses
+                ? static_cast<double>(row.vaxDataAccesses) /
+                      static_cast<double>(row.riscDataAccesses)
+                : 0;
+        row.totalRatio =
+            row.riscTotalAccesses
+                ? static_cast<double>(row.vaxTotalAccesses) /
+                      static_cast<double>(row.riscTotalAccesses)
+                : 0;
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+std::string
+memTrafficTable(const std::vector<MemTrafficRow> &rows)
+{
+    Table table({"program", "RISC data", "RISC total", "vax data",
+                 "vax total", "data ratio", "total ratio"});
+    for (const MemTrafficRow &row : rows) {
+        table.row({row.name, cell(row.riscDataAccesses),
+                   cell(row.riscTotalAccesses),
+                   cell(row.vaxDataAccesses), cell(row.vaxTotalAccesses),
+                   cell(row.dataRatio), cell(row.totalRatio)});
+    }
+    return "E7: memory traffic (accesses; total includes instruction "
+           "fetches)\n" +
+           table.str();
+}
+
+// ---------------------------------------------------------------- E8 ----
+
+std::vector<InstrMixRow>
+instrMix()
+{
+    std::vector<InstrMixRow> rows;
+    for (const Workload &wl : allWorkloads()) {
+        InstrMixRow row;
+        row.name = wl.name;
+        RiscRun run = runRisc(wl, wl.defaultScale);
+        const double total =
+            static_cast<double>(run.stats.instructions);
+        auto pct = [&](isa::OpClass cls) {
+            return 100.0 *
+                   static_cast<double>(run.stats.classCount(cls)) / total;
+        };
+        row.aluPct = pct(isa::OpClass::Alu);
+        row.loadPct = pct(isa::OpClass::Load);
+        row.storePct = pct(isa::OpClass::Store);
+        row.branchPct = pct(isa::OpClass::Branch);
+        row.callRetPct = pct(isa::OpClass::Call) +
+                         pct(isa::OpClass::Ret);
+        row.miscPct = pct(isa::OpClass::Misc);
+        row.nopPct = 100.0 *
+                     static_cast<double>(run.stats.nopsExecuted) / total;
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+std::string
+instrMixTable(const std::vector<InstrMixRow> &rows)
+{
+    Table table({"program", "alu %", "load %", "store %", "branch %",
+                 "call+ret %", "misc %", "(nop %)"});
+    for (const InstrMixRow &row : rows) {
+        table.row({row.name, cell(row.aluPct, 1), cell(row.loadPct, 1),
+                   cell(row.storePct, 1), cell(row.branchPct, 1),
+                   cell(row.callRetPct, 1), cell(row.miscPct, 1),
+                   cell(row.nopPct, 1)});
+    }
+    return "E8: dynamic instruction mix on RISC I\n" + table.str();
+}
+
+std::vector<OpcodeFreqRow>
+opcodeFrequencies()
+{
+    std::map<isa::Opcode, uint64_t> totals;
+    uint64_t grand = 0;
+    for (const Workload &wl : allWorkloads()) {
+        RiscRun run = runRisc(wl, wl.defaultScale);
+        for (const auto &[op, count] : run.stats.perOpcode) {
+            totals[op] += count;
+            grand += count;
+        }
+    }
+    std::vector<OpcodeFreqRow> rows;
+    for (const auto &[op, count] : totals) {
+        OpcodeFreqRow row;
+        row.mnemonic = std::string(isa::opInfo(op).mnemonic);
+        row.count = count;
+        row.pct = 100.0 * static_cast<double>(count) /
+                  static_cast<double>(grand);
+        rows.push_back(row);
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const OpcodeFreqRow &a, const OpcodeFreqRow &b) {
+                  return a.count > b.count;
+              });
+    return rows;
+}
+
+std::string
+opcodeFrequencyTable(const std::vector<OpcodeFreqRow> &rows)
+{
+    Table table({"mnemonic", "executions", "%"});
+    for (const OpcodeFreqRow &row : rows)
+        table.row({row.mnemonic, cell(row.count), cell(row.pct, 2)});
+    return "E8 (detail): dynamic opcode frequencies, whole suite\n" +
+           table.str();
+}
+
+// ---------------------------------------------------------------- E9 ----
+
+std::vector<DelaySlotRow>
+delaySlots()
+{
+    std::vector<DelaySlotRow> rows;
+    for (const Workload &wl : allWorkloads()) {
+        DelaySlotRow row;
+        row.name = wl.name;
+
+        RiscRun filled = runRisc(wl, wl.defaultScale);
+        assembler::AsmOptions no_fill;
+        no_fill.fillDelaySlots = false;
+        RiscRun unfilled = runRisc(wl, wl.defaultScale, {}, no_fill);
+        if (!filled.ok || !unfilled.ok)
+            fatal("delay-slot experiment: %s failed", wl.name.c_str());
+
+        row.slots = filled.slots.totalSlots;
+        row.filled = filled.slots.filledSlots;
+        row.fillPct = 100.0 * filled.slots.fillRate();
+        row.cyclesFilled = filled.stats.cycles;
+        row.cyclesUnfilled = unfilled.stats.cycles;
+        row.savingPct =
+            row.cyclesUnfilled
+                ? 100.0 *
+                      static_cast<double>(row.cyclesUnfilled -
+                                          row.cyclesFilled) /
+                      static_cast<double>(row.cyclesUnfilled)
+                : 0;
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+std::string
+delaySlotTable(const std::vector<DelaySlotRow> &rows)
+{
+    Table table({"program", "slots", "filled", "fill %", "cyc filled",
+                 "cyc unfilled", "saving %"});
+    for (const DelaySlotRow &row : rows) {
+        table.row({row.name, cell(static_cast<uint64_t>(row.slots)),
+                   cell(static_cast<uint64_t>(row.filled)),
+                   cell(row.fillPct, 1), cell(row.cyclesFilled),
+                   cell(row.cyclesUnfilled), cell(row.savingPct, 1)});
+    }
+    return "E9: delayed-branch slot filling (optimizer on vs off)\n" +
+           table.str();
+}
+
+// ---------------------------------------------------------------- A1 ----
+
+std::vector<WindowAblationRow>
+windowAblation()
+{
+    std::vector<WindowAblationRow> rows;
+    for (const Workload &wl : allWorkloads()) {
+        if (!wl.recursive)
+            continue;
+        WindowAblationRow row;
+        row.name = wl.name;
+        RiscRun with = runRisc(wl, wl.defaultScale);
+        sim::CpuOptions degenerate;
+        degenerate.windows.numWindows = 2; // spill on every call
+        RiscRun without = runRisc(wl, wl.defaultScale, degenerate);
+        if (!with.ok || !without.ok)
+            fatal("window ablation: %s failed", wl.name.c_str());
+        row.cyclesWith = with.stats.cycles;
+        row.cyclesWithout = without.stats.cycles;
+        row.slowdown = static_cast<double>(row.cyclesWithout) /
+                       static_cast<double>(row.cyclesWith);
+        const uint64_t mem_with = with.stats.memory.dataReads +
+                                  with.stats.memory.dataWrites;
+        const uint64_t mem_without = without.stats.memory.dataReads +
+                                     without.stats.memory.dataWrites;
+        row.extraMemAccesses = mem_without - mem_with;
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+std::string
+windowAblationTable(const std::vector<WindowAblationRow> &rows)
+{
+    Table table({"program", "cyc (8 win)", "cyc (no win)", "slowdown",
+                 "extra mem accesses"});
+    for (const WindowAblationRow &row : rows) {
+        table.row({row.name, cell(row.cyclesWith),
+                   cell(row.cyclesWithout), cell(row.slowdown),
+                   cell(row.extraMemAccesses)});
+    }
+    return "A1: register-window ablation (2-window file spills on "
+           "every call, approximating a windowless machine)\n" +
+           table.str();
+}
+
+// ---------------------------------------------------------------- A2 ----
+
+std::vector<ImmediateRow>
+immediateUsage()
+{
+    std::vector<ImmediateRow> rows;
+    for (const Workload &wl : allWorkloads()) {
+        ImmediateRow row;
+        row.name = wl.name;
+        assembler::AsmResult res = assembler::assemble(
+            wl.riscSource(wl.defaultScale));
+        if (!res.ok())
+            fatal("%s failed to assemble", wl.name.c_str());
+        // Walk the image decoding instructions (srcLines marks them).
+        for (const auto &[addr, line] : res.program.srcLines) {
+            (void)line;
+            const uint32_t word = *res.program.wordAt(addr);
+            const isa::DecodeResult dec = isa::decode(word);
+            if (!dec.ok)
+                continue;
+            if (dec.inst.op == isa::Opcode::Ldhi) {
+                ++row.ldhiInsts;
+            } else if (dec.inst.info().format == isa::Format::ShortImm &&
+                       dec.inst.imm && dec.inst.info().usesS2) {
+                ++row.shortImmInsts;
+            }
+        }
+        const uint64_t imm_total = row.shortImmInsts + row.ldhiInsts;
+        row.ldhiPct = imm_total ? 100.0 *
+                                      static_cast<double>(row.ldhiInsts) /
+                                      static_cast<double>(imm_total)
+                                : 0;
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+std::string
+immediateUsageTable(const std::vector<ImmediateRow> &rows)
+{
+    Table table({"program", "simm13 insts", "ldhi insts", "ldhi %"});
+    for (const ImmediateRow &row : rows) {
+        table.row({row.name, cell(row.shortImmInsts),
+                   cell(row.ldhiInsts), cell(row.ldhiPct, 1)});
+    }
+    return "A2: constant synthesis — 13-bit immediates cover almost "
+           "all constants; LDHI pairs are rare\n" +
+           table.str();
+}
+
+} // namespace risc1::core

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Drivers for every experiment in DESIGN.md's per-experiment index
+ * (E1..E9, A1/A2). Each driver returns structured rows — asserted by
+ * the integration tests — and has a Table renderer used by the bench
+ * binaries to print the paper-style artifact.
+ */
+
+#ifndef RISC1_CORE_EXPERIMENTS_HH
+#define RISC1_CORE_EXPERIMENTS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/run.hh"
+
+namespace risc1::core {
+
+// ---- E1: the instruction-set table -------------------------------------
+
+/** Render Table I: the 31 RISC I instructions. */
+std::string isaTable();
+
+// ---- E2: register-window geometry --------------------------------------
+
+/** Render the overlapped-window diagram and mapping for `nwindows`. */
+std::string windowGeometryReport(unsigned nwindows = 8);
+
+// ---- E3: procedure call/return cost -------------------------------------
+
+/** One row of the call-overhead comparison. */
+struct CallOverheadRow
+{
+    unsigned nargs = 0;
+    double riscCyclesPerCall = 0;
+    double vaxCyclesPerCall = 0;
+    double riscMemPerCall = 0; //!< data-memory accesses per call+return
+    double vaxMemPerCall = 0;
+};
+
+/** Measure call+return cost for 0..max_args arguments. */
+std::vector<CallOverheadRow> callOverhead(unsigned max_args = 6,
+                                          unsigned iters = 2000);
+std::string callOverheadTable(const std::vector<CallOverheadRow> &rows);
+
+// ---- E4: static code size ------------------------------------------------
+
+struct CodeSizeRow
+{
+    std::string name;
+    uint32_t riscBytes = 0;
+    uint32_t vaxBytes = 0;
+    double riscOverVax = 0; //!< paper: RISC I <= ~1.5x the VAX size
+};
+
+std::vector<CodeSizeRow> codeSize();
+std::string codeSizeTable(const std::vector<CodeSizeRow> &rows);
+
+// ---- E5: execution time ----------------------------------------------------
+
+struct ExecTimeRow
+{
+    std::string name;
+    bool resultsMatch = false;
+    uint64_t riscInsts = 0;
+    uint64_t riscCycles = 0;
+    uint64_t vaxInsts = 0;
+    uint64_t vaxCycles = 0;
+    double riscUs = 0; //!< at the paper's 400 ns cycle
+    double vaxUs = 0;  //!< at the VAX-11/780's 200 ns cycle
+    double speedup = 0; //!< vaxUs / riscUs
+};
+
+std::vector<ExecTimeRow> execTime();
+std::string execTimeTable(const std::vector<ExecTimeRow> &rows);
+
+// ---- E6: window overflow vs window count ----------------------------------
+
+struct WindowSweepRow
+{
+    unsigned windows = 0;
+    uint64_t calls = 0;
+    uint64_t overflows = 0;
+    double overflowPct = 0;   //!< overflows / calls
+    uint64_t cycles = 0;
+    double trapCyclePct = 0;  //!< share of cycles spent in window traps
+};
+
+/** Aggregate over the recursive workloads for each window count. */
+std::vector<WindowSweepRow>
+windowSweep(const std::vector<unsigned> &window_counts = {2, 4, 6, 8, 12,
+                                                          16});
+std::string windowSweepTable(const std::vector<WindowSweepRow> &rows);
+
+// ---- E7: memory traffic ------------------------------------------------------
+
+struct MemTrafficRow
+{
+    std::string name;
+    uint64_t riscDataAccesses = 0;
+    uint64_t riscTotalAccesses = 0; //!< incl. instruction fetches
+    uint64_t vaxDataAccesses = 0;
+    uint64_t vaxTotalAccesses = 0;
+    double dataRatio = 0;  //!< vax / risc data accesses
+    double totalRatio = 0;
+};
+
+std::vector<MemTrafficRow> memTraffic();
+std::string memTrafficTable(const std::vector<MemTrafficRow> &rows);
+
+// ---- E8: dynamic instruction mix ----------------------------------------------
+
+struct InstrMixRow
+{
+    std::string name;
+    double aluPct = 0;
+    double loadPct = 0;
+    double storePct = 0;
+    double branchPct = 0;
+    double callRetPct = 0;
+    double miscPct = 0;
+    double nopPct = 0; //!< executed canonical NOPs (unfilled slots)
+};
+
+std::vector<InstrMixRow> instrMix();
+std::string instrMixTable(const std::vector<InstrMixRow> &rows);
+
+/** One row of the aggregate per-opcode frequency table. */
+struct OpcodeFreqRow
+{
+    std::string mnemonic;
+    uint64_t count = 0;
+    double pct = 0;
+};
+
+/** Aggregate dynamic opcode frequencies over the whole suite,
+ *  descending (the paper's detailed-mix table). */
+std::vector<OpcodeFreqRow> opcodeFrequencies();
+std::string opcodeFrequencyTable(const std::vector<OpcodeFreqRow> &rows);
+
+// ---- E9: delayed-branch slot filling ------------------------------------------
+
+struct DelaySlotRow
+{
+    std::string name;
+    unsigned slots = 0;
+    unsigned filled = 0;
+    double fillPct = 0;
+    uint64_t cyclesFilled = 0;   //!< optimizer on
+    uint64_t cyclesUnfilled = 0; //!< optimizer off
+    double savingPct = 0;
+};
+
+std::vector<DelaySlotRow> delaySlots();
+std::string delaySlotTable(const std::vector<DelaySlotRow> &rows);
+
+// ---- A1: register-window ablation ----------------------------------------------
+
+struct WindowAblationRow
+{
+    std::string name;
+    uint64_t cyclesWith = 0;    //!< 8 windows
+    uint64_t cyclesWithout = 0; //!< 2 windows: spill on every call
+    double slowdown = 0;
+    uint64_t extraMemAccesses = 0;
+};
+
+std::vector<WindowAblationRow> windowAblation();
+std::string windowAblationTable(const std::vector<WindowAblationRow> &rows);
+
+// ---- A2: immediate-field usage ----------------------------------------------------
+
+struct ImmediateRow
+{
+    std::string name;
+    uint64_t shortImmInsts = 0; //!< static insts with imm s2
+    uint64_t ldhiInsts = 0;     //!< static LDHI count
+    double ldhiPct = 0;         //!< LDHI share of immediate-bearing insts
+};
+
+std::vector<ImmediateRow> immediateUsage();
+std::string immediateUsageTable(const std::vector<ImmediateRow> &rows);
+
+} // namespace risc1::core
+
+#endif // RISC1_CORE_EXPERIMENTS_HH

@@ -1,0 +1,49 @@
+#include "core/run.hh"
+
+#include "support/logging.hh"
+
+namespace risc1::core {
+
+RiscRun
+runRisc(const workloads::Workload &wl, uint64_t scale,
+        const sim::CpuOptions &cpu_opts,
+        const assembler::AsmOptions &asm_opts)
+{
+    RiscRun run;
+    assembler::AsmResult assembled = assembler::assemble(
+        wl.riscSource(scale), asm_opts);
+    if (!assembled.ok())
+        fatal("workload %s failed to assemble:\n%s", wl.name.c_str(),
+              assembled.errorText().c_str());
+    run.slots = assembled.slotStats;
+    run.codeBytes = assembled.program.codeBytes();
+    run.totalBytes = assembled.program.totalBytes();
+
+    sim::Cpu cpu(cpu_opts);
+    cpu.load(assembled.program);
+    run.exec = cpu.run();
+    run.stats = cpu.stats();
+    run.result = cpu.memory().peek32(workloads::ResultAddr);
+    run.ok = run.exec.halted() && run.result == wl.expected(scale);
+    return run;
+}
+
+VaxRun
+runVax(const workloads::Workload &wl, uint64_t scale,
+       const vax::VaxCpuOptions &cpu_opts)
+{
+    VaxRun run;
+    vax::VaxProgram prog = wl.buildVax(scale);
+    run.codeBytes = prog.codeBytes;
+    run.totalBytes = prog.totalBytes();
+
+    vax::VaxCpu cpu(cpu_opts);
+    cpu.load(prog);
+    run.exec = cpu.run();
+    run.stats = cpu.stats();
+    run.result = cpu.memory().peek32(workloads::ResultAddr);
+    run.ok = run.exec.halted() && run.result == wl.expected(scale);
+    return run;
+}
+
+} // namespace risc1::core

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Uniform "load, run, collect" helpers over both machines, used by the
+ * experiment drivers, benches and examples.
+ */
+
+#ifndef RISC1_CORE_RUN_HH
+#define RISC1_CORE_RUN_HH
+
+#include <cstdint>
+
+#include "sim/cpu.hh"
+#include "vax/cpu.hh"
+#include "workloads/workload.hh"
+
+namespace risc1::core {
+
+/** Outcome of one RISC I workload run. */
+struct RiscRun
+{
+    sim::ExecResult exec;
+    sim::SimStats stats;
+    assembler::SlotStats slots;
+    uint32_t result = 0;     //!< word at ResultAddr
+    uint32_t codeBytes = 0;  //!< static instruction bytes
+    uint32_t totalBytes = 0; //!< code + data image size
+    bool ok = false;         //!< halted cleanly with the oracle's result
+};
+
+/** Outcome of one vax80 workload run. */
+struct VaxRun
+{
+    sim::ExecResult exec;
+    vax::VaxStats stats;
+    uint32_t result = 0;
+    uint32_t codeBytes = 0;
+    uint32_t totalBytes = 0;
+    bool ok = false;
+};
+
+/** Assemble and run a workload on RISC I. */
+RiscRun runRisc(const workloads::Workload &wl, uint64_t scale,
+                const sim::CpuOptions &cpu_opts = {},
+                const assembler::AsmOptions &asm_opts = {});
+
+/** Build and run a workload on vax80. */
+VaxRun runVax(const workloads::Workload &wl, uint64_t scale,
+              const vax::VaxCpuOptions &cpu_opts = {});
+
+} // namespace risc1::core
+
+#endif // RISC1_CORE_RUN_HH

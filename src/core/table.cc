@@ -1,0 +1,97 @@
+#include "core/table.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+
+#include "support/logging.hh"
+
+namespace risc1::core {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        panic("Table::row: %zu cells for %zu headers", cells.size(),
+              headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+namespace {
+
+/** Numeric-looking cells get right-aligned. */
+bool
+looksNumeric(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s) {
+        if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+            c != '-' && c != '+' && c != '%' && c != 'x' && c != 'e')
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+Table::str() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto render_row = [&](const std::vector<std::string> &cells) {
+        std::string line;
+        for (size_t c = 0; c < cells.size(); ++c) {
+            const size_t pad = widths[c] - cells[c].size();
+            if (looksNumeric(cells[c]))
+                line += std::string(pad, ' ') + cells[c];
+            else
+                line += cells[c] + std::string(pad, ' ');
+            if (c + 1 < cells.size())
+                line += "  ";
+        }
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        return line + "\n";
+    };
+
+    std::string out = render_row(headers_);
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    out += std::string(total, '-') + "\n";
+    for (const auto &row : rows_)
+        out += render_row(row);
+    return out;
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    os << str();
+}
+
+std::string
+cell(double value, int precision)
+{
+    return strprintf("%.*f", precision, value);
+}
+
+std::string
+cell(uint64_t value)
+{
+    return strprintf("%llu", static_cast<unsigned long long>(value));
+}
+
+} // namespace risc1::core

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Minimal column-aligned ASCII table printer used by the experiment
+ * drivers to render the paper's tables.
+ */
+
+#ifndef RISC1_CORE_TABLE_HH
+#define RISC1_CORE_TABLE_HH
+
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace risc1::core {
+
+/** Column-aligned text table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a data row; must match the header count. */
+    void row(std::vector<std::string> cells);
+
+    /** Render with padding, a header rule, and right-aligned numbers. */
+    std::string str() const;
+
+    /** Convenience: render to a stream. */
+    void print(std::ostream &os) const;
+
+    size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** strprintf-style cell helpers. */
+std::string cell(double value, int precision = 2);
+std::string cell(uint64_t value);
+
+} // namespace risc1::core
+
+#endif // RISC1_CORE_TABLE_HH

@@ -1,0 +1,84 @@
+#include "isa/condition.hh"
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace risc1::isa {
+
+bool
+condHolds(Cond cond, const Flags &f)
+{
+    switch (cond) {
+      case Cond::Nev: return false;
+      case Cond::Alw: return true;
+      case Cond::Eq:  return f.z;
+      case Cond::Ne:  return !f.z;
+      case Cond::Lt:  return f.n != f.v;
+      case Cond::Ge:  return f.n == f.v;
+      case Cond::Le:  return f.z || (f.n != f.v);
+      case Cond::Gt:  return !(f.z || (f.n != f.v));
+      case Cond::Lo:  return !f.c;
+      case Cond::His: return f.c;
+      case Cond::Los: return !f.c || f.z;
+      case Cond::Hi:  return f.c && !f.z;
+      case Cond::Pl:  return !f.n;
+      case Cond::Mi:  return f.n;
+      case Cond::Nv:  return !f.v;
+      case Cond::Ov:  return f.v;
+    }
+    panic("condHolds: bad condition %u", static_cast<unsigned>(cond));
+}
+
+namespace {
+
+constexpr std::string_view condNames[NumConds] = {
+    "nev", "alw", "eq", "ne", "lt", "ge", "le", "gt",
+    "lo", "his", "los", "hi", "pl", "mi", "nv", "ov",
+};
+
+} // namespace
+
+std::string_view
+condName(Cond cond)
+{
+    const auto idx = static_cast<unsigned>(cond);
+    if (idx >= NumConds)
+        panic("condName: bad condition %u", idx);
+    return condNames[idx];
+}
+
+std::optional<Cond>
+condFromName(std::string_view name)
+{
+    for (unsigned i = 0; i < NumConds; ++i) {
+        if (iequals(name, condNames[i]))
+            return static_cast<Cond>(i);
+    }
+    return std::nullopt;
+}
+
+Cond
+condNegate(Cond cond)
+{
+    switch (cond) {
+      case Cond::Nev: return Cond::Alw;
+      case Cond::Alw: return Cond::Nev;
+      case Cond::Eq:  return Cond::Ne;
+      case Cond::Ne:  return Cond::Eq;
+      case Cond::Lt:  return Cond::Ge;
+      case Cond::Ge:  return Cond::Lt;
+      case Cond::Le:  return Cond::Gt;
+      case Cond::Gt:  return Cond::Le;
+      case Cond::Lo:  return Cond::His;
+      case Cond::His: return Cond::Lo;
+      case Cond::Los: return Cond::Hi;
+      case Cond::Hi:  return Cond::Los;
+      case Cond::Pl:  return Cond::Mi;
+      case Cond::Mi:  return Cond::Pl;
+      case Cond::Nv:  return Cond::Ov;
+      case Cond::Ov:  return Cond::Nv;
+    }
+    panic("condNegate: bad condition %u", static_cast<unsigned>(cond));
+}
+
+} // namespace risc1::isa

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Condition codes of the RISC I architecture. Conditional instructions
+ * (JMP, JMPR) carry a 4-bit condition in the destination-register field;
+ * ALU instructions optionally set the four flags Z/N/V/C via the `scc` bit.
+ *
+ * Carry convention: for subtraction C=1 means "no borrow" (a >= b
+ * unsigned), as produced by computing a + ~b + 1 with carry-out.
+ */
+
+#ifndef RISC1_ISA_CONDITION_HH
+#define RISC1_ISA_CONDITION_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace risc1::isa {
+
+/** Processor status flags set by scc-tagged ALU instructions. */
+struct Flags
+{
+    bool z = false; //!< result was zero
+    bool n = false; //!< result was negative (bit 31)
+    bool v = false; //!< signed overflow
+    bool c = false; //!< carry out (no-borrow for subtraction)
+
+    bool operator==(const Flags &) const = default;
+};
+
+/** 4-bit condition selector for conditional transfers. */
+enum class Cond : uint8_t
+{
+    Nev = 0,  //!< never (reserved encoding; assembler never emits it)
+    Alw = 1,  //!< always
+    Eq = 2,   //!< equal              Z
+    Ne = 3,   //!< not equal          !Z
+    Lt = 4,   //!< signed less        N^V
+    Ge = 5,   //!< signed >=          !(N^V)
+    Le = 6,   //!< signed <=          Z | (N^V)
+    Gt = 7,   //!< signed greater     !(Z | (N^V))
+    Lo = 8,   //!< unsigned less      !C
+    His = 9,  //!< unsigned >=        C
+    Los = 10, //!< unsigned <=        !C | Z
+    Hi = 11,  //!< unsigned greater   C & !Z
+    Pl = 12,  //!< plus               !N
+    Mi = 13,  //!< minus              N
+    Nv = 14,  //!< no overflow        !V
+    Ov = 15,  //!< overflow           V
+};
+
+/** Number of distinct condition encodings. */
+constexpr unsigned NumConds = 16;
+
+/** Evaluate a condition against the current flags. */
+bool condHolds(Cond cond, const Flags &flags);
+
+/** Lower-case mnemonic of a condition ("alw", "eq", ...). */
+std::string_view condName(Cond cond);
+
+/** Parse a condition mnemonic (case-insensitive). */
+std::optional<Cond> condFromName(std::string_view name);
+
+/** The condition testing the logically opposite outcome. */
+Cond condNegate(Cond cond);
+
+} // namespace risc1::isa
+
+#endif // RISC1_ISA_CONDITION_HH

@@ -1,0 +1,106 @@
+#include "isa/disasm.hh"
+
+#include "isa/registers.hh"
+#include "support/logging.hh"
+
+namespace risc1::isa {
+
+namespace {
+
+/** Render the s2 operand of a short-format instruction. */
+std::string
+s2Text(const Instruction &inst)
+{
+    if (inst.imm)
+        return strprintf("%d", inst.simm13);
+    return regName(inst.rs2);
+}
+
+/** Render an `(rx)disp` memory operand. */
+std::string
+memText(const Instruction &inst)
+{
+    if (inst.imm)
+        return strprintf("(%s)%d", regName(inst.rs1).c_str(), inst.simm13);
+    return strprintf("(%s)%s", regName(inst.rs1).c_str(),
+                     regName(inst.rs2).c_str());
+}
+
+} // namespace
+
+std::string
+disassemble(const Instruction &inst, uint32_t pc)
+{
+    const OpInfo &info = inst.info();
+    const std::string mn = std::string(info.mnemonic) +
+                           (inst.scc ? "s" : "");
+
+    switch (info.opClass) {
+      case OpClass::Alu:
+        return strprintf("%-8s %s, %s, %s", mn.c_str(),
+                         regName(inst.rs1).c_str(), s2Text(inst).c_str(),
+                         regName(inst.rd).c_str());
+      case OpClass::Load:
+        return strprintf("%-8s %s, %s", mn.c_str(), memText(inst).c_str(),
+                         regName(inst.rd).c_str());
+      case OpClass::Store:
+        return strprintf("%-8s %s, %s", mn.c_str(),
+                         regName(inst.rd).c_str(), memText(inst).c_str());
+      case OpClass::Branch:
+        if (inst.op == Opcode::Jmpr) {
+            return strprintf("%-8s %s, .%+d  ; -> 0x%08x", mn.c_str(),
+                             std::string(condName(inst.cond())).c_str(),
+                             inst.imm19,
+                             pc + static_cast<uint32_t>(inst.imm19));
+        }
+        return strprintf("%-8s %s, %s", mn.c_str(),
+                         std::string(condName(inst.cond())).c_str(),
+                         memText(inst).c_str());
+      case OpClass::Call:
+        if (inst.op == Opcode::Callr) {
+            return strprintf("%-8s %s, .%+d  ; -> 0x%08x", mn.c_str(),
+                             regName(inst.rd).c_str(), inst.imm19,
+                             pc + static_cast<uint32_t>(inst.imm19));
+        }
+        if (inst.op == Opcode::Callint)
+            return strprintf("%-8s %s", mn.c_str(),
+                             regName(inst.rd).c_str());
+        return strprintf("%-8s %s, %s", mn.c_str(),
+                         regName(inst.rd).c_str(), memText(inst).c_str());
+      case OpClass::Ret:
+        return strprintf("%-8s %s", mn.c_str(), memText(inst).c_str());
+      case OpClass::Misc:
+        switch (inst.op) {
+          case Opcode::Ldhi:
+            return strprintf("%-8s %s, 0x%x", mn.c_str(),
+                             regName(inst.rd).c_str(),
+                             static_cast<unsigned>(inst.imm19) & 0x7ffff);
+          case Opcode::Gtlpc:
+          case Opcode::Getpsw:
+            return strprintf("%-8s %s", mn.c_str(),
+                             regName(inst.rd).c_str());
+          case Opcode::Putpsw:
+            return strprintf("%-8s %s, %s", mn.c_str(),
+                             regName(inst.rs1).c_str(),
+                             s2Text(inst).c_str());
+          default:
+            break;
+        }
+        break;
+    }
+    panic("disassemble: unhandled opcode 0x%02x",
+          static_cast<unsigned>(inst.op));
+}
+
+std::string
+disassembleWord(uint32_t word, uint32_t pc)
+{
+    DecodeResult dec = decode(word);
+    if (!dec.ok)
+        return strprintf(".word    0x%08x", word);
+    if (isNop(dec.inst))
+        return "nop";
+    return disassemble(dec.inst, pc);
+}
+
+} // namespace risc1::isa

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Disassembler: renders decoded instructions back into the assembler
+ * syntax accepted by src/asm (paper operand order: `op rs1, s2, rd`;
+ * memory operands `(rx)disp`).
+ */
+
+#ifndef RISC1_ISA_DISASM_HH
+#define RISC1_ISA_DISASM_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/instruction.hh"
+
+namespace risc1::isa {
+
+/**
+ * Render one instruction. `pc` is the instruction's own address; it is
+ * used to print absolute targets next to PC-relative transfers.
+ */
+std::string disassemble(const Instruction &inst, uint32_t pc = 0);
+
+/** Decode and render a raw word; illegal words render as `.word 0x...`. */
+std::string disassembleWord(uint32_t word, uint32_t pc = 0);
+
+} // namespace risc1::isa
+
+#endif // RISC1_ISA_DISASM_HH

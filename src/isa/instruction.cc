@@ -1,0 +1,199 @@
+#include "isa/instruction.hh"
+
+#include "isa/registers.hh"
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace risc1::isa {
+
+uint32_t
+encode(const Instruction &inst)
+{
+    const OpInfo &info = opInfo(inst.op);
+
+    if (inst.rd >= NumVisibleRegs)
+        panic("encode: rd %u out of range", inst.rd);
+    if (inst.rs1 >= NumVisibleRegs)
+        panic("encode: rs1 %u out of range", inst.rs1);
+    if (inst.scc && !info.mayScc)
+        panic("encode: scc set on %s which does not honour it",
+              std::string(info.mnemonic).c_str());
+
+    uint64_t word = 0;
+    word = insertBits(word, 31, 25, static_cast<uint8_t>(inst.op));
+    word = insertBits(word, 24, 24, inst.scc ? 1 : 0);
+    word = insertBits(word, 23, 19, inst.rd);
+
+    if (info.format == Format::LongImm) {
+        if (!fitsSigned(inst.imm19, Imm19Bits))
+            panic("encode: imm19 %d out of range", inst.imm19);
+        word = insertBits(word, 18, 0,
+                          static_cast<uint64_t>(inst.imm19) &
+                              mask(Imm19Bits));
+    } else {
+        word = insertBits(word, 18, 14, inst.rs1);
+        word = insertBits(word, 13, 13, inst.imm ? 1 : 0);
+        if (inst.imm) {
+            if (!fitsSigned(inst.simm13, Simm13Bits))
+                panic("encode: simm13 %d out of range", inst.simm13);
+            word = insertBits(word, 12, 0,
+                              static_cast<uint64_t>(inst.simm13) &
+                                  mask(Simm13Bits));
+        } else {
+            if (inst.rs2 >= NumVisibleRegs)
+                panic("encode: rs2 %u out of range", inst.rs2);
+            word = insertBits(word, 12, 0, inst.rs2);
+        }
+    }
+    return static_cast<uint32_t>(word);
+}
+
+DecodeResult
+decode(uint32_t word)
+{
+    DecodeResult result;
+    const auto raw_op = static_cast<uint8_t>(bits(word, 31, 25));
+    if (!isValidOpcode(raw_op)) {
+        result.error = strprintf("illegal opcode 0x%02x in word 0x%08x",
+                                 raw_op, word);
+        return result;
+    }
+
+    Instruction inst;
+    inst.op = static_cast<Opcode>(raw_op);
+    inst.scc = bit(word, 24);
+    inst.rd = static_cast<uint8_t>(bits(word, 23, 19));
+
+    const OpInfo &info = opInfo(inst.op);
+    if (inst.scc && !info.mayScc) {
+        result.error = strprintf("scc bit set on %s in word 0x%08x",
+                                 std::string(info.mnemonic).c_str(), word);
+        return result;
+    }
+
+    if (info.format == Format::LongImm) {
+        inst.imm19 = static_cast<int32_t>(sext(bits(word, 18, 0),
+                                               Imm19Bits));
+    } else {
+        inst.rs1 = static_cast<uint8_t>(bits(word, 18, 14));
+        inst.imm = bit(word, 13);
+        if (inst.imm) {
+            inst.simm13 = static_cast<int32_t>(sext(bits(word, 12, 0),
+                                                    Simm13Bits));
+        } else {
+            const uint64_t s2 = bits(word, 12, 0);
+            if (s2 >= NumVisibleRegs) {
+                result.error = strprintf(
+                    "register s2 field 0x%04x out of range in word 0x%08x",
+                    static_cast<unsigned>(s2), word);
+                return result;
+            }
+            inst.rs2 = static_cast<uint8_t>(s2);
+        }
+    }
+
+    result.ok = true;
+    result.inst = inst;
+    return result;
+}
+
+Instruction
+makeRR(Opcode op, unsigned rs1, unsigned rs2, unsigned rd, bool scc)
+{
+    Instruction inst;
+    inst.op = op;
+    inst.scc = scc;
+    inst.rd = static_cast<uint8_t>(rd);
+    inst.rs1 = static_cast<uint8_t>(rs1);
+    inst.imm = false;
+    inst.rs2 = static_cast<uint8_t>(rs2);
+    return inst;
+}
+
+Instruction
+makeRI(Opcode op, unsigned rs1, int32_t simm13, unsigned rd, bool scc)
+{
+    Instruction inst;
+    inst.op = op;
+    inst.scc = scc;
+    inst.rd = static_cast<uint8_t>(rd);
+    inst.rs1 = static_cast<uint8_t>(rs1);
+    inst.imm = true;
+    inst.simm13 = simm13;
+    return inst;
+}
+
+Instruction
+makeLoad(Opcode op, unsigned rs1, int32_t simm13, unsigned rd)
+{
+    return makeRI(op, rs1, simm13, rd);
+}
+
+Instruction
+makeStore(Opcode op, unsigned rm, unsigned rs1, int32_t simm13)
+{
+    Instruction inst = makeRI(op, rs1, simm13, rm);
+    return inst;
+}
+
+Instruction
+makeJmp(Cond cond, unsigned rs1, int32_t simm13)
+{
+    return makeRI(Opcode::Jmp, rs1, simm13, static_cast<unsigned>(cond));
+}
+
+Instruction
+makeJmpr(Cond cond, int32_t offset)
+{
+    Instruction inst;
+    inst.op = Opcode::Jmpr;
+    inst.rd = static_cast<uint8_t>(cond);
+    inst.imm19 = offset;
+    return inst;
+}
+
+Instruction
+makeCall(unsigned rd, unsigned rs1, int32_t simm13)
+{
+    return makeRI(Opcode::Call, rs1, simm13, rd);
+}
+
+Instruction
+makeCallr(unsigned rd, int32_t offset)
+{
+    Instruction inst;
+    inst.op = Opcode::Callr;
+    inst.rd = static_cast<uint8_t>(rd);
+    inst.imm19 = offset;
+    return inst;
+}
+
+Instruction
+makeRet(unsigned rs1, int32_t simm13)
+{
+    return makeRI(Opcode::Ret, rs1, simm13, 0);
+}
+
+Instruction
+makeLdhi(unsigned rd, int32_t y19)
+{
+    Instruction inst;
+    inst.op = Opcode::Ldhi;
+    inst.rd = static_cast<uint8_t>(rd);
+    inst.imm19 = y19;
+    return inst;
+}
+
+Instruction
+makeNop()
+{
+    return makeRR(Opcode::Add, ZeroReg, ZeroReg, ZeroReg);
+}
+
+bool
+isNop(const Instruction &inst)
+{
+    return inst == makeNop();
+}
+
+} // namespace risc1::isa

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Decoded instruction representation and the 32-bit binary encoding.
+ *
+ * All RISC I instructions are exactly 32 bits, in one of two formats:
+ *
+ *   short-immediate:
+ *     [31:25] opcode  [24] scc  [23:19] rd  [18:14] rs1
+ *     [13] imm  [12:0] s2  (imm=0: s2<4:0> is rs2; imm=1: s2 is simm13)
+ *
+ *   long-immediate (JMPR, CALLR, LDHI):
+ *     [31:25] opcode  [24] scc  [23:19] rd  [18:0] Y (signed 19 bits)
+ *
+ * For conditional jumps the rd field carries the condition; for stores it
+ * carries the source register of the datum.
+ */
+
+#ifndef RISC1_ISA_INSTRUCTION_HH
+#define RISC1_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "isa/condition.hh"
+#include "isa/opcode.hh"
+
+namespace risc1::isa {
+
+/** Width of every instruction in bytes. */
+constexpr unsigned InstBytes = 4;
+
+/** Signed immediate width in the short format. */
+constexpr unsigned Simm13Bits = 13;
+/** Signed immediate width in the long format. */
+constexpr unsigned Imm19Bits = 19;
+
+/** A decoded (or to-be-encoded) instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::Add;
+    bool scc = false;    //!< set condition codes (ALU ops only)
+    uint8_t rd = 0;      //!< dest / store source / condition selector
+    uint8_t rs1 = 0;     //!< first source register
+    bool imm = false;    //!< short format: s2 is an immediate
+    uint8_t rs2 = 0;     //!< short format, imm=0
+    int32_t simm13 = 0;  //!< short format, imm=1 (signed 13 bits)
+    int32_t imm19 = 0;   //!< long format Y (signed 19 bits)
+
+    bool operator==(const Instruction &) const = default;
+
+    /** Condition selector of a conditional transfer. */
+    Cond cond() const { return static_cast<Cond>(rd & 0xf); }
+
+    /** Metadata of this instruction's opcode. */
+    const OpInfo &info() const { return opInfo(op); }
+};
+
+/** Result of decoding one instruction word. */
+struct DecodeResult
+{
+    bool ok = false;
+    Instruction inst;
+    std::string error;
+};
+
+/**
+ * Encode an instruction to its 32-bit word. Field ranges are checked;
+ * out-of-range fields indicate an assembler bug and panic.
+ */
+uint32_t encode(const Instruction &inst);
+
+/** Decode a 32-bit word. Illegal opcodes yield ok=false with a message. */
+DecodeResult decode(uint32_t word);
+
+// ---- Construction helpers (used by the assembler and the workloads). ----
+
+/** Register-register ALU op: `rd := rs1 <op> rs2`. */
+Instruction makeRR(Opcode op, unsigned rs1, unsigned rs2, unsigned rd,
+                   bool scc = false);
+
+/** Register-immediate ALU op: `rd := rs1 <op> simm13`. */
+Instruction makeRI(Opcode op, unsigned rs1, int32_t simm13, unsigned rd,
+                   bool scc = false);
+
+/** Load: `rd := M[rs1 + simm13]`. */
+Instruction makeLoad(Opcode op, unsigned rs1, int32_t simm13, unsigned rd);
+
+/** Store: `M[rs1 + simm13] := rm`. */
+Instruction makeStore(Opcode op, unsigned rm, unsigned rs1, int32_t simm13);
+
+/** Conditional indexed jump: `if cond: PC := rs1 + simm13`. */
+Instruction makeJmp(Cond cond, unsigned rs1, int32_t simm13);
+
+/** Conditional relative jump: `if cond: PC := PC + offset` (bytes). */
+Instruction makeJmpr(Cond cond, int32_t offset);
+
+/** Indexed call: link into `rd` of the new window. */
+Instruction makeCall(unsigned rd, unsigned rs1, int32_t simm13);
+
+/** Relative call: link into `rd` of the new window. */
+Instruction makeCallr(unsigned rd, int32_t offset);
+
+/** Return: `PC := rs1 + simm13; CWP++`. */
+Instruction makeRet(unsigned rs1, int32_t simm13);
+
+/** Load high immediate: `rd := y19 << 13`. */
+Instruction makeLdhi(unsigned rd, int32_t y19);
+
+/** Canonical no-op (`add r0, r0, r0` without scc). */
+Instruction makeNop();
+
+/** True iff this instruction is the canonical NOP. */
+bool isNop(const Instruction &inst);
+
+} // namespace risc1::isa
+
+#endif // RISC1_ISA_INSTRUCTION_HH

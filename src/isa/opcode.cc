@@ -1,0 +1,156 @@
+#include "isa/opcode.hh"
+
+#include <array>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace risc1::isa {
+
+namespace {
+
+using enum Format;
+using enum OpClass;
+
+// Columns: op, mnemonic, format, class,
+//          readsRs1, usesS2, writesRd, rdIsSource, rdIsCond, mayScc,
+//          operation, comment.
+constexpr std::array<OpInfo, NumOpcodes> table = {{
+    {Opcode::Add, "add", ShortImm, Alu,
+     true, true, true, false, false, true,
+     "Rd := Rs1 + S2", "integer add"},
+    {Opcode::Addc, "addc", ShortImm, Alu,
+     true, true, true, false, false, true,
+     "Rd := Rs1 + S2 + carry", "add with carry"},
+    {Opcode::Sub, "sub", ShortImm, Alu,
+     true, true, true, false, false, true,
+     "Rd := Rs1 - S2", "integer subtract"},
+    {Opcode::Subc, "subc", ShortImm, Alu,
+     true, true, true, false, false, true,
+     "Rd := Rs1 - S2 - borrow", "subtract with borrow"},
+    {Opcode::Subr, "subr", ShortImm, Alu,
+     true, true, true, false, false, true,
+     "Rd := S2 - Rs1", "reverse subtract"},
+    {Opcode::Subcr, "subcr", ShortImm, Alu,
+     true, true, true, false, false, true,
+     "Rd := S2 - Rs1 - borrow", "reverse subtract with borrow"},
+    {Opcode::And, "and", ShortImm, Alu,
+     true, true, true, false, false, true,
+     "Rd := Rs1 & S2", "logical AND"},
+    {Opcode::Or, "or", ShortImm, Alu,
+     true, true, true, false, false, true,
+     "Rd := Rs1 | S2", "logical OR"},
+    {Opcode::Xor, "xor", ShortImm, Alu,
+     true, true, true, false, false, true,
+     "Rd := Rs1 xor S2", "logical EXCLUSIVE OR"},
+    {Opcode::Sll, "sll", ShortImm, Alu,
+     true, true, true, false, false, true,
+     "Rd := Rs1 << S2", "shift left logical"},
+    {Opcode::Srl, "srl", ShortImm, Alu,
+     true, true, true, false, false, true,
+     "Rd := Rs1 >> S2 (zero fill)", "shift right logical"},
+    {Opcode::Sra, "sra", ShortImm, Alu,
+     true, true, true, false, false, true,
+     "Rd := Rs1 >> S2 (sign fill)", "shift right arithmetic"},
+
+    {Opcode::Ldl, "ldl", ShortImm, Load,
+     true, true, true, false, false, false,
+     "Rd := M[Rs1 + S2]<31:0>", "load long (32-bit)"},
+    {Opcode::Ldsu, "ldsu", ShortImm, Load,
+     true, true, true, false, false, false,
+     "Rd := zext(M[Rs1 + S2]<15:0>)", "load short unsigned"},
+    {Opcode::Ldss, "ldss", ShortImm, Load,
+     true, true, true, false, false, false,
+     "Rd := sext(M[Rs1 + S2]<15:0>)", "load short signed"},
+    {Opcode::Ldbu, "ldbu", ShortImm, Load,
+     true, true, true, false, false, false,
+     "Rd := zext(M[Rs1 + S2]<7:0>)", "load byte unsigned"},
+    {Opcode::Ldbs, "ldbs", ShortImm, Load,
+     true, true, true, false, false, false,
+     "Rd := sext(M[Rs1 + S2]<7:0>)", "load byte signed"},
+    {Opcode::Stl, "stl", ShortImm, Store,
+     true, true, false, true, false, false,
+     "M[Rs1 + S2]<31:0> := Rm", "store long (32-bit)"},
+    {Opcode::Sts, "sts", ShortImm, Store,
+     true, true, false, true, false, false,
+     "M[Rs1 + S2]<15:0> := Rm<15:0>", "store short"},
+    {Opcode::Stb, "stb", ShortImm, Store,
+     true, true, false, true, false, false,
+     "M[Rs1 + S2]<7:0> := Rm<7:0>", "store byte"},
+
+    {Opcode::Jmp, "jmp", ShortImm, Branch,
+     true, true, false, false, true, false,
+     "if COND then PC := Rs1 + S2", "conditional jump, indexed (delayed)"},
+    {Opcode::Jmpr, "jmpr", LongImm, Branch,
+     false, false, false, false, true, false,
+     "if COND then PC := PC + Y", "conditional jump, relative (delayed)"},
+    {Opcode::Call, "call", ShortImm, Call,
+     true, true, true, false, false, false,
+     "CWP--; Rd := PC; PC := Rs1 + S2", "call, indexed; change window"},
+    {Opcode::Callr, "callr", LongImm, Call,
+     false, false, true, false, false, false,
+     "CWP--; Rd := PC; PC := PC + Y", "call, relative; change window"},
+    {Opcode::Ret, "ret", ShortImm, Ret,
+     true, true, false, false, false, false,
+     "PC := Rs1 + S2; CWP++", "return; restore window"},
+    {Opcode::Callint, "callint", ShortImm, Call,
+     false, false, true, false, false, false,
+     "CWP--; Rd := LSTPC", "disable interrupts; save last PC"},
+    {Opcode::Retint, "retint", ShortImm, Ret,
+     true, true, false, false, false, false,
+     "PC := Rs1 + S2; CWP++", "enable interrupts; return"},
+
+    {Opcode::Ldhi, "ldhi", LongImm, Misc,
+     false, false, true, false, false, false,
+     "Rd<31:13> := Y; Rd<12:0> := 0", "load high immediate"},
+    {Opcode::Gtlpc, "gtlpc", ShortImm, Misc,
+     false, false, true, false, false, false,
+     "Rd := LSTPC", "get last PC (restart delayed jump)"},
+    {Opcode::Getpsw, "getpsw", ShortImm, Misc,
+     false, false, true, false, false, false,
+     "Rd := PSW", "read processor status word"},
+    {Opcode::Putpsw, "putpsw", ShortImm, Misc,
+     true, true, false, false, false, false,
+     "PSW := Rs1 + S2", "write processor status word"},
+}};
+
+} // namespace
+
+const OpInfo &
+opInfo(Opcode op)
+{
+    for (const OpInfo &info : table) {
+        if (info.op == op)
+            return info;
+    }
+    panic("opInfo: unknown opcode 0x%02x", static_cast<unsigned>(op));
+}
+
+const OpInfo *
+opTable(unsigned &count)
+{
+    count = NumOpcodes;
+    return table.data();
+}
+
+const OpInfo *
+opInfoByMnemonic(std::string_view mnemonic)
+{
+    for (const OpInfo &info : table) {
+        if (iequals(mnemonic, info.mnemonic))
+            return &info;
+    }
+    return nullptr;
+}
+
+bool
+isValidOpcode(uint8_t raw)
+{
+    for (const OpInfo &info : table) {
+        if (static_cast<uint8_t>(info.op) == raw)
+            return true;
+    }
+    return false;
+}
+
+} // namespace risc1::isa

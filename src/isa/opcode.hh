@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The 31 RISC I instructions (Table I of the ISCA'81 paper) with static
+ * metadata used by the assembler, disassembler, simulator, and the
+ * instruction-set table reproduction (experiment E1).
+ */
+
+#ifndef RISC1_ISA_OPCODE_HH
+#define RISC1_ISA_OPCODE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace risc1::isa {
+
+/**
+ * Opcode values (7-bit field). Grouped by function: arithmetic/logic
+ * (0x10..), memory access (0x20..), control transfer (0x30..),
+ * miscellaneous (0x40..). Every value not listed here is an illegal
+ * instruction.
+ */
+enum class Opcode : uint8_t
+{
+    // Arithmetic / logical / shift (register-to-register, optional scc).
+    Add   = 0x10, //!< rd := rs1 + s2
+    Addc  = 0x11, //!< rd := rs1 + s2 + carry
+    Sub   = 0x12, //!< rd := rs1 - s2
+    Subc  = 0x13, //!< rd := rs1 - s2 - !carry
+    Subr  = 0x14, //!< rd := s2 - rs1 (reverse)
+    Subcr = 0x15, //!< rd := s2 - rs1 - !carry
+    And   = 0x16, //!< rd := rs1 & s2
+    Or    = 0x17, //!< rd := rs1 | s2
+    Xor   = 0x18, //!< rd := rs1 ^ s2
+    Sll   = 0x19, //!< rd := rs1 << s2
+    Srl   = 0x1a, //!< rd := rs1 >> s2 (logical)
+    Sra   = 0x1b, //!< rd := rs1 >> s2 (arithmetic)
+
+    // Memory access: the only instructions touching memory.
+    Ldl   = 0x20, //!< rd := M32[rs1 + s2]
+    Ldsu  = 0x21, //!< rd := zext(M16[rs1 + s2])
+    Ldss  = 0x22, //!< rd := sext(M16[rs1 + s2])
+    Ldbu  = 0x23, //!< rd := zext(M8[rs1 + s2])
+    Ldbs  = 0x24, //!< rd := sext(M8[rs1 + s2])
+    Stl   = 0x25, //!< M32[rs1 + s2] := rm (rm travels in the rd field)
+    Sts   = 0x26, //!< M16[rs1 + s2] := rm<15:0>
+    Stb   = 0x27, //!< M8[rs1 + s2]  := rm<7:0>
+
+    // Control transfer (all delayed by one instruction).
+    Jmp     = 0x30, //!< if cond: PC := rs1 + s2 (cond in rd field)
+    Jmpr    = 0x31, //!< if cond: PC := PC + Y (long format, cond in rd)
+    Call    = 0x32, //!< CWP--; rd(new window) := PC; PC := rs1 + s2
+    Callr   = 0x33, //!< CWP--; rd(new window) := PC; PC := PC + Y
+    Ret     = 0x34, //!< PC := rs1 + s2; CWP++
+    Callint = 0x35, //!< CWP--; rd := lastPC (interrupt entry)
+    Retint  = 0x36, //!< PC := rs1 + s2; CWP++ (interrupt exit)
+
+    // Miscellaneous.
+    Ldhi   = 0x40, //!< rd<31:13> := Y; rd<12:0> := 0 (long format)
+    Gtlpc  = 0x41, //!< rd := last PC (restartable delayed jumps)
+    Getpsw = 0x42, //!< rd := PSW
+    Putpsw = 0x43, //!< PSW := rs1 + s2
+};
+
+/** Number of architected instructions (the paper's famous 31). */
+constexpr unsigned NumOpcodes = 31;
+
+/** Encoding layout of an instruction word. */
+enum class Format : uint8_t
+{
+    ShortImm, //!< opcode|scc|rd|rs1|imm|s2(13)
+    LongImm,  //!< opcode|scc|rd|Y(19)
+};
+
+/** Broad functional class, used for instruction-mix statistics (E8). */
+enum class OpClass : uint8_t
+{
+    Alu,     //!< arithmetic/logical/shift
+    Load,    //!< memory read
+    Store,   //!< memory write
+    Branch,  //!< conditional/unconditional jump
+    Call,    //!< window-push transfers (CALL, CALLR, CALLINT)
+    Ret,     //!< window-pop transfers (RET, RETINT)
+    Misc,    //!< LDHI, GTLPC, GETPSW, PUTPSW
+};
+
+/** Static description of one opcode. */
+struct OpInfo
+{
+    Opcode op;
+    std::string_view mnemonic; //!< lower-case assembler mnemonic
+    Format format;
+    OpClass opClass;
+    bool readsRs1;    //!< rs1 field is a source register
+    bool usesS2;      //!< s2 field (reg or simm13) is a source
+    bool writesRd;    //!< rd field is written
+    bool rdIsSource;  //!< rd field is read (stores: the datum)
+    bool rdIsCond;    //!< rd field carries a condition code
+    bool mayScc;      //!< scc bit is honoured
+    std::string_view operation; //!< paper-style semantics string
+    std::string_view comment;   //!< paper-style one-line description
+};
+
+/** Metadata for an opcode. Panics on an opcode not in the table. */
+const OpInfo &opInfo(Opcode op);
+
+/** All 31 instructions in Table I order. */
+const OpInfo *opTable(unsigned &count);
+
+/** Look up metadata by mnemonic (case-insensitive); nullptr if unknown. */
+const OpInfo *opInfoByMnemonic(std::string_view mnemonic);
+
+/** True iff this 7-bit value names an architected opcode. */
+bool isValidOpcode(uint8_t raw);
+
+} // namespace risc1::isa
+
+#endif // RISC1_ISA_OPCODE_HH

@@ -1,0 +1,76 @@
+#include "isa/registers.hh"
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace risc1::isa {
+
+std::string
+regName(unsigned reg)
+{
+    if (reg >= NumVisibleRegs)
+        panic("regName: bad register %u", reg);
+    return strprintf("r%u", reg);
+}
+
+namespace {
+
+/** Parse the decimal tail of an alias like "out3". */
+std::optional<unsigned>
+parseIndex(std::string_view tail, unsigned limit)
+{
+    if (tail.empty() || tail.size() > 2)
+        return std::nullopt;
+    unsigned value = 0;
+    for (char c : tail) {
+        if (c < '0' || c > '9')
+            return std::nullopt;
+        value = value * 10 + static_cast<unsigned>(c - '0');
+    }
+    if (value >= limit)
+        return std::nullopt;
+    return value;
+}
+
+} // namespace
+
+std::optional<unsigned>
+regFromName(std::string_view name)
+{
+    const std::string lower = toLower(name);
+    std::string_view s = lower;
+
+    if (s == "sp")
+        return SpReg;
+    if (s == "ra")
+        return RaReg;
+
+    if (s.size() >= 2 && s[0] == 'r') {
+        if (auto idx = parseIndex(s.substr(1), NumVisibleRegs))
+            return *idx;
+        return std::nullopt;
+    }
+    if (s.size() >= 2 && s[0] == 'g') {
+        if (auto idx = parseIndex(s.substr(1), NumGlobals))
+            return *idx;
+        return std::nullopt;
+    }
+    if (s.size() >= 4 && s.substr(0, 3) == "out") {
+        if (auto idx = parseIndex(s.substr(3), OverlapRegs))
+            return LowBase + *idx;
+        return std::nullopt;
+    }
+    if (s.size() >= 4 && s.substr(0, 3) == "loc") {
+        if (auto idx = parseIndex(s.substr(3), HighBase - LocalBase))
+            return LocalBase + *idx;
+        return std::nullopt;
+    }
+    if (s.size() >= 3 && s.substr(0, 2) == "in") {
+        if (auto idx = parseIndex(s.substr(2), OverlapRegs))
+            return HighBase + *idx;
+        return std::nullopt;
+    }
+    return std::nullopt;
+}
+
+} // namespace risc1::isa

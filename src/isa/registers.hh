@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Register-window geometry of RISC I. Every procedure sees 32 registers:
+ *
+ *     r31..r26  HIGH   — incoming parameters (caller's LOW)
+ *     r25..r16  LOCAL  — scratch local to the procedure
+ *     r15..r10  LOW    — outgoing parameters (callee's HIGH)
+ *     r9 ..r0   GLOBAL — shared by all procedures; r0 reads as zero
+ *
+ * A CALL decrements the current window pointer (CWP); the caller's LOW
+ * registers physically *are* the callee's HIGH registers. Each window
+ * therefore contributes 16 fresh registers (6 LOW + 10 LOCAL); the
+ * architected machine has 8 windows, for 10 + 8*16 = 138 physical
+ * registers. The window count is a template of the study in experiment E6
+ * and thus a runtime parameter here.
+ */
+
+#ifndef RISC1_ISA_REGISTERS_HH
+#define RISC1_ISA_REGISTERS_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace risc1::isa {
+
+/** Number of registers visible to one procedure. */
+constexpr unsigned NumVisibleRegs = 32;
+
+/** Index of the hardwired-zero register. */
+constexpr unsigned ZeroReg = 0;
+
+/** Conventional global stack pointer for guest data (shared register). */
+constexpr unsigned SpReg = 1;
+
+/** Conventional return-address register (written by CALL in the callee's
+ *  window; LOCAL r25). */
+constexpr unsigned RaReg = 25;
+
+/** First LOW register (outgoing parameters). */
+constexpr unsigned LowBase = 10;
+/** First LOCAL register. */
+constexpr unsigned LocalBase = 16;
+/** First HIGH register (incoming parameters). */
+constexpr unsigned HighBase = 26;
+
+/** Number of global registers (r0..r9). */
+constexpr unsigned NumGlobals = 10;
+/** Registers contributed per window: LOW(6) + LOCAL(10). */
+constexpr unsigned RegsPerWindow = 16;
+/** LOW/HIGH overlap size. */
+constexpr unsigned OverlapRegs = 6;
+
+/**
+ * Geometry of a windowed register file. Encapsulates the
+ * visible-to-physical mapping so both the simulator and the geometry
+ * reproduction (experiment E2) share one definition.
+ */
+struct WindowSpec
+{
+    /** Paper default: 8 windows = 138 physical registers. */
+    unsigned numWindows = 8;
+
+    /** Total physical registers: globals + 16 per window. */
+    unsigned
+    physCount() const
+    {
+        return NumGlobals + numWindows * RegsPerWindow;
+    }
+
+    /**
+     * Map visible register `reg` of window `cwp` to its physical index.
+     * Globals occupy physical 0..9; window w's fresh registers (its LOW
+     * and LOCAL) occupy a contiguous 16-slot bank; HIGH registers alias
+     * the LOW bank of window (cwp+1) mod numWindows — the caller, since
+     * CALL decrements CWP.
+     */
+    unsigned
+    physIndex(unsigned cwp, unsigned reg) const
+    {
+        if (reg < NumGlobals)
+            return reg;
+        const unsigned bank_regs = numWindows * RegsPerWindow;
+        if (reg < HighBase) {
+            // LOW + LOCAL: this window's own bank.
+            return NumGlobals +
+                   (cwp * RegsPerWindow + (reg - LowBase)) % bank_regs;
+        }
+        // HIGH: the caller's LOW bank.
+        const unsigned caller = (cwp + 1) % numWindows;
+        return NumGlobals +
+               (caller * RegsPerWindow + (reg - HighBase)) % bank_regs;
+    }
+};
+
+/** Canonical name of a visible register ("r0".."r31"). */
+std::string regName(unsigned reg);
+
+/**
+ * Parse a register name. Accepts "rN" plus the SPARC-flavoured aliases
+ * used throughout the paper's software convention: "sp" (r1),
+ * "ra" (r25), "outN" (r10+N), "locN" (r16+N), "inN" (r26+N),
+ * "gN" (rN, N<10). Case-insensitive. Returns nullopt if unknown.
+ */
+std::optional<unsigned> regFromName(std::string_view name);
+
+} // namespace risc1::isa
+
+#endif // RISC1_ISA_REGISTERS_HH

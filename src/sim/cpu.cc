@@ -1,0 +1,451 @@
+#include "sim/cpu.hh"
+
+#include <iostream>
+
+#include "isa/disasm.hh"
+#include "sim/fault.hh"
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace risc1::sim {
+
+using isa::Cond;
+using isa::Instruction;
+using isa::OpClass;
+using isa::Opcode;
+
+Cpu::Cpu(CpuOptions options)
+    : options_(std::move(options)), regs_(options_.windows)
+{
+    if (options_.windows.numWindows < 2)
+        fatal("Cpu: at least 2 register windows are required, got %u",
+              options_.windows.numWindows);
+    spillSp_ = options_.spillBase;
+}
+
+void
+Cpu::load(const assembler::Program &program)
+{
+    memory_ = Memory{};
+    memory_.loadProgram(program);
+    regs_.clear();
+    stats_ = SimStats{};
+    flags_ = isa::Flags{};
+    pc_ = program.entry;
+    npc_ = pc_ + isa::InstBytes;
+    lastPc_ = pc_;
+    cwp_ = 0;
+    resident_ = 1;
+    spilled_ = 0;
+    spillSp_ = options_.spillBase;
+    ie_ = true;
+    halted_ = false;
+    jumpPending_ = false;
+    interruptPending_ = false;
+    regs_.write(cwp_, isa::SpReg, options_.stackTop);
+}
+
+Snapshot
+Cpu::snapshot() const
+{
+    Snapshot snap;
+    snap.regs = regs_.dump();
+    snap.pages = memory_.dumpPages();
+    snap.memStats = memory_.stats();
+    snap.stats = stats_;
+    snap.flags = flags_;
+    snap.pc = pc_;
+    snap.npc = npc_;
+    snap.lastPc = lastPc_;
+    snap.spillSp = spillSp_;
+    snap.cwp = cwp_;
+    snap.resident = resident_;
+    snap.spilled = spilled_;
+    snap.ie = ie_;
+    snap.halted = halted_;
+    snap.interruptPending = interruptPending_;
+    return snap;
+}
+
+void
+Cpu::restore(const Snapshot &snap)
+{
+    regs_.restore(snap.regs);
+    memory_.restorePages(snap.pages);
+    memory_.setStats(snap.memStats);
+    stats_ = snap.stats;
+    flags_ = snap.flags;
+    pc_ = snap.pc;
+    npc_ = snap.npc;
+    lastPc_ = snap.lastPc;
+    spillSp_ = snap.spillSp;
+    cwp_ = snap.cwp;
+    resident_ = snap.resident;
+    spilled_ = snap.spilled;
+    ie_ = snap.ie;
+    halted_ = snap.halted;
+    interruptPending_ = snap.interruptPending;
+    jumpPending_ = false;
+}
+
+ExecResult
+Cpu::run()
+{
+    ExecResult result;
+    while (!halted_ && stats_.instructions < options_.maxInstructions) {
+        try {
+            step();
+        } catch (const SimFault &fault) {
+            result.reason = StopReason::Fault;
+            result.message = fault.message;
+            stats_.memory = memory_.stats();
+            result.instructions = stats_.instructions;
+            result.cycles = stats_.cycles;
+            return result;
+        }
+    }
+    result.reason = halted_ ? StopReason::Halted : StopReason::InstLimit;
+    stats_.memory = memory_.stats();
+    result.instructions = stats_.instructions;
+    result.cycles = stats_.cycles;
+    return result;
+}
+
+uint32_t
+Cpu::s2Value(const Instruction &inst) const
+{
+    if (inst.imm)
+        return static_cast<uint32_t>(inst.simm13);
+    return regs_.read(cwp_, inst.rs2);
+}
+
+Cpu::AluOut
+Cpu::execAlu(const Instruction &inst, uint32_t a, uint32_t b)
+{
+    auto add_with_carry = [](uint32_t x, uint32_t y, bool cin) {
+        const uint64_t wide = static_cast<uint64_t>(x) + y + (cin ? 1 : 0);
+        const auto r = static_cast<uint32_t>(wide);
+        AluOut out;
+        out.value = r;
+        out.c = (wide >> 32) != 0;
+        out.v = (((x ^ r) & (y ^ r)) >> 31) != 0;
+        return out;
+    };
+    // a - b == a + ~b + 1; carry-out of 1 means "no borrow".
+    auto sub_with_borrow = [&](uint32_t x, uint32_t y, bool cin) {
+        AluOut out = add_with_carry(x, ~y, cin);
+        // Overflow for subtraction: operands of differing sign and the
+        // result's sign differs from the minuend's.
+        out.v = (((x ^ y) & (x ^ out.value)) >> 31) != 0;
+        return out;
+    };
+
+    switch (inst.op) {
+      case Opcode::Add:   return add_with_carry(a, b, false);
+      case Opcode::Addc:  return add_with_carry(a, b, flags_.c);
+      case Opcode::Sub:   return sub_with_borrow(a, b, true);
+      case Opcode::Subc:  return sub_with_borrow(a, b, flags_.c);
+      case Opcode::Subr:  return sub_with_borrow(b, a, true);
+      case Opcode::Subcr: return sub_with_borrow(b, a, flags_.c);
+      // Logical and shift operations clear C and V when scc is set.
+      case Opcode::And:   return AluOut{a & b, false, false};
+      case Opcode::Or:    return AluOut{a | b, false, false};
+      case Opcode::Xor:   return AluOut{a ^ b, false, false};
+      case Opcode::Sll:   return AluOut{a << (b & 31), false, false};
+      case Opcode::Srl:   return AluOut{a >> (b & 31), false, false};
+      case Opcode::Sra:
+        return AluOut{static_cast<uint32_t>(
+                          static_cast<int32_t>(a) >> (b & 31)),
+                      false, false};
+      default:
+        panic("execAlu: opcode 0x%02x is not an ALU op",
+              static_cast<unsigned>(inst.op));
+    }
+}
+
+void
+Cpu::applyScc(const Instruction &inst, const AluOut &out)
+{
+    if (!inst.scc)
+        return;
+    flags_.z = out.value == 0;
+    flags_.n = (out.value >> 31) != 0;
+    flags_.v = out.v;
+    flags_.c = out.c;
+}
+
+void
+Cpu::scheduleJump(uint32_t target)
+{
+    jumpPending_ = true;
+    jumpTarget_ = target;
+}
+
+void
+Cpu::windowPush()
+{
+    const unsigned nwin = regs_.spec().numWindows;
+    // One window stays reserved so a resident chain never wraps onto
+    // itself; overflow traps when all nwin-1 usable windows are full.
+    if (resident_ == nwin - 1) {
+        const unsigned oldest = (cwp_ + resident_ - 1) % nwin;
+        for (unsigned slot = 0; slot < isa::RegsPerWindow; ++slot) {
+            spillSp_ -= 4;
+            memory_.write32(
+                spillSp_,
+                regs_.readPhys(regs_.frameSlotPhys(oldest, slot)));
+        }
+        ++spilled_;
+        --resident_;
+        ++stats_.windowOverflows;
+        stats_.spillWords += isa::RegsPerWindow;
+        stats_.cycles += options_.timing.overflowCycles();
+    }
+    cwp_ = (cwp_ + nwin - 1) % nwin;
+    ++resident_;
+    ++stats_.calls;
+    ++stats_.callDepth;
+    if (stats_.callDepth > stats_.maxCallDepth)
+        stats_.maxCallDepth = stats_.callDepth;
+}
+
+void
+Cpu::windowPop()
+{
+    const unsigned nwin = regs_.spec().numWindows;
+    if (stats_.callDepth == 0)
+        throw SimFault{"return without a matching call", pc_};
+    if (resident_ == 1) {
+        if (spilled_ == 0)
+            throw SimFault{"window underflow with empty save stack", pc_};
+        const unsigned target = (cwp_ + 1) % nwin;
+        for (unsigned slot = isa::RegsPerWindow; slot-- > 0;) {
+            regs_.writePhys(regs_.frameSlotPhys(target, slot),
+                            memory_.read32(spillSp_));
+            spillSp_ += 4;
+        }
+        --spilled_;
+        ++stats_.windowUnderflows;
+        stats_.refillWords += isa::RegsPerWindow;
+        stats_.cycles += options_.timing.underflowCycles();
+        cwp_ = target;
+        // resident_ stays 1: the refilled frame is now the only one.
+    } else {
+        cwp_ = (cwp_ + 1) % nwin;
+        --resident_;
+    }
+    ++stats_.returns;
+    --stats_.callDepth;
+}
+
+void
+Cpu::traceInst(uint32_t inst_pc, const Instruction &inst)
+{
+    std::ostream &out = options_.traceOut ? *options_.traceOut
+                                          : std::cerr;
+    out << strprintf("[%10llu] %08x w%-2u d%-3llu %s\n",
+                     static_cast<unsigned long long>(stats_.instructions),
+                     inst_pc, cwp_,
+                     static_cast<unsigned long long>(stats_.callDepth),
+                     isa::disassemble(inst, inst_pc).c_str());
+}
+
+bool
+Cpu::maybeTakeInterrupt()
+{
+    if (!interruptPending_ || !ie_ || options_.interruptVector == 0)
+        return false;
+    // Only between sequential instructions: with a transfer in flight
+    // (npc_ != pc_+4 means the delay slot is about to run) the resume
+    // point would not be a simple PC, so hardware defers one cycle.
+    if (npc_ != pc_ + isa::InstBytes)
+        return false;
+
+    interruptPending_ = false;
+    windowPush();
+    regs_.write(cwp_, isa::RaReg, pc_); // resume PC, handler window
+    ie_ = false;
+    pc_ = options_.interruptVector;
+    npc_ = pc_ + isa::InstBytes;
+    ++stats_.interruptsTaken;
+    stats_.cycles += options_.timing.callCycles;
+    return true;
+}
+
+void
+Cpu::step()
+{
+    maybeTakeInterrupt();
+
+    const uint32_t inst_pc = pc_;
+    const uint32_t word = memory_.fetch32(inst_pc);
+    const isa::DecodeResult dec = isa::decode(word);
+    if (!dec.ok)
+        throw SimFault{strprintf("at pc 0x%08x: %s", inst_pc,
+                                 dec.error.c_str()),
+                       inst_pc};
+    const Instruction &inst = dec.inst;
+    const isa::OpInfo &info = inst.info();
+
+    if (options_.trace)
+        traceInst(inst_pc, inst);
+
+    jumpPending_ = false;
+
+    switch (info.opClass) {
+      case OpClass::Alu: {
+        const uint32_t a = regs_.read(cwp_, inst.rs1);
+        const uint32_t b = s2Value(inst);
+        const AluOut out = execAlu(inst, a, b);
+        applyScc(inst, out);
+        regs_.write(cwp_, inst.rd, out.value);
+        break;
+      }
+      case OpClass::Load: {
+        const uint32_t ea = regs_.read(cwp_, inst.rs1) + s2Value(inst);
+        uint32_t value = 0;
+        switch (inst.op) {
+          case Opcode::Ldl:  value = memory_.read32(ea); break;
+          case Opcode::Ldsu: value = memory_.read16(ea); break;
+          case Opcode::Ldss:
+            value = static_cast<uint32_t>(
+                static_cast<int32_t>(static_cast<int16_t>(
+                    memory_.read16(ea))));
+            break;
+          case Opcode::Ldbu: value = memory_.read8(ea); break;
+          case Opcode::Ldbs:
+            value = static_cast<uint32_t>(static_cast<int32_t>(
+                static_cast<int8_t>(memory_.read8(ea))));
+            break;
+          default:
+            panic("step: bad load opcode");
+        }
+        regs_.write(cwp_, inst.rd, value);
+        break;
+      }
+      case OpClass::Store: {
+        const uint32_t ea = regs_.read(cwp_, inst.rs1) + s2Value(inst);
+        const uint32_t value = regs_.read(cwp_, inst.rd);
+        switch (inst.op) {
+          case Opcode::Stl:
+            memory_.write32(ea, value);
+            break;
+          case Opcode::Sts:
+            memory_.write16(ea, static_cast<uint16_t>(value));
+            break;
+          case Opcode::Stb:
+            memory_.write8(ea, static_cast<uint8_t>(value));
+            break;
+          default:
+            panic("step: bad store opcode");
+        }
+        break;
+      }
+      case OpClass::Branch: {
+        ++stats_.branches;
+        uint32_t target;
+        if (inst.op == Opcode::Jmpr)
+            target = inst_pc + static_cast<uint32_t>(inst.imm19);
+        else
+            target = regs_.read(cwp_, inst.rs1) + s2Value(inst);
+        if (isa::condHolds(inst.cond(), flags_)) {
+            ++stats_.branchesTaken;
+            scheduleJump(target);
+        }
+        break;
+      }
+      case OpClass::Call: {
+        uint32_t target = 0;
+        bool jumps = true;
+        switch (inst.op) {
+          case Opcode::Call:
+            target = regs_.read(cwp_, inst.rs1) + s2Value(inst);
+            break;
+          case Opcode::Callr:
+            target = inst_pc + static_cast<uint32_t>(inst.imm19);
+            break;
+          case Opcode::Callint:
+            jumps = false;
+            ie_ = false;
+            break;
+          default:
+            panic("step: bad call opcode");
+        }
+        windowPush();
+        // The link register lives in the *new* window.
+        regs_.write(cwp_, inst.rd,
+                    inst.op == Opcode::Callint ? lastPc_ : inst_pc);
+        if (jumps)
+            scheduleJump(target);
+        break;
+      }
+      case OpClass::Ret: {
+        // Target is computed in the callee's window, before the pop.
+        const uint32_t target = regs_.read(cwp_, inst.rs1) +
+                                s2Value(inst);
+        windowPop();
+        if (inst.op == Opcode::Retint)
+            ie_ = true;
+        scheduleJump(target);
+        break;
+      }
+      case OpClass::Misc: {
+        switch (inst.op) {
+          case Opcode::Ldhi:
+            regs_.write(cwp_, inst.rd,
+                        static_cast<uint32_t>(inst.imm19) << 13);
+            break;
+          case Opcode::Gtlpc:
+            regs_.write(cwp_, inst.rd, lastPc_);
+            break;
+          case Opcode::Getpsw: {
+            uint32_t psw = 0;
+            psw |= flags_.c ? 1u : 0;
+            psw |= flags_.v ? 2u : 0;
+            psw |= flags_.n ? 4u : 0;
+            psw |= flags_.z ? 8u : 0;
+            psw |= ie_ ? 16u : 0;
+            psw |= static_cast<uint32_t>(cwp_) << 8;
+            regs_.write(cwp_, inst.rd, psw);
+            break;
+          }
+          case Opcode::Putpsw: {
+            const uint32_t psw = regs_.read(cwp_, inst.rs1) +
+                                 s2Value(inst);
+            flags_.c = (psw & 1) != 0;
+            flags_.v = (psw & 2) != 0;
+            flags_.n = (psw & 4) != 0;
+            flags_.z = (psw & 8) != 0;
+            ie_ = (psw & 16) != 0;
+            // CWP is not writable through PUTPSW in this model; the
+            // window-tracking state would desynchronise.
+            break;
+          }
+          default:
+            panic("step: bad misc opcode");
+        }
+        break;
+      }
+    }
+
+    // Bookkeeping.
+    ++stats_.instructions;
+    ++stats_.perOpcode[inst.op];
+    stats_.countClass(info.opClass);
+    stats_.cycles += options_.timing.cyclesFor(info.opClass);
+    if (isa::isNop(inst))
+        ++stats_.nopsExecuted;
+
+    // Delayed-transfer PC discipline: the instruction at npc always
+    // executes next; a taken transfer only replaces the one after it.
+    lastPc_ = inst_pc;
+    pc_ = npc_;
+    npc_ = jumpPending_ ? jumpTarget_ : npc_ + isa::InstBytes;
+
+    // The halt convention (transfer to address 0) takes effect when the
+    // PC actually reaches 0 — after the transfer's delay slot executed.
+    if (options_.haltOnZeroTarget && pc_ == 0)
+        halted_ = true;
+}
+
+} // namespace risc1::sim

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * The RISC I processor model: functional execution of all 31
+ * instructions with delayed transfers, overlapped register windows with
+ * overflow/underflow traps, condition codes, and the paper's cycle-cost
+ * model.
+ */
+
+#ifndef RISC1_SIM_CPU_HH
+#define RISC1_SIM_CPU_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "asm/program.hh"
+#include "isa/condition.hh"
+#include "isa/instruction.hh"
+#include "sim/memory.hh"
+#include "sim/regfile.hh"
+#include "sim/stats.hh"
+#include "sim/timing.hh"
+
+namespace risc1::sim {
+
+/** Why a run() stopped. */
+enum class StopReason : uint8_t
+{
+    Halted,    //!< transfer to address 0 (the `halt` convention)
+    InstLimit, //!< maxInstructions reached
+    Fault,     //!< guest error (illegal opcode, misalignment, ...)
+};
+
+/** Outcome of a run(). */
+struct ExecResult
+{
+    StopReason reason = StopReason::Halted;
+    std::string message; //!< fault description when reason == Fault
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+
+    bool halted() const { return reason == StopReason::Halted; }
+};
+
+/** Configuration of one Cpu instance. */
+struct CpuOptions
+{
+    isa::WindowSpec windows{};    //!< 8 windows by default
+    TimingModel timing{};
+    uint64_t maxInstructions = 200'000'000;
+    uint32_t stackTop = 0x00e00000;  //!< initial guest sp (r1)
+    uint32_t spillBase = 0x00f00000; //!< window save stack top
+    bool haltOnZeroTarget = true;    //!< taken transfer to 0 halts
+    /**
+     * Interrupt handler entry point; 0 disables external interrupts.
+     * A raised interrupt performs the CALLINT sequence in hardware:
+     * push a window, save the resume PC in the new window's r25,
+     * disable interrupts and vector here. The handler exits with
+     * `retint (r25)0`.
+     */
+    uint32_t interruptVector = 0;
+    bool trace = false;              //!< per-instruction trace
+    std::ostream *traceOut = nullptr; //!< defaults to std::cerr
+};
+
+/**
+ * A complete machine checkpoint. Snapshots are only meaningful on the
+ * Cpu (with identical CpuOptions) that produced them.
+ */
+struct Snapshot
+{
+    std::vector<uint32_t> regs;
+    std::vector<Memory::PageDump> pages;
+    MemStats memStats;
+    SimStats stats;
+    isa::Flags flags;
+    uint32_t pc = 0;
+    uint32_t npc = 0;
+    uint32_t lastPc = 0;
+    uint32_t spillSp = 0;
+    unsigned cwp = 0;
+    unsigned resident = 1;
+    uint64_t spilled = 0;
+    bool ie = true;
+    bool halted = false;
+    bool interruptPending = false;
+};
+
+/** The RISC I ("Gold") processor. */
+class Cpu
+{
+  public:
+    explicit Cpu(CpuOptions options = {});
+
+    /** Load a program image; resets registers, PC, windows and stats. */
+    void load(const assembler::Program &program);
+
+    /** Capture the complete machine state. */
+    Snapshot snapshot() const;
+
+    /** Restore a state captured by snapshot() on this configuration. */
+    void restore(const Snapshot &snap);
+
+    /** Run until halt, fault or the instruction limit. */
+    ExecResult run();
+
+    /** Execute exactly one instruction (throws SimFault on guest error). */
+    void step();
+
+    Memory &memory() { return memory_; }
+    const Memory &memory() const { return memory_; }
+
+    const SimStats &stats() const { return stats_; }
+    const isa::Flags &flags() const { return flags_; }
+
+    uint32_t pc() const { return pc_; }
+    uint32_t npc() const { return npc_; }
+    unsigned cwp() const { return cwp_; }
+    unsigned residentWindows() const { return resident_; }
+    bool interruptsEnabled() const { return ie_; }
+    bool halted() const { return halted_; }
+
+    /** Read a register of the current window (test/bench access). */
+    uint32_t reg(unsigned reg) const { return regs_.read(cwp_, reg); }
+    /** Write a register of the current window (test/bench access). */
+    void setReg(unsigned reg, uint32_t v) { regs_.write(cwp_, reg, v); }
+
+    /** Direct flag access for tests. */
+    void setFlags(const isa::Flags &flags) { flags_ = flags; }
+
+    /** Force the PC (tests). */
+    void
+    setPc(uint32_t pc)
+    {
+        pc_ = pc;
+        npc_ = pc + isa::InstBytes;
+    }
+
+    /**
+     * Assert the external interrupt line. The interrupt is taken
+     * before the next instruction once interrupts are enabled and no
+     * delayed transfer is in flight (so the interrupted instruction
+     * can simply be re-executed on return).
+     */
+    void raiseInterrupt() { interruptPending_ = true; }
+
+    bool interruptPending() const { return interruptPending_; }
+
+    const CpuOptions &options() const { return options_; }
+
+  private:
+    /** ALU result plus flag outputs. */
+    struct AluOut
+    {
+        uint32_t value;
+        bool c;
+        bool v;
+    };
+
+    uint32_t s2Value(const isa::Instruction &inst) const;
+    AluOut execAlu(const isa::Instruction &inst, uint32_t a, uint32_t b);
+    void applyScc(const isa::Instruction &inst, const AluOut &out);
+
+    /** Schedule a delayed transfer to `target`. */
+    void scheduleJump(uint32_t target);
+
+    /** Push a window for a call; handles overflow spilling. */
+    void windowPush();
+    /** Pop a window for a return; handles underflow refilling. */
+    void windowPop();
+
+    void traceInst(uint32_t inst_pc, const isa::Instruction &inst);
+
+    CpuOptions options_;
+    Memory memory_;
+    RegisterFile regs_;
+    SimStats stats_;
+
+    uint32_t pc_ = 0;
+    uint32_t npc_ = 0;
+    uint32_t lastPc_ = 0;
+    unsigned cwp_ = 0;
+    unsigned resident_ = 1;  //!< windows currently holding frames
+    uint64_t spilled_ = 0;   //!< frames on the save stack
+    uint32_t spillSp_ = 0;
+    isa::Flags flags_;
+    bool ie_ = true;
+    bool halted_ = false;
+
+    // Delayed-transfer plumbing (see step()).
+    bool jumpPending_ = false;
+    uint32_t jumpTarget_ = 0;
+
+    bool interruptPending_ = false;
+
+    /** Take a pending interrupt if the machine state allows it. */
+    bool maybeTakeInterrupt();
+};
+
+} // namespace risc1::sim
+
+#endif // RISC1_SIM_CPU_HH

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Guest-visible execution faults. Thrown by the memory system and the
+ * executor, caught by Cpu::run which converts them into a Fault stop.
+ */
+
+#ifndef RISC1_SIM_FAULT_HH
+#define RISC1_SIM_FAULT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace risc1::sim {
+
+/** An error attributable to the guest program (not a simulator bug). */
+struct SimFault
+{
+    std::string message;
+    uint32_t addr = 0; //!< faulting memory address or PC, if relevant
+};
+
+} // namespace risc1::sim
+
+#endif // RISC1_SIM_FAULT_HH

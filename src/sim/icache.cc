@@ -1,0 +1,38 @@
+#include "sim/icache.hh"
+
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace risc1::sim {
+
+ICacheModel::ICacheModel(ICacheConfig config) : config_(config)
+{
+    if (!isPow2(config_.sizeBytes) || !isPow2(config_.lineBytes))
+        fatal("ICacheModel: size and line must be powers of two");
+    if (config_.lineBytes > config_.sizeBytes)
+        fatal("ICacheModel: line larger than cache");
+    numSets_ = config_.sizeBytes / config_.lineBytes;
+    tags_.assign(numSets_, 0);
+}
+
+unsigned
+ICacheModel::access(uint32_t addr)
+{
+    ++stats_.accesses;
+    const uint32_t line = addr / config_.lineBytes;
+    const uint32_t set = line % numSets_;
+    const uint64_t tag = static_cast<uint64_t>(line / numSets_) + 1;
+    if (tags_[set] == tag)
+        return 0;
+    tags_[set] = tag;
+    ++stats_.misses;
+    return config_.missPenaltyCycles;
+}
+
+void
+ICacheModel::flush()
+{
+    tags_.assign(numSets_, 0);
+}
+
+} // namespace risc1::sim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Instruction-cache model (extension study). RISC I fetched every
+ * instruction from memory — affordable at 1981 memory speeds. The
+ * paper's successor direction (RISC II and the Berkeley cache studies)
+ * asked how small an on-chip instruction cache pays off; this model
+ * reproduces that study: a direct-mapped I-cache replayed against the
+ * committed instruction stream, reporting miss rates and added stall
+ * cycles per configuration.
+ */
+
+#ifndef RISC1_SIM_ICACHE_HH
+#define RISC1_SIM_ICACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace risc1::sim {
+
+/** Direct-mapped instruction-cache geometry. */
+struct ICacheConfig
+{
+    uint32_t sizeBytes = 512;
+    uint32_t lineBytes = 16;
+    unsigned missPenaltyCycles = 4; //!< refill stall per miss
+};
+
+/** Accumulated cache behaviour. */
+struct ICacheStats
+{
+    uint64_t accesses = 0;
+    uint64_t misses = 0;
+
+    double
+    missRate() const
+    {
+        return accesses ? static_cast<double>(misses) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+    }
+};
+
+/** Direct-mapped I-cache replay model. */
+class ICacheModel
+{
+  public:
+    explicit ICacheModel(ICacheConfig config);
+
+    /** Present one fetch; returns stall cycles (0 on hit). */
+    unsigned access(uint32_t addr);
+
+    const ICacheStats &stats() const { return stats_; }
+    const ICacheConfig &config() const { return config_; }
+
+    /** Invalidate everything. */
+    void flush();
+
+  private:
+    ICacheConfig config_;
+    ICacheStats stats_;
+    std::vector<uint64_t> tags_; //!< tag+1 per set; 0 = invalid
+    uint32_t numSets_;
+};
+
+} // namespace risc1::sim
+
+#endif // RISC1_SIM_ICACHE_HH

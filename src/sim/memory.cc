@@ -1,0 +1,171 @@
+#include "sim/memory.hh"
+
+#include <algorithm>
+
+#include "sim/fault.hh"
+#include "support/logging.hh"
+
+namespace risc1::sim {
+
+Memory::Page &
+Memory::pageFor(uint32_t addr)
+{
+    const uint32_t index = addr >> PageBits;
+    auto it = pages_.find(index);
+    if (it == pages_.end()) {
+        auto page = std::make_unique<Page>();
+        page->fill(0);
+        it = pages_.emplace(index, std::move(page)).first;
+    }
+    return *it->second;
+}
+
+const Memory::Page *
+Memory::pageAt(uint32_t addr) const
+{
+    auto it = pages_.find(addr >> PageBits);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+void
+Memory::checkAlign(uint32_t addr, unsigned bytes) const
+{
+    if (addr % bytes != 0) {
+        throw SimFault{strprintf("misaligned %u-byte access at 0x%08x",
+                                 bytes, addr),
+                       addr};
+    }
+}
+
+uint8_t
+Memory::peek8(uint32_t addr) const
+{
+    const Page *page = pageAt(addr);
+    return page ? (*page)[addr & (PageSize - 1)] : 0;
+}
+
+uint32_t
+Memory::peek32(uint32_t addr) const
+{
+    uint32_t value = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        value |= static_cast<uint32_t>(peek8(addr + i)) << (8 * i);
+    return value;
+}
+
+void
+Memory::poke8(uint32_t addr, uint8_t value)
+{
+    pageFor(addr)[addr & (PageSize - 1)] = value;
+}
+
+void
+Memory::poke32(uint32_t addr, uint32_t value)
+{
+    for (unsigned i = 0; i < 4; ++i)
+        poke8(addr + i, static_cast<uint8_t>(value >> (8 * i)));
+}
+
+uint32_t
+Memory::fetch32(uint32_t addr)
+{
+    checkAlign(addr, 4);
+    ++stats_.instFetches;
+    return peek32(addr);
+}
+
+uint8_t
+Memory::read8(uint32_t addr)
+{
+    ++stats_.dataReads;
+    stats_.dataReadBytes += 1;
+    return peek8(addr);
+}
+
+uint16_t
+Memory::read16(uint32_t addr)
+{
+    checkAlign(addr, 2);
+    ++stats_.dataReads;
+    stats_.dataReadBytes += 2;
+    return static_cast<uint16_t>(peek8(addr) |
+                                 (static_cast<uint16_t>(peek8(addr + 1))
+                                  << 8));
+}
+
+uint32_t
+Memory::read32(uint32_t addr)
+{
+    checkAlign(addr, 4);
+    ++stats_.dataReads;
+    stats_.dataReadBytes += 4;
+    return peek32(addr);
+}
+
+void
+Memory::write8(uint32_t addr, uint8_t value)
+{
+    ++stats_.dataWrites;
+    stats_.dataWriteBytes += 1;
+    poke8(addr, value);
+}
+
+void
+Memory::write16(uint32_t addr, uint16_t value)
+{
+    checkAlign(addr, 2);
+    ++stats_.dataWrites;
+    stats_.dataWriteBytes += 2;
+    poke8(addr, static_cast<uint8_t>(value));
+    poke8(addr + 1, static_cast<uint8_t>(value >> 8));
+}
+
+void
+Memory::write32(uint32_t addr, uint32_t value)
+{
+    checkAlign(addr, 4);
+    ++stats_.dataWrites;
+    stats_.dataWriteBytes += 4;
+    poke32(addr, value);
+}
+
+void
+Memory::loadProgram(const assembler::Program &program)
+{
+    for (const assembler::Segment &seg : program.segments) {
+        for (size_t i = 0; i < seg.bytes.size(); ++i)
+            poke8(seg.base + static_cast<uint32_t>(i), seg.bytes[i]);
+    }
+}
+
+std::vector<Memory::PageDump>
+Memory::dumpPages() const
+{
+    std::vector<PageDump> dump;
+    dump.reserve(pages_.size());
+    for (const auto &[index, page] : pages_)
+        dump.emplace_back(index,
+                          std::vector<uint8_t>(page->begin(),
+                                               page->end()));
+    std::sort(dump.begin(), dump.end(),
+              [](const PageDump &a, const PageDump &b) {
+                  return a.first < b.first;
+              });
+    return dump;
+}
+
+void
+Memory::restorePages(const std::vector<PageDump> &pages)
+{
+    pages_.clear();
+    for (const auto &[index, bytes] : pages) {
+        if (bytes.size() != PageSize)
+            panic("restorePages: page %u has %zu bytes", index,
+                  bytes.size());
+        auto page = std::make_unique<Page>();
+        std::copy(bytes.begin(), bytes.end(), page->begin());
+        pages_.emplace(index, std::move(page));
+    }
+}
+
+} // namespace risc1::sim

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Sparse paged byte-addressable memory with access statistics. All
+ * multi-byte accesses are little-endian and must be naturally aligned
+ * (RISC I has no unaligned access); violations raise SimFault.
+ */
+
+#ifndef RISC1_SIM_MEMORY_HH
+#define RISC1_SIM_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "asm/program.hh"
+
+namespace risc1::sim {
+
+/** Counters of memory traffic (experiment E7). */
+struct MemStats
+{
+    uint64_t instFetches = 0; //!< 32-bit instruction fetches
+    uint64_t dataReads = 0;   //!< load accesses
+    uint64_t dataWrites = 0;  //!< store accesses
+    uint64_t dataReadBytes = 0;
+    uint64_t dataWriteBytes = 0;
+
+    uint64_t
+    totalAccesses() const
+    {
+        return instFetches + dataReads + dataWrites;
+    }
+};
+
+/** Sparse guest memory. Unmapped locations read as zero. */
+class Memory
+{
+  public:
+    static constexpr unsigned PageBits = 12;
+    static constexpr uint32_t PageSize = 1u << PageBits;
+
+    /** Fetch one instruction word (counted separately from data). */
+    uint32_t fetch32(uint32_t addr);
+
+    /**
+     * Account for instruction-stream fetches performed via peek8 (used
+     * by the variable-length vax80 front end, which counts one fetch
+     * per 32-bit word its instruction bytes touch).
+     */
+    void countInstFetches(uint64_t n) { stats_.instFetches += n; }
+
+    uint8_t read8(uint32_t addr);
+    uint16_t read16(uint32_t addr);
+    uint32_t read32(uint32_t addr);
+
+    void write8(uint32_t addr, uint8_t value);
+    void write16(uint32_t addr, uint16_t value);
+    void write32(uint32_t addr, uint32_t value);
+
+    /** Raw accessors that bypass the statistics (loader / test use). */
+    uint8_t peek8(uint32_t addr) const;
+    uint32_t peek32(uint32_t addr) const;
+    void poke8(uint32_t addr, uint8_t value);
+    void poke32(uint32_t addr, uint32_t value);
+
+    /** Copy a program image into memory (no statistics). */
+    void loadProgram(const assembler::Program &program);
+
+    const MemStats &stats() const { return stats_; }
+    void resetStats() { stats_ = MemStats{}; }
+
+    /** One serialized page: index and contents (checkpointing). */
+    using PageDump = std::pair<uint32_t, std::vector<uint8_t>>;
+
+    /** Serialize all touched pages (sorted by index). */
+    std::vector<PageDump> dumpPages() const;
+
+    /** Replace the entire contents from a dump; stats are preserved. */
+    void restorePages(const std::vector<PageDump> &pages);
+
+    /** Restore the statistics (checkpointing). */
+    void setStats(const MemStats &stats) { stats_ = stats; }
+
+  private:
+    using Page = std::array<uint8_t, PageSize>;
+
+    /** Page holding `addr`, created zero-filled on demand. */
+    Page &pageFor(uint32_t addr);
+    /** Page holding `addr`, or nullptr if never touched. */
+    const Page *pageAt(uint32_t addr) const;
+
+    void checkAlign(uint32_t addr, unsigned bytes) const;
+
+    std::unordered_map<uint32_t, std::unique_ptr<Page>> pages_;
+    MemStats stats_;
+};
+
+} // namespace risc1::sim
+
+#endif // RISC1_SIM_MEMORY_HH

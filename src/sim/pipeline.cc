@@ -1,0 +1,98 @@
+#include "sim/pipeline.hh"
+
+#include "sim/fault.hh"
+
+namespace risc1::sim {
+
+PipelineModel::PipelineModel(PipelineVariant variant,
+                             const TimingModel &timing)
+    : variant_(variant), timing_(timing)
+{
+    // The three-stage organisation is what buys the shorter cycle; the
+    // paper-era estimate for the successor design.
+    stats_.cycleTimeNs = variant == PipelineVariant::TwoStage
+                             ? timing.cycleTimeNs
+                             : timing.cycleTimeNs * 0.825;
+}
+
+void
+PipelineModel::issue(const isa::Instruction &inst,
+                     unsigned window_trap_cycles)
+{
+    const isa::OpInfo &info = inst.info();
+    ++stats_.instructions;
+    stats_.cycles += 1; // every instruction occupies execute once
+
+    const bool is_mem = info.opClass == isa::OpClass::Load ||
+                        info.opClass == isa::OpClass::Store;
+    if (is_mem) {
+        // The data access steals the fetch slot of the next
+        // instruction: one stall cycle, in both organisations.
+        stats_.cycles += 1;
+        stats_.fetchStallCycles += 1;
+    }
+
+    if (variant_ == PipelineVariant::ThreeStage) {
+        // Load-use interlock: the loaded value is written one stage
+        // later, so an immediately-following consumer waits a cycle.
+        if (lastWasLoad_) {
+            bool uses = false;
+            if (info.readsRs1 && inst.rs1 == lastLoadRd_)
+                uses = true;
+            if (info.usesS2 && !inst.imm && inst.rs2 == lastLoadRd_)
+                uses = true;
+            if (info.rdIsSource && inst.rd == lastLoadRd_)
+                uses = true;
+            if (uses && lastLoadRd_ != isa::ZeroReg) {
+                stats_.cycles += 1;
+                ++stats_.loadUseInterlocks;
+            }
+        }
+        lastWasLoad_ = info.opClass == isa::OpClass::Load;
+        lastLoadRd_ = inst.rd;
+    }
+
+    stats_.cycles += window_trap_cycles;
+    stats_.windowTrapCycles += window_trap_cycles;
+}
+
+ExecResult
+runWithPipeline(Cpu &cpu, PipelineModel &model)
+{
+    ExecResult result;
+    const TimingModel &timing = cpu.options().timing;
+    while (!cpu.halted() &&
+           cpu.stats().instructions < cpu.options().maxInstructions) {
+        const uint64_t ovf_before = cpu.stats().windowOverflows;
+        const uint64_t unf_before = cpu.stats().windowUnderflows;
+        const uint32_t pc = cpu.pc();
+        const uint32_t word = cpu.memory().peek32(pc);
+
+        try {
+            cpu.step();
+        } catch (const SimFault &fault) {
+            result.reason = StopReason::Fault;
+            result.message = fault.message;
+            result.instructions = cpu.stats().instructions;
+            result.cycles = cpu.stats().cycles;
+            return result;
+        }
+
+        const isa::DecodeResult dec = isa::decode(word);
+        if (dec.ok) {
+            unsigned trap_cycles = 0;
+            if (cpu.stats().windowOverflows > ovf_before)
+                trap_cycles += timing.overflowCycles();
+            if (cpu.stats().windowUnderflows > unf_before)
+                trap_cycles += timing.underflowCycles();
+            model.issue(dec.inst, trap_cycles);
+        }
+    }
+    result.reason = cpu.halted() ? StopReason::Halted
+                                 : StopReason::InstLimit;
+    result.instructions = cpu.stats().instructions;
+    result.cycles = cpu.stats().cycles;
+    return result;
+}
+
+} // namespace risc1::sim

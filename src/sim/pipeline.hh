@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Explicit pipeline timing models. The RISC I ("Gold") machine ran a
+ * two-stage fetch/execute pipeline in which every data-memory access
+ * steals the fetch slot (hence 2-cycle loads/stores) and transfers are
+ * delayed by one instruction. Its successor direction (RISC II,
+ * sketched as future work) moves to three stages, which exposes a
+ * load-use interlock but supports a shorter cycle.
+ *
+ * The models consume the committed instruction stream (fed per step by
+ * `runWithPipeline`) and account cycles stage-by-stage; the two-stage
+ * model must agree exactly with the simple TimingModel cost function —
+ * a cross-check the tests enforce.
+ */
+
+#ifndef RISC1_SIM_PIPELINE_HH
+#define RISC1_SIM_PIPELINE_HH
+
+#include <cstdint>
+
+#include "isa/instruction.hh"
+#include "sim/cpu.hh"
+
+namespace risc1::sim {
+
+/** Pipeline organisation. */
+enum class PipelineVariant : uint8_t
+{
+    TwoStage,   //!< RISC I: fetch | execute
+    ThreeStage, //!< RISC II direction: fetch | execute | write
+};
+
+/** Cycle accounting of one pipeline run. */
+struct PipelineStats
+{
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+    uint64_t fetchStallCycles = 0;  //!< fetch suspended by a data access
+    uint64_t loadUseInterlocks = 0; //!< 3-stage only
+    uint64_t windowTrapCycles = 0;  //!< overflow/underflow sequences
+    double cycleTimeNs = 400.0;
+
+    double
+    cpi() const
+    {
+        return instructions ? static_cast<double>(cycles) /
+                                  static_cast<double>(instructions)
+                            : 0.0;
+    }
+
+    double
+    timeUs() const
+    {
+        return static_cast<double>(cycles) * cycleTimeNs / 1000.0;
+    }
+};
+
+/** Feed-forward pipeline timing model. */
+class PipelineModel
+{
+  public:
+    explicit PipelineModel(PipelineVariant variant,
+                           const TimingModel &timing = {});
+
+    /**
+     * Account one committed instruction. `window_trap_cycles` is the
+     * cost of any overflow/underflow the instruction triggered.
+     */
+    void issue(const isa::Instruction &inst,
+               unsigned window_trap_cycles);
+
+    const PipelineStats &stats() const { return stats_; }
+    PipelineVariant variant() const { return variant_; }
+
+  private:
+    PipelineVariant variant_;
+    TimingModel timing_;
+    PipelineStats stats_;
+
+    bool lastWasLoad_ = false;
+    uint8_t lastLoadRd_ = 0;
+};
+
+/**
+ * Run `cpu` (already loaded) to completion, feeding each committed
+ * instruction to `model`. Returns the cpu's ExecResult.
+ */
+ExecResult runWithPipeline(Cpu &cpu, PipelineModel &model);
+
+} // namespace risc1::sim
+
+#endif // RISC1_SIM_PIPELINE_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The overlapped-window register file (the paper's central mechanism).
+ * Pure storage plus the visible-to-physical mapping; window push/pop
+ * policy (overflow/underflow) lives in the Cpu.
+ */
+
+#ifndef RISC1_SIM_REGFILE_HH
+#define RISC1_SIM_REGFILE_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "isa/registers.hh"
+#include "support/logging.hh"
+
+namespace risc1::sim {
+
+/** Physical register bank with windowed access. */
+class RegisterFile
+{
+  public:
+    explicit RegisterFile(isa::WindowSpec spec)
+        : spec_(spec), regs_(spec.physCount(), 0)
+    {}
+
+    const isa::WindowSpec &spec() const { return spec_; }
+
+    /** Read visible register `reg` of window `cwp`; r0 reads zero. */
+    uint32_t
+    read(unsigned cwp, unsigned reg) const
+    {
+        if (reg == isa::ZeroReg)
+            return 0;
+        return regs_[spec_.physIndex(cwp, reg)];
+    }
+
+    /** Write visible register `reg` of window `cwp`; r0 is immutable. */
+    void
+    write(unsigned cwp, unsigned reg, uint32_t value)
+    {
+        if (reg == isa::ZeroReg)
+            return;
+        regs_[spec_.physIndex(cwp, reg)] = value;
+    }
+
+    /** Physical slot of window `w`'s fresh bank (LOW+LOCAL), 0..15. */
+    unsigned
+    bankPhys(unsigned window, unsigned slot) const
+    {
+        return isa::NumGlobals +
+               (window * isa::RegsPerWindow + slot) %
+                   (spec_.numWindows * isa::RegsPerWindow);
+    }
+
+    /**
+     * Physical slot `slot` (0..15) of the spill unit of the frame at
+     * `window`: its 10 LOCAL registers plus its 6 HIGH registers. The
+     * HIGH side physically lives in the next window's LOW bank; it is
+     * shared only with the frame's *caller* — which is already
+     * non-resident whenever this frame is spilled — so saving and
+     * restoring this set never touches registers a resident frame is
+     * using. (The frame's LOW registers are shared with its resident
+     * callee and therefore must NOT be part of the spill unit; this is
+     * the same locals+ins choice SPARC's window traps make.)
+     */
+    unsigned
+    frameSlotPhys(unsigned window, unsigned slot) const
+    {
+        constexpr unsigned num_locals = isa::HighBase - isa::LocalBase;
+        constexpr unsigned local_off = isa::LocalBase - isa::LowBase;
+        if (slot < num_locals) // LOCAL registers, bank slots 6..15
+            return bankPhys(window, local_off + slot);
+        return bankPhys((window + 1) % spec_.numWindows,
+                        slot - num_locals);
+    }
+
+    uint32_t readPhys(unsigned phys) const { return regs_[phys]; }
+    void writePhys(unsigned phys, uint32_t value) { regs_[phys] = value; }
+
+    /** Zero every register (program load). */
+    void
+    clear()
+    {
+        std::fill(regs_.begin(), regs_.end(), 0);
+    }
+
+    /** Full physical contents (checkpointing). */
+    const std::vector<uint32_t> &dump() const { return regs_; }
+
+    /** Restore physical contents (sizes must match). */
+    void
+    restore(const std::vector<uint32_t> &regs)
+    {
+        if (regs.size() != regs_.size())
+            panic("RegisterFile::restore: size mismatch");
+        regs_ = regs;
+    }
+
+  private:
+    isa::WindowSpec spec_;
+    std::vector<uint32_t> regs_;
+};
+
+} // namespace risc1::sim
+
+#endif // RISC1_SIM_REGFILE_HH

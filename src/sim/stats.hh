@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Execution statistics gathered by the RISC I simulator; the raw
+ * material of experiments E3, E5, E6, E7, E8 and E9.
+ */
+
+#ifndef RISC1_SIM_STATS_HH
+#define RISC1_SIM_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "isa/opcode.hh"
+#include "sim/memory.hh"
+
+namespace risc1::sim {
+
+/** Number of OpClass values. */
+constexpr unsigned NumOpClasses = 7;
+
+/** Dynamic statistics of one simulation run. */
+struct SimStats
+{
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+
+    /** Dynamic count per opcode. */
+    std::map<isa::Opcode, uint64_t> perOpcode;
+    /** Dynamic count per functional class. */
+    std::array<uint64_t, NumOpClasses> perClass{};
+
+    uint64_t branches = 0;
+    uint64_t branchesTaken = 0;
+    uint64_t nopsExecuted = 0; //!< canonical NOPs (mostly unfilled slots)
+
+    uint64_t calls = 0;
+    uint64_t returns = 0;
+    uint64_t interruptsTaken = 0;
+    uint64_t windowOverflows = 0;
+    uint64_t windowUnderflows = 0;
+    uint64_t spillWords = 0;  //!< registers written to the save stack
+    uint64_t refillWords = 0; //!< registers read back
+
+    uint64_t callDepth = 0;    //!< current nesting depth
+    uint64_t maxCallDepth = 0;
+
+    /** Memory traffic (mirrors Memory::stats at end of run). */
+    MemStats memory;
+
+    void
+    countClass(isa::OpClass cls)
+    {
+        ++perClass[static_cast<unsigned>(cls)];
+    }
+
+    uint64_t
+    classCount(isa::OpClass cls) const
+    {
+        return perClass[static_cast<unsigned>(cls)];
+    }
+
+    /** Fraction of calls that overflowed (experiment E6). */
+    double
+    overflowRate() const
+    {
+        return calls ? static_cast<double>(windowOverflows) /
+                           static_cast<double>(calls)
+                     : 0.0;
+    }
+
+    /** Average cycles per instruction. */
+    double
+    cpi() const
+    {
+        return instructions ? static_cast<double>(cycles) /
+                                  static_cast<double>(instructions)
+                            : 0.0;
+    }
+
+    /** Execution time in microseconds at the given cycle time. */
+    double
+    timeUs(double cycle_ns) const
+    {
+        return static_cast<double>(cycles) * cycle_ns / 1000.0;
+    }
+};
+
+} // namespace risc1::sim
+
+#endif // RISC1_SIM_STATS_HH

@@ -1,0 +1,78 @@
+#include "sim/statsdump.hh"
+
+#include "support/logging.hh"
+
+namespace risc1::sim {
+
+std::string
+statsLine(const std::string &prefix, const char *name, double value,
+          const char *comment)
+{
+    std::string full = prefix + "." + name;
+    // Integral values print without a fraction.
+    std::string val = value == static_cast<uint64_t>(value)
+                          ? strprintf("%llu",
+                                      static_cast<unsigned long long>(
+                                          value))
+                          : strprintf("%.4f", value);
+    return strprintf("%-40s %16s  # %s\n", full.c_str(), val.c_str(),
+                     comment);
+}
+
+namespace {
+constexpr auto line = statsLine;
+} // namespace
+
+std::string
+formatStats(const SimStats &s, const std::string &prefix)
+{
+    std::string out;
+    auto u64 = [](uint64_t v) { return static_cast<double>(v); };
+    out += line(prefix, "instructions", u64(s.instructions),
+                "committed instructions");
+    out += line(prefix, "cycles", u64(s.cycles), "machine cycles");
+    out += line(prefix, "cpi", s.cpi(), "cycles per instruction");
+    out += line(prefix, "alu_insts",
+                u64(s.classCount(isa::OpClass::Alu)),
+                "arithmetic/logical/shift");
+    out += line(prefix, "loads", u64(s.classCount(isa::OpClass::Load)),
+                "memory reads");
+    out += line(prefix, "stores",
+                u64(s.classCount(isa::OpClass::Store)),
+                "memory writes");
+    out += line(prefix, "branches", u64(s.branches),
+                "conditional + unconditional jumps");
+    out += line(prefix, "branches_taken", u64(s.branchesTaken),
+                "jumps that redirected the PC");
+    out += line(prefix, "nops_executed", u64(s.nopsExecuted),
+                "canonical NOPs (mostly unfilled slots)");
+    out += line(prefix, "calls", u64(s.calls), "window pushes");
+    out += line(prefix, "returns", u64(s.returns), "window pops");
+    out += line(prefix, "interrupts_taken", u64(s.interruptsTaken),
+                "external interrupts serviced");
+    out += line(prefix, "max_call_depth", u64(s.maxCallDepth),
+                "deepest procedure nesting");
+    out += line(prefix, "window_overflows", u64(s.windowOverflows),
+                "spill traps");
+    out += line(prefix, "window_underflows", u64(s.windowUnderflows),
+                "refill traps");
+    out += line(prefix, "overflow_rate", s.overflowRate(),
+                "overflows / calls");
+    out += line(prefix, "spill_words", u64(s.spillWords),
+                "registers written to the save stack");
+    out += line(prefix, "refill_words", u64(s.refillWords),
+                "registers read back from the save stack");
+    out += line(prefix, "mem_inst_fetches", u64(s.memory.instFetches),
+                "instruction-word fetches");
+    out += line(prefix, "mem_data_reads", u64(s.memory.dataReads),
+                "data-memory read accesses");
+    out += line(prefix, "mem_data_writes", u64(s.memory.dataWrites),
+                "data-memory write accesses");
+    out += line(prefix, "mem_data_read_bytes",
+                u64(s.memory.dataReadBytes), "bytes read");
+    out += line(prefix, "mem_data_write_bytes",
+                u64(s.memory.dataWriteBytes), "bytes written");
+    return out;
+}
+
+} // namespace risc1::sim

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Human-readable statistics dumps (gem5-style `name value # comment`
+ * lines) for both machines — the format the examples print and other
+ * tools can scrape.
+ */
+
+#ifndef RISC1_SIM_STATSDUMP_HH
+#define RISC1_SIM_STATSDUMP_HH
+
+#include <string>
+
+#include "sim/stats.hh"
+
+namespace risc1::sim {
+
+/** One aligned `name value # comment` stats line. */
+std::string statsLine(const std::string &prefix, const char *name,
+                      double value, const char *comment);
+
+/** Render SimStats as aligned `name value # comment` lines. */
+std::string formatStats(const SimStats &stats,
+                        const std::string &prefix = "risc1");
+
+} // namespace risc1::sim
+
+#endif // RISC1_SIM_STATSDUMP_HH

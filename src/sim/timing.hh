@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Cycle-cost model of the RISC I machine. The paper's model: every
+ * instruction executes in one cycle except memory accesses, which take
+ * two (the data access steals the fetch slot of the simple two-stage
+ * pipeline). Window overflow/underflow traps cost a fixed overhead plus
+ * one store/load per spilled/refilled register. Absolute time comes from
+ * the configurable cycle time (the paper assumed 400 ns).
+ */
+
+#ifndef RISC1_SIM_TIMING_HH
+#define RISC1_SIM_TIMING_HH
+
+#include <cstdint>
+
+#include "isa/opcode.hh"
+
+namespace risc1::sim {
+
+/** Per-class cycle costs. */
+struct TimingModel
+{
+    unsigned aluCycles = 1;
+    unsigned loadCycles = 2;   //!< paper: loads/stores take 2 cycles
+    unsigned storeCycles = 2;
+    unsigned branchCycles = 1; //!< delayed; no taken-branch bubble
+    unsigned callCycles = 1;
+    unsigned retCycles = 1;
+    unsigned miscCycles = 1;
+    /** Trap sequence overhead, on top of the 16 register transfers. */
+    unsigned windowTrapOverhead = 6;
+    /** Cycle time in nanoseconds (paper's RISC I estimate: 400 ns). */
+    double cycleTimeNs = 400.0;
+
+    /** Base cost of one instruction of class `cls`. */
+    unsigned
+    cyclesFor(isa::OpClass cls) const
+    {
+        switch (cls) {
+          case isa::OpClass::Alu:    return aluCycles;
+          case isa::OpClass::Load:   return loadCycles;
+          case isa::OpClass::Store:  return storeCycles;
+          case isa::OpClass::Branch: return branchCycles;
+          case isa::OpClass::Call:   return callCycles;
+          case isa::OpClass::Ret:    return retCycles;
+          case isa::OpClass::Misc:   return miscCycles;
+        }
+        return 1;
+    }
+
+    /** Full cost of a window overflow trap (16 stores + overhead). */
+    unsigned
+    overflowCycles() const
+    {
+        return windowTrapOverhead + 16 * storeCycles;
+    }
+
+    /** Full cost of a window underflow trap (16 loads + overhead). */
+    unsigned
+    underflowCycles() const
+    {
+        return windowTrapOverhead + 16 * loadCycles;
+    }
+};
+
+} // namespace risc1::sim
+
+#endif // RISC1_SIM_TIMING_HH

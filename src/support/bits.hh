@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the ISA encoders/decoders and the
+ * simulators. All helpers are constexpr and operate on unsigned 64-bit
+ * values internally so they compose safely for any field width <= 32.
+ */
+
+#ifndef RISC1_SUPPORT_BITS_HH
+#define RISC1_SUPPORT_BITS_HH
+
+#include <cstdint>
+
+namespace risc1 {
+
+/** A mask of `nbits` ones in the low-order positions. */
+constexpr uint64_t
+mask(unsigned nbits)
+{
+    return nbits >= 64 ? ~uint64_t{0} : ((uint64_t{1} << nbits) - 1);
+}
+
+/** Extract bits [last:first] (inclusive, last >= first) of `val`. */
+constexpr uint64_t
+bits(uint64_t val, unsigned last, unsigned first)
+{
+    return (val >> first) & mask(last - first + 1);
+}
+
+/** Extract the single bit `pos` of `val`. */
+constexpr bool
+bit(uint64_t val, unsigned pos)
+{
+    return (val >> pos) & 1;
+}
+
+/**
+ * Return `val` with bits [last:first] replaced by the low bits of `field`.
+ */
+constexpr uint64_t
+insertBits(uint64_t val, unsigned last, unsigned first, uint64_t field)
+{
+    const uint64_t m = mask(last - first + 1) << first;
+    return (val & ~m) | ((field << first) & m);
+}
+
+/** Sign-extend the low `nbits` of `val` to a signed 64-bit value. */
+constexpr int64_t
+sext(uint64_t val, unsigned nbits)
+{
+    const uint64_t sign_bit = uint64_t{1} << (nbits - 1);
+    const uint64_t v = val & mask(nbits);
+    return static_cast<int64_t>((v ^ sign_bit) - sign_bit);
+}
+
+/** True iff the signed value fits in a two's-complement field of `nbits`. */
+constexpr bool
+fitsSigned(int64_t val, unsigned nbits)
+{
+    const int64_t lo = -(int64_t{1} << (nbits - 1));
+    const int64_t hi = (int64_t{1} << (nbits - 1)) - 1;
+    return val >= lo && val <= hi;
+}
+
+/** True iff the value fits in an unsigned field of `nbits`. */
+constexpr bool
+fitsUnsigned(uint64_t val, unsigned nbits)
+{
+    return nbits >= 64 || val <= mask(nbits);
+}
+
+/** True iff `val` is a power of two (and nonzero). */
+constexpr bool
+isPow2(uint64_t val)
+{
+    return val != 0 && (val & (val - 1)) == 0;
+}
+
+/** Round `val` up to the next multiple of power-of-two `align`. */
+constexpr uint64_t
+roundUp(uint64_t val, uint64_t align)
+{
+    return (val + align - 1) & ~(align - 1);
+}
+
+} // namespace risc1
+
+#endif // RISC1_SUPPORT_BITS_HH

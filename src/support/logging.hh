@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers, in the spirit of gem5's
+ * logging.hh. `panic` is for internal invariant violations (simulator bugs);
+ * `fatal` is for user errors (bad program, bad configuration); `warn` and
+ * `inform` report non-fatal conditions.
+ */
+
+#ifndef RISC1_SUPPORT_LOGGING_HH
+#define RISC1_SUPPORT_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace risc1 {
+
+/** Render a printf-style format string to a std::string. */
+std::string vstrprintf(const char *fmt, va_list ap);
+
+/** Render a printf-style format string to a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Abort with a message. Call when an internal invariant is violated —
+ * i.e. a bug in the simulator itself, regardless of user input.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Exception carrying a user-level error (bad assembly source, invalid
+ * machine configuration, runaway guest program). Thrown by `fatal` so
+ * library users and tests can catch it; uncaught it terminates with the
+ * message.
+ */
+class FatalError : public std::exception
+{
+  public:
+    explicit FatalError(std::string message);
+
+    const char *what() const noexcept override { return message_.c_str(); }
+    const std::string &message() const { return message_; }
+
+  private:
+    std::string message_;
+};
+
+/**
+ * Report an unrecoverable user-level error by throwing FatalError.
+ * Use for conditions that are the user's fault, not simulator bugs.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report suspicious but non-fatal conditions to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report informative status to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Silence warn()/inform() output (used by tests and benches). */
+void setQuiet(bool quiet);
+
+} // namespace risc1
+
+#endif // RISC1_SUPPORT_LOGGING_HH

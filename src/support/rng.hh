@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xorshift64*), used by the
+ * workload generators and property tests so every run is reproducible
+ * without depending on std::random_device.
+ */
+
+#ifndef RISC1_SUPPORT_RNG_HH
+#define RISC1_SUPPORT_RNG_HH
+
+#include <cstdint>
+
+namespace risc1 {
+
+/** Small, fast, deterministic PRNG (xorshift64*). */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state_(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform value in [0, bound). bound must be nonzero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(
+                        below(static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Bernoulli draw with probability num/den. */
+    bool
+    chance(uint64_t num, uint64_t den)
+    {
+        return below(den) < num;
+    }
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace risc1
+
+#endif // RISC1_SUPPORT_RNG_HH

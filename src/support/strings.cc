@@ -1,0 +1,164 @@
+#include "support/strings.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace risc1 {
+
+std::string_view
+trim(std::string_view s)
+{
+    size_t b = 0;
+    while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    size_t e = s.size();
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::vector<std::string>
+split(std::string_view s, char delim)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (true) {
+        size_t pos = s.find(delim, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(s.substr(start));
+            return out;
+        }
+        out.emplace_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::string
+toLower(std::string_view s)
+{
+    std::string out(s);
+    for (char &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+std::string
+toUpper(std::string_view s)
+{
+    std::string out(s);
+    for (char &c : out)
+        c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    return out;
+}
+
+bool
+iequals(std::string_view a, std::string_view b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i])))
+            return false;
+    }
+    return true;
+}
+
+namespace {
+
+/** Decode one escape sequence body (after the backslash). */
+std::optional<char>
+unescape(char c)
+{
+    switch (c) {
+      case 'n': return '\n';
+      case 't': return '\t';
+      case 'r': return '\r';
+      case '0': return '\0';
+      case 'b': return '\b';
+      case '\\': return '\\';
+      case '\'': return '\'';
+      case '"': return '"';
+      default: return std::nullopt;
+    }
+}
+
+} // namespace
+
+std::optional<int64_t>
+parseInt(std::string_view s)
+{
+    s = trim(s);
+    if (s.empty())
+        return std::nullopt;
+
+    bool negative = false;
+    if (s.front() == '-' || s.front() == '+') {
+        negative = s.front() == '-';
+        s.remove_prefix(1);
+        if (s.empty())
+            return std::nullopt;
+    }
+
+    // Character literal.
+    if (s.front() == '\'') {
+        char value;
+        if (s.size() == 3 && s[2] == '\'') {
+            value = s[1];
+        } else if (s.size() == 4 && s[1] == '\\' && s[3] == '\'') {
+            auto u = unescape(s[2]);
+            if (!u)
+                return std::nullopt;
+            value = *u;
+        } else {
+            return std::nullopt;
+        }
+        int64_t v = static_cast<unsigned char>(value);
+        return negative ? -v : v;
+    }
+
+    int base = 10;
+    if (s.size() > 2 && s[0] == '0') {
+        if (s[1] == 'x' || s[1] == 'X') {
+            base = 16;
+            s.remove_prefix(2);
+        } else if (s[1] == 'b' || s[1] == 'B') {
+            base = 2;
+            s.remove_prefix(2);
+        } else if (s[1] == 'o' || s[1] == 'O') {
+            base = 8;
+            s.remove_prefix(2);
+        }
+    }
+
+    if (s.empty())
+        return std::nullopt;
+
+    uint64_t acc = 0;
+    for (char c : s) {
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            digit = c - 'a' + 10;
+        else if (c >= 'A' && c <= 'F')
+            digit = c - 'A' + 10;
+        else
+            return std::nullopt;
+        if (digit >= base)
+            return std::nullopt;
+        uint64_t next = acc * static_cast<uint64_t>(base) +
+                        static_cast<uint64_t>(digit);
+        if (next < acc || next > (uint64_t{1} << 63))
+            return std::nullopt; // overflow
+        acc = next;
+    }
+
+    if (negative)
+        return -static_cast<int64_t>(acc);
+    if (acc > static_cast<uint64_t>(INT64_MAX))
+        return std::nullopt;
+    return static_cast<int64_t>(acc);
+}
+
+} // namespace risc1

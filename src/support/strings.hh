@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Small string utilities shared by the assembler, disassembler and the
+ * table-printing code in core/.
+ */
+
+#ifndef RISC1_SUPPORT_STRINGS_HH
+#define RISC1_SUPPORT_STRINGS_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace risc1 {
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string_view trim(std::string_view s);
+
+/** Split on a delimiter character; empty fields are kept. */
+std::vector<std::string> split(std::string_view s, char delim);
+
+/** Lower-case an ASCII string. */
+std::string toLower(std::string_view s);
+
+/** Upper-case an ASCII string. */
+std::string toUpper(std::string_view s);
+
+/** Case-insensitive ASCII string equality. */
+bool iequals(std::string_view a, std::string_view b);
+
+/**
+ * Parse an integer literal: decimal, 0x/0X hex, 0b binary, 0o octal, or a
+ * single-quoted character ('a', '\n', '\0', '\\', '\''). A leading '-'
+ * negates. Returns nullopt on malformed input or overflow of int64.
+ */
+std::optional<int64_t> parseInt(std::string_view s);
+
+} // namespace risc1
+
+#endif // RISC1_SUPPORT_STRINGS_HH

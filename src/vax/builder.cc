@@ -1,0 +1,363 @@
+#include "vax/builder.hh"
+
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace risc1::vax {
+
+VOperand
+vreg(unsigned reg)
+{
+    if (reg >= NumRegs)
+        panic("vreg: register %u out of range", reg);
+    VOperand op;
+    op.mode = Mode::Register;
+    op.reg = reg;
+    return op;
+}
+
+VOperand
+vlit(uint32_t value)
+{
+    if (value <= 63) {
+        VOperand op;
+        op.mode = Mode::Literal;
+        op.imm = value;
+        return op;
+    }
+    return vimm(value);
+}
+
+VOperand
+vimm(uint32_t value)
+{
+    VOperand op;
+    op.mode = Mode::AutoInc; // (PC)+ immediate idiom
+    op.reg = 15;
+    op.imm = value;
+    return op;
+}
+
+VOperand
+vsym(std::string label)
+{
+    VOperand op = vimm(0);
+    op.label = std::move(label);
+    return op;
+}
+
+VOperand
+vdef(unsigned reg)
+{
+    VOperand op;
+    op.mode = Mode::Deferred;
+    op.reg = reg;
+    return op;
+}
+
+VOperand
+vdec(unsigned reg)
+{
+    VOperand op;
+    op.mode = Mode::AutoDec;
+    op.reg = reg;
+    return op;
+}
+
+VOperand
+vinc(unsigned reg)
+{
+    VOperand op;
+    op.mode = Mode::AutoInc;
+    op.reg = reg;
+    return op;
+}
+
+VOperand
+vdisp(unsigned reg, int32_t disp)
+{
+    VOperand op;
+    op.reg = reg;
+    op.disp = disp;
+    if (fitsSigned(disp, 8))
+        op.mode = Mode::DispByte;
+    else if (fitsSigned(disp, 16))
+        op.mode = Mode::DispWord;
+    else
+        op.mode = Mode::DispLong;
+    return op;
+}
+
+VOperand
+vabs(uint32_t addr)
+{
+    VOperand op;
+    op.mode = Mode::DispLong;
+    op.reg = 15; // absolute idiom
+    op.imm = addr;
+    return op;
+}
+
+VOperand
+vabsSym(std::string label)
+{
+    VOperand op = vabs(0);
+    op.label = std::move(label);
+    return op;
+}
+
+VOperand
+vidx(unsigned index_reg, VOperand base)
+{
+    if (base.mode == Mode::Register || base.mode == Mode::Literal ||
+        (base.mode == Mode::AutoInc && base.reg == 15))
+        panic("vidx: base must be a memory-mode operand");
+    base.indexed = true;
+    base.indexReg = index_reg;
+    return base;
+}
+
+void
+VaxAsm::label(const std::string &name)
+{
+    auto [it, inserted] = symbols_.emplace(name, here());
+    (void)it;
+    if (!inserted)
+        fatal("vax80 builder: duplicate label '%s'", name.c_str());
+}
+
+void
+VaxAsm::entry(const std::string &name, uint16_t save_mask)
+{
+    label(name);
+    byte(static_cast<uint8_t>(save_mask));
+    byte(static_cast<uint8_t>(save_mask >> 8));
+    codeBytes_ += 2;
+}
+
+void
+VaxAsm::emitOperand(const VOperand &op)
+{
+    auto spec = [](Mode mode, unsigned reg) {
+        return static_cast<uint8_t>((static_cast<unsigned>(mode) << 4) |
+                                    (reg & 0xf));
+    };
+
+    if (op.indexed)
+        byte(spec(Mode::Index, op.indexReg));
+
+    switch (op.mode) {
+      case Mode::Literal:
+        if (op.imm > 63)
+            panic("emitOperand: short literal %u > 63", op.imm);
+        byte(static_cast<uint8_t>(op.imm)); // modes 0x0..0x3
+        return;
+      case Mode::Register:
+      case Mode::Deferred:
+      case Mode::AutoDec:
+        byte(spec(op.mode, op.reg));
+        return;
+      case Mode::AutoInc:
+        byte(spec(op.mode, op.reg));
+        if (op.reg == 15) {
+            // 32-bit immediate follows.
+            if (!op.label.empty())
+                fixups_.push_back(Fixup{Fixup::Kind::Abs32, bytes_.size(),
+                                        0, op.label});
+            for (unsigned i = 0; i < 4; ++i)
+                byte(static_cast<uint8_t>(op.imm >> (8 * i)));
+        }
+        return;
+      case Mode::DispByte:
+        byte(spec(op.mode, op.reg));
+        byte(static_cast<uint8_t>(op.disp));
+        return;
+      case Mode::DispWord:
+        byte(spec(op.mode, op.reg));
+        byte(static_cast<uint8_t>(op.disp));
+        byte(static_cast<uint8_t>(op.disp >> 8));
+        return;
+      case Mode::DispLong: {
+        byte(spec(op.mode, op.reg));
+        uint32_t value = op.reg == 15 ? op.imm
+                                      : static_cast<uint32_t>(op.disp);
+        if (!op.label.empty())
+            fixups_.push_back(Fixup{Fixup::Kind::Abs32, bytes_.size(), 0,
+                                    op.label});
+        for (unsigned i = 0; i < 4; ++i)
+            byte(static_cast<uint8_t>(value >> (8 * i)));
+        return;
+      }
+      case Mode::Index:
+        panic("emitOperand: bare index mode");
+    }
+}
+
+void
+VaxAsm::inst(VaxOp op, std::initializer_list<VOperand> ops)
+{
+    inst(op, std::vector<VOperand>(ops));
+}
+
+void
+VaxAsm::inst(VaxOp op, const std::vector<VOperand> &ops)
+{
+    const size_t start = bytes_.size();
+    byte(static_cast<uint8_t>(op));
+    for (const VOperand &o : ops)
+        emitOperand(o);
+    codeBytes_ += static_cast<uint32_t>(bytes_.size() - start);
+    ++instCount_;
+}
+
+void
+VaxAsm::br(VaxOp op, const std::string &target)
+{
+    const size_t start = bytes_.size();
+    byte(static_cast<uint8_t>(op));
+    fixups_.push_back(Fixup{Fixup::Kind::Rel8, bytes_.size(), here() + 1,
+                            target});
+    byte(0);
+    codeBytes_ += static_cast<uint32_t>(bytes_.size() - start);
+    ++instCount_;
+}
+
+void
+VaxAsm::brw(const std::string &target)
+{
+    const size_t start = bytes_.size();
+    byte(static_cast<uint8_t>(VaxOp::Brw));
+    fixups_.push_back(Fixup{Fixup::Kind::Rel16, bytes_.size(), here() + 2,
+                            target});
+    byte(0);
+    byte(0);
+    codeBytes_ += static_cast<uint32_t>(bytes_.size() - start);
+    ++instCount_;
+}
+
+void
+VaxAsm::jmp(const std::string &target)
+{
+    inst(VaxOp::Jmp, {vabsSym(target)});
+}
+
+void
+VaxAsm::calls(unsigned nargs, const std::string &target)
+{
+    inst(VaxOp::Calls, {vlit(nargs), vabsSym(target)});
+}
+
+void
+VaxAsm::ret()
+{
+    inst(VaxOp::Ret, {});
+}
+
+void
+VaxAsm::halt()
+{
+    inst(VaxOp::Halt, {});
+}
+
+void
+VaxAsm::nop()
+{
+    inst(VaxOp::Nop, {});
+}
+
+void
+VaxAsm::word(uint32_t value)
+{
+    for (unsigned i = 0; i < 4; ++i)
+        byte(static_cast<uint8_t>(value >> (8 * i)));
+}
+
+void
+VaxAsm::space(uint32_t count)
+{
+    for (uint32_t i = 0; i < count; ++i)
+        byte(0);
+}
+
+void
+VaxAsm::align(uint32_t boundary)
+{
+    if (!isPow2(boundary))
+        fatal("vax80 builder: align boundary must be a power of two");
+    while (here() % boundary != 0)
+        byte(0);
+}
+
+void
+VaxAsm::ascii(const std::string &text)
+{
+    for (char c : text)
+        byte(static_cast<uint8_t>(c));
+}
+
+void
+VaxAsm::setEntry(const std::string &label_name)
+{
+    entryLabel_ = label_name;
+}
+
+VaxProgram
+VaxAsm::finish()
+{
+    for (const Fixup &fixup : fixups_) {
+        auto it = symbols_.find(fixup.label);
+        if (it == symbols_.end())
+            fatal("vax80 builder: undefined label '%s'",
+                  fixup.label.c_str());
+        const uint32_t target = it->second;
+        switch (fixup.kind) {
+          case Fixup::Kind::Abs32:
+            for (unsigned i = 0; i < 4; ++i)
+                bytes_[fixup.offset + i] =
+                    static_cast<uint8_t>(target >> (8 * i));
+            break;
+          case Fixup::Kind::Rel8: {
+            const int64_t disp = static_cast<int64_t>(target) -
+                                 fixup.relBase;
+            if (!fitsSigned(disp, 8))
+                fatal("vax80 builder: branch to '%s' out of byte range "
+                      "(%lld); use brw/jmp",
+                      fixup.label.c_str(), static_cast<long long>(disp));
+            bytes_[fixup.offset] = static_cast<uint8_t>(disp);
+            break;
+          }
+          case Fixup::Kind::Rel16: {
+            const int64_t disp = static_cast<int64_t>(target) -
+                                 fixup.relBase;
+            if (!fitsSigned(disp, 16))
+                fatal("vax80 builder: brw to '%s' out of range",
+                      fixup.label.c_str());
+            bytes_[fixup.offset] = static_cast<uint8_t>(disp);
+            bytes_[fixup.offset + 1] = static_cast<uint8_t>(disp >> 8);
+            break;
+          }
+        }
+    }
+
+    VaxProgram prog;
+    prog.base = base_;
+    prog.bytes = bytes_;
+    prog.symbols = symbols_;
+    prog.codeBytes = codeBytes_;
+    prog.instructionCount = instCount_;
+
+    if (!entryLabel_.empty()) {
+        auto it = symbols_.find(entryLabel_);
+        if (it == symbols_.end())
+            fatal("vax80 builder: undefined entry label '%s'",
+                  entryLabel_.c_str());
+        prog.entry = it->second;
+    } else if (auto it = symbols_.find("main"); it != symbols_.end()) {
+        prog.entry = it->second;
+    } else {
+        prog.entry = base_;
+    }
+    return prog;
+}
+
+} // namespace risc1::vax

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Builder API for vax80 programs (the baseline has no text assembler;
+ * workloads construct it the way a compiler back end would). The builder
+ * emits bytes into a contiguous image, resolving label fixups at
+ * finish().
+ */
+
+#ifndef RISC1_VAX_BUILDER_HH
+#define RISC1_VAX_BUILDER_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "vax/isa.hh"
+
+namespace risc1::vax {
+
+/** Operand descriptor consumed by the builder. */
+struct VOperand
+{
+    Mode mode = Mode::Register;
+    unsigned reg = 0;
+    int32_t disp = 0;       //!< displacement modes
+    uint32_t imm = 0;       //!< immediate / absolute value
+    std::string label;      //!< symbolic immediate / absolute target
+    bool indexed = false;   //!< [Rx] prefix
+    unsigned indexReg = 0;
+};
+
+/** Register operand Rn. */
+VOperand vreg(unsigned reg);
+/** Smallest encoding of a constant: short literal if 0..63, else imm. */
+VOperand vlit(uint32_t value);
+/** 32-bit immediate. */
+VOperand vimm(uint32_t value);
+/** Immediate whose value is a label's address (fixed up at finish). */
+VOperand vsym(std::string label);
+/** Register deferred (Rn). */
+VOperand vdef(unsigned reg);
+/** Autodecrement -(Rn) (push-style). */
+VOperand vdec(unsigned reg);
+/** Autoincrement (Rn)+ (pop-style). */
+VOperand vinc(unsigned reg);
+/** Displacement d(Rn); width picked from the displacement value. */
+VOperand vdisp(unsigned reg, int32_t disp);
+/** Absolute memory address. */
+VOperand vabs(uint32_t addr);
+/** Absolute memory address of a label. */
+VOperand vabsSym(std::string label);
+/** Add an index register to any memory-mode operand: base[Rx]. */
+VOperand vidx(unsigned index_reg, VOperand base);
+
+/** Finished image. */
+struct VaxProgram
+{
+    uint32_t base = 0;
+    std::vector<uint8_t> bytes;
+    uint32_t entry = 0;
+    std::map<std::string, uint32_t> symbols;
+    uint32_t codeBytes = 0;   //!< instruction bytes (entry masks included)
+    unsigned instructionCount = 0;
+
+    uint32_t totalBytes() const
+    {
+        return static_cast<uint32_t>(bytes.size());
+    }
+};
+
+/** Incremental program builder with label fixups. */
+class VaxAsm
+{
+  public:
+    explicit VaxAsm(uint32_t org = 0x1000) : base_(org) {}
+
+    /** Define a label at the current position. */
+    void label(const std::string &name);
+
+    /**
+     * Define a procedure entry: label plus the 2-byte register save
+     * mask CALLS reads (bit r set = save Rr across the call).
+     */
+    void entry(const std::string &name, uint16_t save_mask);
+
+    /** Emit a generic instruction. */
+    void inst(VaxOp op, std::initializer_list<VOperand> ops);
+    void inst(VaxOp op, const std::vector<VOperand> &ops);
+
+    /** Conditional/unconditional branch to a label (byte displacement). */
+    void br(VaxOp op, const std::string &target);
+    /** Unconditional word-displacement branch. */
+    void brw(const std::string &target);
+    /** Absolute jump to a label. */
+    void jmp(const std::string &target);
+    /** CALLS #nargs, label. */
+    void calls(unsigned nargs, const std::string &target);
+    void ret();
+    void halt();
+    void nop();
+
+    // Data emission (counted separately from code).
+    void word(uint32_t value);
+    void space(uint32_t count);
+    void align(uint32_t boundary);
+    void ascii(const std::string &text);
+
+    /** Set the entry point (defaults to label "main", else image base). */
+    void setEntry(const std::string &label_name);
+
+    /** Resolve fixups and produce the image. Throws FatalError on
+     *  undefined labels or out-of-range branch displacements. */
+    VaxProgram finish();
+
+    uint32_t here() const { return base_ + static_cast<uint32_t>(bytes_.size()); }
+
+  private:
+    struct Fixup
+    {
+        enum class Kind : uint8_t { Abs32, Rel8, Rel16 };
+        Kind kind;
+        size_t offset;    //!< where the bytes go
+        uint32_t relBase; //!< address the displacement is relative to
+        std::string label;
+    };
+
+    void byte(uint8_t b) { bytes_.push_back(b); }
+    void emitOperand(const VOperand &op);
+
+    uint32_t base_;
+    std::vector<uint8_t> bytes_;
+    std::map<std::string, uint32_t> symbols_;
+    std::vector<Fixup> fixups_;
+    std::string entryLabel_;
+    uint32_t codeBytes_ = 0;
+    unsigned instCount_ = 0;
+};
+
+} // namespace risc1::vax
+
+#endif // RISC1_VAX_BUILDER_HH

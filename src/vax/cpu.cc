@@ -1,0 +1,652 @@
+#include "vax/cpu.hh"
+
+#include <iostream>
+
+#include "sim/fault.hh"
+#include "support/bits.hh"
+#include "support/logging.hh"
+#include "vax/disasm.hh"
+
+namespace risc1::vax {
+
+using sim::SimFault;
+
+VaxCpu::VaxCpu(VaxCpuOptions options) : options_(options) {}
+
+void
+VaxCpu::load(const VaxProgram &program)
+{
+    memory_ = sim::Memory{};
+    for (size_t i = 0; i < program.bytes.size(); ++i)
+        memory_.poke8(program.base + static_cast<uint32_t>(i),
+                      program.bytes[i]);
+    regs_.fill(0);
+    stats_ = VaxStats{};
+    flags_ = isa::Flags{};
+    pc_ = program.entry;
+    halted_ = false;
+    regs_[SP] = options_.stackTop;
+    regs_[FP] = options_.stackTop;
+    regs_[AP] = options_.stackTop;
+}
+
+sim::ExecResult
+VaxCpu::run()
+{
+    sim::ExecResult result;
+    while (!halted_ && stats_.instructions < options_.maxInstructions) {
+        try {
+            step();
+        } catch (const SimFault &fault) {
+            result.reason = sim::StopReason::Fault;
+            result.message = fault.message;
+            stats_.memory = memory_.stats();
+            result.instructions = stats_.instructions;
+            result.cycles = stats_.cycles;
+            return result;
+        }
+    }
+    result.reason = halted_ ? sim::StopReason::Halted
+                            : sim::StopReason::InstLimit;
+    stats_.memory = memory_.stats();
+    result.instructions = stats_.instructions;
+    result.cycles = stats_.cycles;
+    return result;
+}
+
+uint8_t
+VaxCpu::istreamByte()
+{
+    ++istreamCount_;
+    return memory_.peek8(pc_++);
+}
+
+uint32_t
+VaxCpu::istreamBytes(unsigned count)
+{
+    uint32_t value = 0;
+    for (unsigned i = 0; i < count; ++i)
+        value |= static_cast<uint32_t>(istreamByte()) << (8 * i);
+    return value;
+}
+
+VaxCpu::OpRef
+VaxCpu::decodeOperand(unsigned width)
+{
+    ++specifiers_;
+    const uint8_t spec = istreamByte();
+    const unsigned mode = spec >> 4;
+    const unsigned reg = spec & 0xf;
+
+    // Short literal: modes 0..3 encode a 6-bit constant.
+    if (mode <= 3) {
+        OpRef ref;
+        ref.kind = OpRef::Kind::Val;
+        ref.value = spec & 0x3f;
+        return ref;
+    }
+
+    if (mode == static_cast<unsigned>(Mode::Index)) {
+        const uint32_t index = regs_[reg];
+        OpRef base = decodeOperand(width);
+        if (base.kind != OpRef::Kind::Mem)
+            throw SimFault{"index prefix on non-memory operand",
+                           instStart_};
+        base.addr += index * width;
+        return base;
+    }
+
+    OpRef ref;
+    switch (static_cast<Mode>(mode)) {
+      case Mode::Register:
+        if (reg >= NumRegs)
+            throw SimFault{"register specifier out of range", instStart_};
+        ref.kind = OpRef::Kind::Reg;
+        ref.reg = reg;
+        return ref;
+      case Mode::Deferred:
+        ref.kind = OpRef::Kind::Mem;
+        ref.addr = regs_[reg];
+        return ref;
+      case Mode::AutoDec:
+        regs_[reg] -= width;
+        ref.kind = OpRef::Kind::Mem;
+        ref.addr = regs_[reg];
+        return ref;
+      case Mode::AutoInc:
+        if (reg == 15) {
+            // Immediate from the instruction stream.
+            ref.kind = OpRef::Kind::Val;
+            ref.value = istreamBytes(4);
+            return ref;
+        }
+        ref.kind = OpRef::Kind::Mem;
+        ref.addr = regs_[reg];
+        regs_[reg] += width;
+        return ref;
+      case Mode::DispByte: {
+        const auto disp = static_cast<int8_t>(istreamByte());
+        ref.kind = OpRef::Kind::Mem;
+        ref.addr = regs_[reg] + static_cast<uint32_t>(
+                                    static_cast<int32_t>(disp));
+        return ref;
+      }
+      case Mode::DispWord: {
+        const auto disp = static_cast<int16_t>(istreamBytes(2));
+        ref.kind = OpRef::Kind::Mem;
+        ref.addr = regs_[reg] + static_cast<uint32_t>(
+                                    static_cast<int32_t>(disp));
+        return ref;
+      }
+      case Mode::DispLong: {
+        const uint32_t disp = istreamBytes(4);
+        ref.kind = OpRef::Kind::Mem;
+        ref.addr = (reg == 15 ? 0 : regs_[reg]) + disp;
+        return ref;
+      }
+      default:
+        throw SimFault{strprintf("bad operand specifier 0x%02x", spec),
+                       instStart_};
+    }
+}
+
+uint32_t
+VaxCpu::readOp(const OpRef &ref, unsigned width)
+{
+    switch (ref.kind) {
+      case OpRef::Kind::Val:
+        return ref.value;
+      case OpRef::Kind::Reg:
+        return regs_[ref.reg] & static_cast<uint32_t>(mask(width * 8));
+      case OpRef::Kind::Mem:
+        stats_.cycles += options_.timing.memReadCycles;
+        switch (width) {
+          case 1: return memory_.read8(ref.addr);
+          case 2: return memory_.read16(ref.addr);
+          default: return memory_.read32(ref.addr);
+        }
+    }
+    panic("readOp: bad OpRef kind");
+}
+
+void
+VaxCpu::writeOp(const OpRef &ref, uint32_t value, unsigned width)
+{
+    switch (ref.kind) {
+      case OpRef::Kind::Val:
+        throw SimFault{"write to a literal operand", instStart_};
+      case OpRef::Kind::Reg:
+        if (width == 4) {
+            regs_[ref.reg] = value;
+        } else {
+            const auto m = static_cast<uint32_t>(mask(width * 8));
+            regs_[ref.reg] = (regs_[ref.reg] & ~m) | (value & m);
+        }
+        return;
+      case OpRef::Kind::Mem:
+        stats_.cycles += options_.timing.memWriteCycles;
+        switch (width) {
+          case 1: memory_.write8(ref.addr,
+                                 static_cast<uint8_t>(value)); break;
+          case 2: memory_.write16(ref.addr,
+                                  static_cast<uint16_t>(value)); break;
+          default: memory_.write32(ref.addr, value); break;
+        }
+        return;
+    }
+}
+
+void
+VaxCpu::setNZ(uint32_t value)
+{
+    flags_.z = value == 0;
+    flags_.n = (value >> 31) != 0;
+    flags_.v = false;
+    flags_.c = false;
+}
+
+void
+VaxCpu::push(uint32_t value)
+{
+    regs_[SP] -= 4;
+    stats_.cycles += options_.timing.memWriteCycles;
+    memory_.write32(regs_[SP], value);
+}
+
+uint32_t
+VaxCpu::pop()
+{
+    stats_.cycles += options_.timing.memReadCycles;
+    const uint32_t value = memory_.read32(regs_[SP]);
+    regs_[SP] += 4;
+    return value;
+}
+
+void
+VaxCpu::branch(VaxOp op)
+{
+    using isa::Cond;
+    const auto disp = static_cast<int8_t>(istreamByte());
+    Cond cond;
+    switch (op) {
+      case VaxOp::Brb:   cond = Cond::Alw; break;
+      case VaxOp::Beql:  cond = Cond::Eq; break;
+      case VaxOp::Bneq:  cond = Cond::Ne; break;
+      case VaxOp::Blss:  cond = Cond::Lt; break;
+      case VaxOp::Bleq:  cond = Cond::Le; break;
+      case VaxOp::Bgtr:  cond = Cond::Gt; break;
+      case VaxOp::Bgeq:  cond = Cond::Ge; break;
+      case VaxOp::Blssu: cond = Cond::Lo; break;
+      case VaxOp::Blequ: cond = Cond::Los; break;
+      case VaxOp::Bgtru: cond = Cond::Hi; break;
+      case VaxOp::Bgequ: cond = Cond::His; break;
+      default:
+        panic("branch: bad opcode");
+    }
+    ++stats_.branches;
+    if (isa::condHolds(cond, flags_)) {
+        ++stats_.branchesTaken;
+        stats_.cycles += options_.timing.branchTakenExtra;
+        pc_ += static_cast<uint32_t>(static_cast<int32_t>(disp));
+    }
+}
+
+void
+VaxCpu::doCalls()
+{
+    const OpRef nargs_ref = decodeOperand(4);
+    const uint32_t nargs = readOp(nargs_ref, 4);
+    const OpRef dst = decodeOperand(4);
+    if (dst.kind != OpRef::Kind::Mem)
+        throw SimFault{"CALLS destination must be an address", instStart_};
+
+    const uint32_t proc = dst.addr;
+    // The entry mask sits at an arbitrary (usually unaligned) code
+    // address; fetch it bytewise.
+    stats_.cycles += options_.timing.memReadCycles;
+    const uint16_t mask16 = static_cast<uint16_t>(
+        memory_.read8(proc) |
+        (static_cast<uint16_t>(memory_.read8(proc + 1)) << 8));
+
+    const uint32_t arg_base = regs_[SP]; // first argument (pushed last)
+
+    unsigned saved = 0;
+    for (int r = 11; r >= 0; --r) {
+        if (mask16 & (1u << r)) {
+            push(regs_[static_cast<unsigned>(r)]);
+            ++saved;
+        }
+    }
+    push(static_cast<uint32_t>(mask16) | (nargs << 16));
+    push(regs_[AP]);
+    push(regs_[FP]);
+    push(pc_); // return address (instruction after CALLS)
+
+    regs_[FP] = regs_[SP];
+    regs_[AP] = arg_base;
+    pc_ = proc + 2; // skip the entry mask
+
+    ++stats_.calls;
+    stats_.savedRegs += saved;
+    stats_.cycles += options_.timing.callsBase +
+                     options_.timing.callsPerReg * saved;
+}
+
+void
+VaxCpu::doRet()
+{
+    regs_[SP] = regs_[FP];
+    const uint32_t ret_pc = pop();
+    regs_[FP] = pop();
+    regs_[AP] = pop();
+    const uint32_t info = pop();
+    const uint16_t mask16 = static_cast<uint16_t>(info);
+    const uint32_t nargs = info >> 16;
+
+    unsigned restored = 0;
+    for (unsigned r = 0; r < 12; ++r) {
+        if (mask16 & (1u << r)) {
+            regs_[r] = pop();
+            ++restored;
+        }
+    }
+    regs_[SP] += 4 * nargs; // discard the arguments
+    pc_ = ret_pc;
+
+    ++stats_.returns;
+    stats_.restoredRegs += restored;
+    stats_.cycles += options_.timing.retBase +
+                     options_.timing.retPerReg * restored;
+}
+
+void
+VaxCpu::traceInst()
+{
+    // Pull a window of bytes (uncounted) and disassemble in place.
+    std::vector<uint8_t> bytes(16);
+    for (unsigned i = 0; i < bytes.size(); ++i)
+        bytes[i] = memory_.peek8(pc_ + i);
+    const VaxDisasmLine line = disassembleVaxAt(bytes, 0, pc_);
+    std::ostream &out = options_.traceOut ? *options_.traceOut
+                                          : std::cerr;
+    out << strprintf("[%10llu] %08x  %s\n",
+                     static_cast<unsigned long long>(
+                         stats_.instructions),
+                     pc_,
+                     line.valid ? line.text.c_str() : "<undecodable>");
+}
+
+void
+VaxCpu::step()
+{
+    if (options_.trace)
+        traceInst();
+
+    instStart_ = pc_;
+    specifiers_ = 0;
+    istreamCount_ = 0;
+    const uint8_t raw = istreamByte();
+    if (!isValidVaxOp(raw))
+        throw SimFault{strprintf("illegal vax80 opcode 0x%02x at 0x%08x",
+                                 raw, instStart_),
+                       instStart_};
+    const auto op = static_cast<VaxOp>(raw);
+
+    auto alu2 = [&](unsigned width, auto fn, bool arith) {
+        const OpRef src = decodeOperand(width);
+        const uint32_t a = readOp(src, width);
+        const OpRef dst = decodeOperand(width);
+        const uint32_t b = readOp(dst, width);
+        uint32_t r;
+        if (arith) {
+            auto [value, c, v] = fn(b, a);
+            r = value;
+            flags_.c = c;
+            flags_.v = v;
+            flags_.z = r == 0;
+            flags_.n = (r >> 31) != 0;
+        } else {
+            r = fn(b, a).value;
+            setNZ(r);
+        }
+        writeOp(dst, r, width);
+    };
+    auto alu3 = [&](unsigned width, auto fn, bool arith) {
+        const OpRef src1 = decodeOperand(width);
+        const uint32_t a = readOp(src1, width);
+        const OpRef src2 = decodeOperand(width);
+        const uint32_t b = readOp(src2, width);
+        const OpRef dst = decodeOperand(width);
+        uint32_t r;
+        if (arith) {
+            auto [value, c, v] = fn(b, a);
+            r = value;
+            flags_.c = c;
+            flags_.v = v;
+            flags_.z = r == 0;
+            flags_.n = (r >> 31) != 0;
+        } else {
+            r = fn(b, a).value;
+            setNZ(r);
+        }
+        writeOp(dst, r, width);
+    };
+
+    struct AluR { uint32_t value; bool c; bool v; };
+    auto add_fn = [](uint32_t x, uint32_t y) {
+        const uint64_t wide = static_cast<uint64_t>(x) + y;
+        const auto r = static_cast<uint32_t>(wide);
+        return AluR{r, (wide >> 32) != 0,
+                    (((x ^ r) & (y ^ r)) >> 31) != 0};
+    };
+    auto sub_fn = [](uint32_t x, uint32_t y) {
+        // x - y, carry = no borrow.
+        const uint64_t wide = static_cast<uint64_t>(x) +
+                              static_cast<uint32_t>(~y) + 1;
+        const auto r = static_cast<uint32_t>(wide);
+        return AluR{r, (wide >> 32) != 0,
+                    (((x ^ y) & (x ^ r)) >> 31) != 0};
+    };
+    auto mul_fn = [](uint32_t x, uint32_t y) {
+        const int64_t wide = static_cast<int64_t>(
+                                 static_cast<int32_t>(x)) *
+                             static_cast<int32_t>(y);
+        const auto r = static_cast<uint32_t>(wide);
+        return AluR{r, false,
+                    wide != static_cast<int64_t>(
+                                static_cast<int32_t>(r))};
+    };
+    auto or_fn = [](uint32_t x, uint32_t y) {
+        return AluR{x | y, false, false};
+    };
+    auto andnot_fn = [](uint32_t x, uint32_t y) {
+        return AluR{x & ~y, false, false};
+    };
+    auto xor_fn = [](uint32_t x, uint32_t y) {
+        return AluR{x ^ y, false, false};
+    };
+
+    switch (op) {
+      case VaxOp::Halt:
+        halted_ = true;
+        break;
+      case VaxOp::Nop:
+        break;
+
+      case VaxOp::Movb:
+      case VaxOp::Movw:
+      case VaxOp::Movl: {
+        const unsigned width = op == VaxOp::Movb   ? 1
+                               : op == VaxOp::Movw ? 2
+                                                   : 4;
+        const OpRef src = decodeOperand(width);
+        const uint32_t value = readOp(src, width);
+        const OpRef dst = decodeOperand(width);
+        writeOp(dst, value, width);
+        setNZ(width == 4 ? value
+                         : static_cast<uint32_t>(
+                               sext(value, width * 8)));
+        break;
+      }
+      case VaxOp::Moval: {
+        const OpRef src = decodeOperand(4);
+        if (src.kind != OpRef::Kind::Mem)
+            throw SimFault{"MOVAL needs an addressable operand",
+                           instStart_};
+        const OpRef dst = decodeOperand(4);
+        writeOp(dst, src.addr, 4);
+        setNZ(src.addr);
+        break;
+      }
+      case VaxOp::Clrl: {
+        const OpRef dst = decodeOperand(4);
+        writeOp(dst, 0, 4);
+        setNZ(0);
+        break;
+      }
+      case VaxOp::Pushl: {
+        const OpRef src = decodeOperand(4);
+        const uint32_t value = readOp(src, 4);
+        push(value);
+        setNZ(value);
+        break;
+      }
+
+      case VaxOp::Addl2: alu2(4, add_fn, true); break;
+      case VaxOp::Addl3: alu3(4, add_fn, true); break;
+      case VaxOp::Subl2: alu2(4, sub_fn, true); break;
+      case VaxOp::Subl3: alu3(4, sub_fn, true); break;
+      case VaxOp::Mull2:
+        alu2(4, mul_fn, true);
+        stats_.cycles += options_.timing.mulExtra;
+        break;
+      case VaxOp::Mull3:
+        alu3(4, mul_fn, true);
+        stats_.cycles += options_.timing.mulExtra;
+        break;
+      case VaxOp::Divl2:
+      case VaxOp::Divl3: {
+        const OpRef src1 = decodeOperand(4);
+        const uint32_t divisor = readOp(src1, 4);
+        const OpRef src2 = decodeOperand(4);
+        const uint32_t dividend = readOp(src2, 4);
+        const OpRef dst = op == VaxOp::Divl3 ? decodeOperand(4) : src2;
+        if (divisor == 0)
+            throw SimFault{"divide by zero", instStart_};
+        const auto q = static_cast<uint32_t>(
+            static_cast<int32_t>(dividend) /
+            static_cast<int32_t>(divisor));
+        writeOp(dst, q, 4);
+        setNZ(q);
+        stats_.cycles += options_.timing.divExtra;
+        break;
+      }
+      case VaxOp::Bisl2: alu2(4, or_fn, false); break;
+      case VaxOp::Bisl3: alu3(4, or_fn, false); break;
+      case VaxOp::Bicl2: alu2(4, andnot_fn, false); break;
+      case VaxOp::Bicl3: alu3(4, andnot_fn, false); break;
+      case VaxOp::Xorl2: alu2(4, xor_fn, false); break;
+      case VaxOp::Xorl3: alu3(4, xor_fn, false); break;
+      case VaxOp::Ashl: {
+        // count, src, dst; positive count shifts left.
+        const OpRef cnt_ref = decodeOperand(1);
+        const auto count = static_cast<int32_t>(
+            sext(readOp(cnt_ref, 1), 8));
+        const OpRef src = decodeOperand(4);
+        const uint32_t value = readOp(src, 4);
+        const OpRef dst = decodeOperand(4);
+        uint32_t r;
+        if (count >= 0) {
+            r = count >= 32 ? 0 : value << count;
+        } else {
+            const int amount = -count;
+            r = amount >= 32
+                    ? static_cast<uint32_t>(
+                          static_cast<int32_t>(value) >> 31)
+                    : static_cast<uint32_t>(
+                          static_cast<int32_t>(value) >> amount);
+        }
+        writeOp(dst, r, 4);
+        setNZ(r);
+        stats_.cycles += options_.timing.shiftExtra;
+        break;
+      }
+      case VaxOp::Incl: {
+        const OpRef dst = decodeOperand(4);
+        const auto [r, c, v] = add_fn(readOp(dst, 4), 1);
+        flags_.c = c;
+        flags_.v = v;
+        flags_.z = r == 0;
+        flags_.n = (r >> 31) != 0;
+        writeOp(dst, r, 4);
+        break;
+      }
+      case VaxOp::Decl: {
+        const OpRef dst = decodeOperand(4);
+        const auto [r, c, v] = sub_fn(readOp(dst, 4), 1);
+        flags_.c = c;
+        flags_.v = v;
+        flags_.z = r == 0;
+        flags_.n = (r >> 31) != 0;
+        writeOp(dst, r, 4);
+        break;
+      }
+      case VaxOp::Mcoml: {
+        const OpRef src = decodeOperand(4);
+        const uint32_t r = ~readOp(src, 4);
+        const OpRef dst = decodeOperand(4);
+        writeOp(dst, r, 4);
+        setNZ(r);
+        break;
+      }
+      case VaxOp::Mnegl: {
+        const OpRef src = decodeOperand(4);
+        const auto [r, c, v] = sub_fn(0, readOp(src, 4));
+        const OpRef dst = decodeOperand(4);
+        flags_.c = c;
+        flags_.v = v;
+        flags_.z = r == 0;
+        flags_.n = (r >> 31) != 0;
+        writeOp(dst, r, 4);
+        break;
+      }
+
+      case VaxOp::Cmpl:
+      case VaxOp::Cmpw:
+      case VaxOp::Cmpb: {
+        const unsigned width = op == VaxOp::Cmpb   ? 1
+                               : op == VaxOp::Cmpw ? 2
+                                                   : 4;
+        const OpRef a_ref = decodeOperand(width);
+        uint32_t a = readOp(a_ref, width);
+        const OpRef b_ref = decodeOperand(width);
+        uint32_t b = readOp(b_ref, width);
+        if (width < 4) {
+            a = static_cast<uint32_t>(sext(a, width * 8));
+            b = static_cast<uint32_t>(sext(b, width * 8));
+        }
+        const auto [r, c, v] = sub_fn(a, b);
+        flags_.c = c;
+        flags_.v = v;
+        flags_.z = r == 0;
+        flags_.n = (r >> 31) != 0;
+        break;
+      }
+      case VaxOp::Tstl: {
+        const OpRef src = decodeOperand(4);
+        setNZ(readOp(src, 4));
+        break;
+      }
+
+      case VaxOp::Brb:
+      case VaxOp::Beql:
+      case VaxOp::Bneq:
+      case VaxOp::Blss:
+      case VaxOp::Bleq:
+      case VaxOp::Bgtr:
+      case VaxOp::Bgeq:
+      case VaxOp::Blssu:
+      case VaxOp::Blequ:
+      case VaxOp::Bgtru:
+      case VaxOp::Bgequ:
+        branch(op);
+        break;
+      case VaxOp::Brw: {
+        const auto disp = static_cast<int16_t>(istreamBytes(2));
+        ++stats_.branches;
+        ++stats_.branchesTaken;
+        stats_.cycles += options_.timing.branchTakenExtra;
+        pc_ += static_cast<uint32_t>(static_cast<int32_t>(disp));
+        break;
+      }
+      case VaxOp::Jmp: {
+        const OpRef dst = decodeOperand(4);
+        if (dst.kind != OpRef::Kind::Mem)
+            throw SimFault{"JMP needs an addressable operand",
+                           instStart_};
+        ++stats_.branches;
+        ++stats_.branchesTaken;
+        stats_.cycles += options_.timing.branchTakenExtra;
+        pc_ = dst.addr;
+        break;
+      }
+
+      case VaxOp::Calls:
+        doCalls();
+        break;
+      case VaxOp::Ret:
+        doRet();
+        break;
+    }
+
+    // Charge the base microcode cost and account istream traffic
+    // (istreamCount_ counts the bytes this instruction consumed).
+    stats_.cycles += options_.timing.baseCycles +
+                     options_.timing.perSpecifier * specifiers_;
+    stats_.istreamBytes += istreamCount_;
+    memory_.countInstFetches((istreamCount_ + 3) / 4);
+    ++stats_.instructions;
+    ++stats_.perOpcode[op];
+}
+
+} // namespace risc1::vax

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The vax80 baseline processor model. Shares the memory system, flag
+ * definitions and stop/result types with the RISC I simulator so the
+ * comparison harness can treat both machines uniformly.
+ */
+
+#ifndef RISC1_VAX_CPU_HH
+#define RISC1_VAX_CPU_HH
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+
+#include "isa/condition.hh"
+#include "sim/cpu.hh"
+#include "sim/memory.hh"
+#include "vax/builder.hh"
+#include "vax/isa.hh"
+#include "vax/timing.hh"
+
+namespace risc1::vax {
+
+/** Dynamic statistics of one vax80 run. */
+struct VaxStats
+{
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+    std::map<VaxOp, uint64_t> perOpcode;
+    uint64_t istreamBytes = 0;
+    uint64_t branches = 0;
+    uint64_t branchesTaken = 0;
+    uint64_t calls = 0;
+    uint64_t returns = 0;
+    uint64_t savedRegs = 0;    //!< registers pushed by CALLS
+    uint64_t restoredRegs = 0; //!< registers popped by RET
+    sim::MemStats memory;
+
+    double
+    cpi() const
+    {
+        return instructions ? static_cast<double>(cycles) /
+                                  static_cast<double>(instructions)
+                            : 0.0;
+    }
+
+    double
+    timeUs(double cycle_ns) const
+    {
+        return static_cast<double>(cycles) * cycle_ns / 1000.0;
+    }
+
+    /** Average instruction length in bytes. */
+    double
+    avgInstBytes() const
+    {
+        return instructions ? static_cast<double>(istreamBytes) /
+                                  static_cast<double>(instructions)
+                            : 0.0;
+    }
+};
+
+/** Configuration of one VaxCpu. */
+struct VaxCpuOptions
+{
+    VaxTiming timing{};
+    uint64_t maxInstructions = 200'000'000;
+    uint32_t stackTop = 0x00e00000;
+    bool trace = false;               //!< per-instruction disassembly
+    std::ostream *traceOut = nullptr; //!< defaults to std::cerr
+};
+
+/** The vax80 processor. */
+class VaxCpu
+{
+  public:
+    explicit VaxCpu(VaxCpuOptions options = {});
+
+    /** Load an image; resets registers, PC and statistics. */
+    void load(const VaxProgram &program);
+
+    /** Run until HALT, fault or the instruction limit. */
+    sim::ExecResult run();
+
+    /** Execute one instruction (throws sim::SimFault on guest error). */
+    void step();
+
+    sim::Memory &memory() { return memory_; }
+    const sim::Memory &memory() const { return memory_; }
+    const VaxStats &stats() const { return stats_; }
+    const isa::Flags &flags() const { return flags_; }
+
+    uint32_t pc() const { return pc_; }
+    bool halted() const { return halted_; }
+
+    uint32_t reg(unsigned r) const { return regs_[r]; }
+    void setReg(unsigned r, uint32_t v) { regs_[r] = v; }
+
+  private:
+    /** A resolved operand: where the datum lives. */
+    struct OpRef
+    {
+        enum class Kind : uint8_t { Reg, Mem, Val };
+        Kind kind = Kind::Val;
+        unsigned reg = 0;
+        uint32_t addr = 0;
+        uint32_t value = 0;
+    };
+
+    uint8_t istreamByte();
+    uint32_t istreamBytes(unsigned count); //!< little-endian
+
+    /** Decode the next operand specifier; width = datum bytes. */
+    OpRef decodeOperand(unsigned width);
+
+    uint32_t readOp(const OpRef &ref, unsigned width);
+    void writeOp(const OpRef &ref, uint32_t value, unsigned width);
+
+    void setNZ(uint32_t value);
+    void branch(VaxOp op);
+    void doCalls();
+    void doRet();
+    void traceInst();
+
+    void push(uint32_t value);
+    uint32_t pop();
+
+    VaxCpuOptions options_;
+    sim::Memory memory_;
+    std::array<uint32_t, NumRegs> regs_{};
+    VaxStats stats_;
+    isa::Flags flags_;
+
+    uint32_t pc_ = 0;       //!< address of next istream byte
+    uint32_t instStart_ = 0;
+    unsigned specifiers_ = 0;   //!< specifiers decoded this instruction
+    unsigned istreamCount_ = 0; //!< istream bytes consumed this instruction
+    bool halted_ = false;
+};
+
+} // namespace risc1::vax
+
+#endif // RISC1_VAX_CPU_HH

@@ -1,0 +1,235 @@
+#include "vax/disasm.hh"
+
+#include "support/logging.hh"
+
+namespace risc1::vax {
+
+namespace {
+
+/** Operand counts and datum widths per opcode. */
+struct OpShape
+{
+    unsigned operands;
+    unsigned width; //!< datum bytes for specifier scaling
+    bool isBranch8;
+    bool isBranch16;
+};
+
+OpShape
+shapeOf(VaxOp op)
+{
+    switch (op) {
+      case VaxOp::Halt:
+      case VaxOp::Nop:
+      case VaxOp::Ret:
+        return {0, 4, false, false};
+      case VaxOp::Movb:
+      case VaxOp::Cmpb:
+        return {2, 1, false, false};
+      case VaxOp::Movw:
+      case VaxOp::Cmpw:
+        return {2, 2, false, false};
+      case VaxOp::Movl:
+      case VaxOp::Moval:
+      case VaxOp::Addl2:
+      case VaxOp::Subl2:
+      case VaxOp::Mull2:
+      case VaxOp::Divl2:
+      case VaxOp::Bisl2:
+      case VaxOp::Bicl2:
+      case VaxOp::Xorl2:
+      case VaxOp::Cmpl:
+      case VaxOp::Mcoml:
+      case VaxOp::Mnegl:
+      case VaxOp::Calls:
+        return {2, 4, false, false};
+      case VaxOp::Addl3:
+      case VaxOp::Subl3:
+      case VaxOp::Mull3:
+      case VaxOp::Divl3:
+      case VaxOp::Bisl3:
+      case VaxOp::Bicl3:
+      case VaxOp::Xorl3:
+      case VaxOp::Ashl:
+        return {3, 4, false, false};
+      case VaxOp::Clrl:
+      case VaxOp::Pushl:
+      case VaxOp::Incl:
+      case VaxOp::Decl:
+      case VaxOp::Tstl:
+      case VaxOp::Jmp:
+        return {1, 4, false, false};
+      case VaxOp::Brw:
+        return {0, 4, false, true};
+      default:
+        // All remaining ops are the byte-displacement branches.
+        return {0, 4, true, false};
+    }
+}
+
+const char *
+regNameV(unsigned reg)
+{
+    static const char *names[] = {"r0", "r1", "r2",  "r3", "r4",  "r5",
+                                  "r6", "r7", "r8",  "r9", "r10", "r11",
+                                  "ap", "fp", "sp",  "pc"};
+    return names[reg & 0xf];
+}
+
+/** Decode one operand specifier; returns text, advances `pos`. */
+bool
+decodeSpec(const std::vector<uint8_t> &bytes, size_t &pos,
+           std::string &out)
+{
+    auto need = [&](size_t n) { return pos + n <= bytes.size(); };
+    if (!need(1))
+        return false;
+    const uint8_t spec = bytes[pos++];
+    const unsigned mode = spec >> 4;
+    const unsigned reg = spec & 0xf;
+
+    if (mode <= 3) {
+        out += strprintf("#%u", spec & 0x3f);
+        return true;
+    }
+    auto le = [&](unsigned n) {
+        uint32_t v = 0;
+        for (unsigned i = 0; i < n; ++i)
+            v |= static_cast<uint32_t>(bytes[pos + i]) << (8 * i);
+        pos += n;
+        return v;
+    };
+    switch (static_cast<Mode>(mode)) {
+      case Mode::Index: {
+        std::string base;
+        if (!decodeSpec(bytes, pos, base))
+            return false;
+        out += base + strprintf("[%s]", regNameV(reg));
+        return true;
+      }
+      case Mode::Register:
+        out += regNameV(reg);
+        return true;
+      case Mode::Deferred:
+        out += strprintf("(%s)", regNameV(reg));
+        return true;
+      case Mode::AutoDec:
+        out += strprintf("-(%s)", regNameV(reg));
+        return true;
+      case Mode::AutoInc:
+        if (reg == 15) {
+            if (!need(4))
+                return false;
+            out += strprintf("#0x%x", le(4));
+            return true;
+        }
+        out += strprintf("(%s)+", regNameV(reg));
+        return true;
+      case Mode::DispByte:
+        if (!need(1))
+            return false;
+        out += strprintf("%d(%s)",
+                         static_cast<int8_t>(bytes[pos]),
+                         regNameV(reg));
+        ++pos;
+        return true;
+      case Mode::DispWord: {
+        if (!need(2))
+            return false;
+        const auto disp = static_cast<int16_t>(le(2));
+        out += strprintf("%d(%s)", disp, regNameV(reg));
+        return true;
+      }
+      case Mode::DispLong: {
+        if (!need(4))
+            return false;
+        const uint32_t disp = le(4);
+        if (reg == 15)
+            out += strprintf("@0x%x", disp);
+        else
+            out += strprintf("%d(%s)", static_cast<int32_t>(disp),
+                             regNameV(reg));
+        return true;
+      }
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+VaxDisasmLine
+disassembleVaxAt(const std::vector<uint8_t> &bytes, size_t offset,
+                 uint32_t addr)
+{
+    VaxDisasmLine line;
+    line.addr = addr;
+    if (offset >= bytes.size())
+        return line;
+
+    const uint8_t raw = bytes[offset];
+    if (!isValidVaxOp(raw)) {
+        line.length = 1;
+        line.text = strprintf(".byte 0x%02x", raw);
+        return line;
+    }
+    const auto op = static_cast<VaxOp>(raw);
+    const OpShape shape = shapeOf(op);
+    size_t pos = offset + 1;
+
+    std::string text = std::string(vaxOpName(op));
+    if (shape.isBranch8 || shape.isBranch16) {
+        const unsigned n = shape.isBranch8 ? 1 : 2;
+        if (pos + n > bytes.size())
+            return line;
+        int32_t disp;
+        if (shape.isBranch8) {
+            disp = static_cast<int8_t>(bytes[pos]);
+        } else {
+            disp = static_cast<int16_t>(
+                bytes[pos] |
+                (static_cast<uint16_t>(bytes[pos + 1]) << 8));
+        }
+        pos += n;
+        const uint32_t target =
+            addr + static_cast<uint32_t>(pos - offset) +
+            static_cast<uint32_t>(disp);
+        text += strprintf(" 0x%x", target);
+    } else {
+        for (unsigned i = 0; i < shape.operands; ++i) {
+            text += i == 0 ? " " : ", ";
+            if (!decodeSpec(bytes, pos, text))
+                return line;
+        }
+    }
+
+    line.valid = true;
+    line.length = static_cast<unsigned>(pos - offset);
+    line.text = std::move(text);
+    return line;
+}
+
+std::string
+disassembleVaxProgram(const VaxProgram &program, unsigned max_insts)
+{
+    std::string out;
+    size_t offset = program.entry - program.base;
+    for (unsigned i = 0; i < max_insts && offset < program.bytes.size();
+         ++i) {
+        VaxDisasmLine line = disassembleVaxAt(
+            program.bytes, offset,
+            program.base + static_cast<uint32_t>(offset));
+        if (!line.valid) {
+            out += strprintf("%08x  <undecodable>\n", line.addr);
+            break;
+        }
+        out += strprintf("%08x  %s\n", line.addr, line.text.c_str());
+        if (program.bytes[offset] ==
+            static_cast<uint8_t>(VaxOp::Halt))
+            break;
+        offset += line.length;
+    }
+    return out;
+}
+
+} // namespace risc1::vax

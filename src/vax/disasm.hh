@@ -1,0 +1,45 @@
+/**
+ * @file
+ * vax80 disassembler: decodes the variable-length instruction stream
+ * back into builder-level syntax, for listings and debugging. Because
+ * instruction boundaries are data-dependent, disassembly is linear from
+ * a given start address.
+ */
+
+#ifndef RISC1_VAX_DISASM_HH
+#define RISC1_VAX_DISASM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vax/builder.hh"
+
+namespace risc1::vax {
+
+/** One decoded instruction's rendering. */
+struct VaxDisasmLine
+{
+    uint32_t addr = 0;
+    unsigned length = 0; //!< bytes
+    std::string text;
+    bool valid = false;
+};
+
+/**
+ * Decode one instruction from raw bytes. `fetch(offset)` supplies the
+ * byte at `addr + offset`.
+ */
+VaxDisasmLine disassembleVaxAt(const std::vector<uint8_t> &bytes,
+                               size_t offset, uint32_t addr);
+
+/**
+ * Linear disassembly of a program's first `max_insts` instructions
+ * (stops at HALT fall-off or an invalid opcode).
+ */
+std::string disassembleVaxProgram(const VaxProgram &program,
+                                  unsigned max_insts = 1u << 20);
+
+} // namespace risc1::vax
+
+#endif // RISC1_VAX_DISASM_HH

@@ -1,0 +1,62 @@
+#include "vax/isa.hh"
+
+#include <array>
+#include <utility>
+
+namespace risc1::vax {
+
+namespace {
+
+constexpr std::array<std::pair<VaxOp, std::string_view>, 45> names = {{
+    {VaxOp::Halt, "halt"},   {VaxOp::Nop, "nop"},
+    {VaxOp::Movb, "movb"},   {VaxOp::Movw, "movw"},
+    {VaxOp::Movl, "movl"},   {VaxOp::Clrl, "clrl"},
+    {VaxOp::Pushl, "pushl"}, {VaxOp::Moval, "moval"},
+    {VaxOp::Addl2, "addl2"}, {VaxOp::Addl3, "addl3"},
+    {VaxOp::Subl2, "subl2"}, {VaxOp::Subl3, "subl3"},
+    {VaxOp::Mull2, "mull2"}, {VaxOp::Mull3, "mull3"},
+    {VaxOp::Divl2, "divl2"}, {VaxOp::Divl3, "divl3"},
+    {VaxOp::Bisl2, "bisl2"}, {VaxOp::Bisl3, "bisl3"},
+    {VaxOp::Bicl2, "bicl2"}, {VaxOp::Bicl3, "bicl3"},
+    {VaxOp::Xorl2, "xorl2"}, {VaxOp::Xorl3, "xorl3"},
+    {VaxOp::Ashl, "ashl"},   {VaxOp::Incl, "incl"},
+    {VaxOp::Decl, "decl"},   {VaxOp::Mcoml, "mcoml"},
+    {VaxOp::Mnegl, "mnegl"}, {VaxOp::Cmpl, "cmpl"},
+    {VaxOp::Cmpb, "cmpb"},   {VaxOp::Cmpw, "cmpw"},
+    {VaxOp::Tstl, "tstl"},   {VaxOp::Brb, "brb"},
+    {VaxOp::Brw, "brw"},     {VaxOp::Beql, "beql"},
+    {VaxOp::Bneq, "bneq"},   {VaxOp::Blss, "blss"},
+    {VaxOp::Bleq, "bleq"},   {VaxOp::Bgtr, "bgtr"},
+    {VaxOp::Bgeq, "bgeq"},   {VaxOp::Blssu, "blssu"},
+    {VaxOp::Blequ, "blequ"}, {VaxOp::Bgtru, "bgtru"},
+    {VaxOp::Bgequ, "bgequ"}, {VaxOp::Jmp, "jmp"},
+    {VaxOp::Calls, "calls"},
+}};
+
+} // namespace
+
+std::string_view
+vaxOpName(VaxOp op)
+{
+    if (op == VaxOp::Ret)
+        return "ret";
+    for (const auto &[code, name] : names) {
+        if (code == op)
+            return name;
+    }
+    return "<bad>";
+}
+
+bool
+isValidVaxOp(uint8_t raw)
+{
+    if (raw == static_cast<uint8_t>(VaxOp::Ret))
+        return true;
+    for (const auto &[code, name] : names) {
+        if (static_cast<uint8_t>(code) == raw)
+            return true;
+    }
+    return false;
+}
+
+} // namespace risc1::vax

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The `vax80` baseline ISA — a synthetic microcoded CISC machine of the
+ * class RISC I was evaluated against (VAX-11/780 flavoured). It has the
+ * three structural properties the paper's comparisons rest on:
+ * variable-length instructions (dense code), microcoded execution (high
+ * CPI), and an expensive CALLS/RET procedure linkage that saves
+ * registers to the stack.
+ *
+ * Instruction = 1 opcode byte + operand specifiers. Specifier byte =
+ * mode<7:4> | reg<3:0>:
+ *
+ *   0x0-0x3  short literal 0..63 (value = low 6 bits)          1 byte
+ *   0x5      register Rn                                        1 byte
+ *   0x6      register deferred (Rn)                             1 byte
+ *   0x7      autodecrement -(Rn)                                1 byte
+ *   0x8      autoincrement (Rn)+; reg=15: 32-bit immediate      1/5 bytes
+ *   0xA      byte displacement d8(Rn)                           2 bytes
+ *   0xC      word displacement d16(Rn)                          3 bytes
+ *   0xE      long displacement d32(Rn); reg=15: absolute        5 bytes
+ *   0x4      index prefix [Rx] (scaled by datum size), then a
+ *            base specifier                                     1+ bytes
+ */
+
+#ifndef RISC1_VAX_ISA_HH
+#define RISC1_VAX_ISA_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace risc1::vax {
+
+/** General registers. r12..r14 have dedicated linkage roles. */
+constexpr unsigned NumRegs = 15; //!< r0..r14 (PC is not an operand)
+constexpr unsigned AP = 12;      //!< argument pointer
+constexpr unsigned FP = 13;      //!< frame pointer
+constexpr unsigned SP = 14;      //!< stack pointer
+
+/** Operand specifier modes (high nibble). */
+enum class Mode : uint8_t
+{
+    Literal = 0x0, //!< 0x0..0x3 all decode as short literal
+    Index = 0x4,
+    Register = 0x5,
+    Deferred = 0x6,
+    AutoDec = 0x7,
+    AutoInc = 0x8, //!< reg 15 = immediate
+    DispByte = 0xa,
+    DispWord = 0xc,
+    DispLong = 0xe, //!< reg 15 = absolute
+};
+
+/** Opcodes. Values chosen for a compact dispatch table. */
+enum class VaxOp : uint8_t
+{
+    Halt = 0x00,
+    Nop = 0x01,
+
+    Movb = 0x10,
+    Movw = 0x11,
+    Movl = 0x12,
+    Clrl = 0x13,
+    Pushl = 0x14,
+    Moval = 0x15, //!< move effective address
+
+    Addl2 = 0x20,
+    Addl3 = 0x21,
+    Subl2 = 0x22,
+    Subl3 = 0x23,
+    Mull2 = 0x24,
+    Mull3 = 0x25,
+    Divl2 = 0x26,
+    Divl3 = 0x27,
+    Bisl2 = 0x28, //!< OR
+    Bisl3 = 0x29,
+    Bicl2 = 0x2a, //!< AND NOT
+    Bicl3 = 0x2b,
+    Xorl2 = 0x2c,
+    Xorl3 = 0x2d,
+    Ashl = 0x2e, //!< arithmetic shift: count, src, dst
+    Incl = 0x2f,
+    Decl = 0x30,
+    Mcoml = 0x31, //!< complement
+    Mnegl = 0x32, //!< negate
+
+    Cmpl = 0x40,
+    Cmpb = 0x41,
+    Cmpw = 0x42,
+    Tstl = 0x43,
+
+    Brb = 0x50,  //!< unconditional, byte displacement
+    Brw = 0x51,  //!< unconditional, word displacement
+    Beql = 0x52,
+    Bneq = 0x53,
+    Blss = 0x54,
+    Bleq = 0x55,
+    Bgtr = 0x56,
+    Bgeq = 0x57,
+    Blssu = 0x58,
+    Blequ = 0x59,
+    Bgtru = 0x5a,
+    Bgequ = 0x5b,
+    Jmp = 0x5c, //!< absolute via operand specifier
+
+    Calls = 0x60, //!< n, dst
+    Ret = 0x61,
+};
+
+/** Mnemonic for diagnostics. */
+std::string_view vaxOpName(VaxOp op);
+
+/** True iff the byte is a defined opcode. */
+bool isValidVaxOp(uint8_t raw);
+
+} // namespace risc1::vax
+
+#endif // RISC1_VAX_ISA_HH

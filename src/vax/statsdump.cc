@@ -1,0 +1,44 @@
+#include "vax/statsdump.hh"
+
+#include "sim/statsdump.hh"
+
+namespace risc1::vax {
+
+namespace {
+constexpr auto line = sim::statsLine;
+} // namespace
+
+
+
+std::string
+formatStats(const VaxStats &s, const std::string &prefix)
+{
+    std::string out;
+    auto u64 = [](uint64_t v) { return static_cast<double>(v); };
+    out += line(prefix, "instructions", u64(s.instructions),
+                "committed instructions");
+    out += line(prefix, "cycles", u64(s.cycles), "microcycles");
+    out += line(prefix, "cpi", s.cpi(), "cycles per instruction");
+    out += line(prefix, "istream_bytes", u64(s.istreamBytes),
+                "instruction-stream bytes consumed");
+    out += line(prefix, "avg_inst_bytes", s.avgInstBytes(),
+                "average instruction length");
+    out += line(prefix, "branches", u64(s.branches), "branches");
+    out += line(prefix, "branches_taken", u64(s.branchesTaken),
+                "taken branches");
+    out += line(prefix, "calls", u64(s.calls), "CALLS executed");
+    out += line(prefix, "returns", u64(s.returns), "RET executed");
+    out += line(prefix, "saved_regs", u64(s.savedRegs),
+                "registers pushed by CALLS");
+    out += line(prefix, "restored_regs", u64(s.restoredRegs),
+                "registers popped by RET");
+    out += line(prefix, "mem_inst_fetches", u64(s.memory.instFetches),
+                "32-bit words of istream fetched");
+    out += line(prefix, "mem_data_reads", u64(s.memory.dataReads),
+                "data-memory read accesses");
+    out += line(prefix, "mem_data_writes", u64(s.memory.dataWrites),
+                "data-memory write accesses");
+    return out;
+}
+
+} // namespace risc1::vax

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * gem5-style statistics dump for the vax80 machine (companion to
+ * sim/statsdump.hh).
+ */
+
+#ifndef RISC1_VAX_STATSDUMP_HH
+#define RISC1_VAX_STATSDUMP_HH
+
+#include <string>
+
+#include "vax/cpu.hh"
+
+namespace risc1::vax {
+
+/** Render VaxStats as aligned `name value # comment` lines. */
+std::string formatStats(const VaxStats &stats,
+                        const std::string &prefix = "vax80");
+
+} // namespace risc1::vax
+
+#endif // RISC1_VAX_STATSDUMP_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Microcode cycle-cost model of the vax80 baseline, calibrated to the
+ * published character of the VAX-11/780: ~5-10 cycles per ordinary
+ * instruction (microcoded decode plus per-specifier work), tens of
+ * cycles for CALLS/RET, 200 ns cycle time (5 MHz).
+ */
+
+#ifndef RISC1_VAX_TIMING_HH
+#define RISC1_VAX_TIMING_HH
+
+namespace risc1::vax {
+
+/** Cycle costs of the vax80 microengine. */
+struct VaxTiming
+{
+    unsigned baseCycles = 2;       //!< opcode decode/dispatch
+    unsigned perSpecifier = 1;     //!< operand specifier decode
+    unsigned memReadCycles = 2;    //!< each data-memory read
+    unsigned memWriteCycles = 2;   //!< each data-memory write
+    unsigned branchTakenExtra = 3; //!< refill after a taken branch
+    unsigned mulExtra = 18;
+    unsigned divExtra = 38;
+    unsigned shiftExtra = 4;
+    unsigned callsBase = 15;    //!< CALLS fixed microcode sequence
+    unsigned callsPerReg = 2;   //!< per register pushed (plus the store)
+    unsigned retBase = 12;
+    unsigned retPerReg = 2;
+    double cycleTimeNs = 200.0; //!< VAX-11/780: 5 MHz
+};
+
+} // namespace risc1::vax
+
+#endif // RISC1_VAX_TIMING_HH

@@ -1,0 +1,187 @@
+#include "workloads/rtlib.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace risc1::workloads::rtlib {
+
+namespace {
+
+constexpr std::string_view Mul32Src = R"(
+; mul32(a, b) -> a*b mod 2^32 (shift-add; no multiply hardware)
+mul32:  clr   r16            ; accumulator
+        mov   r26, r17       ; multiplicand
+        mov   r27, r18       ; multiplier
+mul32_loop:
+        cmp   r18, 0
+        beq   mul32_done
+        and   r18, 1, r19
+        cmp   r19, 0
+        beq   mul32_skip
+        add   r16, r17, r16
+mul32_skip:
+        sll   r17, 1, r17
+        srl   r18, 1, r18
+        b     mul32_loop
+mul32_done:
+        mov   r16, r26
+        ret
+)";
+
+constexpr std::string_view UdivmodSrc = R"(
+; udivmod32(a, b) -> quotient in in0, remainder in in1 (b != 0).
+; Classic 32-step restoring long division.
+udivmod32:
+        clr   r16            ; remainder
+        clr   r17            ; quotient
+        mov   32, r18        ; bit counter
+udivmod32_loop:
+        sll   r17, 1, r17
+        sll   r16, 1, r16
+        srl   r26, 31, r19   ; next dividend bit
+        or    r16, r19, r16
+        sll   r26, 1, r26
+        cmp   r16, r27
+        blo   udivmod32_skip
+        sub   r16, r27, r16
+        add   r17, 1, r17
+udivmod32_skip:
+        subs  r18, 1, r18
+        bne   udivmod32_loop
+        mov   r17, r26
+        mov   r16, r27
+        ret
+)";
+
+constexpr std::string_view Udiv32Src = R"(
+; udiv32(a, b) -> a / b (unsigned; b != 0)
+udiv32: mov   r26, r10
+        mov   r27, r11
+        call  udivmod32
+        mov   r10, r26
+        ret
+)";
+
+constexpr std::string_view Umod32Src = R"(
+; umod32(a, b) -> a mod b (unsigned; b != 0)
+umod32: mov   r26, r10
+        mov   r27, r11
+        call  udivmod32
+        mov   r11, r26
+        ret
+)";
+
+constexpr std::string_view MemcpySrc = R"(
+; memcpy(dst, src, n): byte copy; returns dst.
+memcpy: clr   r16
+memcpy_loop:
+        cmp   r16, r28
+        bge   memcpy_done
+        ldbu  (r27)r16, r17
+        stb   r17, (r26)r16
+        add   r16, 1, r16
+        b     memcpy_loop
+memcpy_done:
+        ret
+)";
+
+constexpr std::string_view MemsetSrc = R"(
+; memset(dst, c, n): byte fill; returns dst.
+memset: clr   r16
+memset_loop:
+        cmp   r16, r28
+        bge   memset_done
+        stb   r27, (r26)r16
+        add   r16, 1, r16
+        b     memset_loop
+memset_done:
+        ret
+)";
+
+constexpr std::string_view StrlenSrc = R"(
+; strlen(s): bytes before the NUL.
+strlen: clr   r16
+strlen_loop:
+        ldbu  (r26)r16, r17
+        cmp   r17, 0
+        beq   strlen_done
+        add   r16, 1, r16
+        b     strlen_loop
+strlen_done:
+        mov   r16, r26
+        ret
+)";
+
+const std::vector<Routine> routines = {
+    {"mul32", Mul32Src, "32x32 multiply by shift-add"},
+    {"udivmod32", UdivmodSrc, "unsigned divide with remainder"},
+    {"udiv32", Udiv32Src, "unsigned divide (wrapper)"},
+    {"umod32", Umod32Src, "unsigned modulo (wrapper)"},
+    {"memcpy", MemcpySrc, "byte-wise block copy"},
+    {"memset", MemsetSrc, "byte-wise block fill"},
+    {"strlen", StrlenSrc, "C-string length"},
+};
+
+} // namespace
+
+const std::vector<Routine> &
+allRoutines()
+{
+    return routines;
+}
+
+const Routine *
+findRoutine(std::string_view name)
+{
+    for (const Routine &routine : routines) {
+        if (routine.name == name)
+            return &routine;
+    }
+    return nullptr;
+}
+
+std::string
+sources(const std::vector<std::string_view> &names)
+{
+    std::vector<std::string_view> wanted(names);
+    // Dependency: the divide wrappers call udivmod32.
+    const bool needs_core =
+        std::any_of(wanted.begin(), wanted.end(), [](std::string_view n) {
+            return n == "udiv32" || n == "umod32";
+        });
+    if (needs_core &&
+        std::find(wanted.begin(), wanted.end(), "udivmod32") ==
+            wanted.end())
+        wanted.push_back("udivmod32");
+
+    std::string out;
+    for (std::string_view name : wanted) {
+        const Routine *routine = findRoutine(name);
+        if (!routine)
+            fatal("rtlib: unknown routine '%s'",
+                  std::string(name).c_str());
+        out += routine->source;
+    }
+    return out;
+}
+
+uint32_t
+hostMul32(uint32_t a, uint32_t b)
+{
+    return a * b;
+}
+
+uint32_t
+hostUdiv32(uint32_t a, uint32_t b)
+{
+    return a / b;
+}
+
+uint32_t
+hostUmod32(uint32_t a, uint32_t b)
+{
+    return a % b;
+}
+
+} // namespace risc1::workloads::rtlib

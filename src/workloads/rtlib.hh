@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The RISC I software runtime: assembly subroutines for everything the
+ * 31-instruction hardware leaves to software — multiply, divide,
+ * modulo, memcpy, memset, strlen. The Berkeley position was precisely
+ * that these belong in (rarely-called) software rather than microcode;
+ * this module is that library, linkable into any program by appending
+ * the snippet text.
+ *
+ * Calling convention (matches the suite): arguments in out0..out5
+ * (r10..), result returned through in0 (r26) so the caller reads it in
+ * r10; `call <name>` / `ret`. All routines use only their own window's
+ * registers — no globals are touched.
+ */
+
+#ifndef RISC1_WORKLOADS_RTLIB_HH
+#define RISC1_WORKLOADS_RTLIB_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace risc1::workloads::rtlib {
+
+/** One runtime routine: label name, source text, host oracle info. */
+struct Routine
+{
+    std::string_view name;   //!< the callable label
+    std::string_view source; //!< assembly text (self-contained)
+    std::string_view brief;  //!< one-line description
+};
+
+/** All routines in the library. */
+const std::vector<Routine> &allRoutines();
+
+/** Find one routine by label; nullptr if unknown. */
+const Routine *findRoutine(std::string_view name);
+
+/** The concatenated source of the requested routines (with
+ *  dependencies: div32/mod32 pull in udivmod). */
+std::string sources(const std::vector<std::string_view> &names);
+
+// Host-side oracles for the tests.
+uint32_t hostMul32(uint32_t a, uint32_t b);
+uint32_t hostUdiv32(uint32_t a, uint32_t b); //!< b != 0
+uint32_t hostUmod32(uint32_t a, uint32_t b); //!< b != 0
+
+} // namespace risc1::workloads::rtlib
+
+#endif // RISC1_WORKLOADS_RTLIB_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Internal factory declarations for the benchmark suite; aggregated by
+ * workloads.cc. Not part of the public API.
+ */
+
+#ifndef RISC1_WORKLOADS_SUITE_HH
+#define RISC1_WORKLOADS_SUITE_HH
+
+#include "workloads/workload.hh"
+
+namespace risc1::workloads::detail {
+
+Workload makeStrsearch();
+Workload makeBittest();
+Workload makeLinkedlist();
+Workload makeBitmatrix();
+Workload makeQuicksort();
+Workload makeAckermann();
+Workload makeFibonacci();
+Workload makeHanoi();
+Workload makeSieve();
+Workload makeQueens();
+Workload makeMatmul();
+Workload makeBubblesort();
+Workload makePerm();
+Workload makeTreesort();
+Workload makeStrops();
+Workload makeCrc32();
+Workload makeGcd();
+
+} // namespace risc1::workloads::detail
+
+#endif // RISC1_WORKLOADS_SUITE_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Ackermann(3, n) — the paper era's canonical deep-recursion benchmark.
+ * Call depth grows to 2^(n+3) - 3, guaranteeing register-window
+ * overflow at realistic window counts.
+ */
+
+#include "support/logging.hh"
+#include "workloads/suite.hh"
+
+namespace risc1::workloads::detail {
+
+namespace {
+
+std::string
+riscSource(uint64_t n)
+{
+    return strprintf(R"(
+; ack(3, n), recursive.
+        .equ RESULT, %u
+_start: mov   3, r10
+        mov   %llu, r11
+        call  ack
+        stl   r10, (r0)RESULT
+        halt
+
+; ack: m in in0(r26), n in in1(r27); result in in0.
+ack:    cmp   r26, 0
+        bne   m_pos
+        add   r27, 1, r26     ; ack(0, n) = n + 1
+        ret
+m_pos:  cmp   r27, 0
+        bne   n_pos
+        sub   r26, 1, r10     ; ack(m, 0) = ack(m-1, 1)
+        mov   1, r11
+        call  ack
+        mov   r10, r26
+        ret
+n_pos:  mov   r26, r10        ; ack(m, n-1)
+        sub   r27, 1, r11
+        call  ack
+        mov   r10, r11        ; ack(m-1, ack(m, n-1))
+        sub   r26, 1, r10
+        call  ack
+        mov   r10, r26
+        ret
+)",
+                     ResultAddr, static_cast<unsigned long long>(n));
+}
+
+vax::VaxProgram
+buildVax(uint64_t n)
+{
+    using namespace risc1::vax;
+    VaxAsm a;
+    a.label("main");
+    a.inst(VaxOp::Pushl, {vlit(static_cast<uint32_t>(n))});
+    a.inst(VaxOp::Pushl, {vlit(3)});
+    a.calls(2, "ack");
+    a.inst(VaxOp::Movl, {vreg(0), vabs(ResultAddr)});
+    a.halt();
+
+    // ack(m, n): args at (AP)0, (AP)4; r2 = m, r3 = n.
+    a.entry("ack", 0x000c);
+    a.inst(VaxOp::Movl, {vdisp(AP, 0), vreg(2)});
+    a.inst(VaxOp::Movl, {vdisp(AP, 4), vreg(3)});
+    a.inst(VaxOp::Tstl, {vreg(2)});
+    a.br(VaxOp::Bneq, "m_pos");
+    a.inst(VaxOp::Addl3, {vreg(3), vlit(1), vreg(0)});
+    a.ret();
+    a.label("m_pos");
+    a.inst(VaxOp::Tstl, {vreg(3)});
+    a.br(VaxOp::Bneq, "n_pos");
+    a.inst(VaxOp::Pushl, {vlit(1)});
+    a.inst(VaxOp::Subl3, {vlit(1), vreg(2), vreg(1)});
+    a.inst(VaxOp::Pushl, {vreg(1)});
+    a.calls(2, "ack");
+    a.ret();
+    a.label("n_pos");
+    a.inst(VaxOp::Subl3, {vlit(1), vreg(3), vreg(1)});
+    a.inst(VaxOp::Pushl, {vreg(1)});
+    a.inst(VaxOp::Pushl, {vreg(2)});
+    a.calls(2, "ack"); // r0 = ack(m, n-1)
+    a.inst(VaxOp::Pushl, {vreg(0)});
+    a.inst(VaxOp::Subl3, {vlit(1), vreg(2), vreg(1)});
+    a.inst(VaxOp::Pushl, {vreg(1)});
+    a.calls(2, "ack");
+    a.ret();
+    return a.finish();
+}
+
+uint32_t
+ackHost(uint32_t m, uint32_t n)
+{
+    // Iterative-enough for the small suite scales.
+    if (m == 0)
+        return n + 1;
+    if (n == 0)
+        return ackHost(m - 1, 1);
+    return ackHost(m - 1, ackHost(m, n - 1));
+}
+
+uint32_t
+expected(uint64_t n)
+{
+    return ackHost(3, static_cast<uint32_t>(n));
+}
+
+} // namespace
+
+Workload
+makeAckermann()
+{
+    Workload wl;
+    wl.name = "ackermann";
+    wl.paperTag = "Ackermann(3, n)";
+    wl.description = "extreme recursion depth; window-overflow stress";
+    wl.defaultScale = 3;
+    wl.recursive = true;
+    wl.riscSource = riscSource;
+    wl.buildVax = buildVax;
+    wl.expected = expected;
+    return wl;
+}
+
+} // namespace risc1::workloads::detail

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Benchmark K — bit matrix: transpose a 32x32 bit matrix (one word per
+ * row) `scale` times, folding an XOR checksum. Shift/mask heavy.
+ */
+
+#include "support/logging.hh"
+#include "workloads/suite.hh"
+
+namespace risc1::workloads::detail {
+
+namespace {
+
+std::string
+riscSource(uint64_t rounds)
+{
+    return strprintf(R"(
+; Transpose a 32x32 bit matrix (A -> B), XOR-checksumming B; repeat.
+        .equ RESULT, %u
+_start: mov   amat, r2
+        mov   bmat, r3
+        ; fill A with xorshift values
+        mov   %u, r4         ; x = seed
+        clr   r5             ; i
+fill:   cmp   r5, 32
+        bge   filled
+        sll   r4, 13, r6
+        xor   r4, r6, r4
+        srl   r4, 17, r6
+        xor   r4, r6, r4
+        sll   r4, 5, r6
+        xor   r4, r6, r4
+        sll   r5, 2, r6
+        stl   r4, (r2)r6
+        add   r5, 1, r5
+        b     fill
+filled: clr   r7             ; checksum
+        mov   %llu, r8       ; rounds
+round:  cmp   r8, 0
+        beq   done
+        ; clear B
+        clr   r5
+clr_b:  cmp   r5, 32
+        bge   clrd
+        sll   r5, 2, r6
+        stl   r0, (r3)r6
+        add   r5, 1, r5
+        b     clr_b
+clrd:   clr   r5             ; i (row of A)
+rows:   cmp   r5, 32
+        bge   xsum
+        sll   r5, 2, r6
+        ldl   (r2)r6, r9     ; a = A[i]
+        clr   r16            ; j
+cols:   cmp   r16, 32
+        bge   rnext
+        srl   r9, r16, r17   ; bit j of a
+        and   r17, 1, r17
+        cmp   r17, 0
+        beq   cnext
+        sll   r16, 2, r18    ; B[j] |= 1 << i
+        ldl   (r3)r18, r19
+        mov   1, r20
+        sll   r20, r5, r20
+        or    r19, r20, r19
+        stl   r19, (r3)r18
+cnext:  add   r16, 1, r16
+        b     cols
+rnext:  add   r5, 1, r5
+        b     rows
+xsum:   clr   r5             ; fold checksum of B
+fold:   cmp   r5, 32
+        bge   folded
+        sll   r5, 2, r6
+        ldl   (r3)r6, r9
+        xor   r7, r9, r7
+        add   r7, r5, r7
+        add   r5, 1, r5
+        b     fold
+folded: sub   r8, 1, r8
+        b     round
+done:   stl   r7, (r0)RESULT
+        halt
+
+        .align 4
+amat:   .space 128
+bmat:   .space 128
+)",
+                     ResultAddr, XsSeed,
+                     static_cast<unsigned long long>(rounds));
+}
+
+vax::VaxProgram
+buildVax(uint64_t rounds)
+{
+    using namespace risc1::vax;
+    VaxAsm a;
+    a.label("main");
+    a.inst(VaxOp::Movl, {vsym("amat"), vreg(2)});
+    a.inst(VaxOp::Movl, {vsym("bmat"), vreg(3)});
+    a.inst(VaxOp::Movl, {vimm(XsSeed), vreg(4)});
+    a.inst(VaxOp::Clrl, {vreg(5)});
+    a.label("fill");
+    a.inst(VaxOp::Cmpl, {vreg(5), vlit(32)});
+    a.br(VaxOp::Bgeq, "filled");
+    a.inst(VaxOp::Ashl, {vlit(13), vreg(4), vreg(6)});
+    a.inst(VaxOp::Xorl2, {vreg(6), vreg(4)});
+    a.inst(VaxOp::Ashl, {vimm(static_cast<uint32_t>(-17)), vreg(4),
+                         vreg(6)});
+    a.inst(VaxOp::Bicl2, {vimm(0xffff8000u), vreg(6)});
+    a.inst(VaxOp::Xorl2, {vreg(6), vreg(4)});
+    a.inst(VaxOp::Ashl, {vlit(5), vreg(4), vreg(6)});
+    a.inst(VaxOp::Xorl2, {vreg(6), vreg(4)});
+    a.inst(VaxOp::Movl, {vreg(4), vidx(5, vdef(2))});
+    a.inst(VaxOp::Incl, {vreg(5)});
+    a.br(VaxOp::Brb, "fill");
+    a.label("filled");
+    a.inst(VaxOp::Clrl, {vreg(7)}); // checksum
+    a.inst(VaxOp::Movl,
+           {vimm(static_cast<uint32_t>(rounds)), vreg(8)});
+    a.label("round");
+    a.inst(VaxOp::Tstl, {vreg(8)});
+    a.br(VaxOp::Bneq, "body"); // far exit needs a word branch
+    a.brw("store");
+    a.label("body");
+    a.inst(VaxOp::Clrl, {vreg(5)});
+    a.label("clr_b");
+    a.inst(VaxOp::Cmpl, {vreg(5), vlit(32)});
+    a.br(VaxOp::Bgeq, "clrd");
+    a.inst(VaxOp::Clrl, {vidx(5, vdef(3))});
+    a.inst(VaxOp::Incl, {vreg(5)});
+    a.br(VaxOp::Brb, "clr_b");
+    a.label("clrd");
+    a.inst(VaxOp::Clrl, {vreg(5)}); // i
+    a.label("rows");
+    a.inst(VaxOp::Cmpl, {vreg(5), vlit(32)});
+    a.br(VaxOp::Bgeq, "xsum");
+    a.inst(VaxOp::Movl, {vidx(5, vdef(2)), vreg(9)}); // a = A[i]
+    a.inst(VaxOp::Clrl, {vreg(10)});                  // j
+    a.label("cols");
+    a.inst(VaxOp::Cmpl, {vreg(10), vlit(32)});
+    a.br(VaxOp::Bgeq, "rnext");
+    a.inst(VaxOp::Mnegl, {vreg(10), vreg(11)});
+    a.inst(VaxOp::Ashl, {vreg(11), vreg(9), vreg(11)});
+    a.inst(VaxOp::Bicl2, {vimm(0xfffffffeu), vreg(11)});
+    a.br(VaxOp::Beql, "cnext"); // flags from bicl2 result
+    a.inst(VaxOp::Movl, {vlit(1), vreg(1)});
+    a.inst(VaxOp::Ashl, {vreg(5), vreg(1), vreg(1)});
+    a.inst(VaxOp::Bisl2, {vreg(1), vidx(10, vdef(3))});
+    a.label("cnext");
+    a.inst(VaxOp::Incl, {vreg(10)});
+    a.br(VaxOp::Brb, "cols");
+    a.label("rnext");
+    a.inst(VaxOp::Incl, {vreg(5)});
+    a.br(VaxOp::Brb, "rows");
+    a.label("xsum");
+    a.inst(VaxOp::Clrl, {vreg(5)});
+    a.label("fold");
+    a.inst(VaxOp::Cmpl, {vreg(5), vlit(32)});
+    a.br(VaxOp::Bgeq, "folded");
+    a.inst(VaxOp::Xorl2, {vidx(5, vdef(3)), vreg(7)});
+    a.inst(VaxOp::Addl2, {vreg(5), vreg(7)});
+    a.inst(VaxOp::Incl, {vreg(5)});
+    a.br(VaxOp::Brb, "fold");
+    a.label("folded");
+    a.inst(VaxOp::Decl, {vreg(8)});
+    a.brw("round");
+    a.label("store");
+    a.inst(VaxOp::Movl, {vreg(7), vabs(ResultAddr)});
+    a.halt();
+    a.align(4);
+    a.label("amat");
+    a.space(128);
+    a.label("bmat");
+    a.space(128);
+    return a.finish();
+}
+
+uint32_t
+expected(uint64_t rounds)
+{
+    uint32_t amat[32];
+    uint32_t x = XsSeed;
+    for (auto &row : amat) {
+        x = xorshift32(x);
+        row = x;
+    }
+    uint32_t checksum = 0;
+    for (uint64_t r = 0; r < rounds; ++r) {
+        uint32_t bmat[32] = {};
+        for (unsigned i = 0; i < 32; ++i) {
+            for (unsigned j = 0; j < 32; ++j) {
+                if ((amat[i] >> j) & 1)
+                    bmat[j] |= 1u << i;
+            }
+        }
+        for (unsigned i = 0; i < 32; ++i) {
+            checksum ^= bmat[i];
+            checksum += i;
+        }
+    }
+    return checksum;
+}
+
+} // namespace
+
+Workload
+makeBitmatrix()
+{
+    Workload wl;
+    wl.name = "k_bitmatrix";
+    wl.paperTag = "K: bit matrix";
+    wl.description = "32x32 bit-matrix transpose with checksum";
+    wl.defaultScale = 8;
+    wl.recursive = false;
+    wl.riscSource = riscSource;
+    wl.buildVax = buildVax;
+    wl.expected = expected;
+    return wl;
+}
+
+} // namespace risc1::workloads::detail

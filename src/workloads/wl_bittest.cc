@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Benchmark F — bit test: population count over a range of values with
+ * Kernighan's clear-lowest-set-bit loop; pure register ALU work.
+ */
+
+#include "support/logging.hh"
+#include "workloads/suite.hh"
+
+namespace risc1::workloads::detail {
+
+namespace {
+
+std::string
+riscSource(uint64_t n)
+{
+    return strprintf(R"(
+; total = sum over v in 1..N of popcount(v * 2654435761 mod 2^32)
+; (the multiply is replaced by a xorshift scramble: no mul on RISC I).
+        .equ RESULT, %u
+_start: clr   r2             ; total
+        mov   1, r3          ; v
+        mov   %llu, r4       ; N
+outer:  cmp   r3, r4
+        bgt   done
+        ; scramble v -> x (xorshift32)
+        mov   r3, r5
+        sll   r5, 13, r6
+        xor   r5, r6, r5
+        srl   r5, 17, r6
+        xor   r5, r6, r5
+        sll   r5, 5, r6
+        xor   r5, r6, r5
+inner:  cmp   r5, 0
+        beq   next
+        sub   r5, 1, r6      ; x &= x - 1
+        and   r5, r6, r5
+        add   r2, 1, r2
+        b     inner
+next:   add   r3, 1, r3
+        b     outer
+done:   stl   r2, (r0)RESULT
+        halt
+)",
+                     ResultAddr, static_cast<unsigned long long>(n));
+}
+
+vax::VaxProgram
+buildVax(uint64_t n)
+{
+    using namespace risc1::vax;
+    VaxAsm a;
+    a.label("main");
+    a.inst(VaxOp::Clrl, {vreg(2)});                            // total
+    a.inst(VaxOp::Movl, {vlit(1), vreg(3)});                   // v
+    a.inst(VaxOp::Movl, {vimm(static_cast<uint32_t>(n)), vreg(4)});
+    a.label("outer");
+    a.inst(VaxOp::Cmpl, {vreg(3), vreg(4)});
+    a.br(VaxOp::Bgtr, "done");
+    a.inst(VaxOp::Movl, {vreg(3), vreg(5)});
+    a.inst(VaxOp::Ashl, {vlit(13), vreg(5), vreg(6)});
+    a.inst(VaxOp::Xorl2, {vreg(6), vreg(5)});
+    // Logical right shift 17: mask the sign-extended bits afterwards.
+    a.inst(VaxOp::Ashl, {vimm(static_cast<uint32_t>(-17)), vreg(5),
+                         vreg(6)});
+    a.inst(VaxOp::Bicl2, {vimm(0xffff8000u), vreg(6)});
+    a.inst(VaxOp::Xorl2, {vreg(6), vreg(5)});
+    a.inst(VaxOp::Ashl, {vlit(5), vreg(5), vreg(6)});
+    a.inst(VaxOp::Xorl2, {vreg(6), vreg(5)});
+    a.label("inner");
+    a.inst(VaxOp::Tstl, {vreg(5)});
+    a.br(VaxOp::Beql, "next");
+    a.inst(VaxOp::Subl3, {vlit(1), vreg(5), vreg(6)});
+    a.inst(VaxOp::Mcoml, {vreg(6), vreg(7)});
+    a.inst(VaxOp::Bicl2, {vreg(7), vreg(5)}); // x &= x-1
+    a.inst(VaxOp::Incl, {vreg(2)});
+    a.br(VaxOp::Brb, "inner");
+    a.label("next");
+    a.inst(VaxOp::Incl, {vreg(3)});
+    a.br(VaxOp::Brb, "outer");
+    a.label("done");
+    a.inst(VaxOp::Movl, {vreg(2), vabs(ResultAddr)});
+    a.halt();
+    return a.finish();
+}
+
+uint32_t
+expected(uint64_t n)
+{
+    uint32_t total = 0;
+    for (uint64_t v = 1; v <= n; ++v) {
+        uint32_t x = xorshift32(static_cast<uint32_t>(v));
+        while (x) {
+            x &= x - 1;
+            ++total;
+        }
+    }
+    return total;
+}
+
+} // namespace
+
+Workload
+makeBittest()
+{
+    Workload wl;
+    wl.name = "f_bittest";
+    wl.paperTag = "F: bit test";
+    wl.description = "popcount loop over scrambled values; ALU bound";
+    wl.defaultScale = 600;
+    wl.recursive = false;
+    wl.riscSource = riscSource;
+    wl.buildVax = buildVax;
+    wl.expected = expected;
+    return wl;
+}
+
+} // namespace risc1::workloads::detail

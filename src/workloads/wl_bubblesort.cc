@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Bubble sort (Stanford suite's "bubble") — quadratic compare/swap
+ * loops over xorshift data; branch- and memory-intensive, call-free.
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include "support/logging.hh"
+#include "workloads/suite.hh"
+
+namespace risc1::workloads::detail {
+
+namespace {
+
+std::string
+riscSource(uint64_t n)
+{
+    return strprintf(R"(
+; Bubble-sort N words, then checksum sum(arr[k] ^ k).
+        .equ RESULT, %u
+_start: mov   arr, r2
+        mov   %llu, r3       ; N
+        mov   %u, r4         ; xorshift state
+        clr   r5
+fill:   cmp   r5, r3
+        bge   filled
+        sll   r4, 13, r6
+        xor   r4, r6, r4
+        srl   r4, 17, r6
+        xor   r4, r6, r4
+        sll   r4, 5, r6
+        xor   r4, r6, r4
+        sll   r5, 2, r6
+        stl   r4, (r2)r6
+        add   r5, 1, r5
+        b     fill
+filled: sub   r3, 1, r5      ; i = N-1
+outer:  cmp   r5, 0
+        ble   done
+        clr   r6             ; j
+        mov   r2, r7         ; p = &arr[0]
+inner:  cmp   r6, r5
+        bge   onext
+        ldl   (r7)0, r8
+        ldl   (r7)4, r9
+        cmp   r8, r9
+        blos  noswap         ; arr[j] <= arr[j+1] (unsigned)
+        stl   r9, (r7)0
+        stl   r8, (r7)4
+noswap: add   r7, 4, r7
+        add   r6, 1, r6
+        b     inner
+onext:  sub   r5, 1, r5
+        b     outer
+done:   clr   r7             ; checksum
+        clr   r5
+chk:    cmp   r5, r3
+        bge   fin
+        sll   r5, 2, r6
+        ldl   (r2)r6, r8
+        xor   r8, r5, r8
+        add   r7, r8, r7
+        add   r5, 1, r5
+        b     chk
+fin:    stl   r7, (r0)RESULT
+        halt
+
+        .align 4
+arr:    .space %llu
+)",
+                     ResultAddr, static_cast<unsigned long long>(n),
+                     XsSeed, static_cast<unsigned long long>(n * 4));
+}
+
+vax::VaxProgram
+buildVax(uint64_t n)
+{
+    using namespace risc1::vax;
+    VaxAsm a;
+    a.label("main");
+    a.inst(VaxOp::Movl, {vsym("arr"), vreg(2)});
+    a.inst(VaxOp::Movl, {vimm(static_cast<uint32_t>(n)), vreg(3)});
+    a.inst(VaxOp::Movl, {vimm(XsSeed), vreg(4)});
+    a.inst(VaxOp::Clrl, {vreg(5)});
+    a.label("fill");
+    a.inst(VaxOp::Cmpl, {vreg(5), vreg(3)});
+    a.br(VaxOp::Bgeq, "filled");
+    a.inst(VaxOp::Ashl, {vlit(13), vreg(4), vreg(6)});
+    a.inst(VaxOp::Xorl2, {vreg(6), vreg(4)});
+    a.inst(VaxOp::Ashl, {vimm(static_cast<uint32_t>(-17)), vreg(4),
+                         vreg(6)});
+    a.inst(VaxOp::Bicl2, {vimm(0xffff8000u), vreg(6)});
+    a.inst(VaxOp::Xorl2, {vreg(6), vreg(4)});
+    a.inst(VaxOp::Ashl, {vlit(5), vreg(4), vreg(6)});
+    a.inst(VaxOp::Xorl2, {vreg(6), vreg(4)});
+    a.inst(VaxOp::Movl, {vreg(4), vidx(5, vdef(2))});
+    a.inst(VaxOp::Incl, {vreg(5)});
+    a.br(VaxOp::Brb, "fill");
+    a.label("filled");
+    a.inst(VaxOp::Subl3, {vlit(1), vreg(3), vreg(5)}); // i
+    a.label("outer");
+    a.inst(VaxOp::Tstl, {vreg(5)});
+    a.br(VaxOp::Bgtr, "obody");
+    a.brw("done");
+    a.label("obody");
+    a.inst(VaxOp::Clrl, {vreg(6)});            // j
+    a.inst(VaxOp::Movl, {vreg(2), vreg(7)});   // p
+    a.label("inner");
+    a.inst(VaxOp::Cmpl, {vreg(6), vreg(5)});
+    a.br(VaxOp::Bgeq, "onext");
+    a.inst(VaxOp::Movl, {vdef(7), vreg(8)});
+    a.inst(VaxOp::Movl, {vdisp(7, 4), vreg(9)});
+    a.inst(VaxOp::Cmpl, {vreg(8), vreg(9)});
+    a.br(VaxOp::Blequ, "noswap");
+    a.inst(VaxOp::Movl, {vreg(9), vdef(7)});
+    a.inst(VaxOp::Movl, {vreg(8), vdisp(7, 4)});
+    a.label("noswap");
+    a.inst(VaxOp::Addl2, {vlit(4), vreg(7)});
+    a.inst(VaxOp::Incl, {vreg(6)});
+    a.br(VaxOp::Brb, "inner");
+    a.label("onext");
+    a.inst(VaxOp::Decl, {vreg(5)});
+    a.brw("outer");
+    a.label("done");
+    a.inst(VaxOp::Clrl, {vreg(7)});
+    a.inst(VaxOp::Clrl, {vreg(5)});
+    a.label("chk");
+    a.inst(VaxOp::Cmpl, {vreg(5), vreg(3)});
+    a.br(VaxOp::Bgeq, "fin");
+    a.inst(VaxOp::Xorl3, {vreg(5), vidx(5, vdef(2)), vreg(8)});
+    a.inst(VaxOp::Addl2, {vreg(8), vreg(7)});
+    a.inst(VaxOp::Incl, {vreg(5)});
+    a.br(VaxOp::Brb, "chk");
+    a.label("fin");
+    a.inst(VaxOp::Movl, {vreg(7), vabs(ResultAddr)});
+    a.halt();
+    a.align(4);
+    a.label("arr");
+    a.space(static_cast<uint32_t>(n * 4));
+    return a.finish();
+}
+
+uint32_t
+expected(uint64_t n)
+{
+    std::vector<uint32_t> arr(n);
+    uint32_t x = XsSeed;
+    for (auto &v : arr) {
+        x = xorshift32(x);
+        v = x;
+    }
+    std::sort(arr.begin(), arr.end());
+    uint32_t checksum = 0;
+    for (size_t k = 0; k < arr.size(); ++k)
+        checksum += arr[k] ^ static_cast<uint32_t>(k);
+    return checksum;
+}
+
+} // namespace
+
+Workload
+makeBubblesort()
+{
+    Workload wl;
+    wl.name = "bubblesort";
+    wl.paperTag = "bubble (Stanford)";
+    wl.description = "quadratic compare/swap sort; no calls";
+    wl.defaultScale = 160;
+    wl.recursive = false;
+    wl.riscSource = riscSource;
+    wl.buildVax = buildVax;
+    wl.expected = expected;
+    return wl;
+}
+
+} // namespace risc1::workloads::detail

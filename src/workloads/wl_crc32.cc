@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Bitwise CRC-32 over a synthetic buffer — shift/xor/branch per bit,
+ * the register-register ALU pattern the RISC thesis says dominates
+ * real code. No table lookups (paper-era memory was precious), no
+ * calls.
+ */
+
+#include <vector>
+
+#include "support/logging.hh"
+#include "workloads/suite.hh"
+
+namespace risc1::workloads::detail {
+
+namespace {
+
+constexpr uint32_t Poly = 0xedb88320u;
+
+std::string
+riscSource(uint64_t n)
+{
+    return strprintf(R"(
+; CRC-32 (bitwise, reflected polynomial) over N pseudo-random bytes.
+        .equ RESULT, %u
+_start: mov   buf, r2
+        mov   %llu, r3       ; N
+        mov   %u, r4         ; xorshift state
+        ; fill the buffer
+        clr   r5
+fill:   cmp   r5, r3
+        bge   filled
+        sll   r4, 13, r6
+        xor   r4, r6, r4
+        srl   r4, 17, r6
+        xor   r4, r6, r4
+        sll   r4, 5, r6
+        xor   r4, r6, r4
+        stb   r4, (r2)r5
+        add   r5, 1, r5
+        b     fill
+filled: mov   -1, r7         ; crc = 0xffffffff
+        mov   0x%x, r8       ; the polynomial (ldhi/add pair)
+        clr   r5
+bytes:  cmp   r5, r3
+        bge   done
+        ldbu  (r2)r5, r6
+        xor   r7, r6, r7
+        mov   8, r9          ; bit counter
+bits:   and   r7, 1, r16
+        srl   r7, 1, r7
+        cmp   r16, 0
+        beq   nopoly
+        xor   r7, r8, r7
+nopoly: subs  r9, 1, r9
+        bne   bits
+        add   r5, 1, r5
+        b     bytes
+done:   not   r7, r7
+        stl   r7, (r0)RESULT
+        halt
+
+        .align 4
+buf:    .space %llu
+)",
+                     ResultAddr, static_cast<unsigned long long>(n),
+                     XsSeed, Poly,
+                     static_cast<unsigned long long>(n));
+}
+
+vax::VaxProgram
+buildVax(uint64_t n)
+{
+    using namespace risc1::vax;
+    VaxAsm a;
+    a.label("main");
+    a.inst(VaxOp::Movl, {vsym("buf"), vreg(2)});
+    a.inst(VaxOp::Movl, {vimm(static_cast<uint32_t>(n)), vreg(3)});
+    a.inst(VaxOp::Movl, {vimm(XsSeed), vreg(4)});
+    a.inst(VaxOp::Clrl, {vreg(5)});
+    a.label("fill");
+    a.inst(VaxOp::Cmpl, {vreg(5), vreg(3)});
+    a.br(VaxOp::Bgeq, "filled");
+    a.inst(VaxOp::Ashl, {vlit(13), vreg(4), vreg(6)});
+    a.inst(VaxOp::Xorl2, {vreg(6), vreg(4)});
+    a.inst(VaxOp::Ashl, {vimm(static_cast<uint32_t>(-17)), vreg(4),
+                         vreg(6)});
+    a.inst(VaxOp::Bicl2, {vimm(0xffff8000u), vreg(6)});
+    a.inst(VaxOp::Xorl2, {vreg(6), vreg(4)});
+    a.inst(VaxOp::Ashl, {vlit(5), vreg(4), vreg(6)});
+    a.inst(VaxOp::Xorl2, {vreg(6), vreg(4)});
+    a.inst(VaxOp::Movb, {vreg(4), vidx(5, vdef(2))});
+    a.inst(VaxOp::Incl, {vreg(5)});
+    a.br(VaxOp::Brb, "fill");
+    a.label("filled");
+    a.inst(VaxOp::Movl, {vimm(0xffffffffu), vreg(7)});
+    a.inst(VaxOp::Movl, {vimm(Poly), vreg(8)});
+    a.inst(VaxOp::Clrl, {vreg(5)});
+    a.label("bytes");
+    a.inst(VaxOp::Cmpl, {vreg(5), vreg(3)});
+    a.br(VaxOp::Blss, "bbody");
+    a.brw("done");
+    a.label("bbody");
+    a.inst(VaxOp::Movb, {vidx(5, vdef(2)), vreg(6)});
+    a.inst(VaxOp::Bicl3, {vimm(0xffffff00u), vreg(6), vreg(6)});
+    a.inst(VaxOp::Xorl2, {vreg(6), vreg(7)});
+    a.inst(VaxOp::Movl, {vlit(8), vreg(9)});
+    a.label("bits");
+    a.inst(VaxOp::Bicl3, {vimm(0xfffffffeu), vreg(7), vreg(10)});
+    // crc >>= 1 (logical): arithmetic shift then clear the top bit.
+    a.inst(VaxOp::Ashl, {vimm(static_cast<uint32_t>(-1)), vreg(7),
+                         vreg(7)});
+    a.inst(VaxOp::Bicl2, {vimm(0x80000000u), vreg(7)});
+    a.inst(VaxOp::Tstl, {vreg(10)});
+    a.br(VaxOp::Beql, "nopoly");
+    a.inst(VaxOp::Xorl2, {vreg(8), vreg(7)});
+    a.label("nopoly");
+    a.inst(VaxOp::Decl, {vreg(9)});
+    a.br(VaxOp::Bneq, "bits");
+    a.inst(VaxOp::Incl, {vreg(5)});
+    a.brw("bytes");
+    a.label("done");
+    a.inst(VaxOp::Mcoml, {vreg(7), vreg(7)});
+    a.inst(VaxOp::Movl, {vreg(7), vabs(ResultAddr)});
+    a.halt();
+    a.align(4);
+    a.label("buf");
+    a.space(static_cast<uint32_t>(n));
+    return a.finish();
+}
+
+uint32_t
+expected(uint64_t n)
+{
+    std::vector<uint8_t> buf(n);
+    uint32_t x = XsSeed;
+    for (auto &b : buf) {
+        x = xorshift32(x);
+        b = static_cast<uint8_t>(x);
+    }
+    uint32_t crc = 0xffffffffu;
+    for (uint8_t byte : buf) {
+        crc ^= byte;
+        for (int bit = 0; bit < 8; ++bit) {
+            const bool lsb = crc & 1;
+            crc >>= 1;
+            if (lsb)
+                crc ^= Poly;
+        }
+    }
+    return ~crc;
+}
+
+} // namespace
+
+Workload
+makeCrc32()
+{
+    Workload wl;
+    wl.name = "crc32";
+    wl.paperTag = "CRC-32 (bitwise)";
+    wl.description = "shift/xor bit loop over a byte buffer";
+    wl.defaultScale = 1024;
+    wl.recursive = false;
+    wl.riscSource = riscSource;
+    wl.buildVax = buildVax;
+    wl.expected = expected;
+    return wl;
+}
+
+} // namespace risc1::workloads::detail

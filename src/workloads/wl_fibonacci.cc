@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Recursive Fibonacci — the classic procedure-call stress test; every
+ * fib(n) costs ~1.6^n calls, exercising the register windows (RISC I)
+ * against the CALLS frame machinery (vax80).
+ */
+
+#include "support/logging.hh"
+#include "workloads/suite.hh"
+
+namespace risc1::workloads::detail {
+
+namespace {
+
+std::string
+riscSource(uint64_t n)
+{
+    return strprintf(R"(
+; fib(n), recursive. Result to RESULT.
+        .equ RESULT, %u
+_start: mov   %llu, r10
+        call  fib
+        stl   r10, (r0)RESULT
+        halt
+
+; fib: n in in0(r26); result returned in in0.
+fib:    cmp   r26, 2
+        blt   base
+        sub   r26, 1, r10
+        call  fib
+        mov   r10, r16        ; fib(n-1)
+        sub   r26, 2, r10
+        call  fib
+        add   r16, r10, r26   ; return fib(n-1)+fib(n-2)
+        ret
+base:   ret                   ; fib(0)=0, fib(1)=1: n already in place
+)",
+                     ResultAddr, static_cast<unsigned long long>(n));
+}
+
+vax::VaxProgram
+buildVax(uint64_t n)
+{
+    using namespace risc1::vax;
+    VaxAsm a;
+    a.label("main");
+    a.inst(VaxOp::Pushl, {vlit(static_cast<uint32_t>(n))});
+    a.calls(1, "fib");
+    a.inst(VaxOp::Movl, {vreg(0), vabs(ResultAddr)});
+    a.halt();
+
+    // fib(n): r2 = n, r3 = fib(n-1); both saved by the entry mask.
+    a.entry("fib", 0x000c);
+    a.inst(VaxOp::Movl, {vdisp(AP, 0), vreg(2)});
+    a.inst(VaxOp::Cmpl, {vreg(2), vlit(2)});
+    a.br(VaxOp::Blss, "base");
+    a.inst(VaxOp::Subl3, {vlit(1), vreg(2), vreg(1)});
+    a.inst(VaxOp::Pushl, {vreg(1)});
+    a.calls(1, "fib");
+    a.inst(VaxOp::Movl, {vreg(0), vreg(3)});
+    a.inst(VaxOp::Subl3, {vlit(2), vreg(2), vreg(1)});
+    a.inst(VaxOp::Pushl, {vreg(1)});
+    a.calls(1, "fib");
+    a.inst(VaxOp::Addl2, {vreg(3), vreg(0)});
+    a.ret();
+    a.label("base");
+    a.inst(VaxOp::Movl, {vreg(2), vreg(0)});
+    a.ret();
+    return a.finish();
+}
+
+uint32_t
+expected(uint64_t n)
+{
+    uint32_t a = 0, b = 1;
+    for (uint64_t i = 0; i < n; ++i) {
+        const uint32_t next = a + b;
+        a = b;
+        b = next;
+    }
+    return a;
+}
+
+} // namespace
+
+Workload
+makeFibonacci()
+{
+    Workload wl;
+    wl.name = "fibonacci";
+    wl.paperTag = "fib(n), recursive";
+    wl.description = "doubly-recursive Fibonacci; call-dominated";
+    wl.defaultScale = 15;
+    wl.recursive = true;
+    wl.riscSource = riscSource;
+    wl.buildVax = buildVax;
+    wl.expected = expected;
+    return wl;
+}
+
+} // namespace risc1::workloads::detail

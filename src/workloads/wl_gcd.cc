@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Recursive Euclid GCD over xorshift pairs. On RISC I every modulo is
+ * a software udivmod32 call (three window levels per Euclid step);
+ * vax80 gets it from microcoded DIVL/MULL. The workload that shows the
+ * software-division tax — and how the windows absorb the extra calls.
+ */
+
+#include "support/logging.hh"
+#include "workloads/rtlib.hh"
+#include "workloads/suite.hh"
+
+namespace risc1::workloads::detail {
+
+namespace {
+
+std::string
+riscSource(uint64_t pairs)
+{
+    return strprintf(R"(
+; sum of gcd(a, b) over N xorshift pairs (b forced nonzero).
+        .equ RESULT, %u
+_start: mov   %llu, r3       ; N
+        mov   %u, r4         ; xorshift state
+        clr   r5             ; sum
+        clr   r6             ; i
+pair:   cmp   r6, r3
+        bge   done
+        sll   r4, 13, r8
+        xor   r4, r8, r4
+        srl   r4, 17, r8
+        xor   r4, r8, r4
+        sll   r4, 5, r8
+        xor   r4, r8, r4
+        mov   r4, r16        ; a
+        sll   r4, 13, r8
+        xor   r4, r8, r4
+        srl   r4, 17, r8
+        xor   r4, r8, r4
+        sll   r4, 5, r8
+        xor   r4, r8, r4
+        mov   r4, r17        ; b
+        cmp   r17, 0
+        bne   have_b
+        mov   1, r17
+have_b: mov   r16, r10
+        mov   r17, r11
+        call  gcd
+        add   r5, r10, r5
+        add   r6, 1, r6
+        b     pair
+done:   stl   r5, (r0)RESULT
+        halt
+
+; gcd(a, b): Euclid, recursive; modulo via the runtime library.
+gcd:    cmp   r27, 0
+        beq   gcd_base
+        mov   r27, r16       ; save b
+        mov   r26, r10
+        mov   r27, r11
+        call  umod32         ; r10 = a mod b
+        mov   r10, r11       ; gcd(b, a mod b)
+        mov   r16, r10
+        call  gcd
+        mov   r10, r26
+        ret
+gcd_base:
+        ret                  ; gcd(a, 0) = a, already in place
+%s)",
+                     ResultAddr, static_cast<unsigned long long>(pairs),
+                     XsSeed, rtlib::sources({"umod32"}).c_str());
+}
+
+vax::VaxProgram
+buildVax(uint64_t pairs)
+{
+    using namespace risc1::vax;
+    VaxAsm a;
+    a.label("main");
+    a.inst(VaxOp::Movl, {vimm(static_cast<uint32_t>(pairs)), vreg(6)});
+    a.inst(VaxOp::Movl, {vimm(XsSeed), vreg(7)});
+    a.inst(VaxOp::Clrl, {vreg(8)}); // sum
+    a.inst(VaxOp::Clrl, {vreg(9)}); // i
+    a.label("pair");
+    a.inst(VaxOp::Cmpl, {vreg(9), vreg(6)});
+    a.br(VaxOp::Blss, "body");
+    a.brw("done");
+    a.label("body");
+    for (int k = 0; k < 2; ++k) {
+        a.inst(VaxOp::Ashl, {vlit(13), vreg(7), vreg(1)});
+        a.inst(VaxOp::Xorl2, {vreg(1), vreg(7)});
+        a.inst(VaxOp::Ashl, {vimm(static_cast<uint32_t>(-17)), vreg(7),
+                             vreg(1)});
+        a.inst(VaxOp::Bicl2, {vimm(0xffff8000u), vreg(1)});
+        a.inst(VaxOp::Xorl2, {vreg(1), vreg(7)});
+        a.inst(VaxOp::Ashl, {vlit(5), vreg(7), vreg(1)});
+        a.inst(VaxOp::Xorl2, {vreg(1), vreg(7)});
+        a.inst(VaxOp::Movl, {vreg(7), vreg(k == 0 ? 10 : 11)});
+    }
+    a.inst(VaxOp::Tstl, {vreg(11)});
+    a.br(VaxOp::Bneq, "have_b");
+    a.inst(VaxOp::Movl, {vlit(1), vreg(11)});
+    a.label("have_b");
+    a.inst(VaxOp::Pushl, {vreg(11)});
+    a.inst(VaxOp::Pushl, {vreg(10)});
+    a.calls(2, "gcd");
+    a.inst(VaxOp::Addl2, {vreg(0), vreg(8)});
+    a.inst(VaxOp::Incl, {vreg(9)});
+    a.brw("pair");
+    a.label("done");
+    a.inst(VaxOp::Movl, {vreg(8), vabs(ResultAddr)});
+    a.halt();
+
+    // gcd(a, b): r2 = a, r3 = b, r4 = a mod b, r5 scratch. vax80's
+    // DIVL is signed, so unsigned modulo of full 32-bit values is
+    // computed case by case:
+    //   - both < 2^31: straight DIVL/MULL/SUB;
+    //   - a >= 2^31: rem = adjust(2*((a>>1) mod b) + (a & 1));
+    //   - b >= 2^31: rem = a (if a < b) or a - b (one step suffices).
+    a.entry("gcd", 0x003c); // saves r2..r5
+    a.inst(VaxOp::Movl, {vdisp(AP, 0), vreg(2)});
+    a.inst(VaxOp::Movl, {vdisp(AP, 4), vreg(3)});
+    a.inst(VaxOp::Tstl, {vreg(3)});
+    a.br(VaxOp::Bneq, "recur");
+    a.inst(VaxOp::Movl, {vreg(2), vreg(0)});
+    a.ret();
+    a.label("recur");
+    a.inst(VaxOp::Tstl, {vreg(3)});
+    a.br(VaxOp::Blss, "b_big");
+    a.inst(VaxOp::Tstl, {vreg(2)});
+    a.br(VaxOp::Blss, "a_big");
+    a.inst(VaxOp::Divl3, {vreg(3), vreg(2), vreg(4)});
+    a.inst(VaxOp::Mull2, {vreg(3), vreg(4)});
+    a.inst(VaxOp::Subl3, {vreg(4), vreg(2), vreg(4)});
+    a.br(VaxOp::Brb, "push_args");
+    a.label("a_big");
+    a.inst(VaxOp::Ashl, {vimm(static_cast<uint32_t>(-1)), vreg(2),
+                         vreg(4)});
+    a.inst(VaxOp::Bicl2, {vimm(0x80000000u), vreg(4)}); // half = a>>1
+    a.inst(VaxOp::Divl3, {vreg(3), vreg(4), vreg(5)});  // q1
+    a.inst(VaxOp::Mull2, {vreg(3), vreg(5)});
+    a.inst(VaxOp::Subl3, {vreg(5), vreg(4), vreg(4)});  // half mod b
+    a.inst(VaxOp::Addl2, {vreg(4), vreg(4)});           // *2
+    a.inst(VaxOp::Bicl3, {vimm(0xfffffffeu), vreg(2), vreg(5)});
+    a.inst(VaxOp::Addl2, {vreg(5), vreg(4)});           // + (a & 1)
+    a.label("m_adj"); // at most two corrective subtractions
+    a.inst(VaxOp::Cmpl, {vreg(4), vreg(3)});
+    a.br(VaxOp::Blssu, "push_args");
+    a.inst(VaxOp::Subl2, {vreg(3), vreg(4)});
+    a.br(VaxOp::Brb, "m_adj");
+    a.label("b_big");
+    a.inst(VaxOp::Cmpl, {vreg(2), vreg(3)});
+    a.br(VaxOp::Blssu, "rem_is_a");
+    a.inst(VaxOp::Subl3, {vreg(3), vreg(2), vreg(4)}); // a - b (< b)
+    a.br(VaxOp::Brb, "push_args");
+    a.label("rem_is_a");
+    a.inst(VaxOp::Movl, {vreg(2), vreg(4)});
+    a.label("push_args");
+    a.inst(VaxOp::Pushl, {vreg(4)}); // a mod b
+    a.inst(VaxOp::Pushl, {vreg(3)}); // b
+    a.calls(2, "gcd");
+    a.ret();
+    return a.finish();
+}
+
+uint32_t
+gcdHost(uint32_t a, uint32_t b)
+{
+    while (b != 0) {
+        const uint32_t r = a % b;
+        a = b;
+        b = r;
+    }
+    return a;
+}
+
+uint32_t
+expected(uint64_t pairs)
+{
+    uint32_t x = XsSeed;
+    uint32_t sum = 0;
+    for (uint64_t i = 0; i < pairs; ++i) {
+        x = xorshift32(x);
+        const uint32_t a = x;
+        x = xorshift32(x);
+        uint32_t b = x;
+        if (b == 0)
+            b = 1;
+        sum += gcdHost(a, b);
+    }
+    return sum;
+}
+
+} // namespace
+
+Workload
+makeGcd()
+{
+    Workload wl;
+    wl.name = "gcd";
+    wl.paperTag = "Euclid GCD (software modulo)";
+    wl.description = "recursive Euclid; RISC I pays software division, "
+                     "vax80 uses microcoded DIVL";
+    wl.defaultScale = 40;
+    wl.recursive = true;
+    wl.riscSource = riscSource;
+    wl.buildVax = buildVax;
+    wl.expected = expected;
+    return wl;
+}
+
+} // namespace risc1::workloads::detail

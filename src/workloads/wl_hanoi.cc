@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Towers of Hanoi — 2^n - 1 moves through doubly-recursive calls; the
+ * paper's procedure-call motivation in miniature.
+ */
+
+#include "support/logging.hh"
+#include "workloads/suite.hh"
+
+namespace risc1::workloads::detail {
+
+namespace {
+
+std::string
+riscSource(uint64_t n)
+{
+    return strprintf(R"(
+; hanoi(n): count moves in global r2.
+        .equ RESULT, %u
+_start: clr   r2
+        mov   %llu, r10
+        call  hanoi
+        stl   r2, (r0)RESULT
+        halt
+
+; hanoi: n in in0(r26); bumps global move counter r2.
+hanoi:  cmp   r26, 0
+        beq   done
+        sub   r26, 1, r10
+        call  hanoi
+        add   r2, 1, r2       ; perform the move
+        sub   r26, 1, r10
+        call  hanoi
+done:   ret
+)",
+                     ResultAddr, static_cast<unsigned long long>(n));
+}
+
+vax::VaxProgram
+buildVax(uint64_t n)
+{
+    using namespace risc1::vax;
+    VaxAsm a;
+    a.label("main");
+    a.inst(VaxOp::Clrl, {vreg(6)}); // move counter (caller-owned)
+    a.inst(VaxOp::Pushl, {vlit(static_cast<uint32_t>(n))});
+    a.calls(1, "hanoi");
+    a.inst(VaxOp::Movl, {vreg(6), vabs(ResultAddr)});
+    a.halt();
+
+    // hanoi(n): r2 = n; bumps the shared counter r6 (not in the mask).
+    a.entry("hanoi", 0x0004);
+    a.inst(VaxOp::Movl, {vdisp(AP, 0), vreg(2)});
+    a.inst(VaxOp::Tstl, {vreg(2)});
+    a.br(VaxOp::Beql, "done");
+    a.inst(VaxOp::Subl3, {vlit(1), vreg(2), vreg(1)});
+    a.inst(VaxOp::Pushl, {vreg(1)});
+    a.calls(1, "hanoi");
+    a.inst(VaxOp::Incl, {vreg(6)});
+    a.inst(VaxOp::Subl3, {vlit(1), vreg(2), vreg(1)});
+    a.inst(VaxOp::Pushl, {vreg(1)});
+    a.calls(1, "hanoi");
+    a.label("done");
+    a.ret();
+    return a.finish();
+}
+
+uint32_t
+expected(uint64_t n)
+{
+    return static_cast<uint32_t>((uint64_t{1} << n) - 1);
+}
+
+} // namespace
+
+Workload
+makeHanoi()
+{
+    Workload wl;
+    wl.name = "hanoi";
+    wl.paperTag = "Towers of Hanoi(n)";
+    wl.description = "doubly-recursive move counting";
+    wl.defaultScale = 12;
+    wl.recursive = true;
+    wl.riscSource = riscSource;
+    wl.buildVax = buildVax;
+    wl.expected = expected;
+    return wl;
+}
+
+} // namespace risc1::workloads::detail

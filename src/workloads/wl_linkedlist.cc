@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Benchmark H — linked list: bump-allocate N nodes, insert each at the
+ * head, then traverse summing the values. Pointer chasing.
+ */
+
+#include "support/logging.hh"
+#include "workloads/suite.hh"
+
+namespace risc1::workloads::detail {
+
+namespace {
+
+std::string
+riscSource(uint64_t n)
+{
+    return strprintf(R"(
+; Build an N-node list (head insertion), then sum values.
+; Node layout: +0 next, +4 value.
+        .equ RESULT, %u
+_start: mov   heap, r2       ; bump pointer
+        clr   r3             ; head = null
+        mov   %llu, r4       ; N
+        mov   1, r5          ; i
+build:  cmp   r5, r4
+        bgt   built
+        stl   r3, (r2)0      ; node.next = head
+        stl   r5, (r2)4      ; node.value = i
+        mov   r2, r3         ; head = node
+        add   r2, 8, r2
+        add   r5, 1, r5
+        b     build
+built:  clr   r6             ; sum
+        mov   r3, r7         ; cursor
+sum_l:  cmp   r7, 0
+        beq   done
+        ldl   (r7)4, r8
+        add   r6, r8, r6
+        ldl   (r7)0, r7
+        b     sum_l
+done:   stl   r6, (r0)RESULT
+        halt
+
+        .align 4
+heap:   .space %llu
+)",
+                     ResultAddr, static_cast<unsigned long long>(n),
+                     static_cast<unsigned long long>(n * 8));
+}
+
+vax::VaxProgram
+buildVax(uint64_t n)
+{
+    using namespace risc1::vax;
+    VaxAsm a;
+    a.label("main");
+    a.inst(VaxOp::Movl, {vsym("heap"), vreg(2)});
+    a.inst(VaxOp::Clrl, {vreg(3)});
+    a.inst(VaxOp::Movl, {vimm(static_cast<uint32_t>(n)), vreg(4)});
+    a.inst(VaxOp::Movl, {vlit(1), vreg(5)});
+    a.label("build");
+    a.inst(VaxOp::Cmpl, {vreg(5), vreg(4)});
+    a.br(VaxOp::Bgtr, "built");
+    a.inst(VaxOp::Movl, {vreg(3), vdef(2)});
+    a.inst(VaxOp::Movl, {vreg(5), vdisp(2, 4)});
+    a.inst(VaxOp::Movl, {vreg(2), vreg(3)});
+    a.inst(VaxOp::Addl2, {vlit(8), vreg(2)});
+    a.inst(VaxOp::Incl, {vreg(5)});
+    a.br(VaxOp::Brb, "build");
+    a.label("built");
+    a.inst(VaxOp::Clrl, {vreg(6)});
+    a.inst(VaxOp::Movl, {vreg(3), vreg(7)});
+    a.label("sum_l");
+    a.inst(VaxOp::Tstl, {vreg(7)});
+    a.br(VaxOp::Beql, "done");
+    a.inst(VaxOp::Addl2, {vdisp(7, 4), vreg(6)});
+    a.inst(VaxOp::Movl, {vdef(7), vreg(7)});
+    a.br(VaxOp::Brb, "sum_l");
+    a.label("done");
+    a.inst(VaxOp::Movl, {vreg(6), vabs(ResultAddr)});
+    a.halt();
+    a.align(4);
+    a.label("heap");
+    a.space(static_cast<uint32_t>(n * 8));
+    return a.finish();
+}
+
+uint32_t
+expected(uint64_t n)
+{
+    return static_cast<uint32_t>(n * (n + 1) / 2);
+}
+
+} // namespace
+
+Workload
+makeLinkedlist()
+{
+    Workload wl;
+    wl.name = "h_linkedlist";
+    wl.paperTag = "H: linked list";
+    wl.description = "head insertion then pointer-chasing sum";
+    wl.defaultScale = 1000;
+    wl.recursive = false;
+    wl.riscSource = riscSource;
+    wl.buildVax = buildVax;
+    wl.expected = expected;
+    return wl;
+}
+
+} // namespace risc1::workloads::detail

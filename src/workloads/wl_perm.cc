@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Perm (Stanford suite) — exhaustive permutation generation by
+ * recursive swapping; ~e*n! calls at depth n, a classic procedure-call
+ * stressor with real array traffic at every level.
+ */
+
+#include <vector>
+
+#include "support/logging.hh"
+#include "workloads/suite.hh"
+
+namespace risc1::workloads::detail {
+
+namespace {
+
+std::string
+riscSource(uint64_t n)
+{
+    return strprintf(R"(
+; Count permutation calls over an n-element array.
+        .equ RESULT, %u
+_start: mov   arr, r2        ; array base (global)
+        mov   %llu, r3       ; n
+        clr   r4             ; call counter
+        clr   r5
+init:   cmp   r5, r3
+        bge   inited
+        sll   r5, 2, r6
+        stl   r5, (r2)r6     ; arr[i] = i
+        add   r5, 1, r5
+        b     init
+inited: mov   r3, r10
+        call  perm
+        clr   r7             ; checksum
+        clr   r5
+chk:    cmp   r5, r3
+        bge   fin
+        sll   r5, 2, r6
+        ldl   (r2)r6, r8
+        xor   r8, r5, r8
+        add   r7, r8, r7
+        add   r5, 1, r5
+        b     chk
+fin:    add   r7, r4, r7     ; + call count
+        stl   r7, (r0)RESULT
+        halt
+
+; perm(k): k in in0. for i in 0..k-1 { perm(k-1); swap a[i], a[k-1] }
+perm:   add   r4, 1, r4
+        cmp   r26, 1
+        ble   pdone
+        clr   r16            ; i
+        sub   r26, 1, r17    ; k-1
+ploop:  cmp   r16, r26
+        bge   pdone
+        mov   r17, r10
+        call  perm
+        sll   r16, 2, r18    ; swap arr[i], arr[k-1]
+        sll   r17, 2, r19
+        ldl   (r2)r18, r20
+        ldl   (r2)r19, r21
+        stl   r21, (r2)r18
+        stl   r20, (r2)r19
+        add   r16, 1, r16
+        b     ploop
+pdone:  ret
+
+        .align 4
+arr:    .space %llu
+)",
+                     ResultAddr, static_cast<unsigned long long>(n),
+                     static_cast<unsigned long long>(n * 4));
+}
+
+vax::VaxProgram
+buildVax(uint64_t n)
+{
+    using namespace risc1::vax;
+    VaxAsm a;
+    a.label("main");
+    a.inst(VaxOp::Movl, {vsym("arr"), vreg(6)});
+    a.inst(VaxOp::Movl, {vimm(static_cast<uint32_t>(n)), vreg(7)});
+    a.inst(VaxOp::Clrl, {vreg(8)}); // call counter
+    a.inst(VaxOp::Clrl, {vreg(5)});
+    a.label("init");
+    a.inst(VaxOp::Cmpl, {vreg(5), vreg(7)});
+    a.br(VaxOp::Bgeq, "inited");
+    a.inst(VaxOp::Movl, {vreg(5), vidx(5, vdef(6))});
+    a.inst(VaxOp::Incl, {vreg(5)});
+    a.br(VaxOp::Brb, "init");
+    a.label("inited");
+    a.inst(VaxOp::Pushl, {vreg(7)});
+    a.calls(1, "perm");
+    a.inst(VaxOp::Clrl, {vreg(9)}); // checksum
+    a.inst(VaxOp::Clrl, {vreg(5)});
+    a.label("chk");
+    a.inst(VaxOp::Cmpl, {vreg(5), vreg(7)});
+    a.br(VaxOp::Bgeq, "fin");
+    a.inst(VaxOp::Xorl3, {vreg(5), vidx(5, vdef(6)), vreg(1)});
+    a.inst(VaxOp::Addl2, {vreg(1), vreg(9)});
+    a.inst(VaxOp::Incl, {vreg(5)});
+    a.br(VaxOp::Brb, "chk");
+    a.label("fin");
+    a.inst(VaxOp::Addl2, {vreg(8), vreg(9)});
+    a.inst(VaxOp::Movl, {vreg(9), vabs(ResultAddr)});
+    a.halt();
+
+    // perm(k): r2 = k, r3 = i, r4 = k-1; r1 scratch.
+    a.entry("perm", 0x001c);
+    a.inst(VaxOp::Incl, {vreg(8)});
+    a.inst(VaxOp::Movl, {vdisp(AP, 0), vreg(2)});
+    a.inst(VaxOp::Cmpl, {vreg(2), vlit(1)});
+    a.br(VaxOp::Bleq, "pdone");
+    a.inst(VaxOp::Clrl, {vreg(3)});
+    a.inst(VaxOp::Subl3, {vlit(1), vreg(2), vreg(4)});
+    a.label("ploop");
+    a.inst(VaxOp::Cmpl, {vreg(3), vreg(2)});
+    a.br(VaxOp::Bgeq, "pdone");
+    a.inst(VaxOp::Pushl, {vreg(4)});
+    a.calls(1, "perm");
+    // swap arr[i], arr[k-1]
+    a.inst(VaxOp::Movl, {vidx(3, vdef(6)), vreg(1)});
+    a.inst(VaxOp::Movl, {vidx(4, vdef(6)), vidx(3, vdef(6))});
+    a.inst(VaxOp::Movl, {vreg(1), vidx(4, vdef(6))});
+    a.inst(VaxOp::Incl, {vreg(3)});
+    a.br(VaxOp::Brb, "ploop");
+    a.label("pdone");
+    a.ret();
+
+    a.align(4);
+    a.label("arr");
+    a.space(static_cast<uint32_t>(n * 4));
+    return a.finish();
+}
+
+void
+permHost(std::vector<uint32_t> &arr, uint32_t k, uint32_t &count)
+{
+    ++count;
+    if (k <= 1)
+        return;
+    for (uint32_t i = 0; i < k; ++i) {
+        permHost(arr, k - 1, count);
+        std::swap(arr[i], arr[k - 1]);
+    }
+}
+
+uint32_t
+expected(uint64_t n)
+{
+    std::vector<uint32_t> arr(n);
+    for (size_t i = 0; i < arr.size(); ++i)
+        arr[i] = static_cast<uint32_t>(i);
+    uint32_t count = 0;
+    permHost(arr, static_cast<uint32_t>(n), count);
+    uint32_t checksum = count;
+    for (size_t i = 0; i < arr.size(); ++i)
+        checksum += arr[i] ^ static_cast<uint32_t>(i);
+    return checksum;
+}
+
+} // namespace
+
+Workload
+makePerm()
+{
+    Workload wl;
+    wl.name = "perm";
+    wl.paperTag = "perm (Stanford)";
+    wl.description = "recursive permutation generation; ~e*n! calls";
+    wl.defaultScale = 6;
+    wl.recursive = true;
+    wl.riscSource = riscSource;
+    wl.buildVax = buildVax;
+    wl.expected = expected;
+    return wl;
+}
+
+} // namespace risc1::workloads::detail

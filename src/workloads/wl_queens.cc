@@ -1,0 +1,157 @@
+/**
+ * @file
+ * N-queens solution counting via bitmask backtracking — the suite's
+ * Puzzle-class program (documented substitution for Baskett's Puzzle):
+ * recursive search with heavy logical/shift work per node.
+ */
+
+#include "support/logging.hh"
+#include "workloads/suite.hh"
+
+namespace risc1::workloads::detail {
+
+namespace {
+
+std::string
+riscSource(uint64_t n)
+{
+    return strprintf(R"(
+; Count N-queens solutions. Globals: r2 = full mask, r3 = count.
+        .equ RESULT, %u
+_start: mov   1, r2
+        sll   r2, %llu, r2
+        sub   r2, 1, r2      ; full = (1 << n) - 1
+        clr   r3
+        clr   r10            ; cols
+        clr   r11            ; diag1
+        clr   r12            ; diag2
+        call  solve
+        stl   r3, (r0)RESULT
+        halt
+
+; solve(cols, d1, d2): in0..in2 (r26..r28); bumps global r3.
+solve:  cmp   r26, r2
+        bne   srch
+        add   r3, 1, r3      ; all columns filled: a solution
+        ret
+srch:   or    r26, r27, r16
+        or    r16, r28, r16
+        not   r16, r16
+        and   r16, r2, r16   ; avail
+sloop:  cmp   r16, 0
+        beq   sdone
+        neg   r16, r17
+        and   r16, r17, r17  ; bit = avail & -avail
+        xor   r16, r17, r16  ; avail &= ~bit
+        or    r26, r17, r10  ; cols | bit
+        or    r27, r17, r18
+        sll   r18, 1, r11    ; (d1 | bit) << 1
+        or    r28, r17, r18
+        srl   r18, 1, r12    ; (d2 | bit) >> 1
+        call  solve
+        b     sloop
+sdone:  ret
+)",
+                     ResultAddr, static_cast<unsigned long long>(n));
+}
+
+vax::VaxProgram
+buildVax(uint64_t n)
+{
+    using namespace risc1::vax;
+    VaxAsm a;
+    a.label("main");
+    a.inst(VaxOp::Movl, {vlit(1), vreg(6)});
+    a.inst(VaxOp::Ashl,
+           {vlit(static_cast<uint32_t>(n)), vreg(6), vreg(6)});
+    a.inst(VaxOp::Decl, {vreg(6)}); // r6 = full mask (shared)
+    a.inst(VaxOp::Clrl, {vreg(7)}); // r7 = solution count (shared)
+    a.inst(VaxOp::Pushl, {vlit(0)}); // d2
+    a.inst(VaxOp::Pushl, {vlit(0)}); // d1
+    a.inst(VaxOp::Pushl, {vlit(0)}); // cols
+    a.calls(3, "solve");
+    a.inst(VaxOp::Movl, {vreg(7), vabs(ResultAddr)});
+    a.halt();
+
+    // solve(cols, d1, d2): r2=cols r3=d1 r4=d2 r5=avail r8=bit;
+    // r1 is a scratch register (caller-clobbered).
+    a.entry("solve", 0x013c); // saves r2..r5, r8
+    a.inst(VaxOp::Movl, {vdisp(AP, 0), vreg(2)});
+    a.inst(VaxOp::Movl, {vdisp(AP, 4), vreg(3)});
+    a.inst(VaxOp::Movl, {vdisp(AP, 8), vreg(4)});
+    a.inst(VaxOp::Cmpl, {vreg(2), vreg(6)});
+    a.br(VaxOp::Bneq, "srch");
+    a.inst(VaxOp::Incl, {vreg(7)});
+    a.ret();
+    a.label("srch");
+    a.inst(VaxOp::Bisl3, {vreg(2), vreg(3), vreg(5)});
+    a.inst(VaxOp::Bisl2, {vreg(4), vreg(5)});
+    a.inst(VaxOp::Mcoml, {vreg(5), vreg(5)});
+    a.inst(VaxOp::Mcoml, {vreg(6), vreg(1)});
+    a.inst(VaxOp::Bicl2, {vreg(1), vreg(5)}); // avail = ~(c|d1|d2) & full
+    a.label("sloop");
+    a.inst(VaxOp::Tstl, {vreg(5)});
+    a.br(VaxOp::Beql, "sdone");
+    a.inst(VaxOp::Mnegl, {vreg(5), vreg(8)});
+    a.inst(VaxOp::Mcoml, {vreg(8), vreg(1)});
+    a.inst(VaxOp::Movl, {vreg(5), vreg(8)});
+    a.inst(VaxOp::Bicl2, {vreg(1), vreg(8)}); // bit = avail & -avail
+    a.inst(VaxOp::Xorl2, {vreg(8), vreg(5)}); // avail ^= bit
+    a.inst(VaxOp::Bisl3, {vreg(4), vreg(8), vreg(1)});
+    a.inst(VaxOp::Ashl, {vimm(static_cast<uint32_t>(-1)), vreg(1),
+                         vreg(1)}); // (d2|bit) >> 1 (values < 2^31)
+    a.inst(VaxOp::Pushl, {vreg(1)});
+    a.inst(VaxOp::Bisl3, {vreg(3), vreg(8), vreg(1)});
+    a.inst(VaxOp::Ashl, {vlit(1), vreg(1), vreg(1)});
+    a.inst(VaxOp::Pushl, {vreg(1)});
+    a.inst(VaxOp::Bisl3, {vreg(2), vreg(8), vreg(1)});
+    a.inst(VaxOp::Pushl, {vreg(1)});
+    a.calls(3, "solve");
+    a.br(VaxOp::Brb, "sloop");
+    a.label("sdone");
+    a.ret();
+    return a.finish();
+}
+
+/** Host oracle. */
+uint32_t
+solveHost(uint32_t cols, uint32_t d1, uint32_t d2, uint32_t full)
+{
+    if (cols == full)
+        return 1;
+    uint32_t count = 0;
+    uint32_t avail = ~(cols | d1 | d2) & full;
+    while (avail) {
+        const uint32_t bit = avail & (0u - avail);
+        avail ^= bit;
+        count += solveHost(cols | bit, (d1 | bit) << 1, (d2 | bit) >> 1,
+                           full);
+    }
+    return count;
+}
+
+uint32_t
+expected(uint64_t n)
+{
+    const uint32_t full = (1u << n) - 1;
+    return solveHost(0, 0, 0, full);
+}
+
+} // namespace
+
+Workload
+makeQueens()
+{
+    Workload wl;
+    wl.name = "queens";
+    wl.paperTag = "Puzzle-class backtracking (N-queens)";
+    wl.description = "bitmask N-queens; recursive search, ALU heavy";
+    wl.defaultScale = 7;
+    wl.recursive = true;
+    wl.riscSource = riscSource;
+    wl.buildVax = buildVax;
+    wl.expected = expected;
+    return wl;
+}
+
+} // namespace risc1::workloads::detail

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Benchmark I — recursive quicksort (Lomuto partition, pointer-based)
+ * over xorshift-generated words, checksummed after sorting. Mixes deep
+ * recursion with heavy data-memory traffic.
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include "support/logging.hh"
+#include "workloads/suite.hh"
+
+namespace risc1::workloads::detail {
+
+namespace {
+
+std::string
+riscSource(uint64_t n)
+{
+    return strprintf(R"(
+; Quicksort N words, then checksum sum(arr[k] ^ k).
+        .equ RESULT, %u
+_start: mov   arr, r2
+        mov   %llu, r3       ; N
+        mov   %u, r4         ; xorshift state
+        clr   r5
+fill:   cmp   r5, r3
+        bge   filled
+        sll   r4, 13, r6
+        xor   r4, r6, r4
+        srl   r4, 17, r6
+        xor   r4, r6, r4
+        sll   r4, 5, r6
+        xor   r4, r6, r4
+        sll   r5, 2, r6
+        stl   r4, (r2)r6
+        add   r5, 1, r5
+        b     fill
+filled: mov   r2, r10        ; lo = &arr[0]
+        sub   r3, 1, r6
+        sll   r6, 2, r6
+        add   r2, r6, r11    ; hi = &arr[N-1]
+        call  qsort
+        clr   r7             ; checksum
+        clr   r5
+chk:    cmp   r5, r3
+        bge   done
+        sll   r5, 2, r6
+        ldl   (r2)r6, r8
+        xor   r8, r5, r8
+        add   r7, r8, r7
+        add   r5, 1, r5
+        b     chk
+done:   stl   r7, (r0)RESULT
+        halt
+
+; qsort(lo, hi): word addresses, inclusive range, unsigned elements.
+; in0=lo(r26) in1=hi(r27); locals r16=i r17=j r18=pivot r19/r20 temps.
+qsort:  cmp   r26, r27
+        bhis  qdone          ; lo >= hi (unsigned)
+        ldl   (r27)0, r18    ; pivot = *hi
+        sub   r26, 4, r16    ; i = lo - 4
+        mov   r26, r17       ; j = lo
+qloop:  cmp   r17, r27
+        bhis  qbreak
+        ldl   (r17)0, r19
+        cmp   r19, r18
+        bhi   qskip          ; *j > pivot (unsigned)
+        add   r16, 4, r16
+        ldl   (r16)0, r20    ; swap *i, *j
+        stl   r19, (r16)0
+        stl   r20, (r17)0
+qskip:  add   r17, 4, r17
+        b     qloop
+qbreak: add   r16, 4, r16
+        ldl   (r16)0, r20    ; swap *i, *hi
+        stl   r18, (r16)0
+        stl   r20, (r27)0
+        mov   r26, r10       ; qsort(lo, i-4)
+        sub   r16, 4, r11
+        call  qsort
+        add   r16, 4, r10    ; qsort(i+4, hi)
+        mov   r27, r11
+        call  qsort
+qdone:  ret
+
+        .align 4
+arr:    .space %llu
+)",
+                     ResultAddr, static_cast<unsigned long long>(n),
+                     XsSeed, static_cast<unsigned long long>(n * 4));
+}
+
+vax::VaxProgram
+buildVax(uint64_t n)
+{
+    using namespace risc1::vax;
+    VaxAsm a;
+    a.label("main");
+    a.inst(VaxOp::Movl, {vsym("arr"), vreg(2)});
+    a.inst(VaxOp::Movl, {vimm(static_cast<uint32_t>(n)), vreg(3)});
+    a.inst(VaxOp::Movl, {vimm(XsSeed), vreg(4)});
+    a.inst(VaxOp::Clrl, {vreg(5)});
+    a.label("fill");
+    a.inst(VaxOp::Cmpl, {vreg(5), vreg(3)});
+    a.br(VaxOp::Bgeq, "filled");
+    a.inst(VaxOp::Ashl, {vlit(13), vreg(4), vreg(6)});
+    a.inst(VaxOp::Xorl2, {vreg(6), vreg(4)});
+    a.inst(VaxOp::Ashl, {vimm(static_cast<uint32_t>(-17)), vreg(4),
+                         vreg(6)});
+    a.inst(VaxOp::Bicl2, {vimm(0xffff8000u), vreg(6)});
+    a.inst(VaxOp::Xorl2, {vreg(6), vreg(4)});
+    a.inst(VaxOp::Ashl, {vlit(5), vreg(4), vreg(6)});
+    a.inst(VaxOp::Xorl2, {vreg(6), vreg(4)});
+    a.inst(VaxOp::Movl, {vreg(4), vidx(5, vdef(2))});
+    a.inst(VaxOp::Incl, {vreg(5)});
+    a.br(VaxOp::Brb, "fill");
+    a.label("filled");
+    a.inst(VaxOp::Subl3, {vlit(1), vreg(3), vreg(1)});
+    a.inst(VaxOp::Ashl, {vlit(2), vreg(1), vreg(1)});
+    a.inst(VaxOp::Addl2, {vreg(2), vreg(1)});
+    a.inst(VaxOp::Pushl, {vreg(1)}); // hi
+    a.inst(VaxOp::Pushl, {vreg(2)}); // lo
+    a.calls(2, "qsort");
+    a.inst(VaxOp::Clrl, {vreg(7)});
+    a.inst(VaxOp::Clrl, {vreg(5)});
+    a.label("chk");
+    a.inst(VaxOp::Cmpl, {vreg(5), vreg(3)});
+    a.br(VaxOp::Bgeq, "done");
+    a.inst(VaxOp::Movl, {vidx(5, vdef(2)), vreg(8)});
+    a.inst(VaxOp::Xorl2, {vreg(5), vreg(8)});
+    a.inst(VaxOp::Addl2, {vreg(8), vreg(7)});
+    a.inst(VaxOp::Incl, {vreg(5)});
+    a.br(VaxOp::Brb, "chk");
+    a.label("done");
+    a.inst(VaxOp::Movl, {vreg(7), vabs(ResultAddr)});
+    a.halt();
+
+    // qsort(lo, hi): r2=lo r3=hi r4=i r5=j r6=pivot r7=t.
+    a.entry("qsort", 0x00fc);
+    a.inst(VaxOp::Movl, {vdisp(AP, 0), vreg(2)});
+    a.inst(VaxOp::Movl, {vdisp(AP, 4), vreg(3)});
+    a.inst(VaxOp::Cmpl, {vreg(2), vreg(3)});
+    a.br(VaxOp::Bgequ, "qdone");
+    a.inst(VaxOp::Movl, {vdef(3), vreg(6)});
+    a.inst(VaxOp::Subl3, {vlit(4), vreg(2), vreg(4)});
+    a.inst(VaxOp::Movl, {vreg(2), vreg(5)});
+    a.label("qloop");
+    a.inst(VaxOp::Cmpl, {vreg(5), vreg(3)});
+    a.br(VaxOp::Bgequ, "qbreak");
+    a.inst(VaxOp::Movl, {vdef(5), vreg(7)});
+    a.inst(VaxOp::Cmpl, {vreg(7), vreg(6)});
+    a.br(VaxOp::Bgtru, "qskip");
+    a.inst(VaxOp::Addl2, {vlit(4), vreg(4)});
+    a.inst(VaxOp::Movl, {vdef(4), vreg(1)});
+    a.inst(VaxOp::Movl, {vreg(7), vdef(4)});
+    a.inst(VaxOp::Movl, {vreg(1), vdef(5)});
+    a.label("qskip");
+    a.inst(VaxOp::Addl2, {vlit(4), vreg(5)});
+    a.br(VaxOp::Brb, "qloop");
+    a.label("qbreak");
+    a.inst(VaxOp::Addl2, {vlit(4), vreg(4)});
+    a.inst(VaxOp::Movl, {vdef(4), vreg(1)});
+    a.inst(VaxOp::Movl, {vreg(6), vdef(4)});
+    a.inst(VaxOp::Movl, {vreg(1), vdef(3)});
+    a.inst(VaxOp::Subl3, {vlit(4), vreg(4), vreg(1)});
+    a.inst(VaxOp::Pushl, {vreg(1)}); // hi = i-4
+    a.inst(VaxOp::Pushl, {vreg(2)}); // lo
+    a.calls(2, "qsort");
+    a.inst(VaxOp::Pushl, {vreg(3)}); // hi
+    a.inst(VaxOp::Addl3, {vlit(4), vreg(4), vreg(1)});
+    a.inst(VaxOp::Pushl, {vreg(1)}); // lo = i+4
+    a.calls(2, "qsort");
+    a.label("qdone");
+    a.ret();
+
+    a.align(4);
+    a.label("arr");
+    a.space(static_cast<uint32_t>(n * 4));
+    return a.finish();
+}
+
+uint32_t
+expected(uint64_t n)
+{
+    std::vector<uint32_t> arr(n);
+    uint32_t x = XsSeed;
+    for (auto &v : arr) {
+        x = xorshift32(x);
+        v = x;
+    }
+    std::sort(arr.begin(), arr.end());
+    uint32_t checksum = 0;
+    for (size_t k = 0; k < arr.size(); ++k)
+        checksum += arr[k] ^ static_cast<uint32_t>(k);
+    return checksum;
+}
+
+} // namespace
+
+Workload
+makeQuicksort()
+{
+    Workload wl;
+    wl.name = "i_quicksort";
+    wl.paperTag = "I: quicksort (recursive)";
+    wl.description = "Lomuto quicksort over xorshift data + checksum";
+    wl.defaultScale = 512;
+    wl.recursive = true;
+    wl.riscSource = riscSource;
+    wl.buildVax = buildVax;
+    wl.expected = expected;
+    return wl;
+}
+
+} // namespace risc1::workloads::detail

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Sieve of Eratosthenes — the era's standard loop/memory benchmark
+ * (byte flag array); no procedure calls, isolating straight-line and
+ * branch behaviour.
+ */
+
+#include "support/logging.hh"
+#include "workloads/suite.hh"
+
+namespace risc1::workloads::detail {
+
+namespace {
+
+std::string
+riscSource(uint64_t n)
+{
+    return strprintf(R"(
+; Count primes < N with a byte-flag sieve.
+        .equ RESULT, %u
+_start: mov   flags, r2      ; flag base
+        mov   %llu, r3       ; N
+        clr   r4
+clr_l:  cmp   r4, r3         ; clear flags
+        bge   cleared
+        stb   r0, (r2)r4
+        add   r4, 1, r4
+        b     clr_l
+cleared:
+        mov   2, r5          ; i
+        clr   r6             ; prime count
+outer:  cmp   r5, r3
+        bge   done
+        ldbu  (r2)r5, r7
+        cmp   r7, 0
+        bne   next
+        add   r6, 1, r6      ; i is prime
+        add   r5, r5, r8     ; j = 2*i
+        mov   1, r9
+inner:  cmp   r8, r3
+        bge   next
+        stb   r9, (r2)r8
+        add   r8, r5, r8
+        b     inner
+next:   add   r5, 1, r5
+        b     outer
+done:   stl   r6, (r0)RESULT
+        halt
+
+flags:  .space %llu
+)",
+                     ResultAddr, static_cast<unsigned long long>(n),
+                     static_cast<unsigned long long>(n));
+}
+
+vax::VaxProgram
+buildVax(uint64_t n)
+{
+    using namespace risc1::vax;
+    const auto limit = static_cast<uint32_t>(n);
+    VaxAsm a;
+    a.label("main");
+    a.inst(VaxOp::Movl, {vsym("flags"), vreg(2)}); // base
+    a.inst(VaxOp::Movl, {vimm(limit), vreg(3)});   // N
+    a.inst(VaxOp::Clrl, {vreg(4)});                // index
+    a.label("clr_l");
+    a.inst(VaxOp::Cmpl, {vreg(4), vreg(3)});
+    a.br(VaxOp::Bgeq, "cleared");
+    a.inst(VaxOp::Movb, {vlit(0), vidx(4, vdef(2))});
+    a.inst(VaxOp::Incl, {vreg(4)});
+    a.br(VaxOp::Brb, "clr_l");
+    a.label("cleared");
+    a.inst(VaxOp::Movl, {vlit(2), vreg(5)}); // i
+    a.inst(VaxOp::Clrl, {vreg(6)});          // count
+    a.label("outer");
+    a.inst(VaxOp::Cmpl, {vreg(5), vreg(3)});
+    a.br(VaxOp::Bgeq, "done");
+    a.inst(VaxOp::Movb, {vidx(5, vdef(2)), vreg(7)});
+    a.inst(VaxOp::Tstl, {vreg(7)});
+    a.br(VaxOp::Bneq, "next");
+    a.inst(VaxOp::Incl, {vreg(6)});
+    a.inst(VaxOp::Addl3, {vreg(5), vreg(5), vreg(8)}); // j = 2i
+    a.label("inner");
+    a.inst(VaxOp::Cmpl, {vreg(8), vreg(3)});
+    a.br(VaxOp::Bgeq, "next");
+    a.inst(VaxOp::Movb, {vlit(1), vidx(8, vdef(2))});
+    a.inst(VaxOp::Addl2, {vreg(5), vreg(8)});
+    a.br(VaxOp::Brb, "inner");
+    a.label("next");
+    a.inst(VaxOp::Incl, {vreg(5)});
+    a.br(VaxOp::Brb, "outer");
+    a.label("done");
+    a.inst(VaxOp::Movl, {vreg(6), vabs(ResultAddr)});
+    a.halt();
+    a.align(4);
+    a.label("flags");
+    a.space(limit);
+    return a.finish();
+}
+
+uint32_t
+expected(uint64_t n)
+{
+    std::vector<uint8_t> flags(n, 0);
+    uint32_t count = 0;
+    for (uint64_t i = 2; i < n; ++i) {
+        if (flags[i])
+            continue;
+        ++count;
+        for (uint64_t j = 2 * i; j < n; j += i)
+            flags[j] = 1;
+    }
+    return count;
+}
+
+} // namespace
+
+Workload
+makeSieve()
+{
+    Workload wl;
+    wl.name = "sieve";
+    wl.paperTag = "Eratosthenes sieve";
+    wl.description = "byte-flag sieve; loop and memory bound, no calls";
+    wl.defaultScale = 4096;
+    wl.recursive = false;
+    wl.riscSource = riscSource;
+    wl.buildVax = buildVax;
+    wl.expected = expected;
+    return wl;
+}
+
+} // namespace risc1::workloads::detail

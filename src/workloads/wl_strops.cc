@@ -1,0 +1,244 @@
+/**
+ * @file
+ * String-operations kernel: repeated strcpy / strcmp / strrev over a
+ * synthetic string table — the byte-at-a-time workload class the CFA
+ * study's E-series covered (and early CISCs targeted with string
+ * microcode, which the comparison deliberately leaves out: vax80 does
+ * it with plain byte moves, as compilers of the era mostly did).
+ */
+
+#include <string>
+#include <vector>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "workloads/suite.hh"
+
+namespace risc1::workloads::detail {
+
+namespace {
+
+/** The string table: `count` NUL-terminated strings of varied length. */
+std::vector<std::string>
+makeStrings(uint64_t count)
+{
+    Rng rng(0x57f06);
+    std::vector<std::string> strings;
+    for (uint64_t i = 0; i < count; ++i) {
+        std::string s;
+        const uint64_t len = 3 + rng.below(28);
+        for (uint64_t c = 0; c < len; ++c)
+            s += static_cast<char>('a' + rng.below(26));
+        strings.push_back(std::move(s));
+    }
+    return strings;
+}
+
+uint32_t
+hostChecksum(const std::vector<std::string> &strings)
+{
+    // Mirrors the guest: for each string, copy it, reverse the copy,
+    // compare copy with the original (equal iff palindrome), and fold
+    // bytes + comparison outcome into the checksum.
+    uint32_t checksum = 0;
+    for (const std::string &s : strings) {
+        std::string copy = s;
+        for (size_t i = 0, j = copy.size(); i + 1 < j--; ++i)
+            std::swap(copy[i], copy[j]);
+        uint32_t equal = copy == s ? 1 : 0;
+        for (char c : copy)
+            checksum = checksum * 31 + static_cast<unsigned char>(c);
+        checksum += equal;
+    }
+    return checksum;
+}
+
+std::string
+riscSource(uint64_t count)
+{
+    const auto strings = makeStrings(count);
+    std::string table;
+    for (const auto &s : strings)
+        table += strprintf("        .asciz \"%s\"\n", s.c_str());
+
+    return strprintf(R"(
+; For each string: strcpy to buf, strrev buf, strcmp buf vs original,
+; fold bytes*31 and equality into the checksum.
+        .equ RESULT, %u
+_start: mov   table, r2      ; cursor over the table
+        mov   tend, r3       ; end of table
+        mov   buf, r4
+        clr   r5             ; checksum
+next:   cmp   r2, r3
+        bhis  done
+        ; strcpy(buf, r2); also find length in r6
+        clr   r6
+cpy:    ldbu  (r2)r6, r7
+        stb   r7, (r4)r6
+        cmp   r7, 0
+        beq   copied
+        add   r6, 1, r6
+        b     cpy
+copied: ; strrev(buf) over r6 bytes: i=0, j=len-1
+        clr   r7
+        sub   r6, 1, r8
+rev:    cmp   r7, r8
+        bge   reved
+        ldbu  (r4)r7, r9
+        ldbu  (r4)r8, r16
+        stb   r16, (r4)r7
+        stb   r9, (r4)r8
+        add   r7, 1, r7
+        sub   r8, 1, r8
+        b     rev
+reved:  ; strcmp(buf, original): equal -> r7 = 1
+        clr   r7
+        clr   r8
+cmp_l:  ldbu  (r4)r8, r9
+        ldbu  (r2)r8, r16
+        cmp   r9, r16
+        bne   folded0
+        cmp   r9, 0
+        beq   equal
+        add   r8, 1, r8
+        b     cmp_l
+equal:  mov   1, r7
+folded0:
+        ; fold: checksum = checksum*31 + byte, over reversed copy
+        clr   r8
+fold:   ldbu  (r4)r8, r9
+        cmp   r9, 0
+        beq   foldend
+        sll   r5, 5, r16     ; checksum*31 = (x<<5) - x
+        sub   r16, r5, r5
+        add   r5, r9, r5
+        add   r8, 1, r8
+        b     fold
+foldend:
+        add   r5, r7, r5     ; + equality flag
+        add   r2, r6, r2     ; advance past string + NUL
+        add   r2, 1, r2
+        b     next
+done:   stl   r5, (r0)RESULT
+        halt
+
+table:
+%s
+tend:   .byte 0
+        .align 4
+buf:    .space 64
+)",
+                     ResultAddr, table.c_str());
+}
+
+vax::VaxProgram
+buildVax(uint64_t count)
+{
+    using namespace risc1::vax;
+    const auto strings = makeStrings(count);
+
+    VaxAsm a;
+    a.label("main");
+    a.inst(VaxOp::Movl, {vsym("table"), vreg(2)});
+    a.inst(VaxOp::Movl, {vsym("tend"), vreg(3)});
+    a.inst(VaxOp::Movl, {vsym("buf"), vreg(4)});
+    a.inst(VaxOp::Clrl, {vreg(5)});
+    a.label("next");
+    a.inst(VaxOp::Cmpl, {vreg(2), vreg(3)});
+    a.br(VaxOp::Blssu, "body");
+    a.brw("done");
+    a.label("body");
+    // strcpy + strlen
+    a.inst(VaxOp::Clrl, {vreg(6)});
+    a.label("cpy");
+    a.inst(VaxOp::Movb, {vidx(6, vdef(2)), vreg(7)});
+    a.inst(VaxOp::Movb, {vreg(7), vidx(6, vdef(4))});
+    a.inst(VaxOp::Tstl, {vreg(7)});
+    a.br(VaxOp::Beql, "copied");
+    a.inst(VaxOp::Incl, {vreg(6)});
+    a.br(VaxOp::Brb, "cpy");
+    a.label("copied");
+    // strrev
+    a.inst(VaxOp::Clrl, {vreg(7)});
+    a.inst(VaxOp::Subl3, {vlit(1), vreg(6), vreg(8)});
+    a.label("rev");
+    a.inst(VaxOp::Cmpl, {vreg(7), vreg(8)});
+    a.br(VaxOp::Bgeq, "reved");
+    a.inst(VaxOp::Movb, {vidx(7, vdef(4)), vreg(9)});
+    a.inst(VaxOp::Movb, {vidx(8, vdef(4)), vreg(10)});
+    a.inst(VaxOp::Movb, {vreg(10), vidx(7, vdef(4))});
+    a.inst(VaxOp::Movb, {vreg(9), vidx(8, vdef(4))});
+    a.inst(VaxOp::Incl, {vreg(7)});
+    a.inst(VaxOp::Decl, {vreg(8)});
+    a.br(VaxOp::Brb, "rev");
+    a.label("reved");
+    // strcmp
+    a.inst(VaxOp::Clrl, {vreg(7)});
+    a.inst(VaxOp::Clrl, {vreg(8)});
+    a.label("cmp_l");
+    a.inst(VaxOp::Movb, {vidx(8, vdef(4)), vreg(9)});
+    a.inst(VaxOp::Cmpb, {vreg(9), vidx(8, vdef(2))});
+    a.br(VaxOp::Bneq, "folded0");
+    a.inst(VaxOp::Tstl, {vreg(9)});
+    a.br(VaxOp::Beql, "equal");
+    a.inst(VaxOp::Incl, {vreg(8)});
+    a.br(VaxOp::Brb, "cmp_l");
+    a.label("equal");
+    a.inst(VaxOp::Movl, {vlit(1), vreg(7)});
+    a.label("folded0");
+    // fold bytes of the reversed copy
+    a.inst(VaxOp::Clrl, {vreg(8)});
+    a.label("fold");
+    a.inst(VaxOp::Movb, {vidx(8, vdef(4)), vreg(9)});
+    a.inst(VaxOp::Tstl, {vreg(9)});
+    a.br(VaxOp::Beql, "foldend");
+    a.inst(VaxOp::Mull2, {vlit(31), vreg(5)});
+    a.inst(VaxOp::Addl2, {vreg(9), vreg(5)});
+    a.inst(VaxOp::Incl, {vreg(8)});
+    a.br(VaxOp::Brb, "fold");
+    a.label("foldend");
+    a.inst(VaxOp::Addl2, {vreg(7), vreg(5)});
+    a.inst(VaxOp::Addl2, {vreg(6), vreg(2)});
+    a.inst(VaxOp::Incl, {vreg(2)});
+    a.brw("next");
+    a.label("done");
+    a.inst(VaxOp::Movl, {vreg(5), vabs(ResultAddr)});
+    a.halt();
+
+    a.label("table");
+    for (const auto &s : strings) {
+        a.ascii(s);
+        a.ascii(std::string(1, '\0'));
+    }
+    a.label("tend");
+    a.space(1);
+    a.align(4);
+    a.label("buf");
+    a.space(64);
+    return a.finish();
+}
+
+uint32_t
+expected(uint64_t count)
+{
+    return hostChecksum(makeStrings(count));
+}
+
+} // namespace
+
+Workload
+makeStrops()
+{
+    Workload wl;
+    wl.name = "strops";
+    wl.paperTag = "string kernels (strcpy/strcmp/strrev)";
+    wl.description = "byte-at-a-time string copying/reversing/compares";
+    wl.defaultScale = 60;
+    wl.recursive = false;
+    wl.riscSource = riscSource;
+    wl.buildVax = buildVax;
+    wl.expected = expected;
+    return wl;
+}
+
+} // namespace risc1::workloads::detail

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Benchmark E — string search: count (possibly overlapping) occurrences
+ * of a pattern in a synthetic text. Byte loads and short inner loops.
+ */
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "workloads/suite.hh"
+
+namespace risc1::workloads::detail {
+
+namespace {
+
+constexpr const char *Pattern = "risc";
+
+/** Synthetic text: pseudo-random lowercase letters with the pattern
+ *  planted every ~40 characters. Scale = text length. */
+std::string
+makeText(uint64_t length)
+{
+    Rng rng(0xbeefcafe);
+    std::string text;
+    text.reserve(length);
+    while (text.size() < length) {
+        if (text.size() % 40 == 17)
+            text += Pattern;
+        else
+            text += static_cast<char>('a' + rng.below(26));
+    }
+    text.resize(length);
+    return text;
+}
+
+uint32_t
+countMatches(const std::string &text)
+{
+    const std::string pat = Pattern;
+    uint32_t count = 0;
+    if (text.size() < pat.size())
+        return 0;
+    for (size_t i = 0; i + pat.size() <= text.size(); ++i) {
+        if (text.compare(i, pat.size(), pat) == 0)
+            ++count;
+    }
+    return count;
+}
+
+std::string
+riscSource(uint64_t scale)
+{
+    const std::string text = makeText(scale);
+    const size_t patlen = std::string(Pattern).size();
+    return strprintf(R"(
+; Count occurrences of `pat` in `text` (naive search).
+        .equ RESULT, %u
+        .equ PATLEN, %zu
+_start: mov   text, r2
+        mov   pat, r3
+        clr   r4             ; match count
+        clr   r5             ; i
+        mov   %lld, r6       ; last valid start
+loop_i: cmp   r5, r6
+        bgt   done
+        clr   r7             ; j
+loop_j: cmp   r7, PATLEN
+        bge   match
+        add   r5, r7, r8
+        ldbu  (r2)r8, r9
+        ldbu  (r3)r7, r16
+        cmp   r9, r16
+        bne   miss
+        add   r7, 1, r7
+        b     loop_j
+match:  add   r4, 1, r4
+miss:   add   r5, 1, r5
+        b     loop_i
+done:   stl   r4, (r0)RESULT
+        halt
+
+pat:    .ascii "%s"
+text:   .ascii "%s"
+)",
+                     ResultAddr, patlen,
+                     static_cast<long long>(text.size()) -
+                         static_cast<long long>(patlen),
+                     Pattern, text.c_str());
+}
+
+vax::VaxProgram
+buildVax(uint64_t scale)
+{
+    using namespace risc1::vax;
+    const std::string text = makeText(scale);
+    const auto patlen =
+        static_cast<uint32_t>(std::string(Pattern).size());
+    const auto last = static_cast<uint32_t>(text.size() - patlen);
+
+    VaxAsm a;
+    a.label("main");
+    a.inst(VaxOp::Movl, {vsym("text"), vreg(2)});
+    a.inst(VaxOp::Movl, {vsym("pat"), vreg(3)});
+    a.inst(VaxOp::Clrl, {vreg(4)}); // count
+    a.inst(VaxOp::Clrl, {vreg(5)}); // i
+    a.inst(VaxOp::Movl, {vimm(last), vreg(6)});
+    a.label("loop_i");
+    a.inst(VaxOp::Cmpl, {vreg(5), vreg(6)});
+    a.br(VaxOp::Bgtr, "done");
+    a.inst(VaxOp::Clrl, {vreg(7)}); // j
+    a.label("loop_j");
+    a.inst(VaxOp::Cmpl, {vreg(7), vimm(patlen)});
+    a.br(VaxOp::Bgeq, "match");
+    a.inst(VaxOp::Addl3, {vreg(5), vreg(7), vreg(8)});
+    a.inst(VaxOp::Movb, {vidx(8, vdef(2)), vreg(9)});
+    a.inst(VaxOp::Cmpb, {vreg(9), vidx(7, vdef(3))});
+    a.br(VaxOp::Bneq, "miss");
+    a.inst(VaxOp::Incl, {vreg(7)});
+    a.br(VaxOp::Brb, "loop_j");
+    a.label("match");
+    a.inst(VaxOp::Incl, {vreg(4)});
+    a.label("miss");
+    a.inst(VaxOp::Incl, {vreg(5)});
+    a.br(VaxOp::Brb, "loop_i");
+    a.label("done");
+    a.inst(VaxOp::Movl, {vreg(4), vabs(ResultAddr)});
+    a.halt();
+    a.label("pat");
+    a.ascii(Pattern);
+    a.label("text");
+    a.ascii(text);
+    return a.finish();
+}
+
+uint32_t
+expected(uint64_t scale)
+{
+    return countMatches(makeText(scale));
+}
+
+} // namespace
+
+Workload
+makeStrsearch()
+{
+    Workload wl;
+    wl.name = "e_strsearch";
+    wl.paperTag = "E: string search";
+    wl.description = "naive pattern search over synthetic text";
+    wl.defaultScale = 2000;
+    wl.recursive = false;
+    wl.riscSource = riscSource;
+    wl.buildVax = buildVax;
+    wl.expected = expected;
+    return wl;
+}
+
+} // namespace risc1::workloads::detail

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Treesort (Stanford suite's "tree") — build a binary search tree from
+ * xorshift data with iterative insertion, then a recursive in-order
+ * traversal producing the same checksum the sorting benchmarks use.
+ * Pointer chasing plus data-dependent recursion depth.
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include "support/logging.hh"
+#include "workloads/suite.hh"
+
+namespace risc1::workloads::detail {
+
+namespace {
+
+std::string
+riscSource(uint64_t n)
+{
+    return strprintf(R"(
+; BST insert of N xorshift words, recursive in-order checksum.
+; Node layout: +0 value, +4 left, +8 right.
+        .equ RESULT, %u
+_start: mov   heap, r5       ; bump allocator
+        mov   %llu, r3       ; N
+        mov   %u, r4         ; xorshift state
+        clr   r6             ; root
+        clr   r9             ; i
+bloop:  cmp   r9, r3
+        bge   built
+        sll   r4, 13, r8
+        xor   r4, r8, r4
+        srl   r4, 17, r8
+        xor   r4, r8, r4
+        sll   r4, 5, r8
+        xor   r4, r8, r4
+        ; make the node
+        stl   r4, (r5)0
+        stl   r0, (r5)4
+        stl   r0, (r5)8
+        cmp   r6, 0
+        bne   walk
+        mov   r5, r6         ; first node becomes the root
+        b     inserted
+walk:   mov   r6, r16        ; cur
+wloop:  ldl   (r16)0, r17
+        cmp   r4, r17
+        blo   goleft         ; v < cur.value (unsigned)
+        ldl   (r16)8, r18
+        cmp   r18, 0
+        beq   setr
+        mov   r18, r16
+        b     wloop
+setr:   stl   r5, (r16)8
+        b     inserted
+goleft: ldl   (r16)4, r18
+        cmp   r18, 0
+        beq   setl
+        mov   r18, r16
+        b     wloop
+setl:   stl   r5, (r16)4
+inserted:
+        add   r5, 12, r5
+        add   r9, 1, r9
+        b     bloop
+built:  clr   r7             ; index counter
+        clr   r8             ; checksum
+        mov   r6, r10
+        call  visit
+        stl   r8, (r0)RESULT
+        halt
+
+; visit(node): recursive in-order; node in in0 (may be null).
+visit:  cmp   r26, 0
+        beq   vdone
+        ldl   (r26)4, r10    ; left subtree
+        call  visit
+        ldl   (r26)0, r16
+        xor   r16, r7, r16
+        add   r8, r16, r8    ; checksum += value ^ index
+        add   r7, 1, r7
+        ldl   (r26)8, r10    ; right subtree
+        call  visit
+vdone:  ret
+
+        .align 4
+heap:   .space %llu
+)",
+                     ResultAddr, static_cast<unsigned long long>(n),
+                     XsSeed, static_cast<unsigned long long>(n * 12));
+}
+
+vax::VaxProgram
+buildVax(uint64_t n)
+{
+    using namespace risc1::vax;
+    VaxAsm a;
+    a.label("main");
+    a.inst(VaxOp::Movl, {vsym("heap"), vreg(5)});
+    a.inst(VaxOp::Movl, {vimm(static_cast<uint32_t>(n)), vreg(3)});
+    a.inst(VaxOp::Movl, {vimm(XsSeed), vreg(4)});
+    a.inst(VaxOp::Clrl, {vreg(6)}); // root
+    a.inst(VaxOp::Clrl, {vreg(9)}); // i
+    a.label("bloop");
+    a.inst(VaxOp::Cmpl, {vreg(9), vreg(3)});
+    a.br(VaxOp::Blss, "bbody");
+    a.brw("built");
+    a.label("bbody");
+    a.inst(VaxOp::Ashl, {vlit(13), vreg(4), vreg(8)});
+    a.inst(VaxOp::Xorl2, {vreg(8), vreg(4)});
+    a.inst(VaxOp::Ashl, {vimm(static_cast<uint32_t>(-17)), vreg(4),
+                         vreg(8)});
+    a.inst(VaxOp::Bicl2, {vimm(0xffff8000u), vreg(8)});
+    a.inst(VaxOp::Xorl2, {vreg(8), vreg(4)});
+    a.inst(VaxOp::Ashl, {vlit(5), vreg(4), vreg(8)});
+    a.inst(VaxOp::Xorl2, {vreg(8), vreg(4)});
+    a.inst(VaxOp::Movl, {vreg(4), vdef(5)});
+    a.inst(VaxOp::Clrl, {vdisp(5, 4)});
+    a.inst(VaxOp::Clrl, {vdisp(5, 8)});
+    a.inst(VaxOp::Tstl, {vreg(6)});
+    a.br(VaxOp::Bneq, "walk");
+    a.inst(VaxOp::Movl, {vreg(5), vreg(6)});
+    a.br(VaxOp::Brb, "inserted");
+    a.label("walk");
+    a.inst(VaxOp::Movl, {vreg(6), vreg(0)}); // cur
+    a.label("wloop");
+    a.inst(VaxOp::Cmpl, {vreg(4), vdef(0)});
+    a.br(VaxOp::Blssu, "goleft");
+    a.inst(VaxOp::Movl, {vdisp(0, 8), vreg(1)});
+    a.br(VaxOp::Beql, "setr");
+    a.inst(VaxOp::Movl, {vreg(1), vreg(0)});
+    a.br(VaxOp::Brb, "wloop");
+    a.label("setr");
+    a.inst(VaxOp::Movl, {vreg(5), vdisp(0, 8)});
+    a.br(VaxOp::Brb, "inserted");
+    a.label("goleft");
+    a.inst(VaxOp::Movl, {vdisp(0, 4), vreg(1)});
+    a.br(VaxOp::Beql, "setl");
+    a.inst(VaxOp::Movl, {vreg(1), vreg(0)});
+    a.br(VaxOp::Brb, "wloop");
+    a.label("setl");
+    a.inst(VaxOp::Movl, {vreg(5), vdisp(0, 4)});
+    a.label("inserted");
+    a.inst(VaxOp::Addl2, {vlit(12), vreg(5)});
+    a.inst(VaxOp::Incl, {vreg(9)});
+    a.brw("bloop");
+    a.label("built");
+    a.inst(VaxOp::Clrl, {vreg(8)}); // index
+    a.inst(VaxOp::Clrl, {vreg(9)}); // checksum
+    a.inst(VaxOp::Pushl, {vreg(6)});
+    a.calls(1, "visit");
+    a.inst(VaxOp::Movl, {vreg(9), vabs(ResultAddr)});
+    a.halt();
+
+    // visit(node): r2 = node; shared r8 = index, r9 = checksum.
+    a.entry("visit", 0x0004);
+    a.inst(VaxOp::Movl, {vdisp(AP, 0), vreg(2)});
+    a.inst(VaxOp::Tstl, {vreg(2)});
+    a.br(VaxOp::Beql, "vdone");
+    a.inst(VaxOp::Pushl, {vdisp(2, 4)});
+    a.calls(1, "visit");
+    a.inst(VaxOp::Xorl3, {vreg(8), vdef(2), vreg(1)});
+    a.inst(VaxOp::Addl2, {vreg(1), vreg(9)});
+    a.inst(VaxOp::Incl, {vreg(8)});
+    a.inst(VaxOp::Pushl, {vdisp(2, 8)});
+    a.calls(1, "visit");
+    a.label("vdone");
+    a.ret();
+
+    a.align(4);
+    a.label("heap");
+    a.space(static_cast<uint32_t>(n * 12));
+    return a.finish();
+}
+
+uint32_t
+expected(uint64_t n)
+{
+    std::vector<uint32_t> arr(n);
+    uint32_t x = XsSeed;
+    for (auto &v : arr) {
+        x = xorshift32(x);
+        v = x;
+    }
+    std::sort(arr.begin(), arr.end());
+    uint32_t checksum = 0;
+    for (size_t k = 0; k < arr.size(); ++k)
+        checksum += arr[k] ^ static_cast<uint32_t>(k);
+    return checksum;
+}
+
+} // namespace
+
+Workload
+makeTreesort()
+{
+    Workload wl;
+    wl.name = "treesort";
+    wl.paperTag = "tree (Stanford)";
+    wl.description = "BST insertion + recursive in-order traversal";
+    wl.defaultScale = 300;
+    wl.recursive = true;
+    wl.riscSource = riscSource;
+    wl.buildVax = buildVax;
+    wl.expected = expected;
+    return wl;
+}
+
+} // namespace risc1::workloads::detail

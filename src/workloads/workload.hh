@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The benchmark suite of the paper's evaluation, each program
+ * implemented twice — RISC I assembly and vax80 — computing the same
+ * function, plus a host-side reference for cross-validation. Programs
+ * deposit a 32-bit result at ResultAddr and halt.
+ *
+ * Suite (paper tags in parentheses; see DESIGN.md §2 for substitutions):
+ *   e_strsearch (E: string search)      f_bittest   (F: bit test)
+ *   h_linkedlist (H: linked list)       k_bitmatrix (K: bit matrix)
+ *   quicksort (I: quicksort, recursive) ackermann   (Ackermann(3,n))
+ *   fibonacci (recursive fib)           hanoi       (Towers of Hanoi)
+ *   sieve (Eratosthenes)                queens      (Puzzle-class
+ *   matmul (integer matmul via           backtracking; substitution
+ *           software multiply)           for Baskett's Puzzle)
+ */
+
+#ifndef RISC1_WORKLOADS_WORKLOAD_HH
+#define RISC1_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "asm/assembler.hh"
+#include "vax/builder.hh"
+
+namespace risc1::workloads {
+
+/** Where every program stores its 32-bit result (fits a simm13). */
+constexpr uint32_t ResultAddr = 3840;
+
+/** One benchmark: builders for both machines plus the oracle. */
+struct Workload
+{
+    std::string name;
+    std::string paperTag;     //!< label used in the paper's tables
+    std::string description;
+    uint64_t defaultScale;    //!< problem size for tests/benches
+    bool recursive;           //!< exercises deep call chains
+
+    /** RISC I assembly source for the given scale. */
+    std::function<std::string(uint64_t scale)> riscSource;
+    /** vax80 image for the given scale. */
+    std::function<vax::VaxProgram(uint64_t scale)> buildVax;
+    /** Host-computed expected result. */
+    std::function<uint32_t(uint64_t scale)> expected;
+};
+
+/** All workloads in suite order. */
+const std::vector<Workload> &allWorkloads();
+
+/** Look up one workload by name; nullptr if unknown. */
+const Workload *findWorkload(const std::string &name);
+
+/** Assemble the RISC I version (throws FatalError on assembly bugs). */
+assembler::Program buildRisc(const Workload &wl, uint64_t scale,
+                             const assembler::AsmOptions &opts = {});
+
+/** xorshift32 step shared by guests and the host oracles. */
+constexpr uint32_t
+xorshift32(uint32_t x)
+{
+    x ^= x << 13;
+    x ^= x >> 17;
+    x ^= x << 5;
+    return x;
+}
+
+/** Seed used by the data-driven workloads. */
+constexpr uint32_t XsSeed = 0x12345678;
+
+} // namespace risc1::workloads
+
+#endif // RISC1_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,47 @@
+#include "workloads/workload.hh"
+
+#include "support/logging.hh"
+#include "workloads/suite.hh"
+
+namespace risc1::workloads {
+
+const std::vector<Workload> &
+allWorkloads()
+{
+    static const std::vector<Workload> suite = {
+        detail::makeStrsearch(),  detail::makeBittest(),
+        detail::makeLinkedlist(), detail::makeBitmatrix(),
+        detail::makeQuicksort(),  detail::makeAckermann(),
+        detail::makeFibonacci(),  detail::makeHanoi(),
+        detail::makeSieve(),      detail::makeQueens(),
+        detail::makeMatmul(),    detail::makeBubblesort(),
+        detail::makePerm(),      detail::makeTreesort(),
+        detail::makeStrops(),    detail::makeCrc32(),
+        detail::makeGcd(),
+    };
+    return suite;
+}
+
+const Workload *
+findWorkload(const std::string &name)
+{
+    for (const Workload &wl : allWorkloads()) {
+        if (wl.name == name)
+            return &wl;
+    }
+    return nullptr;
+}
+
+assembler::Program
+buildRisc(const Workload &wl, uint64_t scale,
+          const assembler::AsmOptions &opts)
+{
+    assembler::AsmResult result = assembler::assemble(
+        wl.riscSource(scale), opts);
+    if (!result.ok())
+        fatal("workload %s failed to assemble:\n%s", wl.name.c_str(),
+              result.errorText().c_str());
+    return std::move(result.program);
+}
+
+} // namespace risc1::workloads

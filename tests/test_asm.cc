@@ -1,0 +1,393 @@
+/**
+ * @file
+ * Assembler unit tests: lexing, parsing, directives, pseudo-instruction
+ * expansion, symbol handling, range checking, constant synthesis
+ * (hi13/lo13), and listings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "asm/lexer.hh"
+#include "isa/disasm.hh"
+#include "isa/registers.hh"
+#include "sim/cpu.hh"
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace {
+
+using namespace risc1;
+using namespace risc1::assembler;
+
+// ---- lexer -----------------------------------------------------------------
+
+TEST(Lexer, TokenKindsAndComments)
+{
+    auto toks = tokenizeLine("loop: add r1, -4, r2 ; comment");
+    ASSERT_EQ(toks.size(), 8u);
+    EXPECT_EQ(toks[0].kind, TokKind::Ident);
+    EXPECT_EQ(toks[1].kind, TokKind::Colon);
+    EXPECT_EQ(toks[2].text, "add");
+    EXPECT_EQ(toks[4].kind, TokKind::Comma);
+    EXPECT_EQ(toks[5].value, -4);
+
+    EXPECT_TRUE(tokenizeLine("# full comment").empty());
+    EXPECT_TRUE(tokenizeLine("// slashes too").empty());
+    EXPECT_TRUE(tokenizeLine("   ").empty());
+}
+
+TEST(Lexer, NumbersAndStrings)
+{
+    auto toks = tokenizeLine(".word 0x10, 'a', \"hi\\n\"");
+    ASSERT_EQ(toks.size(), 7u);
+    EXPECT_EQ(toks[2].value, 16);
+    EXPECT_EQ(toks[4].value, 97);
+    EXPECT_EQ(toks[6].kind, TokKind::String);
+    EXPECT_EQ(toks[6].text, "hi\n");
+}
+
+TEST(Lexer, ReportsErrors)
+{
+    auto toks = tokenizeLine("add r1, 0xZZ");
+    ASSERT_FALSE(toks.empty());
+    EXPECT_EQ(toks.back().kind, TokKind::Error);
+
+    toks = tokenizeLine(".ascii \"unterminated");
+    EXPECT_EQ(toks.back().kind, TokKind::Error);
+}
+
+// ---- assembly basics ----------------------------------------------------------
+
+/** Helper: assemble and expect success. */
+AsmResult
+ok(const std::string &src, AsmOptions opts = {})
+{
+    AsmResult result = assemble(src, opts);
+    EXPECT_TRUE(result.ok()) << result.errorText();
+    return result;
+}
+
+/** Helper: assemble and expect failure mentioning `needle`. */
+void
+bad(const std::string &src, const std::string &needle)
+{
+    AsmResult result = assemble(src);
+    ASSERT_FALSE(result.ok()) << "expected failure for: " << src;
+    EXPECT_NE(result.errorText().find(needle), std::string::npos)
+        << "got: " << result.errorText();
+}
+
+TEST(Assembler, MinimalProgram)
+{
+    AsmResult result = ok("_start: add r1, r2, r3\n");
+    EXPECT_EQ(result.program.instructionCount, 1u);
+    EXPECT_EQ(result.program.entry, 0x1000u);
+    EXPECT_EQ(*result.program.wordAt(0x1000),
+              isa::encode(isa::makeRR(isa::Opcode::Add, 1, 2, 3)));
+}
+
+TEST(Assembler, EntrySelection)
+{
+    EXPECT_EQ(ok("main: nop\n").program.entry, 0x1000u);
+    EXPECT_EQ(ok("x: nop\n_start: nop\n").program.entry, 0x1004u);
+    EXPECT_EQ(ok(".entry go\nx: nop\ngo: nop\n").program.entry,
+              0x1004u);
+    bad(".entry nowhere\nnop\n", "undefined entry symbol");
+}
+
+TEST(Assembler, Directives)
+{
+    AsmResult result = ok(R"(
+        .org  0x2000
+        .equ  K, 0x30
+a:      .word 1, -1, K
+b:      .half 0x1234, -2
+c:      .byte 1, 2, 3
+        .align 4
+d:      .asciz "ok"
+e:      .space 5
+end:    nop
+)");
+    const Program &p = result.program;
+    EXPECT_EQ(*p.symbol("a"), 0x2000u);
+    EXPECT_EQ(*p.wordAt(0x2000), 1u);
+    EXPECT_EQ(*p.wordAt(0x2004), 0xffffffffu);
+    EXPECT_EQ(*p.wordAt(0x2008), 0x30u);
+    EXPECT_EQ(*p.symbol("b"), 0x200cu);
+    EXPECT_EQ(*p.byteAt(0x200c), 0x34u);
+    EXPECT_EQ(*p.byteAt(0x200d), 0x12u);
+    EXPECT_EQ(*p.symbol("c"), 0x2010u);
+    EXPECT_EQ(*p.symbol("d"), 0x2014u); // aligned from 0x2013
+    EXPECT_EQ(*p.byteAt(0x2014), 'o');
+    EXPECT_EQ(*p.byteAt(0x2016), 0u); // NUL of .asciz
+    EXPECT_EQ(*p.symbol("e"), 0x2017u);
+    EXPECT_EQ(*p.symbol("end"), 0x201cu);
+}
+
+TEST(Assembler, SymbolArithmeticInOperands)
+{
+    AsmOptions opts;
+    opts.autoDelaySlots = false; // keep the layout sequential
+    AsmResult result = ok(R"(
+        .equ BASE, 0x100
+_start: ldl  (r1)BASE+8, r2
+        ldl  (r1)BASE-4, r3
+)",
+                          opts);
+    const uint32_t w0 = *result.program.wordAt(0x1000);
+    EXPECT_EQ(isa::decode(w0).inst.simm13, 0x108);
+    const uint32_t w1 = *result.program.wordAt(0x1004);
+    EXPECT_EQ(isa::decode(w1).inst.simm13, 0xfc);
+}
+
+TEST(Assembler, DiagnosticsCarryLineNumbers)
+{
+    AsmResult result = assemble("nop\nbogus r1\nnop\n");
+    ASSERT_FALSE(result.ok());
+    ASSERT_EQ(result.errors.size(), 1u);
+    EXPECT_EQ(result.errors[0].line, 2u);
+}
+
+TEST(Assembler, ErrorCases)
+{
+    bad("add r1, r2\n", "expects 3 operand");
+    bad("add r1, r2, 5\n", "must be a register");
+    bad("ldl r1, r2\n", "memory operand");
+    bad("jmp r1, (r2)0\n", "condition code");
+    bad("x: nop\nx: nop\n", "duplicate symbol");
+    bad("b nowhere\n", "undefined symbol");
+    bad("add r1, 5000, r2\n", "does not fit in 13");
+    bad("add r1, -5000, r2\n", "does not fit in 13");
+    bad(".byte 300\n", "does not fit in 1");
+    bad(".align 3\n", "power of two");
+    bad("mov hi13(x), r1\n", "not allowed here");
+}
+
+TEST(Assembler, BranchOutOfRangeIsDiagnosed)
+{
+    // A jmpr target beyond +-2^18 bytes.
+    std::string src = "_start: b far\n.org 0x100000\nfar: nop\n";
+    bad(src, "out of range");
+}
+
+// ---- pseudo instructions ----------------------------------------------------------
+
+/** Decode instruction `index` of an assembled single-block program. */
+isa::Instruction
+instAt(const Program &p, unsigned index)
+{
+    const uint32_t addr = p.entry + 4 * index;
+    auto word = p.wordAt(addr);
+    EXPECT_TRUE(word.has_value());
+    auto dec = isa::decode(*word);
+    EXPECT_TRUE(dec.ok) << dec.error;
+    return dec.inst;
+}
+
+TEST(Pseudos, SimpleExpansions)
+{
+    AsmOptions opts;
+    opts.autoDelaySlots = false; // keep indices stable
+    const Program p = ok(R"(
+_start: nop
+        mov  r3, r4
+        mov  5, r4
+        cmp  r1, r2
+        not  r1, r2
+        neg  r1, r2
+        inc  r5
+        dec  r5, 3
+        clr  r6
+)",
+                         opts)
+                          .program;
+    EXPECT_TRUE(isa::isNop(instAt(p, 0)));
+    EXPECT_EQ(isa::disassemble(instAt(p, 1)), "or       r3, 0, r4");
+    EXPECT_EQ(isa::disassemble(instAt(p, 2)), "add      r0, 5, r4");
+    EXPECT_EQ(isa::disassemble(instAt(p, 3)), "subs     r1, r2, r0");
+    EXPECT_EQ(isa::disassemble(instAt(p, 4)), "xor      r1, -1, r2");
+    EXPECT_EQ(isa::disassemble(instAt(p, 5)), "subr     r1, 0, r2");
+    EXPECT_EQ(isa::disassemble(instAt(p, 6)), "add      r5, 1, r5");
+    EXPECT_EQ(isa::disassemble(instAt(p, 7)), "sub      r5, 3, r5");
+    EXPECT_EQ(isa::disassemble(instAt(p, 8)), "add      r0, 0, r6");
+}
+
+TEST(Pseudos, BranchFamily)
+{
+    AsmOptions opts;
+    opts.autoDelaySlots = false;
+    const Program p = ok(R"(
+_start: b    _start
+        beq  _start
+        bhi  _start
+        call _start
+        ret
+)",
+                         opts)
+                          .program;
+    EXPECT_EQ(instAt(p, 0).op, isa::Opcode::Jmpr);
+    EXPECT_EQ(instAt(p, 0).cond(), isa::Cond::Alw);
+    EXPECT_EQ(instAt(p, 1).cond(), isa::Cond::Eq);
+    EXPECT_EQ(instAt(p, 2).cond(), isa::Cond::Hi);
+    EXPECT_EQ(instAt(p, 3).op, isa::Opcode::Callr);
+    EXPECT_EQ(instAt(p, 3).rd, isa::RaReg);
+    EXPECT_EQ(instAt(p, 4).op, isa::Opcode::Ret);
+    EXPECT_EQ(instAt(p, 4).rs1, isa::RaReg);
+    EXPECT_EQ(instAt(p, 4).simm13, 8);
+}
+
+TEST(Pseudos, PushPopExpandToSpOps)
+{
+    AsmOptions opts;
+    opts.autoDelaySlots = false;
+    const Program p = ok("_start: push r7\n pop r8\n", opts).program;
+    EXPECT_EQ(isa::disassemble(instAt(p, 0)), "sub      r1, 4, r1");
+    EXPECT_EQ(isa::disassemble(instAt(p, 1)), "stl      r7, (r1)0");
+    EXPECT_EQ(isa::disassemble(instAt(p, 2)), "ldl      (r1)0, r8");
+    EXPECT_EQ(isa::disassemble(instAt(p, 3)), "add      r1, 4, r1");
+}
+
+TEST(Pseudos, SccSuffixOnAluMnemonics)
+{
+    AsmOptions opts;
+    opts.autoDelaySlots = false;
+    const Program p =
+        ok("_start: adds r1, r2, r3\n subs r1, 1, r1\n slls r1, 2, r1\n",
+           opts)
+            .program;
+    EXPECT_TRUE(instAt(p, 0).scc);
+    EXPECT_TRUE(instAt(p, 1).scc);
+    EXPECT_TRUE(instAt(p, 2).scc);
+    // But "lds"/"rets" stay unknown.
+    bad("rets\n", "unknown mnemonic");
+}
+
+/** Property: mov synthesizes any 32-bit constant exactly. */
+class MovConstant : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(MovConstant, Hi13Lo13Identity)
+{
+    Rng rng(GetParam());
+    for (int i = 0; i < 64; ++i) {
+        uint32_t value;
+        switch (i % 4) {
+          case 0: value = static_cast<uint32_t>(rng.next()); break;
+          case 1: value = static_cast<uint32_t>(rng.below(8192)); break;
+          case 2:
+            value = 0xffffffffu - static_cast<uint32_t>(rng.below(8192));
+            break;
+          default: value = 1u << rng.below(32); break;
+        }
+        const std::string src = strprintf(
+            "_start: mov 0x%x, r16\n stl r16, (r0)256\n halt\n", value);
+        sim::Cpu cpu;
+        cpu.load(assembleOrDie(src));
+        auto result = cpu.run();
+        ASSERT_TRUE(result.halted());
+        EXPECT_EQ(cpu.memory().peek32(256), value)
+            << strprintf("value 0x%x", value);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MovConstant,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+// ---- delay-slot management ------------------------------------------------------------
+
+TEST(DelaySlots, AutoInsertionAddsNops)
+{
+    AsmOptions no_fill;
+    no_fill.fillDelaySlots = false;
+    const AsmResult result = ok("_start: b next\nnext: halt\n", no_fill);
+    // b + slot + halt(jmp) + slot = 4 instructions.
+    EXPECT_EQ(result.program.instructionCount, 4u);
+    EXPECT_EQ(result.slotStats.totalSlots, 2u);
+    EXPECT_EQ(result.slotStats.filledSlots, 0u);
+}
+
+TEST(DelaySlots, ExplicitModeTrustsProgrammer)
+{
+    AsmOptions expl;
+    expl.autoDelaySlots = false;
+    const AsmResult result =
+        ok("_start: b next\nnop\nnext: halt\nnop\n", expl);
+    EXPECT_EQ(result.program.instructionCount, 4u);
+    EXPECT_EQ(result.slotStats.totalSlots, 0u);
+}
+
+TEST(Assembler, ListingShowsAddressesAndWords)
+{
+    AsmOptions opts;
+    opts.makeListing = true;
+    const AsmResult result = ok("_start: add r1, r2, r3\n", opts);
+    EXPECT_NE(result.listing.find("00001000"), std::string::npos);
+    EXPECT_NE(result.listing.find("add"), std::string::npos);
+}
+
+TEST(Assembler, InstructionsAutoAlignAfterByteData)
+{
+    // Code following odd-length data must land on a word boundary.
+    AsmResult result = ok(R"(
+_start: b    code
+s:      .asciz "xyz"
+code:   nop
+        halt
+)");
+    EXPECT_EQ(*result.program.symbol("code") % 4, 0u);
+    sim::Cpu cpu;
+    cpu.load(result.program);
+    EXPECT_TRUE(cpu.run().halted());
+}
+
+TEST(Assembler, MoreOperandFormErrors)
+{
+    bad("jmpr eq\n", "expects 2 operand");
+    bad("callint\n", "expects 1 operand");
+    bad("callint (r1)0\n", "must be a register");
+    bad("ldhi r1\n", "expects 2 operand");
+    bad("ldhi 5, r1\n", "must be a register");
+    bad("putpsw 5, r1\n", "must be a register");
+    bad("push\n", "expects 1 operand");
+    bad("pop 5\n", "must be a register");
+    bad(".equ 5, 5\n", "must be a name");
+    bad(".entry\n", "expects 1 operand");
+    bad(".space -1\n", "non-negative");
+    bad("mov r1\n", "expects 2 operand");
+    bad("inc\n", "1 or 2 operands");
+    bad("ldhi r1, 0x80000\n", "19-bit");
+}
+
+TEST(Assembler, RetVariantsEncodeCorrectly)
+{
+    AsmOptions opts;
+    opts.autoDelaySlots = false;
+    const Program p = ok("_start: ret (r17)4\n retint (r16)0\n", opts)
+                          .program;
+    EXPECT_EQ(instAt(p, 0).rs1, 17u);
+    EXPECT_EQ(instAt(p, 0).simm13, 4);
+    EXPECT_EQ(instAt(p, 1).op, isa::Opcode::Retint);
+    EXPECT_EQ(instAt(p, 1).rs1, 16u);
+}
+
+TEST(Assembler, LocationCounterInDataAndBranches)
+{
+    AsmOptions opts;
+    opts.autoDelaySlots = false;
+    const Program p = ok(R"(
+        .org 0x2000
+a:      .word ., .+8
+_start: jmpr alw, .+8
+        nop
+        nop
+)",
+                         opts)
+                          .program;
+    EXPECT_EQ(*p.wordAt(0x2000), 0x2000u);
+    EXPECT_EQ(*p.wordAt(0x2004), 0x2004u + 8u);
+    const auto inst = instAt(p, 0);
+    EXPECT_EQ(inst.imm19, 8);
+}
+
+} // namespace

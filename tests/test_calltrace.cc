@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Synthetic call-trace window study tests: determinism, conservation
+ * invariants, monotone overflow decline, and the paper's 8-window
+ * operating point.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/calltrace.hh"
+
+namespace {
+
+using namespace risc1::core;
+
+TEST(CallTrace, DeterministicForAGivenSeed)
+{
+    const auto a = syntheticWindowSweep({8});
+    const auto b = syntheticWindowSweep({8});
+    ASSERT_EQ(a.size(), 1u);
+    EXPECT_EQ(a[0].calls, b[0].calls);
+    EXPECT_EQ(a[0].overflows, b[0].overflows);
+    EXPECT_EQ(a[0].maxDepth, b[0].maxDepth);
+}
+
+TEST(CallTrace, SameTraceAcrossWindowCounts)
+{
+    const auto rows = syntheticWindowSweep({2, 4, 8, 16});
+    for (size_t i = 1; i < rows.size(); ++i) {
+        EXPECT_EQ(rows[i].calls, rows[0].calls);
+        EXPECT_EQ(rows[i].maxDepth, rows[0].maxDepth);
+    }
+}
+
+TEST(CallTrace, TwoWindowsOverflowEverything)
+{
+    const auto rows = syntheticWindowSweep({2});
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].overflows, rows[0].calls);
+    EXPECT_DOUBLE_EQ(rows[0].overflowPct, 100.0);
+}
+
+TEST(CallTrace, OverflowDeclinesMonotonically)
+{
+    const auto rows = syntheticWindowSweep({2, 3, 4, 6, 8, 12, 16});
+    for (size_t i = 1; i < rows.size(); ++i)
+        EXPECT_LE(rows[i].overflows, rows[i - 1].overflows)
+            << rows[i].windows;
+}
+
+TEST(CallTrace, EnoughWindowsMeansNoOverflow)
+{
+    const auto rows = syntheticWindowSweep({8});
+    const unsigned plenty =
+        static_cast<unsigned>(rows[0].maxDepth) + 2;
+    const auto calm = syntheticWindowSweep({plenty});
+    EXPECT_EQ(calm[0].overflows, 0u);
+}
+
+TEST(CallTrace, DeeperExcursionsWithFlatterDecay)
+{
+    CallTraceParams steep;   // default: strong mean reversion
+    CallTraceParams shallow; // weaker pull -> deeper excursions
+    shallow.slopePct = 4;
+    const auto a = syntheticWindowSweep({8}, steep);
+    const auto b = syntheticWindowSweep({8}, shallow);
+    EXPECT_GT(b[0].maxDepth, a[0].maxDepth);
+    EXPECT_GT(b[0].overflowPct, a[0].overflowPct);
+}
+
+TEST(CallTrace, TableRendersSeries)
+{
+    const std::string table =
+        syntheticWindowSweepTable(syntheticWindowSweep({2, 8}));
+    EXPECT_NE(table.find("overflow %"), std::string::npos);
+    EXPECT_NE(table.find("100.00"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,380 @@
+/**
+ * @file
+ * tinyc compiler tests: the same source compiled to BOTH machines must
+ * produce the host-evaluated answer — arithmetic, control flow,
+ * recursion (windows vs CALLS), mem[], and a randomized differential
+ * expression torture. Plus front-end diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "cc/compiler.hh"
+#include "sim/cpu.hh"
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "vax/cpu.hh"
+
+namespace {
+
+using namespace risc1;
+using cc::CcResultAddr;
+
+/** Compile + run on RISC I; returns main()'s result. */
+uint32_t
+runRisc(const std::string &src)
+{
+    cc::RiscCompileResult compiled = cc::compileToRiscAsm(src);
+    EXPECT_TRUE(compiled.ok) << compiled.error;
+    if (!compiled.ok)
+        return 0xdeadbeef;
+    assembler::AsmResult assembled =
+        assembler::assemble(compiled.assembly);
+    EXPECT_TRUE(assembled.ok())
+        << assembled.errorText() << "\n" << compiled.assembly;
+    sim::Cpu cpu;
+    cpu.load(assembled.program);
+    auto result = cpu.run();
+    EXPECT_TRUE(result.halted()) << result.message;
+    return cpu.memory().peek32(CcResultAddr);
+}
+
+/** Compile + run on vax80. */
+uint32_t
+runVax(const std::string &src)
+{
+    cc::VaxCompileResult compiled = cc::compileToVax(src);
+    EXPECT_TRUE(compiled.ok) << compiled.error;
+    if (!compiled.ok)
+        return 0xdeadbeef;
+    vax::VaxCpu cpu;
+    cpu.load(compiled.program);
+    auto result = cpu.run();
+    EXPECT_TRUE(result.halted()) << result.message;
+    return cpu.memory().peek32(CcResultAddr);
+}
+
+/** Both machines must agree with `expected`. */
+void
+both(const std::string &src, uint32_t expected)
+{
+    EXPECT_EQ(runRisc(src), expected) << "RISC I\n" << src;
+    EXPECT_EQ(runVax(src), expected) << "vax80\n" << src;
+}
+
+TEST(Cc, ArithmeticAndPrecedence)
+{
+    both("main() { return 2 + 3 * 4; }", 14);
+    both("main() { return (2 + 3) * 4; }", 20);
+    both("main() { return 100 - 7 * 9; }", 37);
+    both("main() { return 100 / 7; }", 14);
+    both("main() { return 100 % 7; }", 2);
+    both("main() { return 1 << 10; }", 1024);
+    both("main() { return 0x80000000 >> 31; }", 1); // logical shift
+    both("main() { return 255 & 0x0f0f; }", 0x0f);
+    both("main() { return 0xf0 | 0x0f; }", 0xff);
+    both("main() { return 0xff ^ 0x0f; }", 0xf0);
+    both("main() { return -1; }", 0xffffffffu);
+    both("main() { return ~0; }", 0xffffffffu);
+    both("main() { return !5; }", 0);
+    both("main() { return !0; }", 1);
+}
+
+TEST(Cc, UnsignedComparisonSemantics)
+{
+    both("main() { return 3 < 5; }", 1);
+    both("main() { return 5 <= 5; }", 1);
+    both("main() { return 5 > 5; }", 0);
+    both("main() { return 6 >= 5; }", 1);
+    both("main() { return 5 == 5; }", 1);
+    both("main() { return 5 != 5; }", 0);
+    // Unsigned: 0xffffffff is the largest value, not -1.
+    both("main() { return 0 - 1 > 1000; }", 1);
+    both("main() { return 1 < 0 - 1; }", 1);
+}
+
+TEST(Cc, LogicalOperators)
+{
+    both("main() { return 3 && 4; }", 1);
+    both("main() { return 3 && 0; }", 0);
+    both("main() { return 0 || 7; }", 1);
+    both("main() { return 0 || 0; }", 0);
+}
+
+TEST(Cc, VariablesAndControlFlow)
+{
+    both(R"(
+main() {
+    var sum = 0;
+    var i = 1;
+    while (i <= 100) {
+        sum = sum + i;
+        i = i + 1;
+    }
+    return sum;
+}
+)",
+         5050);
+
+    both(R"(
+classify(x) {
+    if (x < 10) { return 1; }
+    else {
+        if (x < 100) { return 2; } else { return 3; }
+    }
+}
+main() { return classify(5) * 100 + classify(50) * 10 + classify(500); }
+)",
+         123);
+}
+
+TEST(Cc, FunctionsAndRecursion)
+{
+    both(R"(
+fib(n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+main() { return fib(15); }
+)",
+         610);
+
+    both(R"(
+gcd(a, b) {
+    if (b == 0) { return a; }
+    return gcd(b, a % b);
+}
+main() { return gcd(1071, 462) + gcd(123456, 7890); }
+)",
+         21 + 6);
+
+    both(R"(
+ack(m, n) {
+    if (m == 0) { return n + 1; }
+    if (n == 0) { return ack(m - 1, 1); }
+    return ack(m - 1, ack(m, n - 1));
+}
+main() { return ack(2, 3); }
+)",
+         9);
+}
+
+TEST(Cc, MemArrayProgramsSieve)
+{
+    // Sieve of Eratosthenes in tinyc, both machines.
+    const char *src = R"(
+main() {
+    var n = 500;
+    var i = 2;
+    var count = 0;
+    while (i < n) {
+        if (mem[i] == 0) {
+            count = count + 1;
+            var j = i + i;
+            while (j < n) {
+                mem[j] = 1;
+                j = j + i;
+            }
+        }
+        i = i + 1;
+    }
+    return count;
+}
+)";
+    both(src, 95); // pi(500) = 95
+}
+
+TEST(Cc, SixParametersAndImplicitReturn)
+{
+    both(R"(
+sum6(a, b, c, d, e, f) { return a + b + c + d + e + f; }
+noret() { var x = 5; x = x + 1; }
+main() { return sum6(1, 2, 3, 4, 5, 6) + noret(); }
+)",
+         21);
+}
+
+TEST(Cc, Diagnostics)
+{
+    auto risc_err = [](const char *src) {
+        cc::RiscCompileResult r = cc::compileToRiscAsm(src);
+        EXPECT_FALSE(r.ok) << src;
+        return r.error;
+    };
+    EXPECT_NE(risc_err("main() { return x; }").find("unknown variable"),
+              std::string::npos);
+    EXPECT_NE(risc_err("main() { return f(1); }")
+                  .find("unknown function"),
+              std::string::npos);
+    EXPECT_NE(risc_err("f(a) { return a; } main() { return f(); }")
+                  .find("argument"),
+              std::string::npos);
+    EXPECT_NE(risc_err("main() { var a; var a; }").find("duplicate"),
+              std::string::npos);
+    EXPECT_NE(risc_err("main() { return 1 +; }").find("expected"),
+              std::string::npos);
+    EXPECT_NE(risc_err("f() {} ").find("main"), std::string::npos);
+    EXPECT_NE(
+        risc_err("f(a,b,c,d,e,f,g) { return 0; } main() { return 0; }")
+            .find("parameters"),
+        std::string::npos);
+
+    // The vax back end diagnoses the same front-end errors.
+    cc::VaxCompileResult v = cc::compileToVax("main() { return x; }");
+    EXPECT_FALSE(v.ok);
+}
+
+// ---- randomized differential expressions ----------------------------------
+
+/** Host-side evaluator mirroring tinyc semantics. */
+uint32_t
+hostEval(const std::string &op, uint32_t a, uint32_t b)
+{
+    if (op == "+")
+        return a + b;
+    if (op == "-")
+        return a - b;
+    if (op == "*")
+        return a * b;
+    if (op == "/")
+        return b ? a / b : 0;
+    if (op == "%")
+        return b ? a % b : 0;
+    if (op == "&")
+        return a & b;
+    if (op == "|")
+        return a | b;
+    if (op == "^")
+        return a ^ b;
+    if (op == "<<")
+        return a << (b & 31);
+    if (op == ">>")
+        return a >> (b & 31);
+    if (op == "==")
+        return a == b;
+    if (op == "!=")
+        return a != b;
+    if (op == "<")
+        return a < b;
+    if (op == "<=")
+        return a <= b;
+    if (op == ">")
+        return a > b;
+    if (op == ">=")
+        return a >= b;
+    if (op == "&&")
+        return a && b;
+    if (op == "||")
+        return a || b;
+    ADD_FAILURE() << "bad op " << op;
+    return 0;
+}
+
+/** Random expression tree rendered as fully parenthesized source. */
+struct GenExpr
+{
+    std::string text;
+    uint32_t value;
+};
+
+GenExpr
+randomExpr(Rng &rng, unsigned depth)
+{
+    if (depth == 0 || rng.chance(1, 4)) {
+        const auto v = static_cast<uint32_t>(
+            rng.chance(1, 2) ? rng.below(1000) : rng.next());
+        return GenExpr{strprintf("%u", v), v};
+    }
+    static const char *ops[] = {"+",  "-",  "*",  "/",  "%",  "&",
+                                "|",  "^",  "<<", ">>", "==", "!=",
+                                "<",  "<=", ">",  ">=", "&&", "||"};
+    const std::string op = ops[rng.below(std::size(ops))];
+    GenExpr lhs = randomExpr(rng, depth - 1);
+    GenExpr rhs = randomExpr(rng, depth - 1);
+    if (op == "/" || op == "%") {
+        // Force a nonzero divisor: (rhs | 1).
+        rhs.text = "(" + rhs.text + " | 1)";
+        rhs.value |= 1;
+    }
+    GenExpr out;
+    out.text = "(" + lhs.text + " " + op + " " + rhs.text + ")";
+    out.value = hostEval(op, lhs.value, rhs.value);
+    return out;
+}
+
+class CcDifferential : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(CcDifferential, RandomExpressionsMatchHostOnBothMachines)
+{
+    Rng rng(GetParam() * 7919 + 123);
+    for (int i = 0; i < 12; ++i) {
+        const GenExpr e = randomExpr(rng, 3);
+        const std::string src =
+            "main() { return " + e.text + "; }";
+        EXPECT_EQ(runRisc(src), e.value) << src;
+        EXPECT_EQ(runVax(src), e.value) << src;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CcDifferential,
+                         ::testing::Values(uint64_t{1}, uint64_t{2},
+                                           uint64_t{3}, uint64_t{4}));
+
+TEST(Cc, CompiledRecursionRidesTheWindowMechanism)
+{
+    // fib(18) reaches call depth 18 on an 8-window file: the compiled
+    // code must overflow, refill, and still be exact.
+    const char *src = R"(
+fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+main() { return fib(18); }
+)";
+    cc::RiscCompileResult compiled = cc::compileToRiscAsm(src);
+    ASSERT_TRUE(compiled.ok) << compiled.error;
+    sim::Cpu cpu;
+    cpu.load(assembler::assembleOrDie(compiled.assembly));
+    auto result = cpu.run();
+    ASSERT_TRUE(result.halted()) << result.message;
+    EXPECT_EQ(cpu.memory().peek32(CcResultAddr), 2584u);
+    EXPECT_GT(cpu.stats().windowOverflows, 0u);
+    EXPECT_EQ(cpu.stats().windowOverflows,
+              cpu.stats().windowUnderflows);
+}
+
+TEST(Cc, CompiledCodeSurvivesOptimizerToggle)
+{
+    const char *src = R"(
+f(a, b) { return (a + b) * (a - b) + a % (b | 1); }
+main() {
+    var acc = 0;
+    var i = 1;
+    while (i < 40) { acc = acc ^ f(acc + i, i * 3); i = i + 1; }
+    return acc;
+}
+)";
+    cc::RiscCompileResult compiled = cc::compileToRiscAsm(src);
+    ASSERT_TRUE(compiled.ok) << compiled.error;
+    uint32_t results[2];
+    for (int pass = 0; pass < 2; ++pass) {
+        assembler::AsmOptions opts;
+        opts.fillDelaySlots = pass == 0;
+        sim::Cpu cpu;
+        cpu.load(assembler::assembleOrDie(compiled.assembly, opts));
+        ASSERT_TRUE(cpu.run().halted());
+        results[pass] = cpu.memory().peek32(CcResultAddr);
+    }
+    EXPECT_EQ(results[0], results[1]);
+    EXPECT_EQ(results[0], runVax(src)); // and vax80 agrees
+}
+
+TEST(Cc, MemWordsOptionSizesTheArray)
+{
+    cc::CcOptions options;
+    options.memWords = 8;
+    cc::RiscCompileResult compiled = cc::compileToRiscAsm(
+        "main() { mem[7] = 42; return mem[7]; }", options);
+    ASSERT_TRUE(compiled.ok);
+    EXPECT_NE(compiled.assembly.find(".space 32"), std::string::npos);
+}
+
+} // namespace

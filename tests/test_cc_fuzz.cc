@@ -1,0 +1,372 @@
+/**
+ * @file
+ * Whole-program tinyc fuzzing: randomly generated programs (functions,
+ * loops, branches, mem[] traffic, cross-function calls) are executed by
+ * a host-side reference interpreter and must produce the same result
+ * when compiled for RISC I and for vax80. Programs are constructed to
+ * terminate: loops count down a dedicated variable, and functions call
+ * only earlier functions (no recursion).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "asm/assembler.hh"
+#include "cc/compiler.hh"
+#include "cc/parser.hh"
+#include "sim/cpu.hh"
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "vax/cpu.hh"
+
+namespace {
+
+using namespace risc1;
+
+// ---- host reference interpreter over the real AST -------------------------
+
+/** Interprets a parsed tinyc Unit with the language's semantics. */
+class HostInterp
+{
+  public:
+    explicit HostInterp(const cc::Unit &unit, uint32_t mem_words)
+        : unit_(unit), mem_(mem_words, 0)
+    {}
+
+    uint32_t
+    runMain()
+    {
+        return call(*unit_.find("main"), {});
+    }
+
+  private:
+    struct ReturnSignal
+    {
+        uint32_t value;
+    };
+
+    uint32_t
+    call(const cc::Function &fn, const std::vector<uint32_t> &args)
+    {
+        std::map<std::string, uint32_t> frame;
+        for (size_t i = 0; i < fn.params.size(); ++i)
+            frame[fn.params[i]] = args[i];
+        try {
+            execBlock(fn.body, frame);
+        } catch (const ReturnSignal &ret) {
+            return ret.value;
+        }
+        return 0; // implicit return 0
+    }
+
+    void
+    execBlock(const std::vector<cc::StmtPtr> &stmts,
+              std::map<std::string, uint32_t> &frame)
+    {
+        for (const cc::StmtPtr &stmt : stmts)
+            exec(*stmt, frame);
+    }
+
+    void
+    exec(const cc::Stmt &stmt, std::map<std::string, uint32_t> &frame)
+    {
+        using K = cc::Stmt::Kind;
+        switch (stmt.kind) {
+          case K::VarDecl:
+            frame[stmt.name] = stmt.value ? eval(*stmt.value, frame) : 0;
+            return;
+          case K::Assign:
+            frame[stmt.name] = eval(*stmt.value, frame);
+            return;
+          case K::MemAssign: {
+            const uint32_t index = eval(*stmt.index, frame);
+            const uint32_t value = eval(*stmt.value, frame);
+            ASSERT_LT(index, mem_.size());
+            mem_[index] = value;
+            return;
+          }
+          case K::If:
+            if (eval(*stmt.cond, frame))
+                execBlock(stmt.body, frame);
+            else
+                execBlock(stmt.orelse, frame);
+            return;
+          case K::While:
+            while (eval(*stmt.cond, frame))
+                execBlock(stmt.body, frame);
+            return;
+          case K::Return:
+            throw ReturnSignal{stmt.value ? eval(*stmt.value, frame)
+                                          : 0};
+          case K::ExprStmt:
+            eval(*stmt.value, frame);
+            return;
+        }
+    }
+
+    uint32_t
+    eval(const cc::Expr &e, std::map<std::string, uint32_t> &frame)
+    {
+        using K = cc::Expr::Kind;
+        switch (e.kind) {
+          case K::Number:
+            return e.number;
+          case K::Var:
+            return frame.at(e.name);
+          case K::Unary: {
+            const uint32_t v = eval(*e.lhs, frame);
+            switch (e.unaryOp) {
+              case '-': return 0u - v;
+              case '~': return ~v;
+              case '!': return v == 0;
+            }
+            ADD_FAILURE() << "bad unary";
+            return 0;
+          }
+          case K::Mem: {
+            const uint32_t index = eval(*e.index, frame);
+            EXPECT_LT(index, mem_.size());
+            return index < mem_.size() ? mem_[index] : 0;
+          }
+          case K::Call: {
+            std::vector<uint32_t> args;
+            for (const cc::ExprPtr &arg : e.args)
+                args.push_back(eval(*arg, frame));
+            return call(*unit_.find(e.name), args);
+          }
+          case K::Binary: {
+            const uint32_t a = eval(*e.lhs, frame);
+            const uint32_t b = eval(*e.rhs, frame);
+            const std::string &o = e.binop;
+            if (o == "+") return a + b;
+            if (o == "-") return a - b;
+            if (o == "*") return a * b;
+            if (o == "/") return b ? a / b : 0;
+            if (o == "%") return b ? a % b : 0;
+            if (o == "&") return a & b;
+            if (o == "|") return a | b;
+            if (o == "^") return a ^ b;
+            if (o == "<<") return a << (b & 31);
+            if (o == ">>") return a >> (b & 31);
+            if (o == "==") return a == b;
+            if (o == "!=") return a != b;
+            if (o == "<") return a < b;
+            if (o == "<=") return a <= b;
+            if (o == ">") return a > b;
+            if (o == ">=") return a >= b;
+            if (o == "&&") return a && b;
+            if (o == "||") return a || b;
+            ADD_FAILURE() << "bad op " << o;
+            return 0;
+          }
+        }
+        return 0;
+    }
+
+    const cc::Unit &unit_;
+    std::vector<uint32_t> mem_;
+};
+
+// ---- random-program generator -----------------------------------------------
+
+/** Emits random, terminating tinyc programs within back-end limits. */
+class ProgramGen
+{
+  public:
+    explicit ProgramGen(uint64_t seed) : rng_(seed) {}
+
+    std::string
+    generate()
+    {
+        src_.clear();
+        const unsigned nfuncs = 1 + static_cast<unsigned>(rng_.below(3));
+        funcs_.clear();
+        for (unsigned i = 0; i < nfuncs; ++i)
+            genFunction(strprintf("f%u", i),
+                        static_cast<unsigned>(rng_.below(3)));
+        genFunction("main", 0);
+        return src_;
+    }
+
+  private:
+    struct FuncSig
+    {
+        std::string name;
+        unsigned params;
+    };
+
+    void
+    genFunction(const std::string &name, unsigned nparams)
+    {
+        vars_.clear();
+        loopVars_.clear();
+        nextVar_ = 0;
+        for (unsigned i = 0; i < nparams; ++i)
+            vars_.push_back(strprintf("p%u", i));
+
+        src_ += name + "(";
+        for (unsigned i = 0; i < nparams; ++i)
+            src_ += std::string(i ? ", " : "") + strprintf("p%u", i);
+        src_ += ") {\n";
+        genStmts(2, 1 + static_cast<unsigned>(rng_.below(4)));
+        src_ += strprintf("    return %s;\n}\n", expr(2).c_str());
+        funcs_.push_back(FuncSig{name, nparams});
+    }
+
+    void
+    genStmts(unsigned depth, unsigned count)
+    {
+        for (unsigned i = 0; i < count; ++i)
+            genStmt(depth);
+    }
+
+    void
+    genStmt(unsigned depth)
+    {
+        const unsigned kind = static_cast<unsigned>(rng_.below(6));
+        // Local budget: the RISC back end has 9 register slots for
+        // locals + temps; keep locals <= 4 and expressions shallow.
+        if (kind == 0 && nextVar_ < 4) {
+            const std::string name = strprintf("v%u", nextVar_++);
+            src_ += strprintf("    var %s = %s;\n", name.c_str(),
+                              expr(depth).c_str());
+            vars_.push_back(name);
+            return;
+        }
+        if (kind == 1 && !vars_.empty()) {
+            // Assign to a non-loop variable only.
+            const std::string &name = vars_[rng_.below(vars_.size())];
+            src_ += strprintf("    %s = %s;\n", name.c_str(),
+                              expr(depth).c_str());
+            return;
+        }
+        if (kind == 2) {
+            src_ += strprintf("    mem[(%s) %% 64] = %s;\n",
+                              expr(1).c_str(), expr(depth).c_str());
+            return;
+        }
+        if (kind == 3 && depth > 0) {
+            src_ += strprintf("    if (%s) {\n", expr(depth).c_str());
+            const size_t scope = vars_.size();
+            genStmts(depth - 1, 1 + static_cast<unsigned>(rng_.below(2)));
+            vars_.resize(scope); // conditional declarations go out of use
+            if (rng_.chance(1, 2)) {
+                src_ += "    } else {\n";
+                genStmts(depth - 1,
+                         1 + static_cast<unsigned>(rng_.below(2)));
+                vars_.resize(scope);
+            }
+            src_ += "    }\n";
+            return;
+        }
+        if (kind == 4 && depth > 0 && nextVar_ < 4) {
+            // Bounded countdown loop; the loop variable is never
+            // assigned inside the body (loopVars_ are excluded from
+            // assignment targets) and its declaration always executes.
+            const std::string name = strprintf("v%u", nextVar_++);
+            src_ += strprintf("    var %s = %llu;\n", name.c_str(),
+                              static_cast<unsigned long long>(
+                                  1 + rng_.below(6)));
+            src_ += strprintf("    while (%s) {\n", name.c_str());
+            loopVars_.push_back(name);
+            const size_t scope = vars_.size();
+            genStmts(depth - 1, 1 + static_cast<unsigned>(rng_.below(2)));
+            vars_.resize(scope);
+            src_ += strprintf("        %s = %s - 1;\n", name.c_str(),
+                              name.c_str());
+            src_ += "    }\n";
+            loopVars_.pop_back();
+            vars_.push_back(name); // readable afterwards (it is 0)
+            return;
+        }
+        src_ += strprintf("    %s;\n", expr(depth).c_str());
+    }
+
+    /** Random expression of bounded depth (parenthesized). */
+    std::string
+    expr(unsigned depth)
+    {
+        const unsigned pick = static_cast<unsigned>(rng_.below(8));
+        if (depth == 0 || pick < 2) {
+            if (!vars_.empty() && rng_.chance(1, 2))
+                return vars_[rng_.below(vars_.size())];
+            if (!loopVars_.empty() && rng_.chance(1, 3))
+                return loopVars_.back();
+            return strprintf("%llu", static_cast<unsigned long long>(
+                                         rng_.below(1000)));
+        }
+        if (pick == 2)
+            return strprintf("mem[(%s) %% 64]", expr(depth - 1).c_str());
+        if (pick == 3 && !funcs_.empty()) {
+            const FuncSig &callee = funcs_[rng_.below(funcs_.size())];
+            std::string out = callee.name + "(";
+            for (unsigned i = 0; i < callee.params; ++i)
+                out += std::string(i ? ", " : "") + expr(depth - 1);
+            return out + ")";
+        }
+        if (pick == 4) {
+            static const char *unary[] = {"-", "~", "!"};
+            return strprintf("(%s(%s))", unary[rng_.below(3)],
+                             expr(depth - 1).c_str());
+        }
+        static const char *ops[] = {"+",  "-",  "*",  "/",  "%",  "&",
+                                    "|",  "^",  "<<", ">>", "==", "!=",
+                                    "<",  "<=", ">",  ">=", "&&", "||"};
+        const std::string o = ops[rng_.below(std::size(ops))];
+        std::string rhs = expr(depth - 1);
+        if (o == "/" || o == "%")
+            rhs = "(" + rhs + " | 1)";
+        return "(" + expr(depth - 1) + " " + o + " " + rhs + ")";
+    }
+
+    Rng rng_;
+    unsigned nextVar_ = 0;
+    std::string src_;
+    std::vector<FuncSig> funcs_;
+    std::vector<std::string> vars_;
+    std::vector<std::string> loopVars_;
+};
+
+// ---- the differential ----------------------------------------------------------
+
+class CcProgramFuzz : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(CcProgramFuzz, GeneratedProgramsAgreeEverywhere)
+{
+    ProgramGen gen(GetParam() * 99991 + 17);
+    for (int trial = 0; trial < 15; ++trial) {
+        const std::string src = gen.generate();
+
+        cc::ParseResult parsed = cc::parse(src);
+        ASSERT_TRUE(parsed.ok) << parsed.error << "\n" << src;
+        HostInterp host(parsed.unit, 4096);
+        const uint32_t expected = host.runMain();
+
+        cc::RiscCompileResult risc_cc = cc::compileToRiscAsm(src);
+        ASSERT_TRUE(risc_cc.ok) << risc_cc.error << "\n" << src;
+        sim::Cpu risc;
+        risc.load(assembler::assembleOrDie(risc_cc.assembly));
+        auto risc_run = risc.run();
+        ASSERT_TRUE(risc_run.halted()) << risc_run.message << "\n"
+                                       << src;
+        EXPECT_EQ(risc.memory().peek32(cc::CcResultAddr), expected)
+            << "RISC I\n" << src;
+
+        cc::VaxCompileResult vax_cc = cc::compileToVax(src);
+        ASSERT_TRUE(vax_cc.ok) << vax_cc.error << "\n" << src;
+        vax::VaxCpu vaxc;
+        vaxc.load(vax_cc.program);
+        auto vax_run = vaxc.run();
+        ASSERT_TRUE(vax_run.halted()) << vax_run.message << "\n" << src;
+        EXPECT_EQ(vaxc.memory().peek32(cc::CcResultAddr), expected)
+            << "vax80\n" << src;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CcProgramFuzz,
+                         ::testing::Range(uint64_t{0}, uint64_t{6}));
+
+} // namespace

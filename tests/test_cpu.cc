@@ -1,0 +1,626 @@
+/**
+ * @file
+ * Processor-model tests: exact semantics of every instruction class,
+ * flag setting, delayed transfers (pinned in explicit-slot mode),
+ * window trap mechanics, PSW access, faults, and a randomized
+ * differential test of the ALU against a host-side reference.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "sim/cpu.hh"
+#include "sim/fault.hh"
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace {
+
+using namespace risc1;
+using assembler::AsmOptions;
+using assembler::assembleOrDie;
+
+/** Run a program in explicit-slot mode (tests write their own slots). */
+sim::ExecResult
+runExplicit(sim::Cpu &cpu, const std::string &src)
+{
+    AsmOptions opts;
+    opts.autoDelaySlots = false;
+    cpu.load(assembleOrDie(src, opts));
+    return cpu.run();
+}
+
+/** Run with the normal auto-slot assembler. */
+sim::ExecResult
+runAuto(sim::Cpu &cpu, const std::string &src)
+{
+    cpu.load(assembleOrDie(src));
+    return cpu.run();
+}
+
+// ---- ALU semantics and flags ------------------------------------------------
+
+TEST(Alu, AddCarryAndOverflow)
+{
+    sim::Cpu cpu;
+    auto result = runAuto(cpu, R"(
+_start: mov   -1, r16
+        adds  r16, 1, r17     ; 0xffffffff + 1 = 0, C=1, Z=1, V=0
+        halt
+)");
+    ASSERT_TRUE(result.halted());
+    EXPECT_EQ(cpu.reg(17), 0u);
+    EXPECT_TRUE(cpu.flags().c);
+    EXPECT_TRUE(cpu.flags().z);
+    EXPECT_FALSE(cpu.flags().v);
+    EXPECT_FALSE(cpu.flags().n);
+}
+
+TEST(Alu, SignedOverflowSetsV)
+{
+    sim::Cpu cpu;
+    auto result = runAuto(cpu, R"(
+_start: ldhi  r16, 0x3ffff    ; 0x7fffe000
+        adds  r16, r16, r17   ; positive + positive -> negative
+        halt
+)");
+    ASSERT_TRUE(result.halted());
+    EXPECT_TRUE(cpu.flags().v);
+    EXPECT_TRUE(cpu.flags().n);
+    EXPECT_FALSE(cpu.flags().c);
+}
+
+TEST(Alu, SubBorrowConvention)
+{
+    sim::Cpu cpu;
+    // 5 - 7: borrow -> C = 0; result negative.
+    auto result = runAuto(cpu, R"(
+_start: mov   5, r16
+        subs  r16, 7, r17
+        halt
+)");
+    ASSERT_TRUE(result.halted());
+    EXPECT_EQ(cpu.reg(17), static_cast<uint32_t>(-2));
+    EXPECT_FALSE(cpu.flags().c);
+    EXPECT_TRUE(cpu.flags().n);
+
+    // 7 - 5: no borrow -> C = 1.
+    result = runAuto(cpu, R"(
+_start: mov   7, r16
+        subs  r16, 5, r17
+        halt
+)");
+    ASSERT_TRUE(result.halted());
+    EXPECT_TRUE(cpu.flags().c);
+}
+
+TEST(Alu, CarryChainAddcSubc)
+{
+    sim::Cpu cpu;
+    // 64-bit add: 0xffffffff:ffffffff + 1 = 0x00000001:00000000.
+    auto result = runAuto(cpu, R"(
+_start: mov   -1, r16          ; low
+        mov   -1, r17          ; high
+        adds  r16, 1, r18      ; low sum, sets carry
+        addc  r17, 0, r19      ; high sum + carry
+        halt
+)");
+    ASSERT_TRUE(result.halted());
+    EXPECT_EQ(cpu.reg(18), 0u);
+    EXPECT_EQ(cpu.reg(19), 0u);
+
+    // 64-bit subtract with borrow: 0x1:00000000 - 1.
+    result = runAuto(cpu, R"(
+_start: clr   r16              ; low = 0
+        mov   1, r17           ; high = 1
+        subs  r16, 1, r18      ; low: 0-1 -> 0xffffffff, borrow (C=0)
+        subc  r17, 0, r19      ; high: 1 - 0 - borrow = 0
+        halt
+)");
+    ASSERT_TRUE(result.halted());
+    EXPECT_EQ(cpu.reg(18), 0xffffffffu);
+    EXPECT_EQ(cpu.reg(19), 0u);
+}
+
+TEST(Alu, ReverseSubtract)
+{
+    sim::Cpu cpu;
+    auto result = runAuto(cpu, R"(
+_start: mov   3, r16
+        subr  r16, 10, r17    ; 10 - 3
+        halt
+)");
+    ASSERT_TRUE(result.halted());
+    EXPECT_EQ(cpu.reg(17), 7u);
+}
+
+TEST(Alu, ShiftsMaskAmountAndFill)
+{
+    sim::Cpu cpu;
+    auto result = runAuto(cpu, R"(
+_start: mov   -8, r16
+        srl   r16, 1, r17     ; logical: zero fill
+        sra   r16, 1, r18     ; arithmetic: sign fill
+        sll   r16, 1, r19
+        mov   32, r20
+        sll   r16, r20, r21   ; amount 32 & 31 == 0: unchanged
+        halt
+)");
+    ASSERT_TRUE(result.halted());
+    EXPECT_EQ(cpu.reg(17), 0x7ffffffcu);
+    EXPECT_EQ(cpu.reg(18), static_cast<uint32_t>(-4));
+    EXPECT_EQ(cpu.reg(19), static_cast<uint32_t>(-16));
+    EXPECT_EQ(cpu.reg(21), static_cast<uint32_t>(-8));
+}
+
+TEST(Alu, LogicalOpsClearCarryAndOverflowUnderScc)
+{
+    sim::Cpu cpu;
+    auto result = runAuto(cpu, R"(
+_start: mov   -1, r16
+        adds  r16, 1, r17     ; set C
+        ands  r16, 0xff, r18  ; logical scc clears C and V
+        halt
+)");
+    ASSERT_TRUE(result.halted());
+    EXPECT_EQ(cpu.reg(18), 0xffu);
+    EXPECT_FALSE(cpu.flags().c);
+    EXPECT_FALSE(cpu.flags().v);
+}
+
+TEST(Alu, NonSccOpsLeaveFlagsAlone)
+{
+    sim::Cpu cpu;
+    auto result = runAuto(cpu, R"(
+_start: mov   1, r16
+        cmp   r16, 1          ; Z := 1
+        add   r16, 1, r16     ; no scc: Z stays
+        halt
+)");
+    ASSERT_TRUE(result.halted());
+    EXPECT_TRUE(cpu.flags().z);
+}
+
+// ---- memory access -----------------------------------------------------------
+
+TEST(MemOps, WidthsAndExtension)
+{
+    sim::Cpu cpu;
+    auto result = runAuto(cpu, R"(
+_start: mov   data, r16
+        ldbu  (r16)3, r17     ; 0x80 zero-extended
+        ldbs  (r16)3, r18     ; 0x80 sign-extended
+        ldsu  (r16)0, r19     ; 0xbeef zero-extended
+        ldss  (r16)0, r20     ; 0xbeef sign-extended
+        ldl   (r16)0, r21
+        halt
+        .align 4
+data:   .word 0xdeadbeef
+)");
+    ASSERT_TRUE(result.halted()) << result.message;
+    EXPECT_EQ(cpu.reg(17), 0xdeu);
+    EXPECT_EQ(cpu.reg(18), 0xffffffdeu);
+    EXPECT_EQ(cpu.reg(19), 0xbeefu);
+    EXPECT_EQ(cpu.reg(20), 0xffffbeefu);
+    EXPECT_EQ(cpu.reg(21), 0xdeadbeefu);
+}
+
+TEST(MemOps, StoreWidthsTruncate)
+{
+    sim::Cpu cpu;
+    auto result = runAuto(cpu, R"(
+_start: mov   buf, r16
+        mov   0x1234567, r17
+        stl   r17, (r16)0
+        stb   r17, (r16)4
+        sts   r17, (r16)8
+        halt
+        .align 4
+buf:    .space 12
+)");
+    ASSERT_TRUE(result.halted()) << result.message;
+    const uint32_t buf = *assembleOrDie(R"(
+_start: mov   buf, r16
+        mov   0x1234567, r17
+        stl   r17, (r16)0
+        stb   r17, (r16)4
+        sts   r17, (r16)8
+        halt
+        .align 4
+buf:    .space 12
+)")
+                              .symbol("buf");
+    EXPECT_EQ(cpu.memory().peek32(buf), 0x1234567u);
+    EXPECT_EQ(cpu.memory().peek8(buf + 4), 0x67u);
+    EXPECT_EQ(cpu.memory().peek32(buf + 8) & 0xffff, 0x4567u);
+}
+
+TEST(MemOps, RegisterIndexAddressing)
+{
+    sim::Cpu cpu;
+    auto result = runAuto(cpu, R"(
+_start: mov   tbl, r16
+        mov   8, r17
+        ldl   (r16)r17, r18   ; tbl[2]
+        halt
+        .align 4
+tbl:    .word 10, 20, 30
+)");
+    ASSERT_TRUE(result.halted()) << result.message;
+    EXPECT_EQ(cpu.reg(18), 30u);
+}
+
+// ---- delayed transfers (explicit slots pin the architecture) -----------------
+
+TEST(Delayed, SlotExecutesBeforeTakenBranchTarget)
+{
+    sim::Cpu cpu;
+    auto result = runExplicit(cpu, R"(
+_start: b     over
+        add   r16, 1, r16     ; the slot: must execute
+        add   r16, 100, r16   ; skipped
+over:   jmp   alw, (r0)0
+        add   r16, 10, r16    ; halt's slot also executes
+)");
+    ASSERT_TRUE(result.halted());
+    EXPECT_EQ(cpu.reg(16), 11u);
+}
+
+TEST(Delayed, UntakenBranchStillExecutesSlot)
+{
+    sim::Cpu cpu;
+    auto result = runExplicit(cpu, R"(
+_start: cmp   r0, 1
+        beq   never
+        add   r16, 1, r16     ; slot
+        add   r16, 2, r16     ; fall-through
+        jmp   alw, (r0)0
+        nop
+never:  add   r16, 100, r16
+        jmp   alw, (r0)0
+        nop
+)");
+    ASSERT_TRUE(result.halted());
+    EXPECT_EQ(cpu.reg(16), 3u);
+}
+
+TEST(Delayed, CallLinksCallAddressAndRetSkipsSlot)
+{
+    sim::Cpu cpu;
+    auto result = runExplicit(cpu, R"(
+_start: callr r25, f
+        add   r2, 1, r2       ; call's slot (globals: window-safe)
+        add   r2, 10, r2      ; return lands here
+        jmp   alw, (r0)0
+        nop
+f:      gtlpc r16             ; not meaningful here; just a marker
+        ret   (r25)8
+        add   r2, 100, r2     ; ret's slot
+)");
+    ASSERT_TRUE(result.halted()) << result.message;
+    // slot(1) + retslot(100) + landing(10)
+    EXPECT_EQ(cpu.reg(2), 111u);
+}
+
+TEST(Delayed, CallSlotExecutesInCalleeWindow)
+{
+    sim::Cpu cpu;
+    auto result = runExplicit(cpu, R"(
+_start: mov   7, r16          ; caller local
+        callr r25, f
+        mov   5, r16          ; slot: writes the CALLEE's r16
+        jmp   alw, (r0)0
+        nop
+f:      stl   r16, (r0)600    ; callee sees 5
+        ret   (r25)8
+        nop
+)");
+    ASSERT_TRUE(result.halted()) << result.message;
+    EXPECT_EQ(cpu.memory().peek32(600), 5u);
+    EXPECT_EQ(cpu.reg(16), 7u); // caller's local untouched
+}
+
+TEST(Delayed, IndexedJumpUsesRegisterTarget)
+{
+    sim::Cpu cpu;
+    auto result = runExplicit(cpu, R"(
+_start: mov   tgt, r16
+        jmp   alw, (r16)0
+        nop
+        add   r17, 100, r17   ; skipped
+tgt:    add   r17, 1, r17
+        jmp   alw, (r0)0
+        nop
+)");
+    ASSERT_TRUE(result.halted()) << result.message;
+    EXPECT_EQ(cpu.reg(17), 1u);
+}
+
+// ---- PSW / misc ------------------------------------------------------------------
+
+TEST(Psw, GetReflectsFlagsAndCwp)
+{
+    sim::Cpu cpu;
+    auto result = runAuto(cpu, R"(
+_start: mov   1, r16
+        cmp   r16, 1          ; Z=1, C=1 (no borrow)
+        getpsw r17
+        halt
+)");
+    ASSERT_TRUE(result.halted());
+    const uint32_t psw = cpu.reg(17);
+    EXPECT_TRUE(psw & 8);  // Z
+    EXPECT_TRUE(psw & 1);  // C
+    EXPECT_TRUE(psw & 16); // interrupts enabled
+    EXPECT_EQ((psw >> 8) & 0x1f, cpu.cwp());
+}
+
+TEST(Psw, PutRestoresFlags)
+{
+    sim::Cpu cpu;
+    auto result = runAuto(cpu, R"(
+_start: putpsw r0, 10          ; V=1, Z=1
+        halt
+)");
+    ASSERT_TRUE(result.halted());
+    EXPECT_TRUE(cpu.flags().z);
+    EXPECT_TRUE(cpu.flags().v);
+    EXPECT_FALSE(cpu.flags().c);
+}
+
+TEST(Psw, CallintRetintToggleInterruptsAndWindows)
+{
+    // Explicit layout: callint records the last PC (the nop at 0x1000);
+    // the handler stores its PSW (IE clear) and retint resumes at the
+    // halt, re-enabling interrupts.
+    sim::Cpu cpu;
+    auto result = runExplicit(cpu, R"(
+_start: nop                   ; 0x1000 = lastPc seen by callint
+        callint r16           ; 0x1004: r16 := 0x1000, IE := 0
+        getpsw  r17           ; 0x1008 (interrupt window)
+        stl     r17, (r0)700  ; 0x100c
+        retint  (r16)20       ; 0x1010 -> 0x1014
+        nop                   ; 0x1014 slot (also the target)
+        jmp     alw, (r0)0    ; 0x1018 halt
+        nop
+)");
+    ASSERT_TRUE(result.halted()) << result.message;
+    EXPECT_TRUE(cpu.interruptsEnabled());
+    EXPECT_EQ(cpu.memory().peek32(700) & 16u, 0u); // IE was clear inside
+    EXPECT_EQ(cpu.reg(16), 0u);                    // handler window popped
+    EXPECT_EQ(cpu.stats().calls, 1u);
+    EXPECT_EQ(cpu.stats().returns, 1u);
+}
+
+TEST(Misc, LdhiBuildsHighBits)
+{
+    sim::Cpu cpu;
+    auto result = runAuto(cpu, R"(
+_start: ldhi  r16, 0x7ffff
+        ldhi  r17, 1
+        halt
+)");
+    ASSERT_TRUE(result.halted());
+    EXPECT_EQ(cpu.reg(16), 0xffffe000u);
+    EXPECT_EQ(cpu.reg(17), 0x2000u);
+}
+
+// ---- faults and limits ----------------------------------------------------------------
+
+TEST(Faults, MisalignedLoad)
+{
+    sim::Cpu cpu;
+    auto result = runAuto(cpu, R"(
+_start: mov   0x101, r16
+        ldl   (r16)0, r17
+        halt
+)");
+    EXPECT_EQ(result.reason, sim::StopReason::Fault);
+    EXPECT_NE(result.message.find("misaligned"), std::string::npos);
+}
+
+TEST(Faults, ReturnWithoutCall)
+{
+    sim::Cpu cpu;
+    auto result = runAuto(cpu, "_start: ret\n");
+    EXPECT_EQ(result.reason, sim::StopReason::Fault);
+    EXPECT_NE(result.message.find("return without"), std::string::npos);
+}
+
+TEST(Faults, InstructionLimitStopsRunaways)
+{
+    sim::CpuOptions opts;
+    opts.maxInstructions = 100;
+    sim::Cpu cpu(opts);
+    auto result = runAuto(cpu, "_start: b _start\n");
+    EXPECT_EQ(result.reason, sim::StopReason::InstLimit);
+    EXPECT_EQ(result.instructions, 100u);
+}
+
+TEST(Init, StackPointerAndState)
+{
+    sim::CpuOptions opts;
+    opts.stackTop = 0x40000;
+    sim::Cpu cpu(opts);
+    cpu.load(assembleOrDie("_start: halt\n"));
+    EXPECT_EQ(cpu.reg(isa::SpReg), 0x40000u);
+    EXPECT_EQ(cpu.cwp(), 0u);
+    EXPECT_EQ(cpu.residentWindows(), 1u);
+}
+
+TEST(Init, RejectsSingleWindowConfig)
+{
+    sim::CpuOptions opts;
+    opts.windows.numWindows = 1;
+    EXPECT_THROW(sim::Cpu cpu(opts), FatalError);
+}
+
+// ---- window trap mechanics --------------------------------------------------------------
+
+/** Straight recursion to a given depth; overflow counts follow a
+ *  closed form: frames = depth + 2 (main + descend(n..0)),
+ *  overflows = max(0, frames - (windows - 1)). */
+struct DepthCase
+{
+    unsigned depth;
+    unsigned windows;
+};
+
+class WindowTraps : public ::testing::TestWithParam<DepthCase>
+{};
+
+TEST_P(WindowTraps, OverflowCountMatchesClosedForm)
+{
+    const auto [depth, windows] = GetParam();
+    sim::CpuOptions opts;
+    opts.windows.numWindows = windows;
+    sim::Cpu cpu(opts);
+    auto result = runAuto(cpu, strprintf(R"(
+_start: mov   %u, r10
+        call  descend
+        halt
+descend:
+        cmp   r26, 0
+        beq   bottom
+        sub   r26, 1, r10
+        call  descend
+bottom: ret
+)",
+                                         depth));
+    ASSERT_TRUE(result.halted()) << result.message;
+    const unsigned frames = depth + 2;
+    const unsigned expect_ovf =
+        frames > windows - 1 ? frames - (windows - 1) : 0;
+    EXPECT_EQ(cpu.stats().windowOverflows, expect_ovf);
+    EXPECT_EQ(cpu.stats().windowUnderflows, expect_ovf);
+    EXPECT_EQ(cpu.stats().spillWords, 16u * expect_ovf);
+    EXPECT_EQ(cpu.stats().refillWords, 16u * expect_ovf);
+    EXPECT_EQ(cpu.stats().maxCallDepth, depth + 1u);
+    EXPECT_EQ(cpu.residentWindows(), 1u); // unwound to main
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DepthsAndWindows, WindowTraps,
+    ::testing::Values(DepthCase{0, 8}, DepthCase{5, 8}, DepthCase{6, 8},
+                      DepthCase{7, 8}, DepthCase{20, 8},
+                      DepthCase{20, 2}, DepthCase{20, 4},
+                      DepthCase{20, 16}, DepthCase{3, 3}));
+
+TEST(WindowTrapsMisc, SpillStackWritesBelowSpillBase)
+{
+    sim::CpuOptions opts;
+    opts.spillBase = 0x00200000;
+    sim::Cpu cpu(opts);
+    auto result = runAuto(cpu, R"(
+_start: mov   10, r10
+        call  descend
+        halt
+descend:
+        cmp   r26, 0
+        beq   bottom
+        sub   r26, 1, r10
+        call  descend
+bottom: ret
+)");
+    ASSERT_TRUE(result.halted());
+    ASSERT_GT(cpu.stats().windowOverflows, 2u);
+    // Spilled frames land just below spillBase; the recursive frames
+    // carry nonzero return addresses, so the region cannot be blank.
+    // (The first frame is main's, whose registers are legitimately 0.)
+    bool any_nonzero = false;
+    const uint32_t span = 64 * static_cast<uint32_t>(
+                                   cpu.stats().windowOverflows);
+    for (uint32_t a = opts.spillBase - span; a < opts.spillBase; a += 4)
+        any_nonzero |= cpu.memory().peek32(a) != 0;
+    EXPECT_TRUE(any_nonzero);
+}
+
+// ---- randomized differential ALU test ----------------------------------------------------
+
+/** Host-side reference of the ALU ops used by the differential test. */
+uint32_t
+hostAlu(isa::Opcode op, uint32_t a, uint32_t b)
+{
+    switch (op) {
+      case isa::Opcode::Add: return a + b;
+      case isa::Opcode::Sub: return a - b;
+      case isa::Opcode::Subr: return b - a;
+      case isa::Opcode::And: return a & b;
+      case isa::Opcode::Or: return a | b;
+      case isa::Opcode::Xor: return a ^ b;
+      case isa::Opcode::Sll: return a << (b & 31);
+      case isa::Opcode::Srl: return a >> (b & 31);
+      case isa::Opcode::Sra:
+        return static_cast<uint32_t>(static_cast<int32_t>(a) >>
+                                     (b & 31));
+      default: return 0;
+    }
+}
+
+class AluDifferential : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(AluDifferential, MatchesHostReference)
+{
+    constexpr isa::Opcode ops[] = {
+        isa::Opcode::Add, isa::Opcode::Sub, isa::Opcode::Subr,
+        isa::Opcode::And, isa::Opcode::Or,  isa::Opcode::Xor,
+        isa::Opcode::Sll, isa::Opcode::Srl, isa::Opcode::Sra,
+    };
+    Rng rng(GetParam());
+
+    // Mirror of registers r16..r23.
+    uint32_t model[8];
+    std::string src = "_start:\n";
+    for (unsigned i = 0; i < 8; ++i) {
+        model[i] = static_cast<uint32_t>(rng.next());
+        src += strprintf("        mov 0x%x, r%u\n", model[i], 16 + i);
+    }
+    struct Step
+    {
+        isa::Opcode op;
+        unsigned a, b, d;
+        bool imm;
+        int32_t simm;
+    };
+    std::vector<Step> steps;
+    for (int i = 0; i < 150; ++i) {
+        Step s;
+        s.op = ops[rng.below(std::size(ops))];
+        s.a = static_cast<unsigned>(rng.below(8));
+        s.b = static_cast<unsigned>(rng.below(8));
+        s.d = static_cast<unsigned>(rng.below(8));
+        s.imm = rng.chance(1, 3);
+        s.simm = static_cast<int32_t>(rng.range(-4096, 4095));
+        steps.push_back(s);
+        const isa::OpInfo &info = isa::opInfo(s.op);
+        if (s.imm) {
+            src += strprintf("        %s r%u, %d, r%u\n",
+                             std::string(info.mnemonic).c_str(),
+                             16 + s.a, s.simm, 16 + s.d);
+        } else {
+            src += strprintf("        %s r%u, r%u, r%u\n",
+                             std::string(info.mnemonic).c_str(),
+                             16 + s.a, 16 + s.b, 16 + s.d);
+        }
+    }
+    src += "        halt\n";
+
+    sim::Cpu cpu;
+    auto result = runAuto(cpu, src);
+    ASSERT_TRUE(result.halted()) << result.message;
+
+    for (const Step &s : steps) {
+        const uint32_t b = s.imm ? static_cast<uint32_t>(s.simm)
+                                 : model[s.b];
+        model[s.d] = hostAlu(s.op, model[s.a], b);
+    }
+    for (unsigned i = 0; i < 8; ++i)
+        EXPECT_EQ(cpu.reg(16 + i), model[i]) << "r" << 16 + i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AluDifferential,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u,
+                                           66u));
+
+} // namespace

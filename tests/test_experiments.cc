@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Integration tests over the experiment drivers: each must reproduce
+ * the *shape* of the paper's corresponding table or figure — who wins,
+ * by roughly what factor, where the curve bends. These are the
+ * acceptance tests of the reproduction (see EXPERIMENTS.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/calltrace.hh"
+#include "core/experiments.hh"
+
+namespace {
+
+using namespace risc1;
+using namespace risc1::core;
+
+TEST(E1_IsaTable, ListsAllThirtyOneInstructions)
+{
+    const std::string table = isaTable();
+    EXPECT_NE(table.find("31 instructions"), std::string::npos);
+    for (const char *mn : {"add", "ldhi", "callr", "ret", "stb",
+                           "getpsw", "jmpr"})
+        EXPECT_NE(table.find(mn), std::string::npos) << mn;
+}
+
+TEST(E2_WindowGeometry, ReportsPaperConfiguration)
+{
+    const std::string report = windowGeometryReport(8);
+    EXPECT_NE(report.find("138 physical registers"), std::string::npos);
+    EXPECT_NE(report.find("8 windows"), std::string::npos);
+}
+
+TEST(E3_CallOverhead, WindowsBeatStackFramesByAnOrderOfMagnitude)
+{
+    const auto rows = callOverhead(4, 500);
+    ASSERT_EQ(rows.size(), 5u);
+    for (const CallOverheadRow &row : rows) {
+        // RISC I: a few cycles, no data-memory traffic.
+        EXPECT_LE(row.riscCyclesPerCall, 16.0) << row.nargs;
+        EXPECT_EQ(row.riscMemPerCall, 0.0) << row.nargs;
+        // vax80: tens of cycles and real stack traffic.
+        EXPECT_GE(row.vaxCyclesPerCall, 40.0) << row.nargs;
+        EXPECT_GE(row.vaxMemPerCall, 8.0) << row.nargs;
+        EXPECT_GE(row.vaxCyclesPerCall / row.riscCyclesPerCall, 5.0)
+            << row.nargs;
+    }
+    // Cost grows with argument count on both machines.
+    EXPECT_GT(rows.back().vaxCyclesPerCall, rows.front().vaxCyclesPerCall);
+    EXPECT_GT(rows.back().riscCyclesPerCall,
+              rows.front().riscCyclesPerCall);
+}
+
+TEST(E4_CodeSize, RiscCodeIsLargerButBounded)
+{
+    const auto rows = codeSize();
+    ASSERT_EQ(rows.size(), workloads::allWorkloads().size());
+    double sum = 0;
+    for (const CodeSizeRow &row : rows) {
+        // The paper's band: RISC I code is bigger than the CISC's but
+        // by less than ~2x (they report <= ~1.5x vs VAX on average).
+        EXPECT_GE(row.riscOverVax, 0.8) << row.name;
+        EXPECT_LE(row.riscOverVax, 2.5) << row.name;
+        sum += row.riscOverVax;
+    }
+    const double avg = sum / static_cast<double>(rows.size());
+    EXPECT_GE(avg, 1.0);
+    EXPECT_LE(avg, 1.8);
+}
+
+TEST(E5_ExecTime, RiscWinsExceptOnHardwareMultiply)
+{
+    const auto rows = execTime();
+    unsigned wins = 0;
+    for (const ExecTimeRow &row : rows) {
+        EXPECT_TRUE(row.resultsMatch) << row.name;
+        if (row.speedup > 1.0)
+            ++wins;
+        if (row.name == "matmul" || row.name == "gcd") {
+            // The honest losses: vax80 multiplies/divides in
+            // microcode, RISC I in software subroutines (and gcd's
+            // triple-nested calls spill windows on top).
+            EXPECT_LT(row.speedup, 1.2) << row.name;
+        }
+        if (row.name == "hanoi" || row.name == "fibonacci" ||
+            row.name == "queens") {
+            // Call-dominated programs show the window advantage most:
+            // the paper's 2-4x band.
+            EXPECT_GE(row.speedup, 2.0) << row.name;
+            EXPECT_LE(row.speedup, 8.0) << row.name;
+        }
+    }
+    // RISC I wins the suite at large (all but the software-arithmetic
+    // programs).
+    EXPECT_GE(wins, rows.size() - 2);
+}
+
+TEST(E6_WindowSweep, OverflowFallsMonotonicallyWithWindows)
+{
+    const auto rows = windowSweep({2, 4, 8, 16});
+    ASSERT_EQ(rows.size(), 4u);
+    EXPECT_DOUBLE_EQ(rows[0].overflowPct, 100.0); // 2 windows: every call
+    for (size_t i = 1; i < rows.size(); ++i) {
+        EXPECT_LT(rows[i].overflowPct, rows[i - 1].overflowPct);
+        EXPECT_LT(rows[i].cycles, rows[i - 1].cycles);
+    }
+}
+
+TEST(E6_SyntheticTrace, EightWindowsCatchAlmostAllCalls)
+{
+    const auto rows = syntheticWindowSweep({2, 4, 6, 8, 12});
+    ASSERT_EQ(rows.size(), 5u);
+    EXPECT_DOUBLE_EQ(rows[0].overflowPct, 100.0);
+    for (size_t i = 1; i < rows.size(); ++i)
+        EXPECT_LE(rows[i].overflowPct, rows[i - 1].overflowPct);
+    // The paper's headline: ~1% overflow at 8 windows on C-like traces.
+    EXPECT_LE(rows[3].overflowPct, 2.0);
+    EXPECT_GT(rows[3].overflowPct, 0.0);
+    // The same trace replayed with more windows keeps the same calls.
+    EXPECT_EQ(rows[0].calls, rows[4].calls);
+}
+
+TEST(E7_MemTraffic, CiscMovesMoreDataWhereverCallsHappen)
+{
+    const auto rows = memTraffic();
+    for (const MemTrafficRow &row : rows) {
+        // gcd is the documented exception: its software division runs
+        // three call levels deep, so RISC I's own window spills exceed
+        // vax80's CALLS traffic there.
+        if (row.name == "gcd")
+            continue;
+        // The load/store-architecture floor: vax80 never does *less*
+        // data traffic than RISC I on the same algorithm...
+        EXPECT_GE(row.vaxDataAccesses, row.riscDataAccesses) << row.name;
+        // ...and the register windows crush it on recursive programs.
+        const auto *wl = workloads::findWorkload(row.name);
+        ASSERT_NE(wl, nullptr);
+        if (wl->recursive) {
+            EXPECT_GE(row.dataRatio, 1.3) << row.name;
+        }
+    }
+}
+
+TEST(E8_InstrMix, AluDominatesAndClassesAreComplete)
+{
+    const auto rows = instrMix();
+    for (const InstrMixRow &row : rows) {
+        const double sum = row.aluPct + row.loadPct + row.storePct +
+                           row.branchPct + row.callRetPct + row.miscPct;
+        EXPECT_NEAR(sum, 100.0, 0.1) << row.name;
+        EXPECT_GT(row.aluPct, 25.0) << row.name;
+        EXPECT_LT(row.loadPct + row.storePct, 60.0) << row.name;
+    }
+}
+
+TEST(E9_DelaySlots, FillingSavesCyclesWithoutChangingResults)
+{
+    const auto rows = delaySlots();
+    double filled_total = 0;
+    for (const DelaySlotRow &row : rows) {
+        EXPECT_LE(row.cyclesFilled, row.cyclesUnfilled) << row.name;
+        EXPECT_LE(row.filled, row.slots) << row.name;
+        filled_total += row.filled;
+    }
+    EXPECT_GT(filled_total, 0);
+}
+
+TEST(A1_WindowAblation, RemovingWindowsHurtsRecursivePrograms)
+{
+    const auto rows = windowAblation();
+    for (const WindowAblationRow &row : rows) {
+        EXPECT_GT(row.slowdown, 1.1) << row.name;
+        EXPECT_GT(row.extraMemAccesses, 0u) << row.name;
+    }
+}
+
+TEST(A2_Immediates, ThirteenBitFieldCoversAlmostEverything)
+{
+    const auto rows = immediateUsage();
+    for (const ImmediateRow &row : rows) {
+        // LDHI pairs are the rare case, as the paper's field-size
+        // choice predicts.
+        EXPECT_LE(row.ldhiPct, 25.0) << row.name;
+        EXPECT_GT(row.shortImmInsts, 0u) << row.name;
+    }
+}
+
+TEST(Tables, RenderersProduceRows)
+{
+    EXPECT_FALSE(codeSizeTable(codeSize()).empty());
+    EXPECT_FALSE(windowSweepTable(windowSweep({2, 8})).empty());
+    EXPECT_FALSE(
+        syntheticWindowSweepTable(syntheticWindowSweep({8})).empty());
+}
+
+} // namespace

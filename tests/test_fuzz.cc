@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Robustness fuzzing: garbage inputs must produce diagnostics or clean
+ * faults — never crashes, hangs, or panics. Deterministic seeds keep
+ * failures reproducible.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "isa/disasm.hh"
+#include "sim/cpu.hh"
+#include "support/rng.hh"
+#include "vax/cpu.hh"
+
+namespace {
+
+using namespace risc1;
+
+// ---- assembler fuzz -----------------------------------------------------
+
+/** Random printable garbage, newline-structured. */
+std::string
+garbageSource(Rng &rng)
+{
+    static const char charset[] =
+        "abcdefghijklmnopqrstuvwxyz0123456789 ,:()+-.#;\"'rx_";
+    std::string src;
+    const unsigned lines = 1 + static_cast<unsigned>(rng.below(30));
+    for (unsigned l = 0; l < lines; ++l) {
+        const unsigned len = static_cast<unsigned>(rng.below(60));
+        for (unsigned i = 0; i < len; ++i)
+            src += charset[rng.below(sizeof(charset) - 1)];
+        src += '\n';
+    }
+    return src;
+}
+
+/** Token-soup: syntactically plausible fragments in random orders. */
+std::string
+tokenSoup(Rng &rng)
+{
+    static const char *frags[] = {
+        "add",  "sub",   "ldl",   "stl",    "jmp",    "callr", "ret",
+        "mov",  "cmp",   "b",     "beq",    "halt",   "ldhi",  "push",
+        "r1",   "r31",   "r0",    "sp",     "ra",     "out3",  "alw",
+        "eq",   "(r2)4", "(r0)",  "0x1000", "-1",     "8191",  "-8192",
+        ".org", ".word", ".equ",  ".ascii", "\"hi\"", "label", "label:",
+        ",",    ":",     "hi13",  "lo13",   "(",      ")",     "+",
+        "1234", "'a'",   ".byte", "nop",
+    };
+    std::string src;
+    const unsigned lines = 1 + static_cast<unsigned>(rng.below(25));
+    for (unsigned l = 0; l < lines; ++l) {
+        const unsigned toks = static_cast<unsigned>(rng.below(7));
+        for (unsigned i = 0; i < toks; ++i) {
+            src += frags[rng.below(std::size(frags))];
+            src += rng.chance(1, 3) ? "" : " ";
+        }
+        src += '\n';
+    }
+    return src;
+}
+
+class AsmFuzz : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(AsmFuzz, GarbageNeverCrashes)
+{
+    Rng rng(GetParam() * 1337 + 1);
+    for (int i = 0; i < 300; ++i) {
+        assembler::AsmResult result =
+            assembler::assemble(garbageSource(rng));
+        // Either it assembled (unlikely) or produced diagnostics; both
+        // are fine — reaching here without crashing is the assertion.
+        if (!result.ok()) {
+            EXPECT_FALSE(result.errors.empty());
+        }
+    }
+}
+
+TEST_P(AsmFuzz, TokenSoupNeverCrashes)
+{
+    Rng rng(GetParam() * 7331 + 5);
+    for (int i = 0; i < 300; ++i) {
+        assembler::AsmResult result = assembler::assemble(tokenSoup(rng));
+        if (!result.ok()) {
+            EXPECT_FALSE(result.errors.empty());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AsmFuzz, ::testing::Range(uint64_t{0}, uint64_t{4}));
+
+// ---- simulator fuzz --------------------------------------------------------
+
+class CpuFuzz : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(CpuFuzz, RandomMemoryImagesStopCleanly)
+{
+    Rng rng(GetParam() * 97 + 11);
+    for (int trial = 0; trial < 40; ++trial) {
+        sim::CpuOptions opts;
+        opts.maxInstructions = 20000;
+        sim::Cpu cpu(opts);
+
+        assembler::Program empty;
+        empty.entry = 0x1000;
+        cpu.load(empty);
+        for (uint32_t addr = 0x1000; addr < 0x1400; addr += 4)
+            cpu.memory().poke32(addr, static_cast<uint32_t>(rng.next()));
+
+        auto result = cpu.run();
+        // Any stop reason is acceptable; crashing or hanging is not.
+        EXPECT_TRUE(result.reason == sim::StopReason::Halted ||
+                    result.reason == sim::StopReason::Fault ||
+                    result.reason == sim::StopReason::InstLimit);
+        if (result.reason == sim::StopReason::Fault) {
+            EXPECT_FALSE(result.message.empty());
+        }
+    }
+}
+
+TEST_P(CpuFuzz, RandomVaxImagesStopCleanly)
+{
+    Rng rng(GetParam() * 89 + 3);
+    for (int trial = 0; trial < 40; ++trial) {
+        vax::VaxCpuOptions opts;
+        opts.maxInstructions = 20000;
+        vax::VaxCpu cpu(opts);
+
+        vax::VaxProgram prog;
+        prog.base = 0x1000;
+        prog.entry = 0x1000;
+        prog.bytes.resize(1024);
+        for (auto &b : prog.bytes)
+            b = static_cast<uint8_t>(rng.next());
+        cpu.load(prog);
+
+        auto result = cpu.run();
+        EXPECT_TRUE(result.reason == sim::StopReason::Halted ||
+                    result.reason == sim::StopReason::Fault ||
+                    result.reason == sim::StopReason::InstLimit);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CpuFuzz, ::testing::Range(uint64_t{0}, uint64_t{3}));
+
+// ---- round-trip under fuzz ----------------------------------------------------
+
+TEST(DisasmFuzz, EveryWordEitherDecodesOrRendersAsData)
+{
+    Rng rng(2024);
+    for (int i = 0; i < 20000; ++i) {
+        const auto word = static_cast<uint32_t>(rng.next());
+        const isa::DecodeResult dec = isa::decode(word);
+        if (dec.ok) {
+            // Decodable words re-encode to themselves.
+            EXPECT_EQ(isa::encode(dec.inst), word);
+        }
+    }
+}
+
+} // namespace

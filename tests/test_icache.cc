@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Instruction-cache model tests: deterministic hit/miss behaviour,
+ * capacity and conflict effects, and monotone improvement with size on
+ * real fetch streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "sim/cpu.hh"
+#include "sim/icache.hh"
+#include "support/logging.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace risc1;
+using sim::ICacheConfig;
+using sim::ICacheModel;
+
+TEST(ICache, ColdMissThenHitsWithinLine)
+{
+    ICacheModel cache(ICacheConfig{64, 16, 4});
+    EXPECT_EQ(cache.access(0x1000), 4u); // cold
+    EXPECT_EQ(cache.access(0x1004), 0u); // same line
+    EXPECT_EQ(cache.access(0x100c), 0u);
+    EXPECT_EQ(cache.access(0x1010), 4u); // next line
+}
+
+TEST(ICache, ConflictsEvict)
+{
+    // 64B / 16B lines = 4 sets; 0x1000 and 0x1040 share set 0.
+    ICacheModel cache(ICacheConfig{64, 16, 4});
+    EXPECT_EQ(cache.access(0x1000), 4u);
+    EXPECT_EQ(cache.access(0x1040), 4u); // evicts
+    EXPECT_EQ(cache.access(0x1000), 4u); // miss again
+}
+
+TEST(ICache, FlushInvalidates)
+{
+    ICacheModel cache(ICacheConfig{64, 16, 4});
+    EXPECT_EQ(cache.access(0x2000), 4u);
+    EXPECT_EQ(cache.access(0x2000), 0u);
+    cache.flush();
+    EXPECT_EQ(cache.access(0x2000), 4u);
+}
+
+TEST(ICache, AddressZeroLineIsCacheableToo)
+{
+    ICacheModel cache(ICacheConfig{64, 16, 4});
+    EXPECT_EQ(cache.access(0x0), 4u);
+    EXPECT_EQ(cache.access(0x4), 0u); // tag scheme must not treat the
+                                      // zero line as always-invalid
+}
+
+TEST(ICache, RejectsBadGeometry)
+{
+    EXPECT_THROW(ICacheModel(ICacheConfig{100, 16, 4}), FatalError);
+    EXPECT_THROW(ICacheModel(ICacheConfig{64, 12, 4}), FatalError);
+    EXPECT_THROW(ICacheModel(ICacheConfig{16, 64, 4}), FatalError);
+}
+
+TEST(ICache, TightLoopFitsAndStreams)
+{
+    // A loop body well under 256B: after the first iteration, all hits.
+    assembler::Program prog = assembler::assembleOrDie(R"(
+_start: mov   100, r16
+loop:   subs  r16, 1, r16
+        add   r2, 1, r2
+        bne   loop
+        halt
+)");
+    sim::Cpu cpu;
+    cpu.load(prog);
+    ICacheModel cache(ICacheConfig{256, 16, 4});
+    while (!cpu.halted()) {
+        cache.access(cpu.pc());
+        cpu.step();
+    }
+    // Cold misses only: the loop occupies at most 2 lines.
+    EXPECT_LE(cache.stats().misses, 3u);
+    EXPECT_GT(cache.stats().accesses, 250u);
+    EXPECT_LT(cache.stats().missRate(), 0.02);
+}
+
+TEST(ICache, MissRateFallsMonotonicallyWithSizeOnRealCode)
+{
+    const auto *wl = workloads::findWorkload("i_quicksort");
+    ASSERT_NE(wl, nullptr);
+    assembler::Program prog = workloads::buildRisc(*wl,
+                                                   wl->defaultScale);
+    double prev = 1.0;
+    for (uint32_t size : {64u, 128u, 256u, 512u, 1024u}) {
+        sim::Cpu cpu;
+        cpu.load(prog);
+        ICacheModel cache(ICacheConfig{size, 16, 4});
+        while (!cpu.halted())
+            cache.access(cpu.pc()), cpu.step();
+        const double rate = cache.stats().missRate();
+        EXPECT_LE(rate, prev + 1e-12) << size;
+        prev = rate;
+    }
+    // A 1KB cache captures a quicksort almost entirely.
+    EXPECT_LT(prev, 0.01);
+}
+
+} // namespace

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * ISA-level tests: condition evaluation, the 31-entry opcode table,
+ * register names/aliases, window geometry invariants, encode/decode
+ * round trips, and the disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/condition.hh"
+#include "isa/disasm.hh"
+#include "isa/instruction.hh"
+#include "isa/opcode.hh"
+#include "isa/registers.hh"
+#include "support/rng.hh"
+
+namespace {
+
+using namespace risc1;
+using namespace risc1::isa;
+
+// ---- conditions -----------------------------------------------------------
+
+TEST(Cond, ReferenceSemantics)
+{
+    Flags f;
+    EXPECT_TRUE(condHolds(Cond::Alw, f));
+    EXPECT_FALSE(condHolds(Cond::Nev, f));
+
+    f = Flags{.z = true, .n = false, .v = false, .c = true}; // a == b
+    EXPECT_TRUE(condHolds(Cond::Eq, f));
+    EXPECT_TRUE(condHolds(Cond::Le, f));
+    EXPECT_TRUE(condHolds(Cond::Ge, f));
+    EXPECT_TRUE(condHolds(Cond::Los, f));
+    EXPECT_TRUE(condHolds(Cond::His, f));
+    EXPECT_FALSE(condHolds(Cond::Ne, f));
+    EXPECT_FALSE(condHolds(Cond::Lt, f));
+    EXPECT_FALSE(condHolds(Cond::Hi, f));
+
+    f = Flags{.z = false, .n = true, .v = false, .c = false}; // a < b
+    EXPECT_TRUE(condHolds(Cond::Lt, f));
+    EXPECT_TRUE(condHolds(Cond::Le, f));
+    EXPECT_TRUE(condHolds(Cond::Lo, f));
+    EXPECT_TRUE(condHolds(Cond::Mi, f));
+    EXPECT_FALSE(condHolds(Cond::Gt, f));
+    EXPECT_FALSE(condHolds(Cond::His, f));
+}
+
+/** Property: a condition and its negation partition every flag state. */
+class CondNegation : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(CondNegation, PartitionsFlagSpace)
+{
+    const auto cond = static_cast<Cond>(GetParam());
+    for (unsigned bits = 0; bits < 16; ++bits) {
+        Flags f{.z = (bits & 1) != 0,
+                .n = (bits & 2) != 0,
+                .v = (bits & 4) != 0,
+                .c = (bits & 8) != 0};
+        EXPECT_NE(condHolds(cond, f), condHolds(condNegate(cond), f))
+            << condName(cond) << " bits=" << bits;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConds, CondNegation,
+                         ::testing::Range(0u, 16u));
+
+TEST(Cond, NamesRoundTrip)
+{
+    for (unsigned i = 0; i < NumConds; ++i) {
+        const auto cond = static_cast<Cond>(i);
+        auto parsed = condFromName(condName(cond));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, cond);
+    }
+    EXPECT_FALSE(condFromName("xx").has_value());
+}
+
+// ---- opcode table -----------------------------------------------------------
+
+TEST(OpcodeTable, HasExactlyThirtyOne)
+{
+    unsigned count = 0;
+    opTable(count);
+    EXPECT_EQ(count, 31u);
+    EXPECT_EQ(count, NumOpcodes);
+}
+
+TEST(OpcodeTable, MnemonicLookupIsTotalAndUnique)
+{
+    unsigned count = 0;
+    const OpInfo *ops = opTable(count);
+    for (unsigned i = 0; i < count; ++i) {
+        const OpInfo *found = opInfoByMnemonic(ops[i].mnemonic);
+        ASSERT_NE(found, nullptr) << ops[i].mnemonic;
+        EXPECT_EQ(found->op, ops[i].op);
+        for (unsigned j = i + 1; j < count; ++j)
+            EXPECT_NE(ops[i].mnemonic, ops[j].mnemonic);
+    }
+    EXPECT_EQ(opInfoByMnemonic("frobnicate"), nullptr);
+}
+
+TEST(OpcodeTable, OnlySccCapableOpsAllowIt)
+{
+    unsigned count = 0;
+    const OpInfo *ops = opTable(count);
+    for (unsigned i = 0; i < count; ++i) {
+        const bool is_alu = ops[i].opClass == OpClass::Alu;
+        EXPECT_EQ(ops[i].mayScc, is_alu) << ops[i].mnemonic;
+    }
+}
+
+TEST(OpcodeTable, ValidityMatchesTable)
+{
+    unsigned valid = 0;
+    for (unsigned raw = 0; raw < 128; ++raw) {
+        if (isValidOpcode(static_cast<uint8_t>(raw)))
+            ++valid;
+    }
+    EXPECT_EQ(valid, NumOpcodes);
+}
+
+// ---- registers & window geometry ------------------------------------------------
+
+TEST(Registers, NamesAndAliases)
+{
+    EXPECT_EQ(regName(0), "r0");
+    EXPECT_EQ(regName(31), "r31");
+    EXPECT_EQ(regFromName("r17"), 17u);
+    EXPECT_EQ(regFromName("R17"), 17u);
+    EXPECT_EQ(regFromName("sp"), SpReg);
+    EXPECT_EQ(regFromName("ra"), RaReg);
+    EXPECT_EQ(regFromName("g3"), 3u);
+    EXPECT_EQ(regFromName("out0"), 10u);
+    EXPECT_EQ(regFromName("out5"), 15u);
+    EXPECT_EQ(regFromName("loc0"), 16u);
+    EXPECT_EQ(regFromName("loc9"), 25u);
+    EXPECT_EQ(regFromName("in0"), 26u);
+    EXPECT_EQ(regFromName("in5"), 31u);
+    EXPECT_FALSE(regFromName("r32").has_value());
+    EXPECT_FALSE(regFromName("out6").has_value());
+    EXPECT_FALSE(regFromName("g10").has_value());
+    EXPECT_FALSE(regFromName("zz").has_value());
+}
+
+/** Geometry invariants hold for every window count. */
+class WindowGeometry : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(WindowGeometry, PaperInvariants)
+{
+    WindowSpec spec;
+    spec.numWindows = GetParam();
+    const unsigned nwin = spec.numWindows;
+
+    EXPECT_EQ(spec.physCount(), NumGlobals + nwin * RegsPerWindow);
+
+    for (unsigned w = 0; w < nwin; ++w) {
+        // Globals map identically in every window.
+        for (unsigned r = 0; r < NumGlobals; ++r)
+            EXPECT_EQ(spec.physIndex(w, r), r);
+
+        // The defining overlap: HIGH(w) == LOW((w+1) % nwin).
+        const unsigned caller = (w + 1) % nwin;
+        for (unsigned i = 0; i < OverlapRegs; ++i) {
+            EXPECT_EQ(spec.physIndex(w, HighBase + i),
+                      spec.physIndex(caller, LowBase + i))
+                << "w=" << w << " i=" << i;
+        }
+
+        // LOW+LOCAL of a window never collide with each other.
+        std::set<unsigned> own;
+        for (unsigned r = LowBase; r < HighBase; ++r)
+            EXPECT_TRUE(own.insert(spec.physIndex(w, r)).second);
+
+        // Adjacent windows' fresh banks are disjoint.
+        for (unsigned r = LowBase; r < HighBase; ++r) {
+            for (unsigned r2 = LowBase; r2 < HighBase; ++r2) {
+                EXPECT_NE(spec.physIndex(w, r),
+                          spec.physIndex((w + 1) % nwin, r2));
+            }
+        }
+    }
+}
+
+TEST_P(WindowGeometry, DefaultMatchesPaper138)
+{
+    WindowSpec spec; // default 8 windows
+    EXPECT_EQ(spec.numWindows, 8u);
+    EXPECT_EQ(spec.physCount(), 138u);
+    (void)GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, WindowGeometry,
+                         ::testing::Values(2u, 3u, 4u, 6u, 8u, 12u,
+                                           16u));
+
+// ---- encode/decode -----------------------------------------------------------------
+
+TEST(Encoding, KnownPatterns)
+{
+    // add r0, r0, r0 (the NOP) must encode deterministically.
+    const uint32_t nop = encode(makeNop());
+    DecodeResult dec = decode(nop);
+    ASSERT_TRUE(dec.ok);
+    EXPECT_TRUE(isNop(dec.inst));
+
+    // Field placement of a representative instruction.
+    Instruction inst = makeRI(Opcode::Add, 5, -1, 17, true);
+    const uint32_t word = encode(inst);
+    EXPECT_EQ(word >> 25, static_cast<uint32_t>(Opcode::Add));
+    EXPECT_EQ((word >> 24) & 1, 1u);          // scc
+    EXPECT_EQ((word >> 19) & 0x1f, 17u);      // rd
+    EXPECT_EQ((word >> 14) & 0x1f, 5u);       // rs1
+    EXPECT_EQ((word >> 13) & 1, 1u);          // imm
+    EXPECT_EQ(word & 0x1fff, 0x1fffu);        // -1 in 13 bits
+}
+
+TEST(Encoding, RejectsIllegalWords)
+{
+    EXPECT_FALSE(decode(0xffffffffu).ok);           // opcode 0x7f
+    EXPECT_FALSE(decode(0).ok);                     // opcode 0
+    // scc bit on a load is illegal.
+    uint32_t word = encode(makeLoad(Opcode::Ldl, 1, 0, 2));
+    word |= 1u << 24;
+    EXPECT_FALSE(decode(word).ok);
+    // Register s2 field > 31 is illegal.
+    word = encode(makeRR(Opcode::Add, 1, 2, 3));
+    word |= 0x100; // set a high bit inside s2 with imm=0
+    EXPECT_FALSE(decode(word).ok);
+}
+
+/** Property: encode(decode(x)) == x over randomized legal instructions. */
+class EncodeRoundTrip : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(EncodeRoundTrip, RandomizedInstructions)
+{
+    unsigned count = 0;
+    const OpInfo *ops = opTable(count);
+    const OpInfo &info = ops[GetParam()];
+    Rng rng(GetParam() * 7919 + 13);
+
+    for (int i = 0; i < 300; ++i) {
+        Instruction inst;
+        inst.op = info.op;
+        inst.scc = info.mayScc && rng.chance(1, 2);
+        inst.rd = static_cast<uint8_t>(rng.below(32));
+        if (info.format == Format::LongImm) {
+            inst.imm19 = static_cast<int32_t>(
+                rng.range(-(1 << 18), (1 << 18) - 1));
+        } else {
+            inst.rs1 = static_cast<uint8_t>(rng.below(32));
+            inst.imm = rng.chance(1, 2);
+            if (inst.imm)
+                inst.simm13 =
+                    static_cast<int32_t>(rng.range(-4096, 4095));
+            else
+                inst.rs2 = static_cast<uint8_t>(rng.below(32));
+        }
+        const uint32_t word = encode(inst);
+        DecodeResult dec = decode(word);
+        ASSERT_TRUE(dec.ok) << dec.error;
+        EXPECT_EQ(dec.inst, inst);
+        EXPECT_EQ(encode(dec.inst), word);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, EncodeRoundTrip,
+                         ::testing::Range(0u, NumOpcodes));
+
+// ---- disassembler --------------------------------------------------------------------
+
+TEST(Disasm, RepresentativeFormats)
+{
+    EXPECT_EQ(disassembleWord(encode(makeNop())), "nop");
+    EXPECT_EQ(disassemble(makeRR(Opcode::Add, 1, 2, 3)),
+              "add      r1, r2, r3");
+    EXPECT_EQ(disassemble(makeRI(Opcode::Sub, 4, -7, 5, true)),
+              "subs     r4, -7, r5");
+    EXPECT_EQ(disassemble(makeLoad(Opcode::Ldl, 2, 8, 9)),
+              "ldl      (r2)8, r9");
+    EXPECT_EQ(disassemble(makeStore(Opcode::Stb, 7, 3, 1)),
+              "stb      r7, (r3)1");
+    EXPECT_EQ(disassemble(makeJmp(Cond::Eq, 6, 0)),
+              "jmp      eq, (r6)0");
+    EXPECT_EQ(disassemble(makeRet(25, 8)), "ret      (r25)8");
+    EXPECT_EQ(disassemble(makeLdhi(4, 0x12345)),
+              "ldhi     r4, 0x12345");
+}
+
+TEST(Disasm, RelativeTargetsShowAbsoluteAddress)
+{
+    const std::string text = disassemble(makeJmpr(Cond::Alw, 16), 0x1000);
+    EXPECT_NE(text.find("0x00001010"), std::string::npos);
+    const std::string call = disassemble(makeCallr(25, -32), 0x2000);
+    EXPECT_NE(call.find("0x00001fe0"), std::string::npos);
+}
+
+TEST(Disasm, IllegalWordsRenderAsData)
+{
+    EXPECT_EQ(disassembleWord(0xffffffffu), ".word    0xffffffff");
+}
+
+} // namespace

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Memory system tests: little-endian multi-byte access, alignment
+ * enforcement, sparse zero-fill, program loading and traffic counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "sim/fault.hh"
+#include "sim/memory.hh"
+
+namespace {
+
+using namespace risc1;
+using sim::Memory;
+using sim::SimFault;
+
+TEST(Memory, UnmappedReadsAsZero)
+{
+    Memory mem;
+    EXPECT_EQ(mem.read32(0x12345678 & ~3u), 0u);
+    EXPECT_EQ(mem.read8(0xffffffff), 0u);
+    EXPECT_EQ(mem.peek32(0x8000), 0u);
+}
+
+TEST(Memory, LittleEndianRoundTrips)
+{
+    Memory mem;
+    mem.write32(0x100, 0xdeadbeef);
+    EXPECT_EQ(mem.read8(0x100), 0xefu);
+    EXPECT_EQ(mem.read8(0x101), 0xbeu);
+    EXPECT_EQ(mem.read16(0x100), 0xbeefu);
+    EXPECT_EQ(mem.read16(0x102), 0xdeadu);
+    EXPECT_EQ(mem.read32(0x100), 0xdeadbeefu);
+
+    mem.write16(0x200, 0x1234);
+    EXPECT_EQ(mem.read8(0x200), 0x34u);
+    mem.write8(0x201, 0xff);
+    EXPECT_EQ(mem.read16(0x200), 0xff34u);
+}
+
+TEST(Memory, CrossesPageBoundaries)
+{
+    Memory mem;
+    const uint32_t addr = Memory::PageSize - 2;
+    mem.write16(addr, 0xabcd);
+    mem.write16(addr + 2, 0x1122);
+    EXPECT_EQ(mem.read32(addr & ~3u) != 0, true);
+    EXPECT_EQ(mem.read16(addr), 0xabcdu);
+    EXPECT_EQ(mem.read16(addr + 2), 0x1122u);
+}
+
+TEST(Memory, AlignmentFaults)
+{
+    Memory mem;
+    EXPECT_THROW(mem.read32(0x101), SimFault);
+    EXPECT_THROW(mem.read16(0x101), SimFault);
+    EXPECT_THROW(mem.write32(0x102, 1), SimFault);
+    EXPECT_THROW(mem.write16(0x103, 1), SimFault);
+    EXPECT_THROW(mem.fetch32(0x1002), SimFault);
+    EXPECT_NO_THROW(mem.read8(0x103));
+}
+
+TEST(Memory, TrafficCounters)
+{
+    Memory mem;
+    mem.write32(0x10, 1); // 1 write, 4 bytes
+    mem.write8(0x20, 2);  // 1 write, 1 byte
+    mem.read16(0x10);     // 1 read, 2 bytes
+    mem.fetch32(0x100);   // 1 fetch
+    mem.peek32(0x10);     // not counted
+    mem.poke8(0x30, 3);   // not counted
+
+    const sim::MemStats &stats = mem.stats();
+    EXPECT_EQ(stats.dataWrites, 2u);
+    EXPECT_EQ(stats.dataWriteBytes, 5u);
+    EXPECT_EQ(stats.dataReads, 1u);
+    EXPECT_EQ(stats.dataReadBytes, 2u);
+    EXPECT_EQ(stats.instFetches, 1u);
+    EXPECT_EQ(stats.totalAccesses(), 4u);
+
+    mem.countInstFetches(3);
+    EXPECT_EQ(mem.stats().instFetches, 4u);
+
+    mem.resetStats();
+    EXPECT_EQ(mem.stats().totalAccesses(), 0u);
+}
+
+TEST(Memory, LoadsProgramSegments)
+{
+    assembler::Program prog = assembler::assembleOrDie(R"(
+        .org 0x1000
+_start: nop
+        .org 0x3000
+data:   .word 0xcafef00d
+)");
+    Memory mem;
+    mem.loadProgram(prog);
+    EXPECT_EQ(mem.peek32(0x3000), 0xcafef00du);
+    EXPECT_NE(mem.peek32(0x1000), 0u);
+    EXPECT_EQ(mem.stats().totalAccesses(), 0u); // loader is uncounted
+}
+
+} // namespace

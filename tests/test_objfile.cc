@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Object-file round-trip tests: save/load identity, on-disk I/O,
+ * corruption rejection, and execution equivalence of reloaded images.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "asm/assembler.hh"
+#include "asm/objfile.hh"
+#include "sim/cpu.hh"
+#include "support/rng.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace risc1;
+using namespace risc1::assembler;
+
+Program
+sampleProgram()
+{
+    return assembleOrDie(R"(
+        .org  0x1000
+_start: mov   7, r16
+        stl   r16, (r0)256
+        halt
+        .org  0x3000
+tbl:    .word 1, 2, 3
+msg:    .asciz "hello"
+)");
+}
+
+TEST(ObjFile, RoundTripPreservesEverything)
+{
+    const Program original = sampleProgram();
+    LoadResult loaded = loadObject(saveObject(original));
+    ASSERT_TRUE(loaded.ok) << loaded.error;
+
+    EXPECT_EQ(loaded.program.entry, original.entry);
+    EXPECT_EQ(loaded.program.instructionCount,
+              original.instructionCount);
+    EXPECT_EQ(loaded.program.symbols, original.symbols);
+    ASSERT_EQ(loaded.program.segments.size(),
+              original.segments.size());
+    for (size_t i = 0; i < original.segments.size(); ++i) {
+        EXPECT_EQ(loaded.program.segments[i].base,
+                  original.segments[i].base);
+        EXPECT_EQ(loaded.program.segments[i].bytes,
+                  original.segments[i].bytes);
+    }
+}
+
+TEST(ObjFile, ReloadedImageExecutesIdentically)
+{
+    const auto *wl = workloads::findWorkload("fibonacci");
+    ASSERT_NE(wl, nullptr);
+    const Program original = workloads::buildRisc(*wl, wl->defaultScale);
+    LoadResult loaded = loadObject(saveObject(original));
+    ASSERT_TRUE(loaded.ok);
+
+    sim::Cpu a, b;
+    a.load(original);
+    b.load(loaded.program);
+    auto ra = a.run();
+    auto rb = b.run();
+    ASSERT_TRUE(ra.halted());
+    ASSERT_TRUE(rb.halted());
+    EXPECT_EQ(ra.instructions, rb.instructions);
+    EXPECT_EQ(a.memory().peek32(workloads::ResultAddr),
+              b.memory().peek32(workloads::ResultAddr));
+}
+
+TEST(ObjFile, DiskRoundTrip)
+{
+    const Program original = sampleProgram();
+    const std::string path = "/tmp/risc1_objfile_test.r1o";
+    writeObjectFile(original, path);
+    Program reloaded = readObjectFile(path);
+    EXPECT_EQ(reloaded.entry, original.entry);
+    EXPECT_EQ(reloaded.symbols, original.symbols);
+    std::remove(path.c_str());
+}
+
+TEST(ObjFile, RejectsGarbageAndTruncation)
+{
+    EXPECT_FALSE(loadObject({}).ok);
+    EXPECT_FALSE(loadObject({1, 2, 3, 4}).ok);
+
+    std::vector<uint8_t> good = saveObject(sampleProgram());
+    // Wrong magic.
+    std::vector<uint8_t> bad = good;
+    bad[0] ^= 0xff;
+    EXPECT_FALSE(loadObject(bad).ok);
+    // Every truncation point must be rejected, never crash.
+    for (size_t cut = 0; cut < good.size(); cut += 7) {
+        std::vector<uint8_t> trunc(good.begin(),
+                                   good.begin() +
+                                       static_cast<long>(cut));
+        EXPECT_FALSE(loadObject(trunc).ok) << cut;
+    }
+}
+
+TEST(ObjFile, FuzzedHeadersNeverCrash)
+{
+    Rng rng(0xfeed);
+    std::vector<uint8_t> good = saveObject(sampleProgram());
+    for (int i = 0; i < 500; ++i) {
+        std::vector<uint8_t> mutated = good;
+        const size_t hits = 1 + rng.below(8);
+        for (size_t h = 0; h < hits; ++h)
+            mutated[rng.below(mutated.size())] ^=
+                static_cast<uint8_t>(1 + rng.below(255));
+        LoadResult result = loadObject(mutated);
+        if (!result.ok) {
+            EXPECT_FALSE(result.error.empty());
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Delay-slot optimizer tests: the fill cases, every safety rule that
+ * must refuse a hoist, and end-to-end semantic preservation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "isa/disasm.hh"
+#include "sim/cpu.hh"
+
+namespace {
+
+using namespace risc1;
+using namespace risc1::assembler;
+
+/** Assemble with filling enabled and return the fill statistics. */
+SlotStats
+fillStats(const std::string &src)
+{
+    AsmResult result = assemble(src);
+    EXPECT_TRUE(result.ok()) << result.errorText();
+    return result.slotStats;
+}
+
+/** Disassembly of instruction `index` with filling enabled. */
+std::string
+filledInst(const std::string &src, unsigned index)
+{
+    AsmResult result = assemble(src);
+    EXPECT_TRUE(result.ok()) << result.errorText();
+    const uint32_t addr = 0x1000 + 4 * index;
+    return isa::disassembleWord(*result.program.wordAt(addr), addr);
+}
+
+TEST(Optimizer, HoistsAluIntoUnconditionalBranchSlot)
+{
+    const std::string src = R"(
+_start: nop
+        add  r2, 1, r2
+        b    _start
+)";
+    EXPECT_EQ(fillStats(src).filledSlots, 1u);
+    // Layout becomes: nop ; b ; add (in the slot).
+    EXPECT_EQ(filledInst(src, 1).substr(0, 4), "jmpr");
+    EXPECT_EQ(filledInst(src, 2), "add      r2, 1, r2");
+}
+
+TEST(Optimizer, HoistsLoadsAndStores)
+{
+    EXPECT_EQ(fillStats("_start: nop\n ldl (r2)0, r3\n b _start\n")
+                  .filledSlots,
+              1u);
+    EXPECT_EQ(fillStats("_start: nop\n stl r3, (r2)0\n b _start\n")
+                  .filledSlots,
+              1u);
+    EXPECT_EQ(fillStats("_start: nop\n ldhi r3, 5\n b _start\n")
+                  .filledSlots,
+              1u);
+}
+
+TEST(Optimizer, RefusesSccProducerBeforeConditionalBranch)
+{
+    // The branch consumes the flags the candidate would set.
+    const std::string src = R"(
+_start: cmp  r2, r3
+        beq  _start
+)";
+    EXPECT_EQ(fillStats(src).filledSlots, 0u);
+}
+
+TEST(Optimizer, AllowsSccProducerBeforeUnconditionalBranch)
+{
+    const std::string src = R"(
+_start: nop
+        adds r2, 1, r2
+        b    _start
+)";
+    EXPECT_EQ(fillStats(src).filledSlots, 1u);
+}
+
+TEST(Optimizer, RefusesWhenTransferReadsCandidateResult)
+{
+    // jmp's target register is written by the candidate.
+    const std::string src = R"(
+_start: nop
+        add  r2, 4, r2
+        jmp  alw, (r2)0
+)";
+    EXPECT_EQ(fillStats(src).filledSlots, 0u);
+}
+
+TEST(Optimizer, RefusesLabelledCandidateOrTransfer)
+{
+    // Jumping straight to `mid` must not start executing the add, so
+    // hoisting is refused. (Copy-from-target may still fill the slot —
+    // the assertions pin the *hoist* decision.)
+    EXPECT_EQ(fillStats(R"(
+_start: nop
+mid:    add  r2, 1, r2
+        b    _start
+)")
+                  .filledFromPred,
+              0u);
+    EXPECT_EQ(fillStats(R"(
+_start: add  r2, 1, r2
+lbl:    b    _start
+)")
+                  .filledFromPred,
+              0u);
+}
+
+TEST(Optimizer, CopiesTargetIntoAlwaysTakenSlots)
+{
+    // The hoist candidate sets flags? No — here the predecessor IS the
+    // branch's label, so hoisting is refused; copy-from-target takes
+    // over: the loop head is copied into the slot and the branch
+    // retargeted past it.
+    AsmResult result = assemble(R"(
+_start: clr  r16
+loop:   add  r16, 1, r16
+        cmp  r16, 10
+        beq  out
+        b    loop
+out:    stl  r16, (r0)512
+        halt
+)");
+    ASSERT_TRUE(result.ok()) << result.errorText();
+    EXPECT_GE(result.slotStats.filledFromTarget, 1u);
+
+    // And semantics hold.
+    sim::Cpu cpu;
+    cpu.load(result.program);
+    ASSERT_TRUE(cpu.run().halted());
+    EXPECT_EQ(cpu.memory().peek32(512), 10u);
+}
+
+TEST(Optimizer, RefusesTargetCopyOfNopsAndTransfers)
+{
+    // Target is a NOP: pointless, refused. Target is a branch: unsafe,
+    // refused.
+    EXPECT_EQ(fillStats(R"(
+_start: nop
+        b    _start
+)")
+                  .filledSlots,
+              0u);
+    EXPECT_EQ(fillStats(R"(
+_start: b    _start
+)")
+                  .filledSlots,
+              0u);
+}
+
+TEST(Optimizer, CallSlotOnlyTakesGlobalOnlyCandidates)
+{
+    // Window registers are renamed across CALL: refuse.
+    EXPECT_EQ(fillStats(R"(
+_start: nop
+        add  r16, 1, r16
+        call f
+f:      ret
+)")
+                  .filledSlots,
+              0u);
+    // Globals are shared across windows: allowed.
+    EXPECT_EQ(fillStats(R"(
+_start: nop
+        add  r2, 1, r2
+        call f
+f:      ret
+)")
+                  .filledSlots,
+              1u);
+}
+
+TEST(Optimizer, DoesNotStealAnEarlierFilledSlot)
+{
+    // After filling the first branch's slot, the moved instruction sits
+    // right after that branch; the second branch must not re-hoist it.
+    const std::string src = R"(
+_start: add  r2, 1, r2
+        b    one
+one:    b    two
+two:    halt
+)";
+    AsmResult result = assemble(src);
+    ASSERT_TRUE(result.ok());
+    // Only the first slot can be filled (second transfer is labelled
+    // anyway); semantics checked below in the execution tests.
+    EXPECT_LE(result.slotStats.filledSlots, 1u);
+}
+
+/**
+ * Semantic preservation: a flag-and-loop heavy program must compute
+ * the same result with the optimizer on and off.
+ */
+TEST(Optimizer, PreservesSemanticsOnBranchyCode)
+{
+    const std::string src = R"(
+_start: clr  r16
+        mov  25, r17
+loop:   add  r16, r17, r16
+        and  r16, 7, r18
+        cmp  r18, 3
+        bne  skip
+        add  r16, 100, r16
+skip:   subs r17, 1, r17
+        bne  loop
+        stl  r16, (r0)512
+        halt
+)";
+    auto run = [&](bool fill) {
+        AsmOptions opts;
+        opts.fillDelaySlots = fill;
+        sim::Cpu cpu;
+        cpu.load(assembleOrDie(src, opts));
+        EXPECT_TRUE(cpu.run().halted());
+        return cpu.memory().peek32(512);
+    };
+    const uint32_t with = run(true);
+    const uint32_t without = run(false);
+    EXPECT_EQ(with, without);
+    EXPECT_NE(with, 0u);
+}
+
+TEST(Optimizer, FilledProgramsRunFewerCycles)
+{
+    // The non-flag-setting add directly before `bne` is hoistable; the
+    // flags it tests come from the earlier subs and persist across it.
+    const std::string src = R"(
+_start: clr  r16
+        mov  200, r17
+loop:   subs r17, 1, r17
+        add  r16, r17, r16
+        bne  loop
+        halt
+)";
+    auto cycles = [&](bool fill) {
+        AsmOptions opts;
+        opts.fillDelaySlots = fill;
+        sim::Cpu cpu;
+        cpu.load(assembleOrDie(src, opts));
+        EXPECT_TRUE(cpu.run().halted());
+        return cpu.stats().cycles;
+    };
+    EXPECT_LT(cycles(true), cycles(false));
+}
+
+} // namespace

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Pipeline-model tests: the two-stage model must agree exactly with
+ * the TimingModel cost function (they describe the same machine); the
+ * three-stage model adds load-use interlocks only where a dependent
+ * consumer immediately follows a load.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "sim/pipeline.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace risc1;
+using assembler::assembleOrDie;
+
+assembler::AsmOptions
+noFill()
+{
+    assembler::AsmOptions opts;
+    opts.fillDelaySlots = false; // keep micro-tests' layout literal
+    return opts;
+}
+
+sim::PipelineStats
+runModel(const assembler::Program &prog, sim::PipelineVariant variant)
+{
+    sim::Cpu cpu;
+    cpu.load(prog);
+    sim::PipelineModel model(variant);
+    auto result = sim::runWithPipeline(cpu, model);
+    EXPECT_TRUE(result.halted()) << result.message;
+    return model.stats();
+}
+
+class TwoStageAgreement
+    : public ::testing::TestWithParam<workloads::Workload>
+{};
+
+TEST_P(TwoStageAgreement, MatchesTimingModelExactly)
+{
+    const auto &wl = GetParam();
+    assembler::Program prog = workloads::buildRisc(wl, wl.defaultScale);
+
+    sim::Cpu reference;
+    reference.load(prog);
+    auto ref_result = reference.run();
+    ASSERT_TRUE(ref_result.halted());
+
+    const sim::PipelineStats two =
+        runModel(prog, sim::PipelineVariant::TwoStage);
+    EXPECT_EQ(two.cycles, ref_result.cycles) << wl.name;
+    EXPECT_EQ(two.instructions, ref_result.instructions) << wl.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, TwoStageAgreement,
+    ::testing::ValuesIn(workloads::allWorkloads()),
+    [](const ::testing::TestParamInfo<workloads::Workload> &info) {
+        return info.param.name;
+    });
+
+TEST(ThreeStage, InterlocksOnlyOnImmediateLoadUse)
+{
+    // ldl ; dependent add  -> one interlock.
+    assembler::Program dependent = assembleOrDie(R"(
+_start: mov   64, r16
+        ldl   (r0)64, r17
+        add   r17, 1, r18
+        halt
+)",
+                                                 noFill());
+    const auto dep = runModel(dependent,
+                              sim::PipelineVariant::ThreeStage);
+    EXPECT_EQ(dep.loadUseInterlocks, 1u);
+
+    // ldl ; independent add ; consumer -> no interlock.
+    assembler::Program spaced = assembleOrDie(R"(
+_start: mov   64, r16
+        ldl   (r0)64, r17
+        add   r16, 1, r19
+        add   r17, 1, r18
+        halt
+)",
+                                              noFill());
+    const auto far = runModel(spaced, sim::PipelineVariant::ThreeStage);
+    EXPECT_EQ(far.loadUseInterlocks, 0u);
+}
+
+TEST(ThreeStage, StoreAfterLoadInterlocksOnDatum)
+{
+    // The store reads the just-loaded value as its datum.
+    assembler::Program prog = assembleOrDie(R"(
+_start: ldl   (r0)64, r17
+        stl   r17, (r0)68
+        halt
+)",
+                                            noFill());
+    const auto stats = runModel(prog, sim::PipelineVariant::ThreeStage);
+    EXPECT_EQ(stats.loadUseInterlocks, 1u);
+}
+
+TEST(ThreeStage, ShorterCycleWinsDespiteInterlocks)
+{
+    // On the whole suite, the 3-stage time at its shorter cycle should
+    // beat the 2-stage time for most programs.
+    unsigned faster = 0;
+    const auto &suite = workloads::allWorkloads();
+    for (const auto &wl : suite) {
+        assembler::Program prog =
+            workloads::buildRisc(wl, wl.defaultScale);
+        const auto two = runModel(prog, sim::PipelineVariant::TwoStage);
+        const auto three = runModel(prog,
+                                    sim::PipelineVariant::ThreeStage);
+        EXPECT_GE(three.cycles, two.cycles) << wl.name;
+        if (three.timeUs() < two.timeUs())
+            ++faster;
+    }
+    EXPECT_GE(faster, suite.size() - 1);
+}
+
+TEST(PipelineRun, FaultsPropagate)
+{
+    assembler::Program prog = assembleOrDie("_start: .word 0xffffffff\n");
+    sim::Cpu cpu;
+    cpu.load(prog);
+    sim::PipelineModel model(sim::PipelineVariant::TwoStage);
+    auto result = sim::runWithPipeline(cpu, model);
+    EXPECT_EQ(result.reason, sim::StopReason::Fault);
+}
+
+} // namespace

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Integration tests over the sample programs in programs/: every .s
+ * assembles and runs to a halt with the documented result; every .tc
+ * compiles and agrees across both machines.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "asm/assembler.hh"
+#include "cc/compiler.hh"
+#include "sim/cpu.hh"
+#include "vax/cpu.hh"
+
+namespace {
+
+using namespace risc1;
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path << " (run tests from the repo root "
+                              "or build dir)";
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** programs/ relative to the test binary (build/tests/..). */
+std::string
+programsDir()
+{
+    for (const char *candidate :
+         {"programs", "../programs", "../../programs"}) {
+        std::ifstream probe(std::string(candidate) + "/factorial.s");
+        if (probe.good())
+            return candidate;
+    }
+    return "programs";
+}
+
+TEST(Programs, FactorialAssemblesAndComputes)
+{
+    sim::Cpu cpu;
+    cpu.load(assembler::assembleOrDie(
+        slurp(programsDir() + "/factorial.s")));
+    auto result = cpu.run();
+    ASSERT_TRUE(result.halted()) << result.message;
+    EXPECT_EQ(cpu.memory().peek32(3840), 3628800u); // 10!
+}
+
+TEST(Programs, MemdumpAssemblesAndHalts)
+{
+    sim::Cpu cpu;
+    cpu.load(assembler::assembleOrDie(
+        slurp(programsDir() + "/memdump.s")));
+    auto result = cpu.run();
+    ASSERT_TRUE(result.halted()) << result.message;
+    EXPECT_NE(cpu.memory().peek32(3840), 0u);
+}
+
+/** Run a .tc file on both machines; they must agree. */
+uint32_t
+bothMachines(const std::string &path)
+{
+    const std::string src = slurp(path);
+    cc::RiscCompileResult risc_cc = cc::compileToRiscAsm(src);
+    EXPECT_TRUE(risc_cc.ok) << risc_cc.error;
+    cc::VaxCompileResult vax_cc = cc::compileToVax(src);
+    EXPECT_TRUE(vax_cc.ok) << vax_cc.error;
+
+    sim::Cpu risc;
+    risc.load(assembler::assembleOrDie(risc_cc.assembly));
+    EXPECT_TRUE(risc.run().halted());
+    vax::VaxCpu vaxc;
+    vaxc.load(vax_cc.program);
+    EXPECT_TRUE(vaxc.run().halted());
+
+    const uint32_t a = risc.memory().peek32(cc::CcResultAddr);
+    const uint32_t b = vaxc.memory().peek32(cc::CcResultAddr);
+    EXPECT_EQ(a, b) << path;
+    return a;
+}
+
+TEST(Programs, CollatzAgreesAcrossMachines)
+{
+    // Longest chain below 400 starts at 327 with 143 steps.
+    EXPECT_EQ(bothMachines(programsDir() + "/collatz.tc"),
+              327u * 1000 + 143);
+}
+
+TEST(Programs, HanoiAgreesAcrossMachines)
+{
+    EXPECT_EQ(bothMachines(programsDir() + "/hanoi.tc"), 4095u);
+}
+
+} // namespace

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Windowed register-file tests: zero register, window isolation, the
+ * LOW/HIGH overlap, and the spill-unit mapping (frameSlotPhys) that
+ * the window traps depend on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/regfile.hh"
+
+namespace {
+
+using namespace risc1;
+using sim::RegisterFile;
+
+isa::WindowSpec
+spec(unsigned nwin)
+{
+    isa::WindowSpec s;
+    s.numWindows = nwin;
+    return s;
+}
+
+TEST(RegFile, ZeroRegisterIsImmutable)
+{
+    RegisterFile regs(spec(8));
+    regs.write(0, isa::ZeroReg, 0xffffffff);
+    EXPECT_EQ(regs.read(0, isa::ZeroReg), 0u);
+}
+
+TEST(RegFile, GlobalsSharedAcrossWindows)
+{
+    RegisterFile regs(spec(8));
+    regs.write(0, 5, 777);
+    for (unsigned w = 0; w < 8; ++w)
+        EXPECT_EQ(regs.read(w, 5), 777u);
+}
+
+TEST(RegFile, LocalsIsolatedBetweenWindows)
+{
+    RegisterFile regs(spec(8));
+    regs.write(3, 20, 111);
+    regs.write(4, 20, 222);
+    EXPECT_EQ(regs.read(3, 20), 111u);
+    EXPECT_EQ(regs.read(4, 20), 222u);
+}
+
+TEST(RegFile, OverlapCarriesParameters)
+{
+    RegisterFile regs(spec(8));
+    // Caller in window 3 writes out2 (r12); callee (window 2 after the
+    // CALL decrement) reads in2 (r28).
+    regs.write(3, 12, 42);
+    EXPECT_EQ(regs.read(2, 28), 42u);
+    // And the callee's reply flows back.
+    regs.write(2, 26, 99);
+    EXPECT_EQ(regs.read(3, 10), 99u);
+}
+
+class FrameSlots : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(FrameSlots, SpillUnitAvoidsResidentSharing)
+{
+    const unsigned nwin = GetParam();
+    RegisterFile regs(spec(nwin));
+
+    for (unsigned w = 0; w < nwin; ++w) {
+        // The 16 spill slots are distinct physical registers...
+        std::set<unsigned> slots;
+        for (unsigned s = 0; s < isa::RegsPerWindow; ++s)
+            EXPECT_TRUE(slots.insert(regs.frameSlotPhys(w, s)).second);
+
+        // ...covering exactly LOCAL(w) and HIGH(w).
+        for (unsigned r = isa::LocalBase; r < isa::HighBase; ++r)
+            EXPECT_TRUE(slots.count(regs.spec().physIndex(w, r)))
+                << "w=" << w << " r=" << r;
+        for (unsigned r = isa::HighBase; r < isa::NumVisibleRegs; ++r)
+            EXPECT_TRUE(slots.count(regs.spec().physIndex(w, r)))
+                << "w=" << w << " r=" << r;
+
+        // ...and never touching the LOW registers shared with the
+        // window's resident callee (window w-1's HIGH).
+        for (unsigned r = isa::LowBase; r < isa::LocalBase; ++r)
+            EXPECT_FALSE(slots.count(regs.spec().physIndex(w, r)))
+                << "w=" << w << " r=" << r;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, FrameSlots,
+                         ::testing::Values(2u, 4u, 8u, 16u));
+
+TEST(RegFile, ClearZeroesEverything)
+{
+    RegisterFile regs(spec(4));
+    regs.write(1, 17, 5);
+    regs.write(0, 9, 6);
+    regs.clear();
+    EXPECT_EQ(regs.read(1, 17), 0u);
+    EXPECT_EQ(regs.read(0, 9), 0u);
+}
+
+} // namespace

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Runtime-library tests: every routine against its host oracle over
+ * randomized inputs (differential property tests), plus the memory and
+ * string routines on concrete buffers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "sim/cpu.hh"
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "workloads/rtlib.hh"
+
+namespace {
+
+using namespace risc1;
+using namespace risc1::workloads;
+
+/** Call a 2-arg rtlib routine and return what the caller sees in r10. */
+uint32_t
+call2(const std::string &routine, uint32_t a, uint32_t b)
+{
+    const std::string src = strprintf(R"(
+_start: mov   0x%x, r10
+        mov   0x%x, r11
+        call  %s
+        stl   r10, (r0)512
+        halt
+%s)",
+                                      a, b, routine.c_str(),
+                                      rtlib::sources({routine}).c_str());
+    sim::Cpu cpu;
+    cpu.load(assembler::assembleOrDie(src));
+    auto result = cpu.run();
+    EXPECT_TRUE(result.halted()) << routine << ": " << result.message;
+    return cpu.memory().peek32(512);
+}
+
+TEST(Rtlib, RegistryIsConsistent)
+{
+    EXPECT_GE(rtlib::allRoutines().size(), 7u);
+    EXPECT_NE(rtlib::findRoutine("mul32"), nullptr);
+    EXPECT_EQ(rtlib::findRoutine("fsqrt"), nullptr);
+    // Wrappers pull in their dependency exactly once.
+    const std::string src = rtlib::sources({"udiv32", "umod32"});
+    EXPECT_NE(src.find("udivmod32:"), std::string::npos);
+    EXPECT_EQ(src.find("udivmod32:"), src.rfind("udivmod32:"));
+}
+
+TEST(Rtlib, MulKnownValues)
+{
+    EXPECT_EQ(call2("mul32", 0, 1234), 0u);
+    EXPECT_EQ(call2("mul32", 7, 6), 42u);
+    EXPECT_EQ(call2("mul32", 0xffffffff, 2), 0xfffffffeu);
+    EXPECT_EQ(call2("mul32", 65536, 65536), 0u); // mod 2^32
+}
+
+TEST(Rtlib, DivModKnownValues)
+{
+    EXPECT_EQ(call2("udiv32", 100, 7), 14u);
+    EXPECT_EQ(call2("umod32", 100, 7), 2u);
+    EXPECT_EQ(call2("udiv32", 5, 9), 0u);
+    EXPECT_EQ(call2("umod32", 5, 9), 5u);
+    EXPECT_EQ(call2("udiv32", 0xffffffff, 1), 0xffffffffu);
+    EXPECT_EQ(call2("udiv32", 0x80000000, 2), 0x40000000u);
+}
+
+class RtlibDifferential : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(RtlibDifferential, MulDivModMatchHostOnRandomInputs)
+{
+    Rng rng(GetParam() * 10007 + 3);
+    for (int i = 0; i < 12; ++i) {
+        const auto a = static_cast<uint32_t>(rng.next());
+        auto b = static_cast<uint32_t>(rng.next());
+        // Mix in small operands (fast common case).
+        const uint32_t a2 = i % 2 ? a : a & 0xffff;
+        if (i % 3 == 0)
+            b &= 0xff;
+        if (b == 0)
+            b = 1;
+        EXPECT_EQ(call2("mul32", a2, b), rtlib::hostMul32(a2, b));
+        EXPECT_EQ(call2("udiv32", a2, b), rtlib::hostUdiv32(a2, b));
+        EXPECT_EQ(call2("umod32", a2, b), rtlib::hostUmod32(a2, b));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RtlibDifferential,
+                         ::testing::Values(uint64_t{1}, uint64_t{2},
+                                           uint64_t{3}));
+
+TEST(Rtlib, MemcpyMovesBytesExactly)
+{
+    const std::string src = strprintf(R"(
+_start: mov   dst, r10
+        mov   src_d, r11
+        mov   11, r12
+        call  memcpy
+        halt
+src_d:  .asciz "hello byte"
+        .align 4
+dst:    .space 16
+%s)",
+                                      rtlib::sources({"memcpy"}).c_str());
+    assembler::Program prog = assembler::assembleOrDie(src);
+    sim::Cpu cpu;
+    cpu.load(prog);
+    ASSERT_TRUE(cpu.run().halted());
+    const uint32_t dst = *prog.symbol("dst");
+    const uint32_t src_a = *prog.symbol("src_d");
+    for (unsigned i = 0; i < 11; ++i)
+        EXPECT_EQ(cpu.memory().peek8(dst + i),
+                  cpu.memory().peek8(src_a + i));
+    EXPECT_EQ(cpu.memory().peek8(dst + 11), 0u); // untouched tail
+}
+
+TEST(Rtlib, MemsetFillsRange)
+{
+    const std::string src = strprintf(R"(
+_start: mov   dst, r10
+        mov   0xAB, r11
+        mov   8, r12
+        call  memset
+        halt
+        .align 4
+dst:    .space 12
+%s)",
+                                      rtlib::sources({"memset"}).c_str());
+    assembler::Program prog = assembler::assembleOrDie(src);
+    sim::Cpu cpu;
+    cpu.load(prog);
+    ASSERT_TRUE(cpu.run().halted());
+    const uint32_t dst = *prog.symbol("dst");
+    for (unsigned i = 0; i < 8; ++i)
+        EXPECT_EQ(cpu.memory().peek8(dst + i), 0xABu);
+    EXPECT_EQ(cpu.memory().peek8(dst + 8), 0u);
+}
+
+TEST(Rtlib, StrlenCountsToNul)
+{
+    const std::string src = strprintf(R"(
+_start: mov   text, r10
+        call  strlen
+        stl   r10, (r0)512
+        halt
+text:   .asciz "window"
+%s)",
+                                      rtlib::sources({"strlen"}).c_str());
+    sim::Cpu cpu;
+    cpu.load(assembler::assembleOrDie(src));
+    ASSERT_TRUE(cpu.run().halted());
+    EXPECT_EQ(cpu.memory().peek32(512), 6u);
+}
+
+TEST(Rtlib, RoutinesAreWindowClean)
+{
+    // Calling a routine must not disturb the caller's locals/globals.
+    const std::string src = strprintf(R"(
+_start: mov   111, r2        ; global
+        mov   222, r16       ; local
+        mov   1234, r10
+        mov   77, r11
+        call  mul32
+        stl   r2, (r0)512
+        stl   r16, (r0)516
+        halt
+%s)",
+                                      rtlib::sources({"mul32"}).c_str());
+    sim::Cpu cpu;
+    cpu.load(assembler::assembleOrDie(src));
+    ASSERT_TRUE(cpu.run().halted());
+    EXPECT_EQ(cpu.memory().peek32(512), 111u);
+    EXPECT_EQ(cpu.memory().peek32(516), 222u);
+}
+
+} // namespace

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Checkpoint/restore tests: a restored machine must continue exactly
+ * as the original — including mid-recursion, mid-delay-slot, and with
+ * the window save stack in play.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cpu.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace risc1;
+using workloads::Workload;
+
+/** Run `cpu` to completion and return (result word, cycles). */
+std::pair<uint32_t, uint64_t>
+finish(sim::Cpu &cpu)
+{
+    auto result = cpu.run();
+    EXPECT_TRUE(result.halted()) << result.message;
+    return {cpu.memory().peek32(workloads::ResultAddr), result.cycles};
+}
+
+class SnapshotResume : public ::testing::TestWithParam<Workload>
+{};
+
+TEST_P(SnapshotResume, MidRunCheckpointContinuesIdentically)
+{
+    const Workload &wl = GetParam();
+    assembler::Program prog = workloads::buildRisc(wl, wl.defaultScale);
+
+    // Reference: straight run.
+    sim::Cpu reference;
+    reference.load(prog);
+    const auto [ref_result, ref_cycles] = finish(reference);
+
+    // Checkpointed: run 1/3 of the way, snapshot, trash the machine,
+    // restore, finish.
+    sim::Cpu cpu;
+    cpu.load(prog);
+    const uint64_t pause = reference.stats().instructions / 3 + 1;
+    while (cpu.stats().instructions < pause && !cpu.halted())
+        cpu.step();
+    const sim::Snapshot snap = cpu.snapshot();
+
+    // Perturb everything the snapshot should shield us from.
+    cpu.setReg(16, 0xdeadbeef);
+    cpu.memory().poke32(workloads::ResultAddr, 0x55555555);
+    cpu.setPc(0x1000);
+
+    cpu.restore(snap);
+    const auto [result, cycles] = finish(cpu);
+
+    EXPECT_EQ(result, ref_result) << wl.name;
+    EXPECT_EQ(result, wl.expected(wl.defaultScale)) << wl.name;
+    EXPECT_EQ(cycles, ref_cycles) << wl.name;
+    EXPECT_EQ(cpu.stats().instructions, reference.stats().instructions)
+        << wl.name;
+    EXPECT_EQ(cpu.stats().windowOverflows,
+              reference.stats().windowOverflows)
+        << wl.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RecursiveSuite, SnapshotResume,
+    ::testing::ValuesIn([] {
+        std::vector<Workload> picks;
+        for (const Workload &wl : workloads::allWorkloads()) {
+            if (wl.recursive)
+                picks.push_back(wl);
+        }
+        return picks;
+    }()),
+    [](const ::testing::TestParamInfo<Workload> &info) {
+        return info.param.name;
+    });
+
+TEST(Snapshot, CapturesDelaySlotState)
+{
+    // Snapshot immediately after a taken branch (slot in flight): the
+    // restored machine must still execute the slot then the target.
+    assembler::Program prog = assembler::assembleOrDie(R"(
+_start: b     over
+        add   r16, 1, r16     ; slot
+        add   r16, 100, r16   ; skipped
+over:   add   r16, 10, r16
+        stl   r16, (r0)512
+        halt
+        nop                   ; halt's delay slot (explicit mode)
+)",
+                                                       [] {
+        assembler::AsmOptions opts;
+        opts.autoDelaySlots = false;
+        return opts;
+    }());
+    sim::Cpu cpu;
+    cpu.load(prog);
+    cpu.step(); // the branch executes; slot is next
+    const sim::Snapshot snap = cpu.snapshot();
+
+    sim::Cpu other;
+    other.load(prog);
+    other.restore(snap);
+    ASSERT_TRUE(other.run().halted());
+    EXPECT_EQ(other.memory().peek32(512), 11u);
+}
+
+TEST(Snapshot, RoundTripsIdleState)
+{
+    sim::Cpu cpu;
+    cpu.load(assembler::assembleOrDie("_start: halt\n"));
+    const sim::Snapshot snap = cpu.snapshot();
+    cpu.setReg(5, 99);
+    cpu.restore(snap);
+    EXPECT_EQ(cpu.reg(5), 0u);
+    EXPECT_EQ(cpu.pc(), 0x1000u);
+}
+
+} // namespace

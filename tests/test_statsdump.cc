@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Statistics-dump formatting tests: line shape, prefixing, value
+ * fidelity against a real run on each machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "asm/assembler.hh"
+#include "sim/cpu.hh"
+#include "support/logging.hh"
+#include "sim/statsdump.hh"
+#include "vax/statsdump.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace risc1;
+
+TEST(StatsDump, LineFormat)
+{
+    const std::string line = sim::statsLine("risc1", "cycles", 42,
+                                            "machine cycles");
+    EXPECT_NE(line.find("risc1.cycles"), std::string::npos);
+    EXPECT_NE(line.find("42"), std::string::npos);
+    EXPECT_NE(line.find("# machine cycles"), std::string::npos);
+    EXPECT_EQ(line.back(), '\n');
+
+    // Fractions keep four digits.
+    const std::string frac = sim::statsLine("x", "cpi", 1.25, "c");
+    EXPECT_NE(frac.find("1.2500"), std::string::npos);
+}
+
+TEST(StatsDump, RiscDumpMatchesRun)
+{
+    sim::Cpu cpu;
+    cpu.load(assembler::assembleOrDie(R"(
+_start: mov  5, r16
+loop:   subs r16, 1, r16
+        bne  loop
+        halt
+)"));
+    ASSERT_TRUE(cpu.run().halted());
+    const std::string dump = sim::formatStats(cpu.stats());
+    EXPECT_NE(dump.find(strprintf(
+                  "%llu", static_cast<unsigned long long>(
+                              cpu.stats().instructions))),
+              std::string::npos);
+    EXPECT_NE(dump.find("risc1.window_overflows"), std::string::npos);
+    EXPECT_NE(dump.find("risc1.branches_taken"), std::string::npos);
+    // Custom prefix propagates.
+    EXPECT_NE(sim::formatStats(cpu.stats(), "abc").find("abc.cycles"),
+              std::string::npos);
+}
+
+TEST(StatsDump, VaxDumpMatchesRun)
+{
+    const auto *wl = workloads::findWorkload("fibonacci");
+    ASSERT_NE(wl, nullptr);
+    vax::VaxCpu cpu;
+    cpu.load(wl->buildVax(6));
+    ASSERT_TRUE(cpu.run().halted());
+    const std::string dump = vax::formatStats(cpu.stats());
+    EXPECT_NE(dump.find("vax80.calls"), std::string::npos);
+    EXPECT_NE(dump.find("vax80.saved_regs"), std::string::npos);
+    EXPECT_NE(dump.find(strprintf(
+                  "%llu", static_cast<unsigned long long>(
+                              cpu.stats().calls))),
+              std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests of the support substrate: bit utilities, string parsing,
+ * formatting, and the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/bits.hh"
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "support/strings.hh"
+
+namespace {
+
+using namespace risc1;
+
+// ---- bits ----------------------------------------------------------------
+
+TEST(Bits, MaskWidths)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(13), 0x1fffu);
+    EXPECT_EQ(mask(32), 0xffffffffu);
+    EXPECT_EQ(mask(64), ~uint64_t{0});
+}
+
+TEST(Bits, ExtractAndInsert)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 31, 16), 0xdeadu);
+    EXPECT_EQ(bits(0xdeadbeef, 15, 0), 0xbeefu);
+    EXPECT_EQ(bits(0xff, 3, 3), 1u);
+    EXPECT_TRUE(bit(0x80000000u, 31));
+    EXPECT_FALSE(bit(0x7fffffffu, 31));
+
+    uint64_t word = 0;
+    word = insertBits(word, 31, 25, 0x12);
+    EXPECT_EQ(bits(word, 31, 25), 0x12u);
+    word = insertBits(word, 12, 0, 0x1abc);
+    EXPECT_EQ(bits(word, 12, 0), 0x1abcu);
+    // Oversized field is truncated to the slot.
+    word = insertBits(word, 4, 0, 0xfff);
+    EXPECT_EQ(bits(word, 4, 0), 0x1fu);
+}
+
+/** Property: sext/fitsSigned agree over a sweep of widths and values. */
+class SextProperty : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(SextProperty, RoundTripsInRangeValues)
+{
+    const unsigned width = GetParam();
+    const int64_t lo = -(int64_t{1} << (width - 1));
+    const int64_t hi = (int64_t{1} << (width - 1)) - 1;
+    Rng rng(width);
+    for (int i = 0; i < 200; ++i) {
+        const int64_t value = rng.range(lo, hi);
+        EXPECT_TRUE(fitsSigned(value, width));
+        EXPECT_EQ(sext(static_cast<uint64_t>(value) & mask(width), width),
+                  value);
+    }
+    EXPECT_FALSE(fitsSigned(hi + 1, width));
+    EXPECT_FALSE(fitsSigned(lo - 1, width));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SextProperty,
+                         ::testing::Values(2u, 5u, 8u, 13u, 16u, 19u,
+                                           24u, 32u));
+
+TEST(Bits, FitsUnsigned)
+{
+    EXPECT_TRUE(fitsUnsigned(0, 1));
+    EXPECT_TRUE(fitsUnsigned(8191, 13));
+    EXPECT_FALSE(fitsUnsigned(8192, 13));
+}
+
+TEST(Bits, Pow2AndRounding)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(4096));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(12));
+    EXPECT_EQ(roundUp(13, 4), 16u);
+    EXPECT_EQ(roundUp(16, 4), 16u);
+}
+
+// ---- strings ---------------------------------------------------------------
+
+TEST(Strings, TrimAndSplit)
+{
+    EXPECT_EQ(trim("  x y  "), "x y");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim(" \t\n"), "");
+    auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[2], "");
+}
+
+TEST(Strings, CaseHelpers)
+{
+    EXPECT_EQ(toLower("AdD"), "add");
+    EXPECT_EQ(toUpper("sub"), "SUB");
+    EXPECT_TRUE(iequals("LDHI", "ldhi"));
+    EXPECT_FALSE(iequals("ld", "ldl"));
+}
+
+TEST(Strings, ParseIntBases)
+{
+    EXPECT_EQ(parseInt("42"), 42);
+    EXPECT_EQ(parseInt("-42"), -42);
+    EXPECT_EQ(parseInt("0x1F"), 31);
+    EXPECT_EQ(parseInt("0b1010"), 10);
+    EXPECT_EQ(parseInt("0o17"), 15);
+    EXPECT_EQ(parseInt("'A'"), 65);
+    EXPECT_EQ(parseInt("'\\n'"), 10);
+    EXPECT_EQ(parseInt("-'a'"), -97);
+}
+
+TEST(Strings, ParseIntRejectsMalformed)
+{
+    EXPECT_FALSE(parseInt("").has_value());
+    EXPECT_FALSE(parseInt("12x").has_value());
+    EXPECT_FALSE(parseInt("0x").has_value());
+    EXPECT_FALSE(parseInt("--3").has_value());
+    EXPECT_FALSE(parseInt("'ab'").has_value());
+    EXPECT_FALSE(parseInt("99999999999999999999").has_value());
+}
+
+// ---- logging -----------------------------------------------------------------
+
+TEST(Logging, StrprintfFormats)
+{
+    EXPECT_EQ(strprintf("x=%d %s", 5, "y"), "x=5 y");
+    EXPECT_EQ(strprintf("%08x", 0x1234u), "00001234");
+}
+
+TEST(Logging, FatalThrowsWithMessage)
+{
+    try {
+        fatal("bad %s: %d", "thing", 7);
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_EQ(e.message(), "bad thing: 7");
+    }
+}
+
+// ---- rng ------------------------------------------------------------------------
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, RangeStaysInBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const int64_t value = rng.range(-5, 17);
+        EXPECT_GE(value, -5);
+        EXPECT_LE(value, 17);
+    }
+}
+
+} // namespace

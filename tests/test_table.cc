@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Table renderer tests: alignment, numeric right-justification, header
+ * rule, and the cell helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/table.hh"
+
+namespace {
+
+using namespace risc1::core;
+
+TEST(Table, AlignsColumnsAndRightJustifiesNumbers)
+{
+    Table table({"name", "value"});
+    table.row({"alpha", "7"});
+    table.row({"b", "1234"});
+    const std::string out = table.str();
+
+    // Header, rule, two rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+    // The rule is dashes spanning the width.
+    EXPECT_NE(out.find("-----"), std::string::npos);
+    // Numbers right-align: "7" is padded to the width of "value".
+    EXPECT_NE(out.find("    7"), std::string::npos);
+    // Text left-aligns.
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+}
+
+TEST(Table, RowsAccessorCounts)
+{
+    Table table({"a"});
+    EXPECT_EQ(table.rows(), 0u);
+    table.row({"x"});
+    table.row({"y"});
+    EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Table, CellHelpers)
+{
+    EXPECT_EQ(cell(uint64_t{42}), "42");
+    EXPECT_EQ(cell(3.14159, 2), "3.14");
+    EXPECT_EQ(cell(3.14159, 4), "3.1416");
+    EXPECT_EQ(cell(100.0, 0), "100");
+}
+
+TEST(Table, WideCellsStretchTheColumn)
+{
+    Table table({"h"});
+    table.row({"wider-than-header"});
+    const std::string out = table.str();
+    // The rule must cover the widest cell.
+    const size_t rule_start = out.find('\n') + 1;
+    const size_t rule_end = out.find('\n', rule_start);
+    EXPECT_EQ(rule_end - rule_start,
+              std::string("wider-than-header").size());
+}
+
+} // namespace

@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Unit tests of the vax80 baseline machine: operand modes, ALU ops,
+ * branches, and the CALLS/RET procedure linkage.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "vax/builder.hh"
+#include "vax/cpu.hh"
+
+namespace {
+
+using namespace risc1;
+using namespace risc1::vax;
+
+sim::ExecResult
+runProgram(VaxCpu &cpu, VaxAsm &a)
+{
+    VaxProgram prog = a.finish();
+    cpu.load(prog);
+    return cpu.run();
+}
+
+TEST(Vax, MovlImmediateAndAdd)
+{
+    VaxAsm a;
+    a.label("main");
+    a.inst(VaxOp::Movl, {vimm(100), vreg(0)});
+    a.inst(VaxOp::Addl3, {vreg(0), vimm(23), vreg(1)});
+    a.halt();
+
+    VaxCpu cpu;
+    auto result = runProgram(cpu, a);
+    ASSERT_TRUE(result.halted()) << result.message;
+    EXPECT_EQ(cpu.reg(0), 100u);
+    EXPECT_EQ(cpu.reg(1), 123u);
+}
+
+TEST(Vax, ShortLiteralEncodesOneByte)
+{
+    VaxAsm a;
+    a.label("main");
+    a.inst(VaxOp::Movl, {vlit(63), vreg(2)}); // 3 bytes total
+    a.halt();
+    VaxProgram prog = a.finish();
+    EXPECT_EQ(prog.codeBytes, 4u); // movl(3) + halt(1)
+
+    VaxCpu cpu;
+    cpu.load(prog);
+    auto result = cpu.run();
+    ASSERT_TRUE(result.halted());
+    EXPECT_EQ(cpu.reg(2), 63u);
+}
+
+TEST(Vax, MemoryOperandsAndDisplacement)
+{
+    VaxAsm a;
+    a.label("main");
+    a.inst(VaxOp::Movl, {vsym("data"), vreg(5)});
+    a.inst(VaxOp::Movl, {vimm(777), vdisp(5, 4)});
+    a.inst(VaxOp::Movl, {vdisp(5, 4), vreg(6)});
+    a.halt();
+    a.align(4);
+    a.label("data");
+    a.word(0);
+    a.word(0);
+
+    VaxCpu cpu;
+    auto result = runProgram(cpu, a);
+    ASSERT_TRUE(result.halted()) << result.message;
+    EXPECT_EQ(cpu.reg(6), 777u);
+}
+
+TEST(Vax, IndexedAddressing)
+{
+    VaxAsm a;
+    a.label("main");
+    a.inst(VaxOp::Movl, {vsym("arr"), vreg(1)});
+    a.inst(VaxOp::Movl, {vlit(2), vreg(2)});
+    // arr[r2] = 55 (long elements).
+    a.inst(VaxOp::Movl, {vlit(55), vidx(2, vdef(1))});
+    a.inst(VaxOp::Movl, {vidx(2, vdef(1)), vreg(3)});
+    a.halt();
+    a.align(4);
+    a.label("arr");
+    for (int i = 0; i < 4; ++i)
+        a.word(0);
+
+    VaxCpu cpu;
+    auto result = runProgram(cpu, a);
+    ASSERT_TRUE(result.halted()) << result.message;
+    EXPECT_EQ(cpu.reg(3), 55u);
+    VaxProgram unused = VaxProgram{};
+    (void)unused;
+    // The write landed at arr + 2*4.
+    EXPECT_EQ(cpu.memory().peek32(cpu.reg(1) + 8), 55u);
+}
+
+TEST(Vax, BranchesFollowComparisons)
+{
+    VaxAsm a;
+    a.label("main");
+    a.inst(VaxOp::Movl, {vlit(5), vreg(0)});
+    a.inst(VaxOp::Cmpl, {vreg(0), vlit(10)});
+    a.br(VaxOp::Blss, "less");
+    a.inst(VaxOp::Movl, {vlit(1), vreg(1)}); // skipped
+    a.halt();
+    a.label("less");
+    a.inst(VaxOp::Movl, {vlit(2), vreg(1)});
+    a.halt();
+
+    VaxCpu cpu;
+    auto result = runProgram(cpu, a);
+    ASSERT_TRUE(result.halted()) << result.message;
+    EXPECT_EQ(cpu.reg(1), 2u);
+}
+
+TEST(Vax, CallsSavesAndRestoresRegisters)
+{
+    VaxAsm a;
+    a.label("main");
+    a.inst(VaxOp::Movl, {vimm(111), vreg(2)});
+    a.inst(VaxOp::Movl, {vimm(222), vreg(3)});
+    a.inst(VaxOp::Pushl, {vimm(41)}); // the argument
+    a.calls(1, "func");
+    a.halt();
+    // func(x) { r2 = clobber; return x+1 in r0; }
+    a.entry("func", 0x000c); // saves r2, r3
+    a.inst(VaxOp::Movl, {vimm(9999), vreg(2)});
+    a.inst(VaxOp::Movl, {vimm(8888), vreg(3)});
+    a.inst(VaxOp::Addl3, {vdisp(AP, 0), vlit(1), vreg(0)});
+    a.ret();
+
+    VaxCpu cpu;
+    auto result = runProgram(cpu, a);
+    ASSERT_TRUE(result.halted()) << result.message;
+    EXPECT_EQ(cpu.reg(0), 42u); // return value
+    EXPECT_EQ(cpu.reg(2), 111u); // restored
+    EXPECT_EQ(cpu.reg(3), 222u);
+    EXPECT_EQ(cpu.stats().calls, 1u);
+    EXPECT_EQ(cpu.stats().returns, 1u);
+    EXPECT_EQ(cpu.stats().savedRegs, 2u);
+    // SP restored (args popped by RET).
+    EXPECT_EQ(cpu.reg(SP), VaxCpuOptions{}.stackTop);
+}
+
+TEST(Vax, RecursiveFactorialViaCalls)
+{
+    VaxAsm a;
+    a.label("main");
+    a.inst(VaxOp::Pushl, {vlit(6)});
+    a.calls(1, "fact");
+    a.halt();
+    a.entry("fact", 0x0004); // saves r2
+    a.inst(VaxOp::Movl, {vdisp(AP, 0), vreg(2)});
+    a.inst(VaxOp::Cmpl, {vreg(2), vlit(1)});
+    a.br(VaxOp::Bgtr, "recur");
+    a.inst(VaxOp::Movl, {vlit(1), vreg(0)});
+    a.ret();
+    a.label("recur");
+    a.inst(VaxOp::Subl3, {vlit(1), vreg(2), vreg(1)});
+    a.inst(VaxOp::Pushl, {vreg(1)});
+    a.calls(1, "fact");
+    a.inst(VaxOp::Mull2, {vreg(2), vreg(0)});
+    a.ret();
+
+    VaxCpu cpu;
+    auto result = runProgram(cpu, a);
+    ASSERT_TRUE(result.halted()) << result.message;
+    EXPECT_EQ(cpu.reg(0), 720u);
+    EXPECT_EQ(cpu.stats().calls, 6u);
+}
+
+
+TEST(Vax, AutoIncrementAndDecrementScaleByWidth)
+{
+    VaxAsm a;
+    a.label("main");
+    a.inst(VaxOp::Movl, {vsym("buf"), vreg(1)});
+    a.inst(VaxOp::Movb, {vlit(7), vinc(1)});  // buf[0], r1 += 1
+    a.inst(VaxOp::Movb, {vlit(8), vinc(1)});  // buf[1], r1 += 1
+    a.inst(VaxOp::Movl, {vimm(0x11223344), vinc(1)}); // misaligned? no:
+    // r1 is buf+2 here; long write requires alignment, so realign first.
+    a.halt();
+    a.align(4);
+    a.label("buf");
+    a.space(16);
+    VaxCpu cpu;
+    VaxProgram prog = a.finish();
+    cpu.load(prog);
+    auto result = cpu.run();
+    // The long write at buf+2 must fault on alignment.
+    EXPECT_EQ(result.reason, sim::StopReason::Fault);
+    EXPECT_EQ(cpu.memory().peek8(prog.symbols.at("buf")), 7u);
+    EXPECT_EQ(cpu.memory().peek8(prog.symbols.at("buf") + 1), 8u);
+}
+
+TEST(Vax, PushPopViaAutoModesBalancesSp)
+{
+    VaxAsm a;
+    a.label("main");
+    a.inst(VaxOp::Movl, {vimm(111), vdec(SP)}); // push
+    a.inst(VaxOp::Movl, {vimm(222), vdec(SP)});
+    a.inst(VaxOp::Movl, {vinc(SP), vreg(2)});   // pop -> 222
+    a.inst(VaxOp::Movl, {vinc(SP), vreg(3)});   // pop -> 111
+    a.halt();
+    VaxCpu cpu;
+    cpu.load(a.finish());
+    auto result = cpu.run();
+    ASSERT_TRUE(result.halted()) << result.message;
+    EXPECT_EQ(cpu.reg(2), 222u);
+    EXPECT_EQ(cpu.reg(3), 111u);
+    EXPECT_EQ(cpu.reg(SP), VaxCpuOptions{}.stackTop);
+}
+
+TEST(Vax, AshlShiftsBothDirections)
+{
+    VaxAsm a;
+    a.label("main");
+    a.inst(VaxOp::Movl, {vimm(0x80000000u), vreg(2)});
+    a.inst(VaxOp::Ashl, {vimm(static_cast<uint32_t>(-4)), vreg(2),
+                         vreg(3)}); // arithmetic right
+    a.inst(VaxOp::Movl, {vlit(3), vreg(4)});
+    a.inst(VaxOp::Ashl, {vlit(4), vreg(4), vreg(5)}); // left
+    a.halt();
+    VaxCpu cpu;
+    cpu.load(a.finish());
+    ASSERT_TRUE(cpu.run().halted());
+    EXPECT_EQ(cpu.reg(3), 0xf8000000u);
+    EXPECT_EQ(cpu.reg(5), 48u);
+}
+
+TEST(Vax, DivideByZeroFaults)
+{
+    VaxAsm a;
+    a.label("main");
+    a.inst(VaxOp::Movl, {vlit(10), vreg(2)});
+    a.inst(VaxOp::Divl3, {vlit(0), vreg(2), vreg(3)});
+    a.halt();
+    VaxCpu cpu;
+    cpu.load(a.finish());
+    auto result = cpu.run();
+    EXPECT_EQ(result.reason, sim::StopReason::Fault);
+    EXPECT_NE(result.message.find("divide"), std::string::npos);
+}
+
+TEST(Vax, ConditionCodesAfterCmpAndTst)
+{
+    VaxAsm a;
+    a.label("main");
+    a.inst(VaxOp::Movl, {vimm(static_cast<uint32_t>(-5)), vreg(2)});
+    a.inst(VaxOp::Cmpl, {vreg(2), vlit(3)}); // -5 vs 3
+    a.br(VaxOp::Blss, "ok1");
+    a.inst(VaxOp::Movl, {vlit(1), vreg(10)});
+    a.label("ok1");
+    a.br(VaxOp::Bgtru, "ok2"); // unsigned: 0xfffffffb > 3
+    a.inst(VaxOp::Movl, {vlit(2), vreg(10)});
+    a.label("ok2");
+    a.inst(VaxOp::Tstl, {vreg(2)});
+    a.br(VaxOp::Bneq, "ok3");
+    a.inst(VaxOp::Movl, {vlit(3), vreg(10)});
+    a.label("ok3");
+    a.halt();
+    VaxCpu cpu;
+    cpu.load(a.finish());
+    ASSERT_TRUE(cpu.run().halted());
+    EXPECT_EQ(cpu.reg(10), 0u); // no failure path taken
+}
+
+TEST(Vax, IstreamBytesAndAverageLength)
+{
+    VaxAsm a;
+    a.label("main");
+    a.inst(VaxOp::Movl, {vimm(5), vreg(0)}); // 1 + 5 + 1 = 7 bytes
+    a.nop();                                 // 1 byte
+    a.halt();                                // 1 byte
+    VaxCpu cpu;
+    cpu.load(a.finish());
+    ASSERT_TRUE(cpu.run().halted());
+    EXPECT_EQ(cpu.stats().istreamBytes, 9u);
+    EXPECT_EQ(cpu.stats().instructions, 3u);
+    EXPECT_NEAR(cpu.stats().avgInstBytes(), 3.0, 0.01);
+}
+
+TEST(Vax, CodeBytesCountsInstructionsOnly)
+{
+    VaxAsm a;
+    a.label("main");
+    a.halt(); // 1 byte of code
+    a.word(123); // 4 bytes of data
+    a.ascii("abc"); // 3 bytes of data
+    VaxProgram prog = a.finish();
+    EXPECT_EQ(prog.codeBytes, 1u);
+    EXPECT_EQ(prog.totalBytes(), 8u);
+    EXPECT_EQ(prog.instructionCount, 1u);
+}
+
+TEST(Vax, TraceModeDisassemblesEachInstruction)
+{
+    VaxAsm a;
+    a.label("main");
+    a.inst(VaxOp::Movl, {vlit(5), vreg(0)});
+    a.halt();
+    std::ostringstream trace;
+    VaxCpuOptions opts;
+    opts.trace = true;
+    opts.traceOut = &trace;
+    VaxCpu cpu(opts);
+    cpu.load(a.finish());
+    ASSERT_TRUE(cpu.run().halted());
+    EXPECT_NE(trace.str().find("movl #5, r0"), std::string::npos);
+    EXPECT_NE(trace.str().find("halt"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * vax80 disassembler tests: representative encodings of every operand
+ * mode, branch targets, and whole-suite linear disassembly sanity.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+#include "vax/disasm.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace risc1;
+using namespace risc1::vax;
+
+std::string
+firstLine(VaxAsm &a)
+{
+    VaxProgram prog = a.finish();
+    return disassembleVaxAt(prog.bytes, prog.entry - prog.base,
+                            prog.entry)
+        .text;
+}
+
+TEST(VaxDisasm, OperandModes)
+{
+    {
+        VaxAsm a;
+        a.label("main");
+        a.inst(VaxOp::Movl, {vlit(5), vreg(3)});
+        EXPECT_EQ(firstLine(a), "movl #5, r3");
+    }
+    {
+        VaxAsm a;
+        a.label("main");
+        a.inst(VaxOp::Movl, {vimm(0x12345), vdef(2)});
+        EXPECT_EQ(firstLine(a), "movl #0x12345, (r2)");
+    }
+    {
+        VaxAsm a;
+        a.label("main");
+        a.inst(VaxOp::Addl2, {vdisp(13, -8), vreg(0)});
+        EXPECT_EQ(firstLine(a), "addl2 -8(fp), r0");
+    }
+    {
+        VaxAsm a;
+        a.label("main");
+        a.inst(VaxOp::Pushl, {vidx(4, vdef(2))});
+        EXPECT_EQ(firstLine(a), "pushl (r2)[r4]");
+    }
+    {
+        VaxAsm a;
+        a.label("main");
+        a.inst(VaxOp::Movl, {vinc(6), vdec(14)});
+        EXPECT_EQ(firstLine(a), "movl (r6)+, -(sp)");
+    }
+    {
+        VaxAsm a;
+        a.label("main");
+        a.inst(VaxOp::Movl, {vabs(0xf00), vreg(1)});
+        EXPECT_EQ(firstLine(a), "movl @0xf00, r1");
+    }
+}
+
+TEST(VaxDisasm, BranchShowsAbsoluteTarget)
+{
+    VaxAsm a;
+    a.label("main");
+    a.br(VaxOp::Beql, "dst");
+    a.nop();
+    a.nop();
+    a.label("dst");
+    a.halt();
+    VaxProgram prog = a.finish();
+    auto line = disassembleVaxAt(prog.bytes, 0, prog.base);
+    ASSERT_TRUE(line.valid);
+    EXPECT_EQ(line.text, strprintf("beql 0x%x", prog.symbols.at("dst")));
+}
+
+TEST(VaxDisasm, CallsAndRet)
+{
+    VaxAsm a;
+    a.label("main");
+    a.calls(2, "f");
+    a.entry("f", 0);
+    a.ret();
+    VaxProgram prog = a.finish();
+    auto line = disassembleVaxAt(prog.bytes, 0, prog.base);
+    ASSERT_TRUE(line.valid);
+    EXPECT_EQ(line.text.substr(0, 9), "calls #2,");
+}
+
+TEST(VaxDisasm, InvalidByteRendersAsData)
+{
+    std::vector<uint8_t> bytes = {0xee};
+    auto line = disassembleVaxAt(bytes, 0, 0x1000);
+    EXPECT_FALSE(line.valid);
+    EXPECT_EQ(line.text, ".byte 0xee");
+}
+
+class SuiteDisasm : public ::testing::TestWithParam<workloads::Workload>
+{};
+
+TEST_P(SuiteDisasm, LinearDisassemblyDecodesTheEntryBlock)
+{
+    const auto &wl = GetParam();
+    VaxProgram prog = wl.buildVax(wl.defaultScale);
+    const std::string text = disassembleVaxProgram(prog, 64);
+    EXPECT_EQ(text.find("<undecodable>"), std::string::npos) << text;
+    EXPECT_GT(std::count(text.begin(), text.end(), '\n'), 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, SuiteDisasm,
+    ::testing::ValuesIn(workloads::allWorkloads()),
+    [](const ::testing::TestParamInfo<workloads::Workload> &info) {
+        return info.param.name;
+    });
+
+} // namespace

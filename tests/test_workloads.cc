@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The suite's strongest correctness check: every workload runs on BOTH
+ * machines and must produce the host oracle's exact result. Any bug in
+ * either simulator, the assembler, the builder, or the delay-slot
+ * optimizer that changes semantics fails here.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cpu.hh"
+#include "vax/cpu.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace risc1;
+using workloads::allWorkloads;
+using workloads::ResultAddr;
+using workloads::Workload;
+
+class WorkloadCross : public ::testing::TestWithParam<Workload>
+{};
+
+TEST_P(WorkloadCross, RiscMatchesOracle)
+{
+    const Workload &wl = GetParam();
+    sim::Cpu cpu;
+    cpu.load(workloads::buildRisc(wl, wl.defaultScale));
+    auto result = cpu.run();
+    ASSERT_TRUE(result.halted())
+        << wl.name << ": " << result.message
+        << " (reason " << static_cast<int>(result.reason) << ")";
+    EXPECT_EQ(cpu.memory().peek32(ResultAddr),
+              wl.expected(wl.defaultScale))
+        << wl.name;
+}
+
+TEST_P(WorkloadCross, RiscMatchesOracleWithoutSlotFilling)
+{
+    const Workload &wl = GetParam();
+    assembler::AsmOptions opts;
+    opts.fillDelaySlots = false;
+    sim::Cpu cpu;
+    cpu.load(workloads::buildRisc(wl, wl.defaultScale, opts));
+    auto result = cpu.run();
+    ASSERT_TRUE(result.halted()) << wl.name << ": " << result.message;
+    EXPECT_EQ(cpu.memory().peek32(ResultAddr),
+              wl.expected(wl.defaultScale))
+        << wl.name;
+}
+
+TEST_P(WorkloadCross, RiscMatchesOracleWithTwoWindows)
+{
+    // Degenerate window file: every call overflows. Results must not
+    // change — only the trap counts.
+    const Workload &wl = GetParam();
+    sim::CpuOptions options;
+    options.windows.numWindows = 2;
+    sim::Cpu cpu(options);
+    cpu.load(workloads::buildRisc(wl, wl.defaultScale));
+    auto result = cpu.run();
+    ASSERT_TRUE(result.halted()) << wl.name << ": " << result.message;
+    EXPECT_EQ(cpu.memory().peek32(ResultAddr),
+              wl.expected(wl.defaultScale))
+        << wl.name;
+    if (wl.recursive)
+        EXPECT_GT(cpu.stats().windowOverflows, 0u) << wl.name;
+}
+
+TEST_P(WorkloadCross, VaxMatchesOracle)
+{
+    const Workload &wl = GetParam();
+    vax::VaxCpu cpu;
+    cpu.load(wl.buildVax(wl.defaultScale));
+    auto result = cpu.run();
+    ASSERT_TRUE(result.halted()) << wl.name << ": " << result.message;
+    EXPECT_EQ(cpu.memory().peek32(ResultAddr),
+              wl.expected(wl.defaultScale))
+        << wl.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, WorkloadCross, ::testing::ValuesIn(allWorkloads()),
+    [](const ::testing::TestParamInfo<Workload> &info) {
+        return info.param.name;
+    });
+
+} // namespace
