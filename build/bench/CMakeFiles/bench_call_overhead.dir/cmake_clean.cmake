@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_call_overhead.dir/bench_call_overhead.cc.o"
+  "CMakeFiles/bench_call_overhead.dir/bench_call_overhead.cc.o.d"
+  "bench_call_overhead"
+  "bench_call_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_call_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

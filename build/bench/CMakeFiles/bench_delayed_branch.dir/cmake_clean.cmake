@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_delayed_branch.dir/bench_delayed_branch.cc.o"
+  "CMakeFiles/bench_delayed_branch.dir/bench_delayed_branch.cc.o.d"
+  "bench_delayed_branch"
+  "bench_delayed_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delayed_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

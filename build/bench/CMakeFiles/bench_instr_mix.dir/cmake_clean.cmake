@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_instr_mix.dir/bench_instr_mix.cc.o"
+  "CMakeFiles/bench_instr_mix.dir/bench_instr_mix.cc.o.d"
+  "bench_instr_mix"
+  "bench_instr_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_instr_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

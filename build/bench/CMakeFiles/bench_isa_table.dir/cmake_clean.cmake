@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_isa_table.dir/bench_isa_table.cc.o"
+  "CMakeFiles/bench_isa_table.dir/bench_isa_table.cc.o.d"
+  "bench_isa_table"
+  "bench_isa_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_isa_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

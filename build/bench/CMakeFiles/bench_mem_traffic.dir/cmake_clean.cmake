@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mem_traffic.dir/bench_mem_traffic.cc.o"
+  "CMakeFiles/bench_mem_traffic.dir/bench_mem_traffic.cc.o.d"
+  "bench_mem_traffic"
+  "bench_mem_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mem_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_window_geometry.dir/bench_window_geometry.cc.o"
+  "CMakeFiles/bench_window_geometry.dir/bench_window_geometry.cc.o.d"
+  "bench_window_geometry"
+  "bench_window_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_window_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interrupt_demo.dir/interrupt_demo.cpp.o"
+  "CMakeFiles/interrupt_demo.dir/interrupt_demo.cpp.o.d"
+  "interrupt_demo"
+  "interrupt_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interrupt_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/risc_vs_cisc.dir/risc_vs_cisc.cpp.o"
+  "CMakeFiles/risc_vs_cisc.dir/risc_vs_cisc.cpp.o.d"
+  "risc_vs_cisc"
+  "risc_vs_cisc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/risc_vs_cisc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for risc_vs_cisc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riscas.dir/riscas.cpp.o"
+  "CMakeFiles/riscas.dir/riscas.cpp.o.d"
+  "riscas"
+  "riscas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riscas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

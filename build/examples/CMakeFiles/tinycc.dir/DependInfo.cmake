@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/tinycc.cpp" "examples/CMakeFiles/tinycc.dir/tinycc.cpp.o" "gcc" "examples/CMakeFiles/tinycc.dir/tinycc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/risc1_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/risc1_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/vax/CMakeFiles/risc1_vax.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/risc1_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/risc1_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/risc1_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/risc1_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/risc1_cc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinycc.dir/tinycc.cpp.o"
+  "CMakeFiles/tinycc.dir/tinycc.cpp.o.d"
+  "tinycc"
+  "tinycc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinycc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tinycc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_debugger.dir/trace_debugger.cpp.o"
+  "CMakeFiles/trace_debugger.dir/trace_debugger.cpp.o.d"
+  "trace_debugger"
+  "trace_debugger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_debugger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asm/assembler.cc" "src/asm/CMakeFiles/risc1_asm.dir/assembler.cc.o" "gcc" "src/asm/CMakeFiles/risc1_asm.dir/assembler.cc.o.d"
+  "/root/repo/src/asm/expander.cc" "src/asm/CMakeFiles/risc1_asm.dir/expander.cc.o" "gcc" "src/asm/CMakeFiles/risc1_asm.dir/expander.cc.o.d"
+  "/root/repo/src/asm/lexer.cc" "src/asm/CMakeFiles/risc1_asm.dir/lexer.cc.o" "gcc" "src/asm/CMakeFiles/risc1_asm.dir/lexer.cc.o.d"
+  "/root/repo/src/asm/objfile.cc" "src/asm/CMakeFiles/risc1_asm.dir/objfile.cc.o" "gcc" "src/asm/CMakeFiles/risc1_asm.dir/objfile.cc.o.d"
+  "/root/repo/src/asm/optimizer.cc" "src/asm/CMakeFiles/risc1_asm.dir/optimizer.cc.o" "gcc" "src/asm/CMakeFiles/risc1_asm.dir/optimizer.cc.o.d"
+  "/root/repo/src/asm/parser.cc" "src/asm/CMakeFiles/risc1_asm.dir/parser.cc.o" "gcc" "src/asm/CMakeFiles/risc1_asm.dir/parser.cc.o.d"
+  "/root/repo/src/asm/program.cc" "src/asm/CMakeFiles/risc1_asm.dir/program.cc.o" "gcc" "src/asm/CMakeFiles/risc1_asm.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/risc1_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/risc1_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

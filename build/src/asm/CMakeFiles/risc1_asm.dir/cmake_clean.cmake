@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/risc1_asm.dir/assembler.cc.o"
+  "CMakeFiles/risc1_asm.dir/assembler.cc.o.d"
+  "CMakeFiles/risc1_asm.dir/expander.cc.o"
+  "CMakeFiles/risc1_asm.dir/expander.cc.o.d"
+  "CMakeFiles/risc1_asm.dir/lexer.cc.o"
+  "CMakeFiles/risc1_asm.dir/lexer.cc.o.d"
+  "CMakeFiles/risc1_asm.dir/objfile.cc.o"
+  "CMakeFiles/risc1_asm.dir/objfile.cc.o.d"
+  "CMakeFiles/risc1_asm.dir/optimizer.cc.o"
+  "CMakeFiles/risc1_asm.dir/optimizer.cc.o.d"
+  "CMakeFiles/risc1_asm.dir/parser.cc.o"
+  "CMakeFiles/risc1_asm.dir/parser.cc.o.d"
+  "CMakeFiles/risc1_asm.dir/program.cc.o"
+  "CMakeFiles/risc1_asm.dir/program.cc.o.d"
+  "librisc1_asm.a"
+  "librisc1_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/risc1_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/risc1_cc.dir/codegen_risc.cc.o"
+  "CMakeFiles/risc1_cc.dir/codegen_risc.cc.o.d"
+  "CMakeFiles/risc1_cc.dir/codegen_vax.cc.o"
+  "CMakeFiles/risc1_cc.dir/codegen_vax.cc.o.d"
+  "CMakeFiles/risc1_cc.dir/parser.cc.o"
+  "CMakeFiles/risc1_cc.dir/parser.cc.o.d"
+  "librisc1_cc.a"
+  "librisc1_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/risc1_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

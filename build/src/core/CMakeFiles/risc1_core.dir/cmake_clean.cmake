@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/risc1_core.dir/calltrace.cc.o"
+  "CMakeFiles/risc1_core.dir/calltrace.cc.o.d"
+  "CMakeFiles/risc1_core.dir/experiments.cc.o"
+  "CMakeFiles/risc1_core.dir/experiments.cc.o.d"
+  "CMakeFiles/risc1_core.dir/run.cc.o"
+  "CMakeFiles/risc1_core.dir/run.cc.o.d"
+  "CMakeFiles/risc1_core.dir/table.cc.o"
+  "CMakeFiles/risc1_core.dir/table.cc.o.d"
+  "librisc1_core.a"
+  "librisc1_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/risc1_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

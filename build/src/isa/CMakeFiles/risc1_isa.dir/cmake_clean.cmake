@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/risc1_isa.dir/condition.cc.o"
+  "CMakeFiles/risc1_isa.dir/condition.cc.o.d"
+  "CMakeFiles/risc1_isa.dir/disasm.cc.o"
+  "CMakeFiles/risc1_isa.dir/disasm.cc.o.d"
+  "CMakeFiles/risc1_isa.dir/instruction.cc.o"
+  "CMakeFiles/risc1_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/risc1_isa.dir/opcode.cc.o"
+  "CMakeFiles/risc1_isa.dir/opcode.cc.o.d"
+  "CMakeFiles/risc1_isa.dir/registers.cc.o"
+  "CMakeFiles/risc1_isa.dir/registers.cc.o.d"
+  "librisc1_isa.a"
+  "librisc1_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/risc1_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

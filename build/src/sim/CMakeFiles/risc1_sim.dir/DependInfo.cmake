@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cpu.cc" "src/sim/CMakeFiles/risc1_sim.dir/cpu.cc.o" "gcc" "src/sim/CMakeFiles/risc1_sim.dir/cpu.cc.o.d"
+  "/root/repo/src/sim/icache.cc" "src/sim/CMakeFiles/risc1_sim.dir/icache.cc.o" "gcc" "src/sim/CMakeFiles/risc1_sim.dir/icache.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/sim/CMakeFiles/risc1_sim.dir/memory.cc.o" "gcc" "src/sim/CMakeFiles/risc1_sim.dir/memory.cc.o.d"
+  "/root/repo/src/sim/pipeline.cc" "src/sim/CMakeFiles/risc1_sim.dir/pipeline.cc.o" "gcc" "src/sim/CMakeFiles/risc1_sim.dir/pipeline.cc.o.d"
+  "/root/repo/src/sim/statsdump.cc" "src/sim/CMakeFiles/risc1_sim.dir/statsdump.cc.o" "gcc" "src/sim/CMakeFiles/risc1_sim.dir/statsdump.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asm/CMakeFiles/risc1_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/risc1_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/risc1_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/risc1_sim.dir/cpu.cc.o"
+  "CMakeFiles/risc1_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/risc1_sim.dir/icache.cc.o"
+  "CMakeFiles/risc1_sim.dir/icache.cc.o.d"
+  "CMakeFiles/risc1_sim.dir/memory.cc.o"
+  "CMakeFiles/risc1_sim.dir/memory.cc.o.d"
+  "CMakeFiles/risc1_sim.dir/pipeline.cc.o"
+  "CMakeFiles/risc1_sim.dir/pipeline.cc.o.d"
+  "CMakeFiles/risc1_sim.dir/statsdump.cc.o"
+  "CMakeFiles/risc1_sim.dir/statsdump.cc.o.d"
+  "librisc1_sim.a"
+  "librisc1_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/risc1_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

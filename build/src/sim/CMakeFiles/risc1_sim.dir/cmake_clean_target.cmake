@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librisc1_sim.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/risc1_support.dir/logging.cc.o"
+  "CMakeFiles/risc1_support.dir/logging.cc.o.d"
+  "CMakeFiles/risc1_support.dir/strings.cc.o"
+  "CMakeFiles/risc1_support.dir/strings.cc.o.d"
+  "librisc1_support.a"
+  "librisc1_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/risc1_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/risc1_vax.dir/builder.cc.o"
+  "CMakeFiles/risc1_vax.dir/builder.cc.o.d"
+  "CMakeFiles/risc1_vax.dir/cpu.cc.o"
+  "CMakeFiles/risc1_vax.dir/cpu.cc.o.d"
+  "CMakeFiles/risc1_vax.dir/disasm.cc.o"
+  "CMakeFiles/risc1_vax.dir/disasm.cc.o.d"
+  "CMakeFiles/risc1_vax.dir/isa.cc.o"
+  "CMakeFiles/risc1_vax.dir/isa.cc.o.d"
+  "CMakeFiles/risc1_vax.dir/statsdump.cc.o"
+  "CMakeFiles/risc1_vax.dir/statsdump.cc.o.d"
+  "librisc1_vax.a"
+  "librisc1_vax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/risc1_vax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/rtlib.cc" "src/workloads/CMakeFiles/risc1_workloads.dir/rtlib.cc.o" "gcc" "src/workloads/CMakeFiles/risc1_workloads.dir/rtlib.cc.o.d"
+  "/root/repo/src/workloads/wl_ackermann.cc" "src/workloads/CMakeFiles/risc1_workloads.dir/wl_ackermann.cc.o" "gcc" "src/workloads/CMakeFiles/risc1_workloads.dir/wl_ackermann.cc.o.d"
+  "/root/repo/src/workloads/wl_bitmatrix.cc" "src/workloads/CMakeFiles/risc1_workloads.dir/wl_bitmatrix.cc.o" "gcc" "src/workloads/CMakeFiles/risc1_workloads.dir/wl_bitmatrix.cc.o.d"
+  "/root/repo/src/workloads/wl_bittest.cc" "src/workloads/CMakeFiles/risc1_workloads.dir/wl_bittest.cc.o" "gcc" "src/workloads/CMakeFiles/risc1_workloads.dir/wl_bittest.cc.o.d"
+  "/root/repo/src/workloads/wl_bubblesort.cc" "src/workloads/CMakeFiles/risc1_workloads.dir/wl_bubblesort.cc.o" "gcc" "src/workloads/CMakeFiles/risc1_workloads.dir/wl_bubblesort.cc.o.d"
+  "/root/repo/src/workloads/wl_crc32.cc" "src/workloads/CMakeFiles/risc1_workloads.dir/wl_crc32.cc.o" "gcc" "src/workloads/CMakeFiles/risc1_workloads.dir/wl_crc32.cc.o.d"
+  "/root/repo/src/workloads/wl_fibonacci.cc" "src/workloads/CMakeFiles/risc1_workloads.dir/wl_fibonacci.cc.o" "gcc" "src/workloads/CMakeFiles/risc1_workloads.dir/wl_fibonacci.cc.o.d"
+  "/root/repo/src/workloads/wl_gcd.cc" "src/workloads/CMakeFiles/risc1_workloads.dir/wl_gcd.cc.o" "gcc" "src/workloads/CMakeFiles/risc1_workloads.dir/wl_gcd.cc.o.d"
+  "/root/repo/src/workloads/wl_hanoi.cc" "src/workloads/CMakeFiles/risc1_workloads.dir/wl_hanoi.cc.o" "gcc" "src/workloads/CMakeFiles/risc1_workloads.dir/wl_hanoi.cc.o.d"
+  "/root/repo/src/workloads/wl_linkedlist.cc" "src/workloads/CMakeFiles/risc1_workloads.dir/wl_linkedlist.cc.o" "gcc" "src/workloads/CMakeFiles/risc1_workloads.dir/wl_linkedlist.cc.o.d"
+  "/root/repo/src/workloads/wl_matmul.cc" "src/workloads/CMakeFiles/risc1_workloads.dir/wl_matmul.cc.o" "gcc" "src/workloads/CMakeFiles/risc1_workloads.dir/wl_matmul.cc.o.d"
+  "/root/repo/src/workloads/wl_perm.cc" "src/workloads/CMakeFiles/risc1_workloads.dir/wl_perm.cc.o" "gcc" "src/workloads/CMakeFiles/risc1_workloads.dir/wl_perm.cc.o.d"
+  "/root/repo/src/workloads/wl_queens.cc" "src/workloads/CMakeFiles/risc1_workloads.dir/wl_queens.cc.o" "gcc" "src/workloads/CMakeFiles/risc1_workloads.dir/wl_queens.cc.o.d"
+  "/root/repo/src/workloads/wl_quicksort.cc" "src/workloads/CMakeFiles/risc1_workloads.dir/wl_quicksort.cc.o" "gcc" "src/workloads/CMakeFiles/risc1_workloads.dir/wl_quicksort.cc.o.d"
+  "/root/repo/src/workloads/wl_sieve.cc" "src/workloads/CMakeFiles/risc1_workloads.dir/wl_sieve.cc.o" "gcc" "src/workloads/CMakeFiles/risc1_workloads.dir/wl_sieve.cc.o.d"
+  "/root/repo/src/workloads/wl_strops.cc" "src/workloads/CMakeFiles/risc1_workloads.dir/wl_strops.cc.o" "gcc" "src/workloads/CMakeFiles/risc1_workloads.dir/wl_strops.cc.o.d"
+  "/root/repo/src/workloads/wl_strsearch.cc" "src/workloads/CMakeFiles/risc1_workloads.dir/wl_strsearch.cc.o" "gcc" "src/workloads/CMakeFiles/risc1_workloads.dir/wl_strsearch.cc.o.d"
+  "/root/repo/src/workloads/wl_treesort.cc" "src/workloads/CMakeFiles/risc1_workloads.dir/wl_treesort.cc.o" "gcc" "src/workloads/CMakeFiles/risc1_workloads.dir/wl_treesort.cc.o.d"
+  "/root/repo/src/workloads/workloads.cc" "src/workloads/CMakeFiles/risc1_workloads.dir/workloads.cc.o" "gcc" "src/workloads/CMakeFiles/risc1_workloads.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asm/CMakeFiles/risc1_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/vax/CMakeFiles/risc1_vax.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/risc1_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/risc1_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/risc1_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

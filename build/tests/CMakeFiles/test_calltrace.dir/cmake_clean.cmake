@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_calltrace.dir/test_calltrace.cc.o"
+  "CMakeFiles/test_calltrace.dir/test_calltrace.cc.o.d"
+  "test_calltrace"
+  "test_calltrace.pdb"
+  "test_calltrace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_calltrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cc_fuzz.dir/test_cc_fuzz.cc.o"
+  "CMakeFiles/test_cc_fuzz.dir/test_cc_fuzz.cc.o.d"
+  "test_cc_fuzz"
+  "test_cc_fuzz.pdb"
+  "test_cc_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cc_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

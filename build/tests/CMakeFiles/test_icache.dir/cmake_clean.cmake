@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_icache.dir/test_icache.cc.o"
+  "CMakeFiles/test_icache.dir/test_icache.cc.o.d"
+  "test_icache"
+  "test_icache.pdb"
+  "test_icache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_icache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

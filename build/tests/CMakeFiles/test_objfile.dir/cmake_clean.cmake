@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_objfile.dir/test_objfile.cc.o"
+  "CMakeFiles/test_objfile.dir/test_objfile.cc.o.d"
+  "test_objfile"
+  "test_objfile.pdb"
+  "test_objfile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_objfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtlib.dir/test_rtlib.cc.o"
+  "CMakeFiles/test_rtlib.dir/test_rtlib.cc.o.d"
+  "test_rtlib"
+  "test_rtlib.pdb"
+  "test_rtlib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_statsdump.dir/test_statsdump.cc.o"
+  "CMakeFiles/test_statsdump.dir/test_statsdump.cc.o.d"
+  "test_statsdump"
+  "test_statsdump.pdb"
+  "test_statsdump[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_statsdump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

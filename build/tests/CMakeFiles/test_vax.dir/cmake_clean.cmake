@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vax.dir/test_vax.cc.o"
+  "CMakeFiles/test_vax.dir/test_vax.cc.o.d"
+  "test_vax"
+  "test_vax.pdb"
+  "test_vax[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
