@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/run.hh"
@@ -181,6 +182,54 @@ struct ImmediateRow
 
 std::vector<ImmediateRow> immediateUsage();
 std::string immediateUsageTable(const std::vector<ImmediateRow> &rows);
+
+// ---- R1: seeded fault-injection campaign -----------------------------------
+
+/**
+ * Outcome class of one injected run, judged against the host oracle
+ * (the standard soft-error taxonomy).
+ */
+enum class FaultOutcome : uint8_t
+{
+    Masked,       //!< halted with the oracle's result
+    Sdc,          //!< halted with a wrong result (silent corruption)
+    DetectedTrap, //!< stopped on a precise guest fault
+    WatchdogHang, //!< watchdog (or instruction limit) cut a livelock
+};
+
+/** Number of FaultOutcome classes. */
+constexpr unsigned NumFaultOutcomes = 4;
+
+/** Short name of an outcome class ("masked", "sdc", ...). */
+std::string_view faultOutcomeName(FaultOutcome outcome);
+
+/** Per-workload tallies of one campaign. */
+struct FaultCampaignRow
+{
+    std::string name;
+    unsigned injections = 0;
+    unsigned byOutcome[NumFaultOutcomes] = {};
+    uint64_t baselineInsts = 0; //!< uninjected dynamic length
+
+    unsigned
+    count(FaultOutcome outcome) const
+    {
+        return byOutcome[static_cast<unsigned>(outcome)];
+    }
+};
+
+/**
+ * Run every suite workload `injections` times, each under one seeded
+ * single-bit flip (register file / memory word / fetched instruction,
+ * uniformly over the run), classify each run, and tally. Every run
+ * lands in exactly one class; the whole campaign is a pure function
+ * of `seed`. Guests run with a watchdog (a multiple of the baseline
+ * cycle count), a 16 MB address limit and no trap vector, so precise
+ * faults stop the machine and count as detections.
+ */
+std::vector<FaultCampaignRow> faultCampaign(unsigned injections = 100,
+                                            uint64_t seed = 1981);
+std::string faultCampaignTable(const std::vector<FaultCampaignRow> &rows);
 
 } // namespace risc1::core
 

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Experiment R1: the seeded fault-injection campaign. Every suite
+ * workload runs N times, each run perturbed by exactly one random
+ * single-bit flip, and every outcome is classified against the host
+ * oracle — the soft-error / AVF methodology applied to the RISC I
+ * model. Deterministic: the per-run RNG is derived from (seed,
+ * workload, run index) only.
+ */
+
+#include "core/experiments.hh"
+
+#include "core/table.hh"
+#include "sim/faultinject.hh"
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace risc1::core {
+
+using workloads::allWorkloads;
+using workloads::Workload;
+
+std::string_view
+faultOutcomeName(FaultOutcome outcome)
+{
+    switch (outcome) {
+      case FaultOutcome::Masked:       return "masked";
+      case FaultOutcome::Sdc:          return "sdc";
+      case FaultOutcome::DetectedTrap: return "detected-trap";
+      case FaultOutcome::WatchdogHang: return "watchdog-hang";
+    }
+    panic("faultOutcomeName: bad outcome %u",
+          static_cast<unsigned>(outcome));
+}
+
+namespace {
+
+/** Guest address-space limit for campaign runs (16 MB). */
+constexpr uint32_t CampaignMemLimit = 0x01000000;
+
+/** Per-run RNG seed: a pure function of campaign seed, workload, run. */
+uint64_t
+runSeed(uint64_t seed, uint64_t workload, uint64_t run)
+{
+    uint64_t s = seed;
+    s = s * 0x9e3779b97f4a7c15ull + workload + 1;
+    s = s * 0x9e3779b97f4a7c15ull + run + 1;
+    return s;
+}
+
+/** Every run lands in exactly one class — no unclassified outcomes. */
+FaultOutcome
+classify(const sim::ExecResult &result, uint32_t got, uint32_t expected)
+{
+    switch (result.reason) {
+      case sim::StopReason::Halted:
+        return got == expected ? FaultOutcome::Masked : FaultOutcome::Sdc;
+      case sim::StopReason::Fault:
+        return FaultOutcome::DetectedTrap;
+      case sim::StopReason::Watchdog:
+      case sim::StopReason::InstLimit:
+        return FaultOutcome::WatchdogHang;
+      case sim::StopReason::Paused:
+        break; // run() never returns Paused
+    }
+    panic("classify: unexpected stop reason %u",
+          static_cast<unsigned>(result.reason));
+}
+
+} // namespace
+
+std::vector<FaultCampaignRow>
+faultCampaign(unsigned injections, uint64_t seed)
+{
+    std::vector<FaultCampaignRow> rows;
+    const auto &suite = allWorkloads();
+    for (size_t w = 0; w < suite.size(); ++w) {
+        const Workload &wl = suite[w];
+        const assembler::Program prog =
+            workloads::buildRisc(wl, wl.defaultScale);
+        const uint32_t expected = wl.expected(wl.defaultScale);
+
+        // Uninjected baseline: the horizon for injection times and the
+        // yardstick for the watchdog budget.
+        sim::CpuOptions base_opts;
+        base_opts.memLimit = CampaignMemLimit;
+        sim::Cpu baseline(base_opts);
+        baseline.load(prog);
+        const sim::ExecResult base = baseline.run();
+        if (!base.halted() ||
+            baseline.memory().peek32(workloads::ResultAddr) != expected)
+            fatal("faultCampaign: baseline run of %s is broken",
+                  wl.name.c_str());
+
+        FaultCampaignRow row;
+        row.name = wl.name;
+        row.injections = injections;
+        row.baselineInsts = base.instructions;
+
+        sim::CpuOptions opts;
+        opts.memLimit = CampaignMemLimit;
+        // Generous livelock budget: a run this far past its healthy
+        // cycle count is never coming back.
+        opts.watchdogCycles = base.cycles * 8 + 100'000;
+
+        for (unsigned i = 0; i < injections; ++i) {
+            Rng rng(runSeed(seed, w, i));
+            sim::Injection inj =
+                sim::drawInjection(rng, base.instructions);
+            sim::Cpu cpu(opts);
+            cpu.load(prog);
+            const sim::ExecResult result =
+                sim::runWithInjection(cpu, rng, inj);
+            const uint32_t got =
+                cpu.memory().peek32(workloads::ResultAddr);
+            const FaultOutcome outcome = classify(result, got, expected);
+            ++row.byOutcome[static_cast<unsigned>(outcome)];
+        }
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+std::string
+faultCampaignTable(const std::vector<FaultCampaignRow> &rows)
+{
+    Table table({"program", "runs", "base insts", "masked", "sdc",
+                 "trap", "hang", "masked%", "detect%"});
+    FaultCampaignRow total;
+    total.name = "TOTAL";
+    auto pct = [](unsigned part, unsigned whole) {
+        return whole ? 100.0 * part / whole : 0.0;
+    };
+    for (const FaultCampaignRow &row : rows) {
+        total.injections += row.injections;
+        for (unsigned c = 0; c < NumFaultOutcomes; ++c)
+            total.byOutcome[c] += row.byOutcome[c];
+        table.row({row.name, cell(uint64_t{row.injections}),
+                   cell(row.baselineInsts),
+                   cell(uint64_t{row.count(FaultOutcome::Masked)}),
+                   cell(uint64_t{row.count(FaultOutcome::Sdc)}),
+                   cell(uint64_t{row.count(FaultOutcome::DetectedTrap)}),
+                   cell(uint64_t{row.count(FaultOutcome::WatchdogHang)}),
+                   cell(pct(row.count(FaultOutcome::Masked),
+                            row.injections), 1),
+                   cell(pct(row.count(FaultOutcome::DetectedTrap),
+                            row.injections), 1)});
+    }
+    table.row({total.name, cell(uint64_t{total.injections}), "",
+               cell(uint64_t{total.count(FaultOutcome::Masked)}),
+               cell(uint64_t{total.count(FaultOutcome::Sdc)}),
+               cell(uint64_t{total.count(FaultOutcome::DetectedTrap)}),
+               cell(uint64_t{total.count(FaultOutcome::WatchdogHang)}),
+               cell(pct(total.count(FaultOutcome::Masked),
+                        total.injections), 1),
+               cell(pct(total.count(FaultOutcome::DetectedTrap),
+                        total.injections), 1)});
+    return "R1: fault-injection campaign (one seeded single-bit flip "
+           "per run;\nregister file / memory word / fetched "
+           "instruction; outcome vs host oracle)\n" +
+           table.str();
+}
+
+} // namespace risc1::core

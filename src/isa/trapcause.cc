@@ -1,0 +1,23 @@
+#include "isa/trapcause.hh"
+
+#include "support/logging.hh"
+
+namespace risc1::isa {
+
+std::string_view
+trapCauseName(TrapCause cause)
+{
+    switch (cause) {
+      case TrapCause::None:              return "none";
+      case TrapCause::MisalignedAccess:  return "misaligned access";
+      case TrapCause::IllegalOpcode:     return "illegal opcode";
+      case TrapCause::OutOfRangeAddress: return "out-of-range address";
+      case TrapCause::WindowExhausted:   return "window-stack exhaustion";
+      case TrapCause::DivideByZero:      return "divide by zero";
+      case TrapCause::IllegalOperand:    return "illegal operand";
+      case TrapCause::Watchdog:          return "watchdog";
+    }
+    panic("trapCauseName: bad cause %u", static_cast<unsigned>(cause));
+}
+
+} // namespace risc1::isa

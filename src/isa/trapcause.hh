@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Architected trap-cause codes. RISC I's only abnormal-event mechanism
+ * is the CALLINT/RETINT window push, so every precise fault the machine
+ * can raise is named here; the cause value is what a trap handler finds
+ * in its window after vectoring (and what ExecResult reports when no
+ * vector is configured). Shared with the vax80 side for uniform fault
+ * reporting.
+ */
+
+#ifndef RISC1_ISA_TRAPCAUSE_HH
+#define RISC1_ISA_TRAPCAUSE_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace risc1::isa {
+
+/** Why an instruction trapped (or why a run was stopped). */
+enum class TrapCause : uint8_t
+{
+    None = 0,           //!< no fault
+    MisalignedAccess,   //!< multi-byte access not naturally aligned
+    IllegalOpcode,      //!< undecodable instruction word
+    OutOfRangeAddress,  //!< access beyond the configured address limit
+    WindowExhausted,    //!< return with no frame anywhere (call/ret
+                        //!< imbalance or empty save stack)
+    DivideByZero,       //!< vax80 DIVL with a zero divisor
+    IllegalOperand,     //!< vax80 operand-specifier abuse
+    Watchdog,           //!< cycle watchdog expired (livelock stop)
+};
+
+/** Number of TrapCause values (for tables and campaign bins). */
+constexpr unsigned NumTrapCauses = 8;
+
+/** Short lower-case name ("misaligned access", ...). */
+std::string_view trapCauseName(TrapCause cause);
+
+} // namespace risc1::isa
+
+#endif // RISC1_ISA_TRAPCAUSE_HH

@@ -1,5 +1,6 @@
 #include "sim/cpu.hh"
 
+#include <algorithm>
 #include <iostream>
 
 #include "isa/disasm.hh"
@@ -21,12 +22,14 @@ Cpu::Cpu(CpuOptions options)
         fatal("Cpu: at least 2 register windows are required, got %u",
               options_.windows.numWindows);
     spillSp_ = options_.spillBase;
+    memory_.setLimit(options_.memLimit);
 }
 
 void
 Cpu::load(const assembler::Program &program)
 {
     memory_ = Memory{};
+    memory_.setLimit(options_.memLimit);
     memory_.loadProgram(program);
     regs_.clear();
     stats_ = SimStats{};
@@ -42,6 +45,10 @@ Cpu::load(const assembler::Program &program)
     halted_ = false;
     jumpPending_ = false;
     interruptPending_ = false;
+    fetchXor_ = 0;
+    pcRing_.fill(0);
+    pcRingPos_ = 0;
+    pcRingCount_ = 0;
     regs_.write(cwp_, isa::SpReg, options_.stackTop);
 }
 
@@ -64,6 +71,9 @@ Cpu::snapshot() const
     snap.ie = ie_;
     snap.halted = halted_;
     snap.interruptPending = interruptPending_;
+    snap.pcRing.assign(pcRing_.begin(), pcRing_.end());
+    snap.pcRingPos = pcRingPos_;
+    snap.pcRingCount = pcRingCount_;
     return snap;
 }
 
@@ -86,29 +96,149 @@ Cpu::restore(const Snapshot &snap)
     halted_ = snap.halted;
     interruptPending_ = snap.interruptPending;
     jumpPending_ = false;
+    fetchXor_ = 0;
+    pcRing_.fill(0);
+    std::copy_n(snap.pcRing.begin(),
+                std::min<size_t>(snap.pcRing.size(), pcRing_.size()),
+                pcRing_.begin());
+    pcRingPos_ = snap.pcRingPos % PcRingSize;
+    pcRingCount_ = snap.pcRingCount;
 }
 
 ExecResult
 Cpu::run()
 {
+    return runLoop(UINT64_MAX);
+}
+
+ExecResult
+Cpu::runUntil(uint64_t instructions)
+{
+    return runLoop(instructions);
+}
+
+ExecResult
+Cpu::runLoop(uint64_t pause_at)
+{
+    auto finish = [&](ExecResult &result) -> ExecResult & {
+        stats_.memory = memory_.stats();
+        result.instructions = stats_.instructions;
+        result.cycles = stats_.cycles;
+        return result;
+    };
+
     ExecResult result;
+    // Instruction count at the last trap delivery: a second fault with
+    // no instruction retired in between is a trap storm (bad vector,
+    // faulting handler entry) and stops hard instead of spinning.
+    uint64_t last_trap_inst = UINT64_MAX;
     while (!halted_ && stats_.instructions < options_.maxInstructions) {
+        if (stats_.instructions >= pause_at) {
+            result.reason = StopReason::Paused;
+            return finish(result);
+        }
+        if (options_.watchdogCycles != 0 &&
+            stats_.cycles > options_.watchdogCycles) {
+            result.reason = StopReason::Watchdog;
+            result.faultCause = isa::TrapCause::Watchdog;
+            result.faultPc = pc_;
+            result.message = strprintf(
+                "watchdog: no halt within %llu cycles (pc 0x%08x)",
+                static_cast<unsigned long long>(options_.watchdogCycles),
+                pc_);
+            result.crashReport = crashReport(SimFault{
+                result.message, pc_, isa::TrapCause::Watchdog});
+            return finish(result);
+        }
         try {
             step();
         } catch (const SimFault &fault) {
+            // A configured trap vector makes guest faults architectural:
+            // vector and keep running. The watchdog cause never comes
+            // through here (it is not a thrown fault).
+            SimFault stop = fault;
+            if (options_.trapVector != 0 &&
+                stats_.instructions != last_trap_inst) {
+                last_trap_inst = stats_.instructions;
+                try {
+                    deliverTrap(fault);
+                    continue;
+                } catch (const SimFault &dbl) {
+                    // The delivery itself faulted (e.g. the window
+                    // spill hit the address limit): unrecoverable.
+                    stop.message = strprintf(
+                        "double fault (%s) delivering trap: %s",
+                        dbl.message.c_str(), fault.message.c_str());
+                }
+            }
             result.reason = StopReason::Fault;
-            result.message = fault.message;
-            stats_.memory = memory_.stats();
-            result.instructions = stats_.instructions;
-            result.cycles = stats_.cycles;
-            return result;
+            result.message = stop.message;
+            result.faultCause = stop.cause;
+            result.faultAddr = stop.addr;
+            result.faultPc = pc_;
+            result.crashReport = crashReport(stop);
+            return finish(result);
         }
     }
     result.reason = halted_ ? StopReason::Halted : StopReason::InstLimit;
-    stats_.memory = memory_.stats();
-    result.instructions = stats_.instructions;
-    result.cycles = stats_.cycles;
-    return result;
+    return finish(result);
+}
+
+/**
+ * Deliver a precise fault to the guest through the CALLINT sequence.
+ * The faulting instruction had no architectural side effect (every
+ * fault is detected before state is written), so pc_ still names it:
+ * the handler may repair and re-execute (`retint (r25)0`) or skip
+ * (`retint (r24)0`).
+ */
+void
+Cpu::deliverTrap(const SimFault &fault)
+{
+    windowPush();
+    regs_.write(cwp_, isa::RaReg, pc_);          // r25: re-execute
+    regs_.write(cwp_, isa::RaReg - 1, npc_);     // r24: skip / slot-aware
+    regs_.write(cwp_, isa::LocalBase,
+                static_cast<uint32_t>(fault.cause)); // r16: cause
+    regs_.write(cwp_, isa::LocalBase + 1, fault.addr); // r17: address
+    ie_ = false;
+    jumpPending_ = false;
+    pc_ = options_.trapVector;
+    npc_ = pc_ + isa::InstBytes;
+    ++stats_.trapsTaken;
+    stats_.cycles += options_.timing.callCycles;
+}
+
+std::string
+Cpu::crashReport(const SimFault &fault) const
+{
+    std::string report;
+    report += "=== RISC I crash report ===\n";
+    report += strprintf("cause:       %s\n",
+                        std::string(isa::trapCauseName(fault.cause))
+                            .c_str());
+    report += strprintf("message:     %s\n", fault.message.c_str());
+    report += strprintf("fault pc:    0x%08x\n", pc_);
+    report += strprintf("fault addr:  0x%08x\n", fault.addr);
+    const isa::DecodeResult dec = isa::decode(memory_.peek32(pc_));
+    report += strprintf("instruction: %s\n",
+                        dec.ok
+                            ? isa::disassemble(dec.inst, pc_).c_str()
+                            : "<undecodable>");
+    report += strprintf(
+        "windows:     cwp %u, %u resident, %llu spilled, depth %llu\n",
+        cwp_, resident_, static_cast<unsigned long long>(spilled_),
+        static_cast<unsigned long long>(stats_.callDepth));
+    report += strprintf("flags:       n=%d z=%d v=%d c=%d ie=%d\n",
+                        flags_.n, flags_.z, flags_.v, flags_.c, ie_);
+    report += "recent pcs: "; // oldest to newest
+    const uint64_t depth = std::min<uint64_t>(pcRingCount_, PcRingSize);
+    for (uint64_t i = 0; i < depth; ++i) {
+        const unsigned slot =
+            (pcRingPos_ + PcRingSize - depth + i) % PcRingSize;
+        report += strprintf(" 0x%08x", pcRing_[slot]);
+    }
+    report += "\n";
+    return report;
 }
 
 uint32_t
@@ -214,10 +344,12 @@ Cpu::windowPop()
 {
     const unsigned nwin = regs_.spec().numWindows;
     if (stats_.callDepth == 0)
-        throw SimFault{"return without a matching call", pc_};
+        throw SimFault{"return without a matching call", pc_,
+                       isa::TrapCause::WindowExhausted};
     if (resident_ == 1) {
         if (spilled_ == 0)
-            throw SimFault{"window underflow with empty save stack", pc_};
+            throw SimFault{"window underflow with empty save stack", pc_,
+                           isa::TrapCause::WindowExhausted};
         const unsigned target = (cwp_ + 1) % nwin;
         for (unsigned slot = isa::RegsPerWindow; slot-- > 0;) {
             regs_.writePhys(regs_.frameSlotPhys(target, slot),
@@ -278,12 +410,16 @@ Cpu::step()
     maybeTakeInterrupt();
 
     const uint32_t inst_pc = pc_;
-    const uint32_t word = memory_.fetch32(inst_pc);
+    uint32_t word = memory_.fetch32(inst_pc);
+    if (fetchXor_ != 0) {
+        word ^= fetchXor_; // transient istream corruption (injection)
+        fetchXor_ = 0;
+    }
     const isa::DecodeResult dec = isa::decode(word);
     if (!dec.ok)
         throw SimFault{strprintf("at pc 0x%08x: %s", inst_pc,
                                  dec.error.c_str()),
-                       inst_pc};
+                       inst_pc, isa::TrapCause::IllegalOpcode};
     const Instruction &inst = dec.inst;
     const isa::OpInfo &info = inst.info();
 
@@ -429,6 +565,9 @@ Cpu::step()
     }
 
     // Bookkeeping.
+    pcRing_[pcRingPos_] = inst_pc;
+    pcRingPos_ = (pcRingPos_ + 1) % PcRingSize;
+    ++pcRingCount_;
     ++stats_.instructions;
     ++stats_.perOpcode[inst.op];
     stats_.countClass(info.opClass);

@@ -9,13 +9,17 @@
 #ifndef RISC1_SIM_CPU_HH
 #define RISC1_SIM_CPU_HH
 
+#include <array>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "asm/program.hh"
 #include "isa/condition.hh"
 #include "isa/instruction.hh"
+#include "isa/trapcause.hh"
+#include "sim/fault.hh"
 #include "sim/memory.hh"
 #include "sim/regfile.hh"
 #include "sim/stats.hh"
@@ -29,6 +33,8 @@ enum class StopReason : uint8_t
     Halted,    //!< transfer to address 0 (the `halt` convention)
     InstLimit, //!< maxInstructions reached
     Fault,     //!< guest error (illegal opcode, misalignment, ...)
+    Watchdog,  //!< cycle watchdog expired (livelocked guest)
+    Paused,    //!< runUntil() reached its instruction bound
 };
 
 /** Outcome of a run(). */
@@ -38,6 +44,14 @@ struct ExecResult
     std::string message; //!< fault description when reason == Fault
     uint64_t instructions = 0;
     uint64_t cycles = 0;
+
+    // Fault diagnostics, valid when reason is Fault (or Watchdog,
+    // which reports cause Watchdog). An architecturally delivered trap
+    // never surfaces here: the guest handler consumes it instead.
+    isa::TrapCause faultCause = isa::TrapCause::None;
+    uint32_t faultAddr = 0;  //!< faulting memory address, if relevant
+    uint32_t faultPc = 0;    //!< PC of the faulting instruction
+    std::string crashReport; //!< multi-line post-mortem (see README)
 
     bool halted() const { return reason == StopReason::Halted; }
 };
@@ -59,6 +73,26 @@ struct CpuOptions
      * `retint (r25)0`.
      */
     uint32_t interruptVector = 0;
+    /**
+     * Trap handler entry point; 0 degrades every guest fault to a
+     * StopReason::Fault stop with a crash report. When set, a precise
+     * fault is delivered like CALLINT: push a window, then in the new
+     * window r25 := faulting PC (re-execute on `retint (r25)0`),
+     * r24 := next PC (skip via `retint (r24)0`), r16 := TrapCause,
+     * r17 := faulting address; interrupts are disabled and execution
+     * vectors here. A fault whose delay slot held a taken transfer
+     * loses the pending target on resume — the same restriction that
+     * makes the hardware defer interrupts during transfers.
+     */
+    uint32_t trapVector = 0;
+    /**
+     * Cycle budget; a run() that exceeds it stops with
+     * StopReason::Watchdog (never delivered to the guest — a livelock
+     * guard must not depend on the livelocked program). 0 disables.
+     */
+    uint64_t watchdogCycles = 0;
+    /** Guest address-space limit (Memory::setLimit); 0 = unlimited. */
+    uint32_t memLimit = 0;
     bool trace = false;              //!< per-instruction trace
     std::ostream *traceOut = nullptr; //!< defaults to std::cerr
 };
@@ -84,6 +118,9 @@ struct Snapshot
     bool ie = true;
     bool halted = false;
     bool interruptPending = false;
+    std::vector<uint32_t> pcRing; //!< recent-PC ring (crash reports)
+    unsigned pcRingPos = 0;
+    uint64_t pcRingCount = 0;
 };
 
 /** The RISC I ("Gold") processor. */
@@ -103,6 +140,14 @@ class Cpu
 
     /** Run until halt, fault or the instruction limit. */
     ExecResult run();
+
+    /**
+     * Like run(), but additionally stop (StopReason::Paused) once the
+     * cumulative instruction count reaches `instructions`. The machine
+     * can be continued with run()/runUntil(); the fault-injection
+     * driver uses this to pause at the injection point.
+     */
+    ExecResult runUntil(uint64_t instructions);
 
     /** Execute exactly one instruction (throws SimFault on guest error). */
     void step();
@@ -146,6 +191,24 @@ class Cpu
 
     bool interruptPending() const { return interruptPending_; }
 
+    /**
+     * XOR the next fetched instruction word with `mask` (one fetch
+     * only, memory unchanged): a transient istream soft error, used by
+     * the fault-injection engine.
+     */
+    void corruptNextFetch(uint32_t mask) { fetchXor_ = mask; }
+
+    /** Physical register bank (fault injection / test access). */
+    RegisterFile &regfile() { return regs_; }
+    const RegisterFile &regfile() const { return regs_; }
+
+    /**
+     * The crash report run() would produce right now for `fault`:
+     * cause, faulting address, disassembly, window state and the
+     * recent-PC ring. Exposed for debugger-style tooling.
+     */
+    std::string crashReport(const SimFault &fault) const;
+
     const CpuOptions &options() const { return options_; }
 
   private:
@@ -168,6 +231,12 @@ class Cpu
     void windowPush();
     /** Pop a window for a return; handles underflow refilling. */
     void windowPop();
+
+    /** Vector a caught fault through options_.trapVector (CALLINT). */
+    void deliverTrap(const SimFault &fault);
+
+    /** Shared body of run()/runUntil(). */
+    ExecResult runLoop(uint64_t pause_at);
 
     void traceInst(uint32_t inst_pc, const isa::Instruction &inst);
 
@@ -192,6 +261,14 @@ class Cpu
     uint32_t jumpTarget_ = 0;
 
     bool interruptPending_ = false;
+
+    uint32_t fetchXor_ = 0; //!< one-shot istream corruption mask
+
+    /** Ring of the last PcRingSize executed instruction PCs. */
+    static constexpr unsigned PcRingSize = 16;
+    std::array<uint32_t, PcRingSize> pcRing_{};
+    unsigned pcRingPos_ = 0;
+    uint64_t pcRingCount_ = 0;
 
     /** Take a pending interrupt if the machine state allows it. */
     bool maybeTakeInterrupt();

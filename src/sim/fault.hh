@@ -1,7 +1,9 @@
 /**
  * @file
  * Guest-visible execution faults. Thrown by the memory system and the
- * executor, caught by Cpu::run which converts them into a Fault stop.
+ * executors; caught by Cpu::run / VaxCpu::run, which either deliver
+ * them architecturally through the trap vector (RISC I) or convert
+ * them into a Fault stop with a crash report.
  */
 
 #ifndef RISC1_SIM_FAULT_HH
@@ -10,6 +12,8 @@
 #include <cstdint>
 #include <string>
 
+#include "isa/trapcause.hh"
+
 namespace risc1::sim {
 
 /** An error attributable to the guest program (not a simulator bug). */
@@ -17,6 +21,7 @@ struct SimFault
 {
     std::string message;
     uint32_t addr = 0; //!< faulting memory address or PC, if relevant
+    isa::TrapCause cause = isa::TrapCause::None; //!< architected cause
 };
 
 } // namespace risc1::sim

@@ -1,0 +1,86 @@
+#include "sim/faultinject.hh"
+
+#include "support/logging.hh"
+
+namespace risc1::sim {
+
+Injection
+drawInjection(Rng &rng, uint64_t horizon)
+{
+    Injection inj;
+    switch (rng.below(3)) {
+      case 0: inj.target = InjectTarget::Register; break;
+      case 1: inj.target = InjectTarget::Memory; break;
+      default: inj.target = InjectTarget::Fetch; break;
+    }
+    inj.atInstruction = horizon ? rng.below(horizon) : 0;
+    inj.bit = static_cast<unsigned>(rng.below(32));
+    return inj;
+}
+
+void
+applyInjection(Cpu &cpu, Rng &rng, Injection &inj)
+{
+    const uint32_t mask = 1u << inj.bit;
+    switch (inj.target) {
+      case InjectTarget::Register: {
+        inj.physReg = static_cast<unsigned>(
+            rng.below(cpu.regfile().spec().physCount()));
+        inj.oldValue = cpu.regfile().readPhys(inj.physReg);
+        inj.newValue = inj.oldValue ^ mask;
+        cpu.regfile().writePhys(inj.physReg, inj.newValue);
+        break;
+      }
+      case InjectTarget::Memory: {
+        const std::vector<uint32_t> pages = cpu.memory().pageIndices();
+        if (pages.empty())
+            panic("applyInjection: no touched pages to inject into");
+        const uint32_t page = pages[rng.below(pages.size())];
+        inj.memAddr = (page << Memory::PageBits) +
+                      4 * static_cast<uint32_t>(
+                              rng.below(Memory::PageSize / 4));
+        inj.oldValue = cpu.memory().peek32(inj.memAddr);
+        inj.newValue = inj.oldValue ^ mask;
+        cpu.memory().poke32(inj.memAddr, inj.newValue);
+        break;
+      }
+      case InjectTarget::Fetch:
+        inj.oldValue = cpu.memory().peek32(cpu.pc());
+        inj.newValue = inj.oldValue ^ mask;
+        cpu.corruptNextFetch(mask);
+        break;
+    }
+    inj.applied = true;
+}
+
+ExecResult
+runWithInjection(Cpu &cpu, Rng &rng, Injection &inj)
+{
+    ExecResult pre = cpu.runUntil(inj.atInstruction);
+    if (pre.reason != StopReason::Paused)
+        return pre; // finished (or died) before the injection point
+    applyInjection(cpu, rng, inj);
+    return cpu.run();
+}
+
+std::string
+describeInjection(const Injection &inj)
+{
+    const char *what = inj.target == InjectTarget::Register ? "reg"
+                       : inj.target == InjectTarget::Memory ? "mem"
+                                                            : "fetch";
+    std::string where;
+    if (inj.applied) {
+        if (inj.target == InjectTarget::Register)
+            where = strprintf(" phys r%u", inj.physReg);
+        else if (inj.target == InjectTarget::Memory)
+            where = strprintf(" 0x%08x", inj.memAddr);
+        where += strprintf(" (%08x -> %08x)", inj.oldValue,
+                           inj.newValue);
+    }
+    return strprintf("%s bit %u at inst %llu%s", what, inj.bit,
+                     static_cast<unsigned long long>(inj.atInstruction),
+                     where.c_str());
+}
+
+} // namespace risc1::sim

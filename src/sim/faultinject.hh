@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deterministic single-bit fault injection (the classic soft-error /
+ * AVF methodology): flip one bit in a register-file cell, a memory
+ * word, or one fetched instruction word at a chosen dynamic
+ * instruction index, then let the run classify itself against the
+ * workload oracle. All randomness comes from the caller's support/rng
+ * so a campaign is bit-for-bit reproducible from its seed.
+ */
+
+#ifndef RISC1_SIM_FAULTINJECT_HH
+#define RISC1_SIM_FAULTINJECT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/cpu.hh"
+#include "support/rng.hh"
+
+namespace risc1::sim {
+
+/** Which state element the bit flip lands in. */
+enum class InjectTarget : uint8_t
+{
+    Register, //!< one physical register-file cell
+    Memory,   //!< one word of a touched memory page
+    Fetch,    //!< one fetched instruction word (transient, istream)
+};
+
+/** One planned (and, after the run, executed) bit flip. */
+struct Injection
+{
+    InjectTarget target = InjectTarget::Register;
+    uint64_t atInstruction = 0; //!< dynamic index the flip lands before
+    unsigned bit = 0;           //!< 0..31, bit within the 32-bit cell
+
+    // Filled in when the flip is applied (the concrete cell is chosen
+    // against the machine's live state at the injection point).
+    unsigned physReg = 0;   //!< Register target: physical index
+    uint32_t memAddr = 0;   //!< Memory target: word address
+    uint32_t oldValue = 0;  //!< cell value before the flip
+    uint32_t newValue = 0;  //!< cell value after the flip
+    bool applied = false;
+};
+
+/** Draw target kind, instruction index in [0, horizon) and bit. */
+Injection drawInjection(Rng &rng, uint64_t horizon);
+
+/**
+ * Apply `inj` to the machine now, choosing the concrete cell with
+ * `rng`. Register flips pick a uniform physical register; memory
+ * flips a uniform word of a uniform touched page; fetch flips arm
+ * Cpu::corruptNextFetch. Records the chosen cell back into `inj`.
+ */
+void applyInjection(Cpu &cpu, Rng &rng, Injection &inj);
+
+/**
+ * Run a freshly loaded `cpu` with `inj`: advance to inj.atInstruction,
+ * apply the flip, continue to completion. If the machine halts or
+ * faults before the injection point the (uninjected) result is
+ * returned and `inj.applied` stays false.
+ */
+ExecResult runWithInjection(Cpu &cpu, Rng &rng, Injection &inj);
+
+/** One-line human-readable description of an injection. */
+std::string describeInjection(const Injection &inj);
+
+} // namespace risc1::sim
+
+#endif // RISC1_SIM_FAULTINJECT_HH

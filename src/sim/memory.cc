@@ -28,12 +28,20 @@ Memory::pageAt(uint32_t addr) const
 }
 
 void
-Memory::checkAlign(uint32_t addr, unsigned bytes) const
+Memory::checkAccess(uint32_t addr, unsigned bytes) const
 {
     if (addr % bytes != 0) {
         throw SimFault{strprintf("misaligned %u-byte access at 0x%08x",
                                  bytes, addr),
-                       addr};
+                       addr, isa::TrapCause::MisalignedAccess};
+    }
+    // The straddle form (addr > limit - bytes) avoids overflow of
+    // addr + bytes near the top of the address space.
+    if (limit_ != 0 && (bytes > limit_ || addr > limit_ - bytes)) {
+        throw SimFault{strprintf("%u-byte access at 0x%08x beyond the "
+                                 "0x%08x address limit",
+                                 bytes, addr, limit_),
+                       addr, isa::TrapCause::OutOfRangeAddress};
     }
 }
 
@@ -69,7 +77,7 @@ Memory::poke32(uint32_t addr, uint32_t value)
 uint32_t
 Memory::fetch32(uint32_t addr)
 {
-    checkAlign(addr, 4);
+    checkAccess(addr, 4);
     ++stats_.instFetches;
     return peek32(addr);
 }
@@ -77,6 +85,7 @@ Memory::fetch32(uint32_t addr)
 uint8_t
 Memory::read8(uint32_t addr)
 {
+    checkAccess(addr, 1);
     ++stats_.dataReads;
     stats_.dataReadBytes += 1;
     return peek8(addr);
@@ -85,7 +94,7 @@ Memory::read8(uint32_t addr)
 uint16_t
 Memory::read16(uint32_t addr)
 {
-    checkAlign(addr, 2);
+    checkAccess(addr, 2);
     ++stats_.dataReads;
     stats_.dataReadBytes += 2;
     return static_cast<uint16_t>(peek8(addr) |
@@ -96,7 +105,7 @@ Memory::read16(uint32_t addr)
 uint32_t
 Memory::read32(uint32_t addr)
 {
-    checkAlign(addr, 4);
+    checkAccess(addr, 4);
     ++stats_.dataReads;
     stats_.dataReadBytes += 4;
     return peek32(addr);
@@ -105,6 +114,7 @@ Memory::read32(uint32_t addr)
 void
 Memory::write8(uint32_t addr, uint8_t value)
 {
+    checkAccess(addr, 1);
     ++stats_.dataWrites;
     stats_.dataWriteBytes += 1;
     poke8(addr, value);
@@ -113,7 +123,7 @@ Memory::write8(uint32_t addr, uint8_t value)
 void
 Memory::write16(uint32_t addr, uint16_t value)
 {
-    checkAlign(addr, 2);
+    checkAccess(addr, 2);
     ++stats_.dataWrites;
     stats_.dataWriteBytes += 2;
     poke8(addr, static_cast<uint8_t>(value));
@@ -123,7 +133,7 @@ Memory::write16(uint32_t addr, uint16_t value)
 void
 Memory::write32(uint32_t addr, uint32_t value)
 {
-    checkAlign(addr, 4);
+    checkAccess(addr, 4);
     ++stats_.dataWrites;
     stats_.dataWriteBytes += 4;
     poke32(addr, value);
@@ -136,6 +146,17 @@ Memory::loadProgram(const assembler::Program &program)
         for (size_t i = 0; i < seg.bytes.size(); ++i)
             poke8(seg.base + static_cast<uint32_t>(i), seg.bytes[i]);
     }
+}
+
+std::vector<uint32_t>
+Memory::pageIndices() const
+{
+    std::vector<uint32_t> indices;
+    indices.reserve(pages_.size());
+    for (const auto &[index, page] : pages_)
+        indices.push_back(index);
+    std::sort(indices.begin(), indices.end());
+    return indices;
 }
 
 std::vector<Memory::PageDump>

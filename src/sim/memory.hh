@@ -40,6 +40,14 @@ class Memory
     static constexpr unsigned PageBits = 12;
     static constexpr uint32_t PageSize = 1u << PageBits;
 
+    /**
+     * Install an address-space limit: counted accesses (fetch/read/
+     * write) at or beyond `limit` raise an OutOfRangeAddress SimFault.
+     * 0 (the default) disables the check. peek/poke are exempt.
+     */
+    void setLimit(uint32_t limit) { limit_ = limit; }
+    uint32_t limit() const { return limit_; }
+
     /** Fetch one instruction word (counted separately from data). */
     uint32_t fetch32(uint32_t addr);
 
@@ -70,6 +78,9 @@ class Memory
     const MemStats &stats() const { return stats_; }
     void resetStats() { stats_ = MemStats{}; }
 
+    /** Indices of all touched pages, sorted (fault injection). */
+    std::vector<uint32_t> pageIndices() const;
+
     /** One serialized page: index and contents (checkpointing). */
     using PageDump = std::pair<uint32_t, std::vector<uint8_t>>;
 
@@ -90,10 +101,12 @@ class Memory
     /** Page holding `addr`, or nullptr if never touched. */
     const Page *pageAt(uint32_t addr) const;
 
-    void checkAlign(uint32_t addr, unsigned bytes) const;
+    /** Alignment + address-limit check for a counted access. */
+    void checkAccess(uint32_t addr, unsigned bytes) const;
 
     std::unordered_map<uint32_t, std::unique_ptr<Page>> pages_;
     MemStats stats_;
+    uint32_t limit_ = 0;
 };
 
 } // namespace risc1::sim

@@ -38,6 +38,7 @@ struct SimStats
     uint64_t calls = 0;
     uint64_t returns = 0;
     uint64_t interruptsTaken = 0;
+    uint64_t trapsTaken = 0; //!< faults delivered through the trap vector
     uint64_t windowOverflows = 0;
     uint64_t windowUnderflows = 0;
     uint64_t spillWords = 0;  //!< registers written to the save stack

@@ -1,5 +1,6 @@
 #include "vax/cpu.hh"
 
+#include <algorithm>
 #include <iostream>
 
 #include "sim/fault.hh"
@@ -17,6 +18,7 @@ void
 VaxCpu::load(const VaxProgram &program)
 {
     memory_ = sim::Memory{};
+    memory_.setLimit(options_.memLimit);
     for (size_t i = 0; i < program.bytes.size(); ++i)
         memory_.poke8(program.base + static_cast<uint32_t>(i),
                       program.bytes[i]);
@@ -25,6 +27,9 @@ VaxCpu::load(const VaxProgram &program)
     flags_ = isa::Flags{};
     pc_ = program.entry;
     halted_ = false;
+    pcRing_.fill(0);
+    pcRingPos_ = 0;
+    pcRingCount_ = 0;
     regs_[SP] = options_.stackTop;
     regs_[FP] = options_.stackTop;
     regs_[AP] = options_.stackTop;
@@ -33,25 +38,77 @@ VaxCpu::load(const VaxProgram &program)
 sim::ExecResult
 VaxCpu::run()
 {
+    auto finish = [&](sim::ExecResult &result) -> sim::ExecResult & {
+        stats_.memory = memory_.stats();
+        result.instructions = stats_.instructions;
+        result.cycles = stats_.cycles;
+        return result;
+    };
+
     sim::ExecResult result;
     while (!halted_ && stats_.instructions < options_.maxInstructions) {
+        if (options_.watchdogCycles != 0 &&
+            stats_.cycles > options_.watchdogCycles) {
+            result.reason = sim::StopReason::Watchdog;
+            result.faultCause = isa::TrapCause::Watchdog;
+            result.faultPc = pc_;
+            result.message = strprintf(
+                "watchdog: no halt within %llu cycles (pc 0x%08x)",
+                static_cast<unsigned long long>(
+                    options_.watchdogCycles),
+                pc_);
+            result.crashReport = crashReport(SimFault{
+                result.message, pc_, isa::TrapCause::Watchdog});
+            return finish(result);
+        }
         try {
             step();
         } catch (const SimFault &fault) {
             result.reason = sim::StopReason::Fault;
             result.message = fault.message;
-            stats_.memory = memory_.stats();
-            result.instructions = stats_.instructions;
-            result.cycles = stats_.cycles;
-            return result;
+            result.faultCause = fault.cause;
+            result.faultAddr = fault.addr;
+            result.faultPc = instStart_;
+            result.crashReport = crashReport(fault);
+            return finish(result);
         }
     }
     result.reason = halted_ ? sim::StopReason::Halted
                             : sim::StopReason::InstLimit;
-    stats_.memory = memory_.stats();
-    result.instructions = stats_.instructions;
-    result.cycles = stats_.cycles;
-    return result;
+    return finish(result);
+}
+
+std::string
+VaxCpu::crashReport(const SimFault &fault) const
+{
+    std::string report;
+    report += "=== vax80 crash report ===\n";
+    report += strprintf("cause:       %s\n",
+                        std::string(isa::trapCauseName(fault.cause))
+                            .c_str());
+    report += strprintf("message:     %s\n", fault.message.c_str());
+    report += strprintf("fault pc:    0x%08x\n", instStart_);
+    report += strprintf("fault addr:  0x%08x\n", fault.addr);
+    std::vector<uint8_t> bytes(16);
+    for (unsigned i = 0; i < bytes.size(); ++i)
+        bytes[i] = memory_.peek8(instStart_ + i);
+    const VaxDisasmLine line = disassembleVaxAt(bytes, 0, instStart_);
+    report += strprintf("instruction: %s\n",
+                        line.valid ? line.text.c_str()
+                                   : "<undecodable>");
+    for (unsigned r = 0; r < NumRegs; ++r)
+        report += strprintf("%sr%-2u %08x%s", r % 4 == 0 ? "  " : " ",
+                            r, regs_[r],
+                            r % 4 == 3 ? "\n" : "");
+    report += "recent pcs: "; // oldest to newest
+    const uint64_t depth = std::min<uint64_t>(pcRingCount_, PcRingSize);
+    for (uint64_t i = 0; i < depth; ++i) {
+        const unsigned slot =
+            (pcRingPos_ + PcRingSize - depth + i) % PcRingSize;
+        report += strprintf(" 0x%08x", pcRing_[slot]);
+    }
+    report += "\n";
+    return report;
 }
 
 uint8_t
@@ -91,7 +148,7 @@ VaxCpu::decodeOperand(unsigned width)
         OpRef base = decodeOperand(width);
         if (base.kind != OpRef::Kind::Mem)
             throw SimFault{"index prefix on non-memory operand",
-                           instStart_};
+                           instStart_, isa::TrapCause::IllegalOperand};
         base.addr += index * width;
         return base;
     }
@@ -100,7 +157,8 @@ VaxCpu::decodeOperand(unsigned width)
     switch (static_cast<Mode>(mode)) {
       case Mode::Register:
         if (reg >= NumRegs)
-            throw SimFault{"register specifier out of range", instStart_};
+            throw SimFault{"register specifier out of range", instStart_,
+                           isa::TrapCause::IllegalOperand};
         ref.kind = OpRef::Kind::Reg;
         ref.reg = reg;
         return ref;
@@ -146,7 +204,7 @@ VaxCpu::decodeOperand(unsigned width)
       }
       default:
         throw SimFault{strprintf("bad operand specifier 0x%02x", spec),
-                       instStart_};
+                       instStart_, isa::TrapCause::IllegalOperand};
     }
 }
 
@@ -174,7 +232,8 @@ VaxCpu::writeOp(const OpRef &ref, uint32_t value, unsigned width)
 {
     switch (ref.kind) {
       case OpRef::Kind::Val:
-        throw SimFault{"write to a literal operand", instStart_};
+        throw SimFault{"write to a literal operand", instStart_,
+                       isa::TrapCause::IllegalOperand};
       case OpRef::Kind::Reg:
         if (width == 4) {
             regs_[ref.reg] = value;
@@ -258,7 +317,8 @@ VaxCpu::doCalls()
     const uint32_t nargs = readOp(nargs_ref, 4);
     const OpRef dst = decodeOperand(4);
     if (dst.kind != OpRef::Kind::Mem)
-        throw SimFault{"CALLS destination must be an address", instStart_};
+        throw SimFault{"CALLS destination must be an address", instStart_,
+                       isa::TrapCause::IllegalOperand};
 
     const uint32_t proc = dst.addr;
     // The entry mask sits at an arbitrary (usually unaligned) code
@@ -349,7 +409,7 @@ VaxCpu::step()
     if (!isValidVaxOp(raw))
         throw SimFault{strprintf("illegal vax80 opcode 0x%02x at 0x%08x",
                                  raw, instStart_),
-                       instStart_};
+                       instStart_, isa::TrapCause::IllegalOpcode};
     const auto op = static_cast<VaxOp>(raw);
 
     auto alu2 = [&](unsigned width, auto fn, bool arith) {
@@ -452,7 +512,8 @@ VaxCpu::step()
         const OpRef src = decodeOperand(4);
         if (src.kind != OpRef::Kind::Mem)
             throw SimFault{"MOVAL needs an addressable operand",
-                           instStart_};
+                           instStart_,
+                           isa::TrapCause::IllegalOperand};
         const OpRef dst = decodeOperand(4);
         writeOp(dst, src.addr, 4);
         setNZ(src.addr);
@@ -492,7 +553,8 @@ VaxCpu::step()
         const uint32_t dividend = readOp(src2, 4);
         const OpRef dst = op == VaxOp::Divl3 ? decodeOperand(4) : src2;
         if (divisor == 0)
-            throw SimFault{"divide by zero", instStart_};
+            throw SimFault{"divide by zero", instStart_,
+                       isa::TrapCause::DivideByZero};
         const auto q = static_cast<uint32_t>(
             static_cast<int32_t>(dividend) /
             static_cast<int32_t>(divisor));
@@ -623,7 +685,8 @@ VaxCpu::step()
         const OpRef dst = decodeOperand(4);
         if (dst.kind != OpRef::Kind::Mem)
             throw SimFault{"JMP needs an addressable operand",
-                           instStart_};
+                           instStart_,
+                           isa::TrapCause::IllegalOperand};
         ++stats_.branches;
         ++stats_.branchesTaken;
         stats_.cycles += options_.timing.branchTakenExtra;
@@ -645,6 +708,9 @@ VaxCpu::step()
                      options_.timing.perSpecifier * specifiers_;
     stats_.istreamBytes += istreamCount_;
     memory_.countInstFetches((istreamCount_ + 3) / 4);
+    pcRing_[pcRingPos_] = instStart_;
+    pcRingPos_ = (pcRingPos_ + 1) % PcRingSize;
+    ++pcRingCount_;
     ++stats_.instructions;
     ++stats_.perOpcode[op];
 }

@@ -67,6 +67,15 @@ struct VaxCpuOptions
     VaxTiming timing{};
     uint64_t maxInstructions = 200'000'000;
     uint32_t stackTop = 0x00e00000;
+    /**
+     * Cycle budget; a run() that exceeds it stops with
+     * StopReason::Watchdog. 0 disables. (vax80 has no guest-visible
+     * trap machinery, so faults always stop the machine; the watchdog
+     * and crash diagnostics mirror the RISC I side.)
+     */
+    uint64_t watchdogCycles = 0;
+    /** Guest address-space limit (Memory::setLimit); 0 = unlimited. */
+    uint32_t memLimit = 0;
     bool trace = false;               //!< per-instruction disassembly
     std::ostream *traceOut = nullptr; //!< defaults to std::cerr
 };
@@ -96,6 +105,12 @@ class VaxCpu
 
     uint32_t reg(unsigned r) const { return regs_[r]; }
     void setReg(unsigned r, uint32_t v) { regs_[r] = v; }
+
+    /**
+     * The crash report run() would produce right now for `fault`:
+     * cause, address, disassembly, registers and the recent-PC ring.
+     */
+    std::string crashReport(const sim::SimFault &fault) const;
 
   private:
     /** A resolved operand: where the datum lives. */
@@ -137,6 +152,12 @@ class VaxCpu
     unsigned specifiers_ = 0;   //!< specifiers decoded this instruction
     unsigned istreamCount_ = 0; //!< istream bytes consumed this instruction
     bool halted_ = false;
+
+    /** Ring of the last PcRingSize instruction-start PCs. */
+    static constexpr unsigned PcRingSize = 16;
+    std::array<uint32_t, PcRingSize> pcRing_{};
+    unsigned pcRingPos_ = 0;
+    uint64_t pcRingCount_ = 0;
 };
 
 } // namespace risc1::vax

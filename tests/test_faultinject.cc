@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Fault-injection tests: deterministic replay of campaign rows,
+ * outcome completeness, transience of fetch-word flips, and bounds on
+ * drawn injections.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "core/experiments.hh"
+#include "sim/cpu.hh"
+#include "sim/faultinject.hh"
+#include "support/rng.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace risc1;
+using assembler::assembleOrDie;
+
+TEST(FaultInject, CampaignIsDeterministicForFixedSeed)
+{
+    auto first = core::faultCampaign(5, 1981);
+    auto second = core::faultCampaign(5, 1981);
+    ASSERT_EQ(first.size(), second.size());
+    for (size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].name, second[i].name);
+        EXPECT_EQ(first[i].baselineInsts, second[i].baselineInsts);
+        for (unsigned c = 0; c < core::NumFaultOutcomes; ++c)
+            EXPECT_EQ(first[i].byOutcome[c], second[i].byOutcome[c])
+                << first[i].name << " outcome " << c;
+    }
+}
+
+TEST(FaultInject, EveryRunIsClassified)
+{
+    for (const auto &row : core::faultCampaign(8, 7)) {
+        unsigned sum = 0;
+        for (unsigned c = 0; c < core::NumFaultOutcomes; ++c)
+            sum += row.byOutcome[c];
+        EXPECT_EQ(sum, row.injections) << row.name;
+    }
+}
+
+TEST(FaultInject, DifferentSeedsDrawDifferentInjections)
+{
+    Rng a(1), b(2);
+    bool differ = false;
+    for (int i = 0; i < 8 && !differ; ++i) {
+        sim::Injection x = sim::drawInjection(a, 1000);
+        sim::Injection y = sim::drawInjection(b, 1000);
+        differ = x.target != y.target || x.bit != y.bit ||
+                 x.atInstruction != y.atInstruction;
+    }
+    EXPECT_TRUE(differ);
+}
+
+TEST(FaultInject, DrawnInjectionsAreInBounds)
+{
+    Rng rng(42);
+    for (int i = 0; i < 200; ++i) {
+        sim::Injection inj = sim::drawInjection(rng, 1234);
+        EXPECT_LT(inj.bit, 32u);
+        EXPECT_LT(inj.atInstruction, 1234u);
+    }
+}
+
+TEST(FaultInject, FetchFlipIsTransient)
+{
+    // Corrupting the fetched word must not alter the stored program:
+    // flip the whole opcode field of the first instruction to zero so
+    // decode faults, then check memory still holds the original image.
+    sim::Cpu cpu;
+    cpu.load(assembleOrDie(R"(
+main:   mov   7, r16
+        halt
+)"));
+    const uint32_t entry = cpu.pc();
+    const uint32_t original = cpu.memory().peek32(entry);
+    ASSERT_NE(original, 0u);
+
+    cpu.corruptNextFetch(original); // word ^ original == 0 → illegal
+    auto result = cpu.run();
+    EXPECT_EQ(result.reason, sim::StopReason::Fault);
+    EXPECT_EQ(result.faultCause, isa::TrapCause::IllegalOpcode);
+    EXPECT_EQ(cpu.memory().peek32(entry), original);
+}
+
+TEST(FaultInject, FetchCorruptionOnlyHitsOneFetch)
+{
+    // A flip that turns `mov 7, r16` into a different-but-legal word
+    // would run on; here we flip a bit that keeps the opcode legal by
+    // flipping the immediate instead, and the program must still halt.
+    sim::Cpu cpu;
+    cpu.load(assembleOrDie(R"(
+main:   mov   7, r16
+        stl   r16, (r0)800
+        halt
+)"));
+    cpu.corruptNextFetch(1u); // flip bit 0 of the first word
+    auto result = cpu.run();
+    if (result.halted()) {
+        // The corrupted immediate (7^1 = 6) reached r16; the stored
+        // program was untouched, so a re-run gives the true value.
+        EXPECT_EQ(cpu.memory().peek32(800), 6u);
+        sim::Cpu again;
+        again.load(assembleOrDie(R"(
+main:   mov   7, r16
+        stl   r16, (r0)800
+        halt
+)"));
+        ASSERT_TRUE(again.run().halted());
+        EXPECT_EQ(again.memory().peek32(800), 7u);
+    }
+}
+
+TEST(FaultInject, RegisterInjectionFlipsExactlyOneBit)
+{
+    sim::Cpu cpu;
+    cpu.load(assembleOrDie(R"(
+main:   b     main
+)"));
+    Rng rng(99);
+    sim::Injection inj;
+    inj.target = sim::InjectTarget::Register;
+    inj.atInstruction = 0;
+    inj.bit = 5;
+    sim::applyInjection(cpu, rng, inj);
+    EXPECT_TRUE(inj.applied);
+    EXPECT_EQ(inj.oldValue ^ inj.newValue, 1u << 5);
+    EXPECT_EQ(cpu.regfile().readPhys(inj.physReg), inj.newValue);
+}
+
+TEST(FaultInject, MemoryInjectionFlipsATouchedWord)
+{
+    sim::Cpu cpu;
+    cpu.load(assembleOrDie(R"(
+main:   b     main
+)"));
+    Rng rng(7);
+    sim::Injection inj;
+    inj.target = sim::InjectTarget::Memory;
+    inj.atInstruction = 0;
+    inj.bit = 12;
+    sim::applyInjection(cpu, rng, inj);
+    EXPECT_TRUE(inj.applied);
+    EXPECT_EQ(inj.oldValue ^ inj.newValue, 1u << 12);
+    EXPECT_EQ(cpu.memory().peek32(inj.memAddr), inj.newValue);
+    EXPECT_EQ(inj.memAddr % 4, 0u);
+}
+
+TEST(FaultInject, RunWithInjectionPausesAppliesAndFinishes)
+{
+    sim::Cpu cpu;
+    cpu.load(assembleOrDie(R"(
+main:   mov   1, r16
+        mov   2, r16
+        mov   3, r16
+        halt
+)"));
+    Rng rng(3);
+    sim::Injection inj;
+    inj.target = sim::InjectTarget::Register;
+    inj.atInstruction = 2;
+    inj.bit = 0;
+    auto result = sim::runWithInjection(cpu, rng, inj);
+    EXPECT_TRUE(inj.applied);
+    EXPECT_TRUE(result.halted()) << result.message;
+    EXPECT_GE(cpu.stats().instructions, 4u);
+    EXPECT_FALSE(sim::describeInjection(inj).empty());
+}
+
+TEST(FaultInject, InjectionPastEndOfRunIsNotApplied)
+{
+    sim::Cpu cpu;
+    cpu.load(assembleOrDie(R"(
+main:   halt
+)"));
+    Rng rng(3);
+    sim::Injection inj;
+    inj.target = sim::InjectTarget::Register;
+    inj.atInstruction = 50; // beyond the program's lifetime
+    inj.bit = 0;
+    auto result = sim::runWithInjection(cpu, rng, inj);
+    EXPECT_TRUE(result.halted());
+    EXPECT_FALSE(inj.applied);
+}
+
+TEST(FaultInject, DescribeNamesEveryTarget)
+{
+    for (auto target : {sim::InjectTarget::Register,
+                        sim::InjectTarget::Memory,
+                        sim::InjectTarget::Fetch}) {
+        sim::Injection inj;
+        inj.target = target;
+        inj.bit = 3;
+        EXPECT_FALSE(sim::describeInjection(inj).empty());
+    }
+}
+
+} // namespace

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Precise-trap tests: guest programs catching faults through the trap
+ * vector (misaligned load emulation, illegal-opcode skip), the
+ * no-vector fallback with crash diagnostics, the cycle watchdog, the
+ * trap-storm guard, and snapshot/restore taken mid-trap.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "sim/cpu.hh"
+
+namespace {
+
+using namespace risc1;
+using assembler::assembleOrDie;
+
+/**
+ * A guest that performs a misaligned 32-bit load and a handler that
+ * emulates it with byte loads. The handler's r26..r31 alias the
+ * faulter's r10..r15 (the trap push makes the handler the faulter's
+ * callee), so the emulated value lands exactly where the load would
+ * have put it; `retint (r24)0` then skips the faulting instruction.
+ */
+const char *MisalignedWithHandler = R"(
+        .entry main
+trap:   stl   r16, (r0)896    ; record cause
+        stl   r17, (r0)900    ; record faulting address
+        ldbu  (r17)0, r20     ; emulate the unaligned word load
+        ldbu  (r17)1, r21
+        sll   r21, 8, r21
+        or    r20, r21, r20
+        ldbu  (r17)2, r21
+        sll   r21, 16, r21
+        or    r20, r21, r20
+        ldbu  (r17)3, r21
+        sll   r21, 24, r21
+        or    r20, r21, r20
+        mov   r20, r26        ; faulter's r10
+        retint (r24)0         ; resume past the faulting load
+main:   li    0x33221100, r20
+        stl   r20, (r0)800
+        li    0x77665544, r20
+        stl   r20, (r0)804
+        ldl   (r0)802, r10    ; misaligned: traps
+        stl   r10, (r0)808
+        halt
+)";
+
+TEST(Traps, GuestCatchesMisalignedLoadAndResumes)
+{
+    assembler::Program prog = assembleOrDie(MisalignedWithHandler);
+    sim::CpuOptions opts;
+    opts.trapVector = *prog.symbol("trap");
+    sim::Cpu cpu(opts);
+    cpu.load(prog);
+
+    auto result = cpu.run();
+    ASSERT_TRUE(result.halted()) << result.message;
+    EXPECT_EQ(cpu.stats().trapsTaken, 1u);
+    // The emulated unaligned load produced the right bytes.
+    EXPECT_EQ(cpu.memory().peek32(808), 0x55443322u);
+    EXPECT_EQ(cpu.memory().peek32(896),
+              static_cast<uint32_t>(isa::TrapCause::MisalignedAccess));
+    EXPECT_EQ(cpu.memory().peek32(900), 802u);
+    // The trap was consumed architecturally, not reported.
+    EXPECT_EQ(result.faultCause, isa::TrapCause::None);
+    EXPECT_TRUE(result.crashReport.empty());
+}
+
+TEST(Traps, GuestCatchesIllegalOpcodeAndSkips)
+{
+    assembler::Program prog = assembleOrDie(R"(
+        .entry main
+trap:   stl   r16, (r0)896
+        retint (r24)0         ; skip the undecodable word
+main:   mov   7, r16
+        .word 0x00000000      ; no such opcode
+        stl   r16, (r0)800
+        halt
+)");
+    sim::CpuOptions opts;
+    opts.trapVector = *prog.symbol("trap");
+    sim::Cpu cpu(opts);
+    cpu.load(prog);
+
+    auto result = cpu.run();
+    ASSERT_TRUE(result.halted()) << result.message;
+    EXPECT_EQ(cpu.stats().trapsTaken, 1u);
+    EXPECT_EQ(cpu.memory().peek32(896),
+              static_cast<uint32_t>(isa::TrapCause::IllegalOpcode));
+    EXPECT_EQ(cpu.memory().peek32(800), 7u); // r16 of the faulting
+                                             // window was untouched
+}
+
+TEST(Traps, NoVectorFallsBackToFaultStopWithDiagnostics)
+{
+    assembler::Program prog = assembleOrDie(MisalignedWithHandler);
+    sim::Cpu cpu; // no trap vector
+    cpu.load(prog);
+
+    auto result = cpu.run();
+    EXPECT_EQ(result.reason, sim::StopReason::Fault);
+    EXPECT_EQ(result.faultCause, isa::TrapCause::MisalignedAccess);
+    EXPECT_EQ(result.faultAddr, 802u);
+    EXPECT_EQ(cpu.stats().trapsTaken, 0u);
+    // The crash report names the cause, the PC and the instruction.
+    EXPECT_NE(result.crashReport.find("misaligned access"),
+              std::string::npos)
+        << result.crashReport;
+    EXPECT_NE(result.crashReport.find("ldl"), std::string::npos)
+        << result.crashReport;
+    EXPECT_NE(result.crashReport.find("recent pcs"), std::string::npos);
+    // The faulting instruction's PC is reported and precise.
+    EXPECT_EQ(result.faultPc, cpu.pc());
+}
+
+TEST(Traps, WindowExhaustionIsTyped)
+{
+    sim::Cpu cpu;
+    cpu.load(assembleOrDie("main:   ret\n"));
+    auto result = cpu.run();
+    EXPECT_EQ(result.reason, sim::StopReason::Fault);
+    EXPECT_EQ(result.faultCause, isa::TrapCause::WindowExhausted);
+}
+
+TEST(Traps, AddressLimitFaultsOutOfRange)
+{
+    sim::CpuOptions opts;
+    opts.memLimit = 0x01000000;
+    sim::Cpu cpu(opts);
+    cpu.load(assembleOrDie(R"(
+main:   li    0x02000000, r16
+        ldl   (r16)0, r17
+        halt
+)"));
+    auto result = cpu.run();
+    EXPECT_EQ(result.reason, sim::StopReason::Fault);
+    EXPECT_EQ(result.faultCause, isa::TrapCause::OutOfRangeAddress);
+    EXPECT_EQ(result.faultAddr, 0x02000000u);
+}
+
+TEST(Traps, WatchdogStopsInfiniteLoop)
+{
+    sim::CpuOptions opts;
+    opts.watchdogCycles = 10'000;
+    sim::Cpu cpu(opts);
+    cpu.load(assembleOrDie(R"(
+main:   b     main
+)"));
+    auto result = cpu.run();
+    EXPECT_EQ(result.reason, sim::StopReason::Watchdog);
+    EXPECT_EQ(result.faultCause, isa::TrapCause::Watchdog);
+    EXPECT_LE(result.cycles, 10'000u + 16);
+    EXPECT_NE(result.crashReport.find("watchdog"), std::string::npos);
+}
+
+TEST(Traps, WatchdogIsNotDeliveredToTheGuest)
+{
+    // Even with a trap vector configured, a watchdog expiry stops the
+    // machine: a livelock guard must not depend on the guest.
+    assembler::Program prog = assembleOrDie(R"(
+        .entry main
+trap:   retint (r25)0
+main:   b     main
+)");
+    sim::CpuOptions opts;
+    opts.trapVector = *prog.symbol("trap");
+    opts.watchdogCycles = 10'000;
+    sim::Cpu cpu(opts);
+    cpu.load(prog);
+    auto result = cpu.run();
+    EXPECT_EQ(result.reason, sim::StopReason::Watchdog);
+    EXPECT_EQ(cpu.stats().trapsTaken, 0u);
+}
+
+TEST(Traps, TrapStormStopsInsteadOfSpinning)
+{
+    // The vector points at a misaligned address: delivery succeeds but
+    // the handler's first fetch faults with no instruction retired —
+    // the storm guard must convert this into a hard stop.
+    assembler::Program prog = assembleOrDie(MisalignedWithHandler);
+    sim::CpuOptions opts;
+    opts.trapVector = 2; // misaligned handler entry
+    sim::Cpu cpu(opts);
+    cpu.load(prog);
+    auto result = cpu.run();
+    EXPECT_EQ(result.reason, sim::StopReason::Fault);
+    EXPECT_EQ(result.faultCause, isa::TrapCause::MisalignedAccess);
+}
+
+TEST(Traps, SnapshotRestoreRoundTripsMidTrap)
+{
+    assembler::Program prog = assembleOrDie(MisalignedWithHandler);
+    sim::CpuOptions opts;
+    opts.trapVector = *prog.symbol("trap");
+
+    // Reference: uninterrupted run.
+    sim::Cpu reference(opts);
+    reference.load(prog);
+    auto ref_result = reference.run();
+    ASSERT_TRUE(ref_result.halted());
+
+    // Walk a second machine into the middle of the trap handler.
+    sim::Cpu cpu(opts);
+    cpu.load(prog);
+    uint64_t bound = 1;
+    while (cpu.stats().trapsTaken == 0 && !cpu.halted())
+        cpu.runUntil(bound++);
+    ASSERT_EQ(cpu.stats().trapsTaken, 1u);
+    cpu.runUntil(cpu.stats().instructions + 3); // deeper into handler
+    ASSERT_FALSE(cpu.interruptsEnabled());      // really mid-trap
+
+    const sim::Snapshot snap = cpu.snapshot();
+
+    // Trash the machine, restore, finish.
+    cpu.setReg(20, 0xdeadbeef);
+    cpu.memory().poke32(808, 0x55555555);
+    cpu.setPc(0x4000);
+    cpu.restore(snap);
+
+    auto result = cpu.run();
+    ASSERT_TRUE(result.halted()) << result.message;
+    EXPECT_EQ(cpu.memory().peek32(808), 0x55443322u);
+    EXPECT_EQ(result.cycles, ref_result.cycles);
+    EXPECT_EQ(cpu.stats().instructions,
+              reference.stats().instructions);
+}
+
+TEST(Traps, RunUntilPausesAndResumes)
+{
+    assembler::Program prog = assembleOrDie(MisalignedWithHandler);
+    sim::Cpu cpu;
+    cpu.load(prog);
+    auto paused = cpu.runUntil(3);
+    EXPECT_EQ(paused.reason, sim::StopReason::Paused);
+    EXPECT_EQ(paused.instructions, 3u);
+    auto result = cpu.run(); // continues to the (unhandled) fault
+    EXPECT_EQ(result.reason, sim::StopReason::Fault);
+}
+
+} // namespace
