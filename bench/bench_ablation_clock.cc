@@ -10,33 +10,47 @@
 
 #include <algorithm>
 
+#include "core/cli.hh"
+#include "core/parallel.hh"
 #include "core/run.hh"
 #include "core/table.hh"
 #include "support/logging.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace risc1;
     using core::cell;
+
+    const core::BenchCli cli = core::parseBenchCli(
+        argc, argv,
+        "Clock-rate ablation: vary the assumed RISC I cycle time and\n"
+        "report how much of the suite it still wins (vax80 fixed at\n"
+        "200 ns) — locating the break-even technology point.");
 
     // Cycle counts don't depend on the clock: measure once.
     struct Counts
     {
         std::string name;
-        uint64_t riscCycles;
-        uint64_t vaxCycles;
+        uint64_t riscCycles = 0;
+        uint64_t vaxCycles = 0;
+        bool ok = false;
     };
-    std::vector<Counts> counts;
-    for (const auto &wl : workloads::allWorkloads()) {
+    const auto &suite = workloads::allWorkloads();
+    const std::vector<Counts> counts = core::ParallelRunner(
+        core::resolveJobs(cli.jobs)).map<Counts>(
+        suite.size(), [&](size_t slot) {
+        const auto &wl = suite[slot];
         core::RiscRun risc = core::runRisc(wl, wl.defaultScale);
         core::VaxRun vaxr = core::runVax(wl, wl.defaultScale);
-        if (!risc.ok || !vaxr.ok) {
-            std::cerr << wl.name << " failed\n";
+        return Counts{wl.name, risc.stats.cycles, vaxr.stats.cycles,
+                      risc.ok && vaxr.ok};
+    });
+    for (const Counts &c : counts) {
+        if (!c.ok) {
+            std::cerr << c.name << " failed\n";
             return 1;
         }
-        counts.push_back(
-            Counts{wl.name, risc.stats.cycles, vaxr.stats.cycles});
     }
 
     const double vax_ns = vax::VaxTiming{}.cycleTimeNs; // 200 ns

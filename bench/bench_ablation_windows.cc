@@ -6,12 +6,19 @@
 
 #include <iostream>
 
+#include "core/cli.hh"
 #include "core/experiments.hh"
+#include "core/parallel.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    auto rows = risc1::core::windowAblation();
-    std::cout << risc1::core::windowAblationTable(rows) << "\n";
+    using namespace risc1::core;
+    const BenchCli cli = parseBenchCli(
+        argc, argv,
+        "A1: the register-window win in isolation — 8 windows vs a\n"
+        "degenerate 2-window file that spills on every call.");
+    auto rows = windowAblation(resolveJobs(cli.jobs));
+    std::cout << windowAblationTable(rows) << "\n";
     return 0;
 }

@@ -6,12 +6,19 @@
 
 #include <iostream>
 
+#include "core/cli.hh"
 #include "core/experiments.hh"
+#include "core/parallel.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    auto rows = risc1::core::callOverhead();
-    std::cout << risc1::core::callOverheadTable(rows) << "\n";
+    using namespace risc1::core;
+    const BenchCli cli = parseBenchCli(
+        argc, argv,
+        "E3: procedure call/return cost, RISC I register windows vs\n"
+        "vax80 CALLS/RET, across argument counts.");
+    auto rows = callOverhead(6, 2000, resolveJobs(cli.jobs));
+    std::cout << callOverheadTable(rows) << "\n";
     return 0;
 }

@@ -6,12 +6,19 @@
 
 #include <iostream>
 
+#include "core/cli.hh"
 #include "core/experiments.hh"
+#include "core/parallel.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    auto rows = risc1::core::codeSize();
-    std::cout << risc1::core::codeSizeTable(rows) << "\n";
+    using namespace risc1::core;
+    const BenchCli cli = parseBenchCli(
+        argc, argv,
+        "E4: static code size of every suite program on both machines\n"
+        "(the paper's size-ratio table).");
+    auto rows = codeSize(resolveJobs(cli.jobs));
+    std::cout << codeSizeTable(rows) << "\n";
     return 0;
 }

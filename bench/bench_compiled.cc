@@ -7,9 +7,13 @@
  */
 
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "asm/assembler.hh"
 #include "cc/compiler.hh"
+#include "core/cli.hh"
+#include "core/parallel.hh"
 #include "core/table.hh"
 #include "sim/cpu.hh"
 #include "vax/cpu.hh"
@@ -76,20 +80,33 @@ main() { return hanoi(16); }
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using core::cell;
 
-    core::Table table({"program", "ok", "RISC insts", "RISC cyc",
-                       "vax insts", "vax cyc", "RISC us", "vax us",
-                       "speedup"});
-    for (const Compiled &prog : programs) {
+    const core::BenchCli cli = core::parseBenchCli(
+        argc, argv,
+        "Compiled-code comparison: the same tinyc sources compiled by\n"
+        "our compiler for both machines, plus the compiler-vs-hand-code\n"
+        "quality gap on RISC I for fib.");
+
+    struct RowResult
+    {
+        std::vector<std::string> cells;
+        std::string error;
+    };
+    const size_t nprograms = sizeof(programs) / sizeof(programs[0]);
+    const auto results = core::ParallelRunner(
+        core::resolveJobs(cli.jobs)).map<RowResult>(
+        nprograms, [&](size_t slot) {
+        const Compiled &prog = programs[slot];
+        RowResult out;
         cc::RiscCompileResult risc_cc = cc::compileToRiscAsm(prog.source);
         cc::VaxCompileResult vax_cc = cc::compileToVax(prog.source);
         if (!risc_cc.ok || !vax_cc.ok) {
-            std::cerr << prog.name << ": compile failed: "
-                      << risc_cc.error << vax_cc.error << "\n";
-            return 1;
+            out.error = std::string(prog.name) + ": compile failed: " +
+                        risc_cc.error + vax_cc.error;
+            return out;
         }
         sim::Cpu risc;
         risc.load(assembler::assembleOrDie(risc_cc.assembly));
@@ -111,11 +128,23 @@ main()
             risc.stats().timeUs(sim::TimingModel{}.cycleTimeNs);
         const double vax_us =
             vaxc.stats().timeUs(vax::VaxTiming{}.cycleTimeNs);
-        table.row({prog.name, ok ? "y" : "N",
-                   cell(risc_run.instructions), cell(risc_run.cycles),
-                   cell(vax_run.instructions), cell(vax_run.cycles),
-                   cell(risc_us, 1), cell(vax_us, 1),
-                   cell(risc_us > 0 ? vax_us / risc_us : 0)});
+        out.cells = {prog.name, ok ? "y" : "N",
+                     cell(risc_run.instructions), cell(risc_run.cycles),
+                     cell(vax_run.instructions), cell(vax_run.cycles),
+                     cell(risc_us, 1), cell(vax_us, 1),
+                     cell(risc_us > 0 ? vax_us / risc_us : 0)};
+        return out;
+    });
+
+    core::Table table({"program", "ok", "RISC insts", "RISC cyc",
+                       "vax insts", "vax cyc", "RISC us", "vax us",
+                       "speedup"});
+    for (const RowResult &result : results) {
+        if (!result.error.empty()) {
+            std::cerr << result.error << "\n";
+            return 1;
+        }
+        table.row(result.cells);
     }
     std::cout << "Compiled-code comparison: identical tinyc sources "
                  "through our compiler, both machines\n"

@@ -5,12 +5,18 @@
 
 #include <iostream>
 
+#include "core/cli.hh"
 #include "core/experiments.hh"
+#include "core/parallel.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    auto rows = risc1::core::delaySlots();
-    std::cout << risc1::core::delaySlotTable(rows) << "\n";
+    using namespace risc1::core;
+    const BenchCli cli = parseBenchCli(
+        argc, argv,
+        "E9: delay-slot fill rate and the cycles it saves.");
+    auto rows = delaySlots(resolveJobs(cli.jobs));
+    std::cout << delaySlotTable(rows) << "\n";
     return 0;
 }

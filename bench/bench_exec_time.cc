@@ -6,12 +6,19 @@
 
 #include <iostream>
 
+#include "core/cli.hh"
 #include "core/experiments.hh"
+#include "core/parallel.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    auto rows = risc1::core::execTime();
-    std::cout << risc1::core::execTimeTable(rows) << "\n";
+    using namespace risc1::core;
+    const BenchCli cli = parseBenchCli(
+        argc, argv,
+        "E5: execution time of every suite program on both machines at\n"
+        "the paper's cycle-time assumptions.");
+    auto rows = execTime(resolveJobs(cli.jobs));
+    std::cout << execTimeTable(rows) << "\n";
     return 0;
 }

@@ -9,11 +9,21 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "core/cli.hh"
 #include "core/experiments.hh"
+#include "core/parallel.hh"
 
 int
 main(int argc, char **argv)
 {
+    const risc1::core::BenchCli cli = risc1::core::parseBenchCli(
+        argc, argv,
+        "R1: the seeded fault-injection campaign over the whole suite.\n"
+        "Defaults: 100 injections, seed 1981; the table is bit-for-bit\n"
+        "reproducible for a fixed (injections, seed) pair, at any job\n"
+        "count.",
+        "[injections] [seed]");
+
     unsigned injections = 100;
     uint64_t seed = 1981;
     if (argc > 1)
@@ -21,7 +31,8 @@ main(int argc, char **argv)
     if (argc > 2)
         seed = std::strtoull(argv[2], nullptr, 0);
 
-    auto rows = risc1::core::faultCampaign(injections, seed);
+    auto rows = risc1::core::faultCampaign(
+        injections, seed, risc1::core::resolveJobs(cli.jobs));
     std::cout << risc1::core::faultCampaignTable(rows) << "\n";
     return 0;
 }

@@ -6,7 +6,11 @@
  */
 
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "core/cli.hh"
+#include "core/parallel.hh"
 #include "core/table.hh"
 #include "sim/fault.hh"
 #include "sim/cpu.hh"
@@ -37,17 +41,29 @@ replay(const assembler::Program &prog, sim::ICacheConfig config,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using core::cell;
+
+    const core::BenchCli cli = core::parseBenchCli(
+        argc, argv,
+        "Extension study: direct-mapped I-cache miss rate and added\n"
+        "stall cycles across cache sizes, for the whole suite.");
 
     const std::vector<uint32_t> sizes = {128, 256, 512, 1024, 2048,
                                          4096};
 
-    core::Table table({"program", "128B miss%", "256B miss%",
-                       "512B miss%", "1KB miss%", "2KB miss%",
-                       "4KB miss%", "stall% @512B"});
-    for (const auto &wl : workloads::allWorkloads()) {
+    struct RowResult
+    {
+        std::vector<std::string> cells;
+        std::string error;
+    };
+    const auto &suite = workloads::allWorkloads();
+    const auto results = core::ParallelRunner(
+        core::resolveJobs(cli.jobs)).map<RowResult>(
+        suite.size(), [&](size_t slot) {
+        const auto &wl = suite[slot];
+        RowResult out;
         assembler::Program prog =
             workloads::buildRisc(wl, wl.defaultScale);
         std::vector<std::string> row{wl.name};
@@ -60,8 +76,8 @@ main()
             try {
                 stats = replay(prog, config, stalls);
             } catch (const sim::SimFault &fault) {
-                std::cerr << wl.name << ": " << fault.message << "\n";
-                return 1;
+                out.error = wl.name + ": " + fault.message;
+                return out;
             }
             row.push_back(cell(100.0 * stats.missRate()));
             if (size == 512) {
@@ -75,7 +91,19 @@ main()
             }
         }
         row.push_back(cell(stall_pct_512));
-        table.row(row);
+        out.cells = std::move(row);
+        return out;
+    });
+
+    core::Table table({"program", "128B miss%", "256B miss%",
+                       "512B miss%", "1KB miss%", "2KB miss%",
+                       "4KB miss%", "stall% @512B"});
+    for (const RowResult &result : results) {
+        if (!result.error.empty()) {
+            std::cerr << result.error << "\n";
+            return 1;
+        }
+        table.row(result.cells);
     }
     std::cout << "Extension study: direct-mapped I-cache miss rates vs "
                  "size (16B lines, 4-cycle refill)\n"

@@ -6,18 +6,21 @@
 
 #include <iostream>
 
+#include "core/cli.hh"
 #include "core/experiments.hh"
+#include "core/parallel.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::cout << risc1::core::instrMixTable(risc1::core::instrMix())
-              << "\n";
-    std::cout << risc1::core::opcodeFrequencyTable(
-                     risc1::core::opcodeFrequencies())
-              << "\n";
-    std::cout << risc1::core::immediateUsageTable(
-                     risc1::core::immediateUsage())
-              << "\n";
+    using namespace risc1::core;
+    const BenchCli cli = parseBenchCli(
+        argc, argv,
+        "E8: dynamic instruction mix on RISC I, plus the A2\n"
+        "immediate-usage table (constant synthesis statistics).");
+    const unsigned jobs = resolveJobs(cli.jobs);
+    std::cout << instrMixTable(instrMix(jobs)) << "\n";
+    std::cout << opcodeFrequencyTable(opcodeFrequencies(jobs)) << "\n";
+    std::cout << immediateUsageTable(immediateUsage(jobs)) << "\n";
     return 0;
 }

@@ -5,11 +5,16 @@
 
 #include <iostream>
 
+#include "core/cli.hh"
 #include "core/experiments.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    risc1::core::parseBenchCli(
+        argc, argv,
+        "E1: regenerate Table I — the RISC I instruction set.\n"
+        "(A pure table printer: --jobs is accepted but has no effect.)");
     std::cout << risc1::core::isaTable() << "\n";
     return 0;
 }

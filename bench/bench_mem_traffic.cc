@@ -5,12 +5,18 @@
 
 #include <iostream>
 
+#include "core/cli.hh"
 #include "core/experiments.hh"
+#include "core/parallel.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    auto rows = risc1::core::memTraffic();
-    std::cout << risc1::core::memTrafficTable(rows) << "\n";
+    using namespace risc1::core;
+    const BenchCli cli = parseBenchCli(
+        argc, argv,
+        "E7: memory traffic per program on both machines.");
+    auto rows = memTraffic(resolveJobs(cli.jobs));
+    std::cout << memTrafficTable(rows) << "\n";
     return 0;
 }

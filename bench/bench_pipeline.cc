@@ -8,21 +8,38 @@
  */
 
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "core/cli.hh"
+#include "core/parallel.hh"
 #include "core/table.hh"
 #include "sim/pipeline.hh"
 #include "workloads/workload.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace risc1;
     using core::cell;
 
-    core::Table table({"program", "2-stage cyc", "3-stage cyc",
-                       "interlocks", "fetch stalls", "2-stage us",
-                       "3-stage us", "3-stage gain"});
-    for (const auto &wl : workloads::allWorkloads()) {
+    const core::BenchCli cli = core::parseBenchCli(
+        argc, argv,
+        "Pipeline-organisation study: two-stage fetch/execute vs a\n"
+        "three-stage organisation with load-use interlocks but a\n"
+        "shorter cycle, over the whole suite.");
+
+    struct RowResult
+    {
+        std::vector<std::string> cells;
+        std::string error;
+    };
+    const auto &suite = workloads::allWorkloads();
+    const auto results = core::ParallelRunner(
+        core::resolveJobs(cli.jobs)).map<RowResult>(
+        suite.size(), [&](size_t slot) {
+        const auto &wl = suite[slot];
+        RowResult out;
         assembler::Program prog =
             workloads::buildRisc(wl, wl.defaultScale);
 
@@ -37,16 +54,28 @@ main()
         auto r3 = sim::runWithPipeline(cpu3, three);
 
         if (!r2.halted() || !r3.halted()) {
-            std::cerr << wl.name << " failed\n";
-            return 1;
+            out.error = wl.name + " failed";
+            return out;
         }
         const double us2 = two.stats().timeUs();
         const double us3 = three.stats().timeUs();
-        table.row({wl.name, cell(two.stats().cycles),
-                   cell(three.stats().cycles),
-                   cell(three.stats().loadUseInterlocks),
-                   cell(three.stats().fetchStallCycles), cell(us2, 1),
-                   cell(us3, 1), cell(us2 / us3)});
+        out.cells = {wl.name, cell(two.stats().cycles),
+                     cell(three.stats().cycles),
+                     cell(three.stats().loadUseInterlocks),
+                     cell(three.stats().fetchStallCycles), cell(us2, 1),
+                     cell(us3, 1), cell(us2 / us3)};
+        return out;
+    });
+
+    core::Table table({"program", "2-stage cyc", "3-stage cyc",
+                       "interlocks", "fetch stalls", "2-stage us",
+                       "3-stage us", "3-stage gain"});
+    for (const RowResult &result : results) {
+        if (!result.error.empty()) {
+            std::cerr << result.error << "\n";
+            return 1;
+        }
+        table.row(result.cells);
     }
     std::cout << "Pipeline organisation study: 2-stage (RISC I, 400 ns) "
                  "vs 3-stage (RISC II direction, 330 ns)\n"

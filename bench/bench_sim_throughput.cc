@@ -4,10 +4,23 @@
  * (simulated instructions per wall-clock second) over the whole suite.
  * This measures the reproduction's own speed, not the paper's machines;
  * the paper-facing tables come from the bench_* table printers.
+ *
+ * Series (see docs/PERFORMANCE.md for how to read them):
+ *  - risc1/<wl>, vax80/<wl>: the predecoded fast path (the default).
+ *  - risc1_nocache/<wl>, vax80_nocache/<wl>: predecode disabled — the
+ *    pre-PR decode-every-step baseline; the ratio is the predecode win.
+ *  - suite_risc1/jobs:N: wall time for one whole-suite sweep on N
+ *    worker threads via ParallelRunner — the thread-scaling series.
+ *  - assembler/<wl>: assembler front-end throughput.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <vector>
+
+#include "core/cli.hh"
+#include "core/parallel.hh"
 #include "core/run.hh"
 #include "workloads/workload.hh"
 
@@ -16,10 +29,13 @@ namespace {
 using namespace risc1;
 
 void
-riscThroughput(benchmark::State &state, const workloads::Workload *wl)
+riscThroughput(benchmark::State &state, const workloads::Workload *wl,
+               bool predecode)
 {
     assembler::Program prog = workloads::buildRisc(*wl, wl->defaultScale);
-    sim::Cpu cpu;
+    sim::CpuOptions opts;
+    opts.predecode = predecode;
+    sim::Cpu cpu(opts);
     uint64_t insts = 0;
     for (auto _ : state) {
         cpu.load(prog);
@@ -33,10 +49,13 @@ riscThroughput(benchmark::State &state, const workloads::Workload *wl)
 }
 
 void
-vaxThroughput(benchmark::State &state, const workloads::Workload *wl)
+vaxThroughput(benchmark::State &state, const workloads::Workload *wl,
+              bool predecode)
 {
     vax::VaxProgram prog = wl->buildVax(wl->defaultScale);
-    vax::VaxCpu cpu;
+    vax::VaxCpuOptions opts;
+    opts.predecode = predecode;
+    vax::VaxCpu cpu(opts);
     uint64_t insts = 0;
     for (auto _ : state) {
         cpu.load(prog);
@@ -44,6 +63,35 @@ vaxThroughput(benchmark::State &state, const workloads::Workload *wl)
         if (!result.halted())
             state.SkipWithError("run did not halt");
         insts += result.instructions;
+    }
+    state.counters["sim_insts/s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+
+/** One whole-suite RISC sweep per iteration, fanned out over `jobs`. */
+void
+suiteThroughput(benchmark::State &state, unsigned jobs)
+{
+    const auto &suite = workloads::allWorkloads();
+    std::vector<assembler::Program> progs;
+    for (const auto &wl : suite)
+        progs.push_back(workloads::buildRisc(wl, wl.defaultScale));
+
+    const core::ParallelRunner runner(jobs);
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        const auto counts = runner.map<uint64_t>(
+            progs.size(), [&](size_t slot) {
+                sim::Cpu cpu;
+                cpu.load(progs[slot]);
+                sim::ExecResult result = cpu.run();
+                return result.halted() ? result.instructions : 0;
+            });
+        for (uint64_t count : counts) {
+            if (count == 0)
+                state.SkipWithError("run did not halt");
+            insts += count;
+        }
     }
     state.counters["sim_insts/s"] = benchmark::Counter(
         static_cast<double>(insts), benchmark::Counter::kIsRate);
@@ -69,12 +117,43 @@ assemblerThroughput(benchmark::State &state,
 int
 main(int argc, char **argv)
 {
+    const core::BenchCli cli = core::parseBenchCli(
+        argc, argv,
+        "Host-side simulator throughput (google-benchmark harness):\n"
+        "predecode on vs off per workload, plus a whole-suite\n"
+        "thread-scaling series. Remaining arguments are passed to\n"
+        "google-benchmark (e.g. --benchmark_filter=...).",
+        "[benchmark args]");
+
     for (const auto &wl : risc1::workloads::allWorkloads()) {
         benchmark::RegisterBenchmark(("risc1/" + wl.name).c_str(),
-                                     riscThroughput, &wl);
+                                     riscThroughput, &wl, true);
+        benchmark::RegisterBenchmark(
+            ("risc1_nocache/" + wl.name).c_str(), riscThroughput, &wl,
+            false);
         benchmark::RegisterBenchmark(("vax80/" + wl.name).c_str(),
-                                     vaxThroughput, &wl);
+                                     vaxThroughput, &wl, true);
+        benchmark::RegisterBenchmark(
+            ("vax80_nocache/" + wl.name).c_str(), vaxThroughput, &wl,
+            false);
     }
+
+    // Thread-scaling series: powers of two up to the resolved job
+    // count (always at least jobs:1 and jobs:2 so the scaling slope is
+    // visible even on small machines).
+    std::vector<unsigned> series = {1, 2};
+    const unsigned resolved = risc1::core::resolveJobs(cli.jobs);
+    for (unsigned j = 4; j <= resolved; j *= 2)
+        series.push_back(j);
+    if (std::find(series.begin(), series.end(), resolved) ==
+        series.end())
+        series.push_back(resolved);
+    for (unsigned jobs : series) {
+        benchmark::RegisterBenchmark(
+            ("suite_risc1/jobs:" + std::to_string(jobs)).c_str(),
+            suiteThroughput, jobs);
+    }
+
     const auto *fib = risc1::workloads::findWorkload("fibonacci");
     const auto *qsort = risc1::workloads::findWorkload("i_quicksort");
     benchmark::RegisterBenchmark("assembler/fibonacci",

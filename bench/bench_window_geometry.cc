@@ -6,12 +6,19 @@
 
 #include <iostream>
 
+#include "core/cli.hh"
 #include "core/experiments.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using risc1::core::windowGeometryReport;
+    risc1::core::parseBenchCli(
+        argc, argv,
+        "E2: regenerate the overlapped register-window figure as a\n"
+        "mapping table, for the architected 8 windows and two study\n"
+        "points. (A pure table printer: --jobs is accepted but has no\n"
+        "effect.)");
     std::cout << windowGeometryReport(8) << "\n";
     std::cout << windowGeometryReport(4) << "\n";
     return 0;

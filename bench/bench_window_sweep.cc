@@ -7,13 +7,21 @@
 #include <iostream>
 
 #include "core/calltrace.hh"
+#include "core/cli.hh"
 #include "core/experiments.hh"
+#include "core/parallel.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    const risc1::core::BenchCli cli = risc1::core::parseBenchCli(
+        argc, argv,
+        "E6: window overflow rate vs number of windows over the\n"
+        "recursive suite (the paper's figure arguing for 8 windows).");
+
     // Worst case: the recursive benchmark suite (deep excursions).
-    auto rows = risc1::core::windowSweep();
+    auto rows = risc1::core::windowSweep({2, 4, 6, 8, 12, 16},
+                                         risc1::core::resolveJobs(cli.jobs));
     std::cout << risc1::core::windowSweepTable(rows) << "\n";
 
     // Typical case: a C-like call/return trace (the paper's argument

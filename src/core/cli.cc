@@ -1,0 +1,65 @@
+#include "core/cli.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace risc1::core {
+
+namespace {
+
+[[noreturn]] void
+printUsage(const char *prog, const char *description,
+           const char *usage_tail)
+{
+    const char *base = std::strrchr(prog, '/');
+    base = base ? base + 1 : prog;
+    std::printf("usage: %s [--jobs N]%s%s\n\n%s\n\n",
+                base, usage_tail[0] ? " " : "", usage_tail,
+                description);
+    std::printf(
+        "  --jobs N, -j N  run independent workload/machine/injection\n"
+        "                  jobs on N worker threads. Default: the\n"
+        "                  RISC1_JOBS environment variable, else the\n"
+        "                  hardware concurrency. N=1 runs strictly\n"
+        "                  serially; every N produces byte-identical\n"
+        "                  output (see docs/PERFORMANCE.md).\n"
+        "  --help, -h      show this message and exit.\n");
+    std::exit(0);
+}
+
+} // namespace
+
+BenchCli
+parseBenchCli(int &argc, char **argv, const char *description,
+              const char *usage_tail)
+{
+    BenchCli cli;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--help") == 0 ||
+            std::strcmp(arg, "-h") == 0) {
+            printUsage(argv[0], description, usage_tail);
+        } else if (std::strcmp(arg, "--jobs") == 0 ||
+                   std::strcmp(arg, "-j") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s needs a value\n", argv[0],
+                             arg);
+                std::exit(2);
+            }
+            cli.jobs = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 0));
+        } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+            cli.jobs = static_cast<unsigned>(
+                std::strtoul(arg + 7, nullptr, 0));
+        } else {
+            argv[out++] = argv[i]; // not ours: keep for the caller
+        }
+    }
+    argc = out;
+    argv[argc] = nullptr;
+    return cli;
+}
+
+} // namespace risc1::core

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Shared command-line handling for the bench binaries: the
+ * `--jobs N` / `$RISC1_JOBS` parallelism knob and a uniform `--help`.
+ * parseBenchCli() strips the flags it consumes from argv, so binaries
+ * that forward the remainder (e.g. to benchmark::Initialize) or parse
+ * positional arguments keep working unchanged.
+ */
+
+#ifndef RISC1_CORE_CLI_HH
+#define RISC1_CORE_CLI_HH
+
+namespace risc1::core {
+
+/** Result of parseBenchCli(). */
+struct BenchCli
+{
+    /**
+     * Worker count from --jobs, or 0 when absent (pass to
+     * resolveJobs(), which then honours $RISC1_JOBS and falls back to
+     * the hardware concurrency). 1 reproduces serial output exactly.
+     */
+    unsigned jobs = 0;
+};
+
+/**
+ * Parse and remove `--jobs N` (also `--jobs=N` / `-j N`), and handle
+ * `--help` / `-h` by printing a usage message — program name,
+ * `usage_tail` for positional arguments, `description`, and the
+ * standard --jobs/RISC1_JOBS paragraph — and exiting 0. argc/argv are
+ * rewritten in place with the consumed flags removed.
+ */
+BenchCli parseBenchCli(int &argc, char **argv, const char *description,
+                       const char *usage_tail = "");
+
+} // namespace risc1::core
+
+#endif // RISC1_CORE_CLI_HH

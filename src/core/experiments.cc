@@ -1,6 +1,7 @@
 #include "core/experiments.hh"
 #include <algorithm>
 
+#include "core/parallel.hh"
 #include "core/table.hh"
 #include "isa/registers.hh"
 #include "support/logging.hh"
@@ -174,10 +175,11 @@ vaxCallMicro(unsigned nargs, unsigned iters, bool with_call)
 } // namespace
 
 std::vector<CallOverheadRow>
-callOverhead(unsigned max_args, unsigned iters)
+callOverhead(unsigned max_args, unsigned iters, unsigned jobs)
 {
-    std::vector<CallOverheadRow> rows;
-    for (unsigned nargs = 0; nargs <= max_args; ++nargs) {
+    return ParallelRunner(jobs).map<CallOverheadRow>(
+        max_args + 1, [&](size_t slot) {
+        const unsigned nargs = static_cast<unsigned>(slot);
         CallOverheadRow row;
         row.nargs = nargs;
 
@@ -229,9 +231,8 @@ callOverhead(unsigned max_args, unsigned iters)
         row.vaxMemPerCall =
             static_cast<double>(vax_mem_with - vax_mem_without) / iters;
 
-        rows.push_back(row);
-    }
-    return rows;
+        return row;
+    });
 }
 
 std::string
@@ -256,10 +257,12 @@ callOverheadTable(const std::vector<CallOverheadRow> &rows)
 // ---------------------------------------------------------------- E4 ----
 
 std::vector<CodeSizeRow>
-codeSize()
+codeSize(unsigned jobs)
 {
-    std::vector<CodeSizeRow> rows;
-    for (const Workload &wl : allWorkloads()) {
+    const std::vector<Workload> &suite = allWorkloads();
+    return ParallelRunner(jobs).map<CodeSizeRow>(
+        suite.size(), [&](size_t slot) {
+        const Workload &wl = suite[slot];
         CodeSizeRow row;
         row.name = wl.name;
         assembler::AsmResult res = assembler::assemble(
@@ -271,9 +274,8 @@ codeSize()
         row.vaxBytes = wl.buildVax(wl.defaultScale).codeBytes;
         row.riscOverVax = static_cast<double>(row.riscBytes) /
                           static_cast<double>(row.vaxBytes);
-        rows.push_back(row);
-    }
-    return rows;
+        return row;
+    });
 }
 
 std::string
@@ -297,10 +299,12 @@ codeSizeTable(const std::vector<CodeSizeRow> &rows)
 // ---------------------------------------------------------------- E5 ----
 
 std::vector<ExecTimeRow>
-execTime()
+execTime(unsigned jobs)
 {
-    std::vector<ExecTimeRow> rows;
-    for (const Workload &wl : allWorkloads()) {
+    const std::vector<Workload> &suite = allWorkloads();
+    return ParallelRunner(jobs).map<ExecTimeRow>(
+        suite.size(), [&](size_t slot) {
+        const Workload &wl = suite[slot];
         ExecTimeRow row;
         row.name = wl.name;
         RiscRun risc = runRisc(wl, wl.defaultScale);
@@ -313,9 +317,8 @@ execTime()
         row.riscUs = risc.stats.timeUs(sim::TimingModel{}.cycleTimeNs);
         row.vaxUs = vaxr.stats.timeUs(vax::VaxTiming{}.cycleTimeNs);
         row.speedup = row.riscUs > 0 ? row.vaxUs / row.riscUs : 0;
-        rows.push_back(row);
-    }
-    return rows;
+        return row;
+    });
 }
 
 std::string
@@ -338,10 +341,11 @@ execTimeTable(const std::vector<ExecTimeRow> &rows)
 // ---------------------------------------------------------------- E6 ----
 
 std::vector<WindowSweepRow>
-windowSweep(const std::vector<unsigned> &window_counts)
+windowSweep(const std::vector<unsigned> &window_counts, unsigned jobs)
 {
-    std::vector<WindowSweepRow> rows;
-    for (unsigned nwin : window_counts) {
+    return ParallelRunner(jobs).map<WindowSweepRow>(
+        window_counts.size(), [&](size_t slot) {
+        const unsigned nwin = window_counts[slot];
         WindowSweepRow row;
         row.windows = nwin;
         uint64_t trap_cycles = 0;
@@ -371,9 +375,8 @@ windowSweep(const std::vector<unsigned> &window_counts)
                                ? 100.0 * static_cast<double>(trap_cycles) /
                                      static_cast<double>(row.cycles)
                                : 0;
-        rows.push_back(row);
-    }
-    return rows;
+        return row;
+    });
 }
 
 std::string
@@ -395,10 +398,12 @@ windowSweepTable(const std::vector<WindowSweepRow> &rows)
 // ---------------------------------------------------------------- E7 ----
 
 std::vector<MemTrafficRow>
-memTraffic()
+memTraffic(unsigned jobs)
 {
-    std::vector<MemTrafficRow> rows;
-    for (const Workload &wl : allWorkloads()) {
+    const std::vector<Workload> &suite = allWorkloads();
+    return ParallelRunner(jobs).map<MemTrafficRow>(
+        suite.size(), [&](size_t slot) {
+        const Workload &wl = suite[slot];
         MemTrafficRow row;
         row.name = wl.name;
         RiscRun risc = runRisc(wl, wl.defaultScale);
@@ -419,9 +424,8 @@ memTraffic()
                 ? static_cast<double>(row.vaxTotalAccesses) /
                       static_cast<double>(row.riscTotalAccesses)
                 : 0;
-        rows.push_back(row);
-    }
-    return rows;
+        return row;
+    });
 }
 
 std::string
@@ -443,10 +447,12 @@ memTrafficTable(const std::vector<MemTrafficRow> &rows)
 // ---------------------------------------------------------------- E8 ----
 
 std::vector<InstrMixRow>
-instrMix()
+instrMix(unsigned jobs)
 {
-    std::vector<InstrMixRow> rows;
-    for (const Workload &wl : allWorkloads()) {
+    const std::vector<Workload> &suite = allWorkloads();
+    return ParallelRunner(jobs).map<InstrMixRow>(
+        suite.size(), [&](size_t slot) {
+        const Workload &wl = suite[slot];
         InstrMixRow row;
         row.name = wl.name;
         RiscRun run = runRisc(wl, wl.defaultScale);
@@ -465,9 +471,8 @@ instrMix()
         row.miscPct = pct(isa::OpClass::Misc);
         row.nopPct = 100.0 *
                      static_cast<double>(run.stats.nopsExecuted) / total;
-        rows.push_back(row);
-    }
-    return rows;
+        return row;
+    });
 }
 
 std::string
@@ -485,13 +490,23 @@ instrMixTable(const std::vector<InstrMixRow> &rows)
 }
 
 std::vector<OpcodeFreqRow>
-opcodeFrequencies()
+opcodeFrequencies(unsigned jobs)
 {
+    const std::vector<Workload> &suite = allWorkloads();
+    // Run the suite in parallel, then merge the per-workload counts in
+    // workload order so the totals (and any sort ties) never depend on
+    // scheduling.
+    const auto counts =
+        ParallelRunner(jobs).map<std::map<isa::Opcode, uint64_t>>(
+            suite.size(), [&](size_t slot) {
+                RiscRun run = runRisc(suite[slot],
+                                      suite[slot].defaultScale);
+                return run.stats.perOpcode;
+            });
     std::map<isa::Opcode, uint64_t> totals;
     uint64_t grand = 0;
-    for (const Workload &wl : allWorkloads()) {
-        RiscRun run = runRisc(wl, wl.defaultScale);
-        for (const auto &[op, count] : run.stats.perOpcode) {
+    for (const auto &per_workload : counts) {
+        for (const auto &[op, count] : per_workload) {
             totals[op] += count;
             grand += count;
         }
@@ -525,10 +540,12 @@ opcodeFrequencyTable(const std::vector<OpcodeFreqRow> &rows)
 // ---------------------------------------------------------------- E9 ----
 
 std::vector<DelaySlotRow>
-delaySlots()
+delaySlots(unsigned jobs)
 {
-    std::vector<DelaySlotRow> rows;
-    for (const Workload &wl : allWorkloads()) {
+    const std::vector<Workload> &suite = allWorkloads();
+    return ParallelRunner(jobs).map<DelaySlotRow>(
+        suite.size(), [&](size_t slot) {
+        const Workload &wl = suite[slot];
         DelaySlotRow row;
         row.name = wl.name;
 
@@ -551,9 +568,8 @@ delaySlots()
                                           row.cyclesFilled) /
                       static_cast<double>(row.cyclesUnfilled)
                 : 0;
-        rows.push_back(row);
-    }
-    return rows;
+        return row;
+    });
 }
 
 std::string
@@ -574,12 +590,15 @@ delaySlotTable(const std::vector<DelaySlotRow> &rows)
 // ---------------------------------------------------------------- A1 ----
 
 std::vector<WindowAblationRow>
-windowAblation()
+windowAblation(unsigned jobs)
 {
-    std::vector<WindowAblationRow> rows;
-    for (const Workload &wl : allWorkloads()) {
-        if (!wl.recursive)
-            continue;
+    std::vector<const Workload *> recursive;
+    for (const Workload &wl : allWorkloads())
+        if (wl.recursive)
+            recursive.push_back(&wl);
+    return ParallelRunner(jobs).map<WindowAblationRow>(
+        recursive.size(), [&](size_t slot) {
+        const Workload &wl = *recursive[slot];
         WindowAblationRow row;
         row.name = wl.name;
         RiscRun with = runRisc(wl, wl.defaultScale);
@@ -597,9 +616,8 @@ windowAblation()
         const uint64_t mem_without = without.stats.memory.dataReads +
                                      without.stats.memory.dataWrites;
         row.extraMemAccesses = mem_without - mem_with;
-        rows.push_back(row);
-    }
-    return rows;
+        return row;
+    });
 }
 
 std::string
@@ -620,10 +638,12 @@ windowAblationTable(const std::vector<WindowAblationRow> &rows)
 // ---------------------------------------------------------------- A2 ----
 
 std::vector<ImmediateRow>
-immediateUsage()
+immediateUsage(unsigned jobs)
 {
-    std::vector<ImmediateRow> rows;
-    for (const Workload &wl : allWorkloads()) {
+    const std::vector<Workload> &suite = allWorkloads();
+    return ParallelRunner(jobs).map<ImmediateRow>(
+        suite.size(), [&](size_t slot) {
+        const Workload &wl = suite[slot];
         ImmediateRow row;
         row.name = wl.name;
         assembler::AsmResult res = assembler::assemble(
@@ -649,9 +669,8 @@ immediateUsage()
                                       static_cast<double>(row.ldhiInsts) /
                                       static_cast<double>(imm_total)
                                 : 0;
-        rows.push_back(row);
-    }
-    return rows;
+        return row;
+    });
 }
 
 std::string

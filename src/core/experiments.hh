@@ -40,9 +40,15 @@ struct CallOverheadRow
     double vaxMemPerCall = 0;
 };
 
-/** Measure call+return cost for 0..max_args arguments. */
+/**
+ * Measure call+return cost for 0..max_args arguments. Here and in every
+ * driver below, `jobs` is the worker-thread count for the independent
+ * per-row simulations (see core/parallel.hh): 1 is the historical
+ * serial loop and any N produces byte-identical rows.
+ */
 std::vector<CallOverheadRow> callOverhead(unsigned max_args = 6,
-                                          unsigned iters = 2000);
+                                          unsigned iters = 2000,
+                                          unsigned jobs = 1);
 std::string callOverheadTable(const std::vector<CallOverheadRow> &rows);
 
 // ---- E4: static code size ------------------------------------------------
@@ -55,7 +61,7 @@ struct CodeSizeRow
     double riscOverVax = 0; //!< paper: RISC I <= ~1.5x the VAX size
 };
 
-std::vector<CodeSizeRow> codeSize();
+std::vector<CodeSizeRow> codeSize(unsigned jobs = 1);
 std::string codeSizeTable(const std::vector<CodeSizeRow> &rows);
 
 // ---- E5: execution time ----------------------------------------------------
@@ -73,7 +79,7 @@ struct ExecTimeRow
     double speedup = 0; //!< vaxUs / riscUs
 };
 
-std::vector<ExecTimeRow> execTime();
+std::vector<ExecTimeRow> execTime(unsigned jobs = 1);
 std::string execTimeTable(const std::vector<ExecTimeRow> &rows);
 
 // ---- E6: window overflow vs window count ----------------------------------
@@ -91,7 +97,8 @@ struct WindowSweepRow
 /** Aggregate over the recursive workloads for each window count. */
 std::vector<WindowSweepRow>
 windowSweep(const std::vector<unsigned> &window_counts = {2, 4, 6, 8, 12,
-                                                          16});
+                                                          16},
+            unsigned jobs = 1);
 std::string windowSweepTable(const std::vector<WindowSweepRow> &rows);
 
 // ---- E7: memory traffic ------------------------------------------------------
@@ -107,7 +114,7 @@ struct MemTrafficRow
     double totalRatio = 0;
 };
 
-std::vector<MemTrafficRow> memTraffic();
+std::vector<MemTrafficRow> memTraffic(unsigned jobs = 1);
 std::string memTrafficTable(const std::vector<MemTrafficRow> &rows);
 
 // ---- E8: dynamic instruction mix ----------------------------------------------
@@ -124,7 +131,7 @@ struct InstrMixRow
     double nopPct = 0; //!< executed canonical NOPs (unfilled slots)
 };
 
-std::vector<InstrMixRow> instrMix();
+std::vector<InstrMixRow> instrMix(unsigned jobs = 1);
 std::string instrMixTable(const std::vector<InstrMixRow> &rows);
 
 /** One row of the aggregate per-opcode frequency table. */
@@ -137,7 +144,7 @@ struct OpcodeFreqRow
 
 /** Aggregate dynamic opcode frequencies over the whole suite,
  *  descending (the paper's detailed-mix table). */
-std::vector<OpcodeFreqRow> opcodeFrequencies();
+std::vector<OpcodeFreqRow> opcodeFrequencies(unsigned jobs = 1);
 std::string opcodeFrequencyTable(const std::vector<OpcodeFreqRow> &rows);
 
 // ---- E9: delayed-branch slot filling ------------------------------------------
@@ -153,7 +160,7 @@ struct DelaySlotRow
     double savingPct = 0;
 };
 
-std::vector<DelaySlotRow> delaySlots();
+std::vector<DelaySlotRow> delaySlots(unsigned jobs = 1);
 std::string delaySlotTable(const std::vector<DelaySlotRow> &rows);
 
 // ---- A1: register-window ablation ----------------------------------------------
@@ -167,7 +174,7 @@ struct WindowAblationRow
     uint64_t extraMemAccesses = 0;
 };
 
-std::vector<WindowAblationRow> windowAblation();
+std::vector<WindowAblationRow> windowAblation(unsigned jobs = 1);
 std::string windowAblationTable(const std::vector<WindowAblationRow> &rows);
 
 // ---- A2: immediate-field usage ----------------------------------------------------
@@ -180,7 +187,7 @@ struct ImmediateRow
     double ldhiPct = 0;         //!< LDHI share of immediate-bearing insts
 };
 
-std::vector<ImmediateRow> immediateUsage();
+std::vector<ImmediateRow> immediateUsage(unsigned jobs = 1);
 std::string immediateUsageTable(const std::vector<ImmediateRow> &rows);
 
 // ---- R1: seeded fault-injection campaign -----------------------------------
@@ -225,10 +232,13 @@ struct FaultCampaignRow
  * lands in exactly one class; the whole campaign is a pure function
  * of `seed`. Guests run with a watchdog (a multiple of the baseline
  * cycle count), a 16 MB address limit and no trap vector, so precise
- * faults stop the machine and count as detections.
+ * faults stop the machine and count as detections. `jobs` parallelizes
+ * the workload x injection grid; the tallies are identical for any
+ * value because each run's RNG depends only on (seed, workload, run).
  */
 std::vector<FaultCampaignRow> faultCampaign(unsigned injections = 100,
-                                            uint64_t seed = 1981);
+                                            uint64_t seed = 1981,
+                                            unsigned jobs = 1);
 std::string faultCampaignTable(const std::vector<FaultCampaignRow> &rows);
 
 } // namespace risc1::core

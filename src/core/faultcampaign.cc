@@ -10,6 +10,7 @@
 
 #include "core/experiments.hh"
 
+#include "core/parallel.hh"
 #include "core/table.hh"
 #include "sim/faultinject.hh"
 #include "support/logging.hh"
@@ -70,53 +71,74 @@ classify(const sim::ExecResult &result, uint32_t got, uint32_t expected)
 } // namespace
 
 std::vector<FaultCampaignRow>
-faultCampaign(unsigned injections, uint64_t seed)
+faultCampaign(unsigned injections, uint64_t seed, unsigned jobs)
 {
-    std::vector<FaultCampaignRow> rows;
     const auto &suite = allWorkloads();
-    for (size_t w = 0; w < suite.size(); ++w) {
-        const Workload &wl = suite[w];
-        const assembler::Program prog =
-            workloads::buildRisc(wl, wl.defaultScale);
-        const uint32_t expected = wl.expected(wl.defaultScale);
+    const ParallelRunner runner(jobs);
 
-        // Uninjected baseline: the horizon for injection times and the
-        // yardstick for the watchdog budget.
-        sim::CpuOptions base_opts;
-        base_opts.memLimit = CampaignMemLimit;
-        sim::Cpu baseline(base_opts);
-        baseline.load(prog);
-        const sim::ExecResult base = baseline.run();
-        if (!base.halted() ||
-            baseline.memory().peek32(workloads::ResultAddr) != expected)
-            fatal("faultCampaign: baseline run of %s is broken",
-                  wl.name.c_str());
-
-        FaultCampaignRow row;
-        row.name = wl.name;
-        row.injections = injections;
-        row.baselineInsts = base.instructions;
-
+    // Phase 1 — per-workload setup. The uninjected baseline is the
+    // horizon for injection times and the yardstick for the watchdog
+    // budget; every injected run of workload w reuses its Prepared.
+    struct Prepared
+    {
+        assembler::Program prog;
+        uint32_t expected = 0;
+        sim::ExecResult base;
         sim::CpuOptions opts;
-        opts.memLimit = CampaignMemLimit;
-        // Generous livelock budget: a run this far past its healthy
-        // cycle count is never coming back.
-        opts.watchdogCycles = base.cycles * 8 + 100'000;
+    };
+    const std::vector<Prepared> prepared =
+        runner.map<Prepared>(suite.size(), [&](size_t w) {
+            const Workload &wl = suite[w];
+            Prepared p;
+            p.prog = workloads::buildRisc(wl, wl.defaultScale);
+            p.expected = wl.expected(wl.defaultScale);
+            sim::CpuOptions base_opts;
+            base_opts.memLimit = CampaignMemLimit;
+            sim::Cpu baseline(base_opts);
+            baseline.load(p.prog);
+            p.base = baseline.run();
+            if (!p.base.halted() ||
+                baseline.memory().peek32(workloads::ResultAddr) !=
+                    p.expected)
+                fatal("faultCampaign: baseline run of %s is broken",
+                      wl.name.c_str());
+            p.opts.memLimit = CampaignMemLimit;
+            // Generous livelock budget: a run this far past its healthy
+            // cycle count is never coming back.
+            p.opts.watchdogCycles = p.base.cycles * 8 + 100'000;
+            return p;
+        });
 
-        for (unsigned i = 0; i < injections; ++i) {
+    // Phase 2 — the flat workload x injection grid. Each cell's RNG is
+    // a pure function of (seed, workload, run), so the outcome vector —
+    // and therefore the tallies — are identical for any job count.
+    const size_t total = suite.size() * injections;
+    const std::vector<FaultOutcome> outcomes =
+        runner.map<FaultOutcome>(total, [&](size_t slot) {
+            const size_t w = slot / injections;
+            const uint64_t i = slot % injections;
+            const Prepared &p = prepared[w];
             Rng rng(runSeed(seed, w, i));
             sim::Injection inj =
-                sim::drawInjection(rng, base.instructions);
-            sim::Cpu cpu(opts);
-            cpu.load(prog);
+                sim::drawInjection(rng, p.base.instructions);
+            sim::Cpu cpu(p.opts);
+            cpu.load(p.prog);
             const sim::ExecResult result =
                 sim::runWithInjection(cpu, rng, inj);
             const uint32_t got =
                 cpu.memory().peek32(workloads::ResultAddr);
-            const FaultOutcome outcome = classify(result, got, expected);
-            ++row.byOutcome[static_cast<unsigned>(outcome)];
-        }
-        rows.push_back(std::move(row));
+            return classify(result, got, p.expected);
+        });
+
+    std::vector<FaultCampaignRow> rows(suite.size());
+    for (size_t w = 0; w < suite.size(); ++w) {
+        FaultCampaignRow &row = rows[w];
+        row.name = suite[w].name;
+        row.injections = injections;
+        row.baselineInsts = prepared[w].base.instructions;
+        for (unsigned i = 0; i < injections; ++i)
+            ++row.byOutcome[static_cast<unsigned>(
+                outcomes[w * injections + i])];
     }
     return rows;
 }

@@ -1,0 +1,62 @@
+#include "core/parallel.hh"
+
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "support/threadpool.hh"
+
+namespace risc1::core {
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    if (const char *env = std::getenv("RISC1_JOBS")) {
+        const long value = std::strtol(env, nullptr, 10);
+        if (value > 0)
+            return static_cast<unsigned>(value);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+ParallelRunner::ParallelRunner(unsigned jobs) : jobs_(resolveJobs(jobs))
+{
+}
+
+void
+ParallelRunner::run(size_t count,
+                    const std::function<void(size_t)> &fn) const
+{
+    if (jobs_ <= 1 || count <= 1) {
+        for (size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    std::mutex mutex;
+    std::exception_ptr first_error;
+    {
+        ThreadPool pool(jobs_ < count ? jobs_
+                                      : static_cast<unsigned>(count));
+        for (size_t i = 0; i < count; ++i) {
+            pool.submit([&, i] {
+                try {
+                    fn(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(mutex);
+                    if (!first_error)
+                        first_error = std::current_exception();
+                }
+            });
+        }
+        pool.wait();
+    }
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace risc1::core

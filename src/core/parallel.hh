@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deterministic parallel execution of experiment jobs. A ParallelRunner
+ * fans index-addressed jobs out over a ThreadPool; every job writes
+ * only its own result slot, so the assembled output is identical for
+ * any thread count — `--jobs 1` reproduces the historical serial loops
+ * bit for bit, and `--jobs N` merely reorders wall-clock execution
+ * (see docs/PERFORMANCE.md for the determinism argument).
+ */
+
+#ifndef RISC1_CORE_PARALLEL_HH
+#define RISC1_CORE_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace risc1::core {
+
+/**
+ * Resolve a jobs request to a worker count: a nonzero `requested`
+ * wins, else a positive integer in $RISC1_JOBS, else the hardware
+ * concurrency (at least 1).
+ */
+unsigned resolveJobs(unsigned requested = 0);
+
+class ParallelRunner
+{
+  public:
+    /** `jobs` as for resolveJobs(); 1 means strictly serial. */
+    explicit ParallelRunner(unsigned jobs = 0);
+
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Run fn(0) … fn(count-1), concurrently when jobs() > 1. Jobs must
+     * not share mutable state except through their own index. The
+     * first exception thrown by any job is rethrown here (the
+     * remaining jobs still run to completion). With jobs() == 1 this
+     * is exactly the plain `for` loop, on the calling thread.
+     */
+    void run(size_t count, const std::function<void(size_t)> &fn) const;
+
+    /** run() collecting fn(i) into slot i of the returned vector. */
+    template <typename R, typename Fn>
+    std::vector<R>
+    map(size_t count, Fn fn) const
+    {
+        std::vector<R> out(count);
+        run(count, [&](size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+  private:
+    unsigned jobs_;
+};
+
+} // namespace risc1::core
+
+#endif // RISC1_CORE_PARALLEL_HH

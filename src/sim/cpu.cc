@@ -23,14 +23,19 @@ Cpu::Cpu(CpuOptions options)
               options_.windows.numWindows);
     spillSp_ = options_.spillBase;
     memory_.setLimit(options_.memLimit);
+    if (options_.predecode)
+        memory_.setWriteObserver(&dcache_);
 }
 
 void
 Cpu::load(const assembler::Program &program)
 {
-    memory_ = Memory{};
+    memory_ = Memory{}; // move-assign drops the observer registration
     memory_.setLimit(options_.memLimit);
     memory_.loadProgram(program);
+    dcache_.invalidateAll();
+    if (options_.predecode)
+        memory_.setWriteObserver(&dcache_);
     regs_.clear();
     stats_ = SimStats{};
     flags_ = isa::Flags{};
@@ -81,7 +86,8 @@ void
 Cpu::restore(const Snapshot &snap)
 {
     regs_.restore(snap.regs);
-    memory_.restorePages(snap.pages);
+    memory_.restorePages(snap.pages); // no observer callback: ...
+    dcache_.invalidateAll();          // ... invalidate wholesale
     memory_.setStats(snap.memStats);
     stats_ = snap.stats;
     flags_ = snap.flags;
@@ -404,32 +410,28 @@ Cpu::maybeTakeInterrupt()
     return true;
 }
 
+/**
+ * Execute one predecoded instruction: everything between decode and the
+ * shared bookkeeping. A single switch on the dense ExecTag replaces the
+ * nested class/opcode switches, so the compiler emits one jump table.
+ */
 void
-Cpu::step()
+Cpu::executeDecoded(const DecodedOp &dop, uint32_t inst_pc)
 {
-    maybeTakeInterrupt();
-
-    const uint32_t inst_pc = pc_;
-    uint32_t word = memory_.fetch32(inst_pc);
-    if (fetchXor_ != 0) {
-        word ^= fetchXor_; // transient istream corruption (injection)
-        fetchXor_ = 0;
-    }
-    const isa::DecodeResult dec = isa::decode(word);
-    if (!dec.ok)
-        throw SimFault{strprintf("at pc 0x%08x: %s", inst_pc,
-                                 dec.error.c_str()),
-                       inst_pc, isa::TrapCause::IllegalOpcode};
-    const Instruction &inst = dec.inst;
-    const isa::OpInfo &info = inst.info();
-
-    if (options_.trace)
-        traceInst(inst_pc, inst);
-
-    jumpPending_ = false;
-
-    switch (info.opClass) {
-      case OpClass::Alu: {
+    const Instruction &inst = dop.inst;
+    switch (dop.tag) {
+      case ExecTag::Add:
+      case ExecTag::Addc:
+      case ExecTag::Sub:
+      case ExecTag::Subc:
+      case ExecTag::Subr:
+      case ExecTag::Subcr:
+      case ExecTag::And:
+      case ExecTag::Or:
+      case ExecTag::Xor:
+      case ExecTag::Sll:
+      case ExecTag::Srl:
+      case ExecTag::Sra: {
         const uint32_t a = regs_.read(cwp_, inst.rs1);
         const uint32_t b = s2Value(inst);
         const AluOut out = execAlu(inst, a, b);
@@ -437,50 +439,57 @@ Cpu::step()
         regs_.write(cwp_, inst.rd, out.value);
         break;
       }
-      case OpClass::Load: {
+      case ExecTag::Ldl: {
         const uint32_t ea = regs_.read(cwp_, inst.rs1) + s2Value(inst);
-        uint32_t value = 0;
-        switch (inst.op) {
-          case Opcode::Ldl:  value = memory_.read32(ea); break;
-          case Opcode::Ldsu: value = memory_.read16(ea); break;
-          case Opcode::Ldss:
-            value = static_cast<uint32_t>(
-                static_cast<int32_t>(static_cast<int16_t>(
-                    memory_.read16(ea))));
-            break;
-          case Opcode::Ldbu: value = memory_.read8(ea); break;
-          case Opcode::Ldbs:
-            value = static_cast<uint32_t>(static_cast<int32_t>(
-                static_cast<int8_t>(memory_.read8(ea))));
-            break;
-          default:
-            panic("step: bad load opcode");
-        }
-        regs_.write(cwp_, inst.rd, value);
+        regs_.write(cwp_, inst.rd, memory_.read32(ea));
         break;
       }
-      case OpClass::Store: {
+      case ExecTag::Ldsu: {
         const uint32_t ea = regs_.read(cwp_, inst.rs1) + s2Value(inst);
-        const uint32_t value = regs_.read(cwp_, inst.rd);
-        switch (inst.op) {
-          case Opcode::Stl:
-            memory_.write32(ea, value);
-            break;
-          case Opcode::Sts:
-            memory_.write16(ea, static_cast<uint16_t>(value));
-            break;
-          case Opcode::Stb:
-            memory_.write8(ea, static_cast<uint8_t>(value));
-            break;
-          default:
-            panic("step: bad store opcode");
-        }
+        regs_.write(cwp_, inst.rd, memory_.read16(ea));
         break;
       }
-      case OpClass::Branch: {
+      case ExecTag::Ldss: {
+        const uint32_t ea = regs_.read(cwp_, inst.rs1) + s2Value(inst);
+        regs_.write(cwp_, inst.rd,
+                    static_cast<uint32_t>(static_cast<int32_t>(
+                        static_cast<int16_t>(memory_.read16(ea)))));
+        break;
+      }
+      case ExecTag::Ldbu: {
+        const uint32_t ea = regs_.read(cwp_, inst.rs1) + s2Value(inst);
+        regs_.write(cwp_, inst.rd, memory_.read8(ea));
+        break;
+      }
+      case ExecTag::Ldbs: {
+        const uint32_t ea = regs_.read(cwp_, inst.rs1) + s2Value(inst);
+        regs_.write(cwp_, inst.rd,
+                    static_cast<uint32_t>(static_cast<int32_t>(
+                        static_cast<int8_t>(memory_.read8(ea)))));
+        break;
+      }
+      case ExecTag::Stl: {
+        const uint32_t ea = regs_.read(cwp_, inst.rs1) + s2Value(inst);
+        memory_.write32(ea, regs_.read(cwp_, inst.rd));
+        break;
+      }
+      case ExecTag::Sts: {
+        const uint32_t ea = regs_.read(cwp_, inst.rs1) + s2Value(inst);
+        memory_.write16(ea,
+                        static_cast<uint16_t>(regs_.read(cwp_, inst.rd)));
+        break;
+      }
+      case ExecTag::Stb: {
+        const uint32_t ea = regs_.read(cwp_, inst.rs1) + s2Value(inst);
+        memory_.write8(ea,
+                       static_cast<uint8_t>(regs_.read(cwp_, inst.rd)));
+        break;
+      }
+      case ExecTag::Jmp:
+      case ExecTag::Jmpr: {
         ++stats_.branches;
         uint32_t target;
-        if (inst.op == Opcode::Jmpr)
+        if (dop.tag == ExecTag::Jmpr)
             target = inst_pc + static_cast<uint32_t>(inst.imm19);
         else
             target = regs_.read(cwp_, inst.rs1) + s2Value(inst);
@@ -490,79 +499,120 @@ Cpu::step()
         }
         break;
       }
-      case OpClass::Call: {
-        uint32_t target = 0;
-        bool jumps = true;
-        switch (inst.op) {
-          case Opcode::Call:
-            target = regs_.read(cwp_, inst.rs1) + s2Value(inst);
-            break;
-          case Opcode::Callr:
-            target = inst_pc + static_cast<uint32_t>(inst.imm19);
-            break;
-          case Opcode::Callint:
-            jumps = false;
-            ie_ = false;
-            break;
-          default:
-            panic("step: bad call opcode");
-        }
+      case ExecTag::Call: {
+        // Target is computed in the caller's window, before the push.
+        const uint32_t target = regs_.read(cwp_, inst.rs1) +
+                                s2Value(inst);
         windowPush();
         // The link register lives in the *new* window.
-        regs_.write(cwp_, inst.rd,
-                    inst.op == Opcode::Callint ? lastPc_ : inst_pc);
-        if (jumps)
-            scheduleJump(target);
+        regs_.write(cwp_, inst.rd, inst_pc);
+        scheduleJump(target);
         break;
       }
-      case OpClass::Ret: {
+      case ExecTag::Callr: {
+        const uint32_t target = inst_pc +
+                                static_cast<uint32_t>(inst.imm19);
+        windowPush();
+        regs_.write(cwp_, inst.rd, inst_pc);
+        scheduleJump(target);
+        break;
+      }
+      case ExecTag::Callint: {
+        ie_ = false;
+        windowPush();
+        regs_.write(cwp_, inst.rd, lastPc_);
+        break;
+      }
+      case ExecTag::Ret:
+      case ExecTag::Retint: {
         // Target is computed in the callee's window, before the pop.
         const uint32_t target = regs_.read(cwp_, inst.rs1) +
                                 s2Value(inst);
         windowPop();
-        if (inst.op == Opcode::Retint)
+        if (dop.tag == ExecTag::Retint)
             ie_ = true;
         scheduleJump(target);
         break;
       }
-      case OpClass::Misc: {
-        switch (inst.op) {
-          case Opcode::Ldhi:
-            regs_.write(cwp_, inst.rd,
-                        static_cast<uint32_t>(inst.imm19) << 13);
-            break;
-          case Opcode::Gtlpc:
-            regs_.write(cwp_, inst.rd, lastPc_);
-            break;
-          case Opcode::Getpsw: {
-            uint32_t psw = 0;
-            psw |= flags_.c ? 1u : 0;
-            psw |= flags_.v ? 2u : 0;
-            psw |= flags_.n ? 4u : 0;
-            psw |= flags_.z ? 8u : 0;
-            psw |= ie_ ? 16u : 0;
-            psw |= static_cast<uint32_t>(cwp_) << 8;
-            regs_.write(cwp_, inst.rd, psw);
-            break;
-          }
-          case Opcode::Putpsw: {
-            const uint32_t psw = regs_.read(cwp_, inst.rs1) +
-                                 s2Value(inst);
-            flags_.c = (psw & 1) != 0;
-            flags_.v = (psw & 2) != 0;
-            flags_.n = (psw & 4) != 0;
-            flags_.z = (psw & 8) != 0;
-            ie_ = (psw & 16) != 0;
-            // CWP is not writable through PUTPSW in this model; the
-            // window-tracking state would desynchronise.
-            break;
-          }
-          default:
-            panic("step: bad misc opcode");
-        }
+      case ExecTag::Ldhi:
+        regs_.write(cwp_, inst.rd,
+                    static_cast<uint32_t>(inst.imm19) << 13);
+        break;
+      case ExecTag::Gtlpc:
+        regs_.write(cwp_, inst.rd, lastPc_);
+        break;
+      case ExecTag::Getpsw: {
+        uint32_t psw = 0;
+        psw |= flags_.c ? 1u : 0;
+        psw |= flags_.v ? 2u : 0;
+        psw |= flags_.n ? 4u : 0;
+        psw |= flags_.z ? 8u : 0;
+        psw |= ie_ ? 16u : 0;
+        psw |= static_cast<uint32_t>(cwp_) << 8;
+        regs_.write(cwp_, inst.rd, psw);
         break;
       }
+      case ExecTag::Putpsw: {
+        const uint32_t psw = regs_.read(cwp_, inst.rs1) + s2Value(inst);
+        flags_.c = (psw & 1) != 0;
+        flags_.v = (psw & 2) != 0;
+        flags_.n = (psw & 4) != 0;
+        flags_.z = (psw & 8) != 0;
+        ie_ = (psw & 16) != 0;
+        // CWP is not writable through PUTPSW in this model; the
+        // window-tracking state would desynchronise.
+        break;
+      }
+      case ExecTag::Invalid:
+        panic("executeDecoded: invalid cache entry at pc 0x%08x",
+              inst_pc);
     }
+}
+
+void
+Cpu::step()
+{
+    maybeTakeInterrupt();
+
+    const uint32_t inst_pc = pc_;
+    DecodedOp dop;
+    const DecodedOp *cached = nullptr;
+    // The one-shot fetch corruption must see the real istream, so it
+    // forces the decoding path (and is never allowed into the cache).
+    if (options_.predecode && fetchXor_ == 0)
+        cached = dcache_.lookup(inst_pc);
+    if (cached != nullptr) {
+        // Account the fetch the slow path would perform. Its alignment
+        // and limit checks passed when this entry was first decoded,
+        // and both are fixed for the lifetime of a load (the limit is
+        // set from CpuOptions only), so they need not be repeated.
+        memory_.countInstFetches(1);
+        // By value: a self-modifying store below may drop the line.
+        dop = *cached;
+    } else {
+        uint32_t word = memory_.fetch32(inst_pc);
+        bool corrupted = false;
+        if (fetchXor_ != 0) {
+            word ^= fetchXor_; // transient istream corruption (injection)
+            fetchXor_ = 0;
+            corrupted = true;
+        }
+        const isa::DecodeResult dec = isa::decode(word);
+        if (!dec.ok)
+            throw SimFault{strprintf("at pc 0x%08x: %s", inst_pc,
+                                     dec.error.c_str()),
+                           inst_pc, isa::TrapCause::IllegalOpcode};
+        dop = makeDecodedOp(dec.inst);
+        if (options_.predecode && !corrupted)
+            dcache_.insert(inst_pc, dop);
+    }
+    const Instruction &inst = dop.inst;
+
+    if (options_.trace)
+        traceInst(inst_pc, inst);
+
+    jumpPending_ = false;
+    executeDecoded(dop, inst_pc);
 
     // Bookkeeping.
     pcRing_[pcRingPos_] = inst_pc;
@@ -570,9 +620,9 @@ Cpu::step()
     ++pcRingCount_;
     ++stats_.instructions;
     ++stats_.perOpcode[inst.op];
-    stats_.countClass(info.opClass);
-    stats_.cycles += options_.timing.cyclesFor(info.opClass);
-    if (isa::isNop(inst))
+    stats_.countClass(dop.opClass);
+    stats_.cycles += options_.timing.cyclesFor(dop.opClass);
+    if (dop.nop)
         ++stats_.nopsExecuted;
 
     // Delayed-transfer PC discipline: the instruction at npc always

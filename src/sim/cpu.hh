@@ -19,6 +19,7 @@
 #include "isa/condition.hh"
 #include "isa/instruction.hh"
 #include "isa/trapcause.hh"
+#include "sim/decode.hh"
 #include "sim/fault.hh"
 #include "sim/memory.hh"
 #include "sim/regfile.hh"
@@ -93,6 +94,15 @@ struct CpuOptions
     uint64_t watchdogCycles = 0;
     /** Guest address-space limit (Memory::setLimit); 0 = unlimited. */
     uint32_t memLimit = 0;
+    /**
+     * Decode each instruction word once into a DecodedCache and
+     * dispatch on the dense tag thereafter (see docs/PERFORMANCE.md).
+     * Self-modifying stores invalidate the affected page, so results
+     * (architectural state AND statistics) are identical either way;
+     * `false` forces the historical decode-per-step loop, kept for
+     * differential testing and the bench_sim_throughput off-series.
+     */
+    bool predecode = true;
     bool trace = false;              //!< per-instruction trace
     std::ostream *traceOut = nullptr; //!< defaults to std::cerr
 };
@@ -128,6 +138,12 @@ class Cpu
 {
   public:
     explicit Cpu(CpuOptions options = {});
+
+    // memory_ holds a pointer to dcache_ (the write observer), so the
+    // object must stay put. Guaranteed copy elision still allows
+    // returning a prvalue `Cpu` from a factory function.
+    Cpu(const Cpu &) = delete;
+    Cpu &operator=(const Cpu &) = delete;
 
     /** Load a program image; resets registers, PC, windows and stats. */
     void load(const assembler::Program &program);
@@ -224,6 +240,12 @@ class Cpu
     AluOut execAlu(const isa::Instruction &inst, uint32_t a, uint32_t b);
     void applyScc(const isa::Instruction &inst, const AluOut &out);
 
+    /**
+     * Execute one predecoded instruction (everything between decode
+     * and the shared bookkeeping), dispatching on the dense ExecTag.
+     */
+    void executeDecoded(const DecodedOp &dop, uint32_t inst_pc);
+
     /** Schedule a delayed transfer to `target`. */
     void scheduleJump(uint32_t target);
 
@@ -242,6 +264,9 @@ class Cpu
 
     CpuOptions options_;
     Memory memory_;
+    // Registered as memory_'s write observer; memory_ holds a pointer
+    // to it, so Cpu cannot be trivially copied or moved.
+    DecodedCache dcache_;
     RegisterFile regs_;
     SimStats stats_;
 

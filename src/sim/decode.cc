@@ -1,0 +1,101 @@
+#include "sim/decode.hh"
+
+#include "support/logging.hh"
+
+namespace risc1::sim {
+
+ExecTag
+execTagFor(isa::Opcode op)
+{
+    using isa::Opcode;
+    switch (op) {
+      case Opcode::Add: return ExecTag::Add;
+      case Opcode::Addc: return ExecTag::Addc;
+      case Opcode::Sub: return ExecTag::Sub;
+      case Opcode::Subc: return ExecTag::Subc;
+      case Opcode::Subr: return ExecTag::Subr;
+      case Opcode::Subcr: return ExecTag::Subcr;
+      case Opcode::And: return ExecTag::And;
+      case Opcode::Or: return ExecTag::Or;
+      case Opcode::Xor: return ExecTag::Xor;
+      case Opcode::Sll: return ExecTag::Sll;
+      case Opcode::Srl: return ExecTag::Srl;
+      case Opcode::Sra: return ExecTag::Sra;
+      case Opcode::Ldl: return ExecTag::Ldl;
+      case Opcode::Ldsu: return ExecTag::Ldsu;
+      case Opcode::Ldss: return ExecTag::Ldss;
+      case Opcode::Ldbu: return ExecTag::Ldbu;
+      case Opcode::Ldbs: return ExecTag::Ldbs;
+      case Opcode::Stl: return ExecTag::Stl;
+      case Opcode::Sts: return ExecTag::Sts;
+      case Opcode::Stb: return ExecTag::Stb;
+      case Opcode::Jmp: return ExecTag::Jmp;
+      case Opcode::Jmpr: return ExecTag::Jmpr;
+      case Opcode::Call: return ExecTag::Call;
+      case Opcode::Callr: return ExecTag::Callr;
+      case Opcode::Ret: return ExecTag::Ret;
+      case Opcode::Callint: return ExecTag::Callint;
+      case Opcode::Retint: return ExecTag::Retint;
+      case Opcode::Ldhi: return ExecTag::Ldhi;
+      case Opcode::Gtlpc: return ExecTag::Gtlpc;
+      case Opcode::Getpsw: return ExecTag::Getpsw;
+      case Opcode::Putpsw: return ExecTag::Putpsw;
+    }
+    panic("execTagFor: unknown opcode 0x%02x",
+          static_cast<unsigned>(op));
+}
+
+DecodedOp
+makeDecodedOp(const isa::Instruction &inst)
+{
+    DecodedOp op;
+    op.inst = inst;
+    op.tag = execTagFor(inst.op);
+    op.opClass = inst.info().opClass;
+    op.nop = isa::isNop(inst);
+    return op;
+}
+
+void
+DecodedCache::insert(uint32_t addr, const DecodedOp &op)
+{
+    const uint32_t page = addr >> Memory::PageBits;
+    auto it = lines_.find(page);
+    if (it == lines_.end()) {
+        it = lines_.emplace(page, std::make_unique<Line>(OpsPerPage))
+                 .first;
+        if (page < minPage_)
+            minPage_ = page;
+        if (page > maxPage_)
+            maxPage_ = page;
+    }
+    (*it->second)[(addr & (Memory::PageSize - 1)) / isa::InstBytes] = op;
+}
+
+void
+DecodedCache::invalidateSlots(uint32_t addr, unsigned bytes)
+{
+    // A write is at most 4 bytes, so it overlaps at most two slots
+    // (possibly on different pages).
+    const uint32_t last = addr + bytes - 1;
+    for (uint32_t a = addr & ~uint32_t{isa::InstBytes - 1}; a <= last;
+         a += isa::InstBytes) {
+        auto it = lines_.find(a >> Memory::PageBits);
+        if (it == lines_.end())
+            continue;
+        (*it->second)[(a & (Memory::PageSize - 1)) / isa::InstBytes] =
+            DecodedOp{};
+    }
+}
+
+void
+DecodedCache::invalidateAll()
+{
+    lines_.clear();
+    lastPage_ = UINT32_MAX;
+    lastLine_ = nullptr;
+    minPage_ = UINT32_MAX;
+    maxPage_ = 0;
+}
+
+} // namespace risc1::sim

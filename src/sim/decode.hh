@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The predecode fast path: program text is decoded once into dense
+ * DecodedOp records and Cpu::run() dispatches on the resolved tag
+ * instead of re-decoding the 32-bit word every step — the software
+ * analogue of a pipelined instruction fetch. The cache registers as a
+ * Memory::WriteObserver so self-modifying stores (and fault-injection
+ * pokes) invalidate the slots they overlap; a min/max range filter
+ * over the cached text pages makes data and stack writes cost one
+ * comparison. See docs/PERFORMANCE.md.
+ */
+
+#ifndef RISC1_SIM_DECODE_HH
+#define RISC1_SIM_DECODE_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "sim/memory.hh"
+
+namespace risc1::sim {
+
+/**
+ * Dense dispatch tag, one value per architected instruction in opcode
+ * order. Unlike isa::Opcode (a sparse 7-bit encoding), the tag range
+ * is contiguous so the execute switch compiles to a dense jump table.
+ */
+enum class ExecTag : uint8_t
+{
+    Add, Addc, Sub, Subc, Subr, Subcr, And, Or, Xor, Sll, Srl, Sra,
+    Ldl, Ldsu, Ldss, Ldbu, Ldbs, Stl, Sts, Stb,
+    Jmp, Jmpr, Call, Callr, Ret, Callint, Retint,
+    Ldhi, Gtlpc, Getpsw, Putpsw,
+    Invalid, //!< unfilled cache slot
+};
+
+/** Dispatch tag for an architected opcode. */
+ExecTag execTagFor(isa::Opcode op);
+
+/**
+ * One predecoded instruction: the fully decoded fields (opcode, scc,
+ * operand indices, sign-extended immediates) plus everything the
+ * execute loop would otherwise recompute per step.
+ */
+struct DecodedOp
+{
+    isa::Instruction inst;               //!< decoded fields
+    ExecTag tag = ExecTag::Invalid;      //!< resolved dispatch tag
+    isa::OpClass opClass = isa::OpClass::Alu; //!< cached class (stats)
+    bool nop = false;                    //!< canonical NOP (stats)
+
+    bool valid() const { return tag != ExecTag::Invalid; }
+};
+
+/** Build the predecoded record for a decoded instruction. */
+DecodedOp makeDecodedOp(const isa::Instruction &inst);
+
+/**
+ * Maps instruction addresses to DecodedOp records, one page-sized line
+ * of slots per touched text page. A write invalidates exactly the
+ * slots it overlaps; writes outside the [minPage_, maxPage_] band of
+ * cached text pages — i.e. ordinary data and stack traffic — are
+ * rejected by two comparisons before any hash lookup, so the observer
+ * is cheap enough to sit on the store path.
+ */
+class DecodedCache : public Memory::WriteObserver
+{
+  public:
+    static constexpr unsigned OpsPerPage = Memory::PageSize /
+                                           isa::InstBytes;
+
+    /**
+     * Predecoded record at `addr`, or nullptr on a miss (including
+     * misaligned addresses, which must take the slow path so the
+     * fetch raises its misalignment fault).
+     */
+    const DecodedOp *
+    lookup(uint32_t addr)
+    {
+        if (addr % isa::InstBytes != 0)
+            return nullptr;
+        const uint32_t page = addr >> Memory::PageBits;
+        if (page != lastPage_) {
+            auto it = lines_.find(page);
+            if (it == lines_.end())
+                return nullptr;
+            lastPage_ = page;
+            lastLine_ = it->second.get();
+        }
+        const DecodedOp &op =
+            (*lastLine_)[(addr & (Memory::PageSize - 1)) /
+                         isa::InstBytes];
+        return op.valid() ? &op : nullptr;
+    }
+
+    /** Store the record for `addr` (which must be word-aligned). */
+    void insert(uint32_t addr, const DecodedOp &op);
+
+    /** Drop everything (program load, snapshot restore). */
+    void invalidateAll();
+
+    void
+    onMemoryWrite(uint32_t addr, unsigned bytes) override
+    {
+        const uint32_t first = addr >> Memory::PageBits;
+        const uint32_t last = (addr + bytes - 1) >> Memory::PageBits;
+        if (first > maxPage_ || last < minPage_)
+            return; // outside every cached text page
+        invalidateSlots(addr, bytes);
+    }
+
+    /** Number of resident predecoded lines (tests). */
+    size_t residentLines() const { return lines_.size(); }
+
+  private:
+    using Line = std::vector<DecodedOp>; //!< OpsPerPage slots
+
+    /** Clear the slots overlapped by a write that passed the filter. */
+    void invalidateSlots(uint32_t addr, unsigned bytes);
+
+    std::unordered_map<uint32_t, std::unique_ptr<Line>> lines_;
+    // One-entry accelerator: straight-line fetch stays on one page.
+    uint32_t lastPage_ = UINT32_MAX;
+    Line *lastLine_ = nullptr;
+    // Range filter: every cached slot lies in [minPage_, maxPage_];
+    // grown on insert, only reset by invalidateAll (conservative).
+    uint32_t minPage_ = UINT32_MAX;
+    uint32_t maxPage_ = 0;
+};
+
+} // namespace risc1::sim
+
+#endif // RISC1_SIM_DECODE_HH

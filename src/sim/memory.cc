@@ -62,16 +62,24 @@ Memory::peek32(uint32_t addr) const
 }
 
 void
-Memory::poke8(uint32_t addr, uint8_t value)
+Memory::pokeRaw(uint32_t addr, uint8_t value)
 {
     pageFor(addr)[addr & (PageSize - 1)] = value;
+}
+
+void
+Memory::poke8(uint32_t addr, uint8_t value)
+{
+    pokeRaw(addr, value);
+    notifyWrite(addr, 1);
 }
 
 void
 Memory::poke32(uint32_t addr, uint32_t value)
 {
     for (unsigned i = 0; i < 4; ++i)
-        poke8(addr + i, static_cast<uint8_t>(value >> (8 * i)));
+        pokeRaw(addr + i, static_cast<uint8_t>(value >> (8 * i)));
+    notifyWrite(addr, 4);
 }
 
 uint32_t

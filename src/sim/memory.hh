@@ -41,6 +41,26 @@ class Memory
     static constexpr uint32_t PageSize = 1u << PageBits;
 
     /**
+     * Observer of every guest-visible mutation (counted writes AND
+     * raw pokes — fault injection flips memory through poke32). The
+     * predecode caches register themselves here so self-modifying
+     * stores invalidate stale decoded instructions.
+     */
+    class WriteObserver
+    {
+      public:
+        virtual ~WriteObserver() = default;
+        /** Bytes [addr, addr + bytes) were (or may have been) changed. */
+        virtual void onMemoryWrite(uint32_t addr, unsigned bytes) = 0;
+    };
+
+    /** Install (or clear, with nullptr) the single write observer. */
+    void setWriteObserver(WriteObserver *observer)
+    {
+        observer_ = observer;
+    }
+
+    /**
      * Install an address-space limit: counted accesses (fetch/read/
      * write) at or beyond `limit` raise an OutOfRangeAddress SimFault.
      * 0 (the default) disables the check. peek/poke are exempt.
@@ -87,7 +107,11 @@ class Memory
     /** Serialize all touched pages (sorted by index). */
     std::vector<PageDump> dumpPages() const;
 
-    /** Replace the entire contents from a dump; stats are preserved. */
+    /**
+     * Replace the entire contents from a dump; stats are preserved.
+     * The write observer is NOT notified — a wholesale replacement
+     * caller must invalidate any decode cache itself.
+     */
     void restorePages(const std::vector<PageDump> &pages);
 
     /** Restore the statistics (checkpointing). */
@@ -104,9 +128,20 @@ class Memory
     /** Alignment + address-limit check for a counted access. */
     void checkAccess(uint32_t addr, unsigned bytes) const;
 
+    /** Raw byte store without the observer notification. */
+    void pokeRaw(uint32_t addr, uint8_t value);
+
+    void
+    notifyWrite(uint32_t addr, unsigned bytes)
+    {
+        if (observer_ != nullptr)
+            observer_->onMemoryWrite(addr, bytes);
+    }
+
     std::unordered_map<uint32_t, std::unique_ptr<Page>> pages_;
     MemStats stats_;
     uint32_t limit_ = 0;
+    WriteObserver *observer_ = nullptr;
 };
 
 } // namespace risc1::sim

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * A small fixed-size worker pool used by core::ParallelRunner. Tasks
+ * are plain std::function jobs; wait() blocks until every submitted
+ * task has finished. The pool imposes no ordering of its own —
+ * deterministic output is the caller's job (see docs/PERFORMANCE.md).
+ */
+
+#ifndef RISC1_SUPPORT_THREADPOOL_HH
+#define RISC1_SUPPORT_THREADPOOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace risc1 {
+
+class ThreadPool
+{
+  public:
+    /** Start `threads` workers (at least one). */
+    explicit ThreadPool(unsigned threads);
+
+    /** Drains the queue, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one task. Never blocks (the queue is unbounded). */
+    void submit(std::function<void()> task);
+
+    /** Block until the queue is empty and no task is running. */
+    void wait();
+
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable workCv_; //!< workers wait for tasks here
+    std::condition_variable idleCv_; //!< wait() sleeps here
+    unsigned running_ = 0;           //!< tasks currently executing
+    bool stopping_ = false;
+};
+
+} // namespace risc1
+
+#endif // RISC1_SUPPORT_THREADPOOL_HH

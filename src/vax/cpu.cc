@@ -12,16 +12,24 @@ namespace risc1::vax {
 
 using sim::SimFault;
 
-VaxCpu::VaxCpu(VaxCpuOptions options) : options_(options) {}
+VaxCpu::VaxCpu(VaxCpuOptions options) : options_(options)
+{
+    if (options_.predecode)
+        memory_.setWriteObserver(&dcache_);
+}
 
 void
 VaxCpu::load(const VaxProgram &program)
 {
-    memory_ = sim::Memory{};
+    memory_ = sim::Memory{}; // move-assign drops the observer
     memory_.setLimit(options_.memLimit);
     for (size_t i = 0; i < program.bytes.size(); ++i)
         memory_.poke8(program.base + static_cast<uint32_t>(i),
                       program.bytes[i]);
+    dcache_.invalidateAll();
+    if (options_.predecode)
+        memory_.setWriteObserver(&dcache_);
+    fastActive_ = false;
     regs_.fill(0);
     stats_ = VaxStats{};
     flags_ = isa::Flags{};
@@ -130,6 +138,8 @@ VaxCpu::istreamBytes(unsigned count)
 VaxCpu::OpRef
 VaxCpu::decodeOperand(unsigned width)
 {
+    if (fastActive_)
+        return resolveSpec(width);
     ++specifiers_;
     const uint8_t spec = istreamByte();
     const unsigned mode = spec >> 4;
@@ -206,6 +216,80 @@ VaxCpu::decodeOperand(unsigned width)
         throw SimFault{strprintf("bad operand specifier 0x%02x", spec),
                        instStart_, isa::TrapCause::IllegalOperand};
     }
+}
+
+/**
+ * Resolve the next cached specifier of fastRec_. Mirrors decodeOperand
+ * exactly — same side-effect order (an index register is read before
+ * the base's autoincrement/autodecrement applies), same faults — but
+ * reads the predecoded fields instead of walking the istream. Modes
+ * the parser refuses (parseVaxInst) never reach this function.
+ */
+VaxCpu::OpRef
+VaxCpu::resolveSpec(unsigned width)
+{
+    const VaxSpec &s = fastRec_.specs[fastSpec_++];
+    const bool indexed = s.indexReg != VaxSpec::NoIndex;
+    // The lazy decoder counts an index prefix as its own specifier.
+    specifiers_ += indexed ? 2 : 1;
+    uint32_t index = 0;
+    if (indexed)
+        index = regs_[s.indexReg];
+
+    OpRef ref;
+    if (s.mode <= 3) { // short literal
+        ref.kind = OpRef::Kind::Val;
+        ref.value = s.extra;
+    } else {
+        switch (static_cast<Mode>(s.mode)) {
+          case Mode::Register:
+            if (s.reg >= NumRegs)
+                throw SimFault{"register specifier out of range",
+                               instStart_,
+                               isa::TrapCause::IllegalOperand};
+            ref.kind = OpRef::Kind::Reg;
+            ref.reg = s.reg;
+            break;
+          case Mode::Deferred:
+            ref.kind = OpRef::Kind::Mem;
+            ref.addr = regs_[s.reg];
+            break;
+          case Mode::AutoDec:
+            regs_[s.reg] -= width;
+            ref.kind = OpRef::Kind::Mem;
+            ref.addr = regs_[s.reg];
+            break;
+          case Mode::AutoInc:
+            if (s.reg == 15) { // predecoded immediate
+                ref.kind = OpRef::Kind::Val;
+                ref.value = s.extra;
+            } else {
+                ref.kind = OpRef::Kind::Mem;
+                ref.addr = regs_[s.reg];
+                regs_[s.reg] += width;
+            }
+            break;
+          case Mode::DispByte:
+          case Mode::DispWord:
+            ref.kind = OpRef::Kind::Mem;
+            ref.addr = regs_[s.reg] + s.extra;
+            break;
+          case Mode::DispLong:
+            ref.kind = OpRef::Kind::Mem;
+            ref.addr = (s.reg == 15 ? 0 : regs_[s.reg]) + s.extra;
+            break;
+          default:
+            panic("resolveSpec: mode 0x%x should not have been cached",
+                  s.mode);
+        }
+    }
+    if (indexed) {
+        if (ref.kind != OpRef::Kind::Mem)
+            throw SimFault{"index prefix on non-memory operand",
+                           instStart_, isa::TrapCause::IllegalOperand};
+        ref.addr += index * width;
+    }
+    return ref;
 }
 
 uint32_t
@@ -285,7 +369,9 @@ void
 VaxCpu::branch(VaxOp op)
 {
     using isa::Cond;
-    const auto disp = static_cast<int8_t>(istreamByte());
+    const int32_t disp =
+        fastActive_ ? fastRec_.branchDisp
+                    : static_cast<int8_t>(istreamByte());
     Cond cond;
     switch (op) {
       case VaxOp::Brb:   cond = Cond::Alw; break;
@@ -306,7 +392,7 @@ VaxCpu::branch(VaxOp op)
     if (isa::condHolds(cond, flags_)) {
         ++stats_.branchesTaken;
         stats_.cycles += options_.timing.branchTakenExtra;
-        pc_ += static_cast<uint32_t>(static_cast<int32_t>(disp));
+        pc_ += static_cast<uint32_t>(disp);
     }
 }
 
@@ -405,12 +491,41 @@ VaxCpu::step()
     instStart_ = pc_;
     specifiers_ = 0;
     istreamCount_ = 0;
-    const uint8_t raw = istreamByte();
-    if (!isValidVaxOp(raw))
-        throw SimFault{strprintf("illegal vax80 opcode 0x%02x at 0x%08x",
-                                 raw, instStart_),
-                       instStart_, isa::TrapCause::IllegalOpcode};
-    const auto op = static_cast<VaxOp>(raw);
+    fastActive_ = false;
+    fastSpec_ = 0;
+    VaxOp op{};
+    if (options_.predecode) {
+        if (const VaxDecoded *rec = dcache_.lookup(pc_)) {
+            // By value: a self-modifying store below may invalidate
+            // the cache entry while this instruction executes.
+            fastRec_ = *rec;
+            fastActive_ = true;
+            op = fastRec_.op;
+            // All istream byte positions are known up front, so pc_
+            // and the istream accounting advance in one step. Every
+            // later use of pc_ (branch targets, the CALLS return
+            // address) reads it after the whole instruction would
+            // have been consumed, so the early advance is invisible.
+            pc_ += fastRec_.length;
+            istreamCount_ = fastRec_.length;
+        }
+    }
+    if (!fastActive_) {
+        const uint8_t raw = istreamByte();
+        if (!isValidVaxOp(raw))
+            throw SimFault{
+                strprintf("illegal vax80 opcode 0x%02x at 0x%08x",
+                          raw, instStart_),
+                instStart_, isa::TrapCause::IllegalOpcode};
+        op = static_cast<VaxOp>(raw);
+        if (options_.predecode) {
+            // Parse for the next visit; this step stays on the lazy
+            // path (the record is not consulted mid-instruction).
+            VaxDecoded rec;
+            if (parseVaxInst(memory_, instStart_, rec))
+                dcache_.insert(instStart_, rec);
+        }
+    }
 
     auto alu2 = [&](unsigned width, auto fn, bool arith) {
         const OpRef src = decodeOperand(width);
@@ -674,11 +789,13 @@ VaxCpu::step()
         branch(op);
         break;
       case VaxOp::Brw: {
-        const auto disp = static_cast<int16_t>(istreamBytes(2));
+        const int32_t disp =
+            fastActive_ ? fastRec_.branchDisp
+                        : static_cast<int16_t>(istreamBytes(2));
         ++stats_.branches;
         ++stats_.branchesTaken;
         stats_.cycles += options_.timing.branchTakenExtra;
-        pc_ += static_cast<uint32_t>(static_cast<int32_t>(disp));
+        pc_ += static_cast<uint32_t>(disp);
         break;
       }
       case VaxOp::Jmp: {

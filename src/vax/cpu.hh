@@ -18,6 +18,7 @@
 #include "sim/memory.hh"
 #include "vax/builder.hh"
 #include "vax/isa.hh"
+#include "vax/predecode.hh"
 #include "vax/timing.hh"
 
 namespace risc1::vax {
@@ -76,6 +77,16 @@ struct VaxCpuOptions
     uint64_t watchdogCycles = 0;
     /** Guest address-space limit (Memory::setLimit); 0 = unlimited. */
     uint32_t memLimit = 0;
+    /**
+     * Parse each instruction's operand specifiers once into a
+     * VaxDecodeCache and resolve the cached fields thereafter (see
+     * docs/PERFORMANCE.md). Dynamic side effects (autoincrement,
+     * index scaling, operand faults) still happen at resolve time in
+     * the original order, and self-modifying stores invalidate the
+     * affected pages, so results are identical either way; `false`
+     * forces the historical byte-by-byte decode loop.
+     */
+    bool predecode = true;
     bool trace = false;               //!< per-instruction disassembly
     std::ostream *traceOut = nullptr; //!< defaults to std::cerr
 };
@@ -85,6 +96,11 @@ class VaxCpu
 {
   public:
     explicit VaxCpu(VaxCpuOptions options = {});
+
+    // memory_ holds a pointer to dcache_ (the write observer), so the
+    // object must stay put.
+    VaxCpu(const VaxCpu &) = delete;
+    VaxCpu &operator=(const VaxCpu &) = delete;
 
     /** Load an image; resets registers, PC and statistics. */
     void load(const VaxProgram &program);
@@ -129,6 +145,13 @@ class VaxCpu
     /** Decode the next operand specifier; width = datum bytes. */
     OpRef decodeOperand(unsigned width);
 
+    /**
+     * Fast-path counterpart of decodeOperand: resolve the next cached
+     * specifier of fastRec_, performing the same side effects (and
+     * raising the same operand faults) in the same order.
+     */
+    OpRef resolveSpec(unsigned width);
+
     uint32_t readOp(const OpRef &ref, unsigned width);
     void writeOp(const OpRef &ref, uint32_t value, unsigned width);
 
@@ -143,9 +166,18 @@ class VaxCpu
 
     VaxCpuOptions options_;
     sim::Memory memory_;
+    // Registered as memory_'s write observer (see VaxCpu ctor/load).
+    VaxDecodeCache dcache_;
     std::array<uint32_t, NumRegs> regs_{};
     VaxStats stats_;
     isa::Flags flags_;
+
+    // In-flight predecoded instruction (fast path). The record is
+    // copied by value: a self-modifying store may invalidate the cache
+    // entry while the instruction is still executing.
+    VaxDecoded fastRec_;
+    bool fastActive_ = false;
+    unsigned fastSpec_ = 0; //!< next specifier of fastRec_ to resolve
 
     uint32_t pc_ = 0;       //!< address of next istream byte
     uint32_t instStart_ = 0;

@@ -1,71 +1,11 @@
 #include "vax/disasm.hh"
 
 #include "support/logging.hh"
+#include "vax/predecode.hh" // vaxOpShape: shared with the predecoder
 
 namespace risc1::vax {
 
 namespace {
-
-/** Operand counts and datum widths per opcode. */
-struct OpShape
-{
-    unsigned operands;
-    unsigned width; //!< datum bytes for specifier scaling
-    bool isBranch8;
-    bool isBranch16;
-};
-
-OpShape
-shapeOf(VaxOp op)
-{
-    switch (op) {
-      case VaxOp::Halt:
-      case VaxOp::Nop:
-      case VaxOp::Ret:
-        return {0, 4, false, false};
-      case VaxOp::Movb:
-      case VaxOp::Cmpb:
-        return {2, 1, false, false};
-      case VaxOp::Movw:
-      case VaxOp::Cmpw:
-        return {2, 2, false, false};
-      case VaxOp::Movl:
-      case VaxOp::Moval:
-      case VaxOp::Addl2:
-      case VaxOp::Subl2:
-      case VaxOp::Mull2:
-      case VaxOp::Divl2:
-      case VaxOp::Bisl2:
-      case VaxOp::Bicl2:
-      case VaxOp::Xorl2:
-      case VaxOp::Cmpl:
-      case VaxOp::Mcoml:
-      case VaxOp::Mnegl:
-      case VaxOp::Calls:
-        return {2, 4, false, false};
-      case VaxOp::Addl3:
-      case VaxOp::Subl3:
-      case VaxOp::Mull3:
-      case VaxOp::Divl3:
-      case VaxOp::Bisl3:
-      case VaxOp::Bicl3:
-      case VaxOp::Xorl3:
-      case VaxOp::Ashl:
-        return {3, 4, false, false};
-      case VaxOp::Clrl:
-      case VaxOp::Pushl:
-      case VaxOp::Incl:
-      case VaxOp::Decl:
-      case VaxOp::Tstl:
-      case VaxOp::Jmp:
-        return {1, 4, false, false};
-      case VaxOp::Brw:
-        return {0, 4, false, true};
-      default:
-        // All remaining ops are the byte-displacement branches.
-        return {0, 4, true, false};
-    }
-}
 
 const char *
 regNameV(unsigned reg)
@@ -174,7 +114,7 @@ disassembleVaxAt(const std::vector<uint8_t> &bytes, size_t offset,
         return line;
     }
     const auto op = static_cast<VaxOp>(raw);
-    const OpShape shape = shapeOf(op);
+    const VaxOpShape &shape = vaxOpShape(op);
     size_t pos = offset + 1;
 
     std::string text = std::string(vaxOpName(op));

@@ -1,0 +1,241 @@
+#include "vax/predecode.hh"
+
+namespace risc1::vax {
+
+const VaxOpShape &
+vaxOpShape(VaxOp op)
+{
+    static const VaxOpShape none{0, 4, false, false};
+    static const VaxOpShape byte2{2, 1, false, false};
+    static const VaxOpShape word2{2, 2, false, false};
+    static const VaxOpShape long1{1, 4, false, false};
+    static const VaxOpShape long2{2, 4, false, false};
+    static const VaxOpShape long3{3, 4, false, false};
+    static const VaxOpShape br8{0, 4, true, false};
+    static const VaxOpShape br16{0, 4, false, true};
+
+    switch (op) {
+      case VaxOp::Halt:
+      case VaxOp::Nop:
+      case VaxOp::Ret:
+        return none;
+      case VaxOp::Movb:
+      case VaxOp::Cmpb:
+        return byte2;
+      case VaxOp::Movw:
+      case VaxOp::Cmpw:
+        return word2;
+      case VaxOp::Movl:
+      case VaxOp::Moval:
+      case VaxOp::Addl2:
+      case VaxOp::Subl2:
+      case VaxOp::Mull2:
+      case VaxOp::Divl2:
+      case VaxOp::Bisl2:
+      case VaxOp::Bicl2:
+      case VaxOp::Xorl2:
+      case VaxOp::Cmpl:
+      case VaxOp::Mcoml:
+      case VaxOp::Mnegl:
+      case VaxOp::Calls:
+        return long2;
+      case VaxOp::Addl3:
+      case VaxOp::Subl3:
+      case VaxOp::Mull3:
+      case VaxOp::Divl3:
+      case VaxOp::Bisl3:
+      case VaxOp::Bicl3:
+      case VaxOp::Xorl3:
+      case VaxOp::Ashl:
+        return long3;
+      case VaxOp::Clrl:
+      case VaxOp::Pushl:
+      case VaxOp::Incl:
+      case VaxOp::Decl:
+      case VaxOp::Tstl:
+      case VaxOp::Jmp:
+        return long1;
+      case VaxOp::Brw:
+        return br16;
+      default:
+        // All remaining ops are the byte-displacement branches.
+        return br8;
+    }
+}
+
+namespace {
+
+/**
+ * Parse one specifier at `addr`; advances `addr` past it. Returns
+ * false for anything the record format cannot represent.
+ */
+bool
+parseSpec(const sim::Memory &mem, uint32_t &addr, VaxSpec &spec)
+{
+    auto le = [&](unsigned n) {
+        uint32_t v = 0;
+        for (unsigned i = 0; i < n; ++i)
+            v |= static_cast<uint32_t>(mem.peek8(addr + i)) << (8 * i);
+        addr += n;
+        return v;
+    };
+
+    const uint8_t raw = mem.peek8(addr++);
+    const unsigned mode = raw >> 4;
+    const unsigned reg = raw & 0xf;
+
+    if (mode == static_cast<unsigned>(Mode::Index)) {
+        // regs_[15] does not exist (PC is not a general register), and
+        // a nested index prefix is representable only once: leave both
+        // to the lazy decoder.
+        if (reg == 15)
+            return false;
+        if ((mem.peek8(addr) >> 4) ==
+            static_cast<unsigned>(Mode::Index))
+            return false;
+        if (!parseSpec(mem, addr, spec))
+            return false;
+        spec.indexReg = static_cast<uint8_t>(reg);
+        return true;
+    }
+
+    spec.mode = static_cast<uint8_t>(mode);
+    spec.reg = static_cast<uint8_t>(reg);
+    spec.indexReg = VaxSpec::NoIndex;
+
+    if (mode <= 3) { // short literal
+        spec.extra = raw & 0x3f;
+        return true;
+    }
+    switch (static_cast<Mode>(mode)) {
+      case Mode::Register:
+        // reg 15 is rejected at resolve time with a proper operand
+        // fault (mirrored by the fast path), so it is representable.
+        return true;
+      case Mode::Deferred:
+      case Mode::AutoDec:
+        return reg != 15; // regs_[15] does not exist
+      case Mode::AutoInc:
+        if (reg == 15) { // immediate: always 4 istream bytes
+            spec.extra = le(4);
+            return true;
+        }
+        return true;
+      case Mode::DispByte:
+        if (reg == 15)
+            return false;
+        spec.extra = static_cast<uint32_t>(static_cast<int32_t>(
+            static_cast<int8_t>(mem.peek8(addr))));
+        addr += 1;
+        return true;
+      case Mode::DispWord:
+        if (reg == 15)
+            return false;
+        spec.extra = static_cast<uint32_t>(static_cast<int32_t>(
+            static_cast<int16_t>(le(2))));
+        return true;
+      case Mode::DispLong:
+        spec.extra = le(4); // reg 15 = absolute, handled at resolve
+        return true;
+      default:
+        return false; // mode the simulator rejects: keep it lazy
+    }
+}
+
+} // namespace
+
+bool
+parseVaxInst(const sim::Memory &mem, uint32_t addr, VaxDecoded &out)
+{
+    const uint32_t start = addr;
+    const uint8_t raw = mem.peek8(addr++);
+    if (!isValidVaxOp(raw))
+        return false;
+    out.op = static_cast<VaxOp>(raw);
+
+    const VaxOpShape &shape = vaxOpShape(out.op);
+    if (shape.isBranch8) {
+        out.branchDisp = static_cast<int8_t>(mem.peek8(addr));
+        addr += 1;
+    } else if (shape.isBranch16) {
+        out.branchDisp = static_cast<int16_t>(
+            mem.peek8(addr) |
+            (static_cast<uint16_t>(mem.peek8(addr + 1)) << 8));
+        addr += 2;
+    }
+    out.nspecs = static_cast<uint8_t>(shape.operands);
+    for (unsigned i = 0; i < shape.operands; ++i) {
+        if (!parseSpec(mem, addr, out.specs[i]))
+            return false;
+    }
+    out.length = static_cast<uint8_t>(addr - start);
+    return true;
+}
+
+void
+VaxDecodeCache::insert(uint32_t addr, const VaxDecoded &rec)
+{
+    const uint32_t page = addr >> sim::Memory::PageBits;
+    PageData &pd = pages_[page];
+    pd.records.insert_or_assign(addr, rec);
+    pd.starts.set(addr & (sim::Memory::PageSize - 1));
+    if (page < minPage_)
+        minPage_ = page;
+    if (page > maxPage_)
+        maxPage_ = page;
+}
+
+void
+VaxDecodeCache::invalidateAll()
+{
+    pages_.clear();
+    minPage_ = UINT32_MAX;
+    maxPage_ = 0;
+}
+
+void
+VaxDecodeCache::invalidateRange(uint32_t addr, unsigned bytes)
+{
+    // Only records starting within MaxVaxInstBytes-1 bytes before the
+    // write can reach it; scan that window via the start bitsets and
+    // drop exactly the records whose bytes the write overlaps.
+    const uint32_t lo =
+        addr >= MaxVaxInstBytes - 1 ? addr - (MaxVaxInstBytes - 1) : 0;
+    const uint32_t hi = addr + bytes - 1;
+    uint32_t a = lo;
+    while (a <= hi) {
+        const uint32_t page = a >> sim::Memory::PageBits;
+        const uint32_t page_last =
+            (page << sim::Memory::PageBits) + sim::Memory::PageSize - 1;
+        const uint32_t stop = hi < page_last ? hi : page_last;
+        auto it = pages_.find(page);
+        if (it != pages_.end()) {
+            PageData &pd = it->second;
+            for (uint32_t b = a; b <= stop; ++b) {
+                const uint32_t off = b & (sim::Memory::PageSize - 1);
+                if (!pd.starts.test(off))
+                    continue;
+                auto rec = pd.records.find(b);
+                if (rec != pd.records.end() &&
+                    b + rec->second.length > addr) {
+                    pd.records.erase(rec);
+                    pd.starts.reset(off);
+                }
+            }
+        }
+        if (stop == UINT32_MAX)
+            break;
+        a = stop + 1;
+    }
+}
+
+size_t
+VaxDecodeCache::residentRecords() const
+{
+    size_t n = 0;
+    for (const auto &[page, pd] : pages_)
+        n += pd.records.size();
+    return n;
+}
+
+} // namespace risc1::vax

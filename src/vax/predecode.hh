@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Operand-specifier predecode for the vax80 model — the CISC analogue
+ * of sim::DecodedCache. A variable-length instruction is parsed once
+ * into a VaxDecoded record (opcode, per-operand specifier fields,
+ * branch displacement, total length); VaxCpu::step() then resolves the
+ * cached specifiers instead of re-walking the instruction stream byte
+ * by byte. Parsing is purely structural (specifier lengths do not
+ * depend on datum width here: immediates are always 4 bytes), so all
+ * dynamic side effects — autoincrement/autodecrement, index register
+ * reads, operand faults — still happen at resolve time, in the same
+ * order as the lazy decoder. Instructions the record format cannot
+ * represent are simply never cached and keep executing lazily.
+ */
+
+#ifndef RISC1_VAX_PREDECODE_HH
+#define RISC1_VAX_PREDECODE_HH
+
+#include <array>
+#include <bitset>
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/memory.hh"
+#include "vax/isa.hh"
+
+namespace risc1::vax {
+
+/** Operand count, datum width and branch kind of one opcode. */
+struct VaxOpShape
+{
+    unsigned operands;
+    unsigned width; //!< datum bytes for specifier scaling
+    bool isBranch8;
+    bool isBranch16;
+};
+
+/** Static shape of an opcode (shared with the disassembler). */
+const VaxOpShape &vaxOpShape(VaxOp op);
+
+/** One predecoded operand specifier, with any index prefix folded in. */
+struct VaxSpec
+{
+    static constexpr uint8_t NoIndex = 0xff;
+
+    uint8_t mode = 0; //!< specifier high nibble (0..3 = short literal)
+    uint8_t reg = 0;  //!< specifier low nibble
+    uint8_t indexReg = NoIndex; //!< index prefix register, or NoIndex
+    uint32_t extra = 0; //!< literal / immediate / sign-extended disp
+};
+
+/** Upper bound on instruction length: opcode + 3 × (index + disp32). */
+constexpr unsigned MaxVaxInstBytes = 1 + 3 * 6;
+
+/** A fully predecoded vax80 instruction. */
+struct VaxDecoded
+{
+    VaxOp op = VaxOp::Halt;
+    uint8_t length = 0; //!< total istream bytes, opcode included
+    uint8_t nspecs = 0;
+    int32_t branchDisp = 0; //!< sign-extended (branch opcodes only)
+    std::array<VaxSpec, 3> specs{};
+};
+
+/**
+ * Parse the instruction starting at `addr` into `out`. Returns false
+ * when the instruction is not representable — illegal opcode, a
+ * specifier mode the simulator rejects, a nested index prefix, or a
+ * PC-relative register (r15) in a mode that has no defined meaning
+ * here. Such instructions stay on the lazy path, which preserves
+ * their exact fault behaviour.
+ */
+bool parseVaxInst(const sim::Memory &mem, uint32_t addr,
+                  VaxDecoded &out);
+
+/**
+ * Maps instruction start addresses to VaxDecoded records, grouped by
+ * the page they start in. Invalidation is record-exact: a write drops
+ * only the records whose [start, start + length) bytes it overlaps,
+ * located via a per-page bitset of record starts — so data interleaved
+ * with code (e.g. an array emitted right after the text) never evicts
+ * live instructions. Writes outside the [minPage_, maxPage_ + 1] band
+ * of cached text pages — ordinary data and stack traffic, including
+ * the CALLS frame pushes — are rejected by two comparisons before any
+ * hash lookup.
+ */
+class VaxDecodeCache : public sim::Memory::WriteObserver
+{
+  public:
+    const VaxDecoded *
+    lookup(uint32_t addr) const
+    {
+        auto page = pages_.find(addr >> sim::Memory::PageBits);
+        if (page == pages_.end())
+            return nullptr;
+        auto it = page->second.records.find(addr);
+        return it == page->second.records.end() ? nullptr
+                                                : &it->second;
+    }
+
+    void insert(uint32_t addr, const VaxDecoded &rec);
+    void invalidateAll();
+
+    void
+    onMemoryWrite(uint32_t addr, unsigned bytes) override
+    {
+        const uint32_t first = addr >> sim::Memory::PageBits;
+        const uint32_t last =
+            (addr + bytes - 1) >> sim::Memory::PageBits;
+        // A record starting in maxPage_ can extend into the next page,
+        // so writes one page past the band are still relevant.
+        if (first > maxPage_ + 1 || last < minPage_)
+            return;
+        invalidateRange(addr, bytes);
+    }
+
+    /** Number of resident records (tests). */
+    size_t residentRecords() const;
+
+  private:
+    struct PageData
+    {
+        std::unordered_map<uint32_t, VaxDecoded> records;
+        // One bit per byte offset: a record starts there. Lets the
+        // write path scan a MaxVaxInstBytes window without hashing
+        // every candidate address.
+        std::bitset<sim::Memory::PageSize> starts;
+    };
+
+    /** Drop the records overlapping [addr, addr + bytes). */
+    void invalidateRange(uint32_t addr, unsigned bytes);
+
+    std::unordered_map<uint32_t, PageData> pages_;
+    // Range filter: every record starts in [minPage_, maxPage_];
+    // grown on insert, only reset by invalidateAll (conservative).
+    uint32_t minPage_ = UINT32_MAX;
+    uint32_t maxPage_ = 0;
+};
+
+} // namespace risc1::vax
+
+#endif // RISC1_VAX_PREDECODE_HH

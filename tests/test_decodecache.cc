@@ -1,0 +1,344 @@
+/**
+ * @file
+ * The predecode fast path and the parallel experiment runner.
+ *
+ * Differential tests pin the central claim of both features: they are
+ * pure optimisations. Predecode on vs off must produce identical
+ * pc/instruction/stats streams over the whole suite (including under
+ * self-modifying stores), and any --jobs value must produce
+ * byte-identical experiment tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "asm/assembler.hh"
+#include "core/experiments.hh"
+#include "core/parallel.hh"
+#include "sim/cpu.hh"
+#include "sim/decode.hh"
+#include "support/logging.hh"
+#include "support/threadpool.hh"
+#include "vax/cpu.hh"
+#include "vax/predecode.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace risc1;
+
+void
+expectStatsEq(const sim::SimStats &a, const sim::SimStats &b,
+              const std::string &what)
+{
+    EXPECT_EQ(a.instructions, b.instructions) << what;
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.perOpcode, b.perOpcode) << what;
+    EXPECT_EQ(a.perClass, b.perClass) << what;
+    EXPECT_EQ(a.branches, b.branches) << what;
+    EXPECT_EQ(a.branchesTaken, b.branchesTaken) << what;
+    EXPECT_EQ(a.nopsExecuted, b.nopsExecuted) << what;
+    EXPECT_EQ(a.calls, b.calls) << what;
+    EXPECT_EQ(a.returns, b.returns) << what;
+    EXPECT_EQ(a.windowOverflows, b.windowOverflows) << what;
+    EXPECT_EQ(a.windowUnderflows, b.windowUnderflows) << what;
+    EXPECT_EQ(a.spillWords, b.spillWords) << what;
+    EXPECT_EQ(a.refillWords, b.refillWords) << what;
+    EXPECT_EQ(a.memory.instFetches, b.memory.instFetches) << what;
+    EXPECT_EQ(a.memory.dataReads, b.memory.dataReads) << what;
+    EXPECT_EQ(a.memory.dataWrites, b.memory.dataWrites) << what;
+}
+
+void
+expectVaxStatsEq(const vax::VaxStats &a, const vax::VaxStats &b,
+                 const std::string &what)
+{
+    EXPECT_EQ(a.instructions, b.instructions) << what;
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.perOpcode, b.perOpcode) << what;
+    EXPECT_EQ(a.istreamBytes, b.istreamBytes) << what;
+    EXPECT_EQ(a.branches, b.branches) << what;
+    EXPECT_EQ(a.branchesTaken, b.branchesTaken) << what;
+    EXPECT_EQ(a.calls, b.calls) << what;
+    EXPECT_EQ(a.returns, b.returns) << what;
+    EXPECT_EQ(a.savedRegs, b.savedRegs) << what;
+    EXPECT_EQ(a.restoredRegs, b.restoredRegs) << what;
+    EXPECT_EQ(a.memory.instFetches, b.memory.instFetches) << what;
+    EXPECT_EQ(a.memory.dataReads, b.memory.dataReads) << what;
+    EXPECT_EQ(a.memory.dataWrites, b.memory.dataWrites) << what;
+}
+
+/** A valid DecodedOp for cache unit tests. */
+sim::DecodedOp
+someOp()
+{
+    const assembler::Program p =
+        assembler::assembleOrDie("_start: add r1, r2, r3\n halt\n");
+    const isa::DecodeResult dec = isa::decode(*p.wordAt(p.entry));
+    EXPECT_TRUE(dec.ok);
+    return sim::makeDecodedOp(dec.inst);
+}
+
+// ---- DecodedCache unit behaviour ----------------------------------------
+
+TEST(DecodedCache, InsertLookupAndSlotInvalidation)
+{
+    sim::DecodedCache cache;
+    const sim::DecodedOp op = someOp();
+
+    EXPECT_EQ(cache.lookup(0x1000), nullptr);
+    cache.insert(0x1000, op);
+    cache.insert(0x1004, op);
+    ASSERT_NE(cache.lookup(0x1000), nullptr);
+    ASSERT_NE(cache.lookup(0x1004), nullptr);
+    EXPECT_EQ(cache.residentLines(), 1u);
+
+    // Misaligned addresses must miss (the slow path raises the fault).
+    EXPECT_EQ(cache.lookup(0x1002), nullptr);
+
+    // A write invalidates exactly the slots it overlaps.
+    cache.onMemoryWrite(0x1000, 4);
+    EXPECT_EQ(cache.lookup(0x1000), nullptr);
+    EXPECT_NE(cache.lookup(0x1004), nullptr);
+
+    // A byte write in the middle of a word kills that word's slot.
+    cache.onMemoryWrite(0x1006, 1);
+    EXPECT_EQ(cache.lookup(0x1004), nullptr);
+
+    cache.insert(0x1000, op);
+    // Writes far outside the cached text band are filtered out.
+    cache.onMemoryWrite(0x800000, 4);
+    EXPECT_NE(cache.lookup(0x1000), nullptr);
+
+    // A straddling write from the previous page reaches the first slot.
+    cache.onMemoryWrite(0x0ffe, 4);
+    EXPECT_EQ(cache.lookup(0x1000), nullptr);
+
+    cache.insert(0x1000, op);
+    cache.invalidateAll();
+    EXPECT_EQ(cache.lookup(0x1000), nullptr);
+    EXPECT_EQ(cache.residentLines(), 0u);
+}
+
+TEST(VaxDecodeCache, RecordExactInvalidation)
+{
+    vax::VaxDecodeCache cache;
+    vax::VaxDecoded rec;
+    rec.op = vax::VaxOp::Nop;
+    rec.length = 5; // covers [0x2000, 0x2005)
+
+    cache.insert(0x2000, rec);
+    ASSERT_NE(cache.lookup(0x2000), nullptr);
+    EXPECT_EQ(cache.residentRecords(), 1u);
+
+    // A write past the record's last byte leaves it alone...
+    cache.onMemoryWrite(0x2005, 4);
+    EXPECT_NE(cache.lookup(0x2000), nullptr);
+    // ...as does data traffic far outside the text band...
+    cache.onMemoryWrite(0x900000, 4);
+    EXPECT_NE(cache.lookup(0x2000), nullptr);
+    // ...but any overlapping byte drops it.
+    cache.onMemoryWrite(0x2004, 1);
+    EXPECT_EQ(cache.lookup(0x2000), nullptr);
+    EXPECT_EQ(cache.residentRecords(), 0u);
+
+    cache.insert(0x2000, rec);
+    cache.invalidateAll();
+    EXPECT_EQ(cache.residentRecords(), 0u);
+}
+
+// ---- Predecode on vs off: differential over the suite -------------------
+
+TEST(Predecode, RiscLockstepPcStream)
+{
+    const workloads::Workload *wl =
+        workloads::findWorkload("fibonacci");
+    ASSERT_NE(wl, nullptr);
+    const assembler::Program prog =
+        workloads::buildRisc(*wl, wl->defaultScale);
+
+    sim::CpuOptions off_opts;
+    off_opts.predecode = false;
+    sim::Cpu on;  // predecode defaults to on
+    sim::Cpu off(off_opts);
+    on.load(prog);
+    off.load(prog);
+
+    uint64_t guard = 0;
+    while (!on.halted() && !off.halted()) {
+        ASSERT_EQ(on.pc(), off.pc())
+            << "diverged at instruction " << guard;
+        on.step();
+        off.step();
+        ASSERT_LT(++guard, 50'000'000u) << "lockstep did not terminate";
+    }
+    EXPECT_EQ(on.halted(), off.halted());
+    expectStatsEq(on.stats(), off.stats(), wl->name);
+}
+
+TEST(Predecode, RiscSuiteDifferential)
+{
+    for (const workloads::Workload &wl : workloads::allWorkloads()) {
+        const assembler::Program prog =
+            workloads::buildRisc(wl, wl.defaultScale);
+        sim::CpuOptions off_opts;
+        off_opts.predecode = false;
+        sim::Cpu on;
+        sim::Cpu off(off_opts);
+        on.load(prog);
+        off.load(prog);
+        const sim::ExecResult ron = on.run();
+        const sim::ExecResult roff = off.run();
+        EXPECT_EQ(ron.reason, roff.reason) << wl.name;
+        EXPECT_EQ(ron.instructions, roff.instructions) << wl.name;
+        EXPECT_EQ(ron.cycles, roff.cycles) << wl.name;
+        EXPECT_EQ(on.memory().peek32(workloads::ResultAddr),
+                  off.memory().peek32(workloads::ResultAddr))
+            << wl.name;
+        expectStatsEq(on.stats(), off.stats(), wl.name);
+    }
+}
+
+TEST(Predecode, VaxSuiteDifferential)
+{
+    for (const workloads::Workload &wl : workloads::allWorkloads()) {
+        const vax::VaxProgram prog = wl.buildVax(wl.defaultScale);
+        vax::VaxCpuOptions off_opts;
+        off_opts.predecode = false;
+        vax::VaxCpu on;
+        vax::VaxCpu off(off_opts);
+        on.load(prog);
+        off.load(prog);
+        const sim::ExecResult ron = on.run();
+        const sim::ExecResult roff = off.run();
+        EXPECT_EQ(ron.reason, roff.reason) << wl.name;
+        EXPECT_EQ(ron.instructions, roff.instructions) << wl.name;
+        EXPECT_EQ(ron.cycles, roff.cycles) << wl.name;
+        EXPECT_EQ(on.memory().peek32(workloads::ResultAddr),
+                  off.memory().peek32(workloads::ResultAddr))
+            << wl.name;
+        expectVaxStatsEq(on.stats(), off.stats(), wl.name);
+    }
+}
+
+TEST(Predecode, SelfModifyingStoreInvalidates)
+{
+    // Encoding of the replacement instruction: add r17, 100, r17.
+    const assembler::Program enc =
+        assembler::assembleOrDie("_start: add r17, 100, r17\n halt\n");
+    const uint32_t patched = *enc.wordAt(enc.entry);
+
+    // Pass 0 executes `add r17, 1, r17` (predecoding it), then stores
+    // the replacement word over it; pass 1 must execute the NEW
+    // instruction. Final r17 = 1 + 100 = 101.
+    // Low origin keeps `newword` addressable as a (r0)simm13 operand.
+    const std::string src = strprintf(R"(
+        .equ RESULT, %u
+        .org  256
+_start: ldl   (r0)newword, r16
+        clr   r17
+        clr   r18
+loop:
+patch:  add   r17, 1, r17
+        add   r18, 1, r18
+        cmp   r18, 2
+        bge   done
+        stl   r16, (r0)patch
+        b     loop
+done:   stl   r17, (r0)RESULT
+        halt
+newword: .word %u
+)",
+                                      workloads::ResultAddr, patched);
+
+    // No delay-slot filling: keep the store out of branch shadows so
+    // the execution order above is exactly what runs.
+    assembler::AsmOptions no_fill;
+    no_fill.fillDelaySlots = false;
+    const assembler::Program prog = assembler::assembleOrDie(src,
+                                                             no_fill);
+
+    sim::CpuOptions off_opts;
+    off_opts.predecode = false;
+    sim::Cpu on;
+    sim::Cpu off(off_opts);
+    on.load(prog);
+    off.load(prog);
+    const sim::ExecResult ron = on.run();
+    const sim::ExecResult roff = off.run();
+
+    ASSERT_TRUE(ron.halted());
+    ASSERT_TRUE(roff.halted());
+    // The stale cached `add r17, 1, r17` would produce 2, not 101.
+    EXPECT_EQ(on.memory().peek32(workloads::ResultAddr), 101u);
+    EXPECT_EQ(off.memory().peek32(workloads::ResultAddr), 101u);
+    expectStatsEq(on.stats(), off.stats(), "self-modifying");
+}
+
+// ---- ThreadPool / ParallelRunner ----------------------------------------
+
+TEST(Parallel, ThreadPoolRunsEverySubmittedTask)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(4);
+        for (int i = 0; i < 1000; ++i)
+            pool.submit([&count] { ++count; });
+        pool.wait();
+        EXPECT_EQ(count.load(), 1000);
+    }
+}
+
+TEST(Parallel, MapFillsSlotsInIndexOrder)
+{
+    const core::ParallelRunner runner(4);
+    EXPECT_EQ(runner.jobs(), 4u);
+    const auto out = runner.map<size_t>(257, [](size_t i) {
+        return i * i;
+    });
+    ASSERT_EQ(out.size(), 257u);
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(Parallel, FirstExceptionPropagates)
+{
+    const core::ParallelRunner runner(4);
+    EXPECT_THROW(runner.run(64,
+                            [](size_t i) {
+                                if (i == 13)
+                                    throw std::runtime_error("boom");
+                            }),
+                 std::runtime_error);
+}
+
+TEST(Parallel, ResolveJobsPrecedence)
+{
+    EXPECT_EQ(core::resolveJobs(3), 3u);
+    ::setenv("RISC1_JOBS", "5", 1);
+    EXPECT_EQ(core::resolveJobs(0), 5u);
+    EXPECT_EQ(core::resolveJobs(2), 2u); // explicit request wins
+    ::unsetenv("RISC1_JOBS");
+    EXPECT_GE(core::resolveJobs(0), 1u);
+}
+
+// ---- --jobs N must be byte-identical to serial --------------------------
+
+TEST(Parallel, FaultCampaignJobsInvariant)
+{
+    const auto serial = core::faultCampaign(5, 123, 1);
+    const auto parallel = core::faultCampaign(5, 123, 4);
+    EXPECT_EQ(core::faultCampaignTable(serial),
+              core::faultCampaignTable(parallel));
+}
+
+TEST(Parallel, ExecTimeJobsInvariant)
+{
+    EXPECT_EQ(core::execTimeTable(core::execTime(1)),
+              core::execTimeTable(core::execTime(4)));
+}
+
+} // namespace
