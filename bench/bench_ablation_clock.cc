@@ -38,7 +38,7 @@ main(int argc, char **argv)
     };
     const auto &suite = workloads::allWorkloads();
     const std::vector<Counts> counts = core::ParallelRunner(
-        core::resolveJobs(cli.jobs)).map<Counts>(
+        cli.resolvedJobs).map<Counts>(
         suite.size(), [&](size_t slot) {
         const auto &wl = suite[slot];
         core::RiscRun risc = core::runRisc(wl, wl.defaultScale);

@@ -18,7 +18,7 @@ main(int argc, char **argv)
         argc, argv,
         "A1: the register-window win in isolation — 8 windows vs a\n"
         "degenerate 2-window file that spills on every call.");
-    auto rows = windowAblation(resolveJobs(cli.jobs));
+    auto rows = windowAblation(cli.resolvedJobs);
     std::cout << windowAblationTable(rows) << "\n";
     return 0;
 }

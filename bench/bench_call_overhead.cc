@@ -18,7 +18,7 @@ main(int argc, char **argv)
         argc, argv,
         "E3: procedure call/return cost, RISC I register windows vs\n"
         "vax80 CALLS/RET, across argument counts.");
-    auto rows = callOverhead(6, 2000, resolveJobs(cli.jobs));
+    auto rows = callOverhead(6, 2000, cli.resolvedJobs);
     std::cout << callOverheadTable(rows) << "\n";
     return 0;
 }

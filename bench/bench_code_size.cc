@@ -18,7 +18,7 @@ main(int argc, char **argv)
         argc, argv,
         "E4: static code size of every suite program on both machines\n"
         "(the paper's size-ratio table).");
-    auto rows = codeSize(resolveJobs(cli.jobs));
+    auto rows = codeSize(cli.resolvedJobs);
     std::cout << codeSizeTable(rows) << "\n";
     return 0;
 }

@@ -97,7 +97,7 @@ main(int argc, char **argv)
     };
     const size_t nprograms = sizeof(programs) / sizeof(programs[0]);
     const auto results = core::ParallelRunner(
-        core::resolveJobs(cli.jobs)).map<RowResult>(
+        cli.resolvedJobs).map<RowResult>(
         nprograms, [&](size_t slot) {
         const Compiled &prog = programs[slot];
         RowResult out;

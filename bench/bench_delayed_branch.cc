@@ -16,7 +16,7 @@ main(int argc, char **argv)
     const BenchCli cli = parseBenchCli(
         argc, argv,
         "E9: delay-slot fill rate and the cycles it saves.");
-    auto rows = delaySlots(resolveJobs(cli.jobs));
+    auto rows = delaySlots(cli.resolvedJobs);
     std::cout << delaySlotTable(rows) << "\n";
     return 0;
 }

@@ -18,7 +18,7 @@ main(int argc, char **argv)
         argc, argv,
         "E5: execution time of every suite program on both machines at\n"
         "the paper's cycle-time assumptions.");
-    auto rows = execTime(resolveJobs(cli.jobs));
+    auto rows = execTime(cli.resolvedJobs);
     std::cout << execTimeTable(rows) << "\n";
     return 0;
 }

@@ -32,7 +32,7 @@ main(int argc, char **argv)
         seed = std::strtoull(argv[2], nullptr, 0);
 
     auto rows = risc1::core::faultCampaign(
-        injections, seed, risc1::core::resolveJobs(cli.jobs));
+        injections, seed, cli.resolvedJobs);
     std::cout << risc1::core::faultCampaignTable(rows) << "\n";
     return 0;
 }

@@ -60,7 +60,7 @@ main(int argc, char **argv)
     };
     const auto &suite = workloads::allWorkloads();
     const auto results = core::ParallelRunner(
-        core::resolveJobs(cli.jobs)).map<RowResult>(
+        cli.resolvedJobs).map<RowResult>(
         suite.size(), [&](size_t slot) {
         const auto &wl = suite[slot];
         RowResult out;

@@ -18,7 +18,7 @@ main(int argc, char **argv)
         argc, argv,
         "E8: dynamic instruction mix on RISC I, plus the A2\n"
         "immediate-usage table (constant synthesis statistics).");
-    const unsigned jobs = resolveJobs(cli.jobs);
+    const unsigned jobs = cli.resolvedJobs;
     std::cout << instrMixTable(instrMix(jobs)) << "\n";
     std::cout << opcodeFrequencyTable(opcodeFrequencies(jobs)) << "\n";
     std::cout << immediateUsageTable(immediateUsage(jobs)) << "\n";

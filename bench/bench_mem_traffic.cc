@@ -16,7 +16,7 @@ main(int argc, char **argv)
     const BenchCli cli = parseBenchCli(
         argc, argv,
         "E7: memory traffic per program on both machines.");
-    auto rows = memTraffic(resolveJobs(cli.jobs));
+    auto rows = memTraffic(cli.resolvedJobs);
     std::cout << memTrafficTable(rows) << "\n";
     return 0;
 }

@@ -6,22 +6,39 @@
  * the paper-facing tables come from the bench_* table printers.
  *
  * Series (see docs/PERFORMANCE.md for how to read them):
- *  - risc1/<wl>, vax80/<wl>: the predecoded fast path (the default).
+ *  - risc1/<wl>, vax80/<wl>: the full fast path (the default — for
+ *    RISC I that is threaded dispatch with pair fusion).
+ *  - risc1_threaded/<wl>: threaded dispatch, fusion off — isolates
+ *    the superinstruction win inside the risc1/ number.
+ *  - risc1_predecode/<wl>: predecode only, threaded engine off — the
+ *    previous generation's fast path; the risc1/ ratio against it is
+ *    the threaded+fused win.
  *  - risc1_nocache/<wl>, vax80_nocache/<wl>: predecode disabled — the
- *    pre-PR decode-every-step baseline; the ratio is the predecode win.
+ *    original decode-every-step baseline.
  *  - suite_risc1/jobs:N: wall time for one whole-suite sweep on N
  *    worker threads via ParallelRunner — the thread-scaling series.
+ *  - suite_risc1_shared/jobs:N: the same sweep loading every run from
+ *    one immutable shared ProgramImage per workload (copy-on-write
+ *    pages + primed decode cache) instead of an eager per-run load —
+ *    the shared-program batch-campaign model.
  *  - assembler/<wl>: assembler front-end throughput.
+ *
+ * --json additionally writes BENCH_sim_throughput.json mapping each
+ * series entry to its simulated-instructions-per-second rate.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/cli.hh"
 #include "core/parallel.hh"
 #include "core/run.hh"
+#include "sim/image.hh"
 #include "workloads/workload.hh"
 
 namespace {
@@ -30,11 +47,9 @@ using namespace risc1;
 
 void
 riscThroughput(benchmark::State &state, const workloads::Workload *wl,
-               bool predecode)
+               sim::CpuOptions opts)
 {
     assembler::Program prog = workloads::buildRisc(*wl, wl->defaultScale);
-    sim::CpuOptions opts;
-    opts.predecode = predecode;
     sim::Cpu cpu(opts);
     uint64_t insts = 0;
     for (auto _ : state) {
@@ -68,14 +83,22 @@ vaxThroughput(benchmark::State &state, const workloads::Workload *wl,
         static_cast<double>(insts), benchmark::Counter::kIsRate);
 }
 
-/** One whole-suite RISC sweep per iteration, fanned out over `jobs`. */
+/**
+ * One whole-suite RISC sweep per iteration, fanned out over `jobs`.
+ * With `shared`, every run attaches one immutable per-workload
+ * ProgramImage copy-on-write instead of re-rendering the program.
+ */
 void
-suiteThroughput(benchmark::State &state, unsigned jobs)
+suiteThroughput(benchmark::State &state, unsigned jobs, bool shared)
 {
     const auto &suite = workloads::allWorkloads();
     std::vector<assembler::Program> progs;
-    for (const auto &wl : suite)
+    std::vector<sim::ProgramImage> images;
+    for (const auto &wl : suite) {
         progs.push_back(workloads::buildRisc(wl, wl.defaultScale));
+        if (shared)
+            images.emplace_back(progs.back());
+    }
 
     const core::ParallelRunner runner(jobs);
     uint64_t insts = 0;
@@ -83,7 +106,10 @@ suiteThroughput(benchmark::State &state, unsigned jobs)
         const auto counts = runner.map<uint64_t>(
             progs.size(), [&](size_t slot) {
                 sim::Cpu cpu;
-                cpu.load(progs[slot]);
+                if (shared)
+                    cpu.load(images[slot]);
+                else
+                    cpu.load(progs[slot]);
                 sim::ExecResult result = cpu.run();
                 return result.halted() ? result.instructions : 0;
             });
@@ -112,6 +138,48 @@ assemblerThroughput(benchmark::State &state,
         static_cast<double>(bytes), benchmark::Counter::kIsRate);
 }
 
+/**
+ * Console reporter that additionally collects each run's
+ * sim_insts/s counter so --json can dump a series → rate map.
+ */
+class JsonCollectingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.error_occurred || run.run_type != Run::RT_Iteration)
+                continue;
+            auto it = run.counters.find("sim_insts/s");
+            if (it != run.counters.end())
+                rates_.emplace_back(run.benchmark_name(),
+                                    static_cast<double>(it->second));
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    /** Write the collected rates as {"series": rate, ...}. */
+    bool
+    writeJson(const char *path) const
+    {
+        std::FILE *out = std::fopen(path, "w");
+        if (!out)
+            return false;
+        std::fprintf(out, "{\n");
+        for (size_t i = 0; i < rates_.size(); ++i)
+            std::fprintf(out, "  \"%s\": %.1f%s\n",
+                         rates_[i].first.c_str(), rates_[i].second,
+                         i + 1 < rates_.size() ? "," : "");
+        std::fprintf(out, "}\n");
+        std::fclose(out);
+        return true;
+    }
+
+  private:
+    std::vector<std::pair<std::string, double>> rates_;
+};
+
 } // namespace
 
 int
@@ -125,12 +193,26 @@ main(int argc, char **argv)
         "google-benchmark (e.g. --benchmark_filter=...).",
         "[benchmark args]");
 
+    using risc1::sim::CpuOptions;
+    CpuOptions full;    // threaded + fused (the default)
+    CpuOptions threaded_only;
+    threaded_only.fuse = false;
+    CpuOptions predecode_only;
+    predecode_only.threaded = false;
+    CpuOptions nocache;
+    nocache.predecode = false;
     for (const auto &wl : risc1::workloads::allWorkloads()) {
         benchmark::RegisterBenchmark(("risc1/" + wl.name).c_str(),
-                                     riscThroughput, &wl, true);
+                                     riscThroughput, &wl, full);
+        benchmark::RegisterBenchmark(
+            ("risc1_threaded/" + wl.name).c_str(), riscThroughput, &wl,
+            threaded_only);
+        benchmark::RegisterBenchmark(
+            ("risc1_predecode/" + wl.name).c_str(), riscThroughput, &wl,
+            predecode_only);
         benchmark::RegisterBenchmark(
             ("risc1_nocache/" + wl.name).c_str(), riscThroughput, &wl,
-            false);
+            nocache);
         benchmark::RegisterBenchmark(("vax80/" + wl.name).c_str(),
                                      vaxThroughput, &wl, true);
         benchmark::RegisterBenchmark(
@@ -142,7 +224,7 @@ main(int argc, char **argv)
     // count (always at least jobs:1 and jobs:2 so the scaling slope is
     // visible even on small machines).
     std::vector<unsigned> series = {1, 2};
-    const unsigned resolved = risc1::core::resolveJobs(cli.jobs);
+    const unsigned resolved = cli.resolvedJobs;
     for (unsigned j = 4; j <= resolved; j *= 2)
         series.push_back(j);
     if (std::find(series.begin(), series.end(), resolved) ==
@@ -151,7 +233,10 @@ main(int argc, char **argv)
     for (unsigned jobs : series) {
         benchmark::RegisterBenchmark(
             ("suite_risc1/jobs:" + std::to_string(jobs)).c_str(),
-            suiteThroughput, jobs);
+            suiteThroughput, jobs, false);
+        benchmark::RegisterBenchmark(
+            ("suite_risc1_shared/jobs:" + std::to_string(jobs)).c_str(),
+            suiteThroughput, jobs, true);
     }
 
     const auto *fib = risc1::workloads::findWorkload("fibonacci");
@@ -162,7 +247,13 @@ main(int argc, char **argv)
                                  assemblerThroughput, qsort);
 
     benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
+    JsonCollectingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    if (cli.json &&
+        !reporter.writeJson("BENCH_sim_throughput.json"))
+        std::fprintf(stderr,
+                     "warning: could not write "
+                     "BENCH_sim_throughput.json\n");
     benchmark::Shutdown();
     return 0;
 }

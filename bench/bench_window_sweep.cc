@@ -21,7 +21,7 @@ main(int argc, char **argv)
 
     // Worst case: the recursive benchmark suite (deep excursions).
     auto rows = risc1::core::windowSweep({2, 4, 6, 8, 12, 16},
-                                         risc1::core::resolveJobs(cli.jobs));
+                                         cli.resolvedJobs);
     std::cout << risc1::core::windowSweepTable(rows) << "\n";
 
     // Typical case: a C-like call/return trace (the paper's argument

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "core/parallel.hh"
+
 namespace risc1::core {
 
 namespace {
@@ -24,6 +26,9 @@ printUsage(const char *prog, const char *description,
         "                  hardware concurrency. N=1 runs strictly\n"
         "                  serially; every N produces byte-identical\n"
         "                  output (see docs/PERFORMANCE.md).\n"
+        "  --json          also write the headline metrics as\n"
+        "                  BENCH_<name>.json (google-benchmark\n"
+        "                  harnesses).\n"
         "  --help, -h      show this message and exit.\n");
     std::exit(0);
 }
@@ -53,12 +58,15 @@ parseBenchCli(int &argc, char **argv, const char *description,
         } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
             cli.jobs = static_cast<unsigned>(
                 std::strtoul(arg + 7, nullptr, 0));
+        } else if (std::strcmp(arg, "--json") == 0) {
+            cli.json = true;
         } else {
             argv[out++] = argv[i]; // not ours: keep for the caller
         }
     }
     argc = out;
     argv[argc] = nullptr;
+    cli.resolvedJobs = resolveJobs(cli.jobs);
     return cli;
 }
 

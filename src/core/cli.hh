@@ -16,17 +16,30 @@ namespace risc1::core {
 struct BenchCli
 {
     /**
-     * Worker count from --jobs, or 0 when absent (pass to
-     * resolveJobs(), which then honours $RISC1_JOBS and falls back to
-     * the hardware concurrency). 1 reproduces serial output exactly.
+     * Worker count from --jobs, or 0 when absent. Drivers should use
+     * resolvedJobs below; this raw value exists only for callers that
+     * need to distinguish "absent" from an explicit request.
      */
     unsigned jobs = 0;
+    /**
+     * jobs passed through resolveJobs(): an explicit --jobs wins, else
+     * $RISC1_JOBS, else the hardware concurrency. 1 reproduces serial
+     * output exactly. This is the value every driver hands to
+     * ParallelRunner, so the resolution policy lives in one place.
+     */
+    unsigned resolvedJobs = 1;
+    /**
+     * --json: also write the binary's headline metrics as
+     * BENCH_<name>.json next to the console output (currently honoured
+     * by the google-benchmark harnesses, e.g. bench_sim_throughput).
+     */
+    bool json = false;
 };
 
 /**
- * Parse and remove `--jobs N` (also `--jobs=N` / `-j N`), and handle
- * `--help` / `-h` by printing a usage message — program name,
- * `usage_tail` for positional arguments, `description`, and the
+ * Parse and remove `--jobs N` (also `--jobs=N` / `-j N`) and `--json`,
+ * and handle `--help` / `-h` by printing a usage message — program
+ * name, `usage_tail` for positional arguments, `description`, and the
  * standard --jobs/RISC1_JOBS paragraph — and exiting 0. argc/argv are
  * rewritten in place with the consumed flags removed.
  */

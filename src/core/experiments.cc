@@ -4,6 +4,7 @@
 #include "core/parallel.hh"
 #include "core/table.hh"
 #include "isa/registers.hh"
+#include "sim/image.hh"
 #include "support/logging.hh"
 
 namespace risc1::core {
@@ -343,28 +344,44 @@ execTimeTable(const std::vector<ExecTimeRow> &rows)
 std::vector<WindowSweepRow>
 windowSweep(const std::vector<unsigned> &window_counts, unsigned jobs)
 {
+    // Each recursive workload is assembled once into a shared image;
+    // every window count then attaches it copy-on-write instead of
+    // re-assembling and re-loading the same program per sweep point.
+    std::vector<const Workload *> recursive;
+    for (const Workload &wl : allWorkloads())
+        if (wl.recursive)
+            recursive.push_back(&wl);
+    std::vector<sim::ProgramImage> images;
+    images.reserve(recursive.size());
+    for (const Workload *wl : recursive)
+        images.emplace_back(workloads::buildRisc(*wl, wl->defaultScale));
+
     return ParallelRunner(jobs).map<WindowSweepRow>(
         window_counts.size(), [&](size_t slot) {
         const unsigned nwin = window_counts[slot];
         WindowSweepRow row;
         row.windows = nwin;
         uint64_t trap_cycles = 0;
-        for (const Workload &wl : allWorkloads()) {
-            if (!wl.recursive)
-                continue;
+        for (size_t w = 0; w < recursive.size(); ++w) {
+            const Workload &wl = *recursive[w];
             sim::CpuOptions opts;
             opts.windows.numWindows = nwin;
-            RiscRun run = runRisc(wl, wl.defaultScale, opts);
-            if (!run.ok)
+            sim::Cpu cpu(opts);
+            cpu.load(images[w]);
+            const sim::ExecResult exec = cpu.run();
+            if (!exec.halted() ||
+                cpu.memory().peek32(workloads::ResultAddr) !=
+                    wl.expected(wl.defaultScale))
                 fatal("window sweep: %s failed at %u windows",
                       wl.name.c_str(), nwin);
-            row.calls += run.stats.calls;
-            row.overflows += run.stats.windowOverflows;
-            row.cycles += run.stats.cycles;
+            const sim::SimStats &stats = cpu.stats();
+            row.calls += stats.calls;
+            row.overflows += stats.windowOverflows;
+            row.cycles += stats.cycles;
             const sim::TimingModel &timing = opts.timing;
-            trap_cycles += run.stats.windowOverflows *
+            trap_cycles += stats.windowOverflows *
                                timing.overflowCycles() +
-                           run.stats.windowUnderflows *
+                           stats.windowUnderflows *
                                timing.underflowCycles();
         }
         row.overflowPct = row.calls
@@ -601,20 +618,31 @@ windowAblation(unsigned jobs)
         const Workload &wl = *recursive[slot];
         WindowAblationRow row;
         row.name = wl.name;
-        RiscRun with = runRisc(wl, wl.defaultScale);
+        // One shared image feeds both configurations.
+        const sim::ProgramImage image(
+            workloads::buildRisc(wl, wl.defaultScale));
+        auto run_image = [&](const sim::CpuOptions &opts) {
+            sim::Cpu cpu(opts);
+            cpu.load(image);
+            const sim::ExecResult exec = cpu.run();
+            if (!exec.halted() ||
+                cpu.memory().peek32(workloads::ResultAddr) !=
+                    wl.expected(wl.defaultScale))
+                fatal("window ablation: %s failed", wl.name.c_str());
+            return cpu.stats();
+        };
+        const sim::SimStats with = run_image({});
         sim::CpuOptions degenerate;
         degenerate.windows.numWindows = 2; // spill on every call
-        RiscRun without = runRisc(wl, wl.defaultScale, degenerate);
-        if (!with.ok || !without.ok)
-            fatal("window ablation: %s failed", wl.name.c_str());
-        row.cyclesWith = with.stats.cycles;
-        row.cyclesWithout = without.stats.cycles;
+        const sim::SimStats without = run_image(degenerate);
+        row.cyclesWith = with.cycles;
+        row.cyclesWithout = without.cycles;
         row.slowdown = static_cast<double>(row.cyclesWithout) /
                        static_cast<double>(row.cyclesWith);
-        const uint64_t mem_with = with.stats.memory.dataReads +
-                                  with.stats.memory.dataWrites;
-        const uint64_t mem_without = without.stats.memory.dataReads +
-                                     without.stats.memory.dataWrites;
+        const uint64_t mem_with = with.memory.dataReads +
+                                  with.memory.dataWrites;
+        const uint64_t mem_without = without.memory.dataReads +
+                                     without.memory.dataWrites;
         row.extraMemAccesses = mem_without - mem_with;
         return row;
     });

@@ -13,6 +13,7 @@
 #include "core/parallel.hh"
 #include "core/table.hh"
 #include "sim/faultinject.hh"
+#include "sim/image.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
 
@@ -76,12 +77,16 @@ faultCampaign(unsigned injections, uint64_t seed, unsigned jobs)
     const auto &suite = allWorkloads();
     const ParallelRunner runner(jobs);
 
-    // Phase 1 — per-workload setup. The uninjected baseline is the
-    // horizon for injection times and the yardstick for the watchdog
-    // budget; every injected run of workload w reuses its Prepared.
+    // Phase 1 — per-workload setup. Each workload is assembled ONCE
+    // into an immutable shared ProgramImage (pages + predecoded text);
+    // the baseline and every injected run attach it copy-on-write, so
+    // only the mutated pages are ever private. The uninjected baseline
+    // is the horizon for injection times and the yardstick for the
+    // watchdog budget; every injected run of workload w reuses its
+    // Prepared.
     struct Prepared
     {
-        assembler::Program prog;
+        sim::ProgramImage image;
         uint32_t expected = 0;
         sim::ExecResult base;
         sim::CpuOptions opts;
@@ -90,12 +95,13 @@ faultCampaign(unsigned injections, uint64_t seed, unsigned jobs)
         runner.map<Prepared>(suite.size(), [&](size_t w) {
             const Workload &wl = suite[w];
             Prepared p;
-            p.prog = workloads::buildRisc(wl, wl.defaultScale);
+            p.image = sim::ProgramImage(
+                workloads::buildRisc(wl, wl.defaultScale));
             p.expected = wl.expected(wl.defaultScale);
             sim::CpuOptions base_opts;
             base_opts.memLimit = CampaignMemLimit;
             sim::Cpu baseline(base_opts);
-            baseline.load(p.prog);
+            baseline.load(p.image);
             p.base = baseline.run();
             if (!p.base.halted() ||
                 baseline.memory().peek32(workloads::ResultAddr) !=
@@ -122,7 +128,7 @@ faultCampaign(unsigned injections, uint64_t seed, unsigned jobs)
             sim::Injection inj =
                 sim::drawInjection(rng, p.base.instructions);
             sim::Cpu cpu(p.opts);
-            cpu.load(p.prog);
+            cpu.load(p.image);
             const sim::ExecResult result =
                 sim::runWithInjection(cpu, rng, inj);
             const uint32_t got =

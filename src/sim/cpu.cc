@@ -25,6 +25,13 @@ Cpu::Cpu(CpuOptions options)
     memory_.setLimit(options_.memLimit);
     if (options_.predecode)
         memory_.setWriteObserver(&dcache_);
+    const unsigned nwin = options_.windows.numWindows;
+    vmap_.resize(size_t{nwin} * isa::NumVisibleRegs);
+    for (unsigned w = 0; w < nwin; ++w)
+        for (unsigned r = 0; r < isa::NumVisibleRegs; ++r)
+            vmap_[size_t{w} * isa::NumVisibleRegs + r] =
+                static_cast<uint16_t>(options_.windows.physIndex(w, r));
+    rebindWindow();
 }
 
 void
@@ -36,10 +43,45 @@ Cpu::load(const assembler::Program &program)
     dcache_.invalidateAll();
     if (options_.predecode)
         memory_.setWriteObserver(&dcache_);
+    resetRun(program.entry);
+}
+
+void
+Cpu::load(const ProgramImage &image)
+{
+    memory_ = Memory{}; // move-assign drops the observer registration
+    memory_.setLimit(options_.memLimit);
+    for (const auto &[index, page] : image.pages())
+        memory_.attachPage(index, page);
+    dcache_.invalidateAll();
+    if (options_.predecode) {
+        memory_.setWriteObserver(&dcache_);
+        // Prime the decode cache from the image's predecoded text.
+        // Every primed record is exactly what the miss path would
+        // insert after first executing that address, and a cache hit
+        // accounts the same statistics as the fetch it replaces, so
+        // priming does not perturb results. Addresses past the memory
+        // limit stay unprimed: an organic fetch there must fault.
+        for (const auto &[addr, op] : image.decoded()) {
+            if (options_.memLimit != 0 &&
+                (options_.memLimit < isa::InstBytes ||
+                 addr > options_.memLimit - isa::InstBytes))
+                continue;
+            DecodedOp stamped = op;
+            stamped.cycles = options_.timing.cyclesFor(stamped.opClass);
+            dcache_.insert(addr, stamped);
+        }
+    }
+    resetRun(image.entry());
+}
+
+void
+Cpu::resetRun(uint32_t entry)
+{
     regs_.clear();
     stats_ = SimStats{};
     flags_ = isa::Flags{};
-    pc_ = program.entry;
+    pc_ = entry;
     npc_ = pc_ + isa::InstBytes;
     lastPc_ = pc_;
     cwp_ = 0;
@@ -54,6 +96,7 @@ Cpu::load(const assembler::Program &program)
     pcRing_.fill(0);
     pcRingPos_ = 0;
     pcRingCount_ = 0;
+    rebindWindow();
     regs_.write(cwp_, isa::SpReg, options_.stackTop);
 }
 
@@ -109,6 +152,7 @@ Cpu::restore(const Snapshot &snap)
                 pcRing_.begin());
     pcRingPos_ = snap.pcRingPos % PcRingSize;
     pcRingCount_ = snap.pcRingCount;
+    rebindWindow();
 }
 
 ExecResult
@@ -138,6 +182,9 @@ Cpu::runLoop(uint64_t pause_at)
     // no instruction retired in between is a trap storm (bad vector,
     // faulting handler entry) and stops hard instead of spinning.
     uint64_t last_trap_inst = UINT64_MAX;
+    const bool threaded =
+        options_.predecode && options_.threaded && !options_.trace;
+    const uint64_t stop_at = std::min(pause_at, options_.maxInstructions);
     while (!halted_ && stats_.instructions < options_.maxInstructions) {
         if (stats_.instructions >= pause_at) {
             result.reason = StopReason::Paused;
@@ -157,7 +204,10 @@ Cpu::runLoop(uint64_t pause_at)
             return finish(result);
         }
         try {
-            step();
+            if (threaded)
+                threadedBatch(stop_at);
+            else
+                step();
         } catch (const SimFault &fault) {
             // A configured trap vector makes guest faults architectural:
             // vector and keep running. The watchdog cause never comes
@@ -338,6 +388,7 @@ Cpu::windowPush()
         stats_.cycles += options_.timing.overflowCycles();
     }
     cwp_ = (cwp_ + nwin - 1) % nwin;
+    rebindWindow();
     ++resident_;
     ++stats_.calls;
     ++stats_.callDepth;
@@ -372,6 +423,7 @@ Cpu::windowPop()
         cwp_ = (cwp_ + 1) % nwin;
         --resident_;
     }
+    rebindWindow();
     ++stats_.returns;
     --stats_.callDepth;
 }
@@ -603,6 +655,7 @@ Cpu::step()
                                      dec.error.c_str()),
                            inst_pc, isa::TrapCause::IllegalOpcode};
         dop = makeDecodedOp(dec.inst);
+        dop.cycles = options_.timing.cyclesFor(dop.opClass);
         if (options_.predecode && !corrupted)
             dcache_.insert(inst_pc, dop);
     }
@@ -621,7 +674,7 @@ Cpu::step()
     ++stats_.instructions;
     ++stats_.perOpcode[inst.op];
     stats_.countClass(dop.opClass);
-    stats_.cycles += options_.timing.cyclesFor(dop.opClass);
+    stats_.cycles += dop.cycles;
     if (dop.nop)
         ++stats_.nopsExecuted;
 
@@ -636,5 +689,600 @@ Cpu::step()
     if (options_.haltOnZeroTarget && pc_ == 0)
         halted_ = true;
 }
+
+// ---------------------------------------------------------------------
+// Threaded-code engine.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/**
+ * Scope guard accumulating per-opcode counts in a dense array and
+ * flushing them into the map-backed SimStats on any batch exit (return
+ * or throw), replacing a std::map walk per instruction with an array
+ * increment. Everything else (instructions, cycles, perClass, the PC
+ * ring) is updated directly per instruction: cycles feed the watchdog
+ * and the ring feeds crash reports, so neither may lag.
+ */
+struct OpTally
+{
+    explicit OpTally(SimStats &stats) : stats_(stats) {}
+    OpTally(const OpTally &) = delete;
+    OpTally &operator=(const OpTally &) = delete;
+    ~OpTally()
+    {
+        for (unsigned op = 0; op < counts_.size(); ++op)
+            if (counts_[op] != 0)
+                stats_.perOpcode[static_cast<isa::Opcode>(op)] +=
+                    counts_[op];
+    }
+
+    void bump(isa::Opcode op)
+    {
+        ++counts_[static_cast<unsigned>(op) & 127u]; // 7-bit encodings
+    }
+
+  private:
+    SimStats &stats_;
+    std::array<uint64_t, 128> counts_{};
+};
+
+} // namespace
+
+DecodedOp *
+Cpu::decodeInsert()
+{
+    const uint32_t inst_pc = pc_;
+    const uint32_t word = memory_.fetch32(inst_pc);
+    const isa::DecodeResult dec = isa::decode(word);
+    if (!dec.ok)
+        throw SimFault{strprintf("at pc 0x%08x: %s", inst_pc,
+                                 dec.error.c_str()),
+                       inst_pc, isa::TrapCause::IllegalOpcode};
+    DecodedOp dop = makeDecodedOp(dec.inst);
+    dop.cycles = options_.timing.cyclesFor(dop.opClass);
+    return dcache_.insert(inst_pc, dop);
+}
+
+/**
+ * Upgrade `a` to a superinstruction if the pair (a, a->fall) matches a
+ * fusible RISC I idiom. Called whenever the dispatch loop binds a
+ * sequential successor, so a pair split by a self-modifying store
+ * re-fuses automatically once the rewritten second word is decoded.
+ *
+ * Eligible pairs contain no store (a fused handler may then read its
+ * own record throughout) and only the first component can fault (LDL's
+ * data read / a window spill), before any state is written — so a
+ * fault inside a fused pair is exactly as precise as in the per-step
+ * engine.
+ */
+void
+Cpu::tryFuse(DecodedOp &a, uint32_t a_pc)
+{
+    const DecodedOp *b = a.fall;
+    if (b == nullptr || !a.valid() || !b->valid())
+        return;
+    const bool a_alu = a.tag <= ExecTag::Sra;
+    const bool b_alu = b->tag <= ExecTag::Sra;
+    FuseKind kind;
+    uint8_t dcode;
+    uint32_t fuse_val = 0;
+    if (a_alu && b->tag == ExecTag::Jmpr) {
+        // Compare/decrement + delayed PC-relative branch: the loop
+        // back edge of every compiled workload.
+        kind = FuseKind::AluBranch;
+        dcode = DispAluBranch;
+        fuse_val = (a_pc + isa::InstBytes) +
+                   static_cast<uint32_t>(b->inst.imm19);
+    } else if (a.tag == ExecTag::Ldhi && a.inst.rd != isa::ZeroReg &&
+               b_alu && b->inst.imm && !b->inst.scc &&
+               b->inst.rs1 == a.inst.rd &&
+               (b->tag == ExecTag::Add || b->tag == ExecTag::Or)) {
+        // LDHI + immediate or/add building a 32-bit constant: fold it.
+        kind = FuseKind::LdhiImm;
+        dcode = DispLdhiImm;
+        const uint32_t hi = static_cast<uint32_t>(a.inst.imm19) << 13;
+        fuse_val = b->tag == ExecTag::Add
+                       ? hi + static_cast<uint32_t>(b->inst.simm13)
+                       : (hi | static_cast<uint32_t>(b->inst.simm13));
+    } else if (a.tag == ExecTag::Ldl && b_alu) {
+        kind = FuseKind::LoadUse;
+        dcode = DispLoadUse;
+    } else {
+        return;
+    }
+    a.fuse = kind;
+    a.inst2 = b->inst;
+    a.opClass2 = b->opClass;
+    a.nop2 = b->nop;
+    a.cycles2 = b->cycles;
+    a.fuseVal = fuse_val;
+    a.dcode = dcode;
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+#define RISC1_COMPUTED_GOTO 1
+#endif
+
+#ifdef RISC1_COMPUTED_GOTO
+#define RISC1_DISPATCH(code) goto *kDispatch[code]
+#else
+#define RISC1_DISPATCH(code)                                            \
+    do {                                                                \
+        dcode = (code);                                                 \
+        goto dispatch_switch;                                           \
+    } while (0)
+#endif
+
+// Shared per-instruction bookkeeping (mirrors the tail of step()).
+#define RISC1_BOOKKEEP(ipc, op, cls, cyc, nopf)                         \
+    do {                                                                \
+        pcRing_[pcRingPos_] = (ipc);                                    \
+        pcRingPos_ = (pcRingPos_ + 1) % PcRingSize;                     \
+        ++pcRingCount_;                                                 \
+        ++stats_.instructions;                                          \
+        tally.bump(op);                                                 \
+        stats_.countClass(cls);                                         \
+        stats_.cycles += (cyc);                                         \
+        if (nopf)                                                       \
+            ++stats_.nopsExecuted;                                      \
+    } while (0)
+
+// Delayed-transfer PC discipline for a non-transfer instruction.
+#define RISC1_ADVANCE_SEQ(ipc)                                          \
+    do {                                                                \
+        lastPc_ = (ipc);                                                \
+        pc0 = npc_;                                                     \
+        pc_ = pc0;                                                      \
+        npc_ = pc0 + isa::InstBytes;                                    \
+        if (halt_on_zero && pc0 == 0) {                                 \
+            halted_ = true;                                             \
+            return;                                                     \
+        }                                                               \
+    } while (0)
+
+// ... and for a transfer: a taken target replaces the instruction
+// after the delay slot (which `pc0` already names).
+#define RISC1_ADVANCE_JUMP(ipc, taken, target)                          \
+    do {                                                                \
+        lastPc_ = (ipc);                                                \
+        pc0 = npc_;                                                     \
+        pc_ = pc0;                                                      \
+        npc_ = (taken) ? (target) : pc0 + isa::InstBytes;               \
+        if (halt_on_zero && pc0 == 0) {                                 \
+            halted_ = true;                                             \
+            return;                                                     \
+        }                                                               \
+    } while (0)
+
+// Chase the successor pointer instead of hashing the next PC: the
+// fall-through slot for sequential flow, the one-entry taken-target
+// cache for transfers, the gate's full lookup otherwise.
+#define RISC1_CHASE()                                                   \
+    do {                                                                \
+        if (pc_ == inst_pc + isa::InstBytes)                            \
+            rec = rec->fall;                                            \
+        else if (rec->jtPc == pc_)                                      \
+            rec = rec->jt;                                              \
+        else                                                            \
+            rec = nullptr;                                              \
+        goto gate;                                                      \
+    } while (0)
+
+void
+Cpu::threadedBatch(uint64_t stop_at)
+{
+#ifdef RISC1_COMPUTED_GOTO
+    // Indexed by DecodedOp::dcode; must mirror ExecTag order exactly,
+    // followed by the three superinstruction codes.
+    static const void *const kDispatch[NumDispatchCodes] = {
+        &&do_alu, &&do_alu, &&do_alu, &&do_alu, &&do_alu, &&do_alu,
+        &&do_alu, &&do_alu, &&do_alu, &&do_alu, &&do_alu, &&do_alu,
+        &&do_ldl, &&do_ldsu, &&do_ldss, &&do_ldbu, &&do_ldbs,
+        &&do_stl, &&do_sts, &&do_stb,
+        &&do_jmp, &&do_jmpr, &&do_call, &&do_callr, &&do_ret,
+        &&do_callint, &&do_retint,
+        &&do_ldhi, &&do_gtlpc, &&do_getpsw, &&do_putpsw,
+        &&do_invalid,
+        &&do_alubranch, &&do_ldhiimm, &&do_loaduse,
+    };
+#else
+    uint8_t dcode = 0;
+#endif
+
+    OpTally tally(stats_);
+    const uint64_t watchdog = options_.watchdogCycles;
+    const bool halt_on_zero = options_.haltOnZeroTarget;
+    const bool fuse = options_.fuse;
+    DecodedOp *rec = nullptr;  //!< record about to dispatch
+    DecodedOp *prev = nullptr; //!< last dispatched record (successor binding)
+    uint32_t prev_pc = 0;
+    uint32_t inst_pc = 0;
+    uint32_t pc0 = 0;
+
+gate:
+    // The batch boundary conditions the per-step outer loop checks
+    // between instructions; runLoop() re-checks them on return and
+    // reports the stop.
+    if (halted_ || stats_.instructions >= stop_at)
+        return;
+    if (watchdog != 0 && stats_.cycles > watchdog)
+        return;
+    if (interruptPending_ && maybeTakeInterrupt()) {
+        rec = nullptr;  // pc_ moved to the handler
+        prev = nullptr; // don't bind the vector as a successor
+    }
+    if (fetchXor_ != 0) {
+        // One-shot istream corruption must see the real fetch path and
+        // never enter the cache: take the per-step engine for it.
+        step();
+        rec = nullptr;
+        prev = nullptr;
+        goto gate;
+    }
+    if (rec == nullptr || !rec->valid()) {
+        DecodedOp *found = dcache_.lookupMut(pc_);
+        if (found != nullptr && found->valid()) {
+            // Account the fetch the decode path would perform (its
+            // alignment/limit checks passed at first decode and both
+            // are fixed for the lifetime of a load).
+            memory_.countInstFetches(1);
+            rec = found;
+        } else {
+            rec = decodeInsert(); // counts its own fetch; may throw
+        }
+        if (prev != nullptr) {
+            if (pc_ == prev_pc + isa::InstBytes) {
+                prev->fall = rec;
+                if (fuse)
+                    tryFuse(*prev, prev_pc);
+            } else {
+                prev->jt = rec;
+                prev->jtPc = pc_;
+            }
+        }
+    } else {
+        memory_.countInstFetches(1);
+    }
+    inst_pc = pc_;
+    prev = rec;
+    prev_pc = inst_pc;
+    RISC1_DISPATCH(rec->dcode);
+
+#ifndef RISC1_COMPUTED_GOTO
+dispatch_switch:
+    switch (dcode) {
+      case 0: case 1: case 2: case 3: case 4: case 5:
+      case 6: case 7: case 8: case 9: case 10: case 11:
+        goto do_alu;
+      case 12: goto do_ldl;
+      case 13: goto do_ldsu;
+      case 14: goto do_ldss;
+      case 15: goto do_ldbu;
+      case 16: goto do_ldbs;
+      case 17: goto do_stl;
+      case 18: goto do_sts;
+      case 19: goto do_stb;
+      case 20: goto do_jmp;
+      case 21: goto do_jmpr;
+      case 22: goto do_call;
+      case 23: goto do_callr;
+      case 24: goto do_ret;
+      case 25: goto do_callint;
+      case 26: goto do_retint;
+      case 27: goto do_ldhi;
+      case 28: goto do_gtlpc;
+      case 29: goto do_getpsw;
+      case 30: goto do_putpsw;
+      case 32: goto do_alubranch;
+      case 33: goto do_ldhiimm;
+      case 34: goto do_loaduse;
+      default: goto do_invalid;
+    }
+#endif
+
+do_alu: {
+    const Instruction &inst = rec->inst;
+    const AluOut out = execAlu(inst, rdv(inst.rs1), s2v(inst));
+    applyScc(inst, out);
+    wrv(inst.rd, out.value);
+    RISC1_BOOKKEEP(inst_pc, inst.op, rec->opClass, rec->cycles, rec->nop);
+    RISC1_ADVANCE_SEQ(inst_pc);
+    RISC1_CHASE();
+}
+
+do_ldl: {
+    const Instruction &inst = rec->inst;
+    const uint32_t ea = rdv(inst.rs1) + s2v(inst);
+    wrv(inst.rd, memory_.read32(ea));
+    RISC1_BOOKKEEP(inst_pc, inst.op, rec->opClass, rec->cycles, rec->nop);
+    RISC1_ADVANCE_SEQ(inst_pc);
+    RISC1_CHASE();
+}
+
+do_ldsu: {
+    const Instruction &inst = rec->inst;
+    const uint32_t ea = rdv(inst.rs1) + s2v(inst);
+    wrv(inst.rd, memory_.read16(ea));
+    RISC1_BOOKKEEP(inst_pc, inst.op, rec->opClass, rec->cycles, rec->nop);
+    RISC1_ADVANCE_SEQ(inst_pc);
+    RISC1_CHASE();
+}
+
+do_ldss: {
+    const Instruction &inst = rec->inst;
+    const uint32_t ea = rdv(inst.rs1) + s2v(inst);
+    wrv(inst.rd, static_cast<uint32_t>(static_cast<int32_t>(
+                     static_cast<int16_t>(memory_.read16(ea)))));
+    RISC1_BOOKKEEP(inst_pc, inst.op, rec->opClass, rec->cycles, rec->nop);
+    RISC1_ADVANCE_SEQ(inst_pc);
+    RISC1_CHASE();
+}
+
+do_ldbu: {
+    const Instruction &inst = rec->inst;
+    const uint32_t ea = rdv(inst.rs1) + s2v(inst);
+    wrv(inst.rd, memory_.read8(ea));
+    RISC1_BOOKKEEP(inst_pc, inst.op, rec->opClass, rec->cycles, rec->nop);
+    RISC1_ADVANCE_SEQ(inst_pc);
+    RISC1_CHASE();
+}
+
+do_ldbs: {
+    const Instruction &inst = rec->inst;
+    const uint32_t ea = rdv(inst.rs1) + s2v(inst);
+    wrv(inst.rd, static_cast<uint32_t>(static_cast<int32_t>(
+                     static_cast<int8_t>(memory_.read8(ea)))));
+    RISC1_BOOKKEEP(inst_pc, inst.op, rec->opClass, rec->cycles, rec->nop);
+    RISC1_ADVANCE_SEQ(inst_pc);
+    RISC1_CHASE();
+}
+
+    // Stores copy their record first: a self-modifying store may clear
+    // its own slot (making rec's fields and successors all zero, which
+    // the chase then treats as a miss).
+do_stl: {
+    const Instruction inst = rec->inst;
+    const isa::OpClass cls = rec->opClass;
+    const uint32_t cyc = rec->cycles;
+    const uint32_t ea = rdv(inst.rs1) + s2v(inst);
+    memory_.write32(ea, rdv(inst.rd));
+    RISC1_BOOKKEEP(inst_pc, inst.op, cls, cyc, false);
+    RISC1_ADVANCE_SEQ(inst_pc);
+    RISC1_CHASE();
+}
+
+do_sts: {
+    const Instruction inst = rec->inst;
+    const isa::OpClass cls = rec->opClass;
+    const uint32_t cyc = rec->cycles;
+    const uint32_t ea = rdv(inst.rs1) + s2v(inst);
+    memory_.write16(ea, static_cast<uint16_t>(rdv(inst.rd)));
+    RISC1_BOOKKEEP(inst_pc, inst.op, cls, cyc, false);
+    RISC1_ADVANCE_SEQ(inst_pc);
+    RISC1_CHASE();
+}
+
+do_stb: {
+    const Instruction inst = rec->inst;
+    const isa::OpClass cls = rec->opClass;
+    const uint32_t cyc = rec->cycles;
+    const uint32_t ea = rdv(inst.rs1) + s2v(inst);
+    memory_.write8(ea, static_cast<uint8_t>(rdv(inst.rd)));
+    RISC1_BOOKKEEP(inst_pc, inst.op, cls, cyc, false);
+    RISC1_ADVANCE_SEQ(inst_pc);
+    RISC1_CHASE();
+}
+
+do_jmp: {
+    const Instruction &inst = rec->inst;
+    ++stats_.branches;
+    const uint32_t target = rdv(inst.rs1) + s2v(inst);
+    const bool taken = isa::condHolds(inst.cond(), flags_);
+    if (taken)
+        ++stats_.branchesTaken;
+    RISC1_BOOKKEEP(inst_pc, inst.op, rec->opClass, rec->cycles, rec->nop);
+    RISC1_ADVANCE_JUMP(inst_pc, taken, target);
+    RISC1_CHASE();
+}
+
+do_jmpr: {
+    const Instruction &inst = rec->inst;
+    ++stats_.branches;
+    const uint32_t target = inst_pc + static_cast<uint32_t>(inst.imm19);
+    const bool taken = isa::condHolds(inst.cond(), flags_);
+    if (taken)
+        ++stats_.branchesTaken;
+    RISC1_BOOKKEEP(inst_pc, inst.op, rec->opClass, rec->cycles, rec->nop);
+    RISC1_ADVANCE_JUMP(inst_pc, taken, target);
+    RISC1_CHASE();
+}
+
+do_call: {
+    const Instruction &inst = rec->inst;
+    // Target is computed in the caller's window, before the push.
+    const uint32_t target = rdv(inst.rs1) + s2v(inst);
+    windowPush();
+    wrv(inst.rd, inst_pc); // link register lives in the *new* window
+    RISC1_BOOKKEEP(inst_pc, inst.op, rec->opClass, rec->cycles, rec->nop);
+    RISC1_ADVANCE_JUMP(inst_pc, true, target);
+    RISC1_CHASE();
+}
+
+do_callr: {
+    const Instruction &inst = rec->inst;
+    const uint32_t target = inst_pc + static_cast<uint32_t>(inst.imm19);
+    windowPush();
+    wrv(inst.rd, inst_pc);
+    RISC1_BOOKKEEP(inst_pc, inst.op, rec->opClass, rec->cycles, rec->nop);
+    RISC1_ADVANCE_JUMP(inst_pc, true, target);
+    RISC1_CHASE();
+}
+
+do_callint: {
+    const Instruction &inst = rec->inst;
+    ie_ = false;
+    windowPush();
+    wrv(inst.rd, lastPc_);
+    RISC1_BOOKKEEP(inst_pc, inst.op, rec->opClass, rec->cycles, rec->nop);
+    RISC1_ADVANCE_SEQ(inst_pc);
+    RISC1_CHASE();
+}
+
+do_ret: {
+    const Instruction &inst = rec->inst;
+    // Target is computed in the callee's window, before the pop.
+    const uint32_t target = rdv(inst.rs1) + s2v(inst);
+    windowPop();
+    RISC1_BOOKKEEP(inst_pc, inst.op, rec->opClass, rec->cycles, rec->nop);
+    RISC1_ADVANCE_JUMP(inst_pc, true, target);
+    RISC1_CHASE();
+}
+
+do_retint: {
+    const Instruction &inst = rec->inst;
+    const uint32_t target = rdv(inst.rs1) + s2v(inst);
+    windowPop();
+    ie_ = true;
+    RISC1_BOOKKEEP(inst_pc, inst.op, rec->opClass, rec->cycles, rec->nop);
+    RISC1_ADVANCE_JUMP(inst_pc, true, target);
+    RISC1_CHASE();
+}
+
+do_ldhi: {
+    const Instruction &inst = rec->inst;
+    wrv(inst.rd, static_cast<uint32_t>(inst.imm19) << 13);
+    RISC1_BOOKKEEP(inst_pc, inst.op, rec->opClass, rec->cycles, rec->nop);
+    RISC1_ADVANCE_SEQ(inst_pc);
+    RISC1_CHASE();
+}
+
+do_gtlpc: {
+    const Instruction &inst = rec->inst;
+    wrv(inst.rd, lastPc_);
+    RISC1_BOOKKEEP(inst_pc, inst.op, rec->opClass, rec->cycles, rec->nop);
+    RISC1_ADVANCE_SEQ(inst_pc);
+    RISC1_CHASE();
+}
+
+do_getpsw: {
+    const Instruction &inst = rec->inst;
+    uint32_t psw = 0;
+    psw |= flags_.c ? 1u : 0;
+    psw |= flags_.v ? 2u : 0;
+    psw |= flags_.n ? 4u : 0;
+    psw |= flags_.z ? 8u : 0;
+    psw |= ie_ ? 16u : 0;
+    psw |= static_cast<uint32_t>(cwp_) << 8;
+    wrv(inst.rd, psw);
+    RISC1_BOOKKEEP(inst_pc, inst.op, rec->opClass, rec->cycles, rec->nop);
+    RISC1_ADVANCE_SEQ(inst_pc);
+    RISC1_CHASE();
+}
+
+do_putpsw: {
+    const Instruction &inst = rec->inst;
+    const uint32_t psw = rdv(inst.rs1) + s2v(inst);
+    flags_.c = (psw & 1) != 0;
+    flags_.v = (psw & 2) != 0;
+    flags_.n = (psw & 4) != 0;
+    flags_.z = (psw & 8) != 0;
+    ie_ = (psw & 16) != 0;
+    // CWP is not writable through PUTPSW in this model (see step()).
+    RISC1_BOOKKEEP(inst_pc, inst.op, rec->opClass, rec->cycles, rec->nop);
+    RISC1_ADVANCE_SEQ(inst_pc);
+    RISC1_CHASE();
+}
+
+    // Superinstructions execute both components in one dispatch. The
+    // prologue demotes this visit to the plain first-component handler
+    // when the pair would cross a delay slot (the first component IS
+    // someone's delay slot: npc_ != pc_+4) or a pause boundary; the
+    // cycle watchdog stays batch-checked, so a fused pair may overrun
+    // it by one instruction (documented in CpuOptions::threaded).
+
+do_alubranch: {
+    if (npc_ != pc_ + isa::InstBytes ||
+        stats_.instructions + 2 > stop_at)
+        RISC1_DISPATCH(static_cast<uint8_t>(rec->tag));
+    const Instruction &ia = rec->inst;
+    const AluOut out = execAlu(ia, rdv(ia.rs1), s2v(ia));
+    applyScc(ia, out);
+    wrv(ia.rd, out.value);
+    RISC1_BOOKKEEP(inst_pc, ia.op, rec->opClass, rec->cycles, rec->nop);
+    RISC1_ADVANCE_SEQ(inst_pc);
+    // Second component: the JMPR in the next slot.
+    memory_.countInstFetches(1);
+    const Instruction &ib = rec->inst2;
+    ++stats_.branches;
+    const bool taken = isa::condHolds(ib.cond(), flags_);
+    if (taken)
+        ++stats_.branchesTaken;
+    RISC1_BOOKKEEP(inst_pc + isa::InstBytes, ib.op, rec->opClass2,
+                   rec->cycles2, rec->nop2);
+    RISC1_ADVANCE_JUMP(inst_pc + isa::InstBytes, taken, rec->fuseVal);
+    prev = rec->fall;
+    prev_pc = inst_pc + isa::InstBytes;
+    rec = prev;
+    inst_pc = prev_pc;
+    RISC1_CHASE();
+}
+
+do_ldhiimm: {
+    if (npc_ != pc_ + isa::InstBytes ||
+        stats_.instructions + 2 > stop_at)
+        RISC1_DISPATCH(static_cast<uint8_t>(rec->tag));
+    const Instruction &ia = rec->inst;
+    wrv(ia.rd, static_cast<uint32_t>(ia.imm19) << 13);
+    RISC1_BOOKKEEP(inst_pc, ia.op, rec->opClass, rec->cycles, rec->nop);
+    RISC1_ADVANCE_SEQ(inst_pc);
+    // Second component: the folded immediate op.
+    memory_.countInstFetches(1);
+    const Instruction &ib = rec->inst2;
+    wrv(ib.rd, rec->fuseVal);
+    RISC1_BOOKKEEP(inst_pc + isa::InstBytes, ib.op, rec->opClass2,
+                   rec->cycles2, rec->nop2);
+    RISC1_ADVANCE_SEQ(inst_pc + isa::InstBytes);
+    prev = rec->fall;
+    prev_pc = inst_pc + isa::InstBytes;
+    rec = prev;
+    inst_pc = prev_pc;
+    RISC1_CHASE();
+}
+
+do_loaduse: {
+    if (npc_ != pc_ + isa::InstBytes ||
+        stats_.instructions + 2 > stop_at)
+        RISC1_DISPATCH(static_cast<uint8_t>(rec->tag));
+    const Instruction &ia = rec->inst;
+    const uint32_t ea = rdv(ia.rs1) + s2v(ia);
+    wrv(ia.rd, memory_.read32(ea)); // may fault: first component only
+    RISC1_BOOKKEEP(inst_pc, ia.op, rec->opClass, rec->cycles, rec->nop);
+    RISC1_ADVANCE_SEQ(inst_pc);
+    // Second component: the consuming ALU op.
+    memory_.countInstFetches(1);
+    const Instruction &ib = rec->inst2;
+    const AluOut out = execAlu(ib, rdv(ib.rs1), s2v(ib));
+    applyScc(ib, out);
+    wrv(ib.rd, out.value);
+    RISC1_BOOKKEEP(inst_pc + isa::InstBytes, ib.op, rec->opClass2,
+                   rec->cycles2, rec->nop2);
+    RISC1_ADVANCE_SEQ(inst_pc + isa::InstBytes);
+    prev = rec->fall;
+    prev_pc = inst_pc + isa::InstBytes;
+    rec = prev;
+    inst_pc = prev_pc;
+    RISC1_CHASE();
+}
+
+do_invalid:
+    panic("threadedBatch: invalid dispatch code at pc 0x%08x", inst_pc);
+}
+
+#undef RISC1_DISPATCH
+#undef RISC1_BOOKKEEP
+#undef RISC1_ADVANCE_SEQ
+#undef RISC1_ADVANCE_JUMP
+#undef RISC1_CHASE
 
 } // namespace risc1::sim

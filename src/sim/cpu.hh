@@ -21,6 +21,7 @@
 #include "isa/trapcause.hh"
 #include "sim/decode.hh"
 #include "sim/fault.hh"
+#include "sim/image.hh"
 #include "sim/memory.hh"
 #include "sim/regfile.hh"
 #include "sim/stats.hh"
@@ -103,6 +104,26 @@ struct CpuOptions
      * differential testing and the bench_sim_throughput off-series.
      */
     bool predecode = true;
+    /**
+     * Run the threaded-code engine over the predecoded records: each
+     * record chases a direct pointer to its successor slot and
+     * dispatches through a computed-goto table, so straight-line
+     * execution touches neither the per-step switch nor the cache
+     * hash. Requires predecode; tracing falls back to the per-step
+     * loop. Results (architectural state AND statistics) are identical
+     * either way — pinned by tests/test_threaded.cc — with one
+     * documented exception: the cycle watchdog is only consulted
+     * between dispatches, so a fused pair may retire one instruction
+     * past the budget before the Watchdog stop is reported.
+     */
+    bool threaded = true;
+    /**
+     * Let the threaded engine fuse common pairs (ALU + delayed branch,
+     * LDHI + immediate op, load + use) into single superinstruction
+     * records. Self-modifying stores into either word split the pair.
+     * Only consulted when the threaded engine runs.
+     */
+    bool fuse = true;
     bool trace = false;              //!< per-instruction trace
     std::ostream *traceOut = nullptr; //!< defaults to std::cerr
 };
@@ -147,6 +168,17 @@ class Cpu
 
     /** Load a program image; resets registers, PC, windows and stats. */
     void load(const assembler::Program &program);
+
+    /**
+     * Attach a shared, immutable ProgramImage copy-on-write instead of
+     * copying it in, and prime the decode cache from its predecoded
+     * text; resets registers, PC, windows and stats. Architectural
+     * results and statistics are identical to load()ing the program
+     * the image was built from. The image must outlive this Cpu (or
+     * at least the next load()/destruction) — campaign drivers keep it
+     * alive for the whole batch.
+     */
+    void load(const ProgramImage &image);
 
     /** Capture the complete machine state. */
     Snapshot snapshot() const;
@@ -260,6 +292,56 @@ class Cpu
     /** Shared body of run()/runUntil(). */
     ExecResult runLoop(uint64_t pause_at);
 
+    // --- threaded-code engine (docs/PERFORMANCE.md) ---
+
+    /**
+     * Inner loop of the threaded engine: execute instructions back to
+     * back, chasing DecodedOp successor pointers, until the machine
+     * halts, `stop_at` instructions have retired or the watchdog
+     * budget is exceeded. Guest faults throw SimFault out to runLoop,
+     * exactly like step()'s.
+     */
+    void threadedBatch(uint64_t stop_at);
+
+    /** Slow path of the threaded gate: fetch, decode, insert at pc_. */
+    DecodedOp *decodeInsert();
+
+    /** Fuse `a` (at `a_pc`) with its bound fall-through, if eligible. */
+    static void tryFuse(DecodedOp &a, uint32_t a_pc);
+
+    /** Shared reset tail of the load() overloads. */
+    void resetRun(uint32_t entry);
+
+    /** Point wmap_ at the current window's visible-to-physical row. */
+    void
+    rebindWindow()
+    {
+        wmap_ = vmap_.data() + size_t{cwp_} * isa::NumVisibleRegs;
+    }
+
+    /** Visible-register read via the bound window row. */
+    uint32_t
+    rdv(unsigned reg) const
+    {
+        return reg == isa::ZeroReg ? 0 : regs_.readPhys(wmap_[reg]);
+    }
+
+    /** Visible-register write via the bound window row. */
+    void
+    wrv(unsigned reg, uint32_t value)
+    {
+        if (reg != isa::ZeroReg)
+            regs_.writePhys(wmap_[reg], value);
+    }
+
+    /** Second ALU operand via the bound window row. */
+    uint32_t
+    s2v(const isa::Instruction &inst) const
+    {
+        return inst.imm ? static_cast<uint32_t>(inst.simm13)
+                        : rdv(inst.rs2);
+    }
+
     void traceInst(uint32_t inst_pc, const isa::Instruction &inst);
 
     CpuOptions options_;
@@ -269,6 +351,12 @@ class Cpu
     DecodedCache dcache_;
     RegisterFile regs_;
     SimStats stats_;
+
+    // Precomputed visible-to-physical register map: one 32-entry row
+    // per window, so the hot path replaces WindowSpec::physIndex's
+    // modulo chain with one indexed load. wmap_ tracks cwp_.
+    std::vector<uint16_t> vmap_;
+    const uint16_t *wmap_ = nullptr;
 
     uint32_t pc_ = 0;
     uint32_t npc_ = 0;

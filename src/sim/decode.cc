@@ -51,12 +51,13 @@ makeDecodedOp(const isa::Instruction &inst)
     DecodedOp op;
     op.inst = inst;
     op.tag = execTagFor(inst.op);
+    op.dcode = static_cast<uint8_t>(op.tag);
     op.opClass = inst.info().opClass;
     op.nop = isa::isNop(inst);
     return op;
 }
 
-void
+DecodedOp *
 DecodedCache::insert(uint32_t addr, const DecodedOp &op)
 {
     const uint32_t page = addr >> Memory::PageBits;
@@ -69,7 +70,24 @@ DecodedCache::insert(uint32_t addr, const DecodedOp &op)
         if (page > maxPage_)
             maxPage_ = page;
     }
-    (*it->second)[(addr & (Memory::PageSize - 1)) / isa::InstBytes] = op;
+    DecodedOp &slot =
+        (*it->second)[(addr & (Memory::PageSize - 1)) / isa::InstBytes];
+    slot = op;
+    return &slot;
+}
+
+void
+DecodedCache::defuseAt(uint32_t addr)
+{
+    auto it = lines_.find(addr >> Memory::PageBits);
+    if (it == lines_.end())
+        return;
+    DecodedOp &slot =
+        (*it->second)[(addr & (Memory::PageSize - 1)) / isa::InstBytes];
+    if (slot.fuse != FuseKind::None) {
+        slot.fuse = FuseKind::None;
+        slot.dcode = static_cast<uint8_t>(slot.tag);
+    }
 }
 
 void
@@ -77,15 +95,20 @@ DecodedCache::invalidateSlots(uint32_t addr, unsigned bytes)
 {
     // A write is at most 4 bytes, so it overlaps at most two slots
     // (possibly on different pages).
+    const uint32_t first = addr & ~uint32_t{isa::InstBytes - 1};
     const uint32_t last = addr + bytes - 1;
-    for (uint32_t a = addr & ~uint32_t{isa::InstBytes - 1}; a <= last;
-         a += isa::InstBytes) {
+    for (uint32_t a = first; a <= last; a += isa::InstBytes) {
         auto it = lines_.find(a >> Memory::PageBits);
         if (it == lines_.end())
             continue;
         (*it->second)[(a & (Memory::PageSize - 1)) / isa::InstBytes] =
             DecodedOp{};
     }
+    // A fused record embeds a copy of the *next* word, so the record
+    // just before the invalidated range must fall back to its plain
+    // dispatch code (slots after the range hold no copies of it).
+    if (first >= isa::InstBytes)
+        defuseAt(first - isa::InstBytes);
 }
 
 void

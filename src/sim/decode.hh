@@ -7,7 +7,19 @@
  * Memory::WriteObserver so self-modifying stores (and fault-injection
  * pokes) invalidate the slots they overlap; a min/max range filter
  * over the cached text pages makes data and stack writes cost one
- * comparison. See docs/PERFORMANCE.md.
+ * comparison.
+ *
+ * On top of the records sits the threaded-code engine (Cpu::
+ * runThreaded): each record carries direct successor pointers — the
+ * fall-through slot and a one-entry taken-transfer cache — so
+ * steady-state execution chases record pointers instead of hashing
+ * the PC, plus a peephole fuser that collapses common RISC I pairs
+ * (compare + delayed branch, LDHI + immediate op, load + use) into
+ * single superinstruction records. Slot storage is address-stable
+ * (lines live behind unique_ptr and invalidation overwrites slots in
+ * place), which is what makes raw successor pointers safe: a stale
+ * pointer always lands on the slot for the same address, and validity
+ * is re-checked through the dispatch code. See docs/PERFORMANCE.md.
  */
 
 #ifndef RISC1_SIM_DECODE_HH
@@ -37,13 +49,45 @@ enum class ExecTag : uint8_t
     Invalid, //!< unfilled cache slot
 };
 
+/** Number of ExecTag values (Invalid included). */
+constexpr unsigned NumExecTags =
+    static_cast<unsigned>(ExecTag::Invalid) + 1;
+
+/**
+ * Dispatch codes of the threaded engine: the plain ExecTag range
+ * followed by one code per superinstruction kind. DecodedOp::dcode
+ * holds the record's current code; fusing a pair upgrades the first
+ * record's code, invalidating the second instruction demotes it back.
+ */
+constexpr uint8_t DispAluBranch = NumExecTags;     //!< ALU + JMPR pair
+constexpr uint8_t DispLdhiImm = NumExecTags + 1;   //!< LDHI + ALU-imm
+constexpr uint8_t DispLoadUse = NumExecTags + 2;   //!< LDL + ALU pair
+constexpr unsigned NumDispatchCodes = NumExecTags + 3;
+
 /** Dispatch tag for an architected opcode. */
 ExecTag execTagFor(isa::Opcode op);
+
+/** Superinstruction kind of a fused record. */
+enum class FuseKind : uint8_t
+{
+    None,
+    AluBranch, //!< any ALU op + conditional/unconditional JMPR
+    LdhiImm,   //!< LDHI + non-scc ADD/OR immediate: constant folded
+    LoadUse,   //!< LDL + any ALU op (the classic load/use pair)
+};
 
 /**
  * One predecoded instruction: the fully decoded fields (opcode, scc,
  * operand indices, sign-extended immediates) plus everything the
- * execute loop would otherwise recompute per step.
+ * execute loop would otherwise recompute per step, the threaded-code
+ * successor pointers, and — for a fused pair — a copy of the second
+ * component.
+ *
+ * Successor pointers reference other cache slots by address; they stay
+ * meaningful across slot invalidation/re-insertion because a slot's
+ * address never changes and always corresponds to the same PC. They
+ * only dangle after invalidateAll(), which frees the lines — callers
+ * must drop chased pointers across load()/restore().
  */
 struct DecodedOp
 {
@@ -51,6 +95,27 @@ struct DecodedOp
     ExecTag tag = ExecTag::Invalid;      //!< resolved dispatch tag
     isa::OpClass opClass = isa::OpClass::Alu; //!< cached class (stats)
     bool nop = false;                    //!< canonical NOP (stats)
+    /** Threaded dispatch code: tag, or a Disp* superinstruction code. */
+    uint8_t dcode = static_cast<uint8_t>(ExecTag::Invalid);
+    /** Cycle cost of this instruction, stamped from the Cpu's timing
+     *  model at insert time (avoids the per-step class switch). */
+    uint32_t cycles = 1;
+
+    // Fused pair: the second component, copied into this record so the
+    // superinstruction handler never touches the second slot. A store
+    // into the second word demotes this record back to dcode == tag.
+    FuseKind fuse = FuseKind::None;
+    isa::Instruction inst2;
+    isa::OpClass opClass2 = isa::OpClass::Alu;
+    bool nop2 = false;
+    uint32_t cycles2 = 0;
+    /** AluBranch: precomputed taken target; LdhiImm: folded constant. */
+    uint32_t fuseVal = 0;
+
+    // Threaded-code successors (bound lazily by the dispatch loop).
+    DecodedOp *fall = nullptr; //!< slot of pc + 4
+    DecodedOp *jt = nullptr;   //!< slot of the last taken-transfer pc
+    uint32_t jtPc = 0;         //!< pc `jt` was bound for
 
     bool valid() const { return tag != ExecTag::Invalid; }
 };
@@ -80,6 +145,19 @@ class DecodedCache : public Memory::WriteObserver
     const DecodedOp *
     lookup(uint32_t addr)
     {
+        DecodedOp *op = lookupMut(addr);
+        return (op != nullptr && op->valid()) ? op : nullptr;
+    }
+
+    /**
+     * Resident slot for `addr` whether or not it currently holds a
+     * valid record, or nullptr when the address is misaligned or its
+     * line does not exist. The threaded engine binds successor
+     * pointers to these slots.
+     */
+    DecodedOp *
+    lookupMut(uint32_t addr)
+    {
         if (addr % isa::InstBytes != 0)
             return nullptr;
         const uint32_t page = addr >> Memory::PageBits;
@@ -90,14 +168,15 @@ class DecodedCache : public Memory::WriteObserver
             lastPage_ = page;
             lastLine_ = it->second.get();
         }
-        const DecodedOp &op =
-            (*lastLine_)[(addr & (Memory::PageSize - 1)) /
-                         isa::InstBytes];
-        return op.valid() ? &op : nullptr;
+        return &(*lastLine_)[(addr & (Memory::PageSize - 1)) /
+                             isa::InstBytes];
     }
 
-    /** Store the record for `addr` (which must be word-aligned). */
-    void insert(uint32_t addr, const DecodedOp &op);
+    /**
+     * Store the record for `addr` (which must be word-aligned) and
+     * return its address-stable slot.
+     */
+    DecodedOp *insert(uint32_t addr, const DecodedOp &op);
 
     /** Drop everything (program load, snapshot restore). */
     void invalidateAll();
@@ -120,6 +199,12 @@ class DecodedCache : public Memory::WriteObserver
 
     /** Clear the slots overlapped by a write that passed the filter. */
     void invalidateSlots(uint32_t addr, unsigned bytes);
+
+    /**
+     * Demote the record at `addr` to its plain dispatch code if it is
+     * fused — its second component (the word at addr + 4) changed.
+     */
+    void defuseAt(uint32_t addr);
 
     std::unordered_map<uint32_t, std::unique_ptr<Line>> lines_;
     // One-entry accelerator: straight-line fetch stays on one page.

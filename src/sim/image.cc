@@ -1,0 +1,34 @@
+#include "sim/image.hh"
+
+#include <algorithm>
+
+namespace risc1::sim {
+
+ProgramImage::ProgramImage(const assembler::Program &program)
+    : entry_(program.entry)
+{
+    // Render through a scratch Memory so the touched-page set matches
+    // Memory::loadProgram exactly (fault injection draws pages from
+    // that set; it must not depend on how a program was loaded).
+    Memory scratch;
+    scratch.loadProgram(program);
+    for (const Memory::PageDump &dump : scratch.dumpPages()) {
+        Memory::Page page;
+        std::copy(dump.second.begin(), dump.second.end(), page.begin());
+        pages_.emplace_back(dump.first, page);
+    }
+
+    // Predecode the text: the assembler's source-line map names every
+    // instruction address it emitted.
+    decoded_.reserve(program.srcLines.size());
+    for (const auto &[addr, line] : program.srcLines) {
+        (void)line;
+        if (addr % isa::InstBytes != 0)
+            continue;
+        const isa::DecodeResult dec = isa::decode(scratch.peek32(addr));
+        if (dec.ok)
+            decoded_.emplace_back(addr, makeDecodedOp(dec.inst));
+    }
+}
+
+} // namespace risc1::sim

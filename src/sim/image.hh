@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Immutable shared program image: an assembled program rendered once
+ * into page-aligned memory plus a predecoded seed of its text. Batch
+ * campaigns build one ProgramImage per workload and attach it to every
+ * run's Memory read-only (copy-on-write), so neither the byte image
+ * nor the text decode is redone per run — the shared-code /
+ * private-state model of minimal multiprocessor simulators.
+ *
+ * The image is constructed by loading the program into a scratch
+ * Memory and dumping its pages, which guarantees the touched-page set
+ * — and therefore everything derived from it, like the fault
+ * injector's uniform page draw — is byte-identical to an eager
+ * Cpu::load() of the same program.
+ */
+
+#ifndef RISC1_SIM_IMAGE_HH
+#define RISC1_SIM_IMAGE_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "asm/program.hh"
+#include "sim/decode.hh"
+#include "sim/memory.hh"
+
+namespace risc1::sim {
+
+/** A shared, immutable program image (see file comment). */
+class ProgramImage
+{
+  public:
+    /** Empty image (no pages, entry 0) — a container placeholder. */
+    ProgramImage() = default;
+
+    explicit ProgramImage(const assembler::Program &program);
+
+    /** Execution entry point. */
+    uint32_t entry() const { return entry_; }
+
+    /** All initialised pages, sorted by page index. */
+    const std::vector<std::pair<uint32_t, Memory::Page>> &
+    pages() const
+    {
+        return pages_;
+    }
+
+    /**
+     * Predecoded text records, one per instruction address the
+     * assembler emitted (addresses whose word does not decode — data
+     * interleaved with code — are simply absent and decode lazily).
+     * Timing-model cycle stamps are applied by the Cpu at prime time.
+     */
+    const std::vector<std::pair<uint32_t, DecodedOp>> &
+    decoded() const
+    {
+        return decoded_;
+    }
+
+  private:
+    uint32_t entry_ = 0;
+    std::vector<std::pair<uint32_t, Memory::Page>> pages_;
+    std::vector<std::pair<uint32_t, DecodedOp>> decoded_;
+};
+
+} // namespace risc1::sim
+
+#endif // RISC1_SIM_IMAGE_HH

@@ -7,24 +7,49 @@
 
 namespace risc1::sim {
 
-Memory::Page &
-Memory::pageFor(uint32_t addr)
+const Memory::Page *
+Memory::readPage(uint32_t addr) const
 {
     const uint32_t index = addr >> PageBits;
+    if (index == cachedIndex_)
+        return cachedRead_; // non-null whenever the entry exists
     auto it = pages_.find(index);
-    if (it == pages_.end()) {
-        auto page = std::make_unique<Page>();
-        page->fill(0);
-        it = pages_.emplace(index, std::move(page)).first;
-    }
-    return *it->second;
+    if (it == pages_.end())
+        return nullptr;
+    const PageEntry &entry = it->second;
+    cachedIndex_ = index;
+    cachedRead_ = entry.rw ? entry.rw.get() : entry.ro;
+    cachedWrite_ = entry.rw.get();
+    return cachedRead_;
 }
 
-const Memory::Page *
-Memory::pageAt(uint32_t addr) const
+Memory::Page &
+Memory::writePage(uint32_t addr)
 {
-    auto it = pages_.find(addr >> PageBits);
-    return it == pages_.end() ? nullptr : it->second.get();
+    const uint32_t index = addr >> PageBits;
+    if (index == cachedIndex_ && cachedWrite_ != nullptr)
+        return *cachedWrite_;
+    PageEntry &entry = pages_[index];
+    if (!entry.rw) {
+        // First write: clone the borrowed read-only page, or create a
+        // zero-filled private one.
+        entry.rw = entry.ro ? std::make_unique<Page>(*entry.ro)
+                            : std::make_unique<Page>(Page{});
+        entry.ro = nullptr;
+    }
+    cachedIndex_ = index;
+    cachedRead_ = entry.rw.get();
+    cachedWrite_ = entry.rw.get();
+    return *entry.rw;
+}
+
+void
+Memory::attachPage(uint32_t index, const Page &page)
+{
+    PageEntry &entry = pages_[index];
+    entry.ro = &page;
+    entry.rw.reset();
+    dropPageCache();
 }
 
 void
@@ -48,13 +73,24 @@ Memory::checkAccess(uint32_t addr, unsigned bytes) const
 uint8_t
 Memory::peek8(uint32_t addr) const
 {
-    const Page *page = pageAt(addr);
+    const Page *page = readPage(addr);
     return page ? (*page)[addr & (PageSize - 1)] : 0;
 }
 
 uint32_t
 Memory::peek32(uint32_t addr) const
 {
+    // Aligned fast path: the word lies within one page.
+    if (addr % 4 == 0) {
+        const Page *page = readPage(addr);
+        if (page == nullptr)
+            return 0;
+        const uint8_t *p = page->data() + (addr & (PageSize - 1));
+        return static_cast<uint32_t>(p[0]) |
+               (static_cast<uint32_t>(p[1]) << 8) |
+               (static_cast<uint32_t>(p[2]) << 16) |
+               (static_cast<uint32_t>(p[3]) << 24);
+    }
     uint32_t value = 0;
     for (unsigned i = 0; i < 4; ++i)
         value |= static_cast<uint32_t>(peek8(addr + i)) << (8 * i);
@@ -62,23 +98,26 @@ Memory::peek32(uint32_t addr) const
 }
 
 void
-Memory::pokeRaw(uint32_t addr, uint8_t value)
-{
-    pageFor(addr)[addr & (PageSize - 1)] = value;
-}
-
-void
 Memory::poke8(uint32_t addr, uint8_t value)
 {
-    pokeRaw(addr, value);
+    writePage(addr)[addr & (PageSize - 1)] = value;
     notifyWrite(addr, 1);
 }
 
 void
 Memory::poke32(uint32_t addr, uint32_t value)
 {
-    for (unsigned i = 0; i < 4; ++i)
-        pokeRaw(addr + i, static_cast<uint8_t>(value >> (8 * i)));
+    if (addr % 4 == 0) {
+        uint8_t *p = writePage(addr).data() + (addr & (PageSize - 1));
+        p[0] = static_cast<uint8_t>(value);
+        p[1] = static_cast<uint8_t>(value >> 8);
+        p[2] = static_cast<uint8_t>(value >> 16);
+        p[3] = static_cast<uint8_t>(value >> 24);
+    } else {
+        for (unsigned i = 0; i < 4; ++i)
+            writePage(addr + i)[(addr + i) & (PageSize - 1)] =
+                static_cast<uint8_t>(value >> (8 * i));
+    }
     notifyWrite(addr, 4);
 }
 
@@ -87,7 +126,14 @@ Memory::fetch32(uint32_t addr)
 {
     checkAccess(addr, 4);
     ++stats_.instFetches;
-    return peek32(addr);
+    const Page *page = readPage(addr);
+    if (page == nullptr)
+        return 0;
+    const uint8_t *p = page->data() + (addr & (PageSize - 1));
+    return static_cast<uint32_t>(p[0]) |
+           (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
 }
 
 uint8_t
@@ -105,9 +151,12 @@ Memory::read16(uint32_t addr)
     checkAccess(addr, 2);
     ++stats_.dataReads;
     stats_.dataReadBytes += 2;
-    return static_cast<uint16_t>(peek8(addr) |
-                                 (static_cast<uint16_t>(peek8(addr + 1))
-                                  << 8));
+    const Page *page = readPage(addr); // aligned: one page
+    if (page == nullptr)
+        return 0;
+    const uint8_t *p = page->data() + (addr & (PageSize - 1));
+    return static_cast<uint16_t>(p[0] |
+                                 (static_cast<uint16_t>(p[1]) << 8));
 }
 
 uint32_t
@@ -116,7 +165,14 @@ Memory::read32(uint32_t addr)
     checkAccess(addr, 4);
     ++stats_.dataReads;
     stats_.dataReadBytes += 4;
-    return peek32(addr);
+    const Page *page = readPage(addr); // aligned: one page
+    if (page == nullptr)
+        return 0;
+    const uint8_t *p = page->data() + (addr & (PageSize - 1));
+    return static_cast<uint32_t>(p[0]) |
+           (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
 }
 
 void
@@ -125,7 +181,8 @@ Memory::write8(uint32_t addr, uint8_t value)
     checkAccess(addr, 1);
     ++stats_.dataWrites;
     stats_.dataWriteBytes += 1;
-    poke8(addr, value);
+    writePage(addr)[addr & (PageSize - 1)] = value;
+    notifyWrite(addr, 1);
 }
 
 void
@@ -134,8 +191,10 @@ Memory::write16(uint32_t addr, uint16_t value)
     checkAccess(addr, 2);
     ++stats_.dataWrites;
     stats_.dataWriteBytes += 2;
-    poke8(addr, static_cast<uint8_t>(value));
-    poke8(addr + 1, static_cast<uint8_t>(value >> 8));
+    uint8_t *p = writePage(addr).data() + (addr & (PageSize - 1));
+    p[0] = static_cast<uint8_t>(value);
+    p[1] = static_cast<uint8_t>(value >> 8);
+    notifyWrite(addr, 2);
 }
 
 void
@@ -144,7 +203,12 @@ Memory::write32(uint32_t addr, uint32_t value)
     checkAccess(addr, 4);
     ++stats_.dataWrites;
     stats_.dataWriteBytes += 4;
-    poke32(addr, value);
+    uint8_t *p = writePage(addr).data() + (addr & (PageSize - 1));
+    p[0] = static_cast<uint8_t>(value);
+    p[1] = static_cast<uint8_t>(value >> 8);
+    p[2] = static_cast<uint8_t>(value >> 16);
+    p[3] = static_cast<uint8_t>(value >> 24);
+    notifyWrite(addr, 4);
 }
 
 void
@@ -161,7 +225,7 @@ Memory::pageIndices() const
 {
     std::vector<uint32_t> indices;
     indices.reserve(pages_.size());
-    for (const auto &[index, page] : pages_)
+    for (const auto &[index, entry] : pages_)
         indices.push_back(index);
     std::sort(indices.begin(), indices.end());
     return indices;
@@ -172,10 +236,11 @@ Memory::dumpPages() const
 {
     std::vector<PageDump> dump;
     dump.reserve(pages_.size());
-    for (const auto &[index, page] : pages_)
-        dump.emplace_back(index,
-                          std::vector<uint8_t>(page->begin(),
-                                               page->end()));
+    for (const auto &[index, entry] : pages_) {
+        const Page &page = entry.rw ? *entry.rw : *entry.ro;
+        dump.emplace_back(index, std::vector<uint8_t>(page.begin(),
+                                                      page.end()));
+    }
     std::sort(dump.begin(), dump.end(),
               [](const PageDump &a, const PageDump &b) {
                   return a.first < b.first;
@@ -187,13 +252,15 @@ void
 Memory::restorePages(const std::vector<PageDump> &pages)
 {
     pages_.clear();
+    dropPageCache();
     for (const auto &[index, bytes] : pages) {
         if (bytes.size() != PageSize)
             panic("restorePages: page %u has %zu bytes", index,
                   bytes.size());
-        auto page = std::make_unique<Page>();
-        std::copy(bytes.begin(), bytes.end(), page->begin());
-        pages_.emplace(index, std::move(page));
+        PageEntry entry;
+        entry.rw = std::make_unique<Page>();
+        std::copy(bytes.begin(), bytes.end(), entry.rw->begin());
+        pages_.emplace(index, std::move(entry));
     }
 }
 

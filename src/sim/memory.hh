@@ -3,6 +3,12 @@
  * Sparse paged byte-addressable memory with access statistics. All
  * multi-byte accesses are little-endian and must be naturally aligned
  * (RISC I has no unaligned access); violations raise SimFault.
+ *
+ * Pages are copy-on-write capable: attachPage() maps a borrowed
+ * read-only page (e.g. from a shared, immutable program image) that is
+ * cloned into a private page on first write. Batch campaigns use this
+ * to share one program image across thousands of runs without copying
+ * it per run; see sim/image.hh and docs/PERFORMANCE.md.
  */
 
 #ifndef RISC1_SIM_MEMORY_HH
@@ -39,6 +45,9 @@ class Memory
   public:
     static constexpr unsigned PageBits = 12;
     static constexpr uint32_t PageSize = 1u << PageBits;
+
+    /** One page of guest memory. */
+    using Page = std::array<uint8_t, PageSize>;
 
     /**
      * Observer of every guest-visible mutation (counted writes AND
@@ -95,6 +104,15 @@ class Memory
     /** Copy a program image into memory (no statistics). */
     void loadProgram(const assembler::Program &program);
 
+    /**
+     * Map `page` (page number `index`) read-only into this address
+     * space, sharing the caller's storage. The page is cloned into a
+     * private copy on the first write to it; reads before that serve
+     * from the shared storage. The caller must keep `page` alive for
+     * this Memory's lifetime (a campaign's shared ProgramImage does).
+     */
+    void attachPage(uint32_t index, const Page &page);
+
     const MemStats &stats() const { return stats_; }
     void resetStats() { stats_ = MemStats{}; }
 
@@ -118,18 +136,34 @@ class Memory
     void setStats(const MemStats &stats) { stats_ = stats; }
 
   private:
-    using Page = std::array<uint8_t, PageSize>;
+    /**
+     * One mapped page: either a private writable page (rw) or a
+     * borrowed read-only one (ro) awaiting its copy-on-write clone.
+     * Exactly one of the two is non-null.
+     */
+    struct PageEntry
+    {
+        const Page *ro = nullptr;
+        std::unique_ptr<Page> rw;
+    };
 
-    /** Page holding `addr`, created zero-filled on demand. */
-    Page &pageFor(uint32_t addr);
-    /** Page holding `addr`, or nullptr if never touched. */
-    const Page *pageAt(uint32_t addr) const;
+    /** Readable storage of the page holding `addr`, or nullptr. */
+    const Page *readPage(uint32_t addr) const;
+
+    /** Writable storage of the page holding `addr` (create / clone). */
+    Page &writePage(uint32_t addr);
+
+    /** Forget the one-entry page accelerators (map mutation). */
+    void
+    dropPageCache() const
+    {
+        cachedIndex_ = UINT32_MAX;
+        cachedRead_ = nullptr;
+        cachedWrite_ = nullptr;
+    }
 
     /** Alignment + address-limit check for a counted access. */
     void checkAccess(uint32_t addr, unsigned bytes) const;
-
-    /** Raw byte store without the observer notification. */
-    void pokeRaw(uint32_t addr, uint8_t value);
 
     void
     notifyWrite(uint32_t addr, unsigned bytes)
@@ -138,10 +172,18 @@ class Memory
             observer_->onMemoryWrite(addr, bytes);
     }
 
-    std::unordered_map<uint32_t, std::unique_ptr<Page>> pages_;
+    std::unordered_map<uint32_t, PageEntry> pages_;
     MemStats stats_;
     uint32_t limit_ = 0;
     WriteObserver *observer_ = nullptr;
+
+    // One-entry accelerator: consecutive accesses overwhelmingly stay
+    // on one page, so cache the resolved storage of the last page.
+    // cachedWrite_ is only non-null once the page is privately owned
+    // (a cache hit must never bypass the copy-on-write clone).
+    mutable uint32_t cachedIndex_ = UINT32_MAX;
+    mutable const Page *cachedRead_ = nullptr;
+    mutable Page *cachedWrite_ = nullptr;
 };
 
 } // namespace risc1::sim

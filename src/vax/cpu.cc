@@ -228,7 +228,7 @@ VaxCpu::decodeOperand(unsigned width)
 VaxCpu::OpRef
 VaxCpu::resolveSpec(unsigned width)
 {
-    const VaxSpec &s = fastRec_.specs[fastSpec_++];
+    const VaxSpec &s = fastRec_->specs[fastSpec_++];
     const bool indexed = s.indexReg != VaxSpec::NoIndex;
     // The lazy decoder counts an index prefix as its own specifier.
     specifiers_ += indexed ? 2 : 1;
@@ -237,51 +237,40 @@ VaxCpu::resolveSpec(unsigned width)
         index = regs_[s.indexReg];
 
     OpRef ref;
-    if (s.mode <= 3) { // short literal
+    // Dispatch on the resolved kind computed at parse time: literal /
+    // immediate datum, register, or one of four effective-address
+    // shapes with the displacement folded into s.extra.
+    switch (s.rkind) {
+      case VaxSpec::RKind::Val:
         ref.kind = OpRef::Kind::Val;
         ref.value = s.extra;
-    } else {
-        switch (static_cast<Mode>(s.mode)) {
-          case Mode::Register:
-            if (s.reg >= NumRegs)
-                throw SimFault{"register specifier out of range",
-                               instStart_,
-                               isa::TrapCause::IllegalOperand};
-            ref.kind = OpRef::Kind::Reg;
-            ref.reg = s.reg;
-            break;
-          case Mode::Deferred:
-            ref.kind = OpRef::Kind::Mem;
-            ref.addr = regs_[s.reg];
-            break;
-          case Mode::AutoDec:
-            regs_[s.reg] -= width;
-            ref.kind = OpRef::Kind::Mem;
-            ref.addr = regs_[s.reg];
-            break;
-          case Mode::AutoInc:
-            if (s.reg == 15) { // predecoded immediate
-                ref.kind = OpRef::Kind::Val;
-                ref.value = s.extra;
-            } else {
-                ref.kind = OpRef::Kind::Mem;
-                ref.addr = regs_[s.reg];
-                regs_[s.reg] += width;
-            }
-            break;
-          case Mode::DispByte:
-          case Mode::DispWord:
-            ref.kind = OpRef::Kind::Mem;
-            ref.addr = regs_[s.reg] + s.extra;
-            break;
-          case Mode::DispLong:
-            ref.kind = OpRef::Kind::Mem;
-            ref.addr = (s.reg == 15 ? 0 : regs_[s.reg]) + s.extra;
-            break;
-          default:
-            panic("resolveSpec: mode 0x%x should not have been cached",
-                  s.mode);
-        }
+        break;
+      case VaxSpec::RKind::Reg:
+        if (s.reg >= NumRegs)
+            throw SimFault{"register specifier out of range",
+                           instStart_,
+                           isa::TrapCause::IllegalOperand};
+        ref.kind = OpRef::Kind::Reg;
+        ref.reg = s.reg;
+        break;
+      case VaxSpec::RKind::MemDisp:
+        ref.kind = OpRef::Kind::Mem;
+        ref.addr = regs_[s.reg] + s.extra;
+        break;
+      case VaxSpec::RKind::MemAbs:
+        ref.kind = OpRef::Kind::Mem;
+        ref.addr = s.extra;
+        break;
+      case VaxSpec::RKind::AutoDec:
+        regs_[s.reg] -= width;
+        ref.kind = OpRef::Kind::Mem;
+        ref.addr = regs_[s.reg];
+        break;
+      case VaxSpec::RKind::AutoInc:
+        ref.kind = OpRef::Kind::Mem;
+        ref.addr = regs_[s.reg];
+        regs_[s.reg] += width;
+        break;
     }
     if (indexed) {
         if (ref.kind != OpRef::Kind::Mem)
@@ -370,7 +359,7 @@ VaxCpu::branch(VaxOp op)
 {
     using isa::Cond;
     const int32_t disp =
-        fastActive_ ? fastRec_.branchDisp
+        fastActive_ ? fastRec_->branchDisp
                     : static_cast<int8_t>(istreamByte());
     Cond cond;
     switch (op) {
@@ -496,18 +485,19 @@ VaxCpu::step()
     VaxOp op{};
     if (options_.predecode) {
         if (const VaxDecoded *rec = dcache_.lookup(pc_)) {
-            // By value: a self-modifying store below may invalidate
-            // the cache entry while this instruction executes.
-            fastRec_ = *rec;
+            // Executed through the pointer, no copy; see the fastRec_
+            // declaration for why a self-modifying store cannot be
+            // observed through it.
+            fastRec_ = rec;
             fastActive_ = true;
-            op = fastRec_.op;
+            op = rec->op;
             // All istream byte positions are known up front, so pc_
             // and the istream accounting advance in one step. Every
             // later use of pc_ (branch targets, the CALLS return
             // address) reads it after the whole instruction would
             // have been consumed, so the early advance is invisible.
-            pc_ += fastRec_.length;
-            istreamCount_ = fastRec_.length;
+            pc_ += rec->length;
+            istreamCount_ = rec->length;
         }
     }
     if (!fastActive_) {
@@ -790,7 +780,7 @@ VaxCpu::step()
         break;
       case VaxOp::Brw: {
         const int32_t disp =
-            fastActive_ ? fastRec_.branchDisp
+            fastActive_ ? fastRec_->branchDisp
                         : static_cast<int16_t>(istreamBytes(2));
         ++stats_.branches;
         ++stats_.branchesTaken;

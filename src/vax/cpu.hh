@@ -172,10 +172,14 @@ class VaxCpu
     VaxStats stats_;
     isa::Flags flags_;
 
-    // In-flight predecoded instruction (fast path). The record is
-    // copied by value: a self-modifying store may invalidate the cache
-    // entry while the instruction is still executing.
-    VaxDecoded fastRec_;
+    // In-flight predecoded instruction (fast path), executed through
+    // the pointer without copying. Safe against self-modifying stores
+    // because in every opcode path all record reads (opcode, length,
+    // specifiers, branch displacement) precede the instruction's first
+    // guest-visible write — the only event that can invalidate the
+    // record. (Operand resolution always completes before execution
+    // writes anything; branches never write.)
+    const VaxDecoded *fastRec_ = nullptr;
     bool fastActive_ = false;
     unsigned fastSpec_ = 0; //!< next specifier of fastRec_ to resolve
 

@@ -105,21 +105,29 @@ parseSpec(const sim::Memory &mem, uint32_t &addr, VaxSpec &spec)
 
     if (mode <= 3) { // short literal
         spec.extra = raw & 0x3f;
+        spec.rkind = VaxSpec::RKind::Val;
         return true;
     }
     switch (static_cast<Mode>(mode)) {
       case Mode::Register:
         // reg 15 is rejected at resolve time with a proper operand
         // fault (mirrored by the fast path), so it is representable.
+        spec.rkind = VaxSpec::RKind::Reg;
         return true;
       case Mode::Deferred:
-      case Mode::AutoDec:
+        spec.rkind = VaxSpec::RKind::MemDisp; // displacement 0
+        spec.extra = 0;
         return reg != 15; // regs_[15] does not exist
+      case Mode::AutoDec:
+        spec.rkind = VaxSpec::RKind::AutoDec;
+        return reg != 15;
       case Mode::AutoInc:
         if (reg == 15) { // immediate: always 4 istream bytes
             spec.extra = le(4);
+            spec.rkind = VaxSpec::RKind::Val;
             return true;
         }
+        spec.rkind = VaxSpec::RKind::AutoInc;
         return true;
       case Mode::DispByte:
         if (reg == 15)
@@ -127,15 +135,19 @@ parseSpec(const sim::Memory &mem, uint32_t &addr, VaxSpec &spec)
         spec.extra = static_cast<uint32_t>(static_cast<int32_t>(
             static_cast<int8_t>(mem.peek8(addr))));
         addr += 1;
+        spec.rkind = VaxSpec::RKind::MemDisp;
         return true;
       case Mode::DispWord:
         if (reg == 15)
             return false;
         spec.extra = static_cast<uint32_t>(static_cast<int32_t>(
             static_cast<int16_t>(le(2))));
+        spec.rkind = VaxSpec::RKind::MemDisp;
         return true;
       case Mode::DispLong:
-        spec.extra = le(4); // reg 15 = absolute, handled at resolve
+        spec.extra = le(4);
+        spec.rkind = reg == 15 ? VaxSpec::RKind::MemAbs
+                               : VaxSpec::RKind::MemDisp;
         return true;
       default:
         return false; // mode the simulator rejects: keep it lazy

@@ -43,9 +43,30 @@ struct VaxSpec
 {
     static constexpr uint8_t NoIndex = 0xff;
 
+    /**
+     * Resolved operand kind: the specifier's mode nibble, datum
+     * position and displacement are collapsed at parse time into one
+     * of six effective-address shapes, so the per-step resolver
+     * dispatches on a dense enum and adds a precomputed offset instead
+     * of re-interpreting mode/reg combinations. Literals and istream
+     * immediates both become Val; deferred, byte/word/long
+     * displacement all become MemDisp (deferred is displacement 0);
+     * absolute (long displacement off PC) becomes MemAbs.
+     */
+    enum class RKind : uint8_t
+    {
+        Val,     //!< datum is `extra` (literal / istream immediate)
+        Reg,     //!< register `reg` (faults at resolve if reg 15)
+        MemDisp, //!< memory at regs[reg] + extra
+        MemAbs,  //!< memory at `extra`
+        AutoDec, //!< memory at --regs[reg]
+        AutoInc, //!< memory at regs[reg]++
+    };
+
     uint8_t mode = 0; //!< specifier high nibble (0..3 = short literal)
     uint8_t reg = 0;  //!< specifier low nibble
     uint8_t indexReg = NoIndex; //!< index prefix register, or NoIndex
+    RKind rkind = RKind::Val;   //!< resolved kind (see above)
     uint32_t extra = 0; //!< literal / immediate / sign-extended disp
 };
 

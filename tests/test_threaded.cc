@@ -1,0 +1,219 @@
+/**
+ * @file
+ * The threaded-code execution engine, instruction fusion, and the
+ * shared ProgramImage load path.
+ *
+ * Differential tests pin the engine's central claim: threading and
+ * fusion are pure optimisations. Threaded+fused vs the plain
+ * interpreter must produce identical results and statistics over the
+ * whole workload suite, a self-modifying store must split a fused
+ * pair mid-run without observable difference, and a Cpu loaded from a
+ * shared ProgramImage must be indistinguishable from an eager
+ * program load — including the touched-page set the fault injector
+ * draws from.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "core/experiments.hh"
+#include "sim/cpu.hh"
+#include "sim/image.hh"
+#include "support/logging.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace risc1;
+
+void
+expectStatsEq(const sim::SimStats &a, const sim::SimStats &b,
+              const std::string &what)
+{
+    EXPECT_EQ(a.instructions, b.instructions) << what;
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.perOpcode, b.perOpcode) << what;
+    EXPECT_EQ(a.perClass, b.perClass) << what;
+    EXPECT_EQ(a.branches, b.branches) << what;
+    EXPECT_EQ(a.branchesTaken, b.branchesTaken) << what;
+    EXPECT_EQ(a.nopsExecuted, b.nopsExecuted) << what;
+    EXPECT_EQ(a.calls, b.calls) << what;
+    EXPECT_EQ(a.returns, b.returns) << what;
+    EXPECT_EQ(a.windowOverflows, b.windowOverflows) << what;
+    EXPECT_EQ(a.windowUnderflows, b.windowUnderflows) << what;
+    EXPECT_EQ(a.spillWords, b.spillWords) << what;
+    EXPECT_EQ(a.refillWords, b.refillWords) << what;
+    EXPECT_EQ(a.memory.instFetches, b.memory.instFetches) << what;
+    EXPECT_EQ(a.memory.dataReads, b.memory.dataReads) << what;
+    EXPECT_EQ(a.memory.dataWrites, b.memory.dataWrites) << what;
+}
+
+/** Run `prog` to completion under the given engine configuration. */
+sim::ExecResult
+runWith(sim::Cpu &cpu, const assembler::Program &prog)
+{
+    cpu.load(prog);
+    return cpu.run();
+}
+
+// ---- Threaded + fused vs the plain interpreter --------------------------
+
+TEST(Threaded, RiscSuiteDifferential)
+{
+    for (const workloads::Workload &wl : workloads::allWorkloads()) {
+        const assembler::Program prog =
+            workloads::buildRisc(wl, wl.defaultScale);
+
+        sim::Cpu fused; // threaded + fused is the default
+        sim::CpuOptions nofuse_opts;
+        nofuse_opts.fuse = false;
+        sim::Cpu threaded(nofuse_opts);
+        sim::CpuOptions plain_opts;
+        plain_opts.threaded = false;
+        sim::Cpu plain(plain_opts);
+
+        const sim::ExecResult rfused = runWith(fused, prog);
+        const sim::ExecResult rthreaded = runWith(threaded, prog);
+        const sim::ExecResult rplain = runWith(plain, prog);
+
+        EXPECT_EQ(rfused.reason, rplain.reason) << wl.name;
+        EXPECT_EQ(rthreaded.reason, rplain.reason) << wl.name;
+        EXPECT_EQ(fused.memory().peek32(workloads::ResultAddr),
+                  plain.memory().peek32(workloads::ResultAddr))
+            << wl.name;
+        EXPECT_EQ(threaded.memory().peek32(workloads::ResultAddr),
+                  plain.memory().peek32(workloads::ResultAddr))
+            << wl.name;
+        expectStatsEq(fused.stats(), plain.stats(), wl.name + " fused");
+        expectStatsEq(threaded.stats(), plain.stats(),
+                      wl.name + " threaded");
+    }
+}
+
+TEST(Threaded, SelfModifyingStoreSplitsFusedPair)
+{
+    // Encoding of the replacement instruction: add r17, 100, r17.
+    const assembler::Program enc =
+        assembler::assembleOrDie("_start: add r17, 100, r17\n halt\n");
+    const uint32_t patched = *enc.wordAt(enc.entry);
+
+    // `pairA`/`pairB` form a compare + delayed-branch pair the engine
+    // fuses into one superinstruction. After ten hot iterations — the
+    // record and its fusion are long established — the store at
+    // `patch_now` overwrites the SECOND component (the branch) with
+    // `add r17, 100, r17`. The invalidation must split the pair:
+    // afterwards the loop falls through into `b out` with
+    // r17 = 10 + 100 = 110. A stale fused record would keep branching
+    // to `hit` until r17 reached 50.
+    // Low origin keeps the labels addressable as (r0)simm13 operands.
+    const std::string src = strprintf(R"(
+        .equ RESULT, %u
+        .org  256
+_start: ldl   (r0)newword, r16
+        clr   r17
+        clr   r18
+loop:
+pairA:  cmp   r17, 50
+pairB:  blt   hit
+        b     out
+hit:    add   r17, 1, r17
+        add   r18, 1, r18
+        cmp   r18, 10
+        bge   patch_now
+        b     loop
+patch_now:
+        stl   r16, (r0)pairB
+        b     loop
+out:    stl   r17, (r0)RESULT
+        halt
+newword: .word %u
+)",
+                                      workloads::ResultAddr, patched);
+
+    // No delay-slot filling: keep the store out of branch shadows so
+    // the execution order above is exactly what runs.
+    assembler::AsmOptions no_fill;
+    no_fill.fillDelaySlots = false;
+    const assembler::Program prog = assembler::assembleOrDie(src,
+                                                             no_fill);
+
+    sim::Cpu fused;
+    sim::CpuOptions plain_opts;
+    plain_opts.threaded = false;
+    sim::Cpu plain(plain_opts);
+    const sim::ExecResult rfused = runWith(fused, prog);
+    const sim::ExecResult rplain = runWith(plain, prog);
+
+    ASSERT_TRUE(rfused.halted());
+    ASSERT_TRUE(rplain.halted());
+    EXPECT_EQ(fused.memory().peek32(workloads::ResultAddr), 110u);
+    EXPECT_EQ(plain.memory().peek32(workloads::ResultAddr), 110u);
+    expectStatsEq(fused.stats(), plain.stats(), "fused-pair split");
+}
+
+// ---- Shared ProgramImage vs eager load ----------------------------------
+
+TEST(Threaded, SharedImageMatchesEagerLoad)
+{
+    for (const workloads::Workload &wl : workloads::allWorkloads()) {
+        const assembler::Program prog =
+            workloads::buildRisc(wl, wl.defaultScale);
+        const sim::ProgramImage image(prog);
+
+        sim::Cpu eager;
+        sim::Cpu shared;
+        eager.load(prog);
+        shared.load(image);
+
+        // The fault injector draws its memory target uniformly from
+        // the touched-page set, so the attach path must produce the
+        // exact same pages as an eager load.
+        EXPECT_EQ(eager.memory().pageIndices(),
+                  shared.memory().pageIndices())
+            << wl.name;
+
+        const sim::ExecResult re = eager.run();
+        const sim::ExecResult rs = shared.run();
+        EXPECT_EQ(re.reason, rs.reason) << wl.name;
+        EXPECT_EQ(eager.memory().peek32(workloads::ResultAddr),
+                  shared.memory().peek32(workloads::ResultAddr))
+            << wl.name;
+        expectStatsEq(eager.stats(), shared.stats(), wl.name);
+    }
+}
+
+TEST(Threaded, SharedImageSurvivesGuestWrites)
+{
+    // Two cpus sharing one image must not observe each other's writes:
+    // pages are copy-on-write, so the image (and any sibling) keeps
+    // the pristine bytes after a run mutates its private copy.
+    const workloads::Workload *wl = workloads::findWorkload("fibonacci");
+    ASSERT_NE(wl, nullptr);
+    const sim::ProgramImage image(
+        workloads::buildRisc(*wl, wl->defaultScale));
+
+    sim::Cpu first;
+    first.load(image);
+    ASSERT_TRUE(first.run().halted());
+    const uint32_t result = first.memory().peek32(workloads::ResultAddr);
+    EXPECT_EQ(result, wl->expected(wl->defaultScale));
+
+    // A second run from the same image starts from pristine state.
+    sim::Cpu second;
+    second.load(image);
+    EXPECT_EQ(second.memory().peek32(workloads::ResultAddr), 0u);
+    ASSERT_TRUE(second.run().halted());
+    EXPECT_EQ(second.memory().peek32(workloads::ResultAddr), result);
+}
+
+// ---- Campaign jobs-invariance under shared-program mode -----------------
+
+TEST(Threaded, FaultCampaignSharedJobsInvariant)
+{
+    const auto serial = core::faultCampaign(3, 999, 1);
+    const auto parallel = core::faultCampaign(3, 999, 3);
+    EXPECT_EQ(core::faultCampaignTable(serial),
+              core::faultCampaignTable(parallel));
+}
+
+} // namespace
