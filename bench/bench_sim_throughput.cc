@@ -8,11 +8,14 @@
  * Series (see docs/PERFORMANCE.md for how to read them):
  *  - risc1/<wl>, vax80/<wl>: the full fast path (the default — for
  *    RISC I that is threaded dispatch with pair fusion).
- *  - risc1_threaded/<wl>: threaded dispatch, fusion off — isolates
- *    the superinstruction win inside the risc1/ number.
+ *  - risc1_superblock/<wl>: threaded dispatch + superblocks, pair
+ *    fusion off — against risc1_threaded/ this isolates the
+ *    whole-block dispatch win on its own.
+ *  - risc1_threaded/<wl>: threaded dispatch alone (fusion and
+ *    superblocks off) — the PR 3 engine rung.
  *  - risc1_predecode/<wl>: predecode only, threaded engine off — the
  *    previous generation's fast path; the risc1/ ratio against it is
- *    the threaded+fused win.
+ *    the threaded+fused+superblock win.
  *  - risc1_nocache/<wl>, vax80_nocache/<wl>: predecode disabled — the
  *    original decode-every-step baseline.
  *  - suite_risc1/jobs:N: wall time for one whole-suite sweep on N
@@ -24,12 +27,20 @@
  *  - assembler/<wl>: assembler front-end throughput.
  *
  * --json additionally writes BENCH_sim_throughput.json mapping each
- * series entry to its simulated-instructions-per-second rate.
+ * series entry to an object of its counters (always the
+ * simulated-instructions-per-second rate; superblock-enabled series
+ * add the mean dynamic block length and the blocks formed/demoted).
+ *
+ * --regress: after the run, compare the collected risc1_superblock/
+ * rates against risc1_threaded/ per workload and exit non-zero when
+ * the geometric-mean ratio is below 1.0 (superblock slower than
+ * threaded) — the bench-regression ctest hook.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <utility>
@@ -61,6 +72,21 @@ riscThroughput(benchmark::State &state, const workloads::Workload *wl,
     }
     state.counters["sim_insts/s"] = benchmark::Counter(
         static_cast<double>(insts), benchmark::Counter::kIsRate);
+    if (opts.threaded && opts.superblock) {
+        // Fusion-quality diagnostics from the last run (formation is
+        // per-load, so any single run of the loop is representative).
+        const sim::SimStats &st = cpu.stats();
+        state.counters["sb_mean_block_len"] =
+            benchmark::Counter(st.sbMeanBlockLen());
+        state.counters["sb_blocks_formed"] =
+            benchmark::Counter(static_cast<double>(st.sbBlocksFormed));
+        state.counters["sb_blocks_demoted"] =
+            benchmark::Counter(static_cast<double>(st.sbBlocksDemoted));
+        state.counters["sb_chained"] =
+            benchmark::Counter(static_cast<double>(st.sbChained));
+        state.counters["sb_loop_iters"] =
+            benchmark::Counter(static_cast<double>(st.sbLoopIters));
+    }
 }
 
 void
@@ -139,27 +165,39 @@ assemblerThroughput(benchmark::State &state,
 }
 
 /**
- * Console reporter that additionally collects each run's
- * sim_insts/s counter so --json can dump a series → rate map.
+ * Console reporter that additionally collects each run's counters so
+ * --json can dump a series → counters map and --regress can compare
+ * series rates in-process.
  */
 class JsonCollectingReporter : public benchmark::ConsoleReporter
 {
   public:
+    struct Entry
+    {
+        std::string name;
+        std::vector<std::pair<std::string, double>> counters;
+    };
+
     void
     ReportRuns(const std::vector<Run> &runs) override
     {
         for (const Run &run : runs) {
             if (run.error_occurred || run.run_type != Run::RT_Iteration)
                 continue;
-            auto it = run.counters.find("sim_insts/s");
-            if (it != run.counters.end())
-                rates_.emplace_back(run.benchmark_name(),
-                                    static_cast<double>(it->second));
+            if (run.counters.empty())
+                continue;
+            Entry entry;
+            entry.name = run.benchmark_name();
+            for (const auto &[name, counter] : run.counters)
+                entry.counters.emplace_back(
+                    name, static_cast<double>(counter));
+            std::sort(entry.counters.begin(), entry.counters.end());
+            entries_.push_back(std::move(entry));
         }
         ConsoleReporter::ReportRuns(runs);
     }
 
-    /** Write the collected rates as {"series": rate, ...}. */
+    /** Write {"series": {"counter": value, ...}, ...}. */
     bool
     writeJson(const char *path) const
     {
@@ -167,18 +205,88 @@ class JsonCollectingReporter : public benchmark::ConsoleReporter
         if (!out)
             return false;
         std::fprintf(out, "{\n");
-        for (size_t i = 0; i < rates_.size(); ++i)
-            std::fprintf(out, "  \"%s\": %.1f%s\n",
-                         rates_[i].first.c_str(), rates_[i].second,
-                         i + 1 < rates_.size() ? "," : "");
+        for (size_t i = 0; i < entries_.size(); ++i) {
+            const Entry &e = entries_[i];
+            std::fprintf(out, "  \"%s\": {", e.name.c_str());
+            for (size_t c = 0; c < e.counters.size(); ++c)
+                std::fprintf(out, "\"%s\": %.1f%s",
+                             e.counters[c].first.c_str(),
+                             e.counters[c].second,
+                             c + 1 < e.counters.size() ? ", " : "");
+            std::fprintf(out, "}%s\n",
+                         i + 1 < entries_.size() ? "," : "");
+        }
         std::fprintf(out, "}\n");
         std::fclose(out);
         return true;
     }
 
+    /** The collected sim_insts/s rate for a series entry, or 0. With
+     *  --benchmark_repetitions each repetition contributes one entry;
+     *  the best repetition is the noise-robust estimate (a background
+     *  load spike only ever slows a run down, never speeds it up). */
+    double
+    rateOf(const std::string &series) const
+    {
+        double best = 0.0;
+        for (const Entry &e : entries_) {
+            if (e.name != series)
+                continue;
+            for (const auto &[name, value] : e.counters)
+                if (name == "sim_insts/s" && value > best)
+                    best = value;
+        }
+        return best;
+    }
+
+    const std::vector<Entry> &entries() const { return entries_; }
+
   private:
-    std::vector<std::pair<std::string, double>> rates_;
+    std::vector<Entry> entries_;
 };
+
+/**
+ * --regress: compare risc1_superblock/ against risc1_threaded/ per
+ * workload over the rates the reporter collected. Returns the process
+ * exit status: 0 when the geometric-mean ratio is at least 1.0, 1 when
+ * the superblock engine came out slower (or no pair was measured).
+ */
+int
+checkRegression(const JsonCollectingReporter &reporter)
+{
+    double log_sum = 0.0;
+    unsigned pairs = 0;
+    std::vector<std::string> seen;
+    for (const auto &entry : reporter.entries()) {
+        const std::string prefix = "risc1_superblock/";
+        if (entry.name.rfind(prefix, 0) != 0)
+            continue;
+        if (std::find(seen.begin(), seen.end(), entry.name) !=
+            seen.end())
+            continue; // one pair per workload across repetitions
+        seen.push_back(entry.name);
+        const std::string wl = entry.name.substr(prefix.size());
+        const double sb = reporter.rateOf(entry.name);
+        const double thr = reporter.rateOf("risc1_threaded/" + wl);
+        if (sb <= 0.0 || thr <= 0.0)
+            continue;
+        const double ratio = sb / thr;
+        std::fprintf(stderr, "regress: %-24s %.3fx threaded\n",
+                     wl.c_str(), ratio);
+        log_sum += std::log(ratio);
+        ++pairs;
+    }
+    if (pairs == 0) {
+        std::fprintf(stderr,
+                     "regress: no risc1_superblock/risc1_threaded "
+                     "pairs measured (check --benchmark_filter)\n");
+        return 1;
+    }
+    const double geomean = std::exp(log_sum / pairs);
+    std::fprintf(stderr, "regress: geomean %.3fx over %u workloads\n",
+                 geomean, pairs);
+    return geomean >= 1.0 ? 0 : 1;
+}
 
 } // namespace
 
@@ -193,17 +301,38 @@ main(int argc, char **argv)
         "google-benchmark (e.g. --benchmark_filter=...).",
         "[benchmark args]");
 
+    // --regress is ours, not google-benchmark's: strip it before
+    // Initialize sees the argument list.
+    bool regress = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--regress") {
+            regress = true;
+            for (int j = i; j + 1 < argc; ++j)
+                argv[j] = argv[j + 1];
+            --argc;
+            break;
+        }
+    }
+
     using risc1::sim::CpuOptions;
-    CpuOptions full;    // threaded + fused (the default)
+    CpuOptions full;    // threaded + fused + superblocks (the default)
+    CpuOptions sblock;  // superblocks without pair fusion
+    sblock.fuse = false;
     CpuOptions threaded_only;
     threaded_only.fuse = false;
+    threaded_only.superblock = false;
     CpuOptions predecode_only;
     predecode_only.threaded = false;
+    predecode_only.superblock = false;
     CpuOptions nocache;
     nocache.predecode = false;
+    nocache.superblock = false;
     for (const auto &wl : risc1::workloads::allWorkloads()) {
         benchmark::RegisterBenchmark(("risc1/" + wl.name).c_str(),
                                      riscThroughput, &wl, full);
+        benchmark::RegisterBenchmark(
+            ("risc1_superblock/" + wl.name).c_str(), riscThroughput,
+            &wl, sblock);
         benchmark::RegisterBenchmark(
             ("risc1_threaded/" + wl.name).c_str(), riscThroughput, &wl,
             threaded_only);
@@ -255,5 +384,5 @@ main(int argc, char **argv)
                      "warning: could not write "
                      "BENCH_sim_throughput.json\n");
     benchmark::Shutdown();
-    return 0;
+    return regress ? checkRegression(reporter) : 0;
 }

@@ -510,24 +510,26 @@ std::vector<OpcodeFreqRow>
 opcodeFrequencies(unsigned jobs)
 {
     const std::vector<Workload> &suite = allWorkloads();
-    // Run the suite in parallel, then merge the per-workload counts in
-    // workload order so the totals (and any sort ties) never depend on
-    // scheduling.
-    const auto counts =
-        ParallelRunner(jobs).map<std::map<isa::Opcode, uint64_t>>(
-            suite.size(), [&](size_t slot) {
-                RiscRun run = runRisc(suite[slot],
-                                      suite[slot].defaultScale);
-                return run.stats.perOpcode;
-            });
+    // Run the suite in parallel, streaming each workload's counts into
+    // the shared totals in workload order (reduceChunked consumes in
+    // index order), so the totals — and any sort ties — never depend
+    // on scheduling and only one chunk of per-workload maps is ever
+    // live at once.
     std::map<isa::Opcode, uint64_t> totals;
     uint64_t grand = 0;
-    for (const auto &per_workload : counts) {
-        for (const auto &[op, count] : per_workload) {
-            totals[op] += count;
-            grand += count;
-        }
-    }
+    ParallelRunner(jobs).reduceChunked<std::map<isa::Opcode, uint64_t>>(
+        suite.size(),
+        [&](size_t slot) {
+            RiscRun run = runRisc(suite[slot],
+                                  suite[slot].defaultScale);
+            return run.stats.perOpcode;
+        },
+        [&](size_t, const std::map<isa::Opcode, uint64_t> &per_workload) {
+            for (const auto &[op, count] : per_workload) {
+                totals[op] += count;
+                grand += count;
+            }
+        });
     std::vector<OpcodeFreqRow> rows;
     for (const auto &[op, count] : totals) {
         OpcodeFreqRow row;

@@ -235,10 +235,16 @@ struct FaultCampaignRow
  * faults stop the machine and count as detections. `jobs` parallelizes
  * the workload x injection grid; the tallies are identical for any
  * value because each run's RNG depends only on (seed, workload, run).
+ * `streaming` selects the aggregation mode: true streams outcomes into
+ * the fixed-size per-workload tallies chunk by chunk (peak memory
+ * independent of `injections` — see ParallelRunner::reduceChunked),
+ * false materializes the flat outcome vector first. Both modes produce
+ * byte-identical rows for a fixed (injections, seed).
  */
 std::vector<FaultCampaignRow> faultCampaign(unsigned injections = 100,
                                             uint64_t seed = 1981,
-                                            unsigned jobs = 1);
+                                            unsigned jobs = 1,
+                                            bool streaming = false);
 std::string faultCampaignTable(const std::vector<FaultCampaignRow> &rows);
 
 } // namespace risc1::core

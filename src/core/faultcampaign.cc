@@ -72,7 +72,8 @@ classify(const sim::ExecResult &result, uint32_t got, uint32_t expected)
 } // namespace
 
 std::vector<FaultCampaignRow>
-faultCampaign(unsigned injections, uint64_t seed, unsigned jobs)
+faultCampaign(unsigned injections, uint64_t seed, unsigned jobs,
+              bool streaming)
 {
     const auto &suite = allWorkloads();
     const ParallelRunner runner(jobs);
@@ -116,36 +117,51 @@ faultCampaign(unsigned injections, uint64_t seed, unsigned jobs)
         });
 
     // Phase 2 — the flat workload x injection grid. Each cell's RNG is
-    // a pure function of (seed, workload, run), so the outcome vector —
-    // and therefore the tallies — are identical for any job count.
+    // a pure function of (seed, workload, run), so the outcomes — and
+    // therefore the tallies — are identical for any job count and
+    // either aggregation mode.
     const size_t total = suite.size() * injections;
-    const std::vector<FaultOutcome> outcomes =
-        runner.map<FaultOutcome>(total, [&](size_t slot) {
-            const size_t w = slot / injections;
-            const uint64_t i = slot % injections;
-            const Prepared &p = prepared[w];
-            Rng rng(runSeed(seed, w, i));
-            sim::Injection inj =
-                sim::drawInjection(rng, p.base.instructions);
-            sim::Cpu cpu(p.opts);
-            cpu.load(p.image);
-            const sim::ExecResult result =
-                sim::runWithInjection(cpu, rng, inj);
-            const uint32_t got =
-                cpu.memory().peek32(workloads::ResultAddr);
-            return classify(result, got, p.expected);
-        });
-
     std::vector<FaultCampaignRow> rows(suite.size());
     for (size_t w = 0; w < suite.size(); ++w) {
-        FaultCampaignRow &row = rows[w];
-        row.name = suite[w].name;
-        row.injections = injections;
-        row.baselineInsts = prepared[w].base.instructions;
-        for (unsigned i = 0; i < injections; ++i)
-            ++row.byOutcome[static_cast<unsigned>(
-                outcomes[w * injections + i])];
+        rows[w].name = suite[w].name;
+        rows[w].injections = injections;
+        rows[w].baselineInsts = prepared[w].base.instructions;
     }
+    const auto produce = [&](size_t slot) {
+        const size_t w = slot / injections;
+        const uint64_t i = slot % injections;
+        const Prepared &p = prepared[w];
+        Rng rng(runSeed(seed, w, i));
+        sim::Injection inj =
+            sim::drawInjection(rng, p.base.instructions);
+        sim::Cpu cpu(p.opts);
+        cpu.load(p.image);
+        const sim::ExecResult result =
+            sim::runWithInjection(cpu, rng, inj);
+        const uint32_t got = cpu.memory().peek32(workloads::ResultAddr);
+        return classify(result, got, p.expected);
+    };
+
+    if (streaming) {
+        // Stream outcomes straight into the fixed-size tallies: peak
+        // memory is one reduceChunked buffer, independent of
+        // `injections`, so a campaign can scale to millions of runs.
+        runner.reduceChunked<FaultOutcome>(
+            total, produce, [&](size_t slot, FaultOutcome outcome) {
+                ++rows[slot / injections]
+                      .byOutcome[static_cast<unsigned>(outcome)];
+            });
+        return rows;
+    }
+
+    // Flat mode: materialize the whole outcome vector, then tally. Kept
+    // as the differential oracle for the streaming path (the tests
+    // assert both modes agree for a fixed seed).
+    const std::vector<FaultOutcome> outcomes =
+        runner.map<FaultOutcome>(total, produce);
+    for (size_t slot = 0; slot < total; ++slot)
+        ++rows[slot / injections]
+              .byOutcome[static_cast<unsigned>(outcomes[slot])];
     return rows;
 }
 

@@ -11,6 +11,7 @@
 #ifndef RISC1_CORE_PARALLEL_HH
 #define RISC1_CORE_PARALLEL_HH
 
+#include <algorithm>
 #include <cstddef>
 #include <functional>
 #include <vector>
@@ -49,6 +50,36 @@ class ParallelRunner
         std::vector<R> out(count);
         run(count, [&](size_t i) { out[i] = fn(i); });
         return out;
+    }
+
+    /**
+     * Streaming reduction: produce(i) for i in 0..count-1, consumed as
+     * consume(i, value) strictly in index order. Work proceeds chunk by
+     * chunk — each chunk's produce() calls run in parallel into a
+     * buffer, then the buffer is drained serially on the calling thread
+     * — so peak memory is one chunk of R, independent of `count`, and
+     * the consume order (hence any accumulator) is byte-identical to
+     * the serial loop for any job count, provided produce(i) depends
+     * only on i. This is what lets campaign drivers tally millions of
+     * runs without ever materializing a flat outcome vector.
+     * `chunk` == 0 picks a size that keeps every worker busy while
+     * bounding the buffer (jobs x 64, at least 1024).
+     */
+    template <typename R, typename Produce, typename Consume>
+    void
+    reduceChunked(size_t count, Produce produce, Consume consume,
+                  size_t chunk = 0) const
+    {
+        if (chunk == 0)
+            chunk = std::max<size_t>(size_t{jobs_} * 64, 1024);
+        std::vector<R> buf;
+        for (size_t base = 0; base < count; base += chunk) {
+            const size_t n = std::min(chunk, count - base);
+            buf.resize(n);
+            run(n, [&](size_t i) { buf[i] = produce(base + i); });
+            for (size_t i = 0; i < n; ++i)
+                consume(base + i, buf[i]);
+        }
     }
 
   private:

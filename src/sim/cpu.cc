@@ -172,6 +172,8 @@ Cpu::runLoop(uint64_t pause_at)
 {
     auto finish = [&](ExecResult &result) -> ExecResult & {
         stats_.memory = memory_.stats();
+        stats_.sbBlocksFormed = dcache_.blocksFormed();
+        stats_.sbBlocksDemoted = dcache_.blocksDemoted();
         result.instructions = stats_.instructions;
         result.cycles = stats_.cycles;
         return result;
@@ -722,6 +724,11 @@ struct OpTally
         ++counts_[static_cast<unsigned>(op) & 127u]; // 7-bit encodings
     }
 
+    void add(isa::Opcode op, uint64_t n)
+    {
+        counts_[static_cast<unsigned>(op) & 127u] += n;
+    }
+
   private:
     SimStats &stats_;
     std::array<uint64_t, 128> counts_{};
@@ -762,6 +769,8 @@ Cpu::tryFuse(DecodedOp &a, uint32_t a_pc)
     const DecodedOp *b = a.fall;
     if (b == nullptr || !a.valid() || !b->valid())
         return;
+    if (a.dcode >= DispSuperblock)
+        return; // compiled or formation-pending block head wins
     const bool a_alu = a.tag <= ExecTag::Sra;
     const bool b_alu = b->tag <= ExecTag::Sra;
     FuseKind kind;
@@ -798,6 +807,215 @@ Cpu::tryFuse(DecodedOp &a, uint32_t a_pc)
     a.cycles2 = b->cycles;
     a.fuseVal = fuse_val;
     a.dcode = dcode;
+}
+
+// ---------------------------------------------------------------------
+// Superblock engine.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** The dispatch code a failed block head falls back to. */
+uint8_t
+plainOrPairDcode(const DecodedOp &op)
+{
+    switch (op.fuse) {
+      case FuseKind::AluBranch: return DispAluBranch;
+      case FuseKind::LdhiImm:   return DispLdhiImm;
+      case FuseKind::LoadUse:   return DispLoadUse;
+      case FuseKind::None:      break;
+    }
+    return static_cast<uint8_t>(op.tag);
+}
+
+} // namespace
+
+namespace {
+
+/** The pre-resolved micro-step for a cached record. The physical
+ *  indices are left to bakeSbPhys — the masks and the folded immediate
+ *  depend only on the instruction and never change. */
+SbStep
+makeSbStep(const DecodedOp &slot)
+{
+    SbStep st;
+    st.inst = slot.inst;
+    st.tag = slot.tag;
+    st.cls = slot.opClass;
+    st.nop = slot.nop;
+    st.cycles = slot.cycles;
+    st.mask1 = st.inst.rs1 != isa::ZeroReg ? ~uint32_t{0} : 0;
+    if (st.tag == ExecTag::Ldhi) {
+        st.immOr = static_cast<uint32_t>(st.inst.imm19) << 13;
+    } else if (st.tag == ExecTag::Jmpr) {
+        st.immOr = static_cast<uint32_t>(st.inst.imm19);
+    } else if (st.inst.imm) {
+        st.immOr = static_cast<uint32_t>(st.inst.simm13);
+    } else {
+        st.mask2 = st.inst.rs2 != isa::ZeroReg ? ~uint32_t{0} : 0;
+    }
+    // rd is an operand for every value-producing tag and the stored
+    // value for stores; for jumps the field encodes the condition.
+    if (st.tag != ExecTag::Jmp && st.tag != ExecTag::Jmpr)
+        st.maskd = st.inst.rd != isa::ZeroReg ? ~uint32_t{0} : 0;
+    st.code = st.tag <= ExecTag::Sra && st.inst.scc
+                  ? SbSccAluCode
+                  : static_cast<uint8_t>(st.tag);
+    return st;
+}
+
+} // namespace
+
+/**
+ * (Re)resolve every step's physical register indices for the current
+ * window. Formation bakes once; a later dispatch under a different
+ * window re-bakes in place — three masked stores per step, so the cost
+ * stays proportional to block length even when recursion alternates
+ * windows every visit.
+ */
+void
+Cpu::bakeSbPhys(SuperblockRecord &sb)
+{
+    const uint16_t *const wm = wmap_;
+    for (SbStep &st : sb.steps) {
+        if (st.mask1 != 0)
+            st.phys1 = wm[st.inst.rs1];
+        if (st.mask2 != 0)
+            st.phys2 = wm[st.inst.rs2];
+        if (st.maskd != 0)
+            st.physd = wm[st.inst.rd];
+    }
+    sb.bakedCwp = cwp_;
+}
+
+/**
+ * Compile the superblock headed by `head`. The walk decodes forward
+ * from the head through the predecode cache; unseen words are decoded
+ * ephemerally from memory via peek32 — NOT inserted into the cache.
+ * Speculative inserts would widen the write-filter band to whatever
+ * data happens to follow the code (decoding garbage past a function's
+ * end as "instructions"), making every data store pay the slot
+ * invalidation path; the block embeds its own copies of the words, and
+ * onMemoryWrite covers the block's byte range independently of the
+ * page band. Interior steps run to the first block terminator, an
+ * undecodable word, the address limit, an address-space wrap or
+ * MaxSuperblockLen; a plain-jump terminator is swallowed along with
+ * its delay slot when that slot is itself interior-eligible.
+ */
+void
+Cpu::formSuperblock(DecodedOp &head, uint32_t head_pc)
+{
+    // A block must beat what it replaces: two plain dispatches, or a
+    // pair dispatch plus one when the fuser is running.
+    const uint32_t min_len = options_.fuse ? 3 : 2;
+
+    // Cached-or-decoded record at addr into `out`; false where an
+    // organic fetch would fault (the walk must stop so execution
+    // faults at the exact per-instruction point).
+    auto fetch_slot = [this](uint32_t addr, DecodedOp &out) -> bool {
+        const DecodedOp *slot = dcache_.lookup(addr);
+        if (slot != nullptr) {
+            out = *slot;
+            return true;
+        }
+        if (options_.memLimit != 0 &&
+            (options_.memLimit < isa::InstBytes ||
+             addr > options_.memLimit - isa::InstBytes))
+            return false;
+        const isa::DecodeResult dec = isa::decode(memory_.peek32(addr));
+        if (!dec.ok)
+            return false;
+        out = makeDecodedOp(dec.inst);
+        out.cycles = options_.timing.cyclesFor(out.opClass);
+        return true;
+    };
+
+    std::vector<SbStep> steps;
+    steps.reserve(MaxSuperblockLen);
+    bool has_term = false;
+    uint32_t addr = head_pc;
+    DecodedOp cur;
+    while (steps.size() + 2 <= MaxSuperblockLen) {
+        if (!fetch_slot(addr, cur))
+            break;
+        const uint32_t next = addr + isa::InstBytes;
+        if (sbInteriorEligible(cur.tag)) {
+            steps.push_back(makeSbStep(cur));
+            if (next <= addr)
+                break; // wrapped around the address space
+            addr = next;
+            continue;
+        }
+        if (sbTermEligible(cur.tag) && next > addr) {
+            DecodedOp delay;
+            if (fetch_slot(next, delay) &&
+                sbInteriorEligible(delay.tag)) {
+                steps.push_back(makeSbStep(cur));
+                steps.push_back(makeSbStep(delay));
+                has_term = true;
+            }
+        }
+        break;
+    }
+
+    if (steps.size() < min_len) {
+        head.dcode = plainOrPairDcode(head);
+        head.sbReject = true;
+        return;
+    }
+
+    SuperblockRecord *sb = dcache_.newBlock();
+    sb->headPc = head_pc;
+    sb->count = static_cast<uint32_t>(steps.size());
+    sb->hasTerm = has_term;
+    for (const SbStep &st : steps) {
+        sb->cycles += st.cycles;
+        if (st.nop)
+            ++sb->nops;
+        const uint8_t cls = static_cast<uint8_t>(st.cls);
+        unsigned i = 0;
+        for (; i < sb->nClasses; ++i) {
+            if (sb->classDelta[i].first == cls) {
+                ++sb->classDelta[i].second;
+                break;
+            }
+        }
+        if (i == sb->nClasses)
+            sb->classDelta[sb->nClasses++] = {cls, 1};
+        const uint8_t op = static_cast<uint8_t>(st.inst.op);
+        for (i = 0; i < sb->nOps; ++i) {
+            if (sb->opCounts[i].first == op) {
+                ++sb->opCounts[i].second;
+                break;
+            }
+        }
+        if (i == sb->nOps)
+            sb->opCounts[sb->nOps++] = {op, 1};
+    }
+    sb->steps = std::move(steps);
+    bakeSbPhys(*sb);
+    dcache_.registerBlock(sb);
+    head.sb = sb;
+    head.dcode = DispSuperblock;
+}
+
+void
+Cpu::commitSbPrefix(const SuperblockRecord &sb, uint32_t head,
+                    uint32_t n)
+{
+    for (uint32_t i = 0; i < n; ++i) {
+        const SbStep &st = sb.steps[i];
+        const uint32_t st_pc = head + i * isa::InstBytes;
+        pcRing_[pcRingPos_] = st_pc;
+        pcRingPos_ = (pcRingPos_ + 1) % PcRingSize;
+        ++pcRingCount_;
+        ++stats_.instructions;
+        ++stats_.perOpcode[st.inst.op];
+        stats_.countClass(st.cls);
+        stats_.cycles += st.cycles;
+        if (st.nop)
+            ++stats_.nopsExecuted;
+    }
 }
 
 #if defined(__GNUC__) || defined(__clang__)
@@ -885,6 +1103,7 @@ Cpu::threadedBatch(uint64_t stop_at)
         &&do_ldhi, &&do_gtlpc, &&do_getpsw, &&do_putpsw,
         &&do_invalid,
         &&do_alubranch, &&do_ldhiimm, &&do_loaduse,
+        &&do_superblock, &&do_sbform,
     };
 #else
     uint8_t dcode = 0;
@@ -894,11 +1113,61 @@ Cpu::threadedBatch(uint64_t stop_at)
     const uint64_t watchdog = options_.watchdogCycles;
     const bool halt_on_zero = options_.haltOnZeroTarget;
     const bool fuse = options_.fuse;
+    const bool sb_on = options_.superblock;
     DecodedOp *rec = nullptr;  //!< record about to dispatch
     DecodedOp *prev = nullptr; //!< last dispatched record (successor binding)
     uint32_t prev_pc = 0;
     uint32_t inst_pc = 0;
     uint32_t pc0 = 0;
+
+    // Mark a block-head candidate: a record entered by non-sequential
+    // control flow (batch entry, a taken transfer's target, the
+    // fall-through past a transfer). The candidate compiles lazily on
+    // its next dispatch; ineligible heads and already-compiled blocks
+    // are left alone.
+    auto mark_sb_candidate = [sb_on](DecodedOp &r) {
+        if (sb_on && r.dcode != DispSuperblock && !r.sbReject &&
+            sbHeadEligible(r.tag))
+            r.dcode = DispSbForm;
+    };
+
+    // Commit `its` completed executions of a block (the hot self-loop
+    // dispatches a backward-jumping block many times before a single
+    // commit): every per-instruction stat scaled by the iteration
+    // count, and the PC ring advanced exactly as the per-step engine
+    // would have — only the last PcRingSize entries of the repeating
+    // [bhead, bhead + count·4) stream are materialized.
+    auto commit_sb_iters = [&](const SuperblockRecord &sb, uint32_t bhead,
+                               uint64_t its, uint64_t taken_its) {
+        const uint64_t n = its * sb.count;
+        stats_.instructions += n;
+        stats_.cycles += its * sb.cycles;
+        for (unsigned c = 0; c < sb.nClasses; ++c)
+            stats_.perClass[sb.classDelta[c].first] +=
+                its * sb.classDelta[c].second;
+        for (unsigned c = 0; c < sb.nOps; ++c)
+            tally.add(static_cast<isa::Opcode>(sb.opCounts[c].first),
+                      its * sb.opCounts[c].second);
+        stats_.nopsExecuted += its * sb.nops;
+        stats_.sbDispatches += its;
+        stats_.sbInstructions += n;
+        if (sb.hasTerm) {
+            stats_.branches += its;
+            stats_.branchesTaken += taken_its;
+        }
+        const uint64_t m = n < PcRingSize ? n : PcRingSize;
+        unsigned pos =
+            static_cast<unsigned>((pcRingPos_ + (n - m)) % PcRingSize);
+        uint32_t idx = static_cast<uint32_t>((n - m) % sb.count);
+        for (uint64_t k = 0; k < m; ++k) {
+            pcRing_[pos] = bhead + idx * isa::InstBytes;
+            pos = (pos + 1) % PcRingSize;
+            if (++idx == sb.count)
+                idx = 0;
+        }
+        pcRingPos_ = pos;
+        pcRingCount_ += n;
+    };
 
 gate:
     // The batch boundary conditions the per-step outer loop checks
@@ -936,10 +1205,15 @@ gate:
                 prev->fall = rec;
                 if (fuse)
                     tryFuse(*prev, prev_pc);
+                if (isTransferTag(prev->tag))
+                    mark_sb_candidate(*rec); // untaken-transfer fall-through
             } else {
                 prev->jt = rec;
                 prev->jtPc = pc_;
+                mark_sb_candidate(*rec); // taken-transfer target
             }
+        } else {
+            mark_sb_candidate(*rec); // batch entry
         }
     } else {
         memory_.countInstFetches(1);
@@ -977,6 +1251,8 @@ dispatch_switch:
       case 32: goto do_alubranch;
       case 33: goto do_ldhiimm;
       case 34: goto do_loaduse;
+      case 35: goto do_superblock;
+      case 36: goto do_sbform;
       default: goto do_invalid;
     }
 #endif
@@ -1273,6 +1549,479 @@ do_loaduse: {
     rec = prev;
     inst_pc = prev_pc;
     RISC1_CHASE();
+}
+
+    // Superblocks: one dispatch executes a whole straight-line block
+    // of pre-resolved micro-steps, then commits the per-block stat
+    // deltas in a single epilogue. The prologue demotes this visit to
+    // the plain head instruction when the head is a delay slot or the
+    // whole block would cross a pause boundary (mirroring the pair
+    // handlers). A block whose swallowed terminator jumps back to its
+    // own head re-executes in place (the hot self-loop) and commits
+    // all iterations at once; a block whose exit lands on another
+    // compiled block chains straight into it, skipping the gate —
+    // sound because interrupts and istream corruption are only armed
+    // between run() slices, never mid-batch. A guest fault or a
+    // self-modifying store inside the block reconstructs the exact
+    // per-step machine state from the steps. The cycle watchdog stays
+    // batch-checked, so a block (and the self-loop, whose iteration
+    // budget folds the watchdog in) may overrun it by up to one
+    // block's worth of instructions (documented in
+    // CpuOptions::superblock).
+
+do_superblock: {
+    SuperblockRecord *const sbr = rec->sb;
+    if (npc_ != pc_ + isa::InstBytes || sbr == nullptr ||
+        stats_.instructions + sbr->count > stop_at)
+        RISC1_DISPATCH(static_cast<uint8_t>(rec->tag));
+    DecodedOp *const head_rec = rec;
+    const uint32_t head = inst_pc;
+    const uint32_t count = sbr->count;
+    if (sbr->bakedCwp != cwp_)
+        bakeSbPhys(*sbr); // window moved since formation: re-resolve
+    const SbStep *const steps = sbr->steps.data();
+    bool t_taken = false;  // swallowed terminator: branch outcome
+    uint32_t t_target = 0; // ... and its (pre-delay-slot) target
+    uint64_t iters = 0;    // completed in-place executions
+    uint64_t taken_cnt = 0;
+    uint64_t max_iters = 0; // 0 = budget not computed yet
+    uint32_t done = 0;
+#ifdef RISC1_COMPUTED_GOTO
+    // Step handlers indexed by SbStep::code (ExecTag order, then the
+    // generic flag-producing ALU handler). Call/window/PSW tags can
+    // never be baked into a step and land on the panic handler.
+    static const void *const kSbStep[NumSbStepCodes] = {
+        &&sb_s_add, &&sb_s_addc, &&sb_s_sub, &&sb_s_subc, &&sb_s_subr,
+        &&sb_s_subcr, &&sb_s_and, &&sb_s_or, &&sb_s_xor, &&sb_s_sll,
+        &&sb_s_srl, &&sb_s_sra,
+        &&sb_s_ldl, &&sb_s_ldsu, &&sb_s_ldss, &&sb_s_ldbu, &&sb_s_ldbs,
+        &&sb_s_stl, &&sb_s_sts, &&sb_s_stb,
+        &&sb_s_jmp, &&sb_s_jmpr, &&sb_s_bad, &&sb_s_bad, &&sb_s_bad,
+        &&sb_s_bad, &&sb_s_bad,
+        &&sb_s_ldhi, &&sb_s_gtlpc, &&sb_s_getpsw, &&sb_s_bad,
+        &&sb_s_bad,
+        &&sb_s_alu_scc,
+    };
+#endif
+    try {
+    sb_again:
+#ifdef RISC1_COMPUTED_GOTO
+        // Direct-threaded step execution: every handler ends with its
+        // own indirect jump, so the predictor learns the block's fixed
+        // step sequence per site — a shared-site switch mispredicts on
+        // nearly every step of a mixed-tag block, which costs more
+        // than the gate and bookkeeping the block dispatch saves.
+        done = 0;
+        goto *kSbStep[steps[0].code];
+
+#define RISC1_SB_NEXT()                                                 \
+  do {                                                                  \
+      if (++done == count)                                              \
+          goto sb_pass_done;                                            \
+      goto *kSbStep[steps[done].code];                                  \
+  } while (0)
+
+// Branchless baked operand fetch (see SbStep).
+#define RISC1_SB_OPERANDS()                                             \
+  const SbStep &st = steps[done];                                       \
+  const uint32_t a = regs_.readPhys(st.phys1) & st.mask1;               \
+  const uint32_t b = (regs_.readPhys(st.phys2) & st.mask2) | st.immOr
+
+// Flag-clearing ALU step: value only, no AluOut, no scc branch.
+#define RISC1_SB_ALU_H(label, expr)                                     \
+  label: {                                                              \
+      RISC1_SB_OPERANDS();                                              \
+      if (st.maskd != 0)                                                \
+          regs_.writePhys(st.physd, (expr));                            \
+      RISC1_SB_NEXT();                                                  \
+  }
+
+#define RISC1_SB_LOAD_H(label, expr)                                    \
+  label: {                                                              \
+      RISC1_SB_OPERANDS();                                              \
+      const uint32_t v = (expr);                                        \
+      if (st.maskd != 0)                                                \
+          regs_.writePhys(st.physd, v);                                 \
+      RISC1_SB_NEXT();                                                  \
+  }
+
+// A store into this very block's words demotes the record; the
+// unexecuted tail is stale, so bail to the slow commit. A store as
+// the final step has no tail — the epilogue stands (and the
+// self-loop re-checks `live` before re-entering).
+#define RISC1_SB_STORE_H(label, stmt)                                   \
+  label: {                                                              \
+      RISC1_SB_OPERANDS();                                              \
+      const uint32_t v = regs_.readPhys(st.physd) & st.maskd;           \
+      stmt;                                                             \
+      if (done + 1 < count && !sbr->live)                               \
+          goto sb_text_store;                                           \
+      RISC1_SB_NEXT();                                                  \
+  }
+
+        RISC1_SB_ALU_H(sb_s_add, a + b)
+        RISC1_SB_ALU_H(sb_s_addc, a + b + (flags_.c ? 1u : 0u))
+        RISC1_SB_ALU_H(sb_s_sub, a - b)
+        RISC1_SB_ALU_H(sb_s_subc, a + ~b + (flags_.c ? 1u : 0u))
+        RISC1_SB_ALU_H(sb_s_subr, b - a)
+        RISC1_SB_ALU_H(sb_s_subcr, b + ~a + (flags_.c ? 1u : 0u))
+        RISC1_SB_ALU_H(sb_s_and, a & b)
+        RISC1_SB_ALU_H(sb_s_or, a | b)
+        RISC1_SB_ALU_H(sb_s_xor, a ^ b)
+        RISC1_SB_ALU_H(sb_s_sll, a << (b & 31))
+        RISC1_SB_ALU_H(sb_s_srl, a >> (b & 31))
+        RISC1_SB_ALU_H(sb_s_sra,
+                       static_cast<uint32_t>(static_cast<int32_t>(a) >>
+                                             (b & 31)))
+
+    sb_s_alu_scc: {
+        RISC1_SB_OPERANDS();
+        const AluOut out = execAlu(st.inst, a, b);
+        applyScc(st.inst, out);
+        if (st.maskd != 0)
+            regs_.writePhys(st.physd, out.value);
+        RISC1_SB_NEXT();
+    }
+
+        RISC1_SB_LOAD_H(sb_s_ldl, memory_.read32(a + b))
+        RISC1_SB_LOAD_H(sb_s_ldsu, memory_.read16(a + b))
+        RISC1_SB_LOAD_H(sb_s_ldss,
+                        static_cast<uint32_t>(static_cast<int32_t>(
+                            static_cast<int16_t>(memory_.read16(a + b)))))
+        RISC1_SB_LOAD_H(sb_s_ldbu, memory_.read8(a + b))
+        RISC1_SB_LOAD_H(sb_s_ldbs,
+                        static_cast<uint32_t>(static_cast<int32_t>(
+                            static_cast<int8_t>(memory_.read8(a + b)))))
+
+        RISC1_SB_STORE_H(sb_s_stl, memory_.write32(a + b, v))
+        RISC1_SB_STORE_H(sb_s_sts,
+                         memory_.write16(a + b,
+                                         static_cast<uint16_t>(v)))
+        RISC1_SB_STORE_H(sb_s_stb,
+                         memory_.write8(a + b, static_cast<uint8_t>(v)))
+
+    sb_s_ldhi: { // the baked immOr is the shifted constant
+        const SbStep &st = steps[done];
+        if (st.maskd != 0)
+            regs_.writePhys(st.physd, st.immOr);
+        RISC1_SB_NEXT();
+    }
+
+    sb_s_gtlpc: {
+        // In-place iterations after the first see the previous
+        // iteration's delay slot as the last retired PC.
+        const SbStep &st = steps[done];
+        const uint32_t v = done != 0
+                               ? head + (done - 1) * isa::InstBytes
+                           : iters != 0
+                               ? head + (count - 1) * isa::InstBytes
+                               : lastPc_;
+        if (st.maskd != 0)
+            regs_.writePhys(st.physd, v);
+        RISC1_SB_NEXT();
+    }
+
+    sb_s_getpsw: {
+        const SbStep &st = steps[done];
+        uint32_t v = 0;
+        v |= flags_.c ? 1u : 0;
+        v |= flags_.v ? 2u : 0;
+        v |= flags_.n ? 4u : 0;
+        v |= flags_.z ? 8u : 0;
+        v |= ie_ ? 16u : 0;
+        v |= static_cast<uint32_t>(cwp_) << 8;
+        if (st.maskd != 0)
+            regs_.writePhys(st.physd, v);
+        RISC1_SB_NEXT();
+    }
+
+    sb_s_jmp: {
+        // Swallowed terminator (next step is its delay slot): latch
+        // the outcome, apply it after the delay step.
+        RISC1_SB_OPERANDS();
+        t_target = a + b;
+        t_taken = isa::condHolds(st.inst.cond(), flags_);
+        RISC1_SB_NEXT();
+    }
+
+    sb_s_jmpr: {
+        const SbStep &st = steps[done];
+        t_target = head + done * isa::InstBytes +
+                   static_cast<uint32_t>(st.immOr);
+        t_taken = isa::condHolds(st.inst.cond(), flags_);
+        RISC1_SB_NEXT();
+    }
+
+    sb_s_bad:
+        panic("superblock: ineligible step tag %u at 0x%08x",
+              static_cast<unsigned>(steps[done].tag),
+              head + done * isa::InstBytes);
+
+#undef RISC1_SB_STORE_H
+#undef RISC1_SB_LOAD_H
+#undef RISC1_SB_ALU_H
+#undef RISC1_SB_OPERANDS
+#undef RISC1_SB_NEXT
+
+    sb_pass_done:;
+#else
+        for (done = 0; done < count; ++done) {
+            const SbStep &st = steps[done];
+            // Branchless baked operand fetch (see SbStep).
+            const uint32_t a = regs_.readPhys(st.phys1) & st.mask1;
+            const uint32_t b =
+                (regs_.readPhys(st.phys2) & st.mask2) | st.immOr;
+            uint32_t v;
+            switch (st.tag) {
+// Specialized ALU micro-steps: the dominant scc-clear form computes
+// just the value; the scc form takes the full flag-producing path.
+#define RISC1_SB_ALU(tagname, expr)                                     \
+  case ExecTag::tagname: {                                              \
+      if (st.inst.scc) {                                                \
+          const AluOut out = execAlu(st.inst, a, b);                    \
+          applyScc(st.inst, out);                                       \
+          v = out.value;                                                \
+      } else {                                                          \
+          v = (expr);                                                   \
+      }                                                                 \
+      break;                                                            \
+  }
+              RISC1_SB_ALU(Add, a + b)
+              RISC1_SB_ALU(Addc, a + b + (flags_.c ? 1u : 0u))
+              RISC1_SB_ALU(Sub, a - b)
+              RISC1_SB_ALU(Subc, a + ~b + (flags_.c ? 1u : 0u))
+              RISC1_SB_ALU(Subr, b - a)
+              RISC1_SB_ALU(Subcr, b + ~a + (flags_.c ? 1u : 0u))
+              RISC1_SB_ALU(And, a & b)
+              RISC1_SB_ALU(Or, a | b)
+              RISC1_SB_ALU(Xor, a ^ b)
+              RISC1_SB_ALU(Sll, a << (b & 31))
+              RISC1_SB_ALU(Srl, a >> (b & 31))
+              RISC1_SB_ALU(Sra, static_cast<uint32_t>(
+                                    static_cast<int32_t>(a) >> (b & 31)))
+#undef RISC1_SB_ALU
+              case ExecTag::Ldl:
+                v = memory_.read32(a + b);
+                break;
+              case ExecTag::Ldsu:
+                v = memory_.read16(a + b);
+                break;
+              case ExecTag::Ldss:
+                v = static_cast<uint32_t>(static_cast<int32_t>(
+                    static_cast<int16_t>(memory_.read16(a + b))));
+                break;
+              case ExecTag::Ldbu:
+                v = memory_.read8(a + b);
+                break;
+              case ExecTag::Ldbs:
+                v = static_cast<uint32_t>(static_cast<int32_t>(
+                    static_cast<int8_t>(memory_.read8(a + b))));
+                break;
+              case ExecTag::Stl:
+              case ExecTag::Sts:
+              case ExecTag::Stb: {
+                const uint32_t val =
+                    regs_.readPhys(st.physd) & st.maskd;
+                if (st.tag == ExecTag::Stl)
+                    memory_.write32(a + b, val);
+                else if (st.tag == ExecTag::Sts)
+                    memory_.write16(a + b,
+                                    static_cast<uint16_t>(val));
+                else
+                    memory_.write8(a + b, static_cast<uint8_t>(val));
+                // A store into this very block's words demotes the
+                // record; the unexecuted tail is stale. A store as the
+                // final step has no tail — the epilogue stands (and
+                // the self-loop re-checks `live` before re-entering).
+                if (done + 1 < count && !sbr->live)
+                    goto sb_text_store;
+                continue;
+              }
+              case ExecTag::Ldhi:
+                v = b; // the baked immOr is the shifted constant
+                break;
+              case ExecTag::Gtlpc:
+                // In-place iterations after the first see the previous
+                // iteration's delay slot as the last retired PC.
+                v = done != 0 ? head + (done - 1) * isa::InstBytes
+                    : iters != 0
+                        ? head + (count - 1) * isa::InstBytes
+                        : lastPc_;
+                break;
+              case ExecTag::Getpsw:
+                v = 0;
+                v |= flags_.c ? 1u : 0;
+                v |= flags_.v ? 2u : 0;
+                v |= flags_.n ? 4u : 0;
+                v |= flags_.z ? 8u : 0;
+                v |= ie_ ? 16u : 0;
+                v |= static_cast<uint32_t>(cwp_) << 8;
+                break;
+              case ExecTag::Jmp:
+                // Swallowed terminator (next step is its delay slot):
+                // latch the outcome, apply it after the delay step.
+                t_target = a + b;
+                t_taken = isa::condHolds(st.inst.cond(), flags_);
+                continue;
+              case ExecTag::Jmpr:
+                t_target = head + done * isa::InstBytes + b;
+                t_taken = isa::condHolds(st.inst.cond(), flags_);
+                continue;
+              default:
+                panic("superblock: ineligible step tag %u at 0x%08x",
+                      static_cast<unsigned>(st.tag),
+                      head + done * isa::InstBytes);
+            }
+            if (st.maskd != 0)
+                regs_.writePhys(st.physd, v);
+        }
+#endif
+        ++iters;
+        if (t_taken) {
+            ++taken_cnt;
+            if (t_target == head && sbr->live &&
+                !(halt_on_zero && head == 0)) {
+                // Hot self-loop: the terminator jumps back to this
+                // very head. Re-execute in place and commit every
+                // iteration at once — bounded so the batch stop and
+                // the cycle watchdog keep their per-block precision.
+                if (max_iters == 0) {
+                    max_iters =
+                        (stop_at - stats_.instructions) / count;
+                    if (watchdog != 0 && sbr->cycles != 0) {
+                        const uint64_t wd_iters =
+                            (watchdog - stats_.cycles) / sbr->cycles +
+                            1;
+                        if (wd_iters < max_iters)
+                            max_iters = wd_iters;
+                    }
+                }
+                if (iters < max_iters)
+                    goto sb_again;
+            }
+        }
+    } catch (const SimFault &) {
+        // Step `done` of iteration `iters` faulted before any of its
+        // state was written: commit the completed iterations, then
+        // the retired prefix [0, done) of the current one, rebuilding
+        // the exact per-step machine state, and rethrow for runLoop /
+        // trap delivery. The faulting instruction counts its fetch but
+        // never retires, exactly as in the per-step engine (the gate
+        // counted the head's fetch once). Only the delay slot can
+        // fault after a swallowed jump (jumps themselves never fault),
+        // so npc_ holds the latched outcome exactly when
+        // done == count - 1 of a terminated block.
+        if (iters != 0)
+            commit_sb_iters(*sbr, head, iters, taken_cnt);
+        commitSbPrefix(*sbr, head, done);
+        if (sbr->hasTerm && done == count - 1) {
+            ++stats_.branches;
+            if (t_taken)
+                ++stats_.branchesTaken;
+        }
+        memory_.countInstFetches(iters * count + done);
+        if (done != 0)
+            lastPc_ = head + (done - 1) * isa::InstBytes;
+        else if (iters != 0)
+            lastPc_ = head + (count - 1) * isa::InstBytes;
+        pc_ = head + done * isa::InstBytes;
+        npc_ = sbr->hasTerm && done == count - 1 && t_taken
+                   ? t_target
+                   : pc_ + isa::InstBytes;
+        throw;
+    }
+    // Whole-block epilogue: the precomputed per-block deltas, scaled
+    // by the self-loop iteration count (1 for a straight-through
+    // dispatch).
+    commit_sb_iters(*sbr, head, iters, taken_cnt);
+    memory_.countInstFetches(iters * count - 1);
+    lastPc_ = head + (count - 1) * isa::InstBytes;
+    pc0 = (sbr->hasTerm && t_taken) ? t_target
+                                    : head + count * isa::InstBytes;
+    pc_ = pc0;
+    npc_ = pc0 + isa::InstBytes;
+    if (halt_on_zero && pc0 == 0) {
+        halted_ = true; // jump to zero: the halt convention
+        return;
+    }
+    // Two-way one-entry exit cache (taken / sequential direction);
+    // gate re-validates the record, so a stale pointer self-heals.
+    prev = nullptr;
+    if (sbr->hasTerm && t_taken) {
+        if (sbr->exitTaken != nullptr && sbr->exitTakenPc == pc0) {
+            rec = sbr->exitTaken;
+        } else {
+            rec = dcache_.lookupMut(pc0);
+            sbr->exitTaken = rec;
+            sbr->exitTakenPc = pc0;
+            if (rec != nullptr && rec->valid())
+                mark_sb_candidate(*rec); // jump target: a block head
+        }
+    } else {
+        if (sbr->exitFall != nullptr && sbr->exitFallPc == pc0) {
+            rec = sbr->exitFall;
+        } else {
+            rec = dcache_.lookupMut(pc0);
+            sbr->exitFall = rec;
+            sbr->exitFallPc = pc0;
+            if (sbr->hasTerm && rec != nullptr && rec->valid())
+                mark_sb_candidate(*rec); // fall-through past a jump
+        }
+    }
+    if (rec != nullptr && rec->dcode == DispSuperblock &&
+        stats_.instructions < stop_at &&
+        (watchdog == 0 || stats_.cycles <= watchdog)) {
+        // Block chaining: dispatch the next compiled block directly.
+        // The gate's rail conditions can't change mid-batch (halted
+        // and interrupts were checked before this block; istream
+        // corruption arms only between runs), so only the two budget
+        // checks above are live; account the head fetch the gate
+        // would have counted.
+        memory_.countInstFetches(1);
+        ++stats_.sbChained;
+        sbr->unchained = 0;
+        inst_pc = pc_;
+        prev_pc = pc_;
+        goto do_superblock;
+    }
+    // Adaptive retirement: a short block that keeps exiting without
+    // chaining or self-looping is not earning its epilogue (recursive
+    // code is full of two-step fragments between call boundaries);
+    // send its head back to plain dispatch for good.
+    if (count <= 3 && iters == 1 &&
+        ++sbr->unchained > SbUnchainedLimit) {
+        head_rec->dcode = plainOrPairDcode(*head_rec);
+        head_rec->sbReject = true;
+    }
+    goto gate;
+
+sb_text_store:
+    // The store at step `done` overwrote a word of this very block
+    // (demoting the record — its storage stays allocated): steps
+    // [0, done] of the current iteration retired, but the
+    // not-yet-executed tail is stale. Commit the completed iterations
+    // and the retired prefix, then re-enter the gate for a fresh
+    // lookup at the next PC. The bailing store is never the final
+    // step, so the next PC is always sequential.
+    ++done;
+    if (iters != 0)
+        commit_sb_iters(*sbr, head, iters, taken_cnt);
+    commitSbPrefix(*sbr, head, done);
+    memory_.countInstFetches(iters * count + done - 1);
+    lastPc_ = head + (done - 1) * isa::InstBytes;
+    pc_ = head + done * isa::InstBytes;
+    npc_ = pc_ + isa::InstBytes;
+    rec = nullptr;
+    prev = nullptr;
+    goto gate;
+}
+
+do_sbform: {
+    // Formation-pending head: compile the block (or restore the pair /
+    // plain code when it comes out too short), then dispatch this
+    // visit through the resulting code.
+    formSuperblock(*rec, inst_pc);
+    RISC1_DISPATCH(rec->dcode);
 }
 
 do_invalid:

@@ -124,6 +124,22 @@ struct CpuOptions
      * Only consulted when the threaded engine runs.
      */
     bool fuse = true;
+    /**
+     * Let the threaded engine compile whole basic blocks into
+     * superblock records: straight-line runs of predecoded
+     * instructions execute as one dispatch with pre-resolved operands
+     * and a single bookkeeping epilogue. A store into any covered word
+     * demotes the block (it re-forms lazily), a window change re-bakes
+     * the physical register indices, and a fault inside a block
+     * reconstructs the exact partial state — so results
+     * (architectural state AND statistics) are identical either way,
+     * pinned by tests/test_superblock.cc. Like pair fusion, the cycle
+     * watchdog is only consulted between dispatches, so a block may
+     * retire up to MaxSuperblockLen - 1 instructions past the budget
+     * before the Watchdog stop is reported. Only consulted when the
+     * threaded engine runs.
+     */
+    bool superblock = true;
     bool trace = false;              //!< per-instruction trace
     std::ostream *traceOut = nullptr; //!< defaults to std::cerr
 };
@@ -308,6 +324,29 @@ class Cpu
 
     /** Fuse `a` (at `a_pc`) with its bound fall-through, if eligible. */
     static void tryFuse(DecodedOp &a, uint32_t a_pc);
+
+    // --- superblock engine ---
+
+    /**
+     * Compile the basic block headed by `head` (a record carrying
+     * DispSbForm): walk the straight-line predecoded records from
+     * `head_pc` to the first block terminator, decoding unseen words
+     * side-effect-free as needed, and install a SuperblockRecord
+     * behind DispSuperblock. Too-short blocks restore the head's pair
+     * or plain dispatch code instead. Leaves head.dcode != DispSbForm.
+     */
+    void formSuperblock(DecodedOp &head, uint32_t head_pc);
+
+    /** (Re)bake a block's physical register indices for cwp_. */
+    void bakeSbPhys(SuperblockRecord &sb);
+
+    /**
+     * Commit stats and the PC ring for the first `n` retired steps of
+     * a partially executed block (guest fault or self-modifying store
+     * mid-block) — the rare exact-reconstruction path.
+     */
+    void commitSbPrefix(const SuperblockRecord &sb, uint32_t head,
+                        uint32_t n);
 
     /** Shared reset tail of the load() overloads. */
     void resetRun(uint32_t entry);

@@ -62,16 +62,18 @@ DecodedCache::insert(uint32_t addr, const DecodedOp &op)
 {
     const uint32_t page = addr >> Memory::PageBits;
     auto it = lines_.find(page);
-    if (it == lines_.end()) {
-        it = lines_.emplace(page, std::make_unique<Line>(OpsPerPage))
-                 .first;
+    if (it == lines_.end())
+        it = lines_.emplace(page, std::make_unique<Line>()).first;
+    Line &line = *it->second;
+    DecodedOp &slot =
+        line.slots[(addr & (Memory::PageSize - 1)) / isa::InstBytes];
+    if (!slot.valid() && op.valid() && line.validCount++ == 0) {
+        // The line (re)joins the write-filter band.
         if (page < minPage_)
             minPage_ = page;
         if (page > maxPage_)
             maxPage_ = page;
     }
-    DecodedOp &slot =
-        (*it->second)[(addr & (Memory::PageSize - 1)) / isa::InstBytes];
     slot = op;
     return &slot;
 }
@@ -82,8 +84,8 @@ DecodedCache::defuseAt(uint32_t addr)
     auto it = lines_.find(addr >> Memory::PageBits);
     if (it == lines_.end())
         return;
-    DecodedOp &slot =
-        (*it->second)[(addr & (Memory::PageSize - 1)) / isa::InstBytes];
+    DecodedOp &slot = it->second->slots[(addr & (Memory::PageSize - 1)) /
+                                        isa::InstBytes];
     if (slot.fuse != FuseKind::None) {
         slot.fuse = FuseKind::None;
         slot.dcode = static_cast<uint8_t>(slot.tag);
@@ -91,8 +93,65 @@ DecodedCache::defuseAt(uint32_t addr)
 }
 
 void
+DecodedCache::rebuildBand()
+{
+    minPage_ = UINT32_MAX;
+    maxPage_ = 0;
+    for (const auto &[page, line] : lines_) {
+        if (line->validCount == 0)
+            continue;
+        if (page < minPage_)
+            minPage_ = page;
+        if (page > maxPage_)
+            maxPage_ = page;
+    }
+}
+
+void
+DecodedCache::demoteBlocksOver(uint32_t first, uint32_t last)
+{
+    if (blockAt_.empty() || last < blockMin_ || first > blockMax_)
+        return;
+    // Any block containing a word of [first, last] has its head within
+    // MaxSuperblockLen - 1 slots before `first`, so a bounded window
+    // scan finds every overlapping block — including the overlapping
+    // sub-blocks a jump into the middle of a block creates.
+    const uint32_t span = (MaxSuperblockLen - 1) * isa::InstBytes;
+    uint32_t head = first > span ? first - span : 0;
+    head &= ~uint32_t{isa::InstBytes - 1};
+    for (; head <= last; head += isa::InstBytes) {
+        auto it = blockAt_.find(head);
+        if (it == blockAt_.end())
+            continue;
+        SuperblockRecord *sb = it->second;
+        if (head + sb->count * isa::InstBytes <= first)
+            continue; // ends before the written range
+        // Reset the head slot to formation-pending so the block
+        // re-forms lazily on its next execution; a head slot the write
+        // itself cleared re-decodes organically instead.
+        DecodedOp *head_op = lookupMut(head);
+        if (head_op != nullptr && head_op->valid() &&
+            head_op->dcode == DispSuperblock) {
+            head_op->dcode = DispSbForm;
+            head_op->sb = nullptr;
+        }
+        sb->live = false;
+        freeBlocks_.push_back(sb);
+        blockAt_.erase(it);
+        ++sbDemoted_;
+        if (head + isa::InstBytes <= head)
+            break; // address-space wrap
+    }
+    if (blockAt_.empty()) {
+        blockMin_ = UINT32_MAX;
+        blockMax_ = 0;
+    }
+}
+
+void
 DecodedCache::invalidateSlots(uint32_t addr, unsigned bytes)
 {
+    ++writeGen_;
     // A write is at most 4 bytes, so it overlaps at most two slots
     // (possibly on different pages).
     const uint32_t first = addr & ~uint32_t{isa::InstBytes - 1};
@@ -101,14 +160,48 @@ DecodedCache::invalidateSlots(uint32_t addr, unsigned bytes)
         auto it = lines_.find(a >> Memory::PageBits);
         if (it == lines_.end())
             continue;
-        (*it->second)[(a & (Memory::PageSize - 1)) / isa::InstBytes] =
-            DecodedOp{};
+        Line &line = *it->second;
+        DecodedOp &slot =
+            line.slots[(a & (Memory::PageSize - 1)) / isa::InstBytes];
+        const bool was_valid = slot.valid();
+        slot = DecodedOp{};
+        if (was_valid && --line.validCount == 0)
+            rebuildBand();
     }
     // A fused record embeds a copy of the *next* word, so the record
     // just before the invalidated range must fall back to its plain
     // dispatch code (slots after the range hold no copies of it).
     if (first >= isa::InstBytes)
         defuseAt(first - isa::InstBytes);
+    // Superblocks embed copies of every covered word: demote the head
+    // of each overlapping block (after defuseAt so a head that is both
+    // a stale pair and a block ends up formation-pending, not plain).
+    demoteBlocksOver(first, last);
+}
+
+SuperblockRecord *
+DecodedCache::newBlock()
+{
+    if (!freeBlocks_.empty()) {
+        SuperblockRecord *sb = freeBlocks_.back();
+        freeBlocks_.pop_back();
+        *sb = SuperblockRecord{};
+        return sb;
+    }
+    blocks_.push_back(std::make_unique<SuperblockRecord>());
+    return blocks_.back().get();
+}
+
+void
+DecodedCache::registerBlock(SuperblockRecord *sb)
+{
+    blockAt_[sb->headPc] = sb;
+    if (sb->headPc < blockMin_)
+        blockMin_ = sb->headPc;
+    const uint32_t end = sb->headPc + sb->count * isa::InstBytes - 1;
+    if (end > blockMax_)
+        blockMax_ = end;
+    ++sbFormed_;
 }
 
 void
@@ -119,6 +212,13 @@ DecodedCache::invalidateAll()
     lastLine_ = nullptr;
     minPage_ = UINT32_MAX;
     maxPage_ = 0;
+    blocks_.clear();
+    blockAt_.clear();
+    freeBlocks_.clear();
+    blockMin_ = UINT32_MAX;
+    blockMax_ = 0;
+    sbFormed_ = 0;
+    sbDemoted_ = 0;
 }
 
 } // namespace risc1::sim

@@ -32,6 +32,7 @@
 
 #include "isa/instruction.hh"
 #include "sim/memory.hh"
+#include "sim/stats.hh"
 
 namespace risc1::sim {
 
@@ -55,14 +56,72 @@ constexpr unsigned NumExecTags =
 
 /**
  * Dispatch codes of the threaded engine: the plain ExecTag range
- * followed by one code per superinstruction kind. DecodedOp::dcode
- * holds the record's current code; fusing a pair upgrades the first
- * record's code, invalidating the second instruction demotes it back.
+ * followed by one code per superinstruction kind and the two
+ * superblock codes. DecodedOp::dcode holds the record's current code;
+ * fusing a pair (or compiling a basic block) upgrades the first
+ * record's code, invalidating any covered instruction demotes it back.
  */
 constexpr uint8_t DispAluBranch = NumExecTags;     //!< ALU + JMPR pair
 constexpr uint8_t DispLdhiImm = NumExecTags + 1;   //!< LDHI + ALU-imm
 constexpr uint8_t DispLoadUse = NumExecTags + 2;   //!< LDL + ALU pair
-constexpr unsigned NumDispatchCodes = NumExecTags + 3;
+/** Head of a compiled superblock (DecodedOp::sb holds the record). */
+constexpr uint8_t DispSuperblock = NumExecTags + 3;
+/** Superblock formation pending: compile on next dispatch. */
+constexpr uint8_t DispSbForm = NumExecTags + 4;
+constexpr unsigned NumDispatchCodes = NumExecTags + 5;
+
+/**
+ * Superblock step dispatch codes: the ExecTag range (where the twelve
+ * ALU tags select flag-clearing specializations), plus one generic
+ * flag-producing handler every scc-setting ALU step is baked to. Each
+ * step handler ends with its own indirect jump through this code, so
+ * the branch predictor learns a block's fixed step sequence per
+ * dispatch site instead of sharing (and thrashing) a single switch.
+ */
+constexpr uint8_t SbSccAluCode = NumExecTags;
+constexpr unsigned NumSbStepCodes = NumExecTags + 1;
+
+/**
+ * True for tags that may live in the interior of a superblock:
+ * straight-line, cwp-preserving, interrupt-state-preserving
+ * instructions. Control transfers, CALLINT/RETINT and PUTPSW (which
+ * can re-enable interrupts mid-stream) terminate a block so the
+ * per-dispatch gate keeps its exact per-instruction semantics at
+ * every point where they could matter.
+ */
+constexpr bool
+sbInteriorEligible(ExecTag tag)
+{
+    return tag <= ExecTag::Stb || tag == ExecTag::Ldhi ||
+           tag == ExecTag::Gtlpc || tag == ExecTag::Getpsw;
+}
+
+/**
+ * True for transfers a superblock may swallow as its terminator (along
+ * with their delay slot): plain jumps never trap and never touch the
+ * window, so the whole delayed-branch sequence can retire inside one
+ * dispatch. CALL/RET and the interrupt transfers spill/refill windows
+ * (trap-capable) and stay outside blocks.
+ */
+constexpr bool
+sbTermEligible(ExecTag tag)
+{
+    return tag == ExecTag::Jmp || tag == ExecTag::Jmpr;
+}
+
+/** True for tags that may head a superblock. */
+constexpr bool
+sbHeadEligible(ExecTag tag)
+{
+    return sbInteriorEligible(tag) || sbTermEligible(tag);
+}
+
+/** True for the control-transfer tags (JMP..RETINT). */
+constexpr bool
+isTransferTag(ExecTag tag)
+{
+    return tag >= ExecTag::Jmp && tag <= ExecTag::Retint;
+}
 
 /** Dispatch tag for an architected opcode. */
 ExecTag execTagFor(isa::Opcode op);
@@ -75,6 +134,8 @@ enum class FuseKind : uint8_t
     LdhiImm,   //!< LDHI + non-scc ADD/OR immediate: constant folded
     LoadUse,   //!< LDL + any ALU op (the classic load/use pair)
 };
+
+struct SuperblockRecord;
 
 /**
  * One predecoded instruction: the fully decoded fields (opcode, scc,
@@ -117,11 +178,116 @@ struct DecodedOp
     DecodedOp *jt = nullptr;   //!< slot of the last taken-transfer pc
     uint32_t jtPc = 0;         //!< pc `jt` was bound for
 
+    /** Compiled block headed here (dcode == DispSuperblock only). */
+    SuperblockRecord *sb = nullptr;
+    /** Formation at this head was tried and found not worth it; don't
+     *  mark it as a candidate again (re-walking the block on every
+     *  non-sequential entry costs an allocation per visit). A store
+     *  clearing the slot re-decodes it with a fresh verdict. */
+    bool sbReject = false;
+
     bool valid() const { return tag != ExecTag::Invalid; }
 };
 
 /** Build the predecoded record for a decoded instruction. */
 DecodedOp makeDecodedOp(const isa::Instruction &inst);
+
+/** Maximum number of instructions compiled into one superblock. */
+constexpr unsigned MaxSuperblockLen = 64;
+
+/**
+ * A short block (three steps or fewer) only pays for its epilogue when
+ * it self-loops or chains straight into another compiled block, as the
+ * fragments around a hot loop's conditional exits do. One that keeps
+ * exiting to plain dispatch — typically a fragment between two call
+ * boundaries in recursive code — costs more than it saves, so after
+ * this many consecutive unchained exits its head retires to plain
+ * dispatch for good.
+ */
+constexpr uint16_t SbUnchainedLimit = 32;
+
+/**
+ * One pre-resolved micro-step of a superblock. The hot fields bake the
+ * operand fetch down to two masked array loads and no branches:
+ *
+ *     a = phys[phys1] & mask1
+ *     b = (phys[phys2] & mask2) | immOr
+ *
+ * mask1/mask2 are all-ones for a register operand and zero for the
+ * hardwired zero register or a folded immediate (phys then points at
+ * slot 0, read and discarded — the mask keeps the read architectural
+ * even when fault injection corrupts the zero register's storage).
+ * immOr folds every immediate form: sign-extended simm13, imm19 << 13
+ * (LDHI), or the raw imm19 displacement (JMPR terminator). maskd
+ * doubles as the write-back predicate; for stores it masks the value
+ * read from rd instead.
+ *
+ * phys1/phys2/physd are physical indices under the window the block
+ * was baked for (SuperblockRecord::bakedCwp). No block-eligible tag
+ * moves the window, so they stay valid across a whole dispatch; a
+ * dispatch under a different window re-bakes them first — three
+ * stores per step, proportional to block length.
+ */
+struct SbStep
+{
+    uint16_t phys1 = 0; //!< physical index of rs1 (0 when masked)
+    uint16_t phys2 = 0; //!< physical index of rs2 (0 when masked)
+    uint16_t physd = 0; //!< physical index of rd (0 when masked)
+    uint32_t mask1 = 0; //!< all-ones iff rs1 is a live register
+    uint32_t mask2 = 0; //!< all-ones iff rs2 is a live register
+    uint32_t maskd = 0; //!< all-ones iff rd is written (read: stores)
+    uint32_t immOr = 0; //!< folded immediate, OR-ed into operand b
+    ExecTag tag = ExecTag::Invalid; //!< dispatch tag of this step
+    uint8_t code = 0; //!< step dispatch code (see SbSccAluCode)
+    isa::OpClass cls = isa::OpClass::Alu;
+    bool nop = false;
+    uint32_t cycles = 1;
+    isa::Instruction inst; //!< decoded fields (slow paths, re-baking)
+};
+
+/**
+ * One compiled superblock: a dense array of pre-resolved micro-steps
+ * from the head through the first control transfer, executed by a
+ * single dispatch with one bookkeeping epilogue. When the transfer is
+ * a plain jump (sbTermEligible) the block swallows it and its delay
+ * slot — the last two steps — and the epilogue applies the delayed
+ * branch, so a loop back-edge costs no extra gate passes. The
+ * per-block stat deltas are precomputed (sparse, inline — no pointer
+ * chase in the epilogue); a guest fault or self-modifying store inside
+ * the block reconstructs the exact partial state from `steps`.
+ *
+ * Records are owned by the DecodedCache and stay allocated until
+ * invalidateAll(): demotion only marks them dead and recycles them
+ * through a free list at the next formation, so a record can never
+ * disappear under the dispatch that is executing it.
+ */
+struct SuperblockRecord
+{
+    uint32_t headPc = 0;
+    uint32_t count = 0;   //!< number of steps (instructions retired)
+    uint64_t cycles = 0;  //!< summed cycle cost of all steps
+    uint32_t nops = 0;    //!< canonical NOPs among the steps
+    /** Last two steps are a swallowed jump + its delay slot. */
+    bool hasTerm = false;
+    bool live = true;     //!< false once demoted (awaiting reuse)
+    uint8_t bakedCwp = 0; //!< window the step phys indices are for
+    /** Consecutive exits of a short block that neither chained into
+     *  another block nor self-looped (see SbUnchainedLimit). */
+    uint16_t unchained = 0;
+    uint8_t nClasses = 0;
+    uint8_t nOps = 0;
+    /** Sparse per-class counts: (OpClass index, count). */
+    std::array<std::pair<uint8_t, uint8_t>, NumOpClasses> classDelta{};
+    /** Sparse per-opcode counts, insertion order (deterministic). */
+    std::array<std::pair<uint8_t, uint8_t>, 32> opCounts{};
+    std::vector<SbStep> steps;
+    /** One-entry exit caches: the slot last dispatched after the
+     *  block for the taken / not-taken (or sequential) direction. */
+    DecodedOp *exitTaken = nullptr;
+    uint32_t exitTakenPc = 0;
+    DecodedOp *exitFall = nullptr;
+    uint32_t exitFallPc = 0;
+};
 
 /**
  * Maps instruction addresses to DecodedOp records, one page-sized line
@@ -168,8 +334,8 @@ class DecodedCache : public Memory::WriteObserver
             lastPage_ = page;
             lastLine_ = it->second.get();
         }
-        return &(*lastLine_)[(addr & (Memory::PageSize - 1)) /
-                             isa::InstBytes];
+        return &lastLine_->slots[(addr & (Memory::PageSize - 1)) /
+                                 isa::InstBytes];
     }
 
     /**
@@ -186,16 +352,52 @@ class DecodedCache : public Memory::WriteObserver
     {
         const uint32_t first = addr >> Memory::PageBits;
         const uint32_t last = (addr + bytes - 1) >> Memory::PageBits;
-        if (first > maxPage_ || last < minPage_)
-            return; // outside every cached text page
+        if ((first > maxPage_ || last < minPage_) &&
+            (addr > blockMax_ || addr + bytes - 1 < blockMin_))
+            return; // outside cached text pages and every block
         invalidateSlots(addr, bytes);
     }
 
     /** Number of resident predecoded lines (tests). */
     size_t residentLines() const { return lines_.size(); }
 
+    /** Current write-filter band (tests): [bandMinPage, bandMaxPage]. */
+    uint32_t bandMinPage() const { return minPage_; }
+    uint32_t bandMaxPage() const { return maxPage_; }
+
+    // --- superblock records (see SuperblockRecord) -------------------
+
+    /**
+     * Generation counter bumped by every write that reached cached
+     * text (i.e. passed the band filter and invalidated slots) —
+     * a diagnostic / test hook. The superblock dispatch itself checks
+     * the finer-grained SuperblockRecord::live flag after each store,
+     * which only a write overlapping that block clears, so data stores
+     * sharing a page with text stay on the fast path.
+     */
+    uint64_t writeGen() const { return writeGen_; }
+
+    /**
+     * A fresh (or recycled demoted) SuperblockRecord, owned by the
+     * cache. The caller fills it and installs it via registerBlock().
+     */
+    SuperblockRecord *newBlock();
+
+    /** Index a filled record under its head for demotion scanning. */
+    void registerBlock(SuperblockRecord *sb);
+
+    /** Blocks compiled / demoted since the last invalidateAll(). */
+    uint64_t blocksFormed() const { return sbFormed_; }
+    uint64_t blocksDemoted() const { return sbDemoted_; }
+
   private:
-    using Line = std::vector<DecodedOp>; //!< OpsPerPage slots
+    /** One page of slots plus the count of currently valid records. */
+    struct Line
+    {
+        Line() : slots(OpsPerPage) {}
+        std::vector<DecodedOp> slots;
+        unsigned validCount = 0;
+    };
 
     /** Clear the slots overlapped by a write that passed the filter. */
     void invalidateSlots(uint32_t addr, unsigned bytes);
@@ -206,14 +408,45 @@ class DecodedCache : public Memory::WriteObserver
      */
     void defuseAt(uint32_t addr);
 
+    /** Demote every live block overlapping [first, last] (bytes). */
+    void demoteBlocksOver(uint32_t first, uint32_t last);
+
+    /**
+     * Recompute [minPage_, maxPage_] over the lines that still hold
+     * valid records. Called when a line's validCount drops to zero, so
+     * a workload whose text is progressively overwritten stops paying
+     * hash lookups for data stores. The dead line itself must stay
+     * allocated: successor pointers from other slots reference its
+     * slots by address.
+     */
+    void rebuildBand();
+
     std::unordered_map<uint32_t, std::unique_ptr<Line>> lines_;
     // One-entry accelerator: straight-line fetch stays on one page.
     uint32_t lastPage_ = UINT32_MAX;
     Line *lastLine_ = nullptr;
-    // Range filter: every cached slot lies in [minPage_, maxPage_];
-    // grown on insert, only reset by invalidateAll (conservative).
+    // Range filter: every valid slot lies in [minPage_, maxPage_];
+    // grown on insert, rebuilt when a line loses its last valid slot,
+    // reset by invalidateAll.
     uint32_t minPage_ = UINT32_MAX;
     uint32_t maxPage_ = 0;
+
+    // Superblock storage: records stay allocated until invalidateAll
+    // (address stability for the in-flight dispatch), demoted records
+    // are recycled through the free list at the next formation.
+    std::vector<std::unique_ptr<SuperblockRecord>> blocks_;
+    std::unordered_map<uint32_t, SuperblockRecord *> blockAt_;
+    std::vector<SuperblockRecord *> freeBlocks_;
+    // Byte-address range covered by live blocks: demoteBlocksOver's
+    // window scan (up to MaxSuperblockLen probes) only runs for writes
+    // intersecting it, so data stores that merely share a page with
+    // text skip it. Grown on registerBlock, reset when no block is
+    // live; never shrunk in between (stale width only costs the scan).
+    uint32_t blockMin_ = UINT32_MAX;
+    uint32_t blockMax_ = 0;
+    uint64_t writeGen_ = 0;
+    uint64_t sbFormed_ = 0;
+    uint64_t sbDemoted_ = 0;
 };
 
 } // namespace risc1::sim

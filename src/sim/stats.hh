@@ -50,6 +50,26 @@ struct SimStats
     /** Memory traffic (mirrors Memory::stats at end of run). */
     MemStats memory;
 
+    // Superblock-engine diagnostics (fusion quality, not architecture:
+    // every other field above is byte-identical across engines, these
+    // four describe how the work was dispatched). blocksFormed/Demoted
+    // mirror the DecodedCache counters at end of run.
+    uint64_t sbDispatches = 0;   //!< whole-block dispatches
+    uint64_t sbInstructions = 0; //!< instructions retired block-wise
+    uint64_t sbBlocksFormed = 0;
+    uint64_t sbBlocksDemoted = 0;
+    uint64_t sbLoopIters = 0; //!< extra in-place self-loop iterations
+    uint64_t sbChained = 0;   //!< block->block dispatches sans gate
+
+    /** Mean dynamic superblock length (0 when none dispatched). */
+    double
+    sbMeanBlockLen() const
+    {
+        return sbDispatches ? static_cast<double>(sbInstructions) /
+                                  static_cast<double>(sbDispatches)
+                            : 0.0;
+    }
+
     void
     countClass(isa::OpClass cls)
     {
