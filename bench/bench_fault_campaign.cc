@@ -1,11 +1,16 @@
 /**
  * @file
  * Experiment R1: the seeded fault-injection campaign over the whole
- * suite. Usage: bench_fault_campaign [injections] [seed] [--tally] —
- * defaults 100 and 1981; the table is bit-for-bit reproducible for a
- * fixed pair. --tally streams outcomes into fixed-size tallies (peak
- * memory independent of the injection count) instead of materializing
- * the flat outcome vector; the table is identical either way.
+ * suite. Usage: bench_fault_campaign [injections] [seed] [--tally]
+ * [--recover] [--checkpoint-interval K] — defaults 100 and 1981; the
+ * table is bit-for-bit reproducible for a fixed pair. --tally streams
+ * outcomes into fixed-size tallies (peak memory independent of the
+ * injection count) instead of materializing the flat outcome vector;
+ * the table is identical either way. --recover enables checkpoint/
+ * rollback recovery (snapshot every K instructions, K from
+ * --checkpoint-interval, default 5000): detected trap/hang runs are
+ * rolled back and re-executed, and the table gains recovered/
+ * unrecovered columns. See docs/ROBUSTNESS.md.
  */
 
 #include <cstdlib>
@@ -26,16 +31,28 @@ main(int argc, char **argv)
         "reproducible for a fixed (injections, seed) pair, at any job\n"
         "count. --tally streams outcomes into fixed-size per-workload\n"
         "tallies (memory independent of the injection count) instead\n"
-        "of a flat outcome vector; same table either way.",
-        "[injections] [seed] [--tally]");
+        "of a flat outcome vector; same table either way. --recover\n"
+        "checkpoints every K instructions (--checkpoint-interval K,\n"
+        "default 5000) and re-executes detected trap/hang runs from\n"
+        "the last checkpoint, splitting them recovered/unrecovered.",
+        "[injections] [seed] [--tally] [--recover] "
+        "[--checkpoint-interval K]");
 
     bool streaming = false;
+    risc1::core::RecoveryOptions recovery;
     int out = 1;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--tally") == 0)
+        if (std::strcmp(argv[i], "--tally") == 0) {
             streaming = true;
-        else
+        } else if (std::strcmp(argv[i], "--recover") == 0) {
+            recovery.enabled = true;
+        } else if (std::strcmp(argv[i], "--checkpoint-interval") == 0 &&
+                   i + 1 < argc) {
+            recovery.checkpointInterval =
+                std::strtoull(argv[++i], nullptr, 0);
+        } else {
             argv[out++] = argv[i];
+        }
     }
     argc = out;
 
@@ -47,7 +64,8 @@ main(int argc, char **argv)
         seed = std::strtoull(argv[2], nullptr, 0);
 
     auto rows = risc1::core::faultCampaign(
-        injections, seed, cli.resolvedJobs, streaming);
-    std::cout << risc1::core::faultCampaignTable(rows) << "\n";
+        injections, seed, cli.resolvedJobs, streaming, recovery);
+    std::cout << risc1::core::faultCampaignTable(rows, recovery.enabled)
+              << "\n";
     return 0;
 }

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Experiment R2: checkpoint-interval sweep — recovery rate vs
+ * checkpoint/replay overhead. Usage: bench_recovery_sweep [injections]
+ * [seed] [intervals...] — defaults 40 injections, seed 1981, intervals
+ * 250/1000/4000/16000. For each interval the full recovery campaign
+ * runs (streaming mode) and the suite-wide detected/recovered counts,
+ * checkpoint count and replayed-instruction cost are aggregated into
+ * one row. Deterministic for a fixed (injections, seed) at any job
+ * count. See docs/ROBUSTNESS.md.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "core/cli.hh"
+#include "core/experiments.hh"
+#include "core/parallel.hh"
+
+int
+main(int argc, char **argv)
+{
+    const risc1::core::BenchCli cli = risc1::core::parseBenchCli(
+        argc, argv,
+        "R2: sweep the recovery campaign's checkpoint interval and\n"
+        "report recovery rate vs checkpoint/replay overhead. Defaults:\n"
+        "40 injections, seed 1981, intervals 250 1000 4000 16000;\n"
+        "deterministic for a fixed (injections, seed) at any job count.",
+        "[injections] [seed] [intervals...]");
+
+    unsigned injections = 40;
+    uint64_t seed = 1981;
+    std::vector<uint64_t> intervals = {250, 1000, 4000, 16000};
+    if (argc > 1)
+        injections = static_cast<unsigned>(std::strtoul(argv[1], nullptr, 0));
+    if (argc > 2)
+        seed = std::strtoull(argv[2], nullptr, 0);
+    if (argc > 3) {
+        intervals.clear();
+        for (int i = 3; i < argc; ++i)
+            intervals.push_back(std::strtoull(argv[i], nullptr, 0));
+    }
+
+    auto rows = risc1::core::recoverySweep(intervals, injections, seed,
+                                           cli.resolvedJobs);
+    std::cout << risc1::core::recoverySweepTable(rows) << "\n";
+    return 0;
+}

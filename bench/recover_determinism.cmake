@@ -1,0 +1,33 @@
+# Byte-identity check for the recovery campaign: the same (injections,
+# seed, interval) must print the same table for --jobs 1 vs --jobs 4,
+# in both the flat and --tally streaming aggregation modes. Run by the
+# bench_fault_campaign_recover_determinism ctest; CAMPAIGN is the
+# bench_fault_campaign executable.
+
+set(base_args 3 7 --recover --checkpoint-interval 500)
+
+set(variants
+    "--jobs 1"
+    "--jobs 4"
+    "--jobs 1 --tally"
+    "--jobs 4 --tally")
+
+set(reference "")
+foreach(pretty IN LISTS variants)
+    separate_arguments(variant UNIX_COMMAND "${pretty}")
+    execute_process(
+        COMMAND ${CAMPAIGN} ${base_args} ${variant}
+        OUTPUT_VARIABLE output
+        RESULT_VARIABLE status)
+    if(NOT status EQUAL 0)
+        message(FATAL_ERROR "campaign failed (${pretty}): status ${status}")
+    endif()
+    if(reference STREQUAL "")
+        set(reference "${output}")
+    elseif(NOT output STREQUAL reference)
+        message(FATAL_ERROR
+            "recovery table differs for '${pretty}':\n${output}\n"
+            "reference:\n${reference}")
+    endif()
+endforeach()
+message(STATUS "recovery tables byte-identical across jobs and modes")

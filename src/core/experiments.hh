@@ -210,6 +210,24 @@ constexpr unsigned NumFaultOutcomes = 4;
 /** Short name of an outcome class ("masked", "sdc", ...). */
 std::string_view faultOutcomeName(FaultOutcome outcome);
 
+/**
+ * Checkpoint/rollback recovery configuration for faultCampaign().
+ * When enabled, every injected run snapshots the machine at each
+ * multiple of `checkpointInterval` retired instructions; a run that
+ * ends in DetectedTrap or WatchdogHang is rolled back to its most
+ * recent checkpoint and re-executed (the transient fetch corruption is
+ * not re-armed), splitting those classes into recovered (the re-run
+ * halts with the oracle result) and unrecovered. Recovery draws no
+ * extra randomness and pausing at checkpoints does not perturb the
+ * machine, so the base four-class tallies are identical to a
+ * non-recovery campaign with the same seed.
+ */
+struct RecoveryOptions
+{
+    bool enabled = false;
+    uint64_t checkpointInterval = 5000; //!< instructions between snapshots
+};
+
 /** Per-workload tallies of one campaign. */
 struct FaultCampaignRow
 {
@@ -218,10 +236,40 @@ struct FaultCampaignRow
     unsigned byOutcome[NumFaultOutcomes] = {};
     uint64_t baselineInsts = 0; //!< uninjected dynamic length
 
+    // Recovery-mode extras (all zero when recovery is off). Only the
+    // detected classes (DetectedTrap, WatchdogHang) can recover; a
+    // recovered run still counts in byOutcome under its first
+    // classification.
+    unsigned recovered[NumFaultOutcomes] = {};
+    uint64_t checkpoints = 0;   //!< snapshots taken across all runs
+    uint64_t replayedInsts = 0; //!< instructions re-executed after rollback
+
     unsigned
     count(FaultOutcome outcome) const
     {
         return byOutcome[static_cast<unsigned>(outcome)];
+    }
+
+    unsigned
+    recoveredCount(FaultOutcome outcome) const
+    {
+        return recovered[static_cast<unsigned>(outcome)];
+    }
+
+    /** Runs in a detected (recovery-eligible) class. */
+    unsigned
+    detectedCount() const
+    {
+        return count(FaultOutcome::DetectedTrap) +
+               count(FaultOutcome::WatchdogHang);
+    }
+
+    /** Detected runs whose rollback re-run matched the oracle. */
+    unsigned
+    recoveredTotal() const
+    {
+        return recoveredCount(FaultOutcome::DetectedTrap) +
+               recoveredCount(FaultOutcome::WatchdogHang);
     }
 };
 
@@ -239,13 +287,48 @@ struct FaultCampaignRow
  * the fixed-size per-workload tallies chunk by chunk (peak memory
  * independent of `injections` — see ParallelRunner::reduceChunked),
  * false materializes the flat outcome vector first. Both modes produce
- * byte-identical rows for a fixed (injections, seed).
+ * byte-identical rows for a fixed (injections, seed). `recovery`
+ * enables checkpoint/rollback re-execution of detected runs (see
+ * RecoveryOptions); it changes neither the RNG stream nor the base
+ * four-class tallies.
  */
 std::vector<FaultCampaignRow> faultCampaign(unsigned injections = 100,
                                             uint64_t seed = 1981,
                                             unsigned jobs = 1,
-                                            bool streaming = false);
-std::string faultCampaignTable(const std::vector<FaultCampaignRow> &rows);
+                                            bool streaming = false,
+                                            const RecoveryOptions &recovery =
+                                                {});
+std::string faultCampaignTable(const std::vector<FaultCampaignRow> &rows,
+                               bool recovery = false);
+
+// ---- R2: checkpoint-interval sweep (recovery rate vs overhead) -----------
+
+/** Aggregate recovery metrics of one campaign at one interval. */
+struct RecoverySweepRow
+{
+    uint64_t interval = 0;    //!< instructions between checkpoints
+    unsigned injections = 0;  //!< total injected runs (whole suite)
+    unsigned detected = 0;    //!< recovery-eligible (trap + hang)
+    unsigned recovered = 0;   //!< rollback re-run matched the oracle
+    double recoveryPct = 0;   //!< recovered / detected
+    uint64_t checkpoints = 0; //!< snapshots taken (checkpoint overhead)
+    uint64_t replayedInsts = 0; //!< re-executed instructions (replay cost)
+    double checkpointsPerRun = 0;
+    double replayPerDetected = 0;
+};
+
+/**
+ * Run the recovery campaign once per checkpoint interval and aggregate
+ * across the suite: the recovery-rate vs checkpoint-overhead tradeoff.
+ * Deterministic in (injections, seed) like the campaign itself; `jobs`
+ * parallelizes within each campaign.
+ */
+std::vector<RecoverySweepRow>
+recoverySweep(const std::vector<uint64_t> &intervals = {250, 1000, 4000,
+                                                        16000},
+              unsigned injections = 40, uint64_t seed = 1981,
+              unsigned jobs = 1);
+std::string recoverySweepTable(const std::vector<RecoverySweepRow> &rows);
 
 } // namespace risc1::core
 

@@ -69,12 +69,23 @@ classify(const sim::ExecResult &result, uint32_t got, uint32_t expected)
           static_cast<unsigned>(result.reason));
 }
 
+/** Everything one injected run reports back for tallying. */
+struct RunOut
+{
+    FaultOutcome outcome = FaultOutcome::Masked;
+    bool recovered = false;
+    uint32_t checkpoints = 0;
+    uint64_t replayed = 0;
+};
+
 } // namespace
 
 std::vector<FaultCampaignRow>
 faultCampaign(unsigned injections, uint64_t seed, unsigned jobs,
-              bool streaming)
+              bool streaming, const RecoveryOptions &recovery)
 {
+    if (recovery.enabled && recovery.checkpointInterval == 0)
+        fatal("faultCampaign: checkpoint interval must be nonzero");
     const auto &suite = allWorkloads();
     const ParallelRunner runner(jobs);
 
@@ -136,72 +147,220 @@ faultCampaign(unsigned injections, uint64_t seed, unsigned jobs,
             sim::drawInjection(rng, p.base.instructions);
         sim::Cpu cpu(p.opts);
         cpu.load(p.image);
-        const sim::ExecResult result =
-            sim::runWithInjection(cpu, rng, inj);
-        const uint32_t got = cpu.memory().peek32(workloads::ResultAddr);
-        return classify(result, got, p.expected);
+        RunOut out;
+
+        if (!recovery.enabled) {
+            const sim::ExecResult result =
+                sim::runWithInjection(cpu, rng, inj);
+            out.outcome = classify(
+                result, cpu.memory().peek32(workloads::ResultAddr),
+                p.expected);
+            return out;
+        }
+
+        // Recovery mode: the same faulted run, but paused at every
+        // multiple of K retired instructions to snapshot. Pausing does
+        // not perturb the machine (every engine honours runUntil
+        // exactly) and recovery draws no randomness, so `out.outcome`
+        // is identical to the non-recovery classification above.
+        const uint64_t K = recovery.checkpointInterval;
+        sim::Snapshot ckpt = cpu.snapshot();
+        uint64_t ckptAt = 0;
+        const uint64_t T = inj.atInstruction;
+        const auto runFaulted = [&]() -> sim::ExecResult {
+            // To the injection point, snapshotting at boundaries (a
+            // boundary coinciding with T is captured pre-injection).
+            while (cpu.stats().instructions < T) {
+                const uint64_t next =
+                    (cpu.stats().instructions / K + 1) * K;
+                const sim::ExecResult r =
+                    cpu.runUntil(std::min(next, T));
+                if (r.reason != sim::StopReason::Paused)
+                    return r; // finished before the injection landed
+                if (cpu.stats().instructions % K == 0) {
+                    ckpt = cpu.snapshot();
+                    ckptAt = cpu.stats().instructions;
+                    ++out.checkpoints;
+                }
+            }
+            sim::applyInjection(cpu, rng, inj);
+            while (true) {
+                const uint64_t next =
+                    (cpu.stats().instructions / K + 1) * K;
+                const sim::ExecResult r = cpu.runUntil(next);
+                if (r.reason != sim::StopReason::Paused)
+                    return r;
+                // Post-injection checkpoints may hold corrupted state;
+                // that is the methodology's point — recovery succeeds
+                // only when detection outruns the checkpoint cadence.
+                ckpt = cpu.snapshot();
+                ckptAt = cpu.stats().instructions;
+                ++out.checkpoints;
+            }
+        };
+
+        const sim::ExecResult result = runFaulted();
+        out.outcome = classify(
+            result, cpu.memory().peek32(workloads::ResultAddr),
+            p.expected);
+        if (out.outcome == FaultOutcome::DetectedTrap ||
+            out.outcome == FaultOutcome::WatchdogHang) {
+            // Roll back to the most recent checkpoint and re-execute.
+            // restore() clears the armed fetch corruption, so a
+            // transient istream flip is not re-injected; a register or
+            // memory flip captured by a post-injection checkpoint
+            // persists and typically fails again (unrecovered).
+            cpu.restore(ckpt);
+            const sim::ExecResult rerun = cpu.run();
+            out.replayed = cpu.stats().instructions - ckptAt;
+            out.recovered =
+                rerun.halted() &&
+                cpu.memory().peek32(workloads::ResultAddr) == p.expected;
+        }
+        return out;
+    };
+
+    const auto tally = [&](size_t slot, const RunOut &out) {
+        FaultCampaignRow &row = rows[slot / injections];
+        ++row.byOutcome[static_cast<unsigned>(out.outcome)];
+        if (out.recovered)
+            ++row.recovered[static_cast<unsigned>(out.outcome)];
+        row.checkpoints += out.checkpoints;
+        row.replayedInsts += out.replayed;
     };
 
     if (streaming) {
         // Stream outcomes straight into the fixed-size tallies: peak
         // memory is one reduceChunked buffer, independent of
         // `injections`, so a campaign can scale to millions of runs.
-        runner.reduceChunked<FaultOutcome>(
-            total, produce, [&](size_t slot, FaultOutcome outcome) {
-                ++rows[slot / injections]
-                      .byOutcome[static_cast<unsigned>(outcome)];
-            });
+        runner.reduceChunked<RunOut>(total, produce, tally);
         return rows;
     }
 
     // Flat mode: materialize the whole outcome vector, then tally. Kept
     // as the differential oracle for the streaming path (the tests
     // assert both modes agree for a fixed seed).
-    const std::vector<FaultOutcome> outcomes =
-        runner.map<FaultOutcome>(total, produce);
+    const std::vector<RunOut> outcomes =
+        runner.map<RunOut>(total, produce);
     for (size_t slot = 0; slot < total; ++slot)
-        ++rows[slot / injections]
-              .byOutcome[static_cast<unsigned>(outcomes[slot])];
+        tally(slot, outcomes[slot]);
     return rows;
 }
 
 std::string
-faultCampaignTable(const std::vector<FaultCampaignRow> &rows)
+faultCampaignTable(const std::vector<FaultCampaignRow> &rows,
+                   bool recovery)
 {
-    Table table({"program", "runs", "base insts", "masked", "sdc",
-                 "trap", "hang", "masked%", "detect%"});
+    std::vector<std::string> headers = {"program", "runs", "base insts",
+                                        "masked", "sdc", "trap", "hang",
+                                        "masked%", "detect%"};
+    if (recovery) {
+        headers.insert(headers.end(),
+                       {"recov", "unrec", "recov%", "ckpts", "replayed"});
+    }
+    Table table(headers);
     FaultCampaignRow total;
     total.name = "TOTAL";
     auto pct = [](unsigned part, unsigned whole) {
         return whole ? 100.0 * part / whole : 0.0;
     };
+    auto emit = [&](const FaultCampaignRow &row, bool is_total) {
+        std::vector<std::string> cells = {
+            row.name, cell(uint64_t{row.injections}),
+            is_total ? "" : cell(row.baselineInsts),
+            cell(uint64_t{row.count(FaultOutcome::Masked)}),
+            cell(uint64_t{row.count(FaultOutcome::Sdc)}),
+            cell(uint64_t{row.count(FaultOutcome::DetectedTrap)}),
+            cell(uint64_t{row.count(FaultOutcome::WatchdogHang)}),
+            cell(pct(row.count(FaultOutcome::Masked), row.injections),
+                 1),
+            cell(pct(row.count(FaultOutcome::DetectedTrap),
+                     row.injections), 1)};
+        if (recovery) {
+            cells.push_back(cell(uint64_t{row.recoveredTotal()}));
+            cells.push_back(cell(uint64_t{row.detectedCount() -
+                                          row.recoveredTotal()}));
+            cells.push_back(cell(pct(row.recoveredTotal(),
+                                     row.detectedCount()), 1));
+            cells.push_back(cell(row.checkpoints));
+            cells.push_back(cell(row.replayedInsts));
+        }
+        table.row(cells);
+    };
     for (const FaultCampaignRow &row : rows) {
         total.injections += row.injections;
-        for (unsigned c = 0; c < NumFaultOutcomes; ++c)
+        for (unsigned c = 0; c < NumFaultOutcomes; ++c) {
             total.byOutcome[c] += row.byOutcome[c];
-        table.row({row.name, cell(uint64_t{row.injections}),
-                   cell(row.baselineInsts),
-                   cell(uint64_t{row.count(FaultOutcome::Masked)}),
-                   cell(uint64_t{row.count(FaultOutcome::Sdc)}),
-                   cell(uint64_t{row.count(FaultOutcome::DetectedTrap)}),
-                   cell(uint64_t{row.count(FaultOutcome::WatchdogHang)}),
-                   cell(pct(row.count(FaultOutcome::Masked),
-                            row.injections), 1),
-                   cell(pct(row.count(FaultOutcome::DetectedTrap),
-                            row.injections), 1)});
+            total.recovered[c] += row.recovered[c];
+        }
+        total.checkpoints += row.checkpoints;
+        total.replayedInsts += row.replayedInsts;
+        emit(row, false);
     }
-    table.row({total.name, cell(uint64_t{total.injections}), "",
-               cell(uint64_t{total.count(FaultOutcome::Masked)}),
-               cell(uint64_t{total.count(FaultOutcome::Sdc)}),
-               cell(uint64_t{total.count(FaultOutcome::DetectedTrap)}),
-               cell(uint64_t{total.count(FaultOutcome::WatchdogHang)}),
-               cell(pct(total.count(FaultOutcome::Masked),
-                        total.injections), 1),
-               cell(pct(total.count(FaultOutcome::DetectedTrap),
-                        total.injections), 1)});
-    return "R1: fault-injection campaign (one seeded single-bit flip "
-           "per run;\nregister file / memory word / fetched "
-           "instruction; outcome vs host oracle)\n" +
+    emit(total, true);
+    std::string title =
+        "R1: fault-injection campaign (one seeded single-bit flip "
+        "per run;\nregister file / memory word / fetched "
+        "instruction; outcome vs host oracle)\n";
+    if (recovery)
+        title += "recovery: rollback to the last checkpoint on "
+                 "trap/hang, re-run vs oracle\n";
+    return title + table.str();
+}
+
+std::vector<RecoverySweepRow>
+recoverySweep(const std::vector<uint64_t> &intervals, unsigned injections,
+              uint64_t seed, unsigned jobs)
+{
+    std::vector<RecoverySweepRow> out;
+    out.reserve(intervals.size());
+    for (const uint64_t interval : intervals) {
+        RecoveryOptions recovery;
+        recovery.enabled = true;
+        recovery.checkpointInterval = interval;
+        const std::vector<FaultCampaignRow> rows = faultCampaign(
+            injections, seed, jobs, /*streaming=*/true, recovery);
+        RecoverySweepRow row;
+        row.interval = interval;
+        for (const FaultCampaignRow &r : rows) {
+            row.injections += r.injections;
+            row.detected += r.detectedCount();
+            row.recovered += r.recoveredTotal();
+            row.checkpoints += r.checkpoints;
+            row.replayedInsts += r.replayedInsts;
+        }
+        row.recoveryPct =
+            row.detected ? 100.0 * row.recovered / row.detected : 0.0;
+        row.checkpointsPerRun = row.injections
+                                    ? double(row.checkpoints) /
+                                          row.injections
+                                    : 0.0;
+        row.replayPerDetected = row.detected
+                                    ? double(row.replayedInsts) /
+                                          row.detected
+                                    : 0.0;
+        out.push_back(row);
+    }
+    return out;
+}
+
+std::string
+recoverySweepTable(const std::vector<RecoverySweepRow> &rows)
+{
+    Table table({"interval", "runs", "detected", "recovered", "recov%",
+                 "ckpts", "ckpts/run", "replayed", "replay/det"});
+    for (const RecoverySweepRow &row : rows) {
+        table.row({cell(row.interval), cell(uint64_t{row.injections}),
+                   cell(uint64_t{row.detected}),
+                   cell(uint64_t{row.recovered}),
+                   cell(row.recoveryPct, 1), cell(row.checkpoints),
+                   cell(row.checkpointsPerRun, 2),
+                   cell(row.replayedInsts),
+                   cell(row.replayPerDetected, 1)});
+    }
+    return "R2: checkpoint-interval sweep (recovery rate vs checkpoint "
+           "overhead;\nrollback to the most recent checkpoint on "
+           "trap/hang detection)\n" +
            table.str();
 }
 

@@ -1,0 +1,460 @@
+/**
+ * @file
+ * Lockstep divergence sentinel implementation. See lockstep.hh for the
+ * contract and docs/ROBUSTNESS.md for usage.
+ */
+
+#include "sim/lockstep.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "isa/disasm.hh"
+#include "isa/instruction.hh"
+#include "isa/registers.hh"
+#include "sim/snapshot.hh"
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace risc1::sim {
+
+namespace {
+
+/**
+ * Rolling digest over the guest's memory-write stream. Installed in
+ * the Memory's auxiliary observer slot (the primary belongs to the
+ * decode cache) and fed (addr, width, new bytes) per write — pokes
+ * included, restorePages excluded, matching the checkpoint contract:
+ * a restore resets the digest to the checkpointed value instead.
+ */
+class WriteDigest : public Memory::WriteObserver
+{
+  public:
+    explicit WriteDigest(const Memory *mem) : mem_(mem) {}
+
+    void
+    onMemoryWrite(uint32_t addr, unsigned bytes) override
+    {
+        uint64_t h = value_;
+        h = mix(h, addr);
+        h = mix(h, bytes);
+        for (unsigned i = 0; i < bytes; ++i)
+            h = mix(h, mem_->peek8(addr + i));
+        value_ = h;
+    }
+
+    uint64_t value() const { return value_; }
+    void set(uint64_t v) { value_ = v; }
+
+  private:
+    static uint64_t
+    mix(uint64_t h, uint64_t v)
+    {
+        // FNV-1a over the value's 8 bytes.
+        for (unsigned i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+        return h;
+    }
+
+    const Memory *mem_;
+    uint64_t value_ = 0xcbf29ce484222325ull;
+};
+
+/** Architectural state captured at a stride boundary for comparison. */
+struct MachineState
+{
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+    uint32_t pc = 0;
+    uint32_t npc = 0;
+    unsigned cwp = 0;
+    isa::Flags flags;
+    bool halted = false;
+    uint64_t writeDigest = 0;
+    std::vector<uint32_t> regs;
+
+    bool operator==(const MachineState &) const = default;
+};
+
+MachineState
+capture(const Cpu &cpu, const WriteDigest &digest)
+{
+    MachineState s;
+    s.instructions = cpu.stats().instructions;
+    s.cycles = cpu.stats().cycles;
+    s.pc = cpu.pc();
+    s.npc = cpu.npc();
+    s.cwp = cpu.cwp();
+    s.flags = cpu.flags();
+    s.halted = cpu.halted();
+    s.writeDigest = digest.value();
+    s.regs = cpu.regfile().dump();
+    return s;
+}
+
+std::string
+flagsStr(const isa::Flags &f)
+{
+    return strprintf("z=%d n=%d v=%d c=%d", f.z ? 1 : 0, f.n ? 1 : 0,
+                     f.v ? 1 : 0, f.c ? 1 : 0);
+}
+
+/** Field-by-field diff, one line per differing field. */
+std::string
+diffStates(const MachineState &ref, const MachineState &subj)
+{
+    std::ostringstream out;
+    auto line = [&](const char *name, const std::string &a,
+                    const std::string &b) {
+        out << strprintf("  %-12s ref=%s subject=%s\n", name, a.c_str(),
+                         b.c_str());
+    };
+    if (ref.instructions != subj.instructions)
+        line("instructions", strprintf("%llu", (unsigned long long)
+                                       ref.instructions),
+             strprintf("%llu", (unsigned long long)subj.instructions));
+    if (ref.cycles != subj.cycles)
+        line("cycles", strprintf("%llu", (unsigned long long)ref.cycles),
+             strprintf("%llu", (unsigned long long)subj.cycles));
+    if (ref.pc != subj.pc)
+        line("pc", strprintf("0x%08x", ref.pc),
+             strprintf("0x%08x", subj.pc));
+    if (ref.npc != subj.npc)
+        line("npc", strprintf("0x%08x", ref.npc),
+             strprintf("0x%08x", subj.npc));
+    if (ref.cwp != subj.cwp)
+        line("cwp", strprintf("%u", ref.cwp), strprintf("%u", subj.cwp));
+    if (!(ref.flags == subj.flags))
+        line("flags", flagsStr(ref.flags), flagsStr(subj.flags));
+    if (ref.halted != subj.halted)
+        line("halted", ref.halted ? "true" : "false",
+             subj.halted ? "true" : "false");
+    if (ref.writeDigest != subj.writeDigest)
+        line("write-digest", strprintf("%016llx", (unsigned long long)
+                                       ref.writeDigest),
+             strprintf("%016llx", (unsigned long long)subj.writeDigest));
+    if (ref.regs != subj.regs) {
+        unsigned shown = 0;
+        for (size_t i = 0; i < ref.regs.size() &&
+                           i < subj.regs.size(); ++i) {
+            if (ref.regs[i] == subj.regs[i])
+                continue;
+            out << strprintf("  phys r%-3zu   ref=0x%08x subject=0x%08x\n",
+                             i, ref.regs[i], subj.regs[i]);
+            if (++shown == 8) {
+                out << "  ... (more register differences elided)\n";
+                break;
+            }
+        }
+        if (ref.regs.size() != subj.regs.size())
+            line("regfile-size", strprintf("%zu", ref.regs.size()),
+                 strprintf("%zu", subj.regs.size()));
+    }
+    return out.str();
+}
+
+/** Disassembly window around `pc`, the divergent line marked. */
+std::string
+disasmWindow(const Memory &mem, uint32_t pc, unsigned radius)
+{
+    std::ostringstream out;
+    const uint32_t lo =
+        pc >= radius * isa::InstBytes ? pc - radius * isa::InstBytes : 0;
+    for (uint32_t a = lo; a <= pc + radius * isa::InstBytes;
+         a += isa::InstBytes) {
+        const uint32_t word = mem.peek32(a);
+        out << strprintf("  %s 0x%08x: %08x  %s\n",
+                         a == pc ? "=>" : "  ", a, word,
+                         isa::disassembleWord(word, a).c_str());
+    }
+    return out.str();
+}
+
+} // namespace
+
+std::string
+DivergenceReport::str() const
+{
+    std::ostringstream out;
+    out << strprintf("divergence at instruction %llu, pc 0x%08x\n",
+                     (unsigned long long)instructionIndex, pc);
+    out << "state diff after the divergent step:\n" << fieldDiff;
+    out << "disassembly:\n" << disasm;
+    out << strprintf("reproducer: %zu-byte snapshot at instruction %llu "
+                     "(restore and step %llu instructions)\n",
+                     reproducer.size(),
+                     (unsigned long long)reproducerInstructions,
+                     (unsigned long long)
+                     (instructionIndex - reproducerInstructions));
+    return out.str();
+}
+
+LockstepResult
+runLockstep(const assembler::Program &program, const CpuOptions &ref_opts,
+            const CpuOptions &subject_opts, const LockstepOptions &opts)
+{
+    if (configHash(ref_opts) != configHash(subject_opts))
+        fatal("runLockstep: reference and subject CpuOptions are "
+              "architecturally incompatible (configHash mismatch); "
+              "they may differ only in engine selection");
+    if (opts.stride == 0)
+        fatal("runLockstep: stride must be nonzero");
+
+    Cpu ref(ref_opts);
+    Cpu subj(subject_opts);
+    ref.load(program);
+    subj.load(program);
+
+    // The aux observer slot survives only until the next load();
+    // install after load. The decode caches keep the primary slot.
+    WriteDigest refDigest(&ref.memory());
+    WriteDigest subjDigest(&subj.memory());
+    ref.memory().setAuxWriteObserver(&refDigest);
+    subj.memory().setAuxWriteObserver(&subjDigest);
+
+    // Apply the perturbation test hook when the subject crosses
+    // opts.perturbAt. Idempotent per pass: applies only while the
+    // subject sits at or before the perturbation point, and every
+    // application is immediately followed by an advance past it (or a
+    // terminal stop).
+    auto advanceSubject = [&](uint64_t target) -> ExecResult {
+        if (opts.perturbMask != 0 &&
+            subj.stats().instructions <= opts.perturbAt &&
+            opts.perturbAt < target) {
+            ExecResult r = subj.runUntil(opts.perturbAt);
+            if (r.reason != StopReason::Paused)
+                return r;
+            subj.setReg(opts.perturbReg,
+                        subj.reg(opts.perturbReg) ^ opts.perturbMask);
+        }
+        return subj.runUntil(target);
+    };
+
+    // Last agreed state: both machines restore from the *same*
+    // snapshot on rewind (legal: equal configHash).
+    Snapshot ckpt = ref.snapshot();
+    uint64_t ckptDigest = refDigest.value();
+    uint64_t ckptInsts = 0;
+
+    LockstepResult res;
+    MachineState a, b;
+    ExecResult rr, rs;
+    while (true) {
+        const uint64_t cur = ref.stats().instructions;
+        const uint64_t target =
+            std::min(cur + opts.stride, opts.maxInstructions);
+        rr = ref.runUntil(target);
+        rs = advanceSubject(target);
+        a = capture(ref, refDigest);
+        b = capture(subj, subjDigest);
+        if (a == b && rr.reason == rs.reason) {
+            if (rr.reason != StopReason::Paused ||
+                a.instructions >= opts.maxInstructions) {
+                res.instructions = a.instructions;
+                res.reason = rr.reason;
+                return res; // agreed completion
+            }
+            ckpt = ref.snapshot();
+            ckptDigest = refDigest.value();
+            ckptInsts = a.instructions;
+            continue;
+        }
+        break; // divergence inside this stride
+    }
+
+    // Rewind both machines to the last agreed checkpoint and replay
+    // one instruction at a time to pin the first divergent step.
+    const uint64_t mismatchBound = std::max(a.instructions,
+                                            b.instructions) + 1;
+    ref.restore(ckpt);
+    subj.restore(ckpt);
+    refDigest.set(ckptDigest);
+    subjDigest.set(ckptDigest);
+
+    while (true) {
+        const uint64_t c = ref.stats().instructions;
+        if (c > mismatchBound)
+            panic("runLockstep: stride mismatch did not reproduce under "
+                  "replay (nondeterministic engine?)");
+        const uint32_t pcBefore = ref.pc();
+        rr = ref.runUntil(c + 1);
+        rs = advanceSubject(c + 1);
+        a = capture(ref, refDigest);
+        b = capture(subj, subjDigest);
+        if (a == b && rr.reason == rs.reason) {
+            if (rr.reason != StopReason::Paused)
+                panic("runLockstep: machines agreed on a terminal state "
+                      "under replay after a stride mismatch");
+            continue;
+        }
+
+        res.diverged = true;
+        res.instructions = c;
+        DivergenceReport &rep = res.report;
+        rep.instructionIndex = c;
+        rep.pc = pcBefore;
+        rep.fieldDiff = diffStates(a, b);
+        if (rr.reason != rs.reason)
+            rep.fieldDiff += strprintf("  %-12s ref=%u subject=%u\n",
+                                       "stop-reason",
+                                       (unsigned)rr.reason,
+                                       (unsigned)rs.reason);
+        rep.disasm = disasmWindow(ref.memory(), pcBefore,
+                                  opts.disasmRadius);
+        rep.reproducer = serializeSnapshot(ckpt, ref_opts);
+        rep.reproducerInstructions = ckptInsts;
+        return res;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Seeded random program generator.
+// ---------------------------------------------------------------------
+
+namespace {
+
+using isa::Cond;
+using isa::Instruction;
+using isa::Opcode;
+
+constexpr uint32_t FuzzEntry = 0x100;
+constexpr uint32_t FuzzDataBase = 0x800;
+constexpr unsigned FuzzDataWords = 64;
+
+/** True for opcodes whose successor executes in a delay slot. */
+bool
+isTransfer(const Instruction &inst)
+{
+    switch (inst.op) {
+      case Opcode::Jmp:
+      case Opcode::Jmpr:
+      case Opcode::Call:
+      case Opcode::Callr:
+      case Opcode::Ret:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+assembler::Program
+randomProgram(uint64_t seed)
+{
+    Rng rng(seed);
+
+    // Register pool: caller-window locals. r8/r9 (globals) are left
+    // for the perturbation hook so fuzz workloads never overwrite a
+    // perturbed register by accident.
+    auto reg = [&] { return 16u + (unsigned)rng.below(8); };
+
+    const Opcode aluOps[] = {Opcode::Add,  Opcode::Addc, Opcode::Sub,
+                             Opcode::Subc, Opcode::Subr, Opcode::Subcr,
+                             Opcode::And,  Opcode::Or,   Opcode::Xor,
+                             Opcode::Sll,  Opcode::Srl,  Opcode::Sra};
+    auto alu = [&] { return aluOps[rng.below(std::size(aluOps))]; };
+
+    // Main body, generated as instructions first so branch targets can
+    // be resolved to relative offsets. The epilogue (halt) sits at
+    // index `body`, the leaf function right after it.
+    const unsigned body = 48 + (unsigned)rng.below(80);
+    const unsigned epilogue = body;     // jmp 0; nop
+    const unsigned leaf = epilogue + 2; // 2×alu; ret; nop
+
+    std::vector<Instruction> insts(body);
+    bool prevTransfer = false;
+    for (unsigned i = 0; i < body; ++i) {
+        // No transfer in a delay slot, and the instruction before the
+        // epilogue's halt jump must fall through to it cleanly.
+        const bool allowTransfer = !prevTransfer && i + 1 < body;
+        unsigned roll = (unsigned)rng.below(100);
+        if (!allowTransfer && roll >= 72)
+            roll = (unsigned)rng.below(72);
+
+        Instruction inst;
+        if (roll < 34) {
+            inst = isa::makeRR(alu(), reg(), reg(), reg(),
+                               rng.chance(1, 3));
+        } else if (roll < 50) {
+            inst = isa::makeRI(alu(), reg(),
+                               (int32_t)rng.range(-4096, 4095), reg(),
+                               rng.chance(1, 3));
+        } else if (roll < 56) {
+            inst = isa::makeLdhi(reg(), (int32_t)rng.range(
+                                     -(1 << 18), (1 << 18) - 1));
+        } else if (roll < 64) {
+            const Opcode loads[] = {Opcode::Ldl, Opcode::Ldsu,
+                                    Opcode::Ldss, Opcode::Ldbu,
+                                    Opcode::Ldbs};
+            const Opcode op = loads[rng.below(std::size(loads))];
+            const unsigned align =
+                op == Opcode::Ldl ? 4 : (op == Opcode::Ldbu ||
+                                         op == Opcode::Ldbs ? 1 : 2);
+            const int32_t disp = (int32_t)(FuzzDataBase +
+                align * (uint32_t)rng.below(FuzzDataWords * 4 / align));
+            inst = isa::makeLoad(op, 0, disp, reg());
+        } else if (roll < 72) {
+            const Opcode stores[] = {Opcode::Stl, Opcode::Sts,
+                                     Opcode::Stb};
+            const Opcode op = stores[rng.below(std::size(stores))];
+            const unsigned align =
+                op == Opcode::Stl ? 4 : (op == Opcode::Stb ? 1 : 2);
+            const int32_t disp = (int32_t)(FuzzDataBase +
+                align * (uint32_t)rng.below(FuzzDataWords * 4 / align));
+            inst = isa::makeStore(op, reg(), 0, disp);
+        } else if (roll < 92) {
+            // Branch: mostly forward (guaranteed progress), sometimes
+            // a short backward hop (loops; bounded by maxInstructions).
+            const Cond cond = (Cond)(1 + rng.below(15));
+            unsigned j;
+            if (rng.chance(3, 4) || i < 2)
+                j = i + 2 + (unsigned)rng.below(body - i);
+            else
+                j = i - (unsigned)rng.below(std::min(i, 12u));
+            j = std::min(j, epilogue);
+            inst = isa::makeJmpr(cond, (int32_t)(j - i) * 4);
+        } else {
+            // Leaf call; the callee returns to call+8 (skips the slot).
+            inst = isa::makeCallr(isa::RaReg,
+                                  (int32_t)(leaf - i) * 4);
+        }
+        insts[i] = inst;
+        prevTransfer = isTransfer(inst);
+    }
+
+    // Epilogue: halt via the jump-to-zero convention.
+    insts.push_back(isa::makeJmpr(Cond::Alw, -(int32_t)epilogue * 4 -
+                                  (int32_t)FuzzEntry));
+    insts.push_back(isa::makeNop());
+    // Leaf: two window-local ALU ops, then return past the delay slot.
+    insts.push_back(isa::makeRI(alu(), reg(), (int32_t)rng.range(0, 255),
+                                reg(), rng.chance(1, 2)));
+    insts.push_back(isa::makeRR(alu(), reg(), reg(), reg(), false));
+    insts.push_back(isa::makeRet(isa::RaReg, 8));
+    insts.push_back(isa::makeNop());
+
+    assembler::Program prog;
+    prog.entry = FuzzEntry;
+    uint32_t addr = FuzzEntry;
+    for (const Instruction &inst : insts) {
+        const uint32_t word = isa::encode(inst);
+        for (unsigned b = 0; b < 4; ++b)
+            prog.addByte(addr + b, (uint8_t)((word >> (8 * b)) & 0xff));
+        addr += 4;
+        ++prog.instructionCount;
+    }
+
+    // Seed the data region with reproducible values.
+    for (unsigned w = 0; w < FuzzDataWords; ++w) {
+        const uint32_t value = (uint32_t)rng.next();
+        for (unsigned b = 0; b < 4; ++b)
+            prog.addByte(FuzzDataBase + 4 * w + b,
+                         (uint8_t)((value >> (8 * b)) & 0xff));
+    }
+    return prog;
+}
+
+} // namespace risc1::sim

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Lockstep divergence sentinel: runs a reference-interpreter Cpu and a
+ * fast-engine Cpu over the same program in synchronized strides and
+ * compares the full architectural state (registers, flags, PC/nPC,
+ * CWP, instruction/cycle counts, and a rolling digest of every memory
+ * write) at each stride boundary. Sound because every engine honours
+ * runUntil() exactly: fused pairs and superblocks refuse to start past
+ * the pause bound, so both machines pause having retired the same
+ * number of instructions.
+ *
+ * On a mismatch the harness rewinds both machines to the last matching
+ * checkpoint, replays at stride 1, and pins the *first* divergent
+ * instruction, emitting a DivergenceReport with a disassembly window,
+ * a field-by-field state diff, and a serialized reproducer snapshot
+ * (sim/snapshot.hh) of the last agreed state.
+ *
+ * randomProgram() generates seeded random-but-well-formed programs
+ * (no transfers in delay slots, aligned memory accesses, bounded
+ * branch targets) so the sentinel can fuzz the engine ladder beyond
+ * the fixed workload suite. See docs/ROBUSTNESS.md.
+ */
+
+#ifndef RISC1_SIM_LOCKSTEP_HH
+#define RISC1_SIM_LOCKSTEP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asm/program.hh"
+#include "sim/cpu.hh"
+
+namespace risc1::sim {
+
+/** Tuning and test hooks for runLockstep(). */
+struct LockstepOptions
+{
+    /** Instructions per stride between state comparisons. */
+    uint64_t stride = 1024;
+
+    /** Stop (agreeing) after this many instructions if still running. */
+    uint64_t maxInstructions = 2'000'000;
+
+    /** Instructions either side of the divergence in the report. */
+    unsigned disasmRadius = 4;
+
+    // Test hook modelling a deterministic engine bug: once the subject
+    // Cpu has retired exactly `perturbAt` instructions, XOR
+    // `perturbMask` into its visible register `perturbReg`. Re-applied
+    // after a rewind, exactly like the reproducible defect it stands
+    // in for. A zero mask disables the hook.
+    uint64_t perturbAt = 0;
+    unsigned perturbReg = 0;
+    uint32_t perturbMask = 0;
+};
+
+/** Where and how the subject first disagreed with the reference. */
+struct DivergenceReport
+{
+    /** Index (0-based retired-instruction count) of the divergent step. */
+    uint64_t instructionIndex = 0;
+
+    /** PC of the first divergent instruction (reference machine). */
+    uint32_t pc = 0;
+
+    /** Field-by-field state diff after the divergent step. */
+    std::string fieldDiff;
+
+    /** Disassembly window around the divergent PC. */
+    std::string disasm;
+
+    /** Serialized snapshot of the last agreed state (sim/snapshot.hh). */
+    std::vector<uint8_t> reproducer;
+
+    /** Retired-instruction count the reproducer snapshot resumes at. */
+    uint64_t reproducerInstructions = 0;
+
+    /** Human-readable rendering of the whole report. */
+    std::string str() const;
+};
+
+/** Outcome of a lockstep run. */
+struct LockstepResult
+{
+    bool diverged = false;
+
+    /** Instructions both machines retired (agreed count). */
+    uint64_t instructions = 0;
+
+    /** How the agreed run ended (Paused = hit maxInstructions). */
+    StopReason reason = StopReason::Halted;
+
+    /** Valid when diverged. */
+    DivergenceReport report;
+};
+
+/**
+ * Run `program` on a reference Cpu built from `ref_opts` and a subject
+ * Cpu built from `subject_opts` in lockstep. The two option sets must
+ * be architecturally identical (configHash equal — they may differ
+ * only in engine selection); mismatched configurations are a fatal
+ * error, since their state trajectories are incomparable by design.
+ */
+LockstepResult runLockstep(const assembler::Program &program,
+                           const CpuOptions &ref_opts,
+                           const CpuOptions &subject_opts,
+                           const LockstepOptions &opts = {});
+
+/**
+ * Seeded random program generator for lockstep fuzzing. Programs are
+ * well-formed by construction: aligned loads/stores into a private
+ * data region, conditional/unconditional branches with in-bounds
+ * targets, leaf calls within the window depth, no transfers in delay
+ * slots, and a halt (jump to 0) epilogue. Programs may loop forever —
+ * run them under LockstepOptions::maxInstructions.
+ */
+assembler::Program randomProgram(uint64_t seed);
+
+} // namespace risc1::sim
+
+#endif // RISC1_SIM_LOCKSTEP_HH

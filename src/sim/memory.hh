@@ -70,6 +70,18 @@ class Memory
     }
 
     /**
+     * Install a second, auxiliary observer notified after the primary
+     * one. The decode caches own the primary slot; this one exists for
+     * passive instrumentation — the lockstep sentinel's rolling
+     * memory-write digest (sim/lockstep.hh). Cleared like the primary
+     * when the Memory is replaced wholesale (Cpu::load).
+     */
+    void setAuxWriteObserver(WriteObserver *observer)
+    {
+        auxObserver_ = observer;
+    }
+
+    /**
      * Install an address-space limit: counted accesses (fetch/read/
      * write) at or beyond `limit` raise an OutOfRangeAddress SimFault.
      * 0 (the default) disables the check. peek/poke are exempt.
@@ -170,12 +182,15 @@ class Memory
     {
         if (observer_ != nullptr)
             observer_->onMemoryWrite(addr, bytes);
+        if (auxObserver_ != nullptr)
+            auxObserver_->onMemoryWrite(addr, bytes);
     }
 
     std::unordered_map<uint32_t, PageEntry> pages_;
     MemStats stats_;
     uint32_t limit_ = 0;
     WriteObserver *observer_ = nullptr;
+    WriteObserver *auxObserver_ = nullptr;
 
     // One-entry accelerator: consecutive accesses overwhelmingly stay
     // on one page, so cache the resolved storage of the last page.

@@ -1,0 +1,407 @@
+#include "sim/snapshot.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace risc1::sim {
+
+namespace {
+
+/** Stream magic: "R1SN", little-endian. */
+constexpr uint32_t SnapshotMagic = 0x4e533152;
+
+/** fnv1a-64 accumulator for the config hash. */
+constexpr uint64_t FnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t FnvPrime = 0x00000100000001b3ull;
+
+void
+hashU64(uint64_t &h, uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= FnvPrime;
+    }
+}
+
+class Writer
+{
+  public:
+    void
+    u8(uint8_t v)
+    {
+        buf_.push_back(v);
+    }
+
+    void
+    u32(uint32_t v)
+    {
+        for (unsigned i = 0; i < 4; ++i)
+            buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        for (unsigned i = 0; i < 8; ++i)
+            buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    bytes(const uint8_t *data, size_t n)
+    {
+        buf_.insert(buf_.end(), data, data + n);
+    }
+
+    std::vector<uint8_t> take() { return std::move(buf_); }
+
+  private:
+    std::vector<uint8_t> buf_;
+};
+
+/** Bounds-checked little-endian reader; overruns throw Truncated. */
+class Reader
+{
+  public:
+    explicit Reader(const std::vector<uint8_t> &buf) : buf_(buf) {}
+
+    uint8_t
+    u8()
+    {
+        need(1);
+        return buf_[pos_++];
+    }
+
+    uint32_t
+    u32()
+    {
+        need(4);
+        uint32_t v = 0;
+        for (unsigned i = 0; i < 4; ++i)
+            v |= static_cast<uint32_t>(buf_[pos_++]) << (8 * i);
+        return v;
+    }
+
+    uint64_t
+    u64()
+    {
+        need(8);
+        uint64_t v = 0;
+        for (unsigned i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(buf_[pos_++]) << (8 * i);
+        return v;
+    }
+
+    void
+    bytes(uint8_t *out, size_t n)
+    {
+        need(n);
+        std::copy_n(buf_.begin() + static_cast<ptrdiff_t>(pos_), n, out);
+        pos_ += n;
+    }
+
+    size_t remaining() const { return buf_.size() - pos_; }
+
+    /**
+     * Guard for a count field about to drive a loop of `elem_bytes`
+     * per element: the stream must still hold that many bytes, so a
+     * corrupt count fails fast as Truncated instead of attempting a
+     * gigantic allocation.
+     */
+    void
+    checkCount(uint64_t count, size_t elem_bytes)
+    {
+        if (count > remaining() / elem_bytes)
+            throw SnapshotError(
+                SnapshotError::Kind::Truncated,
+                strprintf("snapshot: count %llu exceeds the %zu bytes "
+                          "left in the stream",
+                          static_cast<unsigned long long>(count),
+                          remaining()));
+    }
+
+  private:
+    void
+    need(size_t n)
+    {
+        if (buf_.size() - pos_ < n)
+            throw SnapshotError(
+                SnapshotError::Kind::Truncated,
+                strprintf("snapshot: stream truncated at byte %zu "
+                          "(need %zu more)",
+                          pos_, n));
+    }
+
+    const std::vector<uint8_t> &buf_;
+    size_t pos_ = 0;
+};
+
+void
+writeMemStats(Writer &w, const MemStats &m)
+{
+    w.u64(m.instFetches);
+    w.u64(m.dataReads);
+    w.u64(m.dataWrites);
+    w.u64(m.dataReadBytes);
+    w.u64(m.dataWriteBytes);
+}
+
+MemStats
+readMemStats(Reader &r)
+{
+    MemStats m;
+    m.instFetches = r.u64();
+    m.dataReads = r.u64();
+    m.dataWrites = r.u64();
+    m.dataReadBytes = r.u64();
+    m.dataWriteBytes = r.u64();
+    return m;
+}
+
+// The SimStats field list below must stay in sync with sim/stats.hh;
+// a new statistic means a new field here and a SnapshotFormatVersion
+// bump (test_snapshot.cc round-trips every field).
+
+void
+writeStats(Writer &w, const SimStats &s)
+{
+    w.u64(s.instructions);
+    w.u64(s.cycles);
+    w.u32(static_cast<uint32_t>(s.perOpcode.size()));
+    for (const auto &[op, count] : s.perOpcode) {
+        w.u8(static_cast<uint8_t>(op));
+        w.u64(count);
+    }
+    for (uint64_t c : s.perClass)
+        w.u64(c);
+    w.u64(s.branches);
+    w.u64(s.branchesTaken);
+    w.u64(s.nopsExecuted);
+    w.u64(s.calls);
+    w.u64(s.returns);
+    w.u64(s.interruptsTaken);
+    w.u64(s.trapsTaken);
+    w.u64(s.windowOverflows);
+    w.u64(s.windowUnderflows);
+    w.u64(s.spillWords);
+    w.u64(s.refillWords);
+    w.u64(s.callDepth);
+    w.u64(s.maxCallDepth);
+    writeMemStats(w, s.memory);
+    w.u64(s.sbDispatches);
+    w.u64(s.sbInstructions);
+    w.u64(s.sbBlocksFormed);
+    w.u64(s.sbBlocksDemoted);
+    w.u64(s.sbLoopIters);
+    w.u64(s.sbChained);
+}
+
+SimStats
+readStats(Reader &r)
+{
+    SimStats s;
+    s.instructions = r.u64();
+    s.cycles = r.u64();
+    const uint32_t nops = r.u32();
+    r.checkCount(nops, 9);
+    for (uint32_t i = 0; i < nops; ++i) {
+        const auto op = static_cast<isa::Opcode>(r.u8());
+        s.perOpcode[op] = r.u64();
+    }
+    for (uint64_t &c : s.perClass)
+        c = r.u64();
+    s.branches = r.u64();
+    s.branchesTaken = r.u64();
+    s.nopsExecuted = r.u64();
+    s.calls = r.u64();
+    s.returns = r.u64();
+    s.interruptsTaken = r.u64();
+    s.trapsTaken = r.u64();
+    s.windowOverflows = r.u64();
+    s.windowUnderflows = r.u64();
+    s.spillWords = r.u64();
+    s.refillWords = r.u64();
+    s.callDepth = r.u64();
+    s.maxCallDepth = r.u64();
+    s.memory = readMemStats(r);
+    s.sbDispatches = r.u64();
+    s.sbInstructions = r.u64();
+    s.sbBlocksFormed = r.u64();
+    s.sbBlocksDemoted = r.u64();
+    s.sbLoopIters = r.u64();
+    s.sbChained = r.u64();
+    return s;
+}
+
+} // namespace
+
+uint64_t
+configHash(const CpuOptions &o)
+{
+    uint64_t h = FnvOffset;
+    hashU64(h, o.windows.numWindows);
+    hashU64(h, o.timing.aluCycles);
+    hashU64(h, o.timing.loadCycles);
+    hashU64(h, o.timing.storeCycles);
+    hashU64(h, o.timing.branchCycles);
+    hashU64(h, o.timing.callCycles);
+    hashU64(h, o.timing.retCycles);
+    hashU64(h, o.timing.miscCycles);
+    hashU64(h, o.timing.windowTrapOverhead);
+    hashU64(h, o.stackTop);
+    hashU64(h, o.spillBase);
+    hashU64(h, o.haltOnZeroTarget ? 1 : 0);
+    hashU64(h, o.interruptVector);
+    hashU64(h, o.trapVector);
+    hashU64(h, o.memLimit);
+    return h;
+}
+
+std::vector<uint8_t>
+serializeSnapshot(const Snapshot &snap, const CpuOptions &options)
+{
+    Writer w;
+    w.u32(SnapshotMagic);
+    w.u32(SnapshotFormatVersion);
+    w.u64(configHash(options));
+
+    w.u32(static_cast<uint32_t>(snap.regs.size()));
+    for (uint32_t reg : snap.regs)
+        w.u32(reg);
+
+    w.u32(static_cast<uint32_t>(snap.pages.size()));
+    for (const auto &[index, bytes] : snap.pages) {
+        w.u32(index);
+        w.bytes(bytes.data(), bytes.size()); // always Memory::PageSize
+    }
+
+    writeMemStats(w, snap.memStats);
+    writeStats(w, snap.stats);
+
+    w.u8(static_cast<uint8_t>((snap.flags.z ? 1 : 0) |
+                              (snap.flags.n ? 2 : 0) |
+                              (snap.flags.v ? 4 : 0) |
+                              (snap.flags.c ? 8 : 0)));
+    w.u32(snap.pc);
+    w.u32(snap.npc);
+    w.u32(snap.lastPc);
+    w.u32(snap.spillSp);
+    w.u32(snap.cwp);
+    w.u32(snap.resident);
+    w.u64(snap.spilled);
+    w.u8(snap.ie ? 1 : 0);
+    w.u8(snap.halted ? 1 : 0);
+    w.u8(snap.interruptPending ? 1 : 0);
+
+    w.u32(static_cast<uint32_t>(snap.pcRing.size()));
+    for (uint32_t pc : snap.pcRing)
+        w.u32(pc);
+    w.u32(snap.pcRingPos);
+    w.u64(snap.pcRingCount);
+    return w.take();
+}
+
+Snapshot
+deserializeSnapshot(const std::vector<uint8_t> &bytes,
+                    const CpuOptions &options)
+{
+    Reader r(bytes);
+    const uint32_t magic = r.u32();
+    if (magic != SnapshotMagic)
+        throw SnapshotError(
+            SnapshotError::Kind::BadMagic,
+            strprintf("snapshot: bad magic 0x%08x", magic));
+    const uint32_t version = r.u32();
+    if (version != SnapshotFormatVersion)
+        throw SnapshotError(
+            SnapshotError::Kind::BadVersion,
+            strprintf("snapshot: format version %u, this build reads "
+                      "version %u",
+                      version, SnapshotFormatVersion));
+    const uint64_t hash = r.u64();
+    const uint64_t want = configHash(options);
+    if (hash != want)
+        throw SnapshotError(
+            SnapshotError::Kind::ConfigMismatch,
+            strprintf("snapshot: config hash %016llx does not match "
+                      "this Cpu's %016llx (different window geometry, "
+                      "timing model, memory layout or vectors)",
+                      static_cast<unsigned long long>(hash),
+                      static_cast<unsigned long long>(want)));
+
+    Snapshot snap;
+    const uint32_t nregs = r.u32();
+    if (nregs != options.windows.physCount())
+        throw SnapshotError(
+            SnapshotError::Kind::Corrupt,
+            strprintf("snapshot: %u registers recorded, configuration "
+                      "has %u",
+                      nregs, options.windows.physCount()));
+    snap.regs.resize(nregs);
+    for (uint32_t &reg : snap.regs)
+        reg = r.u32();
+
+    const uint32_t npages = r.u32();
+    r.checkCount(npages, 4 + Memory::PageSize);
+    snap.pages.reserve(npages);
+    uint32_t prev_index = 0;
+    for (uint32_t i = 0; i < npages; ++i) {
+        const uint32_t index = r.u32();
+        if (i != 0 && index <= prev_index)
+            throw SnapshotError(
+                SnapshotError::Kind::Corrupt,
+                strprintf("snapshot: page indices not strictly "
+                          "ascending at page %u",
+                          i));
+        prev_index = index;
+        std::vector<uint8_t> page(Memory::PageSize);
+        r.bytes(page.data(), page.size());
+        snap.pages.emplace_back(index, std::move(page));
+    }
+
+    snap.memStats = readMemStats(r);
+    snap.stats = readStats(r);
+
+    const uint8_t fl = r.u8();
+    if (fl > 0xf)
+        throw SnapshotError(SnapshotError::Kind::Corrupt,
+                            strprintf("snapshot: bad flag byte 0x%02x",
+                                      fl));
+    snap.flags.z = (fl & 1) != 0;
+    snap.flags.n = (fl & 2) != 0;
+    snap.flags.v = (fl & 4) != 0;
+    snap.flags.c = (fl & 8) != 0;
+    snap.pc = r.u32();
+    snap.npc = r.u32();
+    snap.lastPc = r.u32();
+    snap.spillSp = r.u32();
+    snap.cwp = r.u32();
+    if (snap.cwp >= options.windows.numWindows)
+        throw SnapshotError(
+            SnapshotError::Kind::Corrupt,
+            strprintf("snapshot: cwp %u out of range (%u windows)",
+                      snap.cwp, options.windows.numWindows));
+    snap.resident = r.u32();
+    snap.spilled = r.u64();
+    snap.ie = r.u8() != 0;
+    snap.halted = r.u8() != 0;
+    snap.interruptPending = r.u8() != 0;
+
+    const uint32_t nring = r.u32();
+    r.checkCount(nring, 4);
+    snap.pcRing.resize(nring);
+    for (uint32_t &pc : snap.pcRing)
+        pc = r.u32();
+    snap.pcRingPos = r.u32();
+    snap.pcRingCount = r.u64();
+
+    if (r.remaining() != 0)
+        throw SnapshotError(
+            SnapshotError::Kind::Corrupt,
+            strprintf("snapshot: %zu trailing bytes after the last "
+                      "field",
+                      r.remaining()));
+    return snap;
+}
+
+} // namespace risc1::sim

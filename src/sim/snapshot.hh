@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Snapshot serialization: a Cpu checkpoint rendered to a versioned,
+ * self-describing byte stream, so checkpoints can be written to disk
+ * as crash reproducers (the lockstep sentinel's DivergenceReport
+ * carries one) and reloaded in a later process.
+ *
+ * The stream is guarded two ways. A magic/version header rejects
+ * foreign or stale files, and a 64-bit configuration hash of the
+ * architecturally relevant CpuOptions fields rejects a snapshot taken
+ * under a different machine configuration — restoring a 4-window
+ * checkpoint into an 8-window Cpu must be a typed error, never UB.
+ * Engine-selection fields (predecode/threaded/fuse/superblock/trace)
+ * and stop policies (maxInstructions, watchdogCycles) are deliberately
+ * excluded from the hash: they change how fast the machine runs, not
+ * which states it passes through, so a reproducer captured on the
+ * superblock engine replays on the reference interpreter.
+ *
+ * Every malformed input — truncated stream, version skew, config-hash
+ * mismatch, structural corruption — throws SnapshotError with a
+ * machine-checkable Kind; deserialization never trusts a length field
+ * without bounds-checking it first. See docs/ROBUSTNESS.md for the
+ * exact layout.
+ */
+
+#ifndef RISC1_SIM_SNAPSHOT_HH
+#define RISC1_SIM_SNAPSHOT_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/cpu.hh"
+
+namespace risc1::sim {
+
+/** Current serialization format version. */
+constexpr uint32_t SnapshotFormatVersion = 1;
+
+/** Typed failure of snapshot deserialization. */
+class SnapshotError : public std::runtime_error
+{
+  public:
+    enum class Kind : uint8_t
+    {
+        Truncated,      //!< stream ended inside a field
+        BadMagic,       //!< not a snapshot stream at all
+        BadVersion,     //!< produced by a different format version
+        ConfigMismatch, //!< CpuOptions hash differs from the reader's
+        Corrupt,        //!< structurally invalid (bad sizes, trailing bytes)
+    };
+
+    SnapshotError(Kind kind, const std::string &message)
+        : std::runtime_error(message), kind_(kind)
+    {}
+
+    Kind kind() const { return kind_; }
+
+  private:
+    Kind kind_;
+};
+
+/**
+ * Hash of the CpuOptions fields that determine the architectural state
+ * trajectory: window geometry, cycle costs, stack/spill layout, halt
+ * convention, interrupt/trap vectors and the address-space limit.
+ * Two configurations with equal hashes produce interchangeable
+ * snapshots (see the file comment for what is deliberately excluded).
+ */
+uint64_t configHash(const CpuOptions &options);
+
+/** Render `snap`, taken under `options`, to the versioned stream. */
+std::vector<uint8_t> serializeSnapshot(const Snapshot &snap,
+                                       const CpuOptions &options);
+
+/**
+ * Parse a serialized snapshot for a Cpu configured with `options`.
+ * Throws SnapshotError on any malformed input or configuration
+ * mismatch; on success the result is safe to pass to Cpu::restore()
+ * on any Cpu whose configHash matches.
+ */
+Snapshot deserializeSnapshot(const std::vector<uint8_t> &bytes,
+                             const CpuOptions &options);
+
+} // namespace risc1::sim
+
+#endif // RISC1_SIM_SNAPSHOT_HH

@@ -199,4 +199,105 @@ TEST(FaultInject, DescribeNamesEveryTarget)
     }
 }
 
+void
+expectRowsEq(const std::vector<core::FaultCampaignRow> &a,
+             const std::vector<core::FaultCampaignRow> &b,
+             const std::string &what)
+{
+    ASSERT_EQ(a.size(), b.size()) << what;
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].name, b[i].name) << what;
+        EXPECT_EQ(a[i].baselineInsts, b[i].baselineInsts) << what;
+        EXPECT_EQ(a[i].checkpoints, b[i].checkpoints)
+            << what << " " << a[i].name;
+        EXPECT_EQ(a[i].replayedInsts, b[i].replayedInsts)
+            << what << " " << a[i].name;
+        for (unsigned c = 0; c < core::NumFaultOutcomes; ++c) {
+            EXPECT_EQ(a[i].byOutcome[c], b[i].byOutcome[c])
+                << what << " " << a[i].name << " outcome " << c;
+            EXPECT_EQ(a[i].recovered[c], b[i].recovered[c])
+                << what << " " << a[i].name << " recovered " << c;
+        }
+    }
+}
+
+TEST(Recovery, CampaignDeterministicAcrossJobsAndModes)
+{
+    core::RecoveryOptions recovery;
+    recovery.enabled = true;
+    recovery.checkpointInterval = 500;
+    const auto serial_flat =
+        core::faultCampaign(3, 2026, 1, false, recovery);
+    expectRowsEq(serial_flat,
+                 core::faultCampaign(3, 2026, 4, false, recovery),
+                 "jobs=4 flat");
+    expectRowsEq(serial_flat,
+                 core::faultCampaign(3, 2026, 1, true, recovery),
+                 "jobs=1 streaming");
+    expectRowsEq(serial_flat,
+                 core::faultCampaign(3, 2026, 4, true, recovery),
+                 "jobs=4 streaming");
+}
+
+TEST(Recovery, BaseClassTalliesUnchangedByRecovery)
+{
+    // Pausing at checkpoints and re-running after detection must not
+    // perturb the faulted run's own outcome: the four base classes
+    // match the plain campaign for the same seed, run for run.
+    const auto plain = core::faultCampaign(4, 77);
+    core::RecoveryOptions recovery;
+    recovery.enabled = true;
+    recovery.checkpointInterval = 300;
+    const auto recovered = core::faultCampaign(4, 77, 2, true, recovery);
+    ASSERT_EQ(plain.size(), recovered.size());
+    for (size_t i = 0; i < plain.size(); ++i)
+        for (unsigned c = 0; c < core::NumFaultOutcomes; ++c)
+            EXPECT_EQ(plain[i].byOutcome[c], recovered[i].byOutcome[c])
+                << plain[i].name << " outcome " << c;
+}
+
+TEST(Recovery, OnlyDetectedClassesRecoverAndWithinBounds)
+{
+    core::RecoveryOptions recovery;
+    recovery.enabled = true;
+    recovery.checkpointInterval = 400;
+    for (const auto &row : core::faultCampaign(5, 1234, 2, true,
+                                               recovery)) {
+        EXPECT_EQ(row.recoveredCount(core::FaultOutcome::Masked), 0u)
+            << row.name;
+        EXPECT_EQ(row.recoveredCount(core::FaultOutcome::Sdc), 0u)
+            << row.name;
+        EXPECT_LE(row.recoveredCount(core::FaultOutcome::DetectedTrap),
+                  row.count(core::FaultOutcome::DetectedTrap))
+            << row.name;
+        EXPECT_LE(row.recoveredCount(core::FaultOutcome::WatchdogHang),
+                  row.count(core::FaultOutcome::WatchdogHang))
+            << row.name;
+        EXPECT_GT(row.checkpoints, 0u) << row.name;
+    }
+}
+
+TEST(Recovery, NoRecoveryFieldsWhenDisabled)
+{
+    for (const auto &row : core::faultCampaign(2, 99)) {
+        EXPECT_EQ(row.recoveredTotal(), 0u) << row.name;
+        EXPECT_EQ(row.checkpoints, 0u) << row.name;
+        EXPECT_EQ(row.replayedInsts, 0u) << row.name;
+    }
+}
+
+TEST(Recovery, SweepAggregatesAreConsistent)
+{
+    const auto rows = core::recoverySweep({300, 3000}, 2, 7, 2);
+    ASSERT_EQ(rows.size(), 2u);
+    for (const auto &row : rows) {
+        EXPECT_GT(row.injections, 0u);
+        EXPECT_LE(row.recovered, row.detected);
+        EXPECT_GE(row.checkpoints, row.injections / 2) << "interval "
+            << row.interval; // every run of nontrivial length snapshots
+    }
+    // Smaller interval => strictly more checkpoints taken.
+    EXPECT_GT(rows[0].checkpoints, rows[1].checkpoints);
+}
+
 } // namespace

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Lockstep divergence sentinel tests: every fast engine runs in
+ * lockstep against the reference interpreter with zero divergences —
+ * on real workloads and on seeded random programs — and an engine
+ * with an intentionally injected defect (the perturbation test hook)
+ * is caught with the first divergent instruction pinned exactly.
+ * Under -DRISC1_SANITIZE=ON the fuzz cases double as the ASan+UBSan
+ * smoke over the lockstep/snapshot machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cpu.hh"
+#include "sim/lockstep.hh"
+#include "sim/snapshot.hh"
+#include "support/logging.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace risc1;
+
+/** The reference: the plain (non-predecoded) interpreter. */
+sim::CpuOptions
+interpOptions()
+{
+    sim::CpuOptions opts;
+    opts.predecode = false;
+    opts.threaded = false;
+    opts.fuse = false;
+    opts.superblock = false;
+    return opts;
+}
+
+/** The engine ladder above the interpreter, by name. */
+std::vector<std::pair<std::string, sim::CpuOptions>>
+fastEngines()
+{
+    sim::CpuOptions predecode;
+    predecode.predecode = true;
+    predecode.threaded = false;
+    predecode.fuse = false;
+    predecode.superblock = false;
+
+    sim::CpuOptions threaded;
+    threaded.threaded = true;
+    threaded.fuse = true;
+    threaded.superblock = false;
+
+    sim::CpuOptions superblock;
+    superblock.threaded = true;
+    superblock.fuse = false;
+    superblock.superblock = true;
+
+    return {{"predecode", predecode},
+            {"threaded", threaded},
+            {"superblock", superblock}};
+}
+
+TEST(Lockstep, WorkloadsRunDivergenceFree)
+{
+    // A recursive and an iterative workload through every engine pair;
+    // an odd stride so boundaries land mid-block and mid-fused-pair.
+    unsigned tested = 0;
+    for (const workloads::Workload &wl : workloads::allWorkloads()) {
+        if (wl.name != "fibonacci" && wl.name != "queens")
+            continue;
+        const assembler::Program prog =
+            workloads::buildRisc(wl, wl.defaultScale);
+        for (const auto &[name, engine] : fastEngines()) {
+            sim::LockstepOptions opts;
+            opts.stride = 777;
+            const sim::LockstepResult res =
+                sim::runLockstep(prog, interpOptions(), engine, opts);
+            EXPECT_FALSE(res.diverged)
+                << wl.name << " vs " << name << "\n" << res.report.str();
+            EXPECT_EQ(res.reason, sim::StopReason::Halted)
+                << wl.name << " vs " << name;
+            ++tested;
+        }
+    }
+    EXPECT_EQ(tested, 6u);
+}
+
+TEST(Lockstep, FuzzedProgramsRunDivergenceFree)
+{
+    // Fixed seeds, bounded runs (random programs may loop forever):
+    // all engine pairs must agree at every stride for every program.
+    for (uint64_t seed = 1; seed <= 10; ++seed) {
+        const assembler::Program prog = sim::randomProgram(seed);
+        for (const auto &[name, engine] : fastEngines()) {
+            sim::LockstepOptions opts;
+            opts.stride = 257;
+            opts.maxInstructions = 60'000;
+            const sim::LockstepResult res =
+                sim::runLockstep(prog, interpOptions(), engine, opts);
+            EXPECT_FALSE(res.diverged)
+                << "seed " << seed << " vs " << name << "\n"
+                << res.report.str();
+            EXPECT_TRUE(res.reason == sim::StopReason::Halted ||
+                        res.reason == sim::StopReason::Paused)
+                << "seed " << seed << " vs " << name << ": reason "
+                << static_cast<unsigned>(res.reason);
+        }
+    }
+}
+
+TEST(Lockstep, RandomProgramIsDeterministicPerSeed)
+{
+    const assembler::Program a = sim::randomProgram(7);
+    const assembler::Program b = sim::randomProgram(7);
+    ASSERT_EQ(a.segments.size(), b.segments.size());
+    for (size_t i = 0; i < a.segments.size(); ++i) {
+        EXPECT_EQ(a.segments[i].base, b.segments[i].base);
+        EXPECT_EQ(a.segments[i].bytes, b.segments[i].bytes);
+    }
+    const assembler::Program c = sim::randomProgram(8);
+    bool differs = a.segments.size() != c.segments.size();
+    for (size_t i = 0; !differs && i < a.segments.size(); ++i)
+        differs = a.segments[i].bytes != c.segments[i].bytes;
+    EXPECT_TRUE(differs) << "different seeds produced identical programs";
+}
+
+/** A fuzz program that retires at least `floor` instructions. */
+assembler::Program
+longRandomProgram(uint64_t *seed_out, uint64_t floor, uint64_t bound)
+{
+    for (uint64_t seed = 1; seed <= 200; ++seed) {
+        const assembler::Program prog = sim::randomProgram(seed);
+        sim::Cpu probe(interpOptions());
+        probe.load(prog);
+        if (probe.runUntil(bound).instructions >= floor) {
+            *seed_out = seed;
+            return prog;
+        }
+    }
+    ADD_FAILURE() << "no long-running fuzz program found";
+    return {};
+}
+
+TEST(Lockstep, PerturbedEngineCaughtAtExactInstruction)
+{
+    // Inject a deterministic "engine bug" via the perturbation hook:
+    // the subject's r8 (a global the fuzz programs never touch) is
+    // flipped once it has retired exactly `perturbAt` instructions.
+    // The sentinel must pin that exact instruction index and PC.
+    uint64_t seed = 0;
+    const assembler::Program prog =
+        longRandomProgram(&seed, 5'000, 60'000);
+
+    constexpr uint64_t PerturbAt = 1'000;
+    sim::LockstepOptions opts;
+    opts.stride = 256;
+    opts.maxInstructions = 60'000;
+    opts.perturbAt = PerturbAt;
+    opts.perturbReg = 8;
+    opts.perturbMask = 0x80000000u;
+
+    // Independent expectation: the PC the reference machine sits at
+    // after retiring exactly PerturbAt instructions.
+    sim::Cpu expect(interpOptions());
+    expect.load(prog);
+    ASSERT_EQ(expect.runUntil(PerturbAt).reason,
+              sim::StopReason::Paused);
+    const uint32_t expect_pc = expect.pc();
+
+    for (const auto &[name, engine] : fastEngines()) {
+        const sim::LockstepResult res =
+            sim::runLockstep(prog, interpOptions(), engine, opts);
+        ASSERT_TRUE(res.diverged) << "seed " << seed << " vs " << name;
+        EXPECT_EQ(res.report.instructionIndex, PerturbAt)
+            << name << "\n" << res.report.str();
+        EXPECT_EQ(res.report.pc, expect_pc)
+            << name << "\n" << res.report.str();
+        // The report names the perturbed register, carries a disasm
+        // window around the pinned PC, and its checkpoint precedes
+        // the divergence by less than one stride.
+        EXPECT_NE(res.report.fieldDiff.find("phys r"), std::string::npos);
+        EXPECT_NE(res.report.disasm.find("=>"), std::string::npos);
+        EXPECT_LT(res.report.reproducerInstructions, PerturbAt);
+        EXPECT_GE(res.report.reproducerInstructions + opts.stride,
+                  PerturbAt);
+        EXPECT_FALSE(res.report.str().empty());
+
+        // The reproducer snapshot replays: deserialize, restore into
+        // a fresh reference machine, advance to the pinned index, and
+        // land on the pinned PC.
+        const sim::Snapshot snap = sim::deserializeSnapshot(
+            res.report.reproducer, interpOptions());
+        sim::Cpu replay(interpOptions());
+        replay.load(prog);
+        replay.restore(snap);
+        EXPECT_EQ(replay.stats().instructions,
+                  res.report.reproducerInstructions);
+        ASSERT_EQ(replay.runUntil(PerturbAt).reason,
+                  sim::StopReason::Paused);
+        EXPECT_EQ(replay.pc(), res.report.pc) << name;
+    }
+}
+
+TEST(Lockstep, PerturbationOnTheReferenceSideAlsoCaught)
+{
+    // Symmetry check with a workload program: perturbing the *subject*
+    // when it is the superblock engine still pins the same index.
+    const workloads::Workload *fib = nullptr;
+    for (const workloads::Workload &wl : workloads::allWorkloads())
+        if (wl.name == "fibonacci")
+            fib = &wl;
+    ASSERT_NE(fib, nullptr);
+    const assembler::Program prog =
+        workloads::buildRisc(*fib, fib->defaultScale);
+
+    sim::LockstepOptions opts;
+    opts.stride = 1000;
+    opts.perturbAt = 4'321;
+    opts.perturbReg = 9;
+    opts.perturbMask = 0x1;
+    const sim::LockstepResult res = sim::runLockstep(
+        prog, interpOptions(), fastEngines()[2].second, opts);
+    ASSERT_TRUE(res.diverged);
+    EXPECT_EQ(res.report.instructionIndex, opts.perturbAt);
+}
+
+TEST(Lockstep, ArchitecturallyIncompatibleConfigsRefused)
+{
+    const assembler::Program prog = sim::randomProgram(3);
+    sim::CpuOptions ref = interpOptions();
+    sim::CpuOptions subject; // default engine
+    subject.windows.numWindows = ref.windows.numWindows / 2;
+    EXPECT_THROW(sim::runLockstep(prog, ref, subject, {}), FatalError);
+}
+
+} // namespace

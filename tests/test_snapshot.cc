@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/cpu.hh"
+#include "sim/snapshot.hh"
 #include "workloads/workload.hh"
 
 namespace {
@@ -117,6 +118,202 @@ TEST(Snapshot, RoundTripsIdleState)
     cpu.restore(snap);
     EXPECT_EQ(cpu.reg(5), 0u);
     EXPECT_EQ(cpu.pc(), 0x1000u);
+}
+
+// ---- Mid-run restore on the fast engines --------------------------------
+//
+// Snapshots taken while fused pairs and superblocks are live must
+// restore cleanly: restore() drops all predecoded state, so the
+// resumed run stays differentially identical to the interpreter.
+
+sim::CpuOptions
+engineOptions(bool superblock)
+{
+    sim::CpuOptions opts;
+    opts.threaded = true;
+    opts.fuse = !superblock;
+    opts.superblock = superblock;
+    return opts;
+}
+
+TEST(SnapshotEngines, MidRunRestoreMatchesInterpreterOnFastEngines)
+{
+    const workloads::Workload *pick = nullptr;
+    for (const workloads::Workload &wl : workloads::allWorkloads())
+        if (wl.recursive)
+            pick = &wl;
+    ASSERT_NE(pick, nullptr);
+    const assembler::Program prog =
+        workloads::buildRisc(*pick, pick->defaultScale);
+
+    sim::CpuOptions interp;
+    interp.predecode = false;
+    interp.threaded = false;
+    sim::Cpu reference(interp);
+    reference.load(prog);
+    const auto [ref_result, ref_cycles] = finish(reference);
+
+    for (const bool superblock : {false, true}) {
+        const std::string what =
+            superblock ? "superblock" : "threaded+fuse";
+        // Pause at an odd count (mid-block, mid-pair), snapshot, and
+        // resume in a *fresh* Cpu of the same engine.
+        sim::Cpu cpu(engineOptions(superblock));
+        cpu.load(prog);
+        const uint64_t pause = reference.stats().instructions / 3 + 7;
+        ASSERT_EQ(cpu.runUntil(pause).reason, sim::StopReason::Paused)
+            << what;
+        const sim::Snapshot snap = cpu.snapshot();
+
+        sim::Cpu resumed(engineOptions(superblock));
+        resumed.load(prog);
+        // Warm the resumed machine's caches elsewhere in the program
+        // first: restore() must demote every live block and fused pair.
+        ASSERT_EQ(resumed.runUntil(pause / 2).reason,
+                  sim::StopReason::Paused)
+            << what;
+        resumed.restore(snap);
+        const auto [result, cycles] = finish(resumed);
+        EXPECT_EQ(result, ref_result) << what;
+        EXPECT_EQ(cycles, ref_cycles) << what;
+        EXPECT_EQ(resumed.stats().instructions,
+                  reference.stats().instructions)
+            << what;
+
+        // The paused original must also continue identically.
+        const auto [result2, cycles2] = finish(cpu);
+        EXPECT_EQ(result2, ref_result) << what;
+        EXPECT_EQ(cycles2, ref_cycles) << what;
+    }
+}
+
+// ---- Serialization -------------------------------------------------------
+
+TEST(SnapshotSerialize, RoundTripsMidRunAcrossEngines)
+{
+    // Serialize a checkpoint taken on the (default) superblock engine
+    // and resume it on the plain interpreter: the config hash covers
+    // only architectural fields, so a reproducer captured on any
+    // engine replays on any other.
+    const workloads::Workload &wl = workloads::allWorkloads().front();
+    const assembler::Program prog =
+        workloads::buildRisc(wl, wl.defaultScale);
+
+    sim::Cpu fast; // default options: superblock engine
+    fast.load(prog);
+    ASSERT_EQ(fast.runUntil(1000).reason, sim::StopReason::Paused);
+    const std::vector<uint8_t> bytes =
+        sim::serializeSnapshot(fast.snapshot(), fast.options());
+
+    sim::CpuOptions interp;
+    interp.predecode = false;
+    interp.threaded = false;
+    ASSERT_EQ(sim::configHash(interp), sim::configHash(fast.options()));
+    const sim::Snapshot snap = sim::deserializeSnapshot(bytes, interp);
+    sim::Cpu cpu(interp);
+    cpu.load(prog);
+    cpu.restore(snap);
+    EXPECT_EQ(cpu.stats().instructions, 1000u);
+    const auto [result, cycles] = finish(cpu);
+    EXPECT_EQ(result, wl.expected(wl.defaultScale));
+
+    // And the continuation matches the uninterrupted fast run.
+    const auto [fast_result, fast_cycles] = finish(fast);
+    EXPECT_EQ(result, fast_result);
+    EXPECT_EQ(cycles, fast_cycles);
+}
+
+sim::SnapshotError::Kind
+deserializeKind(const std::vector<uint8_t> &bytes,
+                const sim::CpuOptions &options)
+{
+    try {
+        (void)sim::deserializeSnapshot(bytes, options);
+    } catch (const sim::SnapshotError &err) {
+        EXPECT_FALSE(std::string(err.what()).empty());
+        return err.kind();
+    }
+    ADD_FAILURE() << "deserialization unexpectedly succeeded";
+    return sim::SnapshotError::Kind::Corrupt;
+}
+
+class SnapshotNegative : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        cpu_.load(assembler::assembleOrDie(R"(
+_start: add  r16, 1, r16
+        stl  r16, (r0)512
+        halt
+)"));
+        ASSERT_EQ(cpu_.runUntil(1).reason, sim::StopReason::Paused);
+        bytes_ = sim::serializeSnapshot(cpu_.snapshot(), cpu_.options());
+    }
+
+    sim::Cpu cpu_;
+    std::vector<uint8_t> bytes_;
+};
+
+TEST_F(SnapshotNegative, TruncatedStreamsRejected)
+{
+    using Kind = sim::SnapshotError::Kind;
+    for (const size_t len : {size_t{0}, size_t{3}, size_t{9},
+                             bytes_.size() / 2, bytes_.size() - 1}) {
+        std::vector<uint8_t> cut(bytes_.begin(), bytes_.begin() + len);
+        EXPECT_EQ(deserializeKind(cut, cpu_.options()), Kind::Truncated)
+            << "length " << len;
+    }
+}
+
+TEST_F(SnapshotNegative, ForeignMagicRejected)
+{
+    bytes_[0] ^= 0xff;
+    EXPECT_EQ(deserializeKind(bytes_, cpu_.options()),
+              sim::SnapshotError::Kind::BadMagic);
+}
+
+TEST_F(SnapshotNegative, VersionSkewRejected)
+{
+    bytes_[4] += 1; // version field follows the magic
+    EXPECT_EQ(deserializeKind(bytes_, cpu_.options()),
+              sim::SnapshotError::Kind::BadVersion);
+}
+
+TEST_F(SnapshotNegative, ConfigHashMismatchRejected)
+{
+    sim::CpuOptions other = cpu_.options();
+    other.windows.numWindows = 4;
+    ASSERT_NE(sim::configHash(other), sim::configHash(cpu_.options()));
+    EXPECT_EQ(deserializeKind(bytes_, other),
+              sim::SnapshotError::Kind::ConfigMismatch);
+
+    // Engine selection and stop policy are deliberately NOT part of
+    // the architectural configuration.
+    sim::CpuOptions engines = cpu_.options();
+    engines.predecode = !engines.predecode;
+    engines.threaded = !engines.threaded;
+    engines.superblock = !engines.superblock;
+    engines.maxInstructions /= 2;
+    EXPECT_EQ(sim::configHash(engines), sim::configHash(cpu_.options()));
+}
+
+TEST_F(SnapshotNegative, TrailingGarbageRejected)
+{
+    bytes_.push_back(0x00);
+    EXPECT_EQ(deserializeKind(bytes_, cpu_.options()),
+              sim::SnapshotError::Kind::Corrupt);
+}
+
+TEST_F(SnapshotNegative, SerializedStateActuallyRestores)
+{
+    const sim::Snapshot snap =
+        sim::deserializeSnapshot(bytes_, cpu_.options());
+    sim::Cpu other;
+    other.restore(snap);
+    ASSERT_TRUE(other.run().halted());
+    EXPECT_EQ(other.memory().peek32(512), 1u);
 }
 
 } // namespace

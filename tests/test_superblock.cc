@@ -340,4 +340,43 @@ TEST(Superblock, CampaignStreamingMatchesFlatAcrossJobs)
               core::faultCampaignTable(stream_serial));
 }
 
+// ---- Mid-run restore must demote live blocks -----------------------------
+
+TEST(Superblock, RestoreMidRunDemotesLiveBlocks)
+{
+    // Warm the superblock engine deep into a recursive workload, then
+    // restore a snapshot taken much earlier in the SAME machine. Every
+    // live block record bakes physical register operands for the
+    // window state it was formed under; a record surviving restore()
+    // would execute against the rolled-back CWP and corrupt the run.
+    const workloads::Workload *pick = nullptr;
+    for (const workloads::Workload &wl : workloads::allWorkloads())
+        if (wl.recursive)
+            pick = &wl;
+    ASSERT_NE(pick, nullptr);
+    const assembler::Program prog =
+        workloads::buildRisc(*pick, pick->defaultScale);
+
+    sim::Cpu plain(plainOptions());
+    plain.load(prog);
+    const sim::ExecResult rp = plain.run();
+    ASSERT_TRUE(rp.halted());
+
+    sim::Cpu sblock(sbOptions());
+    sblock.load(prog);
+    const uint64_t early = rp.instructions / 5 + 3;
+    const uint64_t late = (3 * rp.instructions) / 4 + 1;
+    ASSERT_EQ(sblock.runUntil(early).reason, sim::StopReason::Paused);
+    const sim::Snapshot snap = sblock.snapshot();
+    ASSERT_EQ(sblock.runUntil(late).reason, sim::StopReason::Paused);
+    ASSERT_GT(sblock.stats().sbInstructions, 0u);
+
+    sblock.restore(snap);
+    const sim::ExecResult rs = sblock.run();
+    ASSERT_TRUE(rs.halted());
+    EXPECT_EQ(sblock.memory().peek32(workloads::ResultAddr),
+              plain.memory().peek32(workloads::ResultAddr));
+    expectStatsEq(sblock.stats(), plain.stats(), "restored superblock");
+}
+
 } // namespace
