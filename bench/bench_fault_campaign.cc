@@ -2,23 +2,34 @@
  * @file
  * Experiment R1: the seeded fault-injection campaign over the whole
  * suite. Usage: bench_fault_campaign [injections] [seed] [--tally]
- * [--recover] [--checkpoint-interval K] — defaults 100 and 1981; the
- * table is bit-for-bit reproducible for a fixed pair. --tally streams
- * outcomes into fixed-size tallies (peak memory independent of the
- * injection count) instead of materializing the flat outcome vector;
- * the table is identical either way. --recover enables checkpoint/
- * rollback recovery (snapshot every K instructions, K from
+ * [--recover] [--checkpoint-interval K] [--seed-range A:B]
+ * [--shard-out FILE] [--avf] — defaults 100 and 1981; the table is
+ * bit-for-bit reproducible for a fixed pair. --tally streams outcomes
+ * into fixed-size tallies (peak memory independent of the injection
+ * count) instead of materializing the flat outcome vector; the table
+ * is identical either way. --recover enables checkpoint/rollback
+ * recovery (snapshot every K instructions, K from
  * --checkpoint-interval, default 5000): detected trap/hang runs are
  * rolled back and re-executed, and the table gains recovered/
- * unrecovered columns. See docs/ROBUSTNESS.md.
+ * unrecovered columns. --avf appends the R3 per-fault-target AVF
+ * table. --seed-range A:B runs only slots [A, B) of the flat workload
+ * x injection grid — this is the campaign fleet's worker entry point
+ * (campaign_fleet spawns one such process per shard) and the handiest
+ * way to bisect a single bad seed; with --shard-out FILE the rows are
+ * written as a shard-cache record instead of printed. See
+ * docs/ROBUSTNESS.md.
  */
 
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <string>
+
+#include <unistd.h>
 
 #include "core/cli.hh"
 #include "core/experiments.hh"
+#include "core/fleet.hh"
 #include "core/parallel.hh"
 
 int
@@ -34,12 +45,24 @@ main(int argc, char **argv)
         "of a flat outcome vector; same table either way. --recover\n"
         "checkpoints every K instructions (--checkpoint-interval K,\n"
         "default 5000) and re-executes detected trap/hang runs from\n"
-        "the last checkpoint, splitting them recovered/unrecovered.",
+        "the last checkpoint, splitting them recovered/unrecovered.\n"
+        "--avf appends the R3 per-fault-target AVF table (with\n"
+        "recovery-weighted columns under --recover). --seed-range A:B\n"
+        "runs only slots [A,B) of the flat workload x injection grid\n"
+        "(the fleet worker entry point; summing any partition of the\n"
+        "grid reproduces the full campaign); --shard-out FILE writes\n"
+        "those rows as a durable shard-cache record instead of a\n"
+        "table.",
         "[injections] [seed] [--tally] [--recover] "
-        "[--checkpoint-interval K]");
+        "[--checkpoint-interval K] [--seed-range A:B] "
+        "[--shard-out FILE] [--avf]");
 
     bool streaming = false;
+    bool avf = false;
     risc1::core::RecoveryOptions recovery;
+    bool have_range = false;
+    uint64_t range_first = 0, range_last = 0;
+    std::string shard_out;
     int out = 1;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--tally") == 0) {
@@ -50,6 +73,22 @@ main(int argc, char **argv)
                    i + 1 < argc) {
             recovery.checkpointInterval =
                 std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--avf") == 0) {
+            avf = true;
+        } else if (std::strcmp(argv[i], "--seed-range") == 0 &&
+                   i + 1 < argc) {
+            const auto range = risc1::core::parseSeedRange(argv[++i]);
+            if (!range) {
+                std::cerr << argv[0] << ": bad --seed-range '"
+                          << argv[i] << "' (want A:B, A <= B)\n";
+                return 2;
+            }
+            have_range = true;
+            range_first = range->first;
+            range_last = range->second;
+        } else if (std::strcmp(argv[i], "--shard-out") == 0 &&
+                   i + 1 < argc) {
+            shard_out = argv[++i];
         } else {
             argv[out++] = argv[i];
         }
@@ -63,9 +102,47 @@ main(int argc, char **argv)
     if (argc > 2)
         seed = std::strtoull(argv[2], nullptr, 0);
 
-    auto rows = risc1::core::faultCampaign(
-        injections, seed, cli.resolvedJobs, streaming, recovery);
+    if (!shard_out.empty() && !have_range) {
+        std::cerr << argv[0] << ": --shard-out needs --seed-range\n";
+        return 2;
+    }
+
+    // Chaos hook for the fleet's re-queue ctests (see core/fleet.cc):
+    // only honoured in worker (--seed-range) mode, so a stray
+    // environment variable can never perturb a normal campaign.
+    if (have_range) {
+        const char *chaos = std::getenv("RISC1_SHARD_CHAOS");
+        if (chaos && std::strcmp(chaos, "crash") == 0)
+            std::_Exit(42);
+        if (chaos && std::strcmp(chaos, "hang") == 0)
+            ::sleep(600);
+    }
+
+    auto rows =
+        have_range
+            ? risc1::core::faultCampaignRange(injections, seed,
+                                              range_first, range_last,
+                                              cli.resolvedJobs,
+                                              streaming, recovery)
+            : risc1::core::faultCampaign(injections, seed,
+                                         cli.resolvedJobs, streaming,
+                                         recovery);
+
+    if (!shard_out.empty()) {
+        const risc1::core::ShardParams params = risc1::core::shardParams(
+            injections, seed, range_first, range_last, recovery);
+        risc1::core::writeShardFile(
+            shard_out,
+            risc1::core::serializeShardRecord(params, rows));
+        return 0;
+    }
+
     std::cout << risc1::core::faultCampaignTable(rows, recovery.enabled)
               << "\n";
+    if (avf)
+        std::cout << risc1::core::avfTable(
+                         risc1::core::avfReport(rows),
+                         recovery.enabled)
+                  << "\n";
     return 0;
 }

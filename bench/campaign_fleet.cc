@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The campaign fleet coordinator driver: a fault-injection campaign
+ * sharded into seed ranges, fanned out over bench_fault_campaign
+ * worker subprocesses, persisted shard by shard to a durable cache,
+ * and merged into the R1 campaign table plus the R3 recovery-aware
+ * AVF table. Interrupt it at any point and re-run with the same
+ * arguments: completed shards are merged warm from the cache and the
+ * final tables are byte-identical to an uninterrupted run, at any
+ * worker count. Hung workers are killed by a wall-clock watchdog and
+ * crashed workers re-queued with bounded retries; a shard that keeps
+ * failing, or an environment where subprocesses cannot be spawned at
+ * all, degrades to in-process execution. Tables go to stdout; the
+ * coordinator's account of itself (shards cached/computed/retried)
+ * goes to stderr so resumed runs stay byte-comparable. See
+ * docs/ROBUSTNESS.md §5.
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include <unistd.h>
+
+#include "core/cli.hh"
+#include "core/fleet.hh"
+#include "core/parallel.hh"
+#include "support/logging.hh"
+
+namespace {
+
+/** Default worker binary: bench_fault_campaign next to this one. */
+std::string
+siblingWorker(const char *argv0)
+{
+    std::string path(argv0);
+    const size_t slash = path.rfind('/');
+    path.resize(slash == std::string::npos ? 0 : slash + 1);
+    path += "bench_fault_campaign";
+    return ::access(path.c_str(), X_OK) == 0 ? path : std::string();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const risc1::core::BenchCli cli = risc1::core::parseBenchCli(
+        argc, argv,
+        "Campaign fleet coordinator: the R1 fault campaign sharded\n"
+        "into seed ranges and fanned out over bench_fault_campaign\n"
+        "worker subprocesses. Every completed shard is persisted to\n"
+        "the cache directory, so an interrupted campaign resumes\n"
+        "warm and prints byte-identical tables; hung or crashed\n"
+        "workers are re-queued with bounded retries. Prints the R1\n"
+        "campaign table and the R3 recovery-aware per-fault-target\n"
+        "AVF table on stdout; fleet statistics go to stderr.\n"
+        "Defaults: 100 injections, seed 1981, hardware-concurrency\n"
+        "workers, 1 job per worker (--jobs sets the per-worker\n"
+        "thread count), ~4 shards per worker, cache directory\n"
+        "campaign_fleet.cache.\n"
+        "  --workers N        concurrent worker subprocesses\n"
+        "  --shard-size S     grid slots per shard\n"
+        "  --cache-dir DIR    durable shard cache location\n"
+        "  --worker-exe PATH  worker binary (bench_fault_campaign)\n"
+        "  --in-process       run shards in-process (no subprocesses)\n"
+        "  --no-cache         disable persistence (in-process only)\n"
+        "  --max-retries R    re-queues per shard (default 2)\n"
+        "  --watchdog-sec T   per-shard wall-clock timeout\n"
+        "  --halt-after N     crash-simulation hook: stop (exit 3)\n"
+        "                     after N shards are merged\n"
+        "  --tally / --recover / --checkpoint-interval K as for\n"
+        "  bench_fault_campaign.",
+        "[injections] [seed] [--workers N] [--shard-size S] "
+        "[--cache-dir DIR] [--worker-exe PATH] [--in-process] "
+        "[--no-cache] [--tally] [--recover] [--checkpoint-interval K] "
+        "[--max-retries R] [--watchdog-sec T] [--halt-after N]");
+
+    risc1::core::FleetOptions opts;
+    opts.workers = risc1::core::resolveJobs(0);
+    opts.jobsPerWorker = cli.jobs ? cli.jobs : 1;
+    opts.streaming = false;
+    opts.cacheDir = "campaign_fleet.cache";
+    bool in_process = false;
+    bool no_cache = false;
+    std::string worker_exe;
+    int out = 1;
+    auto value = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            std::cerr << argv[0] << ": " << argv[i]
+                      << " needs a value\n";
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--workers") == 0) {
+            opts.workers = static_cast<unsigned>(
+                std::strtoul(value(i), nullptr, 0));
+        } else if (std::strcmp(argv[i], "--shard-size") == 0) {
+            opts.shardSlots = std::strtoull(value(i), nullptr, 0);
+        } else if (std::strcmp(argv[i], "--cache-dir") == 0) {
+            opts.cacheDir = value(i);
+        } else if (std::strcmp(argv[i], "--worker-exe") == 0) {
+            worker_exe = value(i);
+        } else if (std::strcmp(argv[i], "--in-process") == 0) {
+            in_process = true;
+        } else if (std::strcmp(argv[i], "--no-cache") == 0) {
+            no_cache = true;
+        } else if (std::strcmp(argv[i], "--tally") == 0) {
+            opts.streaming = true;
+        } else if (std::strcmp(argv[i], "--recover") == 0) {
+            opts.recovery.enabled = true;
+        } else if (std::strcmp(argv[i], "--checkpoint-interval") == 0) {
+            opts.recovery.checkpointInterval =
+                std::strtoull(value(i), nullptr, 0);
+        } else if (std::strcmp(argv[i], "--max-retries") == 0) {
+            opts.maxRetries = static_cast<unsigned>(
+                std::strtoul(value(i), nullptr, 0));
+        } else if (std::strcmp(argv[i], "--watchdog-sec") == 0) {
+            opts.workerTimeoutSec = std::strtod(value(i), nullptr);
+        } else if (std::strcmp(argv[i], "--halt-after") == 0) {
+            opts.haltAfterShards = static_cast<unsigned>(
+                std::strtoul(value(i), nullptr, 0));
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    if (argc > 1)
+        opts.injections = static_cast<unsigned>(
+            std::strtoul(argv[1], nullptr, 0));
+    if (argc > 2)
+        opts.seed = std::strtoull(argv[2], nullptr, 0);
+
+    if (opts.workers == 0)
+        opts.workers = 1;
+    if (!in_process)
+        opts.workerExe =
+            worker_exe.empty() ? siblingWorker(argv[0]) : worker_exe;
+    if (opts.workerExe.empty() && !in_process)
+        risc1::warn("campaign_fleet: no worker binary next to %s, "
+                    "running in-process",
+                    argv[0]);
+    if (no_cache) {
+        if (!opts.workerExe.empty())
+            risc1::fatal("campaign_fleet: --no-cache needs "
+                         "--in-process (workers hand results back "
+                         "through the cache)");
+        opts.cacheDir.clear();
+    }
+
+    const risc1::core::FleetResult result = risc1::core::runFleet(opts);
+    const auto &s = result.stats;
+    risc1::inform(
+        "fleet: %u shards (%u cached, %u worker-computed, %u "
+        "in-process, %u cache entries rejected); %u crashes, %u "
+        "timeouts, %u re-queues",
+        s.shards, s.cachedShards, s.computedShards, s.inProcessShards,
+        s.rejectedCache, s.workerCrashes, s.workerTimeouts, s.retries);
+    if (s.halted) {
+        risc1::inform("fleet: halted after %u shards (crash "
+                      "simulation); cache is partial, no tables",
+                      s.cachedShards + s.computedShards +
+                          s.inProcessShards);
+        return 3;
+    }
+
+    std::cout << risc1::core::faultCampaignTable(
+                     result.rows, opts.recovery.enabled)
+              << "\n";
+    std::cout << risc1::core::avfTable(
+                     risc1::core::avfReport(result.rows),
+                     opts.recovery.enabled)
+              << "\n";
+    return 0;
+}

@@ -1,0 +1,103 @@
+# End-to-end byte-identity check for the campaign fleet: the fleet's
+# stdout (R1 campaign table + R3 AVF table) must be byte-identical to a
+# single-process `bench_fault_campaign --avf` run, whatever happens to
+# the coordinator or its workers along the way:
+#
+#   1. clean subprocess runs at worker counts 1 and 4,
+#   2. a coordinator "crash" (--halt-after, exit 3) resumed warm from
+#      the shard cache, in flat mode at 1 worker and --tally at 4,
+#   3. chaos-injected worker failures (RISC1_FLEET_CHAOS: one shard
+#      crashes, one hangs until the watchdog kills it) recovered by
+#      the re-queue path,
+#   4. a poisoned cache entry rejected and recomputed,
+#   5. the pure in-process fallback.
+#
+# Run by the bench_campaign_fleet_determinism ctest. FLEET is the
+# campaign_fleet executable, WORKER is bench_fault_campaign, WORKDIR a
+# scratch directory.
+
+set(base_args 3 7)
+set(scratch ${WORKDIR}/fleet_determinism)
+file(REMOVE_RECURSE ${scratch})
+file(MAKE_DIRECTORY ${scratch})
+
+# Small shards so every phase gets several of them (3 injections x the
+# suite; ordinals 0 and 1 are guaranteed to exist for the chaos spec).
+set(fleet_args ${base_args} --shard-size 4 --worker-exe ${WORKER})
+
+execute_process(
+    COMMAND ${WORKER} ${base_args} --avf
+    OUTPUT_VARIABLE reference
+    RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+    message(FATAL_ERROR "reference campaign failed: status ${status}")
+endif()
+
+macro(check_fleet pretty expect_status)
+    execute_process(
+        COMMAND ${ARGN}
+        OUTPUT_VARIABLE output
+        RESULT_VARIABLE status)
+    if(NOT status EQUAL ${expect_status})
+        message(FATAL_ERROR
+            "${pretty}: status ${status}, expected ${expect_status}")
+    endif()
+    if(${expect_status} EQUAL 0 AND NOT output STREQUAL reference)
+        message(FATAL_ERROR
+            "${pretty}: tables differ from the single-process "
+            "reference:\n${output}\nreference:\n${reference}")
+    endif()
+    if(NOT ${expect_status} EQUAL 0 AND NOT output STREQUAL "")
+        message(FATAL_ERROR
+            "${pretty}: a halted fleet must print no tables, got:\n"
+            "${output}")
+    endif()
+endmacro()
+
+# 1. Clean subprocess runs, fresh cache each, workers 1 and 4.
+check_fleet("fleet --workers 1" 0
+    ${FLEET} ${fleet_args} --workers 1 --cache-dir ${scratch}/w1)
+check_fleet("fleet --workers 4" 0
+    ${FLEET} ${fleet_args} --workers 4 --cache-dir ${scratch}/w4)
+
+# 2a. Kill-and-resume, flat aggregation, 1 worker: halt after 2 merged
+# shards (simulated coordinator crash, exit 3, no tables), then resume
+# from the partially-populated cache.
+check_fleet("fleet halt (flat, 1 worker)" 3
+    ${FLEET} ${fleet_args} --workers 1 --cache-dir ${scratch}/resume1
+        --halt-after 2)
+check_fleet("fleet resume (flat, 1 worker)" 0
+    ${FLEET} ${fleet_args} --workers 1 --cache-dir ${scratch}/resume1)
+
+# 2b. The same interruption with --tally streaming workers at 4
+# workers; the resumed tables must still match the flat reference.
+check_fleet("fleet halt (--tally, 4 workers)" 3
+    ${FLEET} ${fleet_args} --workers 4 --cache-dir ${scratch}/resume4
+        --tally --halt-after 2)
+check_fleet("fleet resume (--tally, 4 workers)" 0
+    ${FLEET} ${fleet_args} --workers 4 --cache-dir ${scratch}/resume4
+        --tally)
+
+# 3. Chaos: shard 0's first worker crashes, shard 1's first worker
+# hangs until the 2-second watchdog kills it; both re-queue, retry
+# clean, and the merged tables are unchanged.
+check_fleet("fleet chaos crash+hang" 0
+    ${CMAKE_COMMAND} -E env RISC1_FLEET_CHAOS=crash:0,hang:1
+        ${FLEET} ${fleet_args} --workers 2 --cache-dir ${scratch}/chaos
+        --watchdog-sec 2)
+
+# 4. Poison one cached shard record (overwrite with garbage): the
+# coordinator must reject and recompute it, not merge it.
+file(GLOB cached ${scratch}/w1/*.shard)
+list(GET cached 0 victim)
+file(WRITE ${victim} "garbage, not a shard record")
+check_fleet("fleet poisoned cache" 0
+    ${FLEET} ${fleet_args} --workers 1 --cache-dir ${scratch}/w1)
+
+# 5. In-process fallback (no subprocesses, no cache).
+check_fleet("fleet --in-process" 0
+    ${FLEET} ${base_args} --shard-size 4 --in-process --no-cache)
+
+message(STATUS
+    "fleet tables byte-identical across workers, interruption, chaos, "
+    "cache poisoning, and in-process fallback")

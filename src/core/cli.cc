@@ -70,4 +70,18 @@ parseBenchCli(int &argc, char **argv, const char *description,
     return cli;
 }
 
+std::optional<std::pair<uint64_t, uint64_t>>
+parseSeedRange(const char *text)
+{
+    char *end = nullptr;
+    const uint64_t first = std::strtoull(text, &end, 0);
+    if (end == text || *end != ':')
+        return std::nullopt;
+    const char *second = end + 1;
+    const uint64_t last = std::strtoull(second, &end, 0);
+    if (end == second || *end != '\0' || first > last)
+        return std::nullopt;
+    return std::make_pair(first, last);
+}
+
 } // namespace risc1::core

@@ -10,6 +10,10 @@
 #ifndef RISC1_CORE_CLI_HH
 #define RISC1_CORE_CLI_HH
 
+#include <cstdint>
+#include <optional>
+#include <utility>
+
 namespace risc1::core {
 
 /** Result of parseBenchCli(). */
@@ -45,6 +49,14 @@ struct BenchCli
  */
 BenchCli parseBenchCli(int &argc, char **argv, const char *description,
                        const char *usage_tail = "");
+
+/**
+ * Parse a half-open campaign slot range "A:B" (decimal or 0x hex,
+ * A <= B) as used by `bench_fault_campaign --seed-range` and the
+ * fleet's worker command lines. Returns nullopt on malformed input.
+ */
+std::optional<std::pair<uint64_t, uint64_t>>
+parseSeedRange(const char *text);
 
 } // namespace risc1::core
 

@@ -211,6 +211,16 @@ constexpr unsigned NumFaultOutcomes = 4;
 std::string_view faultOutcomeName(FaultOutcome outcome);
 
 /**
+ * Number of fault-target classes the injector draws from, indexed by
+ * sim::InjectTarget: 0 register file, 1 memory word, 2 fetched
+ * instruction (istream).
+ */
+constexpr unsigned NumFaultTargets = 3;
+
+/** Short name of a fault target ("register", "memory", "istream"). */
+std::string_view faultTargetName(unsigned target);
+
+/**
  * Checkpoint/rollback recovery configuration for faultCampaign().
  * When enabled, every injected run snapshots the machine at each
  * multiple of `checkpointInterval` retired instructions; a run that
@@ -244,6 +254,13 @@ struct FaultCampaignRow
     uint64_t checkpoints = 0;   //!< snapshots taken across all runs
     uint64_t replayedInsts = 0; //!< instructions re-executed after rollback
 
+    // Per-fault-target split of the same tallies, indexed
+    // [target][outcome] with target as for faultTargetName(). Summing
+    // over targets reproduces byOutcome/recovered exactly; the split
+    // feeds the per-target AVF columns (avfReport).
+    unsigned byTarget[NumFaultTargets][NumFaultOutcomes] = {};
+    unsigned recoveredByTarget[NumFaultTargets][NumFaultOutcomes] = {};
+
     unsigned
     count(FaultOutcome outcome) const
     {
@@ -270,6 +287,35 @@ struct FaultCampaignRow
     {
         return recoveredCount(FaultOutcome::DetectedTrap) +
                recoveredCount(FaultOutcome::WatchdogHang);
+    }
+
+    /** Injected runs whose flip was drawn for `target`. */
+    unsigned
+    targetInjections(unsigned target) const
+    {
+        unsigned sum = 0;
+        for (unsigned c = 0; c < NumFaultOutcomes; ++c)
+            sum += byTarget[target][c];
+        return sum;
+    }
+
+    /** Non-masked runs for `target`: the plain AVF numerator. */
+    unsigned
+    targetVulnerable(unsigned target) const
+    {
+        return targetInjections(target) -
+               byTarget[target][static_cast<unsigned>(
+                   FaultOutcome::Masked)];
+    }
+
+    /** Recovered detections for `target` (both detected classes). */
+    unsigned
+    targetRecovered(unsigned target) const
+    {
+        return recoveredByTarget[target][static_cast<unsigned>(
+                   FaultOutcome::DetectedTrap)] +
+               recoveredByTarget[target][static_cast<unsigned>(
+                   FaultOutcome::WatchdogHang)];
     }
 };
 
@@ -300,6 +346,76 @@ std::vector<FaultCampaignRow> faultCampaign(unsigned injections = 100,
                                                 {});
 std::string faultCampaignTable(const std::vector<FaultCampaignRow> &rows,
                                bool recovery = false);
+
+/**
+ * One seed-range shard of the campaign: run only the flat grid slots
+ * in [first, last) of the `suite.size() * injections` total (slot =
+ * workload * injections + run). Every slot's RNG is the same pure
+ * function of (seed, workload, run) as in faultCampaign, so summing
+ * the rows of any partition of [0, total) — in any order — reproduces
+ * the full campaign's tallies exactly; this is the worker entry point
+ * of the campaign fleet (core/fleet) and of `bench_fault_campaign
+ * --seed-range A:B`. Rows cover the whole suite; workloads with no
+ * slot in the range keep zero tallies and a zero baselineInsts (only
+ * covered workloads are prepared and baselined).
+ */
+std::vector<FaultCampaignRow>
+faultCampaignRange(unsigned injections, uint64_t seed, uint64_t first,
+                   uint64_t last, unsigned jobs = 1,
+                   bool streaming = false,
+                   const RecoveryOptions &recovery = {});
+
+/** The CpuOptions every campaign guest runs under (16 MB limit, no
+ *  trap vector). Its sim::configHash is the configuration component of
+ *  the fleet's shard-cache key; the per-workload watchdog budget is
+ *  excluded from the hash by construction. */
+sim::CpuOptions campaignCpuOptions();
+
+// ---- R3: recovery-aware AVF reporting --------------------------------------
+
+/**
+ * Per-workload architectural-vulnerability factors split by fault
+ * target, derived purely from merged campaign tallies. The plain AVF
+ * of a target is the fraction of its injections that changed the
+ * program outcome (everything but masked); the recovery-aware AVF
+ * additionally weights recovered detections out of the numerator —
+ * the figure a checkpoint/rollback deployment actually observes.
+ */
+struct AvfRow
+{
+    std::string name;
+    unsigned injections[NumFaultTargets] = {};
+    unsigned vulnerable[NumFaultTargets] = {}; //!< sdc + trap + hang
+    unsigned recovered[NumFaultTargets] = {};  //!< recovered detections
+
+    double
+    avf(unsigned target) const
+    {
+        return injections[target]
+                   ? double(vulnerable[target]) / injections[target]
+                   : 0.0;
+    }
+
+    double
+    avfRecovered(unsigned target) const
+    {
+        return injections[target]
+                   ? double(vulnerable[target] - recovered[target]) /
+                         injections[target]
+                   : 0.0;
+    }
+};
+
+/** Fold campaign rows into per-workload AVF rows (plus totals row). */
+std::vector<AvfRow> avfReport(const std::vector<FaultCampaignRow> &rows);
+
+/**
+ * Render the R3 table: one row per workload plus TOTAL, AVF columns
+ * per fault target; with `recovery` the recovery-weighted columns are
+ * appended.
+ */
+std::string avfTable(const std::vector<AvfRow> &rows,
+                     bool recovery = false);
 
 // ---- R2: checkpoint-interval sweep (recovery rate vs overhead) -----------
 

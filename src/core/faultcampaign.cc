@@ -5,7 +5,12 @@
  * single-bit flip, and every outcome is classified against the host
  * oracle — the soft-error / AVF methodology applied to the RISC I
  * model. Deterministic: the per-run RNG is derived from (seed,
- * workload, run index) only.
+ * workload, run index) only, which is also what makes the campaign
+ * shardable — faultCampaignRange() runs any sub-range of the flat
+ * workload x injection grid and a partition of the grid sums back to
+ * the full campaign exactly (the fleet coordinator in core/fleet is
+ * built on this). Experiment R3 (avfReport) folds the per-target
+ * tallies into recovery-aware AVF columns.
  */
 
 #include "core/experiments.hh"
@@ -33,6 +38,17 @@ faultOutcomeName(FaultOutcome outcome)
     }
     panic("faultOutcomeName: bad outcome %u",
           static_cast<unsigned>(outcome));
+}
+
+std::string_view
+faultTargetName(unsigned target)
+{
+    switch (target) {
+      case 0: return "register";
+      case 1: return "memory";
+      case 2: return "istream";
+    }
+    panic("faultTargetName: bad target %u", target);
 }
 
 namespace {
@@ -73,6 +89,7 @@ classify(const sim::ExecResult &result, uint32_t got, uint32_t expected)
 struct RunOut
 {
     FaultOutcome outcome = FaultOutcome::Masked;
+    uint8_t target = 0; //!< drawn sim::InjectTarget, as an index
     bool recovered = false;
     uint32_t checkpoints = 0;
     uint64_t replayed = 0;
@@ -80,16 +97,39 @@ struct RunOut
 
 } // namespace
 
+sim::CpuOptions
+campaignCpuOptions()
+{
+    sim::CpuOptions opts;
+    opts.memLimit = CampaignMemLimit;
+    return opts;
+}
+
 std::vector<FaultCampaignRow>
-faultCampaign(unsigned injections, uint64_t seed, unsigned jobs,
-              bool streaming, const RecoveryOptions &recovery)
+faultCampaignRange(unsigned injections, uint64_t seed, uint64_t first,
+                   uint64_t last, unsigned jobs, bool streaming,
+                   const RecoveryOptions &recovery)
 {
     if (recovery.enabled && recovery.checkpointInterval == 0)
         fatal("faultCampaign: checkpoint interval must be nonzero");
     const auto &suite = allWorkloads();
+    const uint64_t total = uint64_t{suite.size()} * injections;
+    if (first > last || last > total)
+        fatal("faultCampaign: seed range %llu:%llu outside the "
+              "%llu-slot grid",
+              static_cast<unsigned long long>(first),
+              static_cast<unsigned long long>(last),
+              static_cast<unsigned long long>(total));
     const ParallelRunner runner(jobs);
 
-    // Phase 1 — per-workload setup. Each workload is assembled ONCE
+    std::vector<FaultCampaignRow> rows(suite.size());
+    for (size_t w = 0; w < suite.size(); ++w)
+        rows[w].name = suite[w].name;
+    if (first == last)
+        return rows;
+
+    // Phase 1 — per-workload setup, restricted to the workloads the
+    // range actually touches. Each covered workload is assembled ONCE
     // into an immutable shared ProgramImage (pages + predecoded text);
     // the baseline and every injected run attach it copy-on-write, so
     // only the mutated pages are ever private. The uninjected baseline
@@ -103,15 +143,17 @@ faultCampaign(unsigned injections, uint64_t seed, unsigned jobs,
         sim::ExecResult base;
         sim::CpuOptions opts;
     };
+    const size_t w_first = first / injections;
+    const size_t w_count = (last - 1) / injections - w_first + 1;
     const std::vector<Prepared> prepared =
-        runner.map<Prepared>(suite.size(), [&](size_t w) {
+        runner.map<Prepared>(w_count, [&](size_t idx) {
+            const size_t w = w_first + idx;
             const Workload &wl = suite[w];
             Prepared p;
             p.image = sim::ProgramImage(
                 workloads::buildRisc(wl, wl.defaultScale));
             p.expected = wl.expected(wl.defaultScale);
-            sim::CpuOptions base_opts;
-            base_opts.memLimit = CampaignMemLimit;
+            sim::CpuOptions base_opts = campaignCpuOptions();
             sim::Cpu baseline(base_opts);
             baseline.load(p.image);
             p.base = baseline.run();
@@ -120,34 +162,39 @@ faultCampaign(unsigned injections, uint64_t seed, unsigned jobs,
                     p.expected)
                 fatal("faultCampaign: baseline run of %s is broken",
                       wl.name.c_str());
-            p.opts.memLimit = CampaignMemLimit;
+            p.opts = campaignCpuOptions();
             // Generous livelock budget: a run this far past its healthy
             // cycle count is never coming back.
             p.opts.watchdogCycles = p.base.cycles * 8 + 100'000;
             return p;
         });
 
-    // Phase 2 — the flat workload x injection grid. Each cell's RNG is
-    // a pure function of (seed, workload, run), so the outcomes — and
-    // therefore the tallies — are identical for any job count and
-    // either aggregation mode.
-    const size_t total = suite.size() * injections;
-    std::vector<FaultCampaignRow> rows(suite.size());
-    for (size_t w = 0; w < suite.size(); ++w) {
-        rows[w].name = suite[w].name;
-        rows[w].injections = injections;
-        rows[w].baselineInsts = prepared[w].base.instructions;
+    for (size_t idx = 0; idx < w_count; ++idx) {
+        FaultCampaignRow &row = rows[w_first + idx];
+        const uint64_t w_lo = uint64_t{w_first + idx} * injections;
+        const uint64_t w_hi = w_lo + injections;
+        row.injections = static_cast<unsigned>(
+            std::min(last, w_hi) - std::max(first, w_lo));
+        row.baselineInsts = prepared[idx].base.instructions;
     }
-    const auto produce = [&](size_t slot) {
+
+    // Phase 2 — the flat workload x injection grid, slots [first,
+    // last). Each cell's RNG is a pure function of (seed, workload,
+    // run), so the outcomes — and therefore the tallies — are
+    // identical for any job count, either aggregation mode, and any
+    // partition of the grid into ranges.
+    const auto produce = [&](size_t i) {
+        const uint64_t slot = first + i;
         const size_t w = slot / injections;
-        const uint64_t i = slot % injections;
-        const Prepared &p = prepared[w];
-        Rng rng(runSeed(seed, w, i));
+        const uint64_t r = slot % injections;
+        const Prepared &p = prepared[w - w_first];
+        Rng rng(runSeed(seed, w, r));
         sim::Injection inj =
             sim::drawInjection(rng, p.base.instructions);
         sim::Cpu cpu(p.opts);
         cpu.load(p.image);
         RunOut out;
+        out.target = static_cast<uint8_t>(inj.target);
 
         if (!recovery.enabled) {
             const sim::ExecResult result =
@@ -173,10 +220,10 @@ faultCampaign(unsigned injections, uint64_t seed, unsigned jobs,
             while (cpu.stats().instructions < T) {
                 const uint64_t next =
                     (cpu.stats().instructions / K + 1) * K;
-                const sim::ExecResult r =
+                const sim::ExecResult r2 =
                     cpu.runUntil(std::min(next, T));
-                if (r.reason != sim::StopReason::Paused)
-                    return r; // finished before the injection landed
+                if (r2.reason != sim::StopReason::Paused)
+                    return r2; // finished before the injection landed
                 if (cpu.stats().instructions % K == 0) {
                     ckpt = cpu.snapshot();
                     ckptAt = cpu.stats().instructions;
@@ -187,9 +234,9 @@ faultCampaign(unsigned injections, uint64_t seed, unsigned jobs,
             while (true) {
                 const uint64_t next =
                     (cpu.stats().instructions / K + 1) * K;
-                const sim::ExecResult r = cpu.runUntil(next);
-                if (r.reason != sim::StopReason::Paused)
-                    return r;
+                const sim::ExecResult r2 = cpu.runUntil(next);
+                if (r2.reason != sim::StopReason::Paused)
+                    return r2;
                 // Post-injection checkpoints may hold corrupted state;
                 // that is the methodology's point — recovery succeeds
                 // only when detection outruns the checkpoint cadence.
@@ -220,20 +267,25 @@ faultCampaign(unsigned injections, uint64_t seed, unsigned jobs,
         return out;
     };
 
-    const auto tally = [&](size_t slot, const RunOut &out) {
-        FaultCampaignRow &row = rows[slot / injections];
-        ++row.byOutcome[static_cast<unsigned>(out.outcome)];
-        if (out.recovered)
-            ++row.recovered[static_cast<unsigned>(out.outcome)];
+    const auto tally = [&](size_t i, const RunOut &out) {
+        FaultCampaignRow &row = rows[(first + i) / injections];
+        const unsigned c = static_cast<unsigned>(out.outcome);
+        ++row.byOutcome[c];
+        ++row.byTarget[out.target][c];
+        if (out.recovered) {
+            ++row.recovered[c];
+            ++row.recoveredByTarget[out.target][c];
+        }
         row.checkpoints += out.checkpoints;
         row.replayedInsts += out.replayed;
     };
 
+    const size_t count = static_cast<size_t>(last - first);
     if (streaming) {
         // Stream outcomes straight into the fixed-size tallies: peak
         // memory is one reduceChunked buffer, independent of
         // `injections`, so a campaign can scale to millions of runs.
-        runner.reduceChunked<RunOut>(total, produce, tally);
+        runner.reduceChunked<RunOut>(count, produce, tally);
         return rows;
     }
 
@@ -241,10 +293,20 @@ faultCampaign(unsigned injections, uint64_t seed, unsigned jobs,
     // as the differential oracle for the streaming path (the tests
     // assert both modes agree for a fixed seed).
     const std::vector<RunOut> outcomes =
-        runner.map<RunOut>(total, produce);
-    for (size_t slot = 0; slot < total; ++slot)
-        tally(slot, outcomes[slot]);
+        runner.map<RunOut>(count, produce);
+    for (size_t i = 0; i < count; ++i)
+        tally(i, outcomes[i]);
     return rows;
+}
+
+std::vector<FaultCampaignRow>
+faultCampaign(unsigned injections, uint64_t seed, unsigned jobs,
+              bool streaming, const RecoveryOptions &recovery)
+{
+    const uint64_t total =
+        uint64_t{allWorkloads().size()} * injections;
+    return faultCampaignRange(injections, seed, 0, total, jobs,
+                              streaming, recovery);
 }
 
 std::string
@@ -305,6 +367,63 @@ faultCampaignTable(const std::vector<FaultCampaignRow> &rows,
     if (recovery)
         title += "recovery: rollback to the last checkpoint on "
                  "trap/hang, re-run vs oracle\n";
+    return title + table.str();
+}
+
+std::vector<AvfRow>
+avfReport(const std::vector<FaultCampaignRow> &rows)
+{
+    std::vector<AvfRow> out;
+    out.reserve(rows.size() + 1);
+    AvfRow total;
+    total.name = "TOTAL";
+    for (const FaultCampaignRow &row : rows) {
+        AvfRow a;
+        a.name = row.name;
+        for (unsigned t = 0; t < NumFaultTargets; ++t) {
+            a.injections[t] = row.targetInjections(t);
+            a.vulnerable[t] = row.targetVulnerable(t);
+            a.recovered[t] = row.targetRecovered(t);
+            total.injections[t] += a.injections[t];
+            total.vulnerable[t] += a.vulnerable[t];
+            total.recovered[t] += a.recovered[t];
+        }
+        out.push_back(std::move(a));
+    }
+    out.push_back(std::move(total));
+    return out;
+}
+
+std::string
+avfTable(const std::vector<AvfRow> &rows, bool recovery)
+{
+    std::vector<std::string> headers = {"program"};
+    for (unsigned t = 0; t < NumFaultTargets; ++t) {
+        headers.push_back(std::string(faultTargetName(t)) + " runs");
+        headers.push_back(std::string(faultTargetName(t)) + " avf");
+    }
+    if (recovery)
+        for (unsigned t = 0; t < NumFaultTargets; ++t)
+            headers.push_back(std::string(faultTargetName(t)) +
+                              " avf-r");
+    Table table(headers);
+    for (const AvfRow &row : rows) {
+        std::vector<std::string> cells = {row.name};
+        for (unsigned t = 0; t < NumFaultTargets; ++t) {
+            cells.push_back(cell(uint64_t{row.injections[t]}));
+            cells.push_back(cell(row.avf(t), 3));
+        }
+        if (recovery)
+            for (unsigned t = 0; t < NumFaultTargets; ++t)
+                cells.push_back(cell(row.avfRecovered(t), 3));
+        table.row(cells);
+    }
+    std::string title =
+        "R3: architectural vulnerability factor by fault target\n"
+        "(avf = non-masked fraction of that target's injections)\n";
+    if (recovery)
+        title += "avf-r: recovered detections weighted out of the "
+                 "numerator (checkpoint/rollback)\n";
     return title + table.str();
 }
 

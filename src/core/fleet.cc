@@ -1,0 +1,746 @@
+#include "core/fleet.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "sim/image.hh"
+#include "sim/serial.hh"
+#include "sim/snapshot.hh"
+#include "support/logging.hh"
+#include "support/strings.hh"
+#include "workloads/workload.hh"
+
+namespace risc1::core {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+/** Record magic: "R1SH", little-endian. */
+constexpr uint32_t ShardMagic = 0x48533152;
+
+std::string
+errnoText()
+{
+    return std::strerror(errno);
+}
+
+[[noreturn]] void
+throwIo(const char *what, const std::string &path)
+{
+    throw ShardCacheError(
+        ShardCacheError::Kind::Io,
+        strprintf("shard cache: %s %s: %s", what, path.c_str(),
+                  errnoText().c_str()));
+}
+
+void
+writeParams(sim::ByteWriter &w, const ShardParams &p)
+{
+    w.u64(p.configHash);
+    w.u64(p.imageHash);
+    w.u8(p.targetMask);
+    w.u32(p.injections);
+    w.u64(p.seed);
+    w.u64(p.first);
+    w.u64(p.last);
+    w.u8(p.recover ? 1 : 0);
+    w.u64(p.checkpointInterval);
+}
+
+ShardParams
+readParams(sim::ByteReader &r)
+{
+    ShardParams p;
+    p.configHash = r.u64();
+    p.imageHash = r.u64();
+    p.targetMask = r.u8();
+    p.injections = r.u32();
+    p.seed = r.u64();
+    p.first = r.u64();
+    p.last = r.u64();
+    p.recover = r.u8() != 0;
+    p.checkpointInterval = r.u64();
+    return p;
+}
+
+bool
+sameParams(const ShardParams &a, const ShardParams &b)
+{
+    return a.configHash == b.configHash && a.imageHash == b.imageHash &&
+           a.targetMask == b.targetMask &&
+           a.injections == b.injections && a.seed == b.seed &&
+           a.first == b.first && a.last == b.last &&
+           a.recover == b.recover &&
+           a.checkpointInterval == b.checkpointInterval;
+}
+
+std::vector<FaultCampaignRow>
+parseShardRecord(sim::ByteReader &r, const ShardParams &expect)
+{
+    const size_t magic_at = r.offset();
+    const uint32_t magic = r.u32();
+    if (magic != ShardMagic)
+        throw ShardCacheError(
+            ShardCacheError::Kind::BadMagic,
+            strprintf("shard cache: bad magic 0x%08x at byte %zu",
+                      magic, magic_at));
+    const size_t version_at = r.offset();
+    const uint32_t version = r.u32();
+    if (version != ShardCacheFormatVersion)
+        throw ShardCacheError(
+            ShardCacheError::Kind::BadVersion,
+            strprintf("shard cache: format version %u at byte %zu, "
+                      "this build reads version %u",
+                      version, version_at, ShardCacheFormatVersion));
+
+    const size_t key_at = r.offset();
+    const uint64_t key = r.u64();
+    const uint64_t want = shardKey(expect);
+    if (key != want)
+        throw ShardCacheError(
+            ShardCacheError::Kind::KeyMismatch,
+            strprintf("shard cache: key %016llx at byte %zu, expected "
+                      "%016llx (different campaign, image set, or "
+                      "seed range)",
+                      static_cast<unsigned long long>(key), key_at,
+                      static_cast<unsigned long long>(want)));
+    const size_t params_at = r.offset();
+    const ShardParams got = readParams(r);
+    if (!sameParams(got, expect))
+        throw ShardCacheError(
+            ShardCacheError::Kind::KeyMismatch,
+            strprintf("shard cache: echoed params at byte %zu do not "
+                      "match the expected shard (key collision or "
+                      "stale record)",
+                      params_at));
+
+    const size_t nrows_at = r.offset();
+    const uint32_t nrows = r.u32();
+    // Per-row floor: 4-byte name length + the fixed counters.
+    r.checkCount(nrows, 4 + 4 + 8 +
+                            4 * (2 * NumFaultOutcomes +
+                                 2 * NumFaultTargets *
+                                     NumFaultOutcomes) +
+                            16);
+    if (nrows == 0)
+        throw ShardCacheError(
+            ShardCacheError::Kind::Corrupt,
+            strprintf("shard cache: zero rows at byte %zu", nrows_at));
+    std::vector<FaultCampaignRow> rows(nrows);
+    for (FaultCampaignRow &row : rows) {
+        const uint32_t namelen = r.u32();
+        r.checkCount(namelen, 1);
+        row.name.resize(namelen);
+        r.bytes(reinterpret_cast<uint8_t *>(row.name.data()), namelen);
+        row.injections = r.u32();
+        row.baselineInsts = r.u64();
+        for (unsigned c = 0; c < NumFaultOutcomes; ++c)
+            row.byOutcome[c] = r.u32();
+        for (unsigned c = 0; c < NumFaultOutcomes; ++c)
+            row.recovered[c] = r.u32();
+        for (unsigned t = 0; t < NumFaultTargets; ++t)
+            for (unsigned c = 0; c < NumFaultOutcomes; ++c)
+                row.byTarget[t][c] = r.u32();
+        for (unsigned t = 0; t < NumFaultTargets; ++t)
+            for (unsigned c = 0; c < NumFaultOutcomes; ++c)
+                row.recoveredByTarget[t][c] = r.u32();
+        row.checkpoints = r.u64();
+        row.replayedInsts = r.u64();
+    }
+
+    if (r.remaining() > 8)
+        throw ShardCacheError(
+            ShardCacheError::Kind::Corrupt,
+            strprintf("shard cache: %zu bytes between the last row and "
+                      "the checksum at byte %zu (expected 8)",
+                      r.remaining(), r.offset()));
+    // The checksum itself; a short read here is a truncated record
+    // (ByteStreamTruncated, rethrown as Truncated by the caller). Its
+    // value is verified by the caller over the raw bytes.
+    r.u64();
+    return rows;
+}
+
+} // namespace
+
+uint64_t
+shardKey(const ShardParams &p)
+{
+    uint64_t h = sim::FnvOffset;
+    sim::fnvU64(h, p.configHash);
+    sim::fnvU64(h, p.imageHash);
+    sim::fnvU64(h, p.targetMask);
+    sim::fnvU64(h, p.injections);
+    sim::fnvU64(h, p.seed);
+    sim::fnvU64(h, p.first);
+    sim::fnvU64(h, p.last);
+    sim::fnvU64(h, p.recover ? 1 : 0);
+    sim::fnvU64(h, p.checkpointInterval);
+    return h;
+}
+
+uint64_t
+suiteImageHash()
+{
+    uint64_t h = sim::FnvOffset;
+    const auto &suite = workloads::allWorkloads();
+    sim::fnvU64(h, suite.size());
+    for (const workloads::Workload &wl : suite) {
+        const sim::ProgramImage image(
+            workloads::buildRisc(wl, wl.defaultScale));
+        sim::fnvU64(h, sim::imageHash(image));
+    }
+    return h;
+}
+
+ShardParams
+shardParams(unsigned injections, uint64_t seed, uint64_t first,
+            uint64_t last, const RecoveryOptions &recovery)
+{
+    ShardParams p;
+    p.configHash = sim::configHash(campaignCpuOptions());
+    p.imageHash = suiteImageHash();
+    p.targetMask = FaultTargetMaskAll;
+    p.injections = injections;
+    p.seed = seed;
+    p.first = first;
+    p.last = last;
+    p.recover = recovery.enabled;
+    p.checkpointInterval =
+        recovery.enabled ? recovery.checkpointInterval : 0;
+    return p;
+}
+
+std::vector<uint8_t>
+serializeShardRecord(const ShardParams &params,
+                     const std::vector<FaultCampaignRow> &rows)
+{
+    sim::ByteWriter w;
+    w.u32(ShardMagic);
+    w.u32(ShardCacheFormatVersion);
+    w.u64(shardKey(params));
+    writeParams(w, params);
+    w.u32(static_cast<uint32_t>(rows.size()));
+    for (const FaultCampaignRow &row : rows) {
+        w.u32(static_cast<uint32_t>(row.name.size()));
+        w.bytes(reinterpret_cast<const uint8_t *>(row.name.data()),
+                row.name.size());
+        w.u32(row.injections);
+        w.u64(row.baselineInsts);
+        for (unsigned c = 0; c < NumFaultOutcomes; ++c)
+            w.u32(row.byOutcome[c]);
+        for (unsigned c = 0; c < NumFaultOutcomes; ++c)
+            w.u32(row.recovered[c]);
+        for (unsigned t = 0; t < NumFaultTargets; ++t)
+            for (unsigned c = 0; c < NumFaultOutcomes; ++c)
+                w.u32(row.byTarget[t][c]);
+        for (unsigned t = 0; t < NumFaultTargets; ++t)
+            for (unsigned c = 0; c < NumFaultOutcomes; ++c)
+                w.u32(row.recoveredByTarget[t][c]);
+        w.u64(row.checkpoints);
+        w.u64(row.replayedInsts);
+    }
+    w.u64(sim::fnv1a(w.buffer().data(), w.size()));
+    return w.take();
+}
+
+std::vector<FaultCampaignRow>
+deserializeShardRecord(const std::vector<uint8_t> &bytes,
+                       const ShardParams &expect)
+{
+    sim::ByteReader r(bytes);
+    std::vector<FaultCampaignRow> rows;
+    try {
+        rows = parseShardRecord(r, expect);
+    } catch (const sim::ByteStreamTruncated &t) {
+        throw ShardCacheError(
+            ShardCacheError::Kind::Truncated,
+            strprintf("shard cache: record truncated at byte %zu "
+                      "(need %zu more)",
+                      t.offset, t.need));
+    }
+    // The trailing checksum covers every byte before it, so one
+    // flipped bit anywhere — header, params, any tally — is caught
+    // even when the record still parses structurally.
+    const size_t body = bytes.size() - 8;
+    uint64_t trailer = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        trailer |= static_cast<uint64_t>(bytes[body + i]) << (8 * i);
+    const uint64_t computed = sim::fnv1a(bytes.data(), body);
+    if (trailer != computed)
+        throw ShardCacheError(
+            ShardCacheError::Kind::Corrupt,
+            strprintf("shard cache: checksum %016llx at byte %zu does "
+                      "not match the record's %016llx (bit corruption)",
+                      static_cast<unsigned long long>(trailer), body,
+                      static_cast<unsigned long long>(computed)));
+    return rows;
+}
+
+std::string
+shardFileName(uint64_t key)
+{
+    return strprintf("shard-%016llx.shard",
+                     static_cast<unsigned long long>(key));
+}
+
+void
+writeShardFile(const std::string &path,
+               const std::vector<uint8_t> &bytes)
+{
+    const std::string tmp =
+        strprintf("%s.tmp.%ld", path.c_str(),
+                  static_cast<long>(::getpid()));
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        throwIo("cannot create", tmp);
+    const size_t wrote = std::fwrite(bytes.data(), 1, bytes.size(), f);
+    if (wrote != bytes.size() || std::fclose(f) != 0) {
+        std::remove(tmp.c_str());
+        throwIo("cannot write", tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throwIo("cannot rename into place", path);
+    }
+}
+
+std::vector<FaultCampaignRow>
+loadShardFile(const std::string &path, const ShardParams &expect)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        throwIo("cannot open", path);
+    std::vector<uint8_t> bytes;
+    uint8_t buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        bytes.insert(bytes.end(), buf, buf + n);
+    const bool bad = std::ferror(f);
+    std::fclose(f);
+    if (bad)
+        throwIo("cannot read", path);
+    return deserializeShardRecord(bytes, expect);
+}
+
+namespace {
+
+/** Sum shard rows into the campaign accumulator (order-independent). */
+void
+mergeRows(std::vector<FaultCampaignRow> &dst,
+          const std::vector<FaultCampaignRow> &src)
+{
+    if (dst.empty()) {
+        dst = src;
+        return;
+    }
+    if (dst.size() != src.size())
+        fatal("fleet: shard has %zu rows, campaign has %zu",
+              src.size(), dst.size());
+    for (size_t w = 0; w < dst.size(); ++w) {
+        if (dst[w].name != src[w].name)
+            fatal("fleet: shard row %zu is '%s', campaign has '%s'",
+                  w, src[w].name.c_str(), dst[w].name.c_str());
+        dst[w].injections += src[w].injections;
+        // The baseline length is a per-workload constant; any shard
+        // that covered the workload reports the same value.
+        dst[w].baselineInsts =
+            std::max(dst[w].baselineInsts, src[w].baselineInsts);
+        for (unsigned c = 0; c < NumFaultOutcomes; ++c) {
+            dst[w].byOutcome[c] += src[w].byOutcome[c];
+            dst[w].recovered[c] += src[w].recovered[c];
+        }
+        for (unsigned t = 0; t < NumFaultTargets; ++t)
+            for (unsigned c = 0; c < NumFaultOutcomes; ++c) {
+                dst[w].byTarget[t][c] += src[w].byTarget[t][c];
+                dst[w].recoveredByTarget[t][c] +=
+                    src[w].recoveredByTarget[t][c];
+            }
+        dst[w].checkpoints += src[w].checkpoints;
+        dst[w].replayedInsts += src[w].replayedInsts;
+    }
+}
+
+/** One seed-range shard in flight or queued. */
+struct Shard
+{
+    size_t index = 0; //!< ordinal in the shard list (chaos addressing)
+    uint64_t first = 0;
+    uint64_t last = 0;
+    ShardParams params;
+    std::string cachePath; //!< empty when no cache dir
+    unsigned attempt = 0;
+    Clock::time_point notBefore{}; //!< retry backoff gate
+};
+
+/** A worker subprocess bound to a shard. */
+struct Worker
+{
+    pid_t pid = -1;
+    Shard shard;
+    Clock::time_point deadline{};
+    bool timedOut = false;
+};
+
+/**
+ * Chaos hook for the fleet ctests: RISC1_FLEET_CHAOS="crash:1,hang:0"
+ * makes the first attempt of shard ordinal 1 crash and of shard 0
+ * hang (the action is delivered to the worker via RISC1_SHARD_CHAOS;
+ * see bench_fault_campaign). Retries run clean, which is exactly what
+ * the re-queue path must recover from.
+ */
+std::string
+chaosActionFor(size_t shard_index, unsigned attempt)
+{
+    if (attempt != 0)
+        return "";
+    const char *spec = std::getenv("RISC1_FLEET_CHAOS");
+    if (!spec)
+        return "";
+    for (const std::string &entry : split(spec, ',')) {
+        const size_t colon = entry.find(':');
+        if (colon == std::string::npos)
+            continue;
+        if (std::strtoull(entry.c_str() + colon + 1, nullptr, 0) ==
+            shard_index)
+            return entry.substr(0, colon);
+    }
+    return "";
+}
+
+class FleetCoordinator
+{
+  public:
+    explicit FleetCoordinator(const FleetOptions &opts) : opts_(opts) {}
+
+    FleetResult
+    run()
+    {
+        const size_t nwl = workloads::allWorkloads().size();
+        const uint64_t total = uint64_t{nwl} * opts_.injections;
+        uint64_t slots = opts_.shardSlots;
+        if (slots == 0) {
+            const uint64_t want_shards =
+                std::max<uint64_t>(uint64_t{opts_.workers} * 4, 1);
+            slots = std::max<uint64_t>((total + want_shards - 1) /
+                                           want_shards, 1);
+        }
+
+        const bool subprocess = !opts_.workerExe.empty();
+        if (subprocess && opts_.cacheDir.empty())
+            fatal("fleet: subprocess workers need a cache directory "
+                  "(workers hand completed shards back through it)");
+        if (!opts_.cacheDir.empty()) {
+            std::error_code ec;
+            fs::create_directories(opts_.cacheDir, ec);
+            if (ec)
+                fatal("fleet: cannot create cache dir %s: %s",
+                      opts_.cacheDir.c_str(), ec.message().c_str());
+        }
+
+        // Shard the grid and resolve each shard against the cache.
+        // Params share the expensive suite image hash.
+        ShardParams proto =
+            shardParams(opts_.injections, opts_.seed, 0, total,
+                        opts_.recovery);
+        for (uint64_t first = 0; first < total; first += slots) {
+            Shard shard;
+            shard.index = static_cast<size_t>(first / slots);
+            shard.first = first;
+            shard.last = std::min(first + slots, total);
+            shard.params = proto;
+            shard.params.first = shard.first;
+            shard.params.last = shard.last;
+            if (!opts_.cacheDir.empty())
+                shard.cachePath =
+                    (fs::path(opts_.cacheDir) /
+                     shardFileName(shardKey(shard.params)))
+                        .string();
+            ++stats_.shards;
+            if (tryCache(shard))
+                continue;
+            if (halted())
+                return finish();
+            pending_.push_back(shard);
+        }
+        if (total == 0 || halted())
+            return finish();
+
+        if (!subprocess) {
+            for (const Shard &shard : pending_) {
+                runInProcess(shard);
+                if (halted())
+                    break;
+            }
+            pending_.clear();
+            return finish();
+        }
+
+        // Subprocess fan-out: keep up to `workers` children busy,
+        // reap completions, watchdog the stragglers.
+        while (!pending_.empty() || !active_.empty()) {
+            spawnEligible();
+            if (!reapOne())
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(5));
+            enforceDeadlines();
+            if (halted())
+                break;
+        }
+        killAll();
+        return finish();
+    }
+
+  private:
+    bool
+    halted() const
+    {
+        return opts_.haltAfterShards != 0 &&
+               done_ >= opts_.haltAfterShards;
+    }
+
+    FleetResult
+    finish()
+    {
+        stats_.halted = halted();
+        FleetResult result;
+        result.rows = std::move(merged_);
+        result.stats = stats_;
+        return result;
+    }
+
+    /** Merge a warm cache entry; reject-and-recompute on any typed
+     *  failure. Returns true when the shard is done. */
+    bool
+    tryCache(const Shard &shard)
+    {
+        if (shard.cachePath.empty() || !fs::exists(shard.cachePath))
+            return false;
+        try {
+            mergeRows(merged_,
+                      loadShardFile(shard.cachePath, shard.params));
+            ++stats_.cachedShards;
+            ++done_;
+            return true;
+        } catch (const ShardCacheError &err) {
+            warn("fleet: discarding cache entry %s: %s",
+                 shard.cachePath.c_str(), err.what());
+            std::remove(shard.cachePath.c_str());
+            ++stats_.rejectedCache;
+            return false;
+        }
+    }
+
+    void
+    runInProcess(const Shard &shard)
+    {
+        const std::vector<FaultCampaignRow> rows = faultCampaignRange(
+            opts_.injections, opts_.seed, shard.first, shard.last,
+            opts_.jobsPerWorker, opts_.streaming, opts_.recovery);
+        if (!shard.cachePath.empty())
+            writeShardFile(shard.cachePath,
+                           serializeShardRecord(shard.params, rows));
+        mergeRows(merged_, rows);
+        ++stats_.inProcessShards;
+        ++done_;
+    }
+
+    void
+    spawnEligible()
+    {
+        const Clock::time_point now = Clock::now();
+        for (auto it = pending_.begin();
+             it != pending_.end() && active_.size() < opts_.workers;) {
+            if (it->notBefore > now) {
+                ++it;
+                continue;
+            }
+            Shard shard = *it;
+            it = pending_.erase(it);
+            if (!spawn(shard)) {
+                // Spawning is unavailable (fork failure, missing
+                // binary): degrade gracefully to in-process execution.
+                warn("fleet: subprocess spawn failed for shard "
+                     "%llu:%llu, running in-process",
+                     static_cast<unsigned long long>(shard.first),
+                     static_cast<unsigned long long>(shard.last));
+                runInProcess(shard);
+                if (halted())
+                    return;
+            }
+        }
+    }
+
+    bool
+    spawn(const Shard &shard)
+    {
+        std::vector<std::string> args = {
+            opts_.workerExe,
+            std::to_string(opts_.injections),
+            std::to_string(opts_.seed),
+            "--seed-range",
+            strprintf("%llu:%llu",
+                      static_cast<unsigned long long>(shard.first),
+                      static_cast<unsigned long long>(shard.last)),
+            "--shard-out", shard.cachePath,
+            "--jobs", std::to_string(opts_.jobsPerWorker)};
+        if (opts_.streaming)
+            args.push_back("--tally");
+        if (opts_.recovery.enabled) {
+            args.push_back("--recover");
+            args.push_back("--checkpoint-interval");
+            args.push_back(
+                std::to_string(opts_.recovery.checkpointInterval));
+        }
+        std::vector<char *> argv;
+        argv.reserve(args.size() + 1);
+        for (std::string &arg : args)
+            argv.push_back(arg.data());
+        argv.push_back(nullptr);
+        const std::string chaos =
+            chaosActionFor(shard.index, shard.attempt);
+
+        const pid_t pid = ::fork();
+        if (pid < 0)
+            return false;
+        if (pid == 0) {
+            // Child: deliver the chaos action (tests only), then
+            // become the worker. _exit on exec failure so a missing
+            // binary reads as a worker crash, which retries and then
+            // falls back in-process.
+            if (!chaos.empty())
+                ::setenv("RISC1_SHARD_CHAOS", chaos.c_str(), 1);
+            ::execv(argv[0], argv.data());
+            ::_exit(127);
+        }
+        Worker worker;
+        worker.pid = pid;
+        worker.shard = shard;
+        worker.deadline =
+            Clock::now() +
+            std::chrono::milliseconds(static_cast<int64_t>(
+                opts_.workerTimeoutSec * 1000));
+        active_.push_back(worker);
+        return true;
+    }
+
+    /** Reap at most one finished worker; false if none were ready. */
+    bool
+    reapOne()
+    {
+        for (auto it = active_.begin(); it != active_.end(); ++it) {
+            int status = 0;
+            const pid_t got = ::waitpid(it->pid, &status, WNOHANG);
+            if (got != it->pid)
+                continue;
+            Worker worker = *it;
+            active_.erase(it);
+            const bool clean =
+                WIFEXITED(status) && WEXITSTATUS(status) == 0;
+            if (clean && tryCache(worker.shard)) {
+                // tryCache merged the record the worker just wrote:
+                // account it as computed, not warm-from-cache.
+                --stats_.cachedShards;
+                ++stats_.computedShards;
+            } else {
+                workerFailed(worker, status);
+            }
+            return true;
+        }
+        return false;
+    }
+
+    void
+    workerFailed(Worker &worker, int status)
+    {
+        if (worker.timedOut)
+            ++stats_.workerTimeouts;
+        else
+            ++stats_.workerCrashes;
+        if (!worker.timedOut)
+            warn("fleet: worker for shard %llu:%llu failed "
+                 "(status 0x%x)",
+                 static_cast<unsigned long long>(worker.shard.first),
+                 static_cast<unsigned long long>(worker.shard.last),
+                 static_cast<unsigned>(status));
+        Shard shard = worker.shard;
+        ++shard.attempt;
+        if (shard.attempt > opts_.maxRetries) {
+            warn("fleet: shard %llu:%llu exhausted %u retries, "
+                 "running in-process",
+                 static_cast<unsigned long long>(shard.first),
+                 static_cast<unsigned long long>(shard.last),
+                 opts_.maxRetries);
+            runInProcess(shard);
+            return;
+        }
+        ++stats_.retries;
+        const double backoff =
+            opts_.backoffSec * double(1u << (shard.attempt - 1));
+        shard.notBefore =
+            Clock::now() + std::chrono::milliseconds(
+                               static_cast<int64_t>(backoff * 1000));
+        pending_.push_back(shard);
+    }
+
+    void
+    enforceDeadlines()
+    {
+        const Clock::time_point now = Clock::now();
+        for (Worker &worker : active_) {
+            if (worker.timedOut || worker.deadline > now)
+                continue;
+            warn("fleet: worker for shard %llu:%llu exceeded the "
+                 "%.1fs watchdog, killing it",
+                 static_cast<unsigned long long>(worker.shard.first),
+                 static_cast<unsigned long long>(worker.shard.last),
+                 opts_.workerTimeoutSec);
+            worker.timedOut = true;
+            ::kill(worker.pid, SIGKILL);
+        }
+    }
+
+    void
+    killAll()
+    {
+        for (Worker &worker : active_) {
+            ::kill(worker.pid, SIGKILL);
+            int status = 0;
+            ::waitpid(worker.pid, &status, 0);
+        }
+        active_.clear();
+    }
+
+    const FleetOptions &opts_;
+    std::vector<Shard> pending_;
+    std::vector<Worker> active_;
+    std::vector<FaultCampaignRow> merged_;
+    FleetStats stats_;
+    unsigned done_ = 0;
+};
+
+} // namespace
+
+FleetResult
+runFleet(const FleetOptions &options)
+{
+    if (options.injections == 0)
+        fatal("fleet: campaign needs at least one injection per "
+              "workload");
+    FleetCoordinator coordinator(options);
+    return coordinator.run();
+}
+
+} // namespace risc1::core

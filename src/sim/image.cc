@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/serial.hh"
+
 namespace risc1::sim {
 
 ProgramImage::ProgramImage(const assembler::Program &program)
@@ -29,6 +31,19 @@ ProgramImage::ProgramImage(const assembler::Program &program)
         if (dec.ok)
             decoded_.emplace_back(addr, makeDecodedOp(dec.inst));
     }
+}
+
+uint64_t
+imageHash(const ProgramImage &image)
+{
+    uint64_t h = FnvOffset;
+    fnvU64(h, image.entry());
+    fnvU64(h, image.pages().size());
+    for (const auto &[index, page] : image.pages()) {
+        fnvU64(h, index);
+        fnvBytes(h, page.data(), page.size());
+    }
+    return h;
 }
 
 } // namespace risc1::sim

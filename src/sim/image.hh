@@ -64,6 +64,15 @@ class ProgramImage
     std::vector<std::pair<uint32_t, DecodedOp>> decoded_;
 };
 
+/**
+ * fnv1a-64 over the image's architectural content: entry point plus
+ * every initialised page (index and raw bytes). Two images with equal
+ * hashes produce identical guest runs, so this is the image component
+ * of the campaign shard-cache key (core/fleet) — the predecode seed is
+ * derived from the pages and deliberately not hashed.
+ */
+uint64_t imageHash(const ProgramImage &image);
+
 } // namespace risc1::sim
 
 #endif // RISC1_SIM_IMAGE_HH

@@ -1,0 +1,50 @@
+#include "sim/serial.hh"
+
+#include <algorithm>
+
+namespace risc1::sim {
+
+void
+fnvU64(uint64_t &h, uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= FnvPrime;
+    }
+}
+
+void
+fnvBytes(uint64_t &h, const uint8_t *data, size_t n)
+{
+    for (size_t i = 0; i < n; ++i) {
+        h ^= data[i];
+        h *= FnvPrime;
+    }
+}
+
+uint64_t
+fnv1a(const uint8_t *data, size_t n)
+{
+    uint64_t h = FnvOffset;
+    fnvBytes(h, data, n);
+    return h;
+}
+
+void
+ByteReader::bytes(uint8_t *out, size_t n)
+{
+    need(n);
+    std::copy_n(buf_.begin() + static_cast<ptrdiff_t>(pos_), n, out);
+    pos_ += n;
+}
+
+void
+ByteReader::checkCount(uint64_t count, size_t elem_bytes)
+{
+    if (count > remaining() / elem_bytes)
+        throw ByteStreamTruncated{pos_, static_cast<size_t>(count) *
+                                            elem_bytes,
+                                  true};
+}
+
+} // namespace risc1::sim

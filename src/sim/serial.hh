@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Little-endian byte-stream serialization shared by every durable
+ * artifact the simulator writes: snapshot reproducers (sim/snapshot)
+ * and campaign shard-cache records (core/fleet). One Writer/Reader
+ * pair keeps the encoding idioms — explicit little-endian fields,
+ * bounds-checked reads, count-field guards — in a single place, and
+ * the fnv1a-64 helpers here are the hash used for both the snapshot
+ * config hash and the shard-cache key.
+ *
+ * ByteReader never trusts the stream: every read is bounds-checked and
+ * an overrun throws ByteStreamTruncated carrying the failing byte
+ * offset, which the caller converts into its own typed error
+ * (SnapshotError, ShardCacheError) so messages always locate the bad
+ * byte.
+ */
+
+#ifndef RISC1_SIM_SERIAL_HH
+#define RISC1_SIM_SERIAL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace risc1::sim {
+
+// ---- fnv1a-64 ----------------------------------------------------------
+
+constexpr uint64_t FnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t FnvPrime = 0x00000100000001b3ull;
+
+/** Fold the 8 little-endian bytes of `v` into accumulator `h`. */
+void fnvU64(uint64_t &h, uint64_t v);
+
+/** Fold a raw byte range into accumulator `h`. */
+void fnvBytes(uint64_t &h, const uint8_t *data, size_t n);
+
+/** One-shot fnv1a-64 of a byte range. */
+uint64_t fnv1a(const uint8_t *data, size_t n);
+
+// ---- bounded little-endian streams -------------------------------------
+
+/**
+ * Thrown by ByteReader on any overrun: `offset` is the stream position
+ * of the failed read, `need` the bytes it wanted. `countCheck` marks
+ * an overrun detected up front by checkCount() (a corrupt count field)
+ * rather than by an actual read.
+ */
+struct ByteStreamTruncated
+{
+    size_t offset = 0;
+    size_t need = 0;
+    bool countCheck = false;
+};
+
+/** Append-only little-endian stream builder. */
+class ByteWriter
+{
+  public:
+    void u8(uint8_t v) { buf_.push_back(v); }
+
+    void
+    u32(uint32_t v)
+    {
+        for (unsigned i = 0; i < 4; ++i)
+            buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        for (unsigned i = 0; i < 8; ++i)
+            buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    bytes(const uint8_t *data, size_t n)
+    {
+        buf_.insert(buf_.end(), data, data + n);
+    }
+
+    size_t size() const { return buf_.size(); }
+    const std::vector<uint8_t> &buffer() const { return buf_; }
+
+    std::vector<uint8_t> take() { return std::move(buf_); }
+
+  private:
+    std::vector<uint8_t> buf_;
+};
+
+/** Bounds-checked little-endian reader (see file comment). */
+class ByteReader
+{
+  public:
+    explicit ByteReader(const std::vector<uint8_t> &buf) : buf_(buf) {}
+
+    uint8_t
+    u8()
+    {
+        need(1);
+        return buf_[pos_++];
+    }
+
+    uint32_t
+    u32()
+    {
+        need(4);
+        uint32_t v = 0;
+        for (unsigned i = 0; i < 4; ++i)
+            v |= static_cast<uint32_t>(buf_[pos_++]) << (8 * i);
+        return v;
+    }
+
+    uint64_t
+    u64()
+    {
+        need(8);
+        uint64_t v = 0;
+        for (unsigned i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(buf_[pos_++]) << (8 * i);
+        return v;
+    }
+
+    void bytes(uint8_t *out, size_t n);
+
+    /** Stream position of the next read — the error locator. */
+    size_t offset() const { return pos_; }
+
+    size_t remaining() const { return buf_.size() - pos_; }
+
+    /**
+     * Guard for a count field about to drive a loop of `elem_bytes`
+     * per element: the stream must still hold that many bytes, so a
+     * corrupt count fails fast instead of attempting a gigantic
+     * allocation.
+     */
+    void checkCount(uint64_t count, size_t elem_bytes);
+
+  private:
+    void
+    need(size_t n)
+    {
+        if (buf_.size() - pos_ < n)
+            throw ByteStreamTruncated{pos_, n, false};
+    }
+
+    const std::vector<uint8_t> &buf_;
+    size_t pos_ = 0;
+};
+
+} // namespace risc1::sim
+
+#endif // RISC1_SIM_SERIAL_HH

@@ -1,7 +1,6 @@
 #include "sim/snapshot.hh"
 
-#include <algorithm>
-
+#include "sim/serial.hh"
 #include "support/logging.hh"
 
 namespace risc1::sim {
@@ -11,133 +10,8 @@ namespace {
 /** Stream magic: "R1SN", little-endian. */
 constexpr uint32_t SnapshotMagic = 0x4e533152;
 
-/** fnv1a-64 accumulator for the config hash. */
-constexpr uint64_t FnvOffset = 0xcbf29ce484222325ull;
-constexpr uint64_t FnvPrime = 0x00000100000001b3ull;
-
 void
-hashU64(uint64_t &h, uint64_t v)
-{
-    for (unsigned i = 0; i < 8; ++i) {
-        h ^= (v >> (8 * i)) & 0xff;
-        h *= FnvPrime;
-    }
-}
-
-class Writer
-{
-  public:
-    void
-    u8(uint8_t v)
-    {
-        buf_.push_back(v);
-    }
-
-    void
-    u32(uint32_t v)
-    {
-        for (unsigned i = 0; i < 4; ++i)
-            buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
-    }
-
-    void
-    u64(uint64_t v)
-    {
-        for (unsigned i = 0; i < 8; ++i)
-            buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
-    }
-
-    void
-    bytes(const uint8_t *data, size_t n)
-    {
-        buf_.insert(buf_.end(), data, data + n);
-    }
-
-    std::vector<uint8_t> take() { return std::move(buf_); }
-
-  private:
-    std::vector<uint8_t> buf_;
-};
-
-/** Bounds-checked little-endian reader; overruns throw Truncated. */
-class Reader
-{
-  public:
-    explicit Reader(const std::vector<uint8_t> &buf) : buf_(buf) {}
-
-    uint8_t
-    u8()
-    {
-        need(1);
-        return buf_[pos_++];
-    }
-
-    uint32_t
-    u32()
-    {
-        need(4);
-        uint32_t v = 0;
-        for (unsigned i = 0; i < 4; ++i)
-            v |= static_cast<uint32_t>(buf_[pos_++]) << (8 * i);
-        return v;
-    }
-
-    uint64_t
-    u64()
-    {
-        need(8);
-        uint64_t v = 0;
-        for (unsigned i = 0; i < 8; ++i)
-            v |= static_cast<uint64_t>(buf_[pos_++]) << (8 * i);
-        return v;
-    }
-
-    void
-    bytes(uint8_t *out, size_t n)
-    {
-        need(n);
-        std::copy_n(buf_.begin() + static_cast<ptrdiff_t>(pos_), n, out);
-        pos_ += n;
-    }
-
-    size_t remaining() const { return buf_.size() - pos_; }
-
-    /**
-     * Guard for a count field about to drive a loop of `elem_bytes`
-     * per element: the stream must still hold that many bytes, so a
-     * corrupt count fails fast as Truncated instead of attempting a
-     * gigantic allocation.
-     */
-    void
-    checkCount(uint64_t count, size_t elem_bytes)
-    {
-        if (count > remaining() / elem_bytes)
-            throw SnapshotError(
-                SnapshotError::Kind::Truncated,
-                strprintf("snapshot: count %llu exceeds the %zu bytes "
-                          "left in the stream",
-                          static_cast<unsigned long long>(count),
-                          remaining()));
-    }
-
-  private:
-    void
-    need(size_t n)
-    {
-        if (buf_.size() - pos_ < n)
-            throw SnapshotError(
-                SnapshotError::Kind::Truncated,
-                strprintf("snapshot: stream truncated at byte %zu "
-                          "(need %zu more)",
-                          pos_, n));
-    }
-
-    const std::vector<uint8_t> &buf_;
-    size_t pos_ = 0;
-};
-
-void
-writeMemStats(Writer &w, const MemStats &m)
+writeMemStats(ByteWriter &w, const MemStats &m)
 {
     w.u64(m.instFetches);
     w.u64(m.dataReads);
@@ -147,7 +21,7 @@ writeMemStats(Writer &w, const MemStats &m)
 }
 
 MemStats
-readMemStats(Reader &r)
+readMemStats(ByteReader &r)
 {
     MemStats m;
     m.instFetches = r.u64();
@@ -163,7 +37,7 @@ readMemStats(Reader &r)
 // bump (test_snapshot.cc round-trips every field).
 
 void
-writeStats(Writer &w, const SimStats &s)
+writeStats(ByteWriter &w, const SimStats &s)
 {
     w.u64(s.instructions);
     w.u64(s.cycles);
@@ -197,7 +71,7 @@ writeStats(Writer &w, const SimStats &s)
 }
 
 SimStats
-readStats(Reader &r)
+readStats(ByteReader &r)
 {
     SimStats s;
     s.instructions = r.u64();
@@ -233,34 +107,146 @@ readStats(Reader &r)
     return s;
 }
 
+Snapshot
+parseSnapshot(ByteReader &r, const CpuOptions &options)
+{
+    const size_t magic_at = r.offset();
+    const uint32_t magic = r.u32();
+    if (magic != SnapshotMagic)
+        throw SnapshotError(
+            SnapshotError::Kind::BadMagic,
+            strprintf("snapshot: bad magic 0x%08x at byte %zu", magic,
+                      magic_at));
+    const size_t version_at = r.offset();
+    const uint32_t version = r.u32();
+    if (version != SnapshotFormatVersion)
+        throw SnapshotError(
+            SnapshotError::Kind::BadVersion,
+            strprintf("snapshot: format version %u at byte %zu, this "
+                      "build reads version %u",
+                      version, version_at, SnapshotFormatVersion));
+    const size_t hash_at = r.offset();
+    const uint64_t hash = r.u64();
+    const uint64_t want = configHash(options);
+    if (hash != want)
+        throw SnapshotError(
+            SnapshotError::Kind::ConfigMismatch,
+            strprintf("snapshot: config hash %016llx at byte %zu does "
+                      "not match this Cpu's %016llx (different window "
+                      "geometry, timing model, memory layout or "
+                      "vectors)",
+                      static_cast<unsigned long long>(hash), hash_at,
+                      static_cast<unsigned long long>(want)));
+
+    Snapshot snap;
+    const size_t nregs_at = r.offset();
+    const uint32_t nregs = r.u32();
+    if (nregs != options.windows.physCount())
+        throw SnapshotError(
+            SnapshotError::Kind::Corrupt,
+            strprintf("snapshot: %u registers recorded at byte %zu, "
+                      "configuration has %u",
+                      nregs, nregs_at, options.windows.physCount()));
+    snap.regs.resize(nregs);
+    for (uint32_t &reg : snap.regs)
+        reg = r.u32();
+
+    const uint32_t npages = r.u32();
+    r.checkCount(npages, 4 + Memory::PageSize);
+    snap.pages.reserve(npages);
+    uint32_t prev_index = 0;
+    for (uint32_t i = 0; i < npages; ++i) {
+        const size_t index_at = r.offset();
+        const uint32_t index = r.u32();
+        if (i != 0 && index <= prev_index)
+            throw SnapshotError(
+                SnapshotError::Kind::Corrupt,
+                strprintf("snapshot: page indices not strictly "
+                          "ascending at page %u (byte %zu)",
+                          i, index_at));
+        prev_index = index;
+        std::vector<uint8_t> page(Memory::PageSize);
+        r.bytes(page.data(), page.size());
+        snap.pages.emplace_back(index, std::move(page));
+    }
+
+    snap.memStats = readMemStats(r);
+    snap.stats = readStats(r);
+
+    const size_t fl_at = r.offset();
+    const uint8_t fl = r.u8();
+    if (fl > 0xf)
+        throw SnapshotError(
+            SnapshotError::Kind::Corrupt,
+            strprintf("snapshot: bad flag byte 0x%02x at byte %zu", fl,
+                      fl_at));
+    snap.flags.z = (fl & 1) != 0;
+    snap.flags.n = (fl & 2) != 0;
+    snap.flags.v = (fl & 4) != 0;
+    snap.flags.c = (fl & 8) != 0;
+    snap.pc = r.u32();
+    snap.npc = r.u32();
+    snap.lastPc = r.u32();
+    snap.spillSp = r.u32();
+    const size_t cwp_at = r.offset();
+    snap.cwp = r.u32();
+    if (snap.cwp >= options.windows.numWindows)
+        throw SnapshotError(
+            SnapshotError::Kind::Corrupt,
+            strprintf("snapshot: cwp %u at byte %zu out of range "
+                      "(%u windows)",
+                      snap.cwp, cwp_at, options.windows.numWindows));
+    snap.resident = r.u32();
+    snap.spilled = r.u64();
+    snap.ie = r.u8() != 0;
+    snap.halted = r.u8() != 0;
+    snap.interruptPending = r.u8() != 0;
+
+    const uint32_t nring = r.u32();
+    r.checkCount(nring, 4);
+    snap.pcRing.resize(nring);
+    for (uint32_t &pc : snap.pcRing)
+        pc = r.u32();
+    snap.pcRingPos = r.u32();
+    snap.pcRingCount = r.u64();
+
+    if (r.remaining() != 0)
+        throw SnapshotError(
+            SnapshotError::Kind::Corrupt,
+            strprintf("snapshot: %zu trailing bytes after the last "
+                      "field at byte %zu",
+                      r.remaining(), r.offset()));
+    return snap;
+}
+
 } // namespace
 
 uint64_t
 configHash(const CpuOptions &o)
 {
     uint64_t h = FnvOffset;
-    hashU64(h, o.windows.numWindows);
-    hashU64(h, o.timing.aluCycles);
-    hashU64(h, o.timing.loadCycles);
-    hashU64(h, o.timing.storeCycles);
-    hashU64(h, o.timing.branchCycles);
-    hashU64(h, o.timing.callCycles);
-    hashU64(h, o.timing.retCycles);
-    hashU64(h, o.timing.miscCycles);
-    hashU64(h, o.timing.windowTrapOverhead);
-    hashU64(h, o.stackTop);
-    hashU64(h, o.spillBase);
-    hashU64(h, o.haltOnZeroTarget ? 1 : 0);
-    hashU64(h, o.interruptVector);
-    hashU64(h, o.trapVector);
-    hashU64(h, o.memLimit);
+    fnvU64(h, o.windows.numWindows);
+    fnvU64(h, o.timing.aluCycles);
+    fnvU64(h, o.timing.loadCycles);
+    fnvU64(h, o.timing.storeCycles);
+    fnvU64(h, o.timing.branchCycles);
+    fnvU64(h, o.timing.callCycles);
+    fnvU64(h, o.timing.retCycles);
+    fnvU64(h, o.timing.miscCycles);
+    fnvU64(h, o.timing.windowTrapOverhead);
+    fnvU64(h, o.stackTop);
+    fnvU64(h, o.spillBase);
+    fnvU64(h, o.haltOnZeroTarget ? 1 : 0);
+    fnvU64(h, o.interruptVector);
+    fnvU64(h, o.trapVector);
+    fnvU64(h, o.memLimit);
     return h;
 }
 
 std::vector<uint8_t>
 serializeSnapshot(const Snapshot &snap, const CpuOptions &options)
 {
-    Writer w;
+    ByteWriter w;
     w.u32(SnapshotMagic);
     w.u32(SnapshotFormatVersion);
     w.u64(configHash(options));
@@ -305,103 +291,22 @@ Snapshot
 deserializeSnapshot(const std::vector<uint8_t> &bytes,
                     const CpuOptions &options)
 {
-    Reader r(bytes);
-    const uint32_t magic = r.u32();
-    if (magic != SnapshotMagic)
-        throw SnapshotError(
-            SnapshotError::Kind::BadMagic,
-            strprintf("snapshot: bad magic 0x%08x", magic));
-    const uint32_t version = r.u32();
-    if (version != SnapshotFormatVersion)
-        throw SnapshotError(
-            SnapshotError::Kind::BadVersion,
-            strprintf("snapshot: format version %u, this build reads "
-                      "version %u",
-                      version, SnapshotFormatVersion));
-    const uint64_t hash = r.u64();
-    const uint64_t want = configHash(options);
-    if (hash != want)
-        throw SnapshotError(
-            SnapshotError::Kind::ConfigMismatch,
-            strprintf("snapshot: config hash %016llx does not match "
-                      "this Cpu's %016llx (different window geometry, "
-                      "timing model, memory layout or vectors)",
-                      static_cast<unsigned long long>(hash),
-                      static_cast<unsigned long long>(want)));
-
-    Snapshot snap;
-    const uint32_t nregs = r.u32();
-    if (nregs != options.windows.physCount())
-        throw SnapshotError(
-            SnapshotError::Kind::Corrupt,
-            strprintf("snapshot: %u registers recorded, configuration "
-                      "has %u",
-                      nregs, options.windows.physCount()));
-    snap.regs.resize(nregs);
-    for (uint32_t &reg : snap.regs)
-        reg = r.u32();
-
-    const uint32_t npages = r.u32();
-    r.checkCount(npages, 4 + Memory::PageSize);
-    snap.pages.reserve(npages);
-    uint32_t prev_index = 0;
-    for (uint32_t i = 0; i < npages; ++i) {
-        const uint32_t index = r.u32();
-        if (i != 0 && index <= prev_index)
+    ByteReader r(bytes);
+    try {
+        return parseSnapshot(r, options);
+    } catch (const ByteStreamTruncated &t) {
+        if (t.countCheck)
             throw SnapshotError(
-                SnapshotError::Kind::Corrupt,
-                strprintf("snapshot: page indices not strictly "
-                          "ascending at page %u",
-                          i));
-        prev_index = index;
-        std::vector<uint8_t> page(Memory::PageSize);
-        r.bytes(page.data(), page.size());
-        snap.pages.emplace_back(index, std::move(page));
+                SnapshotError::Kind::Truncated,
+                strprintf("snapshot: count at byte %zu needs %zu "
+                          "bytes but only %zu remain",
+                          t.offset, t.need, bytes.size() - t.offset));
+        throw SnapshotError(
+            SnapshotError::Kind::Truncated,
+            strprintf("snapshot: stream truncated at byte %zu (need "
+                      "%zu more)",
+                      t.offset, t.need));
     }
-
-    snap.memStats = readMemStats(r);
-    snap.stats = readStats(r);
-
-    const uint8_t fl = r.u8();
-    if (fl > 0xf)
-        throw SnapshotError(SnapshotError::Kind::Corrupt,
-                            strprintf("snapshot: bad flag byte 0x%02x",
-                                      fl));
-    snap.flags.z = (fl & 1) != 0;
-    snap.flags.n = (fl & 2) != 0;
-    snap.flags.v = (fl & 4) != 0;
-    snap.flags.c = (fl & 8) != 0;
-    snap.pc = r.u32();
-    snap.npc = r.u32();
-    snap.lastPc = r.u32();
-    snap.spillSp = r.u32();
-    snap.cwp = r.u32();
-    if (snap.cwp >= options.windows.numWindows)
-        throw SnapshotError(
-            SnapshotError::Kind::Corrupt,
-            strprintf("snapshot: cwp %u out of range (%u windows)",
-                      snap.cwp, options.windows.numWindows));
-    snap.resident = r.u32();
-    snap.spilled = r.u64();
-    snap.ie = r.u8() != 0;
-    snap.halted = r.u8() != 0;
-    snap.interruptPending = r.u8() != 0;
-
-    const uint32_t nring = r.u32();
-    r.checkCount(nring, 4);
-    snap.pcRing.resize(nring);
-    for (uint32_t &pc : snap.pcRing)
-        pc = r.u32();
-    snap.pcRingPos = r.u32();
-    snap.pcRingCount = r.u64();
-
-    if (r.remaining() != 0)
-        throw SnapshotError(
-            SnapshotError::Kind::Corrupt,
-            strprintf("snapshot: %zu trailing bytes after the last "
-                      "field",
-                      r.remaining()));
-    return snap;
 }
 
 } // namespace risc1::sim

@@ -306,6 +306,36 @@ TEST_F(SnapshotNegative, TrailingGarbageRejected)
               sim::SnapshotError::Kind::Corrupt);
 }
 
+TEST_F(SnapshotNegative, ErrorMessagesCarryByteOffsets)
+{
+    // Every rejection names the failing byte offset, so a corrupt
+    // checkpoint (or fleet shard) can be located with a hex dump.
+    const auto message = [&](const std::vector<uint8_t> &bytes) {
+        try {
+            (void)sim::deserializeSnapshot(bytes, cpu_.options());
+        } catch (const sim::SnapshotError &err) {
+            return std::string(err.what());
+        }
+        ADD_FAILURE() << "deserialization unexpectedly succeeded";
+        return std::string();
+    };
+
+    std::vector<uint8_t> cut(bytes_.begin(), bytes_.begin() + 9);
+    EXPECT_NE(message(cut).find("at byte"), std::string::npos);
+
+    std::vector<uint8_t> magic = bytes_;
+    magic[0] ^= 0xff;
+    EXPECT_NE(message(magic).find("at byte"), std::string::npos);
+
+    std::vector<uint8_t> version = bytes_;
+    version[4] += 1;
+    EXPECT_NE(message(version).find("at byte"), std::string::npos);
+
+    std::vector<uint8_t> trailing = bytes_;
+    trailing.push_back(0x00);
+    EXPECT_NE(message(trailing).find("at byte"), std::string::npos);
+}
+
 TEST_F(SnapshotNegative, SerializedStateActuallyRestores)
 {
     const sim::Snapshot snap =
