@@ -31,6 +31,7 @@
 #include "core/experiments.hh"
 #include "core/fleet.hh"
 #include "core/parallel.hh"
+#include "debug/replay.hh"
 
 int
 main(int argc, char **argv)
@@ -52,10 +53,14 @@ main(int argc, char **argv)
         "(the fleet worker entry point; summing any partition of the\n"
         "grid reproduces the full campaign); --shard-out FILE writes\n"
         "those rows as a durable shard-cache record instead of a\n"
-        "table.",
+        "table. --repro SLOT re-executes one grid slot and writes a\n"
+        "replay file (--repro-out FILE, default repro_SLOT.r1replay)\n"
+        "that `risc1_gdb --replay FILE` opens as an interactive\n"
+        "time-travel session parked at the detection point (see\n"
+        "docs/DEBUGGING.md).",
         "[injections] [seed] [--tally] [--recover] "
         "[--checkpoint-interval K] [--seed-range A:B] "
-        "[--shard-out FILE] [--avf]");
+        "[--shard-out FILE] [--avf] [--repro SLOT] [--repro-out FILE]");
 
     bool streaming = false;
     bool avf = false;
@@ -63,6 +68,9 @@ main(int argc, char **argv)
     bool have_range = false;
     uint64_t range_first = 0, range_last = 0;
     std::string shard_out;
+    bool have_repro = false;
+    uint64_t repro_slot = 0;
+    std::string repro_out;
     int out = 1;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--tally") == 0) {
@@ -89,6 +97,13 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--shard-out") == 0 &&
                    i + 1 < argc) {
             shard_out = argv[++i];
+        } else if (std::strcmp(argv[i], "--repro") == 0 &&
+                   i + 1 < argc) {
+            have_repro = true;
+            repro_slot = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--repro-out") == 0 &&
+                   i + 1 < argc) {
+            repro_out = argv[++i];
         } else {
             argv[out++] = argv[i];
         }
@@ -105,6 +120,30 @@ main(int argc, char **argv)
     if (!shard_out.empty() && !have_range) {
         std::cerr << argv[0] << ": --shard-out needs --seed-range\n";
         return 2;
+    }
+
+    if (have_repro) {
+        // Reproduce one grid slot as an interactive replay file; the
+        // campaign itself is not run.
+        const risc1::core::FaultRepro repro =
+            risc1::core::faultCampaignRepro(repro_slot, injections,
+                                            seed);
+        risc1::debug::ReplayFile replay;
+        replay.options = repro.options;
+        replay.snapshot = repro.snapshot;
+        replay.snapshotInstructions = repro.snapshotInstructions;
+        replay.targetInstructions = repro.targetInstructions;
+        replay.targetPc = repro.targetPc;
+        replay.note = repro.note;
+        if (repro_out.empty())
+            repro_out = "repro_" + std::to_string(repro_slot) +
+                        ".r1replay";
+        risc1::debug::writeReplayFile(repro_out, replay);
+        std::cout << repro.note << "\n"
+                  << "replay file: " << repro_out << "\n"
+                  << "open with: risc1_gdb --replay " << repro_out
+                  << "\n";
+        return 0;
     }
 
     // Chaos hook for the fleet's re-queue ctests (see core/fleet.cc):

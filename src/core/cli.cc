@@ -70,6 +70,46 @@ parseBenchCli(int &argc, char **argv, const char *description,
     return cli;
 }
 
+bool
+consumeFlag(int &argc, char **argv, const char *flag)
+{
+    bool found = false;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0)
+            found = true;
+        else
+            argv[out++] = argv[i];
+    }
+    argc = out;
+    argv[argc] = nullptr;
+    return found;
+}
+
+std::optional<std::string>
+consumeValueFlag(int &argc, char **argv, const char *flag)
+{
+    std::optional<std::string> value;
+    const size_t flag_len = std::strlen(flag);
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0) {
+            if (i + 1 < argc)
+                value = argv[++i];
+            else
+                value = std::string(); // present, value missing
+        } else if (std::strncmp(argv[i], flag, flag_len) == 0 &&
+                   argv[i][flag_len] == '=') {
+            value = argv[i] + flag_len + 1;
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    argv[argc] = nullptr;
+    return value;
+}
+
 std::optional<std::pair<uint64_t, uint64_t>>
 parseSeedRange(const char *text)
 {

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <utility>
 
 namespace risc1::core {
@@ -57,6 +58,23 @@ BenchCli parseBenchCli(int &argc, char **argv, const char *description,
  */
 std::optional<std::pair<uint64_t, uint64_t>>
 parseSeedRange(const char *text);
+
+/**
+ * Remove a boolean `flag` (e.g. "--once") from argv if present;
+ * returns whether it was. argc/argv are rewritten in place, matching
+ * parseBenchCli's convention, so drivers can mix these helpers with
+ * positional-argument parsing.
+ */
+bool consumeFlag(int &argc, char **argv, const char *flag);
+
+/**
+ * Remove `--flag VALUE` (or `--flag=VALUE`) from argv, returning
+ * VALUE. nullopt when the flag is absent; an empty string when it is
+ * present but the value is missing (callers treat that as a usage
+ * error).
+ */
+std::optional<std::string> consumeValueFlag(int &argc, char **argv,
+                                            const char *flag);
 
 } // namespace risc1::core
 

@@ -371,6 +371,38 @@ faultCampaignRange(unsigned injections, uint64_t seed, uint64_t first,
  *  excluded from the hash by construction. */
 sim::CpuOptions campaignCpuOptions();
 
+/**
+ * Self-contained reproduction of one campaign grid slot — everything
+ * an interactive time-travel session (risc1_gdb --replay, via
+ * debug/replay.hh) needs: the machine configuration the run used, a
+ * serialized snapshot of the state just after the bit flip landed, and
+ * the detection point the session should park at.
+ */
+struct FaultRepro
+{
+    std::string workload;          //!< suite workload of the slot
+    sim::CpuOptions options;       //!< campaign options + watchdog budget
+    std::vector<uint8_t> snapshot; //!< serialized post-injection state
+    uint64_t snapshotInstructions = 0;
+    uint64_t targetInstructions = 0; //!< where the run was detected/ended
+    uint32_t targetPc = 0;
+    FaultOutcome outcome = FaultOutcome::Masked;
+    std::string note; //!< injection + outcome description
+};
+
+/**
+ * Re-execute one grid slot (slot = workload * injections + run, as in
+ * faultCampaignRange) and capture it as a FaultRepro. The injection is
+ * re-derived from (seed, workload, run), so the reproduction is exact:
+ * the run advances to the injection point, applies the flip, snapshots
+ * (for a transient fetch flip, after the corrupted word executes — the
+ * armed corruption itself is not snapshot state), then runs on to its
+ * classification. `bench_fault_campaign --repro SLOT --repro-out FILE`
+ * wraps this into a replay file.
+ */
+FaultRepro faultCampaignRepro(uint64_t slot, unsigned injections = 100,
+                              uint64_t seed = 1981);
+
 // ---- R3: recovery-aware AVF reporting --------------------------------------
 
 /**

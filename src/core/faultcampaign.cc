@@ -17,8 +17,10 @@
 
 #include "core/parallel.hh"
 #include "core/table.hh"
+#include "sim/fault.hh"
 #include "sim/faultinject.hh"
 #include "sim/image.hh"
+#include "sim/snapshot.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
 
@@ -297,6 +299,102 @@ faultCampaignRange(unsigned injections, uint64_t seed, uint64_t first,
     for (size_t i = 0; i < count; ++i)
         tally(i, outcomes[i]);
     return rows;
+}
+
+FaultRepro
+faultCampaignRepro(uint64_t slot, unsigned injections, uint64_t seed)
+{
+    const auto &suite = allWorkloads();
+    const uint64_t total = uint64_t{suite.size()} * injections;
+    if (injections == 0 || slot >= total)
+        fatal("faultCampaignRepro: slot %llu outside the %llu-slot "
+              "grid (%zu workloads x %u injections)",
+              static_cast<unsigned long long>(slot),
+              static_cast<unsigned long long>(total), suite.size(),
+              injections);
+    const size_t w = slot / injections;
+    const uint64_t r = slot % injections;
+    const Workload &wl = suite[w];
+
+    // The same preparation faultCampaignRange performs for workload w.
+    const sim::ProgramImage image(
+        workloads::buildRisc(wl, wl.defaultScale));
+    const uint32_t expected = wl.expected(wl.defaultScale);
+    sim::Cpu baseline(campaignCpuOptions());
+    baseline.load(image);
+    const sim::ExecResult base = baseline.run();
+    if (!base.halted() ||
+        baseline.memory().peek32(workloads::ResultAddr) != expected)
+        fatal("faultCampaignRepro: baseline run of %s is broken",
+              wl.name.c_str());
+
+    FaultRepro repro;
+    repro.workload = wl.name;
+    repro.options = campaignCpuOptions();
+    repro.options.watchdogCycles = base.cycles * 8 + 100'000;
+
+    // The slot's RNG stream, bit for bit as the campaign drew it.
+    Rng rng(runSeed(seed, w, r));
+    sim::Injection inj = sim::drawInjection(rng, base.instructions);
+
+    sim::Cpu cpu(repro.options);
+    cpu.load(image);
+    const sim::ExecResult to_inj = cpu.runUntil(inj.atInstruction);
+    if (to_inj.reason != sim::StopReason::Paused)
+        fatal("faultCampaignRepro: %s ended before the injection "
+              "point %llu (baseline says %llu instructions)",
+              wl.name.c_str(),
+              static_cast<unsigned long long>(inj.atInstruction),
+              static_cast<unsigned long long>(base.instructions));
+    sim::applyInjection(cpu, rng, inj);
+
+    // A fetch flip arms transient corruption of the next fetch, which
+    // is not snapshot state: execute the corrupted word first so its
+    // architectural effect is captured. If that word itself faults,
+    // the detection point IS the injection point.
+    if (inj.target == sim::InjectTarget::Fetch) {
+        try {
+            cpu.step();
+        } catch (const sim::SimFault &f) {
+            repro.snapshot = sim::serializeSnapshot(cpu.snapshot(), repro.options);
+            repro.snapshotInstructions = cpu.stats().instructions;
+            repro.targetInstructions = repro.snapshotInstructions;
+            repro.targetPc = cpu.pc();
+            repro.outcome = FaultOutcome::DetectedTrap;
+            repro.note = strprintf(
+                "campaign slot %llu (%s run %llu, seed %llu): %s; "
+                "faults immediately: %s",
+                static_cast<unsigned long long>(slot), wl.name.c_str(),
+                static_cast<unsigned long long>(r),
+                static_cast<unsigned long long>(seed),
+                sim::describeInjection(inj).c_str(),
+                f.message.c_str());
+            return repro;
+        }
+    }
+
+    repro.snapshot = sim::serializeSnapshot(cpu.snapshot(), repro.options);
+    repro.snapshotInstructions = cpu.stats().instructions;
+
+    const sim::ExecResult result = cpu.run();
+    repro.outcome = classify(
+        result, cpu.memory().peek32(workloads::ResultAddr), expected);
+    repro.targetInstructions = cpu.stats().instructions;
+    repro.targetPc = result.reason == sim::StopReason::Fault
+                         ? result.faultPc
+                         : cpu.pc();
+    repro.note = strprintf(
+        "campaign slot %llu (%s run %llu, seed %llu): %s; outcome %s "
+        "at instruction %llu%s%s",
+        static_cast<unsigned long long>(slot), wl.name.c_str(),
+        static_cast<unsigned long long>(r),
+        static_cast<unsigned long long>(seed),
+        sim::describeInjection(inj).c_str(),
+        std::string(faultOutcomeName(repro.outcome)).c_str(),
+        static_cast<unsigned long long>(repro.targetInstructions),
+        result.message.empty() ? "" : ": ",
+        result.message.c_str());
+    return repro;
 }
 
 std::vector<FaultCampaignRow>

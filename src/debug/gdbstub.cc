@@ -1,0 +1,526 @@
+#include "debug/gdbstub.hh"
+
+#include <iostream>
+
+#include "debug/rsp.hh"
+#include "support/logging.hh"
+
+namespace risc1::debug {
+
+namespace {
+
+/** Registers in the `g` packet: r0..r31 then pc. */
+constexpr unsigned GPacketRegs = 33;
+/** `p`/`P` register numbers beyond the window registers. */
+constexpr unsigned PcRegno = 32;
+constexpr unsigned NpcRegno = 33;
+
+/** Largest `m` read honoured in one packet. */
+constexpr uint64_t MaxMemChunk = 0x2000;
+
+/**
+ * Target description served via qXfer:features:read. `riscv:rv32`
+ * gives stock gdb a 32-bit little-endian machine whose x0 is
+ * hardwired zero — exactly RISC I's r0 — so register windows aside,
+ * the generic machinery (breakpoints, stepping, memory, reverse
+ * execution) works unmodified.
+ */
+constexpr char TargetXml[] =
+    "<?xml version=\"1.0\"?>\n"
+    "<!DOCTYPE target SYSTEM \"gdb-target.dtd\">\n"
+    "<target version=\"1.0\">\n"
+    "  <architecture>riscv:rv32</architecture>\n"
+    "  <feature name=\"org.gnu.gdb.riscv.cpu\">\n"
+    "    <reg name=\"x0\" bitsize=\"32\" type=\"int\" regnum=\"0\"/>\n"
+    "    <reg name=\"x1\" bitsize=\"32\" type=\"int\"/>\n"
+    "    <reg name=\"x2\" bitsize=\"32\" type=\"int\"/>\n"
+    "    <reg name=\"x3\" bitsize=\"32\" type=\"int\"/>\n"
+    "    <reg name=\"x4\" bitsize=\"32\" type=\"int\"/>\n"
+    "    <reg name=\"x5\" bitsize=\"32\" type=\"int\"/>\n"
+    "    <reg name=\"x6\" bitsize=\"32\" type=\"int\"/>\n"
+    "    <reg name=\"x7\" bitsize=\"32\" type=\"int\"/>\n"
+    "    <reg name=\"x8\" bitsize=\"32\" type=\"int\"/>\n"
+    "    <reg name=\"x9\" bitsize=\"32\" type=\"int\"/>\n"
+    "    <reg name=\"x10\" bitsize=\"32\" type=\"int\"/>\n"
+    "    <reg name=\"x11\" bitsize=\"32\" type=\"int\"/>\n"
+    "    <reg name=\"x12\" bitsize=\"32\" type=\"int\"/>\n"
+    "    <reg name=\"x13\" bitsize=\"32\" type=\"int\"/>\n"
+    "    <reg name=\"x14\" bitsize=\"32\" type=\"int\"/>\n"
+    "    <reg name=\"x15\" bitsize=\"32\" type=\"int\"/>\n"
+    "    <reg name=\"x16\" bitsize=\"32\" type=\"int\"/>\n"
+    "    <reg name=\"x17\" bitsize=\"32\" type=\"int\"/>\n"
+    "    <reg name=\"x18\" bitsize=\"32\" type=\"int\"/>\n"
+    "    <reg name=\"x19\" bitsize=\"32\" type=\"int\"/>\n"
+    "    <reg name=\"x20\" bitsize=\"32\" type=\"int\"/>\n"
+    "    <reg name=\"x21\" bitsize=\"32\" type=\"int\"/>\n"
+    "    <reg name=\"x22\" bitsize=\"32\" type=\"int\"/>\n"
+    "    <reg name=\"x23\" bitsize=\"32\" type=\"int\"/>\n"
+    "    <reg name=\"x24\" bitsize=\"32\" type=\"int\"/>\n"
+    "    <reg name=\"x25\" bitsize=\"32\" type=\"int\"/>\n"
+    "    <reg name=\"x26\" bitsize=\"32\" type=\"int\"/>\n"
+    "    <reg name=\"x27\" bitsize=\"32\" type=\"int\"/>\n"
+    "    <reg name=\"x28\" bitsize=\"32\" type=\"int\"/>\n"
+    "    <reg name=\"x29\" bitsize=\"32\" type=\"int\"/>\n"
+    "    <reg name=\"x30\" bitsize=\"32\" type=\"int\"/>\n"
+    "    <reg name=\"x31\" bitsize=\"32\" type=\"int\"/>\n"
+    "    <reg name=\"pc\" bitsize=\"32\" type=\"code_ptr\"/>\n"
+    "  </feature>\n"
+    "</target>\n";
+
+/** Engine selection of `options`, as a short human label. */
+const char *
+engineName(const sim::CpuOptions &options)
+{
+    if (!options.predecode)
+        return "reference";
+    if (!options.threaded)
+        return "predecode";
+    if (options.superblock)
+        return "superblock";
+    return options.fuse ? "threaded+fuse" : "threaded";
+}
+
+/** Split "a,b" / "a,b:c" style fields. */
+std::string_view
+fieldUpTo(std::string_view &rest, char sep)
+{
+    const size_t pos = rest.find(sep);
+    if (pos == std::string_view::npos) {
+        const std::string_view all = rest;
+        rest = {};
+        return all;
+    }
+    const std::string_view head = rest.substr(0, pos);
+    rest.remove_prefix(pos + 1);
+    return head;
+}
+
+} // namespace
+
+GdbStub::GdbStub(TimeTravel &machine, GdbStubOptions options)
+    : tt_(machine), options_(options)
+{
+    lastStop_ = Stop{StopKind::Step, tt_.cpu().pc(),
+                     isa::TrapCause::None, {}};
+}
+
+std::string
+GdbStub::stopReply(const Stop &stop)
+{
+    lastStop_ = stop;
+    if (stop.kind != StopKind::Halted)
+        haltReported_ = false;
+    switch (stop.kind) {
+      case StopKind::Step:
+      case StopKind::InstLimit:
+        return "S05";
+      case StopKind::Breakpoint:
+        return clientSwbreak_ ? "T05swbreak:;" : "S05";
+      case StopKind::Halted:
+        // First report: a SIGTRAP stop, so the user can inspect the
+        // final state and travel backwards. Further motion while
+        // still halted reports the exit.
+        if (haltReported_)
+            return "W00";
+        haltReported_ = true;
+        return "S05";
+      case StopKind::Fault:
+        switch (stop.cause) {
+          case isa::TrapCause::IllegalOpcode:
+            return "S04"; // SIGILL
+          case isa::TrapCause::MisalignedAccess:
+            return "S0a"; // SIGBUS
+          case isa::TrapCause::OutOfRangeAddress:
+          case isa::TrapCause::WindowExhausted:
+            return "S0b"; // SIGSEGV
+          default:
+            return "S06"; // SIGABRT
+        }
+      case StopKind::Watchdog:
+        return "S0e"; // SIGALRM
+      case StopKind::HistoryBegin:
+        return "T05replaylog:begin;";
+    }
+    panic("GdbStub: unhandled stop kind %u",
+          static_cast<unsigned>(stop.kind));
+}
+
+std::string
+GdbStub::statusLine() const
+{
+    const sim::Cpu &cpu = tt_.cpu();
+    const uint64_t base = tt_.historyBase();
+    return strprintf(
+        "instruction %llu, pc 0x%08x, cwp %u | history base %llu, "
+        "%zu checkpoints every %llu | engine %s | %zu breakpoints",
+        static_cast<unsigned long long>(tt_.index()), cpu.pc(),
+        cpu.cwp(),
+        static_cast<unsigned long long>(base == UINT64_MAX ? 0 : base),
+        tt_.checkpointCount(),
+        static_cast<unsigned long long>(tt_.checkpointInterval()),
+        engineName(cpu.options()), tt_.breakpoints().size());
+}
+
+std::string
+GdbStub::handleRegistersRead() const
+{
+    std::string out;
+    out.reserve(GPacketRegs * 8);
+    for (unsigned reg = 0; reg < 32; ++reg)
+        out += hexWordLe(tt_.cpu().reg(reg));
+    out += hexWordLe(tt_.cpu().pc());
+    return out;
+}
+
+std::string
+GdbStub::handleRegistersWrite(std::string_view hex)
+{
+    if (hex.size() != GPacketRegs * 8)
+        throw RspError(RspError::Kind::Malformed,
+                       strprintf("G: %zu hex digits, expected %u",
+                                 hex.size(), GPacketRegs * 8));
+    for (unsigned reg = 1; reg < 32; ++reg) // r0 stays zero
+        tt_.cpu().setReg(reg, parseHexWordLe(hex.substr(reg * 8, 8)));
+    tt_.cpu().setPc(parseHexWordLe(hex.substr(32 * 8, 8)));
+    return "OK";
+}
+
+std::string
+GdbStub::handleRegRead(std::string_view field) const
+{
+    const uint64_t regno = parseHex(field);
+    if (regno < 32)
+        return hexWordLe(tt_.cpu().reg(static_cast<unsigned>(regno)));
+    if (regno == PcRegno)
+        return hexWordLe(tt_.cpu().pc());
+    if (regno == NpcRegno)
+        return hexWordLe(tt_.cpu().npc());
+    return "E01";
+}
+
+std::string
+GdbStub::handleRegWrite(std::string_view args)
+{
+    std::string_view rest = args;
+    const std::string_view regno_field = fieldUpTo(rest, '=');
+    if (rest.empty())
+        throw RspError(RspError::Kind::Malformed,
+                       "P: missing '=value'");
+    const uint64_t regno = parseHex(regno_field);
+    const uint32_t value = parseHexWordLe(rest);
+    if (regno == 0)
+        return "OK"; // r0 is hardwired zero
+    if (regno < 32) {
+        tt_.cpu().setReg(static_cast<unsigned>(regno), value);
+        return "OK";
+    }
+    if (regno == PcRegno) {
+        // Forcing the PC abandons any delayed transfer in flight —
+        // the same discipline Cpu::setPc applies for tests.
+        tt_.cpu().setPc(value);
+        return "OK";
+    }
+    return "E01";
+}
+
+std::string
+GdbStub::handleMemRead(std::string_view args) const
+{
+    std::string_view rest = args;
+    const std::string_view addr_field = fieldUpTo(rest, ',');
+    const uint32_t addr =
+        static_cast<uint32_t>(parseHex(addr_field));
+    const uint64_t len = parseHex(rest);
+    if (len > MaxMemChunk)
+        return "E03";
+    std::string out;
+    out.reserve(len * 2);
+    for (uint64_t i = 0; i < len; ++i) {
+        const uint8_t byte =
+            tt_.cpu().memory().peek8(addr + static_cast<uint32_t>(i));
+        out += hexEncode(&byte, 1);
+    }
+    return out;
+}
+
+std::string
+GdbStub::handleMemWrite(std::string_view args)
+{
+    std::string_view rest = args;
+    const std::string_view addr_field = fieldUpTo(rest, ',');
+    const std::string_view len_field = fieldUpTo(rest, ':');
+    const uint32_t addr =
+        static_cast<uint32_t>(parseHex(addr_field));
+    const uint64_t len = parseHex(len_field);
+    const std::string bytes = hexDecode(rest);
+    if (bytes.size() != len)
+        throw RspError(RspError::Kind::Malformed,
+                       strprintf("M: length field %llu but %zu data "
+                                 "bytes",
+                                 static_cast<unsigned long long>(len),
+                                 bytes.size()));
+    for (size_t i = 0; i < bytes.size(); ++i)
+        tt_.cpu().memory().poke8(addr + static_cast<uint32_t>(i),
+                                 static_cast<uint8_t>(bytes[i]));
+    return "OK";
+}
+
+std::string
+GdbStub::handleBreakpoint(std::string_view payload, bool set)
+{
+    // Z0,addr,kind / z0,addr,kind; only type 0 (software breakpoint)
+    // is implemented — others get the empty "unsupported" reply.
+    std::string_view rest = payload.substr(1);
+    const std::string_view type_field = fieldUpTo(rest, ',');
+    if (type_field != "0")
+        return "";
+    const std::string_view addr_field = fieldUpTo(rest, ',');
+    const uint32_t addr =
+        static_cast<uint32_t>(parseHex(addr_field));
+    if (set)
+        return tt_.addBreakpoint(addr) ? "OK" : "E02";
+    return tt_.removeBreakpoint(addr) ? "OK" : "E02";
+}
+
+std::string
+GdbStub::handleVPacket(std::string_view payload)
+{
+    if (payload == "vCont?")
+        return "vCont;c;C;s;S";
+    if (payload.rfind("vCont;", 0) == 0) {
+        // Single-machine target: honour the first action, ignore the
+        // per-thread suffixes.
+        const std::string_view action = payload.substr(6);
+        if (action.empty())
+            throw RspError(RspError::Kind::Malformed,
+                           "vCont: no action");
+        switch (action[0]) {
+          case 'c':
+          case 'C':
+            return stopReply(tt_.continueForward());
+          case 's':
+          case 'S':
+            return stopReply(tt_.stepForward());
+          default:
+            return "E01";
+        }
+    }
+    return ""; // other v-packets: unsupported
+}
+
+std::string
+GdbStub::handleMonitor(std::string_view hex_cmd)
+{
+    const std::string cmd = hexDecode(hex_cmd);
+    std::string text;
+    if (cmd == "info") {
+        text = statusLine() + "\n";
+    } else if (cmd == "help") {
+        text = "monitor commands: info (time-travel position, "
+               "history window, engine)\n";
+    } else {
+        text = strprintf("unknown monitor command '%s' — try "
+                         "'monitor help'\n",
+                         cmd.c_str());
+    }
+    return hexEncode(text);
+}
+
+std::string
+GdbStub::handleQuery(std::string_view payload)
+{
+    if (payload.rfind("qSupported", 0) == 0) {
+        clientSwbreak_ =
+            payload.find("swbreak+") != std::string_view::npos;
+        return strprintf("PacketSize=%zx;QStartNoAckMode+;"
+                         "qXfer:features:read+;ReverseStep+;"
+                         "ReverseContinue+;swbreak+",
+                         MaxPacketBytes);
+    }
+    if (payload == "qAttached")
+        return "1";
+    if (payload == "qC")
+        return "QC1";
+    if (payload == "qfThreadInfo")
+        return "m1";
+    if (payload == "qsThreadInfo")
+        return "l";
+    if (payload.rfind("qSymbol", 0) == 0)
+        return "OK";
+    if (payload == "qOffsets")
+        return "Text=0;Data=0;Bss=0";
+    if (payload.rfind("qRcmd,", 0) == 0)
+        return handleMonitor(payload.substr(6));
+    if (payload.rfind("qXfer:features:read:target.xml:", 0) == 0) {
+        std::string_view rest = payload.substr(31);
+        const std::string_view off_field = fieldUpTo(rest, ',');
+        const uint64_t off = parseHex(off_field);
+        const uint64_t len = parseHex(rest);
+        const std::string_view xml(TargetXml);
+        if (off >= xml.size())
+            return "l";
+        const std::string_view chunk =
+            xml.substr(off, std::min<uint64_t>(len, xml.size() - off));
+        return (off + chunk.size() == xml.size() ? "l" : "m") +
+               std::string(chunk);
+    }
+    return "";
+}
+
+std::string
+GdbStub::handle(std::string_view payload)
+{
+    if (payload.empty())
+        return "";
+    try {
+        switch (payload[0]) {
+          case '?':
+            return stopReply(lastStop_);
+          case 'g':
+            return handleRegistersRead();
+          case 'G':
+            return handleRegistersWrite(payload.substr(1));
+          case 'p':
+            return handleRegRead(payload.substr(1));
+          case 'P':
+            return handleRegWrite(payload.substr(1));
+          case 'm':
+            return handleMemRead(payload.substr(1));
+          case 'M':
+            return handleMemWrite(payload.substr(1));
+          case 'Z':
+            return handleBreakpoint(payload, true);
+          case 'z':
+            return handleBreakpoint(payload, false);
+          case 'c':
+            if (payload.size() > 1)
+                tt_.cpu().setPc(static_cast<uint32_t>(
+                    parseHex(payload.substr(1))));
+            return stopReply(tt_.continueForward());
+          case 's':
+            if (payload.size() > 1)
+                tt_.cpu().setPc(static_cast<uint32_t>(
+                    parseHex(payload.substr(1))));
+            return stopReply(tt_.stepForward());
+          case 'b':
+            if (payload == "bs")
+                return stopReply(tt_.stepBack());
+            if (payload == "bc")
+                return stopReply(tt_.continueBack());
+            return "";
+          case 'v':
+            return handleVPacket(payload);
+          case 'q':
+            return handleQuery(payload);
+          case 'Q':
+            if (payload == "QStartNoAckMode") {
+                noAck_ = true;
+                return "OK";
+            }
+            return "";
+          case 'H':
+          case 'T':
+            return "OK"; // single thread: every selector is right
+          case 'D':
+            detached_ = true;
+            return "OK";
+          case 'k':
+            killed_ = true;
+            return ""; // `k` has no reply
+          default:
+            return ""; // unknown command, per protocol
+        }
+    } catch (const RspError &err) {
+        // Malformed arguments answer an error packet; the session —
+        // and the machine — survive.
+        if (options_.verbose)
+            (options_.log != nullptr ? *options_.log : std::cerr)
+                << "gdbstub: " << err.what() << "\n";
+        return err.kind() == RspError::Kind::BadHex ? "E02" : "E01";
+    } catch (const FatalError &err) {
+        if (options_.verbose)
+            (options_.log != nullptr ? *options_.log : std::cerr)
+                << "gdbstub: " << err.what() << "\n";
+        return "E04";
+    }
+}
+
+GdbStub::SessionEnd
+GdbStub::serve(Channel &channel)
+{
+    std::ostream &log =
+        options_.log != nullptr ? *options_.log : std::cerr;
+    FrameDecoder decoder;
+    std::string last_frame;
+    char buf[4096];
+    detached_ = false;
+    killed_ = false;
+
+    try {
+        for (;;) {
+            const size_t got = channel.recv(buf, sizeof(buf));
+            if (got == 0)
+                return SessionEnd::Eof;
+            decoder.push(buf, got);
+            for (;;) {
+                FrameDecoder::Event event;
+                try {
+                    event = decoder.next();
+                } catch (const RspError &err) {
+                    // Corrupt frame: request retransmission and keep
+                    // the session alive.
+                    if (options_.verbose)
+                        log << "gdbstub: " << err.what() << "\n";
+                    channel.send("-", 1);
+                    continue;
+                }
+                if (event == FrameDecoder::Event::NeedMore)
+                    break;
+                switch (event) {
+                  case FrameDecoder::Event::Ack:
+                    break; // nothing pending: ignore
+                  case FrameDecoder::Event::Nak:
+                    if (!last_frame.empty())
+                        channel.send(last_frame.data(),
+                                     last_frame.size());
+                    break;
+                  case FrameDecoder::Event::Interrupt:
+                    // The machine only runs inside a handler, so an
+                    // interrupt between packets just reports the
+                    // current stop.
+                    last_frame = frame(stopReply(lastStop_));
+                    channel.send(last_frame.data(),
+                                 last_frame.size());
+                    break;
+                  case FrameDecoder::Event::Packet: {
+                    if (options_.verbose)
+                        log << "gdbstub: <- " << decoder.payload()
+                            << "\n";
+                    if (!noAck_)
+                        channel.send("+", 1);
+                    const std::string reply =
+                        handle(decoder.payload());
+                    if (killed_)
+                        return SessionEnd::Killed;
+                    if (options_.verbose)
+                        log << "gdbstub: -> " << reply << "\n";
+                    last_frame = frame(reply);
+                    channel.send(last_frame.data(),
+                                 last_frame.size());
+                    if (detached_)
+                        return SessionEnd::Detached;
+                    break;
+                  }
+                  case FrameDecoder::Event::NeedMore:
+                    break; // unreachable
+                }
+            }
+        }
+    } catch (const TransportError &err) {
+        if (options_.verbose)
+            log << "gdbstub: transport: " << err.what() << "\n";
+        return SessionEnd::Eof;
+    }
+}
+
+} // namespace risc1::debug

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The GDB Remote Serial Protocol server: one session of stock `gdb`
+ * (or any RSP client) driving a TimeTravel machine. The stub speaks
+ * the classic run-control vocabulary — `g`/`G`/`p`/`P` registers,
+ * `m`/`M` memory, `Z0`/`z0` software breakpoints, `s`/`c`/`vCont`
+ * motion — plus the reverse-execution pair `bs`/`bc`, which the
+ * checkpoint-and-re-run layer makes exact. See docs/DEBUGGING.md for
+ * the supported-packet table and a worked session transcript.
+ *
+ * The packet dispatcher (handle()) is transport-free: it maps one
+ * payload string to one reply string, so tests exercise every command
+ * without a socket. serve() wraps it with framing, acknowledgments
+ * and retransmission over a Channel.
+ *
+ * Register presentation: the target description served via
+ * qXfer:features:read declares 33 32-bit registers — the current
+ * window's r0..r31 followed by pc — under `riscv:rv32`, whose x0
+ * conveniently shares RISC I's hardwired-zero r0. Register 33 (npc,
+ * the delayed-transfer slot) is readable via `p` for delay-slot
+ * forensics but deliberately kept out of `g`.
+ */
+
+#ifndef RISC1_DEBUG_GDBSTUB_HH
+#define RISC1_DEBUG_GDBSTUB_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "debug/timetravel.hh"
+#include "debug/transport.hh"
+
+namespace risc1::debug {
+
+/** Session knobs of a GdbStub. */
+struct GdbStubOptions
+{
+    /** Log every packet exchange (wire debugging) to `log`. */
+    bool verbose = false;
+    std::ostream *log = nullptr; //!< defaults to std::cerr
+};
+
+/** One RSP session over a TimeTravel machine (see file comment). */
+class GdbStub
+{
+  public:
+    /** How serve() ended. */
+    enum class SessionEnd : uint8_t
+    {
+        Detached, //!< client sent `D` — machine stays debuggable
+        Killed,   //!< client sent `k` — driver should exit
+        Eof,      //!< transport closed (client gone)
+    };
+
+    GdbStub(TimeTravel &machine, GdbStubOptions options = {});
+
+    /**
+     * Serve one session on `channel` until detach, kill or EOF.
+     * Corrupt inbound frames are answered with `-` (retransmit
+     * request) and never terminate the session.
+     */
+    SessionEnd serve(Channel &channel);
+
+    /**
+     * Dispatch one decoded payload to its handler and return the
+     * reply payload (unframed). Exposed so tests can drive the full
+     * command surface without a transport. Unknown commands return
+     * the empty reply, per protocol; malformed arguments return
+     * `Exx` errors — neither ends the session.
+     */
+    std::string handle(std::string_view payload);
+
+    bool killRequested() const { return killed_; }
+
+  private:
+    std::string handleQuery(std::string_view payload);
+    std::string handleRegistersRead() const;
+    std::string handleRegistersWrite(std::string_view hex);
+    std::string handleRegRead(std::string_view field) const;
+    std::string handleRegWrite(std::string_view args);
+    std::string handleMemRead(std::string_view args) const;
+    std::string handleMemWrite(std::string_view args);
+    std::string handleBreakpoint(std::string_view payload, bool set);
+    std::string handleVPacket(std::string_view payload);
+    std::string handleMonitor(std::string_view hex_cmd);
+
+    /** Map a Stop to its RSP stop reply. */
+    std::string stopReply(const Stop &stop);
+
+    /** One-line state summary (monitor info / driver banner). */
+    std::string statusLine() const;
+
+    TimeTravel &tt_;
+    GdbStubOptions options_;
+
+    bool noAck_ = false;          //!< QStartNoAckMode negotiated
+    bool clientSwbreak_ = false;  //!< client accepts swbreak stop reason
+    bool detached_ = false;
+    bool killed_ = false;
+
+    /**
+     * A halt is reported as a SIGTRAP stop the first time (the user
+     * can inspect and travel backwards); motion attempted while still
+     * halted reports the W00 exit instead. Reverse motion re-arms it.
+     */
+    bool haltReported_ = false;
+
+    Stop lastStop_;
+};
+
+} // namespace risc1::debug
+
+#endif // RISC1_DEBUG_GDBSTUB_HH

@@ -1,0 +1,209 @@
+#include "debug/replay.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "sim/serial.hh"
+#include "sim/snapshot.hh"
+#include "support/logging.hh"
+
+namespace risc1::debug {
+
+namespace {
+
+/** "r1rp" little-endian. */
+constexpr uint32_t ReplayMagic = 0x70723172;
+
+} // namespace
+
+ReplayFile
+replayFromDivergence(const sim::DivergenceReport &report,
+                     const sim::CpuOptions &options)
+{
+    ReplayFile replay;
+    replay.options = options;
+    replay.snapshot = report.reproducer;
+    replay.snapshotInstructions = report.reproducerInstructions;
+    replay.targetInstructions = report.instructionIndex;
+    replay.targetPc = report.pc;
+    replay.note = report.str();
+    return replay;
+}
+
+std::vector<uint8_t>
+serializeReplay(const ReplayFile &replay)
+{
+    const sim::CpuOptions &o = replay.options;
+    sim::ByteWriter w;
+    w.u32(ReplayMagic);
+    w.u32(ReplayFormatVersion);
+
+    // The architectural configuration, field by field: enough to
+    // rebuild a Cpu whose configHash accepts the embedded snapshot.
+    w.u32(o.windows.numWindows);
+    w.u32(o.timing.aluCycles);
+    w.u32(o.timing.loadCycles);
+    w.u32(o.timing.storeCycles);
+    w.u32(o.timing.branchCycles);
+    w.u32(o.timing.callCycles);
+    w.u32(o.timing.retCycles);
+    w.u32(o.timing.miscCycles);
+    w.u32(o.timing.windowTrapOverhead);
+    w.u32(o.stackTop);
+    w.u32(o.spillBase);
+    w.u8(o.haltOnZeroTarget ? 1 : 0);
+    w.u32(o.interruptVector);
+    w.u32(o.trapVector);
+    w.u32(o.memLimit);
+    w.u64(o.watchdogCycles);
+
+    w.u64(replay.snapshotInstructions);
+    w.u64(replay.targetInstructions);
+    w.u32(replay.targetPc);
+
+    w.u32(static_cast<uint32_t>(replay.note.size()));
+    w.bytes(reinterpret_cast<const uint8_t *>(replay.note.data()),
+            replay.note.size());
+
+    w.u64(replay.snapshot.size());
+    w.bytes(replay.snapshot.data(), replay.snapshot.size());
+    return w.take();
+}
+
+ReplayFile
+deserializeReplay(const std::vector<uint8_t> &bytes)
+{
+    try {
+        sim::ByteReader r(bytes);
+        const uint32_t magic = r.u32();
+        if (magic != ReplayMagic)
+            throw ReplayError(
+                ReplayError::Kind::BadMagic,
+                strprintf("replay: magic 0x%08x, expected 0x%08x — "
+                          "not a replay file",
+                          magic, ReplayMagic));
+        const uint32_t version = r.u32();
+        if (version != ReplayFormatVersion)
+            throw ReplayError(
+                ReplayError::Kind::BadVersion,
+                strprintf("replay: format version %u, this build "
+                          "reads %u",
+                          version, ReplayFormatVersion));
+
+        ReplayFile replay;
+        sim::CpuOptions &o = replay.options;
+        o.windows.numWindows = r.u32();
+        if (o.windows.numWindows == 0 || o.windows.numWindows > 1024)
+            throw ReplayError(
+                ReplayError::Kind::Corrupt,
+                strprintf("replay: absurd window count %u",
+                          o.windows.numWindows));
+        o.timing.aluCycles = r.u32();
+        o.timing.loadCycles = r.u32();
+        o.timing.storeCycles = r.u32();
+        o.timing.branchCycles = r.u32();
+        o.timing.callCycles = r.u32();
+        o.timing.retCycles = r.u32();
+        o.timing.miscCycles = r.u32();
+        o.timing.windowTrapOverhead = r.u32();
+        o.stackTop = r.u32();
+        o.spillBase = r.u32();
+        o.haltOnZeroTarget = r.u8() != 0;
+        o.interruptVector = r.u32();
+        o.trapVector = r.u32();
+        o.memLimit = r.u32();
+        o.watchdogCycles = r.u64();
+
+        replay.snapshotInstructions = r.u64();
+        replay.targetInstructions = r.u64();
+        replay.targetPc = r.u32();
+        if (replay.targetInstructions < replay.snapshotInstructions)
+            throw ReplayError(
+                ReplayError::Kind::Corrupt,
+                strprintf("replay: target instruction %llu precedes "
+                          "the snapshot's %llu",
+                          static_cast<unsigned long long>(
+                              replay.targetInstructions),
+                          static_cast<unsigned long long>(
+                              replay.snapshotInstructions)));
+
+        const uint32_t note_len = r.u32();
+        r.checkCount(note_len, 1);
+        replay.note.resize(note_len);
+        r.bytes(reinterpret_cast<uint8_t *>(replay.note.data()),
+                note_len);
+
+        const uint64_t snap_len = r.u64();
+        r.checkCount(snap_len, 1);
+        replay.snapshot.resize(snap_len);
+        r.bytes(replay.snapshot.data(), snap_len);
+        if (r.remaining() != 0)
+            throw ReplayError(
+                ReplayError::Kind::Corrupt,
+                strprintf("replay: %zu trailing bytes after the "
+                          "snapshot",
+                          r.remaining()));
+
+        // Validate the embedded snapshot against the configuration we
+        // just rebuilt, so a corrupt file fails here with a typed
+        // error instead of deep inside the driver.
+        try {
+            sim::deserializeSnapshot(replay.snapshot, o);
+        } catch (const sim::SnapshotError &err) {
+            throw ReplayError(
+                ReplayError::Kind::Corrupt,
+                strprintf("replay: embedded snapshot rejected: %s",
+                          err.what()));
+        }
+        return replay;
+    } catch (const sim::ByteStreamTruncated &t) {
+        throw ReplayError(
+            ReplayError::Kind::Truncated,
+            strprintf("replay: stream ends at byte %zu needing %zu "
+                      "more%s",
+                      t.offset, t.need,
+                      t.countCheck ? " (corrupt count field)" : ""));
+    }
+}
+
+void
+writeReplayFile(const std::string &path, const ReplayFile &replay)
+{
+    const std::vector<uint8_t> bytes = serializeReplay(replay);
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            throw ReplayError(
+                ReplayError::Kind::Io,
+                strprintf("replay: cannot open '%s' for writing",
+                          tmp.c_str()));
+        out.write(reinterpret_cast<const char *>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
+        if (!out.flush())
+            throw ReplayError(
+                ReplayError::Kind::Io,
+                strprintf("replay: short write to '%s'", tmp.c_str()));
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        throw ReplayError(
+            ReplayError::Kind::Io,
+            strprintf("replay: cannot rename '%s' to '%s'",
+                      tmp.c_str(), path.c_str()));
+}
+
+ReplayFile
+readReplayFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw ReplayError(
+            ReplayError::Kind::Io,
+            strprintf("replay: cannot open '%s'", path.c_str()));
+    std::vector<uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    return deserializeReplay(bytes);
+}
+
+} // namespace risc1::debug

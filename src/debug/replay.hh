@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Replay files: a durable, self-contained time-travel session. One
+ * file carries (a) the architectural CpuOptions needed to rebuild a
+ * compatible machine, (b) a serialized sim::Snapshot of a known-good
+ * state, and (c) the target — the retired-instruction index and PC of
+ * the first *bad* instruction the session should park at. Both
+ * existing forensic artifacts convert into one:
+ *
+ *  - a lockstep DivergenceReport (sim/lockstep.hh): the snapshot is
+ *    the last agreed state, the target is the first divergent
+ *    instruction — `risc1_gdb --replay` drops you there with reverse
+ *    execution available back to the snapshot;
+ *  - a fault-campaign run (bench_fault_campaign --repro): the
+ *    snapshot is the machine just after the bit flip landed, the
+ *    target is where the run was first *detected* going wrong (the
+ *    trap / hang site), so you can reverse-step from the detection
+ *    point toward the injection.
+ *
+ * The format reuses sim/serial's little-endian streams; every
+ * malformed input throws ReplayError with a machine-checkable Kind
+ * (wrapping SnapshotError kinds for the embedded snapshot). See
+ * docs/DEBUGGING.md for the workflow.
+ */
+
+#ifndef RISC1_DEBUG_REPLAY_HH
+#define RISC1_DEBUG_REPLAY_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/cpu.hh"
+#include "sim/lockstep.hh"
+
+namespace risc1::debug {
+
+/** Current replay-file format version. */
+constexpr uint32_t ReplayFormatVersion = 1;
+
+/** Typed failure of replay-file parsing. */
+class ReplayError : public std::runtime_error
+{
+  public:
+    enum class Kind : uint8_t
+    {
+        Io,         //!< file unreadable / unwritable
+        Truncated,  //!< stream ended inside a field
+        BadMagic,   //!< not a replay file
+        BadVersion, //!< produced by a different format version
+        Corrupt,    //!< structurally invalid (incl. bad embedded snapshot)
+    };
+
+    ReplayError(Kind kind, const std::string &message)
+        : std::runtime_error(message), kind_(kind)
+    {}
+
+    Kind kind() const { return kind_; }
+
+  private:
+    Kind kind_;
+};
+
+/** One parsed (or to-be-written) replay session. */
+struct ReplayFile
+{
+    /**
+     * Architectural machine configuration the snapshot was taken
+     * under. Engine-selection fields keep their defaults: the replay
+     * driver picks the engine, exactly as snapshots allow.
+     */
+    sim::CpuOptions options;
+
+    /** Serialized sim::Snapshot of the known-good state. */
+    std::vector<uint8_t> snapshot;
+
+    /** Retired-instruction index the snapshot resumes at. */
+    uint64_t snapshotInstructions = 0;
+
+    /** Index of the first bad instruction — where the session parks. */
+    uint64_t targetInstructions = 0;
+
+    /** PC expected at the target (0 when unknown). */
+    uint32_t targetPc = 0;
+
+    /** Free-form provenance: divergence diff, injection description. */
+    std::string note;
+};
+
+/** Build a replay session from a lockstep divergence report. */
+ReplayFile replayFromDivergence(const sim::DivergenceReport &report,
+                                const sim::CpuOptions &options);
+
+/** Render to the versioned byte stream. */
+std::vector<uint8_t> serializeReplay(const ReplayFile &replay);
+
+/** Parse; throws ReplayError on any malformed input. */
+ReplayFile deserializeReplay(const std::vector<uint8_t> &bytes);
+
+/** Write to `path` (atomically: temp file + rename). */
+void writeReplayFile(const std::string &path, const ReplayFile &replay);
+
+/** Read `path`; throws ReplayError{Io} when unreadable. */
+ReplayFile readReplayFile(const std::string &path);
+
+} // namespace risc1::debug
+
+#endif // RISC1_DEBUG_REPLAY_HH

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * risc1_gdb: serve a RISC I guest to stock gdb over TCP, with time
+ * travel. Two ways to get a machine:
+ *
+ *     risc1_gdb [options] WORKLOAD        # freshly loaded suite program
+ *     risc1_gdb [options] --replay FILE   # parked at a replay target
+ *
+ * In workload mode the machine sits at its entry point; attach gdb
+ * (`target remote :PORT`) and drive it. In replay mode the file — a
+ * lockstep DivergenceReport converted by the sentinel, or a campaign
+ * reproducer from `bench_fault_campaign --repro` — is restored and run
+ * forward to its target instruction, dropping checkpoints along the
+ * way, so the session starts parked at the first bad instruction with
+ * reverse execution (`reverse-stepi`, `reverse-continue`) available
+ * back to the snapshot. See docs/DEBUGGING.md for a worked transcript.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/cli.hh"
+#include "debug/gdbstub.hh"
+#include "debug/replay.hh"
+#include "debug/timetravel.hh"
+#include "debug/transport.hh"
+#include "sim/snapshot.hh"
+#include "support/logging.hh"
+#include "workloads/workload.hh"
+
+using namespace risc1;
+
+namespace {
+
+[[noreturn]] void
+printUsage(const char *prog)
+{
+    const char *base = std::strrchr(prog, '/');
+    base = base ? base + 1 : prog;
+    std::printf(
+        "usage: %s [options] WORKLOAD\n"
+        "       %s [options] --replay FILE\n"
+        "       %s --list\n"
+        "\n"
+        "Serve a RISC I guest to gdb (`target remote :PORT`) with\n"
+        "reverse execution. See docs/DEBUGGING.md.\n"
+        "\n"
+        "  --replay FILE           restore a replay file (lockstep\n"
+        "                          divergence or bench_fault_campaign\n"
+        "                          --repro artifact) and park at its\n"
+        "                          target instruction\n"
+        "  --port N                TCP port to listen on (127.0.0.1);\n"
+        "                          default 0 picks an ephemeral port,\n"
+        "                          printed on stdout\n"
+        "  --port-file FILE        also write the bound port to FILE\n"
+        "                          (atomically), for scripted clients\n"
+        "  --engine NAME           ref | threaded | superblock\n"
+        "                          (default superblock); every engine\n"
+        "                          produces byte-identical state\n"
+        "  --scale N               workload problem size (default: the\n"
+        "                          workload's standard scale)\n"
+        "  --checkpoint-interval N instructions between checkpoints\n"
+        "                          (default 10000)\n"
+        "  --checkpoint-capacity N checkpoints retained (default 64);\n"
+        "                          reachable history is roughly\n"
+        "                          interval x capacity instructions\n"
+        "  --once                  exit after the first session ends\n"
+        "                          instead of accepting the next client\n"
+        "  --list                  list the suite workloads and exit\n"
+        "  --verbose               log every packet exchange to stderr\n"
+        "  --help, -h              show this message and exit\n",
+        base, base, base);
+    std::exit(0);
+}
+
+/** Configure the execution engine; false on an unknown name. */
+bool
+applyEngine(sim::CpuOptions &opts, const std::string &name)
+{
+    if (name == "ref") {
+        opts.predecode = false;
+        opts.threaded = false;
+        opts.superblock = false;
+    } else if (name == "threaded") {
+        opts.predecode = true;
+        opts.threaded = true;
+        opts.superblock = false;
+    } else if (name == "superblock") {
+        opts.predecode = true;
+        opts.threaded = true;
+        opts.superblock = true;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+void
+writePortFile(const std::string &path, uint16_t port)
+{
+    // Atomic (tmp + rename): a polling client never reads a partial
+    // number.
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
+    if (!f)
+        fatal("risc1_gdb: cannot write port file '%s'", tmp.c_str());
+    std::fprintf(f, "%u\n", port);
+    std::fclose(f);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        fatal("risc1_gdb: cannot rename '%s' to '%s'", tmp.c_str(),
+              path.c_str());
+}
+
+uint64_t
+parseCount(const std::string &text, const char *what)
+{
+    char *end = nullptr;
+    const uint64_t v = std::strtoull(text.c_str(), &end, 0);
+    if (end == text.c_str() || *end != '\0' || v == 0)
+        fatal("risc1_gdb: %s needs a positive number, got '%s'", what,
+              text.c_str());
+    return v;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        for (int i = 1; i < argc; ++i)
+            if (std::strcmp(argv[i], "--help") == 0 ||
+                std::strcmp(argv[i], "-h") == 0)
+                printUsage(argv[0]);
+
+        if (core::consumeFlag(argc, argv, "--list")) {
+            for (const auto &wl : workloads::allWorkloads())
+                std::printf("%-12s %s\n", wl.name.c_str(),
+                            wl.description.c_str());
+            return 0;
+        }
+
+        const bool once = core::consumeFlag(argc, argv, "--once");
+        const bool verbose = core::consumeFlag(argc, argv, "--verbose");
+        const auto replay_path =
+            core::consumeValueFlag(argc, argv, "--replay");
+        const auto port_opt = core::consumeValueFlag(argc, argv, "--port");
+        const auto port_file =
+            core::consumeValueFlag(argc, argv, "--port-file");
+        const auto engine = core::consumeValueFlag(argc, argv, "--engine");
+        const auto scale_opt =
+            core::consumeValueFlag(argc, argv, "--scale");
+        const auto ival_opt =
+            core::consumeValueFlag(argc, argv, "--checkpoint-interval");
+        const auto cap_opt =
+            core::consumeValueFlag(argc, argv, "--checkpoint-capacity");
+
+        debug::TimeTravelOptions tt_opts;
+        if (ival_opt)
+            tt_opts.checkpointInterval =
+                parseCount(*ival_opt, "--checkpoint-interval");
+        if (cap_opt)
+            tt_opts.checkpointCapacity = static_cast<size_t>(
+                parseCount(*cap_opt, "--checkpoint-capacity"));
+
+        uint16_t port = 0;
+        if (port_opt) {
+            char *end = nullptr;
+            const unsigned long v = std::strtoul(port_opt->c_str(),
+                                                 &end, 0);
+            if (end == port_opt->c_str() || *end != '\0' || v > 65535)
+                fatal("risc1_gdb: bad --port '%s'", port_opt->c_str());
+            port = static_cast<uint16_t>(v);
+        }
+
+        // ---- build the machine -----------------------------------------
+        sim::CpuOptions cpu_opts;
+        std::unique_ptr<sim::Cpu> cpu;
+        std::unique_ptr<debug::TimeTravel> tt;
+
+        if (replay_path) {
+            if (replay_path->empty())
+                fatal("risc1_gdb: --replay needs a file");
+            if (argc > 1)
+                fatal("risc1_gdb: --replay takes no workload argument "
+                      "(got '%s')", argv[1]);
+            const debug::ReplayFile replay =
+                debug::readReplayFile(*replay_path);
+            cpu_opts = replay.options;
+            if (engine && !applyEngine(cpu_opts, *engine))
+                fatal("risc1_gdb: unknown --engine '%s' (ref, "
+                      "threaded, superblock)", engine->c_str());
+            cpu = std::make_unique<sim::Cpu>(cpu_opts);
+            cpu->restore(
+                sim::deserializeSnapshot(replay.snapshot, cpu_opts));
+            tt = std::make_unique<debug::TimeTravel>(*cpu, tt_opts);
+            tt->prime();
+            if (!replay.note.empty())
+                std::printf("replay note: %s\n", replay.note.c_str());
+            std::printf("replay: snapshot at instruction %llu, "
+                        "running to target %llu...\n",
+                        static_cast<unsigned long long>(
+                            replay.snapshotInstructions),
+                        static_cast<unsigned long long>(
+                            replay.targetInstructions));
+            tt->runTo(replay.targetInstructions);
+            std::printf("parked at instruction %llu, pc 0x%08x",
+                        static_cast<unsigned long long>(tt->index()),
+                        cpu->pc());
+            if (replay.targetPc != 0 && cpu->pc() != replay.targetPc)
+                std::printf(" (warning: expected pc 0x%08x)",
+                            replay.targetPc);
+            std::printf("; history back to instruction %llu\n",
+                        static_cast<unsigned long long>(
+                            tt->historyBase()));
+        } else {
+            if (argc < 2)
+                fatal("risc1_gdb: need a workload (see --list) or "
+                      "--replay FILE; --help for usage");
+            if (argc > 2)
+                fatal("risc1_gdb: unexpected argument '%s'", argv[2]);
+            const workloads::Workload *wl =
+                workloads::findWorkload(argv[1]);
+            if (!wl)
+                fatal("risc1_gdb: unknown workload '%s' (see --list)",
+                      argv[1]);
+            const uint64_t scale =
+                scale_opt ? parseCount(*scale_opt, "--scale")
+                          : wl->defaultScale;
+            if (engine && !applyEngine(cpu_opts, *engine))
+                fatal("risc1_gdb: unknown --engine '%s' (ref, "
+                      "threaded, superblock)", engine->c_str());
+            cpu = std::make_unique<sim::Cpu>(cpu_opts);
+            cpu->load(workloads::buildRisc(*wl, scale));
+            tt = std::make_unique<debug::TimeTravel>(*cpu, tt_opts);
+            tt->prime();
+            std::printf("loaded %s (scale %llu), entry pc 0x%08x\n",
+                        wl->name.c_str(),
+                        static_cast<unsigned long long>(scale),
+                        cpu->pc());
+        }
+
+        // ---- serve ------------------------------------------------------
+        debug::TcpListener listener(port);
+        std::printf("risc1_gdb: listening on 127.0.0.1:%u — attach "
+                    "with gdb's `target remote :%u`\n",
+                    listener.port(), listener.port());
+        std::fflush(stdout);
+        if (port_file && !port_file->empty())
+            writePortFile(*port_file, listener.port());
+
+        debug::GdbStubOptions stub_opts;
+        stub_opts.verbose = verbose;
+        debug::GdbStub stub(*tt, stub_opts);
+        for (;;) {
+            std::unique_ptr<debug::Channel> channel = listener.accept();
+            std::printf("risc1_gdb: client attached\n");
+            std::fflush(stdout);
+            const debug::GdbStub::SessionEnd end = stub.serve(*channel);
+            switch (end) {
+              case debug::GdbStub::SessionEnd::Detached:
+                std::printf("risc1_gdb: client detached\n");
+                break;
+              case debug::GdbStub::SessionEnd::Killed:
+                std::printf("risc1_gdb: killed by client\n");
+                return 0;
+              case debug::GdbStub::SessionEnd::Eof:
+                std::printf("risc1_gdb: client disconnected\n");
+                break;
+            }
+            std::fflush(stdout);
+            if (once)
+                return 0;
+        }
+    } catch (const FatalError &err) {
+        std::fprintf(stderr, "%s\n", err.what());
+        return 1;
+    } catch (const debug::ReplayError &err) {
+        std::fprintf(stderr, "risc1_gdb: %s\n", err.what());
+        return 1;
+    } catch (const debug::TransportError &err) {
+        std::fprintf(stderr, "risc1_gdb: %s\n", err.what());
+        return 1;
+    } catch (const sim::SnapshotError &err) {
+        std::fprintf(stderr, "risc1_gdb: %s\n", err.what());
+        return 1;
+    }
+}

@@ -1,0 +1,222 @@
+#include "debug/rsp.hh"
+
+#include "support/logging.hh"
+
+namespace risc1::debug {
+
+namespace {
+
+constexpr char HexDigits[] = "0123456789abcdef";
+
+bool
+needsEscape(char c)
+{
+    return c == '$' || c == '#' || c == '}' || c == '*';
+}
+
+} // namespace
+
+unsigned
+hexNibble(char c)
+{
+    if (c >= '0' && c <= '9')
+        return static_cast<unsigned>(c - '0');
+    if (c >= 'a' && c <= 'f')
+        return static_cast<unsigned>(c - 'a' + 10);
+    if (c >= 'A' && c <= 'F')
+        return static_cast<unsigned>(c - 'A' + 10);
+    throw RspError(RspError::Kind::BadHex,
+                   strprintf("rsp: '%c' (0x%02x) is not a hex digit", c,
+                             static_cast<unsigned char>(c)));
+}
+
+std::string
+hexEncode(const uint8_t *data, size_t n)
+{
+    std::string out;
+    out.reserve(n * 2);
+    for (size_t i = 0; i < n; ++i) {
+        out.push_back(HexDigits[data[i] >> 4]);
+        out.push_back(HexDigits[data[i] & 0xf]);
+    }
+    return out;
+}
+
+std::string
+hexEncode(std::string_view text)
+{
+    return hexEncode(reinterpret_cast<const uint8_t *>(text.data()),
+                     text.size());
+}
+
+std::string
+hexDecode(std::string_view hex)
+{
+    if (hex.size() % 2 != 0)
+        throw RspError(RspError::Kind::BadHex,
+                       strprintf("rsp: odd hex string length %zu",
+                                 hex.size()));
+    std::string out;
+    out.reserve(hex.size() / 2);
+    for (size_t i = 0; i < hex.size(); i += 2)
+        out.push_back(static_cast<char>((hexNibble(hex[i]) << 4) |
+                                        hexNibble(hex[i + 1])));
+    return out;
+}
+
+uint64_t
+parseHex(std::string_view field)
+{
+    if (field.empty())
+        throw RspError(RspError::Kind::Malformed,
+                       "rsp: empty hex field");
+    if (field.size() > 16)
+        throw RspError(RspError::Kind::Malformed,
+                       strprintf("rsp: hex field of %zu digits "
+                                 "overflows 64 bits",
+                                 field.size()));
+    uint64_t value = 0;
+    for (char c : field)
+        value = (value << 4) | hexNibble(c);
+    return value;
+}
+
+std::string
+hexWordLe(uint32_t value)
+{
+    uint8_t bytes[4];
+    for (unsigned i = 0; i < 4; ++i)
+        bytes[i] = static_cast<uint8_t>(value >> (8 * i));
+    return hexEncode(bytes, sizeof(bytes));
+}
+
+uint32_t
+parseHexWordLe(std::string_view hex8)
+{
+    if (hex8.size() != 8)
+        throw RspError(RspError::Kind::Malformed,
+                       strprintf("rsp: register value is %zu hex "
+                                 "digits, expected 8",
+                                 hex8.size()));
+    const std::string bytes = hexDecode(hex8);
+    uint32_t value = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        value |= static_cast<uint32_t>(static_cast<uint8_t>(bytes[i]))
+                 << (8 * i);
+    return value;
+}
+
+std::string
+frame(std::string_view payload)
+{
+    std::string out;
+    out.reserve(payload.size() + 4);
+    out.push_back('$');
+    unsigned sum = 0;
+    for (char c : payload) {
+        if (needsEscape(c)) {
+            out.push_back('}');
+            out.push_back(static_cast<char>(c ^ 0x20));
+            sum += static_cast<unsigned char>('}');
+            sum += static_cast<unsigned char>(c ^ 0x20);
+        } else {
+            out.push_back(c);
+            sum += static_cast<unsigned char>(c);
+        }
+    }
+    out.push_back('#');
+    out.push_back(HexDigits[(sum & 0xff) >> 4]);
+    out.push_back(HexDigits[sum & 0xf]);
+    return out;
+}
+
+void
+FrameDecoder::push(const char *data, size_t n)
+{
+    buf_.append(data, n);
+}
+
+FrameDecoder::Event
+FrameDecoder::next()
+{
+    // Skip line noise up to the first byte that can start an event.
+    size_t start = 0;
+    while (start < buf_.size() && buf_[start] != '$' &&
+           buf_[start] != '+' && buf_[start] != '-' &&
+           buf_[start] != '\x03')
+        ++start;
+    buf_.erase(0, start);
+    if (buf_.empty())
+        return Event::NeedMore;
+
+    switch (buf_[0]) {
+      case '+':
+        buf_.erase(0, 1);
+        return Event::Ack;
+      case '-':
+        buf_.erase(0, 1);
+        return Event::Nak;
+      case '\x03':
+        buf_.erase(0, 1);
+        return Event::Interrupt;
+      default:
+        break; // '$': fall through to frame decoding
+    }
+
+    const size_t hash = buf_.find('#', 1);
+    if (hash == std::string::npos) {
+        if (buf_.size() > MaxPacketBytes) {
+            buf_.clear();
+            throw RspError(
+                RspError::Kind::Oversized,
+                strprintf("rsp: frame exceeds %zu bytes with no '#'",
+                          MaxPacketBytes));
+        }
+        return Event::NeedMore;
+    }
+    if (buf_.size() < hash + 3)
+        return Event::NeedMore; // checksum digits still in flight
+
+    const std::string_view raw(buf_.data() + 1, hash - 1);
+    unsigned sum = 0;
+    for (char c : raw)
+        sum += static_cast<unsigned char>(c);
+    sum &= 0xff;
+
+    unsigned sent;
+    try {
+        sent = (hexNibble(buf_[hash + 1]) << 4) |
+               hexNibble(buf_[hash + 2]);
+    } catch (const RspError &) {
+        buf_.erase(0, hash + 3);
+        throw RspError(RspError::Kind::BadChecksum,
+                       "rsp: non-hex checksum digits");
+    }
+
+    if (sent != sum) {
+        buf_.erase(0, hash + 3);
+        throw RspError(RspError::Kind::BadChecksum,
+                       strprintf("rsp: checksum %02x, computed %02x",
+                                 sent, sum));
+    }
+
+    // Verified: unescape into payload_ and consume the frame.
+    payload_.clear();
+    payload_.reserve(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+        if (raw[i] == '}') {
+            if (i + 1 >= raw.size()) {
+                buf_.erase(0, hash + 3);
+                throw RspError(RspError::Kind::Malformed,
+                               "rsp: escape byte at end of payload");
+            }
+            payload_.push_back(static_cast<char>(raw[++i] ^ 0x20));
+        } else {
+            payload_.push_back(raw[i]);
+        }
+    }
+    buf_.erase(0, hash + 3);
+    return Event::Packet;
+}
+
+} // namespace risc1::debug

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * GDB Remote Serial Protocol framing: the `$<payload>#<checksum>` wire
+ * format, its escape convention, and the hex helpers every packet
+ * handler shares. This layer is pure — no sockets, no machine — so the
+ * corruption/truncation behaviour is unit-testable byte by byte
+ * (tests/test_gdbstub.cc).
+ *
+ * Wire format (GDB remote protocol, "Overview" section):
+ *
+ *     $<payload>#<two lowercase hex digits>
+ *
+ * The checksum is the modulo-256 sum of the raw payload bytes as
+ * transmitted (i.e. before unescaping). Within a payload, the bytes
+ * `$`, `#`, `}` and `*` are escaped as `}` followed by the byte XOR
+ * 0x20. A receiver answers `+` (good) or `-` (bad, please retransmit)
+ * unless no-acknowledgment mode was negotiated.
+ *
+ * Every malformed input throws RspError with a machine-checkable Kind;
+ * the session layer turns a BadChecksum into a `-` retransmit request
+ * and keeps the connection alive — a corrupt packet must never kill
+ * the debugger.
+ */
+
+#ifndef RISC1_DEBUG_RSP_HH
+#define RISC1_DEBUG_RSP_HH
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace risc1::debug {
+
+/** Typed failure of RSP framing or field parsing. */
+class RspError : public std::runtime_error
+{
+  public:
+    enum class Kind : uint8_t
+    {
+        Truncated,   //!< frame ended before `#` + 2 checksum digits
+        BadChecksum, //!< checksum digits disagree with the payload
+        BadHex,      //!< non-hex digit where hex was required
+        Malformed,   //!< structurally invalid packet field
+        Oversized,   //!< inbound frame exceeds MaxPacketBytes
+    };
+
+    RspError(Kind kind, const std::string &message)
+        : std::runtime_error(message), kind_(kind)
+    {}
+
+    Kind kind() const { return kind_; }
+
+  private:
+    Kind kind_;
+};
+
+/** Ceiling on one inbound frame; advertised via qSupported. */
+constexpr size_t MaxPacketBytes = 16384;
+
+// ---- hex helpers --------------------------------------------------------
+
+/** Value of one hex digit; throws RspError{BadHex} otherwise. */
+unsigned hexNibble(char c);
+
+/** Encode a byte range as lowercase hex pairs. */
+std::string hexEncode(const uint8_t *data, size_t n);
+std::string hexEncode(std::string_view text);
+
+/** Decode hex pairs; throws RspError{BadHex} on odd length/non-hex. */
+std::string hexDecode(std::string_view hex);
+
+/**
+ * Parse a hex number (no 0x prefix, as RSP fields are written).
+ * Throws RspError{Malformed} when empty or longer than 16 digits and
+ * RspError{BadHex} on a non-hex digit.
+ */
+uint64_t parseHex(std::string_view field);
+
+/** One 32-bit value as 8 hex digits of little-endian bytes (`g`/`p`). */
+std::string hexWordLe(uint32_t value);
+
+/** Inverse of hexWordLe; throws like hexDecode. */
+uint32_t parseHexWordLe(std::string_view hex8);
+
+// ---- framing ------------------------------------------------------------
+
+/** Render `payload` as one escaped, checksummed `$...#xx` frame. */
+std::string frame(std::string_view payload);
+
+/**
+ * Incremental frame decoder. Feed raw transport bytes with push();
+ * next() yields one decoded event at a time until it returns NeedMore.
+ * A throw from next() (RspError) consumes the offending frame, so the
+ * caller can answer `-` and keep decoding the same stream.
+ */
+class FrameDecoder
+{
+  public:
+    enum class Event : uint8_t
+    {
+        NeedMore,  //!< buffer holds no complete event
+        Packet,    //!< a well-formed packet; payload() is valid
+        Ack,       //!< `+`
+        Nak,       //!< `-` (receiver requests retransmission)
+        Interrupt, //!< raw 0x03 (gdb's Ctrl-C)
+    };
+
+    /** Append raw bytes from the transport. */
+    void push(const char *data, size_t n);
+
+    /**
+     * Decode the next event from the buffered bytes. Returns NeedMore
+     * when incomplete; throws RspError{BadChecksum|Oversized} after
+     * consuming the bad frame. Bytes outside any frame that are not
+     * `+`/`-`/0x03 are line noise and skipped (the protocol's stated
+     * resynchronization rule: scan for `$`).
+     */
+    Event next();
+
+    /** Unescaped payload of the last Packet event. */
+    const std::string &payload() const { return payload_; }
+
+  private:
+    std::string buf_;
+    std::string payload_;
+};
+
+} // namespace risc1::debug
+
+#endif // RISC1_DEBUG_RSP_HH

@@ -1,0 +1,284 @@
+#include "debug/timetravel.hh"
+
+#include "support/logging.hh"
+
+namespace risc1::debug {
+
+TimeTravel::TimeTravel(sim::Cpu &cpu, TimeTravelOptions options)
+    : cpu_(cpu), ring_(sim::CheckpointRingOptions{
+                     options.checkpointInterval,
+                     options.checkpointCapacity})
+{}
+
+void
+TimeTravel::prime()
+{
+    ring_.clear();
+    faulted_ = false;
+    ring_.capture(cpu_);
+}
+
+bool
+TimeTravel::addBreakpoint(uint32_t addr)
+{
+    if (addr % isa::InstBytes != 0)
+        return false;
+    bps_.insert(addr);
+    return true;
+}
+
+bool
+TimeTravel::removeBreakpoint(uint32_t addr)
+{
+    return bps_.erase(addr) != 0;
+}
+
+Stop
+TimeTravel::classify(const sim::ExecResult &result, bool patched)
+{
+    Stop stop;
+    switch (result.reason) {
+      case sim::StopReason::Paused:
+        stop.kind = StopKind::Step;
+        stop.pc = cpu_.pc();
+        return stop;
+      case sim::StopReason::Halted:
+        stop.kind = StopKind::Halted;
+        stop.pc = cpu_.pc();
+        return stop;
+      case sim::StopReason::InstLimit:
+        stop.kind = StopKind::InstLimit;
+        stop.pc = cpu_.pc();
+        return stop;
+      case sim::StopReason::Watchdog:
+        stop.kind = StopKind::Watchdog;
+        stop.pc = result.faultPc;
+        stop.cause = result.faultCause;
+        stop.message = result.message;
+        return stop;
+      case sim::StopReason::Fault:
+        if (patched &&
+            result.faultCause == isa::TrapCause::IllegalOpcode &&
+            patched_.count(result.faultPc) != 0) {
+            stop.kind = StopKind::Breakpoint;
+            stop.pc = result.faultPc;
+            return stop;
+        }
+        stop.kind = StopKind::Fault;
+        stop.pc = result.faultPc;
+        stop.cause = result.faultCause;
+        stop.message = result.message;
+        faulted_ = true;
+        faultStop_ = stop;
+        return stop;
+    }
+    panic("TimeTravel: unexpected stop reason %u",
+          static_cast<unsigned>(result.reason));
+}
+
+void
+TimeTravel::insertPatches()
+{
+    for (uint32_t addr : bps_) {
+        patched_.emplace(addr, cpu_.memory().peek32(addr));
+        cpu_.memory().poke32(addr, BreakpointWord);
+    }
+}
+
+void
+TimeTravel::removePatches()
+{
+    for (const auto &[addr, word] : patched_)
+        cpu_.memory().poke32(addr, word);
+    patched_.clear();
+}
+
+void
+TimeTravel::maybeCheckpoint()
+{
+    if (ring_.due(index()))
+        ring_.capture(cpu_);
+}
+
+Stop
+TimeTravel::stepForward()
+{
+    if (faulted_)
+        return faultStop_;
+    if (cpu_.halted())
+        return Stop{StopKind::Halted, cpu_.pc(), isa::TrapCause::None,
+                    {}};
+    const Stop stop = classify(cpu_.runUntil(index() + 1), false);
+    if (stop.kind == StopKind::Step || stop.kind == StopKind::Halted)
+        maybeCheckpoint();
+    return stop;
+}
+
+Stop
+TimeTravel::continueForward()
+{
+    if (faulted_)
+        return faultStop_;
+    if (cpu_.halted())
+        return Stop{StopKind::Halted, cpu_.pc(), isa::TrapCause::None,
+                    {}};
+
+    // Parked on a breakpoint: step over it first (the patch would
+    // otherwise fault immediately with zero progress).
+    if (bps_.count(cpu_.pc()) != 0) {
+        const Stop stop = stepForward();
+        if (stop.kind != StopKind::Step)
+            return stop;
+    }
+
+    // With a guest trap vector, a patched opcode would be delivered to
+    // the guest's own handler instead of parking the machine; fall
+    // back to a step-and-compare scan.
+    if (cpu_.options().trapVector != 0) {
+        for (;;) {
+            if (bps_.count(cpu_.pc()) != 0)
+                return Stop{StopKind::Breakpoint, cpu_.pc(),
+                            isa::TrapCause::None, {}};
+            const Stop stop = stepForward();
+            if (stop.kind != StopKind::Step)
+                return stop;
+        }
+    }
+
+    // Patched-opcode scheme: run the configured engine at full speed,
+    // pausing at checkpoint boundaries so every capture (and every
+    // stop) sees clean memory.
+    insertPatches();
+    for (;;) {
+        const uint64_t bound = ring_.nextBoundary(index());
+        const sim::ExecResult result = cpu_.runUntil(bound);
+        if (result.reason == sim::StopReason::Paused) {
+            removePatches();
+            maybeCheckpoint();
+            insertPatches();
+            continue;
+        }
+        const Stop stop = classify(result, true);
+        removePatches();
+        if (stop.kind == StopKind::Halted)
+            maybeCheckpoint();
+        return stop;
+    }
+}
+
+Stop
+TimeTravel::runTo(uint64_t target)
+{
+    if (target <= index()) {
+        seek(target);
+        return Stop{StopKind::Step, cpu_.pc(), isa::TrapCause::None,
+                    {}};
+    }
+    if (faulted_)
+        return faultStop_;
+    while (index() < target) {
+        if (cpu_.halted())
+            return Stop{StopKind::Halted, cpu_.pc(),
+                        isa::TrapCause::None, {}};
+        const uint64_t bound =
+            std::min(target, ring_.nextBoundary(index()));
+        const Stop stop = classify(cpu_.runUntil(bound), false);
+        if (stop.kind == StopKind::Step ||
+            stop.kind == StopKind::Halted)
+            maybeCheckpoint();
+        if (stop.kind != StopKind::Step)
+            return stop;
+    }
+    return Stop{StopKind::Step, cpu_.pc(), isa::TrapCause::None, {}};
+}
+
+void
+TimeTravel::seek(uint64_t target)
+{
+    const sim::CheckpointRing::Checkpoint *ck =
+        ring_.latestAtOrBefore(target);
+    if (ck == nullptr)
+        fatal("TimeTravel::seek: instruction %llu is before the "
+              "oldest retained checkpoint (%llu)",
+              static_cast<unsigned long long>(target),
+              static_cast<unsigned long long>(historyBase()));
+    faulted_ = false;
+    cpu_.restore(ck->state);
+    if (ck->instructions < target) {
+        const sim::ExecResult result = cpu_.runUntil(target);
+        if (index() != target)
+            panic("TimeTravel::seek: replay to %llu stopped at %llu "
+                  "(%s) — nondeterministic re-run",
+                  static_cast<unsigned long long>(target),
+                  static_cast<unsigned long long>(index()),
+                  result.message.empty() ? "no message"
+                                         : result.message.c_str());
+    }
+}
+
+Stop
+TimeTravel::stepBack(uint64_t n)
+{
+    const uint64_t base = historyBase();
+    if (base == UINT64_MAX || index() <= base)
+        return Stop{StopKind::HistoryBegin, cpu_.pc(),
+                    isa::TrapCause::None, {}};
+    const uint64_t cur = index();
+    if (n >= cur - base) {
+        seek(base);
+        return Stop{n == cur - base ? StopKind::Step
+                                    : StopKind::HistoryBegin,
+                    cpu_.pc(), isa::TrapCause::None, {}};
+    }
+    seek(cur - n);
+    return Stop{StopKind::Step, cpu_.pc(), isa::TrapCause::None, {}};
+}
+
+Stop
+TimeTravel::continueBack()
+{
+    const uint64_t base = historyBase();
+    const uint64_t cur = index();
+    if (base == UINT64_MAX || cur <= base)
+        return Stop{StopKind::HistoryBegin, cpu_.pc(),
+                    isa::TrapCause::None, {}};
+    if (bps_.empty()) {
+        seek(base);
+        return Stop{StopKind::HistoryBegin, cpu_.pc(),
+                    isa::TrapCause::None, {}};
+    }
+
+    // Scan checkpoint windows newest-first; within each, replay
+    // step-by-step recording the last breakpoint hit before `upper`.
+    uint64_t upper = cur;
+    for (;;) {
+        const sim::CheckpointRing::Checkpoint *ck =
+            ring_.latestAtOrBefore(upper - 1);
+        if (ck == nullptr)
+            break; // no retained history below upper
+        cpu_.restore(ck->state);
+        faulted_ = false;
+        uint64_t last_hit = UINT64_MAX;
+        while (index() < upper && !cpu_.halted()) {
+            if (bps_.count(cpu_.pc()) != 0)
+                last_hit = index();
+            const sim::ExecResult result = cpu_.runUntil(index() + 1);
+            if (result.reason != sim::StopReason::Paused &&
+                result.reason != sim::StopReason::Halted)
+                break; // end of this history window
+        }
+        if (last_hit != UINT64_MAX) {
+            seek(last_hit);
+            return Stop{StopKind::Breakpoint, cpu_.pc(),
+                        isa::TrapCause::None, {}};
+        }
+        if (ck->instructions <= base || ck->instructions >= upper)
+            break;
+        upper = ck->instructions;
+    }
+    seek(base);
+    return Stop{StopKind::HistoryBegin, cpu_.pc(),
+                isa::TrapCause::None, {}};
+}
+
+} // namespace risc1::debug

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Time travel over a Cpu: forward execution with software breakpoints,
+ * and reverse execution as checkpoint-restore plus deterministic
+ * re-run. The machinery is exactly PR 5's rewind/replay made
+ * interactive: a sim::CheckpointRing captures the state every K
+ * retired instructions, and travelling to instruction n restores the
+ * latest checkpoint at or before n and replays forward with
+ * Cpu::runUntil — which every engine honours exactly, so the state at
+ * n is byte-identical no matter which engine (reference, threaded,
+ * superblock) did the running.
+ *
+ * Software breakpoints use the classic patched-opcode scheme when the
+ * machine has no guest trap vector (the word at the breakpoint address
+ * is replaced by 0x00000000, an undecodable encoding, so the engines
+ * run at full speed and the resulting IllegalOpcode fault — detected
+ * before any architectural side effect — parks the machine exactly at
+ * the breakpoint PC). With a trap vector configured the fault would be
+ * delivered to the guest instead, so the stub falls back to a
+ * step-and-compare loop. Patches live in memory only while the
+ * machine is running: every stop, and in particular every checkpoint
+ * capture, sees clean memory, so history never contains patch bytes.
+ */
+
+#ifndef RISC1_DEBUG_TIMETRAVEL_HH
+#define RISC1_DEBUG_TIMETRAVEL_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "isa/trapcause.hh"
+#include "sim/checkpoint.hh"
+#include "sim/cpu.hh"
+
+namespace risc1::debug {
+
+/** Why a forward or backward motion stopped. */
+enum class StopKind : uint8_t
+{
+    Step,         //!< the requested step(s) retired
+    Breakpoint,   //!< parked at a software breakpoint
+    Halted,       //!< guest halted (transfer to address 0)
+    Fault,        //!< unhandled guest fault — the end of this history
+    Watchdog,     //!< cycle watchdog expired
+    InstLimit,    //!< CpuOptions::maxInstructions reached
+    HistoryBegin, //!< reverse motion reached the oldest checkpoint
+};
+
+/** One stop event, with enough context for a GDB stop reply. */
+struct Stop
+{
+    StopKind kind = StopKind::Step;
+    uint32_t pc = 0;
+    isa::TrapCause cause = isa::TrapCause::None; //!< Fault stops
+    std::string message;                         //!< Fault/Watchdog text
+};
+
+/** Tuning of the checkpoint ring (see docs/DEBUGGING.md). */
+struct TimeTravelOptions
+{
+    /** Retired instructions between checkpoints. */
+    uint64_t checkpointInterval = 10'000;
+
+    /** Checkpoints retained (oldest evicted beyond this). */
+    size_t checkpointCapacity = 64;
+};
+
+/** Interactive forward/backward execution over one Cpu. */
+class TimeTravel
+{
+  public:
+    /**
+     * Wrap `cpu`, which must stay alive and loaded for this object's
+     * lifetime. Call prime() once the machine is at the state that
+     * should anchor history (freshly loaded, or a restored snapshot).
+     */
+    TimeTravel(sim::Cpu &cpu, TimeTravelOptions options = {});
+
+    /** Capture the current state as the base of reachable history. */
+    void prime();
+
+    sim::Cpu &cpu() { return cpu_; }
+    const sim::Cpu &cpu() const { return cpu_; }
+
+    /** Current position: retired-instruction count. */
+    uint64_t index() const { return cpu_.stats().instructions; }
+
+    /** Oldest reachable instruction index. */
+    uint64_t historyBase() const { return ring_.baseInstructions(); }
+
+    /** Checkpoints currently held. */
+    size_t checkpointCount() const { return ring_.size(); }
+
+    uint64_t checkpointInterval() const { return ring_.interval(); }
+
+    // ---- breakpoints ----------------------------------------------------
+
+    /** Set a breakpoint; false if `addr` is not word-aligned. */
+    bool addBreakpoint(uint32_t addr);
+
+    /** Clear a breakpoint; false if none was set at `addr`. */
+    bool removeBreakpoint(uint32_t addr);
+
+    const std::set<uint32_t> &breakpoints() const { return bps_; }
+
+    // ---- motion ---------------------------------------------------------
+
+    /** Execute one instruction (on the configured engine). */
+    Stop stepForward();
+
+    /** Run until a breakpoint, halt, fault or limit. */
+    Stop continueForward();
+
+    /**
+     * Run forward to absolute instruction index `target` (or an
+     * earlier halt/fault), dropping checkpoints along the way —
+     * the replay-driver entry point: it makes every instruction in
+     * [history base, target] cheaply reachable backwards.
+     */
+    Stop runTo(uint64_t target);
+
+    /** Travel `n` instructions backwards. */
+    Stop stepBack(uint64_t n = 1);
+
+    /**
+     * Travel backwards to the most recent breakpoint hit strictly
+     * before the current position (HistoryBegin if there is none).
+     */
+    Stop continueBack();
+
+    /**
+     * Reposition to absolute instruction index `target`, which must
+     * lie in [historyBase(), current forward horizon]. Forward replay
+     * runs on the configured engine.
+     */
+    void seek(uint64_t target);
+
+  private:
+    /**
+     * Classify a runUntil result into a Stop; with `patched` set, an
+     * IllegalOpcode fault at a patched site is a Breakpoint stop.
+     */
+    Stop classify(const sim::ExecResult &result, bool patched);
+
+    /** Poke the breakpoint patches into memory. */
+    void insertPatches();
+
+    /** Restore the original words (memory clean again). */
+    void removePatches();
+
+    /** Capture a checkpoint if the ring says one is due. */
+    void maybeCheckpoint();
+
+    sim::Cpu &cpu_;
+    sim::CheckpointRing ring_;
+    std::set<uint32_t> bps_;
+
+    /** Original words under the active patches (empty when clean). */
+    std::map<uint32_t, uint32_t> patched_;
+
+    /**
+     * Latched unhandled guest fault: the machine cannot execute past
+     * it, so forward motion re-reports it; reverse motion clears it.
+     */
+    bool faulted_ = false;
+    Stop faultStop_;
+};
+
+/** The undecodable word patched over breakpoint sites (opcode 0). */
+constexpr uint32_t BreakpointWord = 0x00000000;
+
+} // namespace risc1::debug
+
+#endif // RISC1_DEBUG_TIMETRAVEL_HH

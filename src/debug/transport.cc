@@ -1,0 +1,157 @@
+#include "debug/transport.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "support/logging.hh"
+
+namespace risc1::debug {
+
+namespace {
+
+[[noreturn]] void
+throwErrno(const char *what)
+{
+    throw TransportError(strprintf("%s: %s", what,
+                                   std::strerror(errno)));
+}
+
+} // namespace
+
+FdChannel::FdChannel(int fd) : fd_(fd) {}
+
+FdChannel::~FdChannel()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+size_t
+FdChannel::recv(char *out, size_t n)
+{
+    for (;;) {
+        const ssize_t got = ::read(fd_, out, n);
+        if (got >= 0)
+            return static_cast<size_t>(got);
+        if (errno == EINTR)
+            continue;
+        throwErrno("recv");
+    }
+}
+
+void
+FdChannel::send(const char *data, size_t n)
+{
+    while (n > 0) {
+        const ssize_t put = ::write(fd_, data, n);
+        if (put < 0) {
+            if (errno == EINTR)
+                continue;
+            throwErrno("send");
+        }
+        data += put;
+        n -= static_cast<size_t>(put);
+    }
+}
+
+TcpListener::TcpListener(uint16_t port) : fd_(-1), port_(0)
+{
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        throwErrno("socket");
+    const int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        ::close(fd_);
+        fd_ = -1;
+        throwErrno("bind");
+    }
+    if (::listen(fd_, 1) != 0) {
+        ::close(fd_);
+        fd_ = -1;
+        throwErrno("listen");
+    }
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0) {
+        ::close(fd_);
+        fd_ = -1;
+        throwErrno("getsockname");
+    }
+    port_ = ntohs(addr.sin_port);
+}
+
+TcpListener::~TcpListener()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+std::unique_ptr<Channel>
+TcpListener::accept()
+{
+    for (;;) {
+        const int client = ::accept(fd_, nullptr, nullptr);
+        if (client >= 0) {
+            const int one = 1;
+            ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one));
+            return std::make_unique<FdChannel>(client);
+        }
+        if (errno == EINTR)
+            continue;
+        throwErrno("accept");
+    }
+}
+
+std::unique_ptr<Channel>
+connectTcp(const std::string &host, uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        throwErrno("socket");
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        throw TransportError(
+            strprintf("connect: bad IPv4 address '%s'", host.c_str()));
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        errno = err;
+        throwErrno("connect");
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return std::make_unique<FdChannel>(fd);
+}
+
+std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>>
+loopbackPair()
+{
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+        throwErrno("socketpair");
+    return {std::make_unique<FdChannel>(fds[0]),
+            std::make_unique<FdChannel>(fds[1])};
+}
+
+} // namespace risc1::debug

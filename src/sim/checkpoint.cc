@@ -1,0 +1,84 @@
+#include "sim/checkpoint.hh"
+
+#include "support/logging.hh"
+
+namespace risc1::sim {
+
+CheckpointRing::CheckpointRing(CheckpointRingOptions options)
+    : options_(options)
+{
+    if (options_.interval == 0)
+        fatal("CheckpointRing: interval must be nonzero");
+    if (options_.capacity == 0)
+        fatal("CheckpointRing: capacity must be nonzero");
+}
+
+void
+CheckpointRing::clear()
+{
+    ring_.clear();
+}
+
+void
+CheckpointRing::capture(const Cpu &cpu)
+{
+    const uint64_t at = cpu.stats().instructions;
+    if (!ring_.empty()) {
+        if (at == ring_.back().instructions)
+            return; // already held
+        if (at < ring_.back().instructions)
+            panic("CheckpointRing: capture at %llu behind newest %llu",
+                  static_cast<unsigned long long>(at),
+                  static_cast<unsigned long long>(
+                      ring_.back().instructions));
+    }
+    if (ring_.size() >= options_.capacity)
+        ring_.pop_front();
+    ring_.push_back(Checkpoint{at, cpu.snapshot()});
+}
+
+bool
+CheckpointRing::due(uint64_t instructions) const
+{
+    return ring_.empty() ||
+           instructions >= ring_.back().instructions + options_.interval;
+}
+
+uint64_t
+CheckpointRing::nextBoundary(uint64_t instructions) const
+{
+    // Boundaries are anchored at the newest checkpoint, so captures
+    // stay on one grid regardless of where single-steps paused.
+    const uint64_t anchor =
+        ring_.empty() ? instructions : ring_.back().instructions;
+    if (instructions < anchor)
+        return anchor + options_.interval;
+    const uint64_t steps = (instructions - anchor) / options_.interval;
+    return anchor + (steps + 1) * options_.interval;
+}
+
+const CheckpointRing::Checkpoint *
+CheckpointRing::latestAtOrBefore(uint64_t n) const
+{
+    const Checkpoint *best = nullptr;
+    for (const Checkpoint &ck : ring_) {
+        if (ck.instructions > n)
+            break;
+        best = &ck;
+    }
+    return best;
+}
+
+uint64_t
+CheckpointRing::baseInstructions() const
+{
+    return ring_.empty() ? UINT64_MAX : ring_.front().instructions;
+}
+
+uint64_t
+CheckpointRing::newestInstructions() const
+{
+    return ring_.empty() ? 0 : ring_.back().instructions;
+}
+
+} // namespace risc1::sim

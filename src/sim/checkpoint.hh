@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Checkpoint ring: a bounded history of full machine snapshots taken
+ * every `interval` retired instructions, ordered by retired-instruction
+ * index. This is the storage half of reverse execution (the other half
+ * is deterministic re-run via Cpu::runUntil): to travel to instruction
+ * n, restore the latest checkpoint at or before n and replay forward
+ * n - checkpoint instructions.
+ *
+ * The ring is bounded: once `capacity` checkpoints are held, recording
+ * a newer one evicts the oldest, so the reachable history window is
+ * roughly interval * capacity instructions (plus whatever the caller
+ * pinned by priming the ring at its base state). Both knobs trade
+ * memory and re-run latency against history depth; the numbers are
+ * worked through in docs/DEBUGGING.md.
+ *
+ * Checkpoints must only be captured at clean machine states — in the
+ * debugger, with software-breakpoint patches removed — because a
+ * Snapshot contains the full memory image and would otherwise bake the
+ * patch bytes into history.
+ */
+
+#ifndef RISC1_SIM_CHECKPOINT_HH
+#define RISC1_SIM_CHECKPOINT_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/cpu.hh"
+
+namespace risc1::sim {
+
+/** Capture policy of a CheckpointRing. */
+struct CheckpointRingOptions
+{
+    /** Retired instructions between captures. Must be nonzero. */
+    uint64_t interval = 10'000;
+
+    /** Checkpoints retained; the oldest is evicted beyond this. */
+    size_t capacity = 64;
+};
+
+/** Bounded, index-ordered snapshot history (see file comment). */
+class CheckpointRing
+{
+  public:
+    /** One checkpoint: the state after `instructions` retired. */
+    struct Checkpoint
+    {
+        uint64_t instructions = 0;
+        Snapshot state;
+    };
+
+    explicit CheckpointRing(CheckpointRingOptions options = {});
+
+    /** Drop all checkpoints (new program loaded). */
+    void clear();
+
+    /**
+     * Record the Cpu's current state. A capture at an index already
+     * held is a no-op; a capture older than the newest entry is
+     * rejected (the ring is append-only in instruction order).
+     */
+    void capture(const Cpu &cpu);
+
+    /**
+     * True when `instructions` is at least `interval` past the newest
+     * checkpoint (or the ring is empty) — the caller's cue to pause at
+     * the next boundary and capture().
+     */
+    bool due(uint64_t instructions) const;
+
+    /** Next capture boundary at or after `instructions`. */
+    uint64_t nextBoundary(uint64_t instructions) const;
+
+    /** Latest checkpoint with instructions <= n; nullptr if none. */
+    const Checkpoint *latestAtOrBefore(uint64_t n) const;
+
+    /**
+     * Oldest retained index — the beginning of reachable history —
+     * or UINT64_MAX when the ring is empty.
+     */
+    uint64_t baseInstructions() const;
+
+    /** Newest retained index, or 0 when the ring is empty. */
+    uint64_t newestInstructions() const;
+
+    size_t size() const { return ring_.size(); }
+    bool empty() const { return ring_.empty(); }
+    uint64_t interval() const { return options_.interval; }
+
+  private:
+    CheckpointRingOptions options_;
+    std::deque<Checkpoint> ring_; //!< ascending by instructions
+};
+
+} // namespace risc1::sim
+
+#endif // RISC1_SIM_CHECKPOINT_HH

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * End-to-end GDB-stub test: spawn the real risc1_gdb driver, attach
+ * over TCP with a scripted RSP client, set a breakpoint, continue to
+ * it, compare every register against an in-process reference
+ * interpreter, reverse-step one instruction and land on the prior PC —
+ * and the whole transcript must be byte-identical across the threaded
+ * and superblock engines (the acceptance pin for "time travel is
+ * engine-independent").
+ *
+ * The driver binary path comes from $RISC1_GDB_EXE when set, else the
+ * RISC1_GDB_EXE_PATH compile definition (wired by tests/CMakeLists).
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "debug/rsp.hh"
+#include "debug/transport.hh"
+#include "sim/cpu.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace risc1;
+
+std::string
+driverPath()
+{
+    if (const char *env = std::getenv("RISC1_GDB_EXE"))
+        return env;
+#ifdef RISC1_GDB_EXE_PATH
+    return RISC1_GDB_EXE_PATH;
+#else
+    return {};
+#endif
+}
+
+/** The 33-word `g` payload the stub should serve for `cpu`'s state. */
+std::string
+expectedGPacket(const sim::Cpu &cpu)
+{
+    std::string out;
+    for (unsigned r = 0; r < 32; ++r)
+        out += debug::hexWordLe(cpu.reg(r));
+    out += debug::hexWordLe(cpu.pc());
+    return out;
+}
+
+/** Scripted RSP client over one TCP connection. */
+class RspClient
+{
+  public:
+    explicit RspClient(std::unique_ptr<debug::Channel> channel)
+        : ch_(std::move(channel))
+    {}
+
+    /** One command/response exchange (handles acks until no-ack). */
+    std::string
+    roundTrip(const std::string &payload)
+    {
+        const std::string wire = debug::frame(payload);
+        ch_->send(wire.data(), wire.size());
+        const std::string reply = readPacket();
+        if (!noAck_)
+            ch_->send("+", 1);
+        return reply;
+    }
+
+    void
+    negotiate()
+    {
+        const std::string features =
+            roundTrip("qSupported:swbreak+");
+        ASSERT_NE(features.find("ReverseStep+"), std::string::npos);
+        ASSERT_EQ(roundTrip("QStartNoAckMode"), "OK");
+        noAck_ = true;
+    }
+
+  private:
+    std::string
+    readPacket()
+    {
+        for (;;) {
+            debug::FrameDecoder::Event event = decoder_.next();
+            if (event == debug::FrameDecoder::Event::Packet)
+                return decoder_.payload();
+            if (event != debug::FrameDecoder::Event::NeedMore)
+                continue; // stub's `+` acks before no-ack mode
+            char buf[1024];
+            const size_t got = ch_->recv(buf, sizeof(buf));
+            if (got == 0)
+                return {};
+            decoder_.push(buf, got);
+        }
+    }
+
+    std::unique_ptr<debug::Channel> ch_;
+    debug::FrameDecoder decoder_;
+    bool noAck_ = false;
+};
+
+/** One running risc1_gdb process, killed on destruction. */
+class Driver
+{
+  public:
+    Driver(const std::string &exe, const std::string &engine)
+    {
+        portFile_ = "risc1_gdb_port_" + std::to_string(getpid()) + "_" +
+                    engine;
+        std::remove(portFile_.c_str());
+        pid_ = fork();
+        if (pid_ == 0) {
+            // Quiet child: the banner goes nowhere.
+            std::freopen("/dev/null", "w", stdout);
+            execl(exe.c_str(), exe.c_str(), "fibonacci", "--engine",
+                  engine.c_str(), "--port", "0", "--port-file",
+                  portFile_.c_str(), "--once",
+                  "--checkpoint-interval", "100",
+                  static_cast<char *>(nullptr));
+            std::_Exit(127);
+        }
+    }
+
+    ~Driver()
+    {
+        if (pid_ > 0) {
+            int status = 0;
+            if (waitpid(pid_, &status, WNOHANG) == 0) {
+                kill(pid_, SIGKILL);
+                waitpid(pid_, &status, 0);
+            }
+        }
+        std::remove(portFile_.c_str());
+    }
+
+    /** Wait for the driver to publish its port; 0 on timeout. */
+    uint16_t
+    port()
+    {
+        for (int tries = 0; tries < 500; ++tries) {
+            std::ifstream in(portFile_);
+            unsigned port = 0;
+            if (in >> port && port != 0)
+                return static_cast<uint16_t>(port);
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+        return 0;
+    }
+
+  private:
+    pid_t pid_ = -1;
+    std::string portFile_;
+};
+
+/**
+ * Attach to a freshly spawned driver for `engine`, drive the scripted
+ * session, and return the transcript: the `g` payload at the
+ * breakpoint and the `g` payload after one reverse step.
+ */
+std::pair<std::string, std::string>
+runSession(const std::string &engine, uint32_t bp,
+           const std::string &expect_at_bp,
+           const std::string &expect_after_bs)
+{
+    const std::string exe = driverPath();
+    Driver driver(exe, engine);
+    const uint16_t port = driver.port();
+    EXPECT_NE(port, 0) << "driver did not publish a port (" << engine
+                       << ")";
+    if (port == 0)
+        return {};
+
+    RspClient client(debug::connectTcp("127.0.0.1", port));
+    client.negotiate();
+
+    char zpkt[32];
+    std::snprintf(zpkt, sizeof zpkt, "Z0,%x,4", bp);
+    EXPECT_EQ(client.roundTrip(zpkt), "OK") << engine;
+    EXPECT_EQ(client.roundTrip("vCont;c"), "T05swbreak:;") << engine;
+
+    const std::string at_bp = client.roundTrip("g");
+    EXPECT_EQ(at_bp, expect_at_bp)
+        << engine << ": registers at the breakpoint differ from the "
+        << "reference interpreter";
+
+    EXPECT_EQ(client.roundTrip("bs"), "S05") << engine;
+    const std::string after_bs = client.roundTrip("g");
+    EXPECT_EQ(after_bs, expect_after_bs)
+        << engine << ": reverse-step did not land on the prior state";
+
+    EXPECT_EQ(client.roundTrip("k"), "");
+    return {at_bp, after_bs};
+}
+
+TEST(GdbEndToEnd, BreakContinueReverseMatchesReferenceAcrossEngines)
+{
+    const std::string exe = driverPath();
+    ASSERT_FALSE(exe.empty()) << "no RISC1_GDB_EXE configured";
+    ASSERT_EQ(access(exe.c_str(), X_OK), 0) << exe;
+
+    // Reference interpreter (engine-independent architectural state):
+    // the pc after 200 instructions is the breakpoint; its first hit
+    // defines the expected register file.
+    sim::Cpu probe;
+    probe.load(workloads::buildRisc(
+        *workloads::findWorkload("fibonacci"), 15));
+    ASSERT_EQ(probe.runUntil(200).reason, sim::StopReason::Paused);
+    const uint32_t bp = probe.pc();
+
+    sim::Cpu ref;
+    ref.load(workloads::buildRisc(
+        *workloads::findWorkload("fibonacci"), 15));
+    uint64_t first_hit = 0;
+    while (ref.pc() != bp) {
+        ref.step();
+        ++first_hit;
+        ASSERT_LT(first_hit, 1000u) << "breakpoint never reached";
+    }
+    const std::string expect_at_bp = expectedGPacket(ref);
+
+    sim::Cpu prior;
+    prior.load(workloads::buildRisc(
+        *workloads::findWorkload("fibonacci"), 15));
+    ASSERT_EQ(prior.runUntil(first_hit - 1).reason,
+              sim::StopReason::Paused);
+    const std::string expect_after_bs = expectedGPacket(prior);
+
+    const auto threaded =
+        runSession("threaded", bp, expect_at_bp, expect_after_bs);
+    const auto superblock =
+        runSession("superblock", bp, expect_at_bp, expect_after_bs);
+
+    // The acceptance pin: byte-identical transcripts across engines.
+    EXPECT_EQ(threaded, superblock);
+}
+
+} // namespace

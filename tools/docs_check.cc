@@ -1,0 +1,309 @@
+/**
+ * @file
+ * docs_check: CI lint for the repository's Markdown.
+ *
+ * Mode 1 — link and anchor integrity (the default):
+ *
+ *     docs_check ROOT
+ *
+ * walks every *.md under ROOT (skipping build trees and dot
+ * directories), extracts inline links outside fenced code blocks, and
+ * fails on (a) a relative link whose target file does not exist and
+ * (b) a `#fragment` that names no heading in the target file, using
+ * GitHub's heading-to-anchor slug rules (lowercase, punctuation
+ * stripped, spaces to hyphens, duplicates suffixed -1, -2, ...).
+ * External schemes (http:, https:, mailto:) are not checked.
+ *
+ * Mode 2 — `--help`-vs-docs drift:
+ *
+ *     docs_check ROOT --help-drift EXE DOC
+ *
+ * runs `EXE --help`, collects every `--flag` token it prints, and
+ * fails unless each one is mentioned in DOC. This pins the contract
+ * that adding a driver flag requires documenting it (wired for
+ * risc1_gdb against docs/DEBUGGING.md in tools/CMakeLists.txt).
+ *
+ * Exit status 0 when clean; 1 with one line per finding otherwise.
+ */
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+int findings = 0;
+
+void
+report(const std::string &file, size_t line, const std::string &what)
+{
+    std::fprintf(stderr, "docs_check: %s:%zu: %s\n", file.c_str(), line,
+                 what.c_str());
+    ++findings;
+}
+
+/** Directories never scanned: VCS metadata and build trees. */
+bool
+skipDir(const std::string &name)
+{
+    return name.empty() || name[0] == '.' ||
+           name.rfind("build", 0) == 0 || name == "node_modules";
+}
+
+std::vector<std::string>
+readLines(const fs::path &path)
+{
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        lines.push_back(line);
+    }
+    return lines;
+}
+
+bool
+isFence(const std::string &line)
+{
+    const size_t i = line.find_first_not_of(" \t");
+    if (i == std::string::npos)
+        return false;
+    return line.compare(i, 3, "```") == 0 || line.compare(i, 3, "~~~") == 0;
+}
+
+/**
+ * GitHub's anchor slug for a heading: markdown formatting dropped,
+ * lowercased, everything but alphanumerics/space/hyphen/underscore
+ * removed, spaces to hyphens. Bytes >= 0x80 (UTF-8 letters like §)
+ * are kept, which matches GitHub for the headings this repo uses.
+ */
+std::string
+slugify(std::string text)
+{
+    std::string slug;
+    for (char c : text) {
+        const unsigned char u = static_cast<unsigned char>(c);
+        if (u >= 0x80 || std::isalnum(u) || c == '_' || c == '-')
+            slug += static_cast<char>(std::tolower(u));
+        else if (c == ' ')
+            slug += '-';
+        // other punctuation (including backticks and periods): dropped
+    }
+    return slug;
+}
+
+/** The set of valid anchors in one markdown file (slugs, deduped). */
+std::set<std::string>
+anchorsOf(const fs::path &path)
+{
+    std::set<std::string> anchors;
+    std::map<std::string, int> seen;
+    bool in_fence = false;
+    for (const std::string &line : readLines(path)) {
+        if (isFence(line)) {
+            in_fence = !in_fence;
+            continue;
+        }
+        if (in_fence || line.empty() || line[0] != '#')
+            continue;
+        size_t level = line.find_first_not_of('#');
+        if (level == std::string::npos || level > 6 || line[level] != ' ')
+            continue;
+        const std::string base = slugify(line.substr(level + 1));
+        const int n = seen[base]++;
+        anchors.insert(n == 0 ? base : base + "-" + std::to_string(n));
+    }
+    return anchors;
+}
+
+/** Inline-link targets on one line: the (...) part of [text](...). */
+std::vector<std::string>
+linkTargets(const std::string &line)
+{
+    std::vector<std::string> targets;
+    for (size_t i = 0; (i = line.find("](", i)) != std::string::npos;) {
+        i += 2;
+        int depth = 1;
+        std::string target;
+        while (i < line.size() && depth > 0) {
+            if (line[i] == '(')
+                ++depth;
+            else if (line[i] == ')' && --depth == 0)
+                break;
+            target += line[i++];
+        }
+        if (depth == 0) {
+            // Strip an optional link title: (path "title").
+            const size_t sp = target.find(' ');
+            if (sp != std::string::npos)
+                target.resize(sp);
+            targets.push_back(target);
+        }
+    }
+    return targets;
+}
+
+bool
+isExternal(const std::string &target)
+{
+    return target.rfind("http://", 0) == 0 ||
+           target.rfind("https://", 0) == 0 ||
+           target.rfind("mailto:", 0) == 0;
+}
+
+void
+checkFile(const fs::path &root, const fs::path &path)
+{
+    const std::string shown = fs::relative(path, root).string();
+    bool in_fence = false;
+    size_t lineno = 0;
+    for (const std::string &line : readLines(path)) {
+        ++lineno;
+        if (isFence(line)) {
+            in_fence = !in_fence;
+            continue;
+        }
+        if (in_fence)
+            continue;
+        for (const std::string &target : linkTargets(line)) {
+            if (target.empty() || isExternal(target))
+                continue;
+            const size_t hash = target.find('#');
+            const std::string file_part = target.substr(0, hash);
+            const std::string frag =
+                hash == std::string::npos ? "" : target.substr(hash + 1);
+
+            fs::path dest = path.parent_path();
+            if (!file_part.empty()) {
+                dest /= file_part;
+                std::error_code ec;
+                if (!fs::exists(dest, ec)) {
+                    report(shown, lineno,
+                           "dead link '" + target + "' (no such file '" +
+                               file_part + "')");
+                    continue;
+                }
+            } else {
+                dest = path; // bare `#fragment`: this file
+            }
+            if (!frag.empty() && dest.extension() == ".md" &&
+                !anchorsOf(dest).count(frag))
+                report(shown, lineno,
+                       "bad anchor '#" + frag + "' in link '" + target +
+                           "' (no matching heading in " +
+                           fs::relative(dest, root).string() + ")");
+        }
+    }
+}
+
+int
+checkLinks(const fs::path &root)
+{
+    std::vector<fs::path> files;
+    fs::recursive_directory_iterator it(root), end;
+    while (it != end) {
+        if (it->is_directory() &&
+            skipDir(it->path().filename().string())) {
+            it.disable_recursion_pending();
+        } else if (it->is_regular_file() &&
+                   it->path().extension() == ".md") {
+            files.push_back(it->path());
+        }
+        ++it;
+    }
+    for (const fs::path &f : files)
+        checkFile(root, f);
+    std::printf("docs_check: %zu markdown files, %d findings\n",
+                files.size(), findings);
+    return findings == 0 ? 0 : 1;
+}
+
+/** Every `--flag` printed by `exe --help` must appear in `doc`. */
+int
+checkHelpDrift(const fs::path &exe, const fs::path &doc)
+{
+    std::string cmd = "'";
+    cmd += exe.string();
+    cmd += "' --help";
+    std::FILE *pipe = popen(cmd.c_str(), "r");
+    if (!pipe) {
+        std::fprintf(stderr, "docs_check: cannot run %s\n", cmd.c_str());
+        return 1;
+    }
+    std::string help;
+    char buf[4096];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), pipe)) > 0)
+        help.append(buf, got);
+    if (pclose(pipe) != 0) {
+        std::fprintf(stderr, "docs_check: %s failed\n", cmd.c_str());
+        return 1;
+    }
+
+    std::set<std::string> flags;
+    for (size_t i = 0; (i = help.find("--", i)) != std::string::npos;) {
+        size_t j = i + 2;
+        while (j < help.size() &&
+               (std::isalnum(static_cast<unsigned char>(help[j])) ||
+                help[j] == '-'))
+            ++j;
+        if (j > i + 2)
+            flags.insert(help.substr(i, j - i));
+        i = j;
+    }
+    if (flags.empty()) {
+        std::fprintf(stderr,
+                     "docs_check: %s printed no --flags at all\n",
+                     cmd.c_str());
+        return 1;
+    }
+
+    std::ifstream in(doc);
+    if (!in) {
+        std::fprintf(stderr, "docs_check: cannot read %s\n",
+                     doc.string().c_str());
+        return 1;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+
+    int missing = 0;
+    for (const std::string &flag : flags) {
+        if (text.find(flag) == std::string::npos) {
+            std::fprintf(stderr,
+                         "docs_check: %s documents nothing about '%s' "
+                         "(printed by %s)\n",
+                         doc.string().c_str(), flag.c_str(), cmd.c_str());
+            ++missing;
+        }
+    }
+    std::printf("docs_check: %zu flags in `%s`, %d undocumented\n",
+                flags.size(), cmd.c_str(), missing);
+    return missing == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc == 2)
+        return checkLinks(argv[1]);
+    if (argc == 5 && std::string(argv[2]) == "--help-drift")
+        return checkHelpDrift(argv[3], argv[4]);
+    std::fprintf(stderr,
+                 "usage: docs_check ROOT\n"
+                 "       docs_check ROOT --help-drift EXE DOC\n");
+    return 2;
+}
