@@ -3,7 +3,8 @@
  * Experiment R1: the seeded fault-injection campaign over the whole
  * suite. Usage: bench_fault_campaign [injections] [seed] [--tally]
  * [--recover] [--checkpoint-interval K] [--seed-range A:B]
- * [--shard-out FILE] [--avf] — defaults 100 and 1981; the table is
+ * [--shard-out FILE] [--avf] [--engine NAME] — defaults 100 and
+ * 1981; the table is
  * bit-for-bit reproducible for a fixed pair. --tally streams outcomes
  * into fixed-size tallies (peak memory independent of the injection
  * count) instead of materializing the flat outcome vector; the table
@@ -32,6 +33,7 @@
 #include "core/fleet.hh"
 #include "core/parallel.hh"
 #include "debug/replay.hh"
+#include "jit/arena.hh"
 
 int
 main(int argc, char **argv)
@@ -57,10 +59,14 @@ main(int argc, char **argv)
         "replay file (--repro-out FILE, default repro_SLOT.r1replay)\n"
         "that `risc1_gdb --replay FILE` opens as an interactive\n"
         "time-travel session parked at the detection point (see\n"
-        "docs/DEBUGGING.md).",
+        "docs/DEBUGGING.md). --engine NAME (ref, threaded,\n"
+        "superblock, jit) runs every guest on that engine — the\n"
+        "tables are engine-invariant; jit needs an x86-64 host and\n"
+        "is rejected elsewhere with an explicit error.",
         "[injections] [seed] [--tally] [--recover] "
         "[--checkpoint-interval K] [--seed-range A:B] "
-        "[--shard-out FILE] [--avf] [--repro SLOT] [--repro-out FILE]");
+        "[--shard-out FILE] [--avf] [--repro SLOT] [--repro-out FILE] "
+        "[--engine NAME]");
 
     bool streaming = false;
     bool avf = false;
@@ -104,6 +110,24 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--repro-out") == 0 &&
                    i + 1 < argc) {
             repro_out = argv[++i];
+        } else if (std::strcmp(argv[i], "--engine") == 0 &&
+                   i + 1 < argc) {
+            const std::string engine = argv[++i];
+            if (engine == "jit" && !risc1::jit::hostSupported()) {
+                std::cerr << argv[0]
+                          << ": --engine jit has no templates for "
+                             "host arch "
+                          << risc1::jit::hostArchName()
+                          << " (x86-64 only); use ref, threaded or "
+                             "superblock\n";
+                return 77; // ctest SKIP_RETURN_CODE, not a failure
+            }
+            if (!risc1::core::setCampaignEngine(engine)) {
+                std::cerr << argv[0] << ": unknown --engine '"
+                          << engine
+                          << "' (ref, threaded, superblock, jit)\n";
+                return 2;
+            }
         } else {
             argv[out++] = argv[i];
         }

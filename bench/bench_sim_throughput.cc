@@ -8,6 +8,11 @@
  * Series (see docs/PERFORMANCE.md for how to read them):
  *  - risc1/<wl>, vax80/<wl>: the full fast path (the default — for
  *    RISC I that is threaded dispatch with pair fusion).
+ *  - risc1_jit/<wl>: superblocks compiled to host native code by the
+ *    template JIT (src/jit), pair fusion off — against
+ *    risc1_superblock/ this isolates the native-emission win. Only
+ *    registered when jit::hostSupported(); on other hosts the series
+ *    is absent rather than silently measuring the interpreted engine.
  *  - risc1_superblock/<wl>: threaded dispatch + superblocks, pair
  *    fusion off — against risc1_threaded/ this isolates the
  *    whole-block dispatch win on its own.
@@ -30,11 +35,19 @@
  * series entry to an object of its counters (always the
  * simulated-instructions-per-second rate; superblock-enabled series
  * add the mean dynamic block length and the blocks formed/demoted).
+ * The leading "meta" entry records the host architecture and whether
+ * the JIT series ran, so committed snapshots are comparable.
  *
  * --regress: after the run, compare the collected risc1_superblock/
  * rates against risc1_threaded/ per workload and exit non-zero when
  * the geometric-mean ratio is below 1.0 (superblock slower than
  * threaded) — the bench-regression ctest hook.
+ *
+ * --regress-jit: the same gate for risc1_jit/ against
+ * risc1_threaded/ — the template JIT must beat plain threaded
+ * dispatch even on the workloads where the interpreted superblock
+ * engine loses its epilogue overhead (ackermann-style short-block
+ * recursion).
  */
 
 #include <benchmark/benchmark.h>
@@ -49,6 +62,7 @@
 #include "core/cli.hh"
 #include "core/parallel.hh"
 #include "core/run.hh"
+#include "jit/arena.hh"
 #include "sim/image.hh"
 #include "workloads/workload.hh"
 
@@ -205,6 +219,14 @@ class JsonCollectingReporter : public benchmark::ConsoleReporter
         if (!out)
             return false;
         std::fprintf(out, "{\n");
+        // Engine provenance: committed snapshots from different hosts
+        // must be distinguishable (the risc1_jit/ series only exists
+        // where the template JIT has host templates).
+        std::fprintf(out,
+                     "  \"meta\": {\"host_arch\": \"%s\", "
+                     "\"jit_series\": %s},\n",
+                     jit::hostArchName(),
+                     jit::hostSupported() ? "true" : "false");
         for (size_t i = 0; i < entries_.size(); ++i) {
             const Entry &e = entries_[i];
             std::fprintf(out, "  \"%s\": {", e.name.c_str());
@@ -246,19 +268,20 @@ class JsonCollectingReporter : public benchmark::ConsoleReporter
 };
 
 /**
- * --regress: compare risc1_superblock/ against risc1_threaded/ per
- * workload over the rates the reporter collected. Returns the process
- * exit status: 0 when the geometric-mean ratio is at least 1.0, 1 when
- * the superblock engine came out slower (or no pair was measured).
+ * --regress / --regress-jit: compare the `prefix` series against
+ * risc1_threaded/ per workload over the rates the reporter collected.
+ * Returns the process exit status: 0 when the geometric-mean ratio is
+ * at least 1.0, 1 when the tested engine came out slower (or no pair
+ * was measured).
  */
 int
-checkRegression(const JsonCollectingReporter &reporter)
+checkRegression(const JsonCollectingReporter &reporter,
+                const std::string &prefix)
 {
     double log_sum = 0.0;
     unsigned pairs = 0;
     std::vector<std::string> seen;
     for (const auto &entry : reporter.entries()) {
-        const std::string prefix = "risc1_superblock/";
         if (entry.name.rfind(prefix, 0) != 0)
             continue;
         if (std::find(seen.begin(), seen.end(), entry.name) !=
@@ -278,8 +301,9 @@ checkRegression(const JsonCollectingReporter &reporter)
     }
     if (pairs == 0) {
         std::fprintf(stderr,
-                     "regress: no risc1_superblock/risc1_threaded "
-                     "pairs measured (check --benchmark_filter)\n");
+                     "regress: no %s vs risc1_threaded/ pairs "
+                     "measured (check --benchmark_filter)\n",
+                     prefix.c_str());
         return 1;
     }
     const double geomean = std::exp(log_sum / pairs);
@@ -301,23 +325,37 @@ main(int argc, char **argv)
         "google-benchmark (e.g. --benchmark_filter=...).",
         "[benchmark args]");
 
-    // --regress is ours, not google-benchmark's: strip it before
-    // Initialize sees the argument list.
+    // --regress / --regress-jit are ours, not google-benchmark's:
+    // strip them before Initialize sees the argument list.
     bool regress = false;
-    for (int i = 1; i < argc; ++i) {
-        if (std::string(argv[i]) == "--regress") {
-            regress = true;
+    bool regress_jit = false;
+    for (int i = 1; i < argc;) {
+        const std::string arg = argv[i];
+        if (arg == "--regress" || arg == "--regress-jit") {
+            (arg == "--regress" ? regress : regress_jit) = true;
             for (int j = i; j + 1 < argc; ++j)
                 argv[j] = argv[j + 1];
             --argc;
-            break;
+        } else {
+            ++i;
         }
+    }
+    if (regress_jit && !risc1::jit::hostSupported()) {
+        // No templates for this host: nothing to gate. Report the
+        // benchmark-style skip ctest recognises rather than failing.
+        std::fprintf(stderr,
+                     "regress-jit: no JIT templates for host arch %s; "
+                     "skipping\n",
+                     risc1::jit::hostArchName());
+        return 77; // conventional SKIP_RETURN_CODE
     }
 
     using risc1::sim::CpuOptions;
     CpuOptions full;    // threaded + fused + superblocks (the default)
     CpuOptions sblock;  // superblocks without pair fusion
     sblock.fuse = false;
+    CpuOptions jit_engine = sblock; // superblocks emitted as native code
+    jit_engine.jit = true;
     CpuOptions threaded_only;
     threaded_only.fuse = false;
     threaded_only.superblock = false;
@@ -330,6 +368,10 @@ main(int argc, char **argv)
     for (const auto &wl : risc1::workloads::allWorkloads()) {
         benchmark::RegisterBenchmark(("risc1/" + wl.name).c_str(),
                                      riscThroughput, &wl, full);
+        if (risc1::jit::hostSupported())
+            benchmark::RegisterBenchmark(
+                ("risc1_jit/" + wl.name).c_str(), riscThroughput, &wl,
+                jit_engine);
         benchmark::RegisterBenchmark(
             ("risc1_superblock/" + wl.name).c_str(), riscThroughput,
             &wl, sblock);
@@ -384,5 +426,12 @@ main(int argc, char **argv)
                      "warning: could not write "
                      "BENCH_sim_throughput.json\n");
     benchmark::Shutdown();
-    return regress ? checkRegression(reporter) : 0;
+    if (regress) {
+        const int status = checkRegression(reporter, "risc1_superblock/");
+        if (status != 0)
+            return status;
+    }
+    if (regress_jit)
+        return checkRegression(reporter, "risc1_jit/");
+    return 0;
 }

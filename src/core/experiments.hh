@@ -372,6 +372,19 @@ faultCampaignRange(unsigned injections, uint64_t seed, uint64_t first,
 sim::CpuOptions campaignCpuOptions();
 
 /**
+ * Select the execution engine campaignCpuOptions() configures for
+ * every subsequent guest (process-wide; default keeps the CpuOptions
+ * defaults). Accepts "ref", "threaded", "superblock" or "jit"; false
+ * on any other name. The campaign tables are engine-invariant — the
+ * flag exists to drive the whole fault/recovery machinery over a
+ * specific engine (the JIT's sanitizer smoke test, ablations).
+ * Callers offering "jit" should reject unsupported hosts up front
+ * (jit::hostSupported()) for a clear error; on such hosts the option
+ * is otherwise inert.
+ */
+bool setCampaignEngine(const std::string &name);
+
+/**
  * Self-contained reproduction of one campaign grid slot — everything
  * an interactive time-travel session (risc1_gdb --replay, via
  * debug/replay.hh) needs: the machine configuration the run used, a

@@ -99,12 +99,54 @@ struct RunOut
 
 } // namespace
 
+namespace {
+
+/** Engine overrides applied by setCampaignEngine (process-wide). */
+struct CampaignEngine
+{
+    bool selected = false;
+    bool predecode = true;
+    bool threaded = true;
+    bool superblock = true;
+    bool jit = false;
+};
+
+CampaignEngine campaignEngine;
+
+} // namespace
+
 sim::CpuOptions
 campaignCpuOptions()
 {
     sim::CpuOptions opts;
     opts.memLimit = CampaignMemLimit;
+    if (campaignEngine.selected) {
+        opts.predecode = campaignEngine.predecode;
+        opts.threaded = campaignEngine.threaded;
+        opts.superblock = campaignEngine.superblock;
+        opts.jit = campaignEngine.jit;
+    }
     return opts;
+}
+
+bool
+setCampaignEngine(const std::string &name)
+{
+    CampaignEngine e;
+    e.selected = true;
+    if (name == "ref") {
+        e.predecode = e.threaded = e.superblock = false;
+    } else if (name == "threaded") {
+        e.superblock = false;
+    } else if (name == "superblock") {
+        // the defaults
+    } else if (name == "jit") {
+        e.jit = true;
+    } else {
+        return false;
+    }
+    campaignEngine = e;
+    return true;
 }
 
 std::vector<FaultCampaignRow>

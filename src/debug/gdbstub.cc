@@ -76,7 +76,7 @@ engineName(const sim::CpuOptions &options)
     if (!options.threaded)
         return "predecode";
     if (options.superblock)
-        return "superblock";
+        return options.jit ? "jit" : "superblock";
     return options.fuse ? "threaded+fuse" : "threaded";
 }
 

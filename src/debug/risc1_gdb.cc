@@ -28,6 +28,7 @@
 #include "debug/replay.hh"
 #include "debug/timetravel.hh"
 #include "debug/transport.hh"
+#include "jit/arena.hh"
 #include "sim/snapshot.hh"
 #include "support/logging.hh"
 #include "workloads/workload.hh"
@@ -58,9 +59,10 @@ printUsage(const char *prog)
         "                          printed on stdout\n"
         "  --port-file FILE        also write the bound port to FILE\n"
         "                          (atomically), for scripted clients\n"
-        "  --engine NAME           ref | threaded | superblock\n"
+        "  --engine NAME           ref | threaded | superblock | jit\n"
         "                          (default superblock); every engine\n"
-        "                          produces byte-identical state\n"
+        "                          produces byte-identical state (jit\n"
+        "                          needs an x86-64 host)\n"
         "  --scale N               workload problem size (default: the\n"
         "                          workload's standard scale)\n"
         "  --checkpoint-interval N instructions between checkpoints\n"
@@ -93,6 +95,16 @@ applyEngine(sim::CpuOptions &opts, const std::string &name)
         opts.predecode = true;
         opts.threaded = true;
         opts.superblock = true;
+    } else if (name == "jit") {
+        if (!jit::hostSupported())
+            fatal("risc1_gdb: --engine jit has no templates for "
+                  "host arch %s (x86-64 only); use ref, threaded or "
+                  "superblock",
+                  jit::hostArchName());
+        opts.predecode = true;
+        opts.threaded = true;
+        opts.superblock = true;
+        opts.jit = true;
     } else {
         return false;
     }
@@ -193,7 +205,7 @@ main(int argc, char **argv)
             cpu_opts = replay.options;
             if (engine && !applyEngine(cpu_opts, *engine))
                 fatal("risc1_gdb: unknown --engine '%s' (ref, "
-                      "threaded, superblock)", engine->c_str());
+                      "threaded, superblock, jit)", engine->c_str());
             cpu = std::make_unique<sim::Cpu>(cpu_opts);
             cpu->restore(
                 sim::deserializeSnapshot(replay.snapshot, cpu_opts));
@@ -233,7 +245,7 @@ main(int argc, char **argv)
                           : wl->defaultScale;
             if (engine && !applyEngine(cpu_opts, *engine))
                 fatal("risc1_gdb: unknown --engine '%s' (ref, "
-                      "threaded, superblock)", engine->c_str());
+                      "threaded, superblock, jit)", engine->c_str());
             cpu = std::make_unique<sim::Cpu>(cpu_opts);
             cpu->load(workloads::buildRisc(*wl, scale));
             tt = std::make_unique<debug::TimeTravel>(*cpu, tt_opts);

@@ -1,0 +1,148 @@
+#include "jit/arena.hh"
+
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define RISC1_JIT_HAVE_MMAP 1
+#endif
+
+#if defined(__linux__) && defined(MFD_CLOEXEC)
+#define RISC1_JIT_HAVE_MEMFD 1
+#endif
+
+namespace risc1::jit {
+
+bool
+hostSupported()
+{
+#if defined(__x86_64__) && defined(RISC1_JIT_HAVE_MMAP)
+    return true;
+#else
+    // AArch64 templates are stubbed (sbcompile.cc returns nullptr for
+    // every block); report unsupported so engines fall back cleanly.
+    return false;
+#endif
+}
+
+const char *
+hostArchName()
+{
+#if defined(__x86_64__)
+    return "x86-64";
+#elif defined(__aarch64__)
+    return "aarch64";
+#else
+    return "unknown";
+#endif
+}
+
+CodeArena::~CodeArena()
+{
+#ifdef RISC1_JIT_HAVE_MMAP
+    if (base_ != nullptr)
+        ::munmap(base_, capacity_);
+    if (writeBase_ != nullptr)
+        ::munmap(writeBase_, capacity_);
+#endif
+}
+
+bool
+CodeArena::map()
+{
+#ifdef RISC1_JIT_HAVE_MMAP
+    if (base_ != nullptr)
+        return true;
+    if (mapFailed_)
+        return false;
+#ifdef RISC1_JIT_HAVE_MEMFD
+    // Preferred scheme: one memfd, two views. Writes go through the
+    // RW alias, execution through the RX one; neither page table
+    // entry is ever W+X and installs need no mprotect round-trips.
+    const int fd = ::memfd_create("risc1-jit-arena", MFD_CLOEXEC);
+    if (fd >= 0) {
+        if (::ftruncate(fd, static_cast<off_t>(capacity_)) == 0) {
+            void *rx = ::mmap(nullptr, capacity_, PROT_READ | PROT_EXEC,
+                              MAP_SHARED, fd, 0);
+            void *rw = rx != MAP_FAILED
+                           ? ::mmap(nullptr, capacity_,
+                                    PROT_READ | PROT_WRITE, MAP_SHARED,
+                                    fd, 0)
+                           : MAP_FAILED;
+            ::close(fd); // the mappings keep the memory alive
+            if (rw != MAP_FAILED) {
+                base_ = static_cast<uint8_t *>(rx);
+                writeBase_ = static_cast<uint8_t *>(rw);
+                return true;
+            }
+            if (rx != MAP_FAILED)
+                ::munmap(rx, capacity_);
+        } else {
+            ::close(fd);
+        }
+    }
+#endif
+    // Fallback: a single anonymous RX mapping; install() flips the
+    // affected pages RW around each copy.
+    void *p = ::mmap(nullptr, capacity_, PROT_READ | PROT_EXEC,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p == MAP_FAILED) {
+        mapFailed_ = true;
+        return false;
+    }
+    base_ = static_cast<uint8_t *>(p);
+    return true;
+#else
+    mapFailed_ = true;
+    return false;
+#endif
+}
+
+const void *
+CodeArena::install(const uint8_t *code, size_t size)
+{
+#ifdef RISC1_JIT_HAVE_MMAP
+    if (!hostSupported() || size == 0 || !map())
+        return nullptr;
+    // Keep entries 16-byte aligned.
+    const size_t aligned = (used_ + 15) & ~size_t{15};
+    if (aligned + size > capacity_) {
+        exhausted_ = true;
+        return nullptr;
+    }
+    if (writeBase_ != nullptr) {
+        std::memcpy(writeBase_ + aligned, code, size);
+    } else {
+        // Single-mapping fallback: the whole tail past the bump
+        // pointer flips to RW for the copy, never an installed block.
+        const long page = ::sysconf(_SC_PAGESIZE);
+        const size_t ps = page > 0 ? static_cast<size_t>(page) : 4096;
+        const size_t lo = aligned & ~(ps - 1);
+        const size_t hi = (aligned + size + ps - 1) & ~(ps - 1);
+        if (::mprotect(base_ + lo, hi - lo,
+                       PROT_READ | PROT_WRITE) != 0)
+            return nullptr;
+        std::memcpy(base_ + aligned, code, size);
+        if (::mprotect(base_ + lo, hi - lo,
+                       PROT_READ | PROT_EXEC) != 0)
+            return nullptr;
+    }
+    used_ = aligned + size;
+    return base_ + aligned;
+#else
+    (void)code;
+    (void)size;
+    return nullptr;
+#endif
+}
+
+void
+CodeArena::reset()
+{
+    used_ = 0;
+    retiredBytes_ = 0;
+    exhausted_ = false;
+}
+
+} // namespace risc1::jit

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * W^X executable code arena for the superblock template JIT,
+ * bump-allocated. No page is ever writable+executable: on Linux the
+ * arena is a memfd mapped twice — an RW view install() copies through
+ * and a separate RX view whose addresses are handed out as entry
+ * points — so installs cost a memcpy and zero syscalls (workloads
+ * recompile every block on every program load; per-install mprotect
+ * flips dominated the block's own runtime). Elsewhere it falls back
+ * to one anonymous mapping flipped RW just for the copy. Retired
+ * blocks cannot be reclaimed individually (bump allocation keeps
+ * installed entry points address-stable for in-flight dispatches);
+ * retire() only accounts them, and reset() reclaims everything at
+ * once — callers do that exactly when the decode cache drops every
+ * record (program load, snapshot restore), when no compiled entry can
+ * be live.
+ */
+
+#ifndef RISC1_JIT_ARENA_HH
+#define RISC1_JIT_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace risc1::jit {
+
+/** True when this build can emit and run native templates. */
+bool hostSupported();
+
+/** Short host architecture name ("x86-64", "aarch64", ...). */
+const char *hostArchName();
+
+class CodeArena
+{
+  public:
+    /** Default arena span: plenty for every block a run can form. */
+    static constexpr size_t DefaultCapacity = 4u << 20;
+
+    CodeArena() = default;
+    ~CodeArena();
+
+    CodeArena(const CodeArena &) = delete;
+    CodeArena &operator=(const CodeArena &) = delete;
+
+    /**
+     * Copy `size` bytes of emitted code into the arena and return the
+     * executable entry point, or nullptr when the arena is exhausted
+     * (or the host is unsupported / mmap failed). Lazily maps on
+     * first use.
+     */
+    const void *install(const uint8_t *code, size_t size);
+
+    /**
+     * Account `bytes` of installed code whose block was demoted or
+     * retired. The space is not reused until reset() — the entry may
+     * still be on the native stack — but the counter keeps the
+     * dead-code ratio observable.
+     */
+    void retire(size_t bytes) { retiredBytes_ += bytes; }
+
+    /**
+     * Drop every installed block and rewind the bump pointer. Only
+     * legal when no compiled entry can be executing (the callers tie
+     * this to DecodedCache::invalidateAll).
+     */
+    void reset();
+
+    size_t usedBytes() const { return used_; }
+    size_t retiredBytes() const { return retiredBytes_; }
+    size_t capacity() const { return capacity_; }
+    /** True once an install() failed for lack of space. */
+    bool exhausted() const { return exhausted_; }
+
+  private:
+    bool map();
+
+    uint8_t *base_ = nullptr;      //!< RX view: entry-point addresses
+    uint8_t *writeBase_ = nullptr; //!< RW alias (dual-mapped memfd)
+    size_t capacity_ = DefaultCapacity;
+    size_t used_ = 0;
+    size_t retiredBytes_ = 0;
+    bool exhausted_ = false;
+    bool mapFailed_ = false;
+};
+
+} // namespace risc1::jit
+
+#endif // RISC1_JIT_ARENA_HH

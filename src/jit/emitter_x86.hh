@@ -1,0 +1,296 @@
+/**
+ * @file
+ * A minimal x86-64 byte emitter — exactly the vocabulary the
+ * superblock templates need, nothing more. Register roles are fixed
+ * by sbcompile.cc's calling plan (rbx = physical register base,
+ * r12 = exit-context pointer, r13 = flag bytes, r14d = latched branch
+ * target, ebp = latched branch outcome, r15 = iteration count), so
+ * most methods hard-code their registers; the few that take one use
+ * the Gp32 enum for the classic low four.
+ *
+ * Forward branches emit a rel32 placeholder and are patched by
+ * bind(): `size_t fix = e.jccFwd(Cc::Js); ...; e.bind(fix);`.
+ */
+
+#ifndef RISC1_JIT_EMITTER_X86_HH
+#define RISC1_JIT_EMITTER_X86_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace risc1::jit {
+
+/** The caller-saved 32-bit registers the templates compute in. */
+enum class Gp32 : uint8_t
+{
+    Eax = 0,
+    Ecx = 1,
+    Edx = 2,
+};
+
+/** Condition codes for setcc/jcc (low nibble of the 0F opcode). */
+enum class Cc : uint8_t
+{
+    O = 0x0,  //!< overflow
+    C = 0x2,  //!< carry / below
+    Nc = 0x3, //!< no carry
+    E = 0x4,  //!< equal / zero
+    Ne = 0x5, //!< not equal
+    S = 0x8,  //!< sign
+    Ns = 0x9, //!< no sign
+};
+
+class Emitter
+{
+  public:
+    /**
+     * Fixed emission buffer. The worst-case superblock (64 steps of
+     * the fattest template plus per-step exit stubs) stays under
+     * 10 KB; sbcompile.cc additionally guards each step with
+     * roomFor() so an unexpected overrun declines compilation
+     * instead of writing past the end.
+     */
+    static constexpr size_t Capacity = 32768;
+
+    const uint8_t *data() const { return buf_.data(); }
+    size_t size() const { return n_; }
+    /** Rewind for reuse. */
+    void clear() { n_ = 0; }
+    /** True while at least `bytes` more can be emitted. */
+    bool roomFor(size_t bytes) const { return n_ + bytes <= Capacity; }
+
+    // ---- prologue / epilogue ----------------------------------------
+    void pushRbx() { b(0x53); }
+    void pushRbp() { b(0x55); }
+    void pushR12() { b(0x41); b(0x54); }
+    void pushR13() { b(0x41); b(0x55); }
+    void pushR14() { b(0x41); b(0x56); }
+    void pushR15() { b(0x41); b(0x57); }
+    void popRbx() { b(0x5b); }
+    void popRbp() { b(0x5d); }
+    void popR12() { b(0x41); b(0x5c); }
+    void popR13() { b(0x41); b(0x5d); }
+    void popR14() { b(0x41); b(0x5e); }
+    void popR15() { b(0x41); b(0x5f); }
+    void subRsp8() { b(0x48); b(0x83); b(0xec); b(0x08); }
+    void addRsp8() { b(0x48); b(0x83); b(0xc4); b(0x08); }
+    void ret() { b(0xc3); }
+
+    void movR12Rdi() { b(0x49); b(0x89); b(0xfc); } // mov r12, rdi
+
+    /** mov {rbx,r13,rdi,rax,rcx}, imm64 */
+    void movRbxImm64(uint64_t v) { b(0x48); b(0xbb); q(v); }
+    void movR13Imm64(uint64_t v) { b(0x49); b(0xbd); q(v); }
+    void movRdiImm64(uint64_t v) { b(0x48); b(0xbf); q(v); }
+    void movRaxImm64(uint64_t v) { b(0x48); b(0xb8); q(v); }
+    void movRcxImm64(uint64_t v) { b(0x48); b(0xb9); q(v); }
+
+    void xorR15R15() { b(0x4d); b(0x31); b(0xff); } // xor r15, r15
+    void xorEbpEbp() { b(0x31); b(0xed); }
+
+    // ---- register-file accesses (rbx base, disp32) ------------------
+    /** mov r32, [rbx + disp] */
+    void
+    loadPhys(Gp32 r, uint32_t disp)
+    {
+        b(0x8b);
+        b(static_cast<uint8_t>(0x83 | (static_cast<uint8_t>(r) << 3)));
+        d(disp);
+    }
+
+    /** mov [rbx + disp], eax */
+    void storePhysEax(uint32_t disp) { b(0x89); b(0x83); d(disp); }
+
+    // ---- moves and ALU on the scratch registers ---------------------
+    void movEaxImm32(uint32_t v) { b(0xb8); d(v); }
+    void movEcxImm32(uint32_t v) { b(0xb9); d(v); }
+    void movEbpImm32(uint32_t v) { b(0xbd); d(v); }
+    void xorEaxEax() { b(0x31); b(0xc0); }
+    void xorEcxEcx() { b(0x31); b(0xc9); }
+    void xorEdxEdx() { b(0x31); b(0xd2); }
+    void movEsiEax() { b(0x89); b(0xc6); }
+    void movEcxEax() { b(0x89); b(0xc1); }
+    void movEaxEcx() { b(0x89); b(0xc8); }
+
+    void orEcxImm32(uint32_t v) { b(0x81); b(0xc9); d(v); }
+
+    void addEaxEcx() { b(0x01); b(0xc8); }
+    void adcEaxEcx() { b(0x11); b(0xc8); }
+    void subEaxEcx() { b(0x29); b(0xc8); }
+    void subEcxEax() { b(0x29); b(0xc1); }
+    void andEaxEcx() { b(0x21); b(0xc8); }
+    void orEaxEcx() { b(0x09); b(0xc8); }
+    void xorEaxEcx() { b(0x31); b(0xc8); }
+    void addEaxEdx() { b(0x01); b(0xd0); }
+    void notEax() { b(0xf7); b(0xd0); }
+    void notEcx() { b(0xf7); b(0xd1); }
+    void shlEaxCl() { b(0xd3); b(0xe0); }
+    void shrEaxCl() { b(0xd3); b(0xe8); }
+    void sarEaxCl() { b(0xd3); b(0xf8); }
+    void shlEcxImm8(uint8_t n) { b(0xc1); b(0xe1); b(n); }
+    void orEaxImm32(uint32_t v) { b(0x0d); d(v); }
+    void testEaxEax() { b(0x85); b(0xc0); }
+    void testEbpEbp() { b(0x85); b(0xed); }
+    void xorEbpImm1() { b(0x83); b(0xf5); b(0x01); }
+    void xorEcxImm1() { b(0x83); b(0xf1); b(0x01); }
+    void orEbpEcx() { b(0x09); b(0xcd); }
+    void andEbpEcx() { b(0x21); b(0xcd); }
+    void xorEbpEcx() { b(0x31); b(0xcd); }
+
+    /** bt edx, 0 — loads CF from edx bit 0 (stored carry flag). */
+    void btEdx0() { b(0x0f); b(0xba); b(0xe2); b(0x00); }
+
+    // ---- flag bytes ([r13 + disp8], one byte per flag) --------------
+    /** movzx r32, byte [r13 + disp8] */
+    void
+    loadFlag(Gp32 r, uint8_t disp)
+    {
+        b(0x41);
+        b(0x0f);
+        b(0xb6);
+        b(static_cast<uint8_t>(0x45 | (static_cast<uint8_t>(r) << 3)));
+        b(disp);
+    }
+
+    /** movzx ebp, byte [r13 + disp8] */
+    void
+    loadFlagEbp(uint8_t disp)
+    {
+        b(0x41); b(0x0f); b(0xb6); b(0x6d); b(disp);
+    }
+
+    /** setcc byte [r13 + disp8] */
+    void
+    setccFlag(Cc cc, uint8_t disp)
+    {
+        b(0x41);
+        b(0x0f);
+        b(static_cast<uint8_t>(0x90 | static_cast<uint8_t>(cc)));
+        b(0x45);
+        b(disp);
+    }
+
+    /** mov byte [r13 + disp8], 0 */
+    void clearFlag(uint8_t disp) { b(0x41); b(0xc6); b(0x45); b(disp); b(0x00); }
+
+    // ---- latched terminator state (r14d, ebp) -----------------------
+    void movR14dEax() { b(0x41); b(0x89); b(0xc6); }
+    void movR14dImm32(uint32_t v) { b(0x41); b(0xbe); d(v); }
+    void xorR14dR14d() { b(0x45); b(0x31); b(0xf6); }
+    void cmpR14dImm32(uint32_t v) { b(0x41); b(0x81); b(0xfe); d(v); }
+
+    // ---- helper calls -----------------------------------------------
+    void callRax() { b(0xff); b(0xd0); }
+    void testRaxRax() { b(0x48); b(0x85); b(0xc0); }
+    /** movzx ecx, byte [rax] */
+    void movzxEcxByteRax() { b(0x0f); b(0xb6); b(0x08); }
+    /** cmp byte [rax], 0 */
+    void cmpByteRax0() { b(0x80); b(0x38); b(0x00); }
+
+    // ---- iteration counter (r15) ------------------------------------
+    void incR15() { b(0x49); b(0xff); b(0xc7); }
+    void testR15R15() { b(0x4d); b(0x85); b(0xff); }
+    /** cmp r15, qword [r12 + disp8] */
+    void
+    cmpR15Ctx(uint8_t disp)
+    {
+        b(0x4d); b(0x3b); b(0x7c); b(0x24); b(disp);
+    }
+
+    // ---- exit-context stores ([r12 + disp8]) ------------------------
+    /** mov qword [r12 + disp8], r15 */
+    void storeCtxR15(uint8_t disp) { b(0x4d); b(0x89); b(0x7c); b(0x24); b(disp); }
+    /** mov dword [r12 + disp8], r14d */
+    void storeCtxR14d(uint8_t disp) { b(0x45); b(0x89); b(0x74); b(0x24); b(disp); }
+    /** mov dword [r12 + disp8], ebp */
+    void storeCtxEbp(uint8_t disp) { b(0x41); b(0x89); b(0x6c); b(0x24); b(disp); }
+    /** mov dword [r12 + disp8], imm32 */
+    void
+    storeCtxImm32(uint8_t disp, uint32_t v)
+    {
+        b(0x41); b(0xc7); b(0x44); b(0x24); b(disp); d(v);
+    }
+    /** mov eax, dword [r12 + disp8] */
+    void loadCtxEax(uint8_t disp) { b(0x41); b(0x8b); b(0x44); b(0x24); b(disp); }
+
+    // ---- control flow -----------------------------------------------
+    /** jcc rel32 forward; returns the fixup cookie for bind(). */
+    size_t
+    jccFwd(Cc cc)
+    {
+        b(0x0f);
+        b(static_cast<uint8_t>(0x80 | static_cast<uint8_t>(cc)));
+        const size_t at = n_;
+        d(0);
+        return at;
+    }
+
+    /** jmp rel32 forward; returns the fixup cookie for bind(). */
+    size_t
+    jmpFwd()
+    {
+        b(0xe9);
+        const size_t at = n_;
+        d(0);
+        return at;
+    }
+
+    /** Resolve a forward branch to the current position. */
+    void
+    bind(size_t fixup)
+    {
+        const int32_t rel = static_cast<int32_t>(n_ - (fixup + 4));
+        std::memcpy(&buf_[fixup], &rel, 4);
+    }
+
+    /** Current position, a backward-branch anchor. */
+    size_t here() const { return n_; }
+
+    /** jcc rel32 backward to a here() anchor. */
+    void
+    jccBack(Cc cc, size_t target)
+    {
+        b(0x0f);
+        b(static_cast<uint8_t>(0x80 | static_cast<uint8_t>(cc)));
+        d(static_cast<uint32_t>(static_cast<int32_t>(target) -
+                                static_cast<int32_t>(n_ + 4)));
+    }
+
+    /** jmp rel32 backward to a here() anchor. */
+    void
+    jmpBack(size_t target)
+    {
+        b(0xe9);
+        d(static_cast<uint32_t>(static_cast<int32_t>(target) -
+                                static_cast<int32_t>(n_ + 4)));
+    }
+
+  private:
+    // Unchecked single-byte append: the compile loop reserves
+    // headroom per step (roomFor), so the cursor cannot run off the
+    // fixed buffer between checks.
+    void b(uint8_t v) { buf_[n_++] = v; }
+
+    void
+    d(uint32_t v)
+    {
+        std::memcpy(&buf_[n_], &v, 4);
+        n_ += 4;
+    }
+
+    void
+    q(uint64_t v)
+    {
+        std::memcpy(&buf_[n_], &v, 8);
+        n_ += 8;
+    }
+
+    std::array<uint8_t, Capacity> buf_;
+    size_t n_ = 0;
+};
+
+} // namespace risc1::jit
+
+#endif // RISC1_JIT_EMITTER_X86_HH

@@ -1,0 +1,685 @@
+#include "jit/sbcompile.hh"
+
+#include <cstddef>
+#include <utility>
+
+#include "isa/condition.hh"
+#include "jit/emitter_x86.hh"
+
+namespace risc1::jit {
+
+#if defined(__x86_64__)
+
+namespace {
+
+using isa::Cond;
+using sim::ExecTag;
+using sim::SbStep;
+
+// SbJitExit field offsets burned into [r12 + disp8] accesses.
+constexpr uint8_t OffMaxIters = 0;
+constexpr uint8_t OffIters = 8;
+constexpr uint8_t OffTTarget = 16;
+constexpr uint8_t OffTTaken = 20;
+constexpr uint8_t OffDone = 24;
+constexpr uint8_t OffLastPc = 28;
+static_assert(offsetof(SbJitExit, maxIters) == OffMaxIters);
+static_assert(offsetof(SbJitExit, iters) == OffIters);
+static_assert(offsetof(SbJitExit, tTarget) == OffTTarget);
+static_assert(offsetof(SbJitExit, tTaken) == OffTTaken);
+static_assert(offsetof(SbJitExit, done) == OffDone);
+static_assert(offsetof(SbJitExit, lastPc) == OffLastPc);
+
+// Flag byte offsets off r13 (isa::Flags layout, asserted by the Cpu
+// before it hands out the pointer).
+constexpr uint8_t FlagZ = 0;
+constexpr uint8_t FlagN = 1;
+constexpr uint8_t FlagV = 2;
+constexpr uint8_t FlagC = 3;
+
+/** eax := operand a (phys[phys1] & mask1; masks are 0 or ~0). */
+void
+operandA(Emitter &e, const SbStep &st)
+{
+    if (st.mask1 != 0)
+        e.loadPhys(Gp32::Eax, st.phys1 * 4u);
+    else
+        e.xorEaxEax();
+}
+
+/** ecx := operand b ((phys[phys2] & mask2) | immOr). */
+void
+operandB(Emitter &e, const SbStep &st)
+{
+    if (st.mask2 != 0) {
+        e.loadPhys(Gp32::Ecx, st.phys2 * 4u);
+        if (st.immOr != 0)
+            e.orEcxImm32(st.immOr);
+    } else if (st.immOr != 0) {
+        e.movEcxImm32(st.immOr);
+    } else {
+        e.xorEcxEcx();
+    }
+}
+
+/** mov [rbx + physd*4], eax — predicated on maskd like the interpreter. */
+void
+writeback(Emitter &e, const SbStep &st)
+{
+    if (st.maskd != 0)
+        e.storePhysEax(st.physd * 4u);
+}
+
+/** Store Z/N from the live x86 flags, then V/C per setcc condition. */
+void
+storeFlagsZNVC(Emitter &e, Cc vcc, Cc ccc)
+{
+    e.setccFlag(Cc::E, FlagZ);
+    e.setccFlag(Cc::S, FlagN);
+    e.setccFlag(vcc, FlagV);
+    e.setccFlag(ccc, FlagC);
+}
+
+/** Z/N from `test eax,eax`; V and C cleared (logical / shift scc). */
+void
+storeFlagsLogical(Emitter &e)
+{
+    e.testEaxEax();
+    e.setccFlag(Cc::E, FlagZ);
+    e.setccFlag(Cc::S, FlagN);
+    e.clearFlag(FlagV);
+    e.clearFlag(FlagC);
+}
+
+/** CF := stored carry flag (for adc-based Addc/Subc/Subcr). */
+void
+loadCarryIntoCf(Emitter &e)
+{
+    e.loadFlag(Gp32::Edx, FlagC);
+    e.btEdx0();
+}
+
+/** ebp := condHolds(cond, flags), 0 or 1 (isa/condition.cc tables). */
+void
+emitCond(Emitter &e, Cond cond)
+{
+    switch (cond) {
+      case Cond::Nev:
+        e.xorEbpEbp();
+        break;
+      case Cond::Alw:
+        e.movEbpImm32(1);
+        break;
+      case Cond::Eq:
+        e.loadFlagEbp(FlagZ);
+        break;
+      case Cond::Ne:
+        e.loadFlagEbp(FlagZ);
+        e.xorEbpImm1();
+        break;
+      case Cond::Lt:
+      case Cond::Ge:
+        e.loadFlagEbp(FlagN);
+        e.loadFlag(Gp32::Ecx, FlagV);
+        e.xorEbpEcx();
+        if (cond == Cond::Ge)
+            e.xorEbpImm1();
+        break;
+      case Cond::Le:
+      case Cond::Gt:
+        e.loadFlagEbp(FlagN);
+        e.loadFlag(Gp32::Ecx, FlagV);
+        e.xorEbpEcx();
+        e.loadFlag(Gp32::Ecx, FlagZ);
+        e.orEbpEcx();
+        if (cond == Cond::Gt)
+            e.xorEbpImm1();
+        break;
+      case Cond::Lo:
+        e.loadFlagEbp(FlagC);
+        e.xorEbpImm1();
+        break;
+      case Cond::His:
+        e.loadFlagEbp(FlagC);
+        break;
+      case Cond::Los:
+        e.loadFlagEbp(FlagC);
+        e.xorEbpImm1();
+        e.loadFlag(Gp32::Ecx, FlagZ);
+        e.orEbpEcx();
+        break;
+      case Cond::Hi:
+        e.loadFlagEbp(FlagC);
+        e.loadFlag(Gp32::Ecx, FlagZ);
+        e.xorEcxImm1();
+        e.andEbpEcx();
+        break;
+      case Cond::Pl:
+        e.loadFlagEbp(FlagN);
+        e.xorEbpImm1();
+        break;
+      case Cond::Mi:
+        e.loadFlagEbp(FlagN);
+        break;
+      case Cond::Nv:
+        e.loadFlagEbp(FlagV);
+        e.xorEbpImm1();
+        break;
+      case Cond::Ov:
+        e.loadFlagEbp(FlagV);
+        break;
+    }
+}
+
+/** rdi := cpu, rax := helper, call; rsi/rdx are loaded by the caller. */
+void
+emitHelperCall(Emitter &e, const SbJitEnv &env, const void *helper)
+{
+    e.movRdiImm64(reinterpret_cast<uint64_t>(env.cpu));
+    e.movRaxImm64(reinterpret_cast<uint64_t>(helper));
+    e.callRax();
+}
+
+struct PendingExit
+{
+    size_t fixup;  //!< jcc rel32 to patch
+    uint32_t step; //!< faulting / bailing step index
+};
+
+/** What a block's templates touch — drives the minimal prologue. */
+struct BlockNeeds
+{
+    bool flags = false; //!< r13 (any flag read or write)
+    bool calls = false; //!< helper calls (memory steps)
+};
+
+/** True when evaluating `cond` reads the stored flags. */
+bool
+condReadsFlags(Cond cond)
+{
+    return cond != Cond::Alw && cond != Cond::Nev;
+}
+
+BlockNeeds
+scanNeeds(const SbStep *steps, uint32_t count)
+{
+    BlockNeeds n;
+    for (uint32_t i = 0; i < count; ++i) {
+        const SbStep &st = steps[i];
+        switch (st.tag) {
+          case ExecTag::Addc:
+          case ExecTag::Subc:
+          case ExecTag::Subcr:
+            n.flags = true; // carry is read even without scc
+            break;
+          case ExecTag::Getpsw:
+            n.flags = true;
+            break;
+          case ExecTag::Jmp:
+          case ExecTag::Jmpr:
+            if (condReadsFlags(st.inst.cond()))
+                n.flags = true;
+            break;
+          case ExecTag::Ldl:
+          case ExecTag::Ldsu:
+          case ExecTag::Ldss:
+          case ExecTag::Ldbu:
+          case ExecTag::Ldbs:
+          case ExecTag::Stl:
+          case ExecTag::Sts:
+          case ExecTag::Stb:
+          case ExecTag::Call:
+          case ExecTag::Callr:
+          case ExecTag::Ret:
+            n.calls = true; // window terminators call the push/pop helper
+            break;
+          default:
+            break;
+        }
+        if (st.inst.scc)
+            n.flags = true;
+    }
+    return n;
+}
+
+} // namespace
+
+const void *
+compileSuperblock(CodeArena &arena, const SbJitEnv &env,
+                  const SbStep *steps, uint32_t count, bool hasTerm)
+{
+    // Thread-local scratch: every program load recompiles every hot
+    // block (the decode cache is dropped), so per-compile heap
+    // traffic is on the dispatch fast path's tail.
+    static thread_local Emitter e;
+    static thread_local std::vector<PendingExit> faults;
+    static thread_local std::vector<PendingExit> bails;
+    static thread_local std::vector<size_t> exits;
+    e.clear();
+    faults.clear();
+    bails.clear();
+    exits.clear();
+
+    // Prologue: save only what this block's templates touch — r12/r15
+    // plus rbx are always live, the flag base and terminator latches
+    // only when the pre-scan says so. The pad byte count keeps rsp
+    // 16-byte aligned at helper call sites, and is only paid when the
+    // block actually calls.
+    const BlockNeeds needs = scanNeeds(steps, count);
+    const unsigned npush =
+        3u + (hasTerm ? 2u : 0u) + (needs.flags ? 1u : 0u);
+    const bool pad = needs.calls && (npush & 1u) == 0;
+    e.pushRbx();
+    if (hasTerm)
+        e.pushRbp();
+    e.pushR12();
+    if (needs.flags)
+        e.pushR13();
+    if (hasTerm)
+        e.pushR14();
+    e.pushR15();
+    if (pad)
+        e.subRsp8();
+    e.movR12Rdi();
+    e.movRbxImm64(reinterpret_cast<uint64_t>(env.phys));
+    if (needs.flags)
+        e.movR13Imm64(reinterpret_cast<uint64_t>(env.flags));
+    e.xorR15R15(); // iters = 0
+    if (hasTerm) {
+        // Zeroed so a fault/bail before the first pass reaches the
+        // terminator still stores defined values from `fin`.
+        e.xorEbpEbp();     // t_taken = false
+        e.xorR14dR14d();   // t_target = 0
+    }
+
+    const size_t top = e.here();
+    for (uint32_t i = 0; i < count; ++i) {
+        // The fattest template (a guarded store) stays well under
+        // this; declining compilation beats running off the buffer.
+        if (!e.roomFor(512))
+            return nullptr;
+        const SbStep &st = steps[i];
+        const bool scc = st.inst.scc;
+        switch (st.tag) {
+          case ExecTag::Add:
+            operandA(e, st);
+            operandB(e, st);
+            if (scc) {
+                e.addEaxEcx();
+                storeFlagsZNVC(e, Cc::O, Cc::C);
+            } else {
+                e.addEaxEcx();
+            }
+            writeback(e, st);
+            break;
+          case ExecTag::Addc:
+            operandA(e, st);
+            operandB(e, st);
+            if (scc) {
+                loadCarryIntoCf(e);
+                e.adcEaxEcx();
+                storeFlagsZNVC(e, Cc::O, Cc::C);
+            } else {
+                e.loadFlag(Gp32::Edx, FlagC);
+                e.addEaxEcx();
+                e.addEaxEdx();
+            }
+            writeback(e, st);
+            break;
+          case ExecTag::Sub:
+            operandA(e, st);
+            operandB(e, st);
+            e.subEaxEcx();
+            // RISC carry is "no borrow": the inverse of x86 CF.
+            if (scc)
+                storeFlagsZNVC(e, Cc::O, Cc::Nc);
+            writeback(e, st);
+            break;
+          case ExecTag::Subc:
+            // a + ~b + c, matching execAlu's add_with_carry(a, ~b, c):
+            // the adc carry-out IS the architectural carry, and its
+            // signed overflow equals the subtraction formula.
+            operandA(e, st);
+            operandB(e, st);
+            e.notEcx();
+            if (scc) {
+                loadCarryIntoCf(e);
+                e.adcEaxEcx();
+                storeFlagsZNVC(e, Cc::O, Cc::C);
+            } else {
+                e.loadFlag(Gp32::Edx, FlagC);
+                e.addEaxEcx();
+                e.addEaxEdx();
+            }
+            writeback(e, st);
+            break;
+          case ExecTag::Subr:
+            operandA(e, st);
+            operandB(e, st);
+            e.subEcxEax();
+            if (scc) {
+                e.setccFlag(Cc::E, FlagZ);
+                e.setccFlag(Cc::S, FlagN);
+                e.setccFlag(Cc::O, FlagV);
+                e.setccFlag(Cc::Nc, FlagC);
+            }
+            e.movEaxEcx();
+            writeback(e, st);
+            break;
+          case ExecTag::Subcr:
+            operandA(e, st);
+            operandB(e, st);
+            e.notEax();
+            if (scc) {
+                loadCarryIntoCf(e);
+                e.adcEaxEcx();
+                storeFlagsZNVC(e, Cc::O, Cc::C);
+            } else {
+                e.loadFlag(Gp32::Edx, FlagC);
+                e.addEaxEcx();
+                e.addEaxEdx();
+            }
+            writeback(e, st);
+            break;
+          case ExecTag::And:
+            operandA(e, st);
+            operandB(e, st);
+            e.andEaxEcx();
+            if (scc)
+                storeFlagsLogical(e);
+            writeback(e, st);
+            break;
+          case ExecTag::Or:
+            operandA(e, st);
+            operandB(e, st);
+            e.orEaxEcx();
+            if (scc)
+                storeFlagsLogical(e);
+            writeback(e, st);
+            break;
+          case ExecTag::Xor:
+            operandA(e, st);
+            operandB(e, st);
+            e.xorEaxEcx();
+            if (scc)
+                storeFlagsLogical(e);
+            writeback(e, st);
+            break;
+          case ExecTag::Sll:
+          case ExecTag::Srl:
+          case ExecTag::Sra:
+            operandA(e, st);
+            operandB(e, st);
+            // x86 masks cl by 31 for 32-bit shifts, same as `b & 31`;
+            // a zero shift leaves the hardware flags stale, so scc
+            // flags always come from an explicit test of the result.
+            if (st.tag == ExecTag::Sll)
+                e.shlEaxCl();
+            else if (st.tag == ExecTag::Srl)
+                e.shrEaxCl();
+            else
+                e.sarEaxCl();
+            if (scc)
+                storeFlagsLogical(e);
+            writeback(e, st);
+            break;
+
+          case ExecTag::Ldl:
+          case ExecTag::Ldsu:
+          case ExecTag::Ldss:
+          case ExecTag::Ldbu:
+          case ExecTag::Ldbs: {
+            const JitLoadFn fn = st.tag == ExecTag::Ldl    ? env.load32
+                                 : st.tag == ExecTag::Ldsu ? env.load16u
+                                 : st.tag == ExecTag::Ldss ? env.load16s
+                                 : st.tag == ExecTag::Ldbu ? env.load8u
+                                                           : env.load8s;
+            operandA(e, st);
+            operandB(e, st);
+            e.addEaxEcx();
+            e.movEsiEax();
+            emitHelperCall(e, env, reinterpret_cast<const void *>(fn));
+            e.testRaxRax();
+            faults.push_back({e.jccFwd(Cc::S), i});
+            writeback(e, st);
+            break;
+          }
+
+          case ExecTag::Stl:
+          case ExecTag::Sts:
+          case ExecTag::Stb: {
+            const JitStoreFn fn = st.tag == ExecTag::Stl   ? env.store32
+                                  : st.tag == ExecTag::Sts ? env.store16
+                                                           : env.store8;
+            operandA(e, st);
+            operandB(e, st);
+            e.addEaxEcx();
+            e.movEsiEax();
+            if (st.maskd != 0)
+                e.loadPhys(Gp32::Edx, st.physd * 4u);
+            else
+                e.xorEdxEdx();
+            emitHelperCall(e, env, reinterpret_cast<const void *>(fn));
+            e.testRaxRax();
+            faults.push_back({e.jccFwd(Cc::S), i});
+            if (i + 1 < count) {
+                // A store into this very block's words demoted it: the
+                // unexecuted tail is stale, bail to the slow commit.
+                e.movRaxImm64(reinterpret_cast<uint64_t>(env.live));
+                e.cmpByteRax0();
+                bails.push_back({e.jccFwd(Cc::E), i});
+            }
+            break;
+          }
+
+          case ExecTag::Ldhi:
+            if (st.maskd != 0) {
+                e.movEaxImm32(st.immOr);
+                writeback(e, st);
+            }
+            break;
+
+          case ExecTag::Gtlpc:
+            if (st.maskd != 0) {
+                if (i != 0) {
+                    e.movEaxImm32(env.head + (i - 1) * 4u);
+                } else {
+                    // First step: iterations after the first see the
+                    // previous pass's delay slot; the very first pass
+                    // sees the dispatcher's lastPc_ (passed via ctx).
+                    e.testR15R15();
+                    const size_t reiter = e.jccFwd(Cc::Ne);
+                    e.loadCtxEax(OffLastPc);
+                    const size_t join = e.jmpFwd();
+                    e.bind(reiter);
+                    e.movEaxImm32(env.head + (count - 1) * 4u);
+                    e.bind(join);
+                }
+                writeback(e, st);
+            }
+            break;
+
+          case ExecTag::Getpsw:
+            if (st.maskd != 0) {
+                e.movRaxImm64(reinterpret_cast<uint64_t>(env.ie));
+                e.movzxEcxByteRax();
+                e.shlEcxImm8(4);
+                e.loadFlag(Gp32::Eax, FlagC);
+                e.orEaxEcx();
+                e.loadFlag(Gp32::Ecx, FlagV);
+                e.shlEcxImm8(1);
+                e.orEaxEcx();
+                e.loadFlag(Gp32::Ecx, FlagN);
+                e.shlEcxImm8(2);
+                e.orEaxEcx();
+                e.loadFlag(Gp32::Ecx, FlagZ);
+                e.shlEcxImm8(3);
+                e.orEaxEcx();
+                // The delay slot of a window terminator already runs
+                // under the shifted window.
+                const uint32_t cwp_at =
+                    env.termWindow != 0 && i + 1 == count
+                        ? env.delayCwp
+                        : env.cwp;
+                e.orEaxImm32(cwp_at << 8);
+                writeback(e, st);
+            }
+            break;
+
+          case ExecTag::Jmp:
+            // Swallowed terminator: latch target and outcome, applied
+            // by the shared epilogue after the delay-slot step.
+            operandA(e, st);
+            operandB(e, st);
+            e.addEaxEcx();
+            e.movR14dEax();
+            emitCond(e, st.inst.cond());
+            break;
+
+          case ExecTag::Jmpr:
+            e.movR14dImm32(env.head + i * 4u +
+                           static_cast<uint32_t>(st.immOr));
+            emitCond(e, st.inst.cond());
+            break;
+
+          case ExecTag::Call:
+          case ExecTag::Callr:
+            // Window-push terminator (always taken). The target is
+            // computed in the *caller's* window before the push; the
+            // link register lives in the pushed window, at a physical
+            // index that is a per-entry-cwp constant. The helper is
+            // the interpreter's windowPush itself, so spills, their
+            // stats and their faults need no native path — a fault
+            // leaves the CALL unretired at step `i`, exactly like a
+            // faulting load.
+            if (env.termWindow != 1 || i + 2 != count)
+                return nullptr;
+            if (st.tag == ExecTag::Call) {
+                operandA(e, st);
+                operandB(e, st);
+                e.addEaxEcx();
+                e.movR14dEax();
+            } else {
+                e.movR14dImm32(env.head + i * 4u +
+                               static_cast<uint32_t>(st.immOr));
+            }
+            e.movEbpImm32(1);
+            emitHelperCall(
+                e, env, reinterpret_cast<const void *>(env.windowPush));
+            e.testRaxRax();
+            faults.push_back({e.jccFwd(Cc::S), i});
+            if (st.maskd != 0) {
+                e.movEaxImm32(env.head + i * 4u);
+                e.storePhysEax(env.linkPhys * 4u);
+            }
+            // A spill that stored into this very block's words demoted
+            // it: the baked delay step is stale, bail with the CALL
+            // retired and the transfer latched.
+            e.movRaxImm64(reinterpret_cast<uint64_t>(env.live));
+            e.cmpByteRax0();
+            bails.push_back({e.jccFwd(Cc::E), i});
+            break;
+
+          case ExecTag::Ret:
+            // Window-pop terminator: the return target reads the
+            // *callee's* window before the pop. Underflow (refill
+            // fault or exhausted stack) surfaces as a helper fault
+            // with the RET unretired; refills only read memory, so no
+            // demotion check is needed.
+            if (env.termWindow != 2 || i + 2 != count)
+                return nullptr;
+            operandA(e, st);
+            operandB(e, st);
+            e.addEaxEcx();
+            e.movR14dEax();
+            e.movEbpImm32(1);
+            emitHelperCall(
+                e, env, reinterpret_cast<const void *>(env.windowPop));
+            e.testRaxRax();
+            faults.push_back({e.jccFwd(Cc::S), i});
+            break;
+
+          default:
+            // Interrupt transfers / PUTPSW can never be baked into a
+            // step.
+            return nullptr;
+        }
+    }
+
+    // Pass epilogue: ++iters, then the inlined self-loop — retake the
+    // block in place while the terminator jumps back to its own head,
+    // the block stays live, and the precomputed iteration budget
+    // (instruction stop + watchdog, folded in by the wrapper) allows.
+    e.incR15();
+    if (hasTerm && !env.noSelfLoop) {
+        e.testEbpEbp();
+        exits.push_back(e.jccFwd(Cc::E));
+        e.cmpR14dImm32(env.head);
+        exits.push_back(e.jccFwd(Cc::Ne));
+        e.movRaxImm64(reinterpret_cast<uint64_t>(env.live));
+        e.cmpByteRax0();
+        exits.push_back(e.jccFwd(Cc::E));
+        e.cmpR15Ctx(OffMaxIters);
+        e.jccBack(Cc::C, top);
+    }
+    // Epilogue + exit stubs are bounded: guard once for all of them.
+    if (!e.roomFor((faults.size() + bails.size()) * 24 + 96))
+        return nullptr;
+    for (const size_t fix : exits)
+        e.bind(fix);
+    e.xorEaxEax(); // SbJitDone
+    const size_t fin = e.here();
+    e.storeCtxR15(OffIters);
+    if (hasTerm) {
+        e.storeCtxR14d(OffTTarget);
+        e.storeCtxEbp(OffTTaken);
+    } else {
+        e.storeCtxImm32(OffTTarget, 0);
+        e.storeCtxImm32(OffTTaken, 0);
+    }
+    if (pad)
+        e.addRsp8();
+    e.popR15();
+    if (hasTerm)
+        e.popR14();
+    if (needs.flags)
+        e.popR13();
+    e.popR12();
+    if (hasTerm)
+        e.popRbp();
+    e.popRbx();
+    e.ret();
+
+    // Out-of-line exits: record the precise step, set the status and
+    // rejoin the common context-store tail.
+    for (const PendingExit &p : faults) {
+        e.bind(p.fixup);
+        e.storeCtxImm32(OffDone, p.step);
+        e.movEaxImm32(SbJitFault);
+        e.jmpBack(fin);
+    }
+    for (const PendingExit &p : bails) {
+        e.bind(p.fixup);
+        e.storeCtxImm32(OffDone, p.step);
+        e.movEaxImm32(SbJitStoreBail);
+        e.jmpBack(fin);
+    }
+
+    return arena.install(e.data(), e.size());
+}
+
+#else // !__x86_64__
+
+// AArch64 (and any other host) templates are not implemented yet:
+// every block declines compilation and the engines fall back to the
+// interpreted superblock path behind the same interface.
+const void *
+compileSuperblock(CodeArena &, const SbJitEnv &, const sim::SbStep *,
+                  uint32_t, bool)
+{
+    return nullptr;
+}
+
+#endif
+
+} // namespace risc1::jit

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Superblock template compiler: turn one SuperblockRecord's SbStep
+ * array (already baked for a specific register window) into host
+ * native code. The emitted function executes the whole block —
+ * including the hot self-loop when the terminator jumps back to its
+ * own head — and returns to the C++ dispatcher at an
+ * instruction-precise boundary with everything the shared epilogue /
+ * fault-reconstruction code needs, so statistics, runUntil pausing,
+ * snapshots and the lockstep sentinel behave byte-identically to the
+ * interpreted superblock engine.
+ *
+ * Per-ExecTag templates burn in the baked physical register byte
+ * offsets, operand masks and folded immediates at emission time;
+ * loads, stores and faults go through the helper functions in
+ * SbJitEnv, which must never throw across the native frame (they
+ * report a fault via a negative return and the Cpu stashes the
+ * SimFault for the wrapper to rethrow).
+ *
+ * Only x86-64 emission is implemented; on other hosts (AArch64
+ * included) compileSuperblock() returns nullptr for every block and
+ * jit::hostSupported() is false, so engines fall back cleanly.
+ */
+
+#ifndef RISC1_JIT_SBCOMPILE_HH
+#define RISC1_JIT_SBCOMPILE_HH
+
+#include <cstdint>
+
+#include "jit/arena.hh"
+#include "sim/decode.hh"
+
+namespace risc1::jit {
+
+/**
+ * Memory helpers, all `noexcept`: value (zero-extended into the low
+ * 32 bits, non-negative) or -1 after stashing the guest fault.
+ * Stores return 0 or -1. First argument is SbJitEnv::cpu.
+ */
+using JitLoadFn = int64_t (*)(void *, uint32_t) noexcept;
+using JitStoreFn = int64_t (*)(void *, uint32_t, uint32_t) noexcept;
+/** Window push/pop helper: full Cpu::windowPush()/windowPop()
+ *  semantics (spill/refill traffic, statistics), 0 or -1. */
+using JitWindowFn = int64_t (*)(void *) noexcept;
+
+/**
+ * Everything the templates burn in besides the steps themselves.
+ * All pointers must stay valid for the lifetime of the emitted code
+ * (i.e. until the owning arena is reset).
+ */
+struct SbJitEnv
+{
+    uint32_t *phys = nullptr;      //!< physical register file base
+    uint8_t *flags = nullptr;      //!< z,n,v,c as 4 consecutive bytes
+    const uint8_t *ie = nullptr;   //!< interrupt-enable (GETPSW bit 4)
+    const uint8_t *live = nullptr; //!< &SuperblockRecord::live
+    void *cpu = nullptr;           //!< helper context argument
+    uint32_t head = 0;             //!< block head PC
+    uint32_t cwp = 0;              //!< window the steps are baked for
+    /** head == 0 under haltOnZeroTarget, or a window-terminated
+     *  block (its delay baking is per-entry): suppress the
+     *  self-loop. */
+    bool noSelfLoop = false;
+
+    /** Swallowed window terminator: 0 none, 1 CALL/CALLR, 2 RET.
+     *  When set, the final step (the delay slot) is baked against
+     *  the *shifted* window and the terminator step calls
+     *  windowPush/windowPop. */
+    uint8_t termWindow = 0;
+    uint32_t delayCwp = 0;  //!< cwp the delay slot executes under
+    /** CALL/CALLR: the link register's physical index in the pushed
+     *  window (the terminator step's maskd gates the write). */
+    uint16_t linkPhys = 0;
+    JitWindowFn windowPush = nullptr;
+    JitWindowFn windowPop = nullptr;
+
+    JitLoadFn load32 = nullptr;
+    JitLoadFn load16u = nullptr;
+    JitLoadFn load16s = nullptr;
+    JitLoadFn load8u = nullptr;
+    JitLoadFn load8s = nullptr;
+    JitStoreFn store32 = nullptr;
+    JitStoreFn store16 = nullptr;
+    JitStoreFn store8 = nullptr;
+};
+
+/**
+ * In/out context of one native block execution. The wrapper fills the
+ * inputs, the emitted code fills the outputs before returning.
+ */
+struct SbJitExit
+{
+    uint64_t maxIters = 0; //!< in: self-loop iteration budget (>= 1)
+    uint64_t iters = 0;    //!< out: completed whole-block passes
+    uint32_t tTarget = 0;  //!< out: latched terminator target
+    uint32_t tTaken = 0;   //!< out: latched terminator outcome (0/1)
+    uint32_t done = 0;     //!< out: faulting/bailing step index
+    uint32_t lastPc = 0;   //!< in: lastPc_ (GTLPC in the first pass)
+};
+
+/** Native block status codes (the emitted function's return value). */
+enum : uint32_t
+{
+    SbJitDone = 0,      //!< full pass(es) completed; run the epilogue
+    SbJitFault = 1,     //!< step `done` faulted; fault is stashed
+    SbJitStoreBail = 2, //!< store at step `done` demoted this block
+};
+
+using SbJitFn = uint32_t (*)(SbJitExit *);
+
+/**
+ * Emit, install and return the native entry for one baked block, or
+ * nullptr when the host is unsupported, a step has no template, or
+ * the arena is exhausted (check arena.exhausted() to stop retrying).
+ */
+const void *compileSuperblock(CodeArena &arena, const SbJitEnv &env,
+                              const sim::SbStep *steps, uint32_t count,
+                              bool hasTerm);
+
+} // namespace risc1::jit
+
+#endif // RISC1_JIT_SBCOMPILE_HH

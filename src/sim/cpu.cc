@@ -1,9 +1,11 @@
 #include "sim/cpu.hh"
 
 #include <algorithm>
+#include <cstddef>
 #include <iostream>
 
 #include "isa/disasm.hh"
+#include "jit/sbcompile.hh"
 #include "sim/fault.hh"
 #include "support/bits.hh"
 #include "support/logging.hh"
@@ -14,6 +16,14 @@ using isa::Cond;
 using isa::Instruction;
 using isa::OpClass;
 using isa::Opcode;
+
+// The JIT templates address the four flags as consecutive bytes off
+// one base pointer; pin the layout they burn in.
+static_assert(sizeof(bool) == 1 && sizeof(isa::Flags) == 4);
+static_assert(offsetof(isa::Flags, z) == 0 &&
+              offsetof(isa::Flags, n) == 1 &&
+              offsetof(isa::Flags, v) == 2 &&
+              offsetof(isa::Flags, c) == 3);
 
 Cpu::Cpu(CpuOptions options)
     : options_(std::move(options)), regs_(options_.windows)
@@ -32,6 +42,17 @@ Cpu::Cpu(CpuOptions options)
             vmap_[size_t{w} * isa::NumVisibleRegs + r] =
                 static_cast<uint16_t>(options_.windows.physIndex(w, r));
     rebindWindow();
+    // The template JIT rides on the superblock engine; without host
+    // templates the option is inert (drivers exposing --engine jit
+    // reject unsupported hosts explicitly instead).
+    jitOn_ = options_.jit && options_.predecode && options_.threaded &&
+             options_.superblock && jit::hostSupported();
+    if (jitOn_)
+        dcache_.setRetireHook([this](SuperblockRecord &sb) {
+            jitArena_.retire(sb.jitBytes);
+            sb.jitBytes = 0;
+            sb.jitCode.clear();
+        });
 }
 
 void
@@ -41,6 +62,7 @@ Cpu::load(const assembler::Program &program)
     memory_.setLimit(options_.memLimit);
     memory_.loadProgram(program);
     dcache_.invalidateAll();
+    jitArena_.reset(); // every compiled entry died with its record
     if (options_.predecode)
         memory_.setWriteObserver(&dcache_);
     resetRun(program.entry);
@@ -54,6 +76,7 @@ Cpu::load(const ProgramImage &image)
     for (const auto &[index, page] : image.pages())
         memory_.attachPage(index, page);
     dcache_.invalidateAll();
+    jitArena_.reset(); // every compiled entry died with its record
     if (options_.predecode) {
         memory_.setWriteObserver(&dcache_);
         // Prime the decode cache from the image's predecoded text.
@@ -131,6 +154,7 @@ Cpu::restore(const Snapshot &snap)
     regs_.restore(snap.regs);
     memory_.restorePages(snap.pages); // no observer callback: ...
     dcache_.invalidateAll();          // ... invalidate wholesale
+    jitArena_.reset(); // every compiled entry died with its record
     memory_.setStats(snap.memStats);
     stats_ = snap.stats;
     flags_ = snap.flags;
@@ -847,7 +871,7 @@ makeSbStep(const DecodedOp &slot)
     st.mask1 = st.inst.rs1 != isa::ZeroReg ? ~uint32_t{0} : 0;
     if (st.tag == ExecTag::Ldhi) {
         st.immOr = static_cast<uint32_t>(st.inst.imm19) << 13;
-    } else if (st.tag == ExecTag::Jmpr) {
+    } else if (st.tag == ExecTag::Jmpr || st.tag == ExecTag::Callr) {
         st.immOr = static_cast<uint32_t>(st.inst.imm19);
     } else if (st.inst.imm) {
         st.immOr = static_cast<uint32_t>(st.inst.simm13);
@@ -855,8 +879,11 @@ makeSbStep(const DecodedOp &slot)
         st.mask2 = st.inst.rs2 != isa::ZeroReg ? ~uint32_t{0} : 0;
     }
     // rd is an operand for every value-producing tag and the stored
-    // value for stores; for jumps the field encodes the condition.
-    if (st.tag != ExecTag::Jmp && st.tag != ExecTag::Jmpr)
+    // value for stores; for jumps the field encodes the condition and
+    // RET ignores it (CALL/CALLR keep it: the link register, written
+    // in the pushed window).
+    if (st.tag != ExecTag::Jmp && st.tag != ExecTag::Jmpr &&
+        st.tag != ExecTag::Ret)
         st.maskd = st.inst.rd != isa::ZeroReg ? ~uint32_t{0} : 0;
     st.code = st.tag <= ExecTag::Sra && st.inst.scc
                   ? SbSccAluCode
@@ -933,6 +960,7 @@ Cpu::formSuperblock(DecodedOp &head, uint32_t head_pc)
     std::vector<SbStep> steps;
     steps.reserve(MaxSuperblockLen);
     bool has_term = false;
+    uint8_t window_term = 0;
     uint32_t addr = head_pc;
     DecodedOp cur;
     while (steps.size() + 2 <= MaxSuperblockLen) {
@@ -946,19 +974,31 @@ Cpu::formSuperblock(DecodedOp &head, uint32_t head_pc)
             addr = next;
             continue;
         }
-        if (sbTermEligible(cur.tag) && next > addr) {
+        // The JIT additionally swallows CALL/CALLR/RET: its per-window
+        // code bakes the delay slot against the shifted window, which
+        // the interpreted step loop cannot do (such blocks dispatch
+        // plain whenever native code is unavailable).
+        const bool wterm = jitOn_ && sbWindowTermEligible(cur.tag);
+        if ((sbTermEligible(cur.tag) || wterm) && next > addr) {
             DecodedOp delay;
             if (fetch_slot(next, delay) &&
                 sbInteriorEligible(delay.tag)) {
                 steps.push_back(makeSbStep(cur));
                 steps.push_back(makeSbStep(delay));
                 has_term = true;
+                if (wterm)
+                    window_term =
+                        cur.tag == ExecTag::Ret ? uint8_t{2}
+                                                : uint8_t{1};
             }
         }
         break;
     }
 
-    if (steps.size() < min_len) {
+    // A bare CALL/RET plus its delay slot is always worth a block:
+    // one native entry replaces two dispatches *and* de-virtualizes
+    // the window push/pop, even when the fuser would demand three.
+    if (steps.size() < min_len && window_term == 0) {
         head.dcode = plainOrPairDcode(head);
         head.sbReject = true;
         return;
@@ -968,6 +1008,7 @@ Cpu::formSuperblock(DecodedOp &head, uint32_t head_pc)
     sb->headPc = head_pc;
     sb->count = static_cast<uint32_t>(steps.size());
     sb->hasTerm = has_term;
+    sb->termWindow = window_term;
     for (const SbStep &st : steps) {
         sb->cycles += st.cycles;
         if (st.nop)
@@ -1015,6 +1056,218 @@ Cpu::commitSbPrefix(const SuperblockRecord &sb, uint32_t head,
         stats_.cycles += st.cycles;
         if (st.nop)
             ++stats_.nopsExecuted;
+    }
+}
+
+// --- template JIT engine (CpuOptions::jit, src/jit) -------------------
+
+/**
+ * Native entry for `sb` baked at the current window, compiling (and
+ * installing into jitArena_) on first use. Superblock records are
+ * address-stable until invalidateAll (newBlock recycles in place), so
+ * burning &sb.live into the code is safe; the code itself is per-cwp
+ * because the baked physical indices are.
+ */
+const void *
+Cpu::jitEntryFor(SuperblockRecord &sb)
+{
+    if (sb.jitReject)
+        return nullptr;
+    if (sb.jitCode.empty())
+        sb.jitCode.assign(regs_.spec().numWindows, nullptr);
+    const void *entry = sb.jitCode[cwp_];
+    if (entry != nullptr)
+        return entry;
+    if (jitArena_.exhausted())
+        return nullptr; // no room; keep interpreting, stop retrying
+    if (sb.bakedCwp != cwp_)
+        bakeSbPhys(sb); // the templates burn in the baked operands
+    jit::SbJitEnv env;
+    env.phys = regs_.physData();
+    env.flags = reinterpret_cast<uint8_t *>(&flags_);
+    env.ie = reinterpret_cast<const uint8_t *>(&ie_);
+    env.live = reinterpret_cast<const uint8_t *>(&sb.live);
+    env.cpu = this;
+    env.head = sb.headPc;
+    env.cwp = cwp_;
+    env.noSelfLoop = options_.haltOnZeroTarget && sb.headPc == 0;
+    if (sb.termWindow != 0) {
+        // The delay slot runs in the window the terminator switches
+        // to: re-bake that one step against the shifted window's
+        // register map, and burn the same row's link register for
+        // CALL/CALLR. The window can never wrap back onto itself
+        // (numWindows >= 2), so a window-terminated block must not
+        // self-loop natively — each entry needs its own baking.
+        const uint32_t nwin = regs_.spec().numWindows;
+        const uint32_t dcwp = sb.termWindow == 1
+                                  ? (cwp_ + nwin - 1) % nwin
+                                  : (cwp_ + 1) % nwin;
+        const uint16_t *const dw =
+            vmap_.data() + size_t{dcwp} * isa::NumVisibleRegs;
+        SbStep &ds = sb.steps.back();
+        if (ds.mask1 != 0)
+            ds.phys1 = dw[ds.inst.rs1];
+        if (ds.mask2 != 0)
+            ds.phys2 = dw[ds.inst.rs2];
+        if (ds.maskd != 0)
+            ds.physd = dw[ds.inst.rd];
+        env.termWindow = sb.termWindow;
+        env.delayCwp = dcwp;
+        env.linkPhys = dw[sb.steps[sb.count - 2].inst.rd];
+        env.windowPush = &Cpu::jitWindowPush;
+        env.windowPop = &Cpu::jitWindowPop;
+        env.noSelfLoop = true;
+    }
+    env.load32 = &Cpu::jitLoad32;
+    env.load16u = &Cpu::jitLoad16u;
+    env.load16s = &Cpu::jitLoad16s;
+    env.load8u = &Cpu::jitLoad8u;
+    env.load8s = &Cpu::jitLoad8s;
+    env.store32 = &Cpu::jitStore32;
+    env.store16 = &Cpu::jitStore16;
+    env.store8 = &Cpu::jitStore8;
+    const size_t before = jitArena_.usedBytes();
+    entry = jit::compileSuperblock(jitArena_, env, sb.steps.data(),
+                                   sb.count, sb.hasTerm);
+    if (entry == nullptr) {
+        sb.jitReject = true; // untranslatable step (or arena full)
+        return nullptr;
+    }
+    sb.jitBytes += static_cast<uint32_t>(jitArena_.usedBytes() - before);
+    sb.jitSelfLoop = sb.hasTerm && !env.noSelfLoop;
+    sb.jitCode[cwp_] = entry;
+    return entry;
+}
+
+// Memory helpers callable from emitted code. A guest fault must not
+// unwind through the native frame, so each helper catches the
+// SimFault, stashes it for the wrapper to rethrow, and reports it as
+// a negative return (loads zero-extend, so success is non-negative).
+
+int64_t
+Cpu::jitLoad32(void *cpu, uint32_t ea) noexcept
+{
+    Cpu &self = *static_cast<Cpu *>(cpu);
+    try {
+        return self.memory_.read32(ea);
+    } catch (const SimFault &fault) {
+        self.jitFault_ = fault;
+        return -1;
+    }
+}
+
+int64_t
+Cpu::jitLoad16u(void *cpu, uint32_t ea) noexcept
+{
+    Cpu &self = *static_cast<Cpu *>(cpu);
+    try {
+        return self.memory_.read16(ea);
+    } catch (const SimFault &fault) {
+        self.jitFault_ = fault;
+        return -1;
+    }
+}
+
+int64_t
+Cpu::jitLoad16s(void *cpu, uint32_t ea) noexcept
+{
+    Cpu &self = *static_cast<Cpu *>(cpu);
+    try {
+        return static_cast<uint32_t>(static_cast<int32_t>(
+            static_cast<int16_t>(self.memory_.read16(ea))));
+    } catch (const SimFault &fault) {
+        self.jitFault_ = fault;
+        return -1;
+    }
+}
+
+int64_t
+Cpu::jitLoad8u(void *cpu, uint32_t ea) noexcept
+{
+    Cpu &self = *static_cast<Cpu *>(cpu);
+    try {
+        return self.memory_.read8(ea);
+    } catch (const SimFault &fault) {
+        self.jitFault_ = fault;
+        return -1;
+    }
+}
+
+int64_t
+Cpu::jitLoad8s(void *cpu, uint32_t ea) noexcept
+{
+    Cpu &self = *static_cast<Cpu *>(cpu);
+    try {
+        return static_cast<uint32_t>(static_cast<int32_t>(
+            static_cast<int8_t>(self.memory_.read8(ea))));
+    } catch (const SimFault &fault) {
+        self.jitFault_ = fault;
+        return -1;
+    }
+}
+
+int64_t
+Cpu::jitStore32(void *cpu, uint32_t ea, uint32_t value) noexcept
+{
+    Cpu &self = *static_cast<Cpu *>(cpu);
+    try {
+        self.memory_.write32(ea, value);
+        return 0;
+    } catch (const SimFault &fault) {
+        self.jitFault_ = fault;
+        return -1;
+    }
+}
+
+int64_t
+Cpu::jitStore16(void *cpu, uint32_t ea, uint32_t value) noexcept
+{
+    Cpu &self = *static_cast<Cpu *>(cpu);
+    try {
+        self.memory_.write16(ea, static_cast<uint16_t>(value));
+        return 0;
+    } catch (const SimFault &fault) {
+        self.jitFault_ = fault;
+        return -1;
+    }
+}
+
+int64_t
+Cpu::jitStore8(void *cpu, uint32_t ea, uint32_t value) noexcept
+{
+    Cpu &self = *static_cast<Cpu *>(cpu);
+    try {
+        self.memory_.write8(ea, static_cast<uint8_t>(value));
+        return 0;
+    } catch (const SimFault &fault) {
+        self.jitFault_ = fault;
+        return -1;
+    }
+}
+
+int64_t
+Cpu::jitWindowPush(void *cpu) noexcept
+{
+    Cpu &self = *static_cast<Cpu *>(cpu);
+    try {
+        self.windowPush();
+        return 0;
+    } catch (const SimFault &fault) {
+        self.jitFault_ = fault;
+        return -1;
+    }
+}
+
+int64_t
+Cpu::jitWindowPop(void *cpu) noexcept
+{
+    Cpu &self = *static_cast<Cpu *>(cpu);
+    try {
+        self.windowPop();
+        return 0;
+    } catch (const SimFault &fault) {
+        self.jitFault_ = fault;
+        return -1;
     }
 }
 
@@ -1125,9 +1378,10 @@ Cpu::threadedBatch(uint64_t stop_at)
     // fall-through past a transfer). The candidate compiles lazily on
     // its next dispatch; ineligible heads and already-compiled blocks
     // are left alone.
-    auto mark_sb_candidate = [sb_on](DecodedOp &r) {
+    auto mark_sb_candidate = [sb_on, jit_on = jitOn_](DecodedOp &r) {
         if (sb_on && r.dcode != DispSuperblock && !r.sbReject &&
-            sbHeadEligible(r.tag))
+            (sbHeadEligible(r.tag) ||
+             (jit_on && sbWindowTermEligible(r.tag))))
             r.dcode = DispSbForm;
     };
 
@@ -1151,21 +1405,41 @@ Cpu::threadedBatch(uint64_t stop_at)
         stats_.nopsExecuted += its * sb.nops;
         stats_.sbDispatches += its;
         stats_.sbInstructions += n;
-        if (sb.hasTerm) {
+        // Window terminators count through windowPush/Pop (calls /
+        // returns), not as branches — exactly like the plain handlers.
+        if (sb.hasTerm && sb.termWindow == 0) {
             stats_.branches += its;
             stats_.branchesTaken += taken_its;
         }
-        const uint64_t m = n < PcRingSize ? n : PcRingSize;
-        unsigned pos =
-            static_cast<unsigned>((pcRingPos_ + (n - m)) % PcRingSize);
-        uint32_t idx = static_cast<uint32_t>((n - m) % sb.count);
-        for (uint64_t k = 0; k < m; ++k) {
-            pcRing_[pos] = bhead + idx * isa::InstBytes;
-            pos = (pos + 1) % PcRingSize;
-            if (++idx == sb.count)
-                idx = 0;
+        if (n <= PcRingSize) {
+            // Common case (a handful of straight-through passes):
+            // every entry lands in the ring, no wrap prefix — and no
+            // `% sb.count`, a hardware divide by a runtime value.
+            unsigned pos = pcRingPos_;
+            uint32_t pc = bhead;
+            const uint32_t bend = bhead + sb.count * isa::InstBytes;
+            for (uint64_t k = 0; k < n; ++k) {
+                pcRing_[pos] = pc;
+                pos = (pos + 1) % PcRingSize;
+                pc += isa::InstBytes;
+                if (pc == bend)
+                    pc = bhead;
+            }
+            pcRingPos_ = pos;
+        } else {
+            const uint64_t m = PcRingSize;
+            unsigned pos =
+                static_cast<unsigned>((pcRingPos_ + (n - m)) %
+                                      PcRingSize);
+            uint32_t idx = static_cast<uint32_t>((n - m) % sb.count);
+            for (uint64_t k = 0; k < m; ++k) {
+                pcRing_[pos] = bhead + idx * isa::InstBytes;
+                pos = (pos + 1) % PcRingSize;
+                if (++idx == sb.count)
+                    idx = 0;
+            }
+            pcRingPos_ = pos;
         }
-        pcRingPos_ = pos;
         pcRingCount_ += n;
     };
 
@@ -1577,7 +1851,26 @@ do_superblock: {
     DecodedOp *const head_rec = rec;
     const uint32_t head = inst_pc;
     const uint32_t count = sbr->count;
-    if (sbr->bakedCwp != cwp_)
+    // Native dispatch needs no baked operands (physical indices are
+    // burned into the per-window code), so the hot JIT path skips
+    // bakeSbPhys entirely — on recursive workloads the window moves
+    // on nearly every dispatch and re-baking is a per-step tax the
+    // interpreted engine cannot avoid. The slow jitEntryFor path
+    // bakes before compiling; the interpreted path bakes as before.
+    const void *native = nullptr;
+    if (jitOn_) {
+        native = sbr->jitCode.empty() ? nullptr : sbr->jitCode[cwp_];
+        if (native == nullptr)
+            native = jitEntryFor(*sbr);
+    }
+    if (sbr->termWindow != 0 && native == nullptr) {
+        // A window-terminated block's delay slot runs under a shifted
+        // cwp only the per-window native code can bake; without it
+        // (compile declined, arena full) this visit executes the head
+        // through its plain handler, step-exact as ever.
+        RISC1_DISPATCH(static_cast<uint8_t>(rec->tag));
+    }
+    if (native == nullptr && sbr->bakedCwp != cwp_)
         bakeSbPhys(*sbr); // window moved since formation: re-resolve
     const SbStep *const steps = sbr->steps.data();
     bool t_taken = false;  // swallowed terminator: branch outcome
@@ -1604,6 +1897,66 @@ do_superblock: {
     };
 #endif
     try {
+        if (native != nullptr) {
+            // Native path: the emitted code runs whole passes —
+            // including the inlined self-loop — and returns at the
+            // same instruction-precise boundaries the interpreter
+            // reaches, so the shared epilogue / fault / bail code
+            // below runs unchanged. The iteration budget is computed
+            // as lazily as the interpreter's: the first call runs a
+            // single pass, and only when that pass actually loops
+            // back to its own head does the wrapper pay the two
+            // divisions and re-enter with the remaining budget — the
+            // common straight-through dispatch never divides. The
+            // stats the budget reads are untouched until the
+            // epilogue, so the values are identical.
+            jit::SbJitExit jctx;
+            jctx.lastPc = lastPc_;
+            jctx.maxIters = 1;
+            uint64_t base_iters = 0; // passes from earlier re-entries
+            uint32_t status;
+            for (;;) {
+                status = reinterpret_cast<jit::SbJitFn>(
+                    reinterpret_cast<uintptr_t>(native))(&jctx);
+                iters = base_iters + jctx.iters;
+                t_taken = jctx.tTaken != 0;
+                t_target = jctx.tTarget;
+                done = jctx.done;
+                if (status != jit::SbJitDone || !t_taken ||
+                    t_target != head || !sbr->jitSelfLoop ||
+                    !sbr->live)
+                    break;
+                if (max_iters == 0) {
+                    max_iters =
+                        (stop_at - stats_.instructions) / count;
+                    if (watchdog != 0 && sbr->cycles != 0) {
+                        const uint64_t wd_iters =
+                            (watchdog - stats_.cycles) / sbr->cycles +
+                            1;
+                        if (wd_iters < max_iters)
+                            max_iters = wd_iters;
+                    }
+                }
+                if (iters >= max_iters)
+                    break;
+                base_iters = iters;
+                jctx.maxIters = max_iters - iters;
+                // Re-entry is the taken self-loop: the next pass's
+                // Gtlpc sees the previous pass's delay slot.
+                jctx.lastPc = head + (count - 1) * isa::InstBytes;
+            }
+            // Every completed pass but the last re-entered via the
+            // taken self-loop; a fault / bail pass has no terminator
+            // outcome of its own yet.
+            taken_cnt = status == jit::SbJitDone
+                            ? (t_taken ? iters : iters - 1)
+                            : iters;
+            if (status == jit::SbJitFault)
+                throw jitFault_; // stashed by the jit* memory helper
+            if (status == jit::SbJitStoreBail)
+                goto sb_text_store;
+            goto sb_epilogue;
+        }
     sb_again:
 #ifdef RISC1_COMPUTED_GOTO
         // Direct-threaded step execution: every handler ends with its
@@ -1914,7 +2267,8 @@ do_superblock: {
         if (iters != 0)
             commit_sb_iters(*sbr, head, iters, taken_cnt);
         commitSbPrefix(*sbr, head, done);
-        if (sbr->hasTerm && done == count - 1) {
+        if (sbr->hasTerm && sbr->termWindow == 0 &&
+            done == count - 1) {
             ++stats_.branches;
             if (t_taken)
                 ++stats_.branchesTaken;
@@ -1930,6 +2284,7 @@ do_superblock: {
                    : pc_ + isa::InstBytes;
         throw;
     }
+sb_epilogue:
     // Whole-block epilogue: the precomputed per-block deltas, scaled
     // by the self-loop iteration count (1 for a straight-through
     // dispatch).
@@ -1987,11 +2342,14 @@ do_superblock: {
     // Adaptive retirement: a short block that keeps exiting without
     // chaining or self-looping is not earning its epilogue (recursive
     // code is full of two-step fragments between call boundaries);
-    // send its head back to plain dispatch for good.
-    if (count <= 3 && iters == 1 &&
+    // send its head back to plain dispatch for good. Window-terminated
+    // blocks are exempt: each native pass replaces two dispatches plus
+    // a virtual window push/pop, a win regardless of chaining.
+    if (count <= 3 && iters == 1 && sbr->termWindow == 0 &&
         ++sbr->unchained > SbUnchainedLimit) {
         head_rec->dcode = plainOrPairDcode(*head_rec);
         head_rec->sbReject = true;
+        dcache_.notifyRetired(*sbr); // release its arena accounting
     }
     goto gate;
 
@@ -2010,7 +2368,14 @@ sb_text_store:
     memory_.countInstFetches(iters * count + done - 1);
     lastPc_ = head + (done - 1) * isa::InstBytes;
     pc_ = head + done * isa::InstBytes;
-    npc_ = pc_ + isa::InstBytes;
+    // One exception to "the bailing store is never the final step": a
+    // window push whose *spill* stores demoted this block bails at
+    // the retired CALL itself, leaving the delayed transfer pending —
+    // the delay slot (fetched fresh at the gate) falls through to the
+    // latched callee.
+    npc_ = sbr->termWindow != 0 && done == count - 1
+               ? t_target
+               : pc_ + isa::InstBytes;
     rec = nullptr;
     prev = nullptr;
     goto gate;

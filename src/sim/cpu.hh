@@ -17,6 +17,7 @@
 
 #include "asm/program.hh"
 #include "isa/condition.hh"
+#include "jit/arena.hh"
 #include "isa/instruction.hh"
 #include "isa/trapcause.hh"
 #include "sim/decode.hh"
@@ -140,6 +141,22 @@ struct CpuOptions
      * threaded engine runs.
      */
     bool superblock = true;
+    /**
+     * Compile cached superblocks to host native code (src/jit): each
+     * block's SbStep array is emitted as per-ExecTag machine-code
+     * templates with the baked physical register offsets, masks and
+     * folded immediates burned in, executed from a W^X arena. The
+     * native block returns to the dispatcher at instruction-precise
+     * boundaries and the shared epilogue / fault-reconstruction /
+     * demotion machinery is reused verbatim, so results (architectural
+     * state AND statistics) are identical to the interpreted
+     * superblock engine — pinned by tests/test_jit.cc. Requires the
+     * superblock engine; on hosts without templates
+     * (jit::hostSupported() == false) the option is inert and blocks
+     * run interpreted. Drivers that expose `--engine jit` reject
+     * unsupported hosts loudly instead (docs/PERFORMANCE.md §4).
+     */
+    bool jit = false;
     bool trace = false;              //!< per-instruction trace
     std::ostream *traceOut = nullptr; //!< defaults to std::cerr
 };
@@ -221,6 +238,13 @@ class Cpu
 
     const SimStats &stats() const { return stats_; }
     const isa::Flags &flags() const { return flags_; }
+
+    /**
+     * Bytes of native code the template JIT holds in its arena
+     * (0 when CpuOptions::jit is off or the host is unsupported).
+     * Tests use this to assert the engine actually engaged.
+     */
+    size_t jitCodeBytes() const { return jitArena_.usedBytes(); }
 
     uint32_t pc() const { return pc_; }
     uint32_t npc() const { return npc_; }
@@ -348,6 +372,43 @@ class Cpu
     void commitSbPrefix(const SuperblockRecord &sb, uint32_t head,
                         uint32_t n);
 
+    // --- template JIT engine (CpuOptions::jit, src/jit) ---------------
+
+    /**
+     * Native entry for `sb` under the current window, compiling (and
+     * installing into jitArena_) on first use; nullptr when the block
+     * declined compilation or the arena is exhausted.
+     */
+    const void *jitEntryFor(SuperblockRecord &sb);
+
+    /**
+     * Memory helpers the emitted templates call. They must never
+     * throw across the native frame: a guest fault is stashed in
+     * jitFault_ and reported as a negative return for the native code
+     * to bail on (see jit/sbcompile.hh).
+     */
+    static int64_t jitLoad32(void *cpu, uint32_t ea) noexcept;
+    static int64_t jitLoad16u(void *cpu, uint32_t ea) noexcept;
+    static int64_t jitLoad16s(void *cpu, uint32_t ea) noexcept;
+    static int64_t jitLoad8u(void *cpu, uint32_t ea) noexcept;
+    static int64_t jitLoad8s(void *cpu, uint32_t ea) noexcept;
+    static int64_t jitStore32(void *cpu, uint32_t ea,
+                              uint32_t v) noexcept;
+    static int64_t jitStore16(void *cpu, uint32_t ea,
+                              uint32_t v) noexcept;
+    static int64_t jitStore8(void *cpu, uint32_t ea,
+                             uint32_t v) noexcept;
+    /**
+     * Window helpers for JIT blocks with a CALL/CALLR/RET terminator:
+     * one call performs the full windowPush()/windowPop() — including
+     * the spill/refill memory traffic and every window statistic — so
+     * the native fast path and the slow path are the same code.
+     * WindowExhausted (and spill/refill memory faults) are stashed
+     * like memory-helper faults and reported as a negative return.
+     */
+    static int64_t jitWindowPush(void *cpu) noexcept;
+    static int64_t jitWindowPop(void *cpu) noexcept;
+
     /** Shared reset tail of the load() overloads. */
     void resetRun(uint32_t entry);
 
@@ -415,6 +476,13 @@ class Cpu
     bool interruptPending_ = false;
 
     uint32_t fetchXor_ = 0; //!< one-shot istream corruption mask
+
+    // --- template JIT state (src/jit) --------------------------------
+    /** options_.jit, gated on the superblock engine + host support. */
+    bool jitOn_ = false;
+    jit::CodeArena jitArena_;
+    /** Fault stashed by a jit* helper for the wrapper to rethrow. */
+    SimFault jitFault_;
 
     /** Ring of the last PcRingSize executed instruction PCs. */
     static constexpr unsigned PcRingSize = 16;

@@ -136,6 +136,7 @@ DecodedCache::demoteBlocksOver(uint32_t first, uint32_t last)
             head_op->sb = nullptr;
         }
         sb->live = false;
+        notifyRetired(*sb);
         freeBlocks_.push_back(sb);
         blockAt_.erase(it);
         ++sbDemoted_;

@@ -26,6 +26,7 @@
 #define RISC1_SIM_DECODE_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -101,12 +102,31 @@ sbInteriorEligible(ExecTag tag)
  * with their delay slot): plain jumps never trap and never touch the
  * window, so the whole delayed-branch sequence can retire inside one
  * dispatch. CALL/RET and the interrupt transfers spill/refill windows
- * (trap-capable) and stay outside blocks.
+ * (trap-capable) and stay outside interpreted blocks — but see
+ * sbWindowTermEligible for the native engine's extension.
  */
 constexpr bool
 sbTermEligible(ExecTag tag)
 {
     return tag == ExecTag::Jmp || tag == ExecTag::Jmpr;
+}
+
+/**
+ * True for the window transfers the *JIT* engine may additionally
+ * swallow as a block terminator: CALL/CALLR/RET move the register
+ * window, so the block's delay slot executes under a different
+ * cwp than its interior — only the per-window native code (which
+ * bakes the delay step against the shifted window's register map)
+ * can honour that, so formation accepts these terminators only when
+ * the JIT is on, and such blocks never take the interpreted step
+ * path. CALLINT/RETINT also flip the interrupt-enable bit and stay
+ * out of blocks entirely.
+ */
+constexpr bool
+sbWindowTermEligible(ExecTag tag)
+{
+    return tag == ExecTag::Call || tag == ExecTag::Callr ||
+           tag == ExecTag::Ret;
 }
 
 /** True for tags that may head a superblock. */
@@ -269,6 +289,12 @@ struct SuperblockRecord
     uint32_t nops = 0;    //!< canonical NOPs among the steps
     /** Last two steps are a swallowed jump + its delay slot. */
     bool hasTerm = false;
+    /** Swallowed *window* terminator (JIT-only blocks): 0 = none,
+     *  1 = CALL/CALLR (window push), 2 = RET (window pop). The delay
+     *  slot executes under the shifted window, so these blocks only
+     *  ever run natively — the dispatch falls back to the plain
+     *  handler when no native code is available. */
+    uint8_t termWindow = 0;
     bool live = true;     //!< false once demoted (awaiting reuse)
     uint8_t bakedCwp = 0; //!< window the step phys indices are for
     /** Consecutive exits of a short block that neither chained into
@@ -287,6 +313,21 @@ struct SuperblockRecord
     uint32_t exitTakenPc = 0;
     DecodedOp *exitFall = nullptr;
     uint32_t exitFallPc = 0;
+
+    // --- template JIT (CpuOptions::jit, src/jit) ---------------------
+    /** Native entry per register window (steps are baked per cwp),
+     *  compiled lazily on dispatch; empty until the JIT engine runs. */
+    std::vector<const void *> jitCode;
+    /** Installed native bytes across all windows (arena accounting
+     *  when the block retires). */
+    uint32_t jitBytes = 0;
+    /** Compilation declined for this block (unsupported step, arena
+     *  exhausted): don't retry on every dispatch. */
+    bool jitReject = false;
+    /** The emitted code contains the inlined self-loop, so dispatch
+     *  must compute the iteration budget (skipping two 64-bit
+     *  divisions per dispatch for the straight-through majority). */
+    bool jitSelfLoop = false;
 };
 
 /**
@@ -390,6 +431,22 @@ class DecodedCache : public Memory::WriteObserver
     uint64_t blocksFormed() const { return sbFormed_; }
     uint64_t blocksDemoted() const { return sbDemoted_; }
 
+    /**
+     * Retirement hook: invoked with every block that leaves the live
+     * set (store demotion here, adaptive retirement in the engine).
+     * The JIT engine uses it to account the block's dead native code
+     * back to its arena; the record itself stays allocated as usual.
+     */
+    using RetireHook = std::function<void(SuperblockRecord &)>;
+    void setRetireHook(RetireHook hook) { retireHook_ = std::move(hook); }
+    /** Run the retirement hook for `sb` (idempotent per block). */
+    void
+    notifyRetired(SuperblockRecord &sb)
+    {
+        if (retireHook_ && (sb.jitBytes != 0 || !sb.jitCode.empty()))
+            retireHook_(sb);
+    }
+
   private:
     /** One page of slots plus the count of currently valid records. */
     struct Line
@@ -447,6 +504,7 @@ class DecodedCache : public Memory::WriteObserver
     uint64_t writeGen_ = 0;
     uint64_t sbFormed_ = 0;
     uint64_t sbDemoted_ = 0;
+    RetireHook retireHook_;
 };
 
 } // namespace risc1::sim

@@ -79,6 +79,14 @@ class RegisterFile
     uint32_t readPhys(unsigned phys) const { return regs_[phys]; }
     void writePhys(unsigned phys, uint32_t value) { regs_[phys] = value; }
 
+    /**
+     * Raw physical bank, for the template JIT to burn into emitted
+     * code. Stable for the file's lifetime: the vector is sized at
+     * construction and never reallocated (clear/restore fill in
+     * place).
+     */
+    uint32_t *physData() { return regs_.data(); }
+
     /** Zero every register (program load). */
     void
     clear()

@@ -1,0 +1,341 @@
+/**
+ * @file
+ * The superblock template JIT (src/jit): native code emission from
+ * baked SbStep arrays must be a pure optimisation. Every scenario
+ * runs the same program under the JIT engine and the plain
+ * interpreter and requires byte-identical results and statistics —
+ * including the hard cases the interpreted superblock engine pins in
+ * test_superblock.cc: a self-modifying store into the MIDDLE of a
+ * live block (native code must bail and demote), a guest fault raised
+ * by an interior load, a mid-run snapshot/restore (compiled entries
+ * die with their records), and seeded random programs under the
+ * lockstep sentinel. On hosts without templates (jit::hostSupported()
+ * false) the option is inert and the engine IS the interpreted
+ * superblock engine, so the differentials still hold; only the
+ * engagement assertions are skipped.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "jit/arena.hh"
+#include "sim/cpu.hh"
+#include "sim/lockstep.hh"
+#include "sim/snapshot.hh"
+#include "support/logging.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace risc1;
+
+void
+expectStatsEq(const sim::SimStats &a, const sim::SimStats &b,
+              const std::string &what)
+{
+    EXPECT_EQ(a.instructions, b.instructions) << what;
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.perOpcode, b.perOpcode) << what;
+    EXPECT_EQ(a.perClass, b.perClass) << what;
+    EXPECT_EQ(a.branches, b.branches) << what;
+    EXPECT_EQ(a.branchesTaken, b.branchesTaken) << what;
+    EXPECT_EQ(a.nopsExecuted, b.nopsExecuted) << what;
+    EXPECT_EQ(a.calls, b.calls) << what;
+    EXPECT_EQ(a.returns, b.returns) << what;
+    EXPECT_EQ(a.windowOverflows, b.windowOverflows) << what;
+    EXPECT_EQ(a.windowUnderflows, b.windowUnderflows) << what;
+    EXPECT_EQ(a.spillWords, b.spillWords) << what;
+    EXPECT_EQ(a.refillWords, b.refillWords) << what;
+    EXPECT_EQ(a.memory.instFetches, b.memory.instFetches) << what;
+    EXPECT_EQ(a.memory.dataReads, b.memory.dataReads) << what;
+    EXPECT_EQ(a.memory.dataWrites, b.memory.dataWrites) << what;
+}
+
+/** The full ladder: superblock formation plus native emission. */
+sim::CpuOptions
+jitOptions()
+{
+    sim::CpuOptions opts;
+    opts.fuse = false;
+    opts.superblock = true;
+    opts.jit = true;
+    return opts;
+}
+
+sim::CpuOptions
+plainOptions()
+{
+    sim::CpuOptions opts;
+    opts.threaded = false;
+    return opts;
+}
+
+/** The reference: the plain (non-predecoded) interpreter. */
+sim::CpuOptions
+interpOptions()
+{
+    sim::CpuOptions opts;
+    opts.predecode = false;
+    opts.threaded = false;
+    opts.fuse = false;
+    opts.superblock = false;
+    return opts;
+}
+
+/** Assemble with delay-slot filling off so the written instruction
+ *  order is exactly what runs. */
+assembler::Program
+assembleRaw(const std::string &src)
+{
+    assembler::AsmOptions no_fill;
+    no_fill.fillDelaySlots = false;
+    return assembler::assembleOrDie(src, no_fill);
+}
+
+// ---- Suite differential: JIT engine vs the plain interpreter -------------
+
+TEST(Jit, RiscSuiteDifferential)
+{
+    uint64_t block_insts = 0;
+    size_t code_bytes = 0;
+    for (const workloads::Workload &wl : workloads::allWorkloads()) {
+        const assembler::Program prog =
+            workloads::buildRisc(wl, wl.defaultScale);
+
+        sim::Cpu jit(jitOptions());
+        sim::Cpu plain(plainOptions());
+        jit.load(prog);
+        plain.load(prog);
+        const sim::ExecResult rj = jit.run();
+        const sim::ExecResult rp = plain.run();
+
+        EXPECT_EQ(rj.reason, rp.reason) << wl.name;
+        EXPECT_EQ(jit.memory().peek32(workloads::ResultAddr),
+                  plain.memory().peek32(workloads::ResultAddr))
+            << wl.name;
+        expectStatsEq(jit.stats(), plain.stats(), wl.name);
+        block_insts += jit.stats().sbInstructions;
+        code_bytes += jit.jitCodeBytes();
+    }
+    EXPECT_GT(block_insts, 0u);
+    // Native code must actually be emitted somewhere in the suite.
+    if (jit::hostSupported())
+        EXPECT_GT(code_bytes, 0u);
+    else
+        EXPECT_EQ(code_bytes, 0u);
+}
+
+// ---- Self-modifying store into the middle of a live block ----------------
+
+TEST(Jit, StoreIntoBlockMiddleDemotesNativeCode)
+{
+    // Same scenario test_superblock.cc pins for the interpreted
+    // engine: after ten hot iterations the store at `patch_now`
+    // overwrites `mid` — the MIDDLE word of the running block — with
+    // `add r17, 100, r17`. The native store helper demotes the block
+    // mid-pass; the emitted code must bail to the slow commit (the
+    // unexecuted tail is stale) and the patched word must take effect
+    // on the very next iteration.
+    const assembler::Program enc =
+        assembler::assembleOrDie("_start: add r17, 100, r17\n halt\n");
+    const uint32_t patched = *enc.wordAt(enc.entry);
+
+    const std::string src = strprintf(R"(
+        .equ RESULT, %u
+        .org  256
+_start: ldl   (r0)newword, r16
+        clr   r17
+        clr   r18
+loop:   add   r17, 1, r17
+        add   r17, 1, r17
+mid:    add   r17, 1, r17
+        add   r17, 1, r17
+        add   r18, 1, r18
+        cmp   r18, 20
+        bge   done
+        cmp   r18, 10
+        blt   loop
+        stl   r16, (r0)mid
+        b     loop
+done:   stl   r17, (r0)RESULT
+        halt
+newword: .word %u
+)",
+                                      workloads::ResultAddr, patched);
+    const assembler::Program prog = assembleRaw(src);
+
+    sim::Cpu jit(jitOptions());
+    sim::Cpu plain(plainOptions());
+    jit.load(prog);
+    plain.load(prog);
+    const sim::ExecResult rj = jit.run();
+    const sim::ExecResult rp = plain.run();
+
+    ASSERT_TRUE(rj.halted());
+    ASSERT_TRUE(rp.halted());
+    // 10 iterations of +4, then 10 of +103.
+    EXPECT_EQ(plain.memory().peek32(workloads::ResultAddr), 1070u);
+    EXPECT_EQ(jit.memory().peek32(workloads::ResultAddr), 1070u);
+    expectStatsEq(jit.stats(), plain.stats(), "mid-block store");
+    EXPECT_GE(jit.stats().sbBlocksFormed, 1u);
+    EXPECT_GE(jit.stats().sbBlocksDemoted, 1u);
+}
+
+// ---- Guest fault raised by an interior load ------------------------------
+
+TEST(Jit, InteriorFaultMatchesSlowPath)
+{
+    // The faulting load is an interior step of a compiled block: the
+    // native code must return at the exact step, and the shared
+    // unwind must reconstruct the slow path's state to the byte.
+    const std::string src = R"(
+        .org  256
+_start: add   r0, 256, r16
+        clr   r17
+body:   add   r17, 1, r17
+        add   r16, r16, r16
+        ldl   (r16)0, r19
+        add   r17, 2, r17
+        cmp   r17, 4000
+        blt   body
+        halt
+)";
+    const assembler::Program prog = assembleRaw(src);
+
+    sim::CpuOptions jit_opts = jitOptions();
+    sim::CpuOptions plain_opts = plainOptions();
+    jit_opts.memLimit = 0x01000000;
+    plain_opts.memLimit = 0x01000000;
+
+    sim::Cpu jit(jit_opts);
+    sim::Cpu plain(plain_opts);
+    jit.load(prog);
+    plain.load(prog);
+    const sim::ExecResult rj = jit.run();
+    const sim::ExecResult rp = plain.run();
+
+    ASSERT_EQ(rp.reason, sim::StopReason::Fault);
+    ASSERT_EQ(rj.reason, sim::StopReason::Fault);
+    EXPECT_EQ(rj.faultCause, rp.faultCause);
+    EXPECT_EQ(rj.faultAddr, rp.faultAddr);
+    EXPECT_EQ(rj.faultPc, rp.faultPc);
+    EXPECT_EQ(rj.instructions, rp.instructions);
+    EXPECT_EQ(rj.cycles, rp.cycles);
+    EXPECT_EQ(jit.pc(), plain.pc());
+    expectStatsEq(jit.stats(), plain.stats(), "interior fault");
+    EXPECT_GT(jit.stats().sbDispatches, 0u);
+}
+
+// ---- Mid-run snapshot/restore -------------------------------------------
+
+TEST(Jit, SnapshotRestoreMidRunMatchesPlain)
+{
+    // Snapshot while compiled blocks are hot, keep running, then
+    // restore and finish: restore() must retire every compiled entry
+    // (records are re-formed and re-compiled lazily), and the final
+    // state must match the uninterrupted plain run exactly. Pausing
+    // at odd instruction counts also pins runUntil's exactness over
+    // native dispatch: batch boundaries land mid-loop and the engine
+    // must stop on the precise instruction.
+    const workloads::Workload *pick = nullptr;
+    for (const workloads::Workload &wl : workloads::allWorkloads())
+        if (wl.recursive)
+            pick = &wl;
+    ASSERT_NE(pick, nullptr);
+    const assembler::Program prog =
+        workloads::buildRisc(*pick, pick->defaultScale);
+
+    sim::Cpu plain(plainOptions());
+    plain.load(prog);
+    const sim::ExecResult rp = plain.run();
+    ASSERT_TRUE(rp.halted());
+
+    sim::Cpu jit(jitOptions());
+    jit.load(prog);
+    const uint64_t early = rp.instructions / 5 + 3;
+    const uint64_t late = (3 * rp.instructions) / 4 + 1;
+    ASSERT_EQ(jit.runUntil(early).reason, sim::StopReason::Paused);
+    EXPECT_EQ(jit.stats().instructions, early);
+    const sim::Snapshot snap = jit.snapshot();
+    ASSERT_EQ(jit.runUntil(late).reason, sim::StopReason::Paused);
+    EXPECT_EQ(jit.stats().instructions, late);
+    ASSERT_GT(jit.stats().sbInstructions, 0u);
+
+    jit.restore(snap);
+    EXPECT_EQ(jit.jitCodeBytes(), 0u); // arena died with the records
+    const sim::ExecResult rj = jit.run();
+    ASSERT_TRUE(rj.halted());
+    EXPECT_EQ(jit.memory().peek32(workloads::ResultAddr),
+              plain.memory().peek32(workloads::ResultAddr));
+    expectStatsEq(jit.stats(), plain.stats(), "restored jit");
+}
+
+// ---- Lockstep sentinel: workloads and fuzzed programs --------------------
+
+TEST(Jit, WorkloadsRunDivergenceFree)
+{
+    // An odd stride lands every pause mid-block, forcing the native
+    // self-loop budget to cut iterations at arbitrary points.
+    unsigned tested = 0;
+    for (const workloads::Workload &wl : workloads::allWorkloads()) {
+        if (wl.name != "fibonacci" && wl.name != "queens")
+            continue;
+        const assembler::Program prog =
+            workloads::buildRisc(wl, wl.defaultScale);
+        sim::LockstepOptions opts;
+        opts.stride = 777;
+        const sim::LockstepResult res =
+            sim::runLockstep(prog, interpOptions(), jitOptions(), opts);
+        EXPECT_FALSE(res.diverged)
+            << wl.name << " vs jit\n" << res.report.str();
+        EXPECT_EQ(res.reason, sim::StopReason::Halted) << wl.name;
+        ++tested;
+    }
+    EXPECT_EQ(tested, 2u);
+}
+
+TEST(Jit, FuzzedProgramsRunDivergenceFree)
+{
+    // Fixed seeds, bounded runs: random programs exercise step mixes
+    // (carry chains, shifts, PSW reads, stores into text) no curated
+    // workload reaches.
+    for (uint64_t seed = 1; seed <= 10; ++seed) {
+        const assembler::Program prog = sim::randomProgram(seed);
+        sim::LockstepOptions opts;
+        opts.stride = 257;
+        opts.maxInstructions = 60'000;
+        const sim::LockstepResult res =
+            sim::runLockstep(prog, interpOptions(), jitOptions(), opts);
+        EXPECT_FALSE(res.diverged)
+            << "seed " << seed << " vs jit\n" << res.report.str();
+        EXPECT_TRUE(res.reason == sim::StopReason::Halted ||
+                    res.reason == sim::StopReason::Paused)
+            << "seed " << seed << ": reason "
+            << static_cast<unsigned>(res.reason);
+    }
+}
+
+// ---- Arena plumbing ------------------------------------------------------
+
+TEST(Jit, ArenaInstallsAndRetires)
+{
+    jit::CodeArena arena;
+    if (!jit::hostSupported())
+        GTEST_SKIP() << "no templates for " << jit::hostArchName();
+    const std::vector<uint8_t> ret = {0xc3}; // bare `ret`
+    const void *p = arena.install(ret.data(), ret.size());
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 16, 0u);
+    EXPECT_GT(arena.usedBytes(), 0u);
+    // The installed page really is executable.
+    reinterpret_cast<void (*)()>(reinterpret_cast<uintptr_t>(p))();
+    arena.retire(1);
+    EXPECT_EQ(arena.retiredBytes(), 1u);
+    const size_t used = arena.usedBytes();
+    arena.reset();
+    EXPECT_EQ(arena.usedBytes(), 0u);
+    EXPECT_EQ(arena.retiredBytes(), 0u);
+    EXPECT_LE(used, arena.capacity());
+}
+
+} // namespace
