@@ -3,8 +3,8 @@
  * Experiment R1: the seeded fault-injection campaign over the whole
  * suite. Usage: bench_fault_campaign [injections] [seed] [--tally]
  * [--recover] [--checkpoint-interval K] [--seed-range A:B]
- * [--shard-out FILE] [--avf] [--engine NAME] — defaults 100 and
- * 1981; the table is
+ * [--shard-out FILE] [--avf] [--engine NAME] [--jit-no-chain] —
+ * defaults 100 and 1981; the table is
  * bit-for-bit reproducible for a fixed pair. --tally streams outcomes
  * into fixed-size tallies (peak memory independent of the injection
  * count) instead of materializing the flat outcome vector; the table
@@ -62,11 +62,14 @@ main(int argc, char **argv)
         "docs/DEBUGGING.md). --engine NAME (ref, threaded,\n"
         "superblock, jit) runs every guest on that engine — the\n"
         "tables are engine-invariant; jit needs an x86-64 host and\n"
-        "is rejected elsewhere with an explicit error.",
+        "is rejected elsewhere with an explicit error.\n"
+        "--jit-no-chain disables native block-to-block chaining under\n"
+        "--engine jit (inert otherwise): the unchained half of the\n"
+        "chaining A/B, same tables either way.",
         "[injections] [seed] [--tally] [--recover] "
         "[--checkpoint-interval K] [--seed-range A:B] "
         "[--shard-out FILE] [--avf] [--repro SLOT] [--repro-out FILE] "
-        "[--engine NAME]");
+        "[--engine NAME] [--jit-no-chain]");
 
     bool streaming = false;
     bool avf = false;
@@ -128,6 +131,8 @@ main(int argc, char **argv)
                           << "' (ref, threaded, superblock, jit)\n";
                 return 2;
             }
+        } else if (std::strcmp(argv[i], "--jit-no-chain") == 0) {
+            risc1::core::setCampaignJitChain(false);
         } else {
             argv[out++] = argv[i];
         }

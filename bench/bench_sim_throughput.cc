@@ -9,10 +9,16 @@
  *  - risc1/<wl>, vax80/<wl>: the full fast path (the default — for
  *    RISC I that is threaded dispatch with pair fusion).
  *  - risc1_jit/<wl>: superblocks compiled to host native code by the
- *    template JIT (src/jit), pair fusion off — against
- *    risc1_superblock/ this isolates the native-emission win. Only
- *    registered when jit::hostSupported(); on other hosts the series
- *    is absent rather than silently measuring the interpreted engine.
+ *    template JIT (src/jit), pair fusion off and block-to-block
+ *    chaining pinned OFF — against risc1_superblock/ this isolates
+ *    the native-emission win, and it stays comparable with snapshots
+ *    taken before chaining existed. Only registered when
+ *    jit::hostSupported(); on other hosts the series is absent rather
+ *    than silently measuring the interpreted engine.
+ *  - risc1_jit_chain/<wl>: the same engine with native block-to-block
+ *    chaining on (the CpuOptions::jitChain default) — against
+ *    risc1_jit/ this isolates the chaining + deferred-stats-commit
+ *    win on its own. Same host gate as risc1_jit/.
  *  - risc1_superblock/<wl>: threaded dispatch + superblocks, pair
  *    fusion off — against risc1_threaded/ this isolates the
  *    whole-block dispatch win on its own.
@@ -48,6 +54,12 @@
  * dispatch even on the workloads where the interpreted superblock
  * engine loses its epilogue overhead (ackermann-style short-block
  * recursion).
+ *
+ * --regress-jit-chain: gate risc1_jit_chain/ against risc1_jit/ —
+ * chaining is pure overhead-removal, so the chained engine must not
+ * come out behind the unchained one (geomean over the filtered
+ * workloads; the ctest hook runs ackermann + fibonacci, the
+ * short-block exit-dominated acceptance pair).
  */
 
 #include <benchmark/benchmark.h>
@@ -276,7 +288,8 @@ class JsonCollectingReporter : public benchmark::ConsoleReporter
  */
 int
 checkRegression(const JsonCollectingReporter &reporter,
-                const std::string &prefix)
+                const std::string &prefix,
+                const std::string &baseline = "risc1_threaded/")
 {
     double log_sum = 0.0;
     unsigned pairs = 0;
@@ -290,20 +303,20 @@ checkRegression(const JsonCollectingReporter &reporter,
         seen.push_back(entry.name);
         const std::string wl = entry.name.substr(prefix.size());
         const double sb = reporter.rateOf(entry.name);
-        const double thr = reporter.rateOf("risc1_threaded/" + wl);
+        const double thr = reporter.rateOf(baseline + wl);
         if (sb <= 0.0 || thr <= 0.0)
             continue;
         const double ratio = sb / thr;
-        std::fprintf(stderr, "regress: %-24s %.3fx threaded\n",
-                     wl.c_str(), ratio);
+        std::fprintf(stderr, "regress: %-24s %.3fx %s\n",
+                     wl.c_str(), ratio, baseline.c_str());
         log_sum += std::log(ratio);
         ++pairs;
     }
     if (pairs == 0) {
         std::fprintf(stderr,
-                     "regress: no %s vs risc1_threaded/ pairs "
+                     "regress: no %s vs %s pairs "
                      "measured (check --benchmark_filter)\n",
-                     prefix.c_str());
+                     prefix.c_str(), baseline.c_str());
         return 1;
     }
     const double geomean = std::exp(log_sum / pairs);
@@ -329,10 +342,15 @@ main(int argc, char **argv)
     // strip them before Initialize sees the argument list.
     bool regress = false;
     bool regress_jit = false;
+    bool regress_jit_chain = false;
     for (int i = 1; i < argc;) {
         const std::string arg = argv[i];
-        if (arg == "--regress" || arg == "--regress-jit") {
-            (arg == "--regress" ? regress : regress_jit) = true;
+        if (arg == "--regress" || arg == "--regress-jit" ||
+            arg == "--regress-jit-chain") {
+            (arg == "--regress"
+                 ? regress
+                 : arg == "--regress-jit" ? regress_jit
+                                          : regress_jit_chain) = true;
             for (int j = i; j + 1 < argc; ++j)
                 argv[j] = argv[j + 1];
             --argc;
@@ -340,7 +358,8 @@ main(int argc, char **argv)
             ++i;
         }
     }
-    if (regress_jit && !risc1::jit::hostSupported()) {
+    if ((regress_jit || regress_jit_chain) &&
+        !risc1::jit::hostSupported()) {
         // No templates for this host: nothing to gate. Report the
         // benchmark-style skip ctest recognises rather than failing.
         std::fprintf(stderr,
@@ -356,6 +375,9 @@ main(int argc, char **argv)
     sblock.fuse = false;
     CpuOptions jit_engine = sblock; // superblocks emitted as native code
     jit_engine.jit = true;
+    jit_engine.jitChain = false; // the pre-chaining engine, pinned
+    CpuOptions jit_chain = jit_engine; // + native block-to-block chaining
+    jit_chain.jitChain = true;
     CpuOptions threaded_only;
     threaded_only.fuse = false;
     threaded_only.superblock = false;
@@ -368,10 +390,14 @@ main(int argc, char **argv)
     for (const auto &wl : risc1::workloads::allWorkloads()) {
         benchmark::RegisterBenchmark(("risc1/" + wl.name).c_str(),
                                      riscThroughput, &wl, full);
-        if (risc1::jit::hostSupported())
+        if (risc1::jit::hostSupported()) {
             benchmark::RegisterBenchmark(
                 ("risc1_jit/" + wl.name).c_str(), riscThroughput, &wl,
                 jit_engine);
+            benchmark::RegisterBenchmark(
+                ("risc1_jit_chain/" + wl.name).c_str(), riscThroughput,
+                &wl, jit_chain);
+        }
         benchmark::RegisterBenchmark(
             ("risc1_superblock/" + wl.name).c_str(), riscThroughput,
             &wl, sblock);
@@ -431,7 +457,13 @@ main(int argc, char **argv)
         if (status != 0)
             return status;
     }
-    if (regress_jit)
-        return checkRegression(reporter, "risc1_jit/");
+    if (regress_jit) {
+        const int status = checkRegression(reporter, "risc1_jit/");
+        if (status != 0)
+            return status;
+    }
+    if (regress_jit_chain)
+        return checkRegression(reporter, "risc1_jit_chain/",
+                               "risc1_jit/");
     return 0;
 }

@@ -385,6 +385,14 @@ sim::CpuOptions campaignCpuOptions();
 bool setCampaignEngine(const std::string &name);
 
 /**
+ * Disable (or re-enable) native block-to-block chaining for campaign
+ * guests running under `--engine jit` (process-wide; default on, and
+ * inert for every other engine). The chained/unchained A/B half of
+ * `bench_fault_campaign --jit-no-chain`.
+ */
+void setCampaignJitChain(bool enabled);
+
+/**
  * Self-contained reproduction of one campaign grid slot — everything
  * an interactive time-travel session (risc1_gdb --replay, via
  * debug/replay.hh) needs: the machine configuration the run used, a

@@ -109,6 +109,7 @@ struct CampaignEngine
     bool threaded = true;
     bool superblock = true;
     bool jit = false;
+    bool jitChain = true;
 };
 
 CampaignEngine campaignEngine;
@@ -125,6 +126,7 @@ campaignCpuOptions()
         opts.threaded = campaignEngine.threaded;
         opts.superblock = campaignEngine.superblock;
         opts.jit = campaignEngine.jit;
+        opts.jitChain = campaignEngine.jitChain;
     }
     return opts;
 }
@@ -145,8 +147,15 @@ setCampaignEngine(const std::string &name)
     } else {
         return false;
     }
+    e.jitChain = campaignEngine.jitChain; // set independently
     campaignEngine = e;
     return true;
+}
+
+void
+setCampaignJitChain(bool enabled)
+{
+    campaignEngine.jitChain = enabled;
 }
 
 std::vector<FaultCampaignRow>

@@ -63,6 +63,10 @@ printUsage(const char *prog)
         "                          (default superblock); every engine\n"
         "                          produces byte-identical state (jit\n"
         "                          needs an x86-64 host)\n"
+        "  --jit-no-chain          disable native block-to-block\n"
+        "                          chaining under --engine jit (inert\n"
+        "                          otherwise); state and statistics\n"
+        "                          are identical either way\n"
         "  --scale N               workload problem size (default: the\n"
         "                          workload's standard scale)\n"
         "  --checkpoint-interval N instructions between checkpoints\n"
@@ -164,6 +168,8 @@ main(int argc, char **argv)
         const auto port_file =
             core::consumeValueFlag(argc, argv, "--port-file");
         const auto engine = core::consumeValueFlag(argc, argv, "--engine");
+        const bool jit_no_chain =
+            core::consumeFlag(argc, argv, "--jit-no-chain");
         const auto scale_opt =
             core::consumeValueFlag(argc, argv, "--scale");
         const auto ival_opt =
@@ -206,6 +212,8 @@ main(int argc, char **argv)
             if (engine && !applyEngine(cpu_opts, *engine))
                 fatal("risc1_gdb: unknown --engine '%s' (ref, "
                       "threaded, superblock, jit)", engine->c_str());
+            if (jit_no_chain)
+                cpu_opts.jitChain = false;
             cpu = std::make_unique<sim::Cpu>(cpu_opts);
             cpu->restore(
                 sim::deserializeSnapshot(replay.snapshot, cpu_opts));
@@ -246,6 +254,8 @@ main(int argc, char **argv)
             if (engine && !applyEngine(cpu_opts, *engine))
                 fatal("risc1_gdb: unknown --engine '%s' (ref, "
                       "threaded, superblock, jit)", engine->c_str());
+            if (jit_no_chain)
+                cpu_opts.jitChain = false;
             cpu = std::make_unique<sim::Cpu>(cpu_opts);
             cpu->load(workloads::buildRisc(*wl, scale));
             tt = std::make_unique<debug::TimeTravel>(*cpu, tt_opts);

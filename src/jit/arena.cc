@@ -1,5 +1,6 @@
 #include "jit/arena.hh"
 
+#include <cassert>
 #include <cstring>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -137,9 +138,118 @@ CodeArena::install(const uint8_t *code, size_t size)
 #endif
 }
 
+bool
+CodeArena::writeBytes(size_t off, const uint8_t *code, size_t len)
+{
+#ifdef RISC1_JIT_HAVE_MMAP
+    if (base_ == nullptr || off + len > used_)
+        return false;
+    if (writeBase_ != nullptr) {
+        std::memcpy(writeBase_ + off, code, len);
+        return true;
+    }
+    // Single-mapping fallback: flip just the touched pages, which may
+    // hold installed code — safe because patches are only applied
+    // from the dispatch thread with no native frame on the stack.
+    const long page = ::sysconf(_SC_PAGESIZE);
+    const size_t ps = page > 0 ? static_cast<size_t>(page) : 4096;
+    const size_t lo = off & ~(ps - 1);
+    const size_t hi = (off + len + ps - 1) & ~(ps - 1);
+    if (::mprotect(base_ + lo, hi - lo, PROT_READ | PROT_WRITE) != 0)
+        return false;
+    std::memcpy(base_ + off, code, len);
+    return ::mprotect(base_ + lo, hi - lo, PROT_READ | PROT_EXEC) == 0;
+#else
+    (void)off;
+    (void)code;
+    (void)len;
+    return false;
+#endif
+}
+
+bool
+CodeArena::patchChain(size_t off, const uint8_t *code, size_t len,
+                      void *src, void *dst, uint8_t *patchedFlag)
+{
+    if (base_ == nullptr || len == 0)
+        return false;
+    for (ChainPatch &p : chains_) {
+        if (p.off != off)
+            continue;
+        // Second inline-cache entry for this slot: the saved original
+        // bytes stay authoritative (bytes past the first stub's end
+        // are still the untouched pad — capture them before they are
+        // overwritten), and the slot gains a second unlink key.
+        if (p.dst2 != nullptr)
+            return false;
+        if (len > p.orig.size())
+            p.orig.insert(p.orig.end(), base_ + off + p.orig.size(),
+                          base_ + off + len);
+        if (!writeBytes(off, code, len))
+            return false;
+        p.dst2 = dst;
+        if (patchedFlag != nullptr)
+            *patchedFlag = 2;
+        return true;
+    }
+    ChainPatch patch;
+    patch.off = off;
+    patch.src = src;
+    patch.dst = dst;
+    patch.patchedFlag = patchedFlag;
+    patch.orig.assign(base_ + off, base_ + off + len);
+    if (!writeBytes(off, code, len))
+        return false;
+    chains_.push_back(std::move(patch));
+    if (patchedFlag != nullptr)
+        *patchedFlag = 1;
+    return true;
+}
+
+const std::vector<uint8_t> *
+CodeArena::chainOrig(size_t off) const
+{
+    for (const ChainPatch &p : chains_)
+        if (p.off == off)
+            return &p.orig;
+    return nullptr;
+}
+
+void
+CodeArena::unlinkChainsFor(const void *rec)
+{
+    for (size_t i = chains_.size(); i-- > 0;) {
+        ChainPatch &p = chains_[i];
+        if (p.src != rec && p.dst != rec && p.dst2 != rec)
+            continue;
+        writeBytes(p.off, p.orig.data(), p.orig.size());
+        if (p.patchedFlag != nullptr)
+            *p.patchedFlag = 0;
+        retiredBytes_ += p.orig.size();
+        chains_.erase(chains_.begin() +
+                      static_cast<ptrdiff_t>(i));
+    }
+}
+
+void
+CodeArena::unlinkAllChains()
+{
+    for (ChainPatch &p : chains_) {
+        writeBytes(p.off, p.orig.data(), p.orig.size());
+        if (p.patchedFlag != nullptr)
+            *p.patchedFlag = 0;
+        retiredBytes_ += p.orig.size();
+    }
+    chains_.clear();
+}
+
 void
 CodeArena::reset()
 {
+    // Every patch must have been unlinked first: a survivor holds a
+    // patched-flag pointer into a record that is being invalidated.
+    assert(chains_.empty() && "CodeArena::reset with live chain patches");
+    chains_.clear();
     used_ = 0;
     retiredBytes_ = 0;
     exhausted_ = false;

@@ -21,6 +21,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace risc1::jit {
 
@@ -61,7 +62,10 @@ class CodeArena
     /**
      * Drop every installed block and rewind the bump pointer. Only
      * legal when no compiled entry can be executing (the callers tie
-     * this to DecodedCache::invalidateAll).
+     * this to DecodedCache::invalidateAll) and after every chain
+     * patch has been unlinked — asserts the registry is empty, since
+     * a surviving entry means a record kept a dangling patched flag
+     * pointer across invalidation.
      */
     void reset();
 
@@ -71,8 +75,73 @@ class CodeArena
     /** True once an install() failed for lack of space. */
     bool exhausted() const { return exhausted_; }
 
+    // ---- chain registry (native block-to-block patches) -------------
+    // A chain patch rewrites an installed exit slot into a direct
+    // transfer to another block's entry. Every patch is registered
+    // with the records it connects so invalidation can unlink (restore
+    // the original bytes of) every site that mentions a block before
+    // its code or record is reused.
+
+    /** Byte offset of an installed entry inside the arena. */
+    size_t
+    offsetOf(const void *p) const
+    {
+        return static_cast<size_t>(static_cast<const uint8_t *>(p) -
+                                   base_);
+    }
+
+    /** Executable address of arena offset `off`. */
+    const uint8_t *rxAt(size_t off) const { return base_ + off; }
+
+    /**
+     * Overwrite `len` installed bytes at `off` with `code`, saving the
+     * original bytes in the chain registry under (src, dst) — the
+     * records the patch transfers from and to — and setting
+     * *patchedFlag to the slot's transfer count. A second patch of the
+     * same offset (the two-way taken-slot inline cache) merges into
+     * the existing entry: the original bytes are kept (extended with
+     * the still-untouched pad when the new stub is longer) and `dst`
+     * is recorded as the slot's second target. False when the arena is
+     * unmapped, the write failed (single-mapping fallback mprotect
+     * error), or the slot already holds two targets.
+     */
+    bool patchChain(size_t off, const uint8_t *code, size_t len,
+                    void *src, void *dst, uint8_t *patchedFlag);
+
+    /**
+     * The saved pre-patch bytes of the registered slot at `off`, or
+     * nullptr when the slot is unpatched (linkChainSlot reads the
+     * common-exit displacement from them on a re-link).
+     */
+    const std::vector<uint8_t> *chainOrig(size_t off) const;
+
+    /**
+     * Restore every registered patch that transfers from *or* to
+     * `rec`, clear its patched flag, and account the dead stub bytes
+     * as retired. Must run before a block's native code or record is
+     * invalidated, demoted or recycled.
+     */
+    void unlinkChainsFor(const void *rec);
+
+    /** Restore every registered patch (decode-cache invalidation). */
+    void unlinkAllChains();
+
+    /** Live (patched) chain transfers. */
+    size_t chainCount() const { return chains_.size(); }
+
   private:
+    struct ChainPatch
+    {
+        size_t off = 0;
+        void *src = nullptr;
+        void *dst = nullptr;
+        void *dst2 = nullptr; //!< second inline-cache target (or null)
+        uint8_t *patchedFlag = nullptr;
+        std::vector<uint8_t> orig;
+    };
+
     bool map();
+    bool writeBytes(size_t off, const uint8_t *code, size_t len);
 
     uint8_t *base_ = nullptr;      //!< RX view: entry-point addresses
     uint8_t *writeBase_ = nullptr; //!< RW alias (dual-mapped memfd)
@@ -81,6 +150,7 @@ class CodeArena
     size_t retiredBytes_ = 0;
     bool exhausted_ = false;
     bool mapFailed_ = false;
+    std::vector<ChainPatch> chains_;
 };
 
 } // namespace risc1::jit

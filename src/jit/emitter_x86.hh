@@ -80,12 +80,13 @@ class Emitter
 
     void movR12Rdi() { b(0x49); b(0x89); b(0xfc); } // mov r12, rdi
 
-    /** mov {rbx,r13,rdi,rax,rcx}, imm64 */
+    /** mov {rbx,r13,rdi,rax,rcx,rdx}, imm64 */
     void movRbxImm64(uint64_t v) { b(0x48); b(0xbb); q(v); }
     void movR13Imm64(uint64_t v) { b(0x49); b(0xbd); q(v); }
     void movRdiImm64(uint64_t v) { b(0x48); b(0xbf); q(v); }
     void movRaxImm64(uint64_t v) { b(0x48); b(0xb8); q(v); }
     void movRcxImm64(uint64_t v) { b(0x48); b(0xb9); q(v); }
+    void movRdxImm64(uint64_t v) { b(0x48); b(0xba); q(v); }
 
     void xorR15R15() { b(0x4d); b(0x31); b(0xff); } // xor r15, r15
     void xorEbpEbp() { b(0x31); b(0xed); }
@@ -198,6 +199,64 @@ class Emitter
     {
         b(0x4d); b(0x3b); b(0x7c); b(0x24); b(disp);
     }
+
+    // ---- chain-mode budget / scratch accesses -----------------------
+    // The chain stubs and the budget-admission back edge work in the
+    // caller-saved 64-bit scratch set (rax, rcx, rdx, rsi) against the
+    // exit context (r12) and a SbChainScratch base held in rdx.
+
+    /** mov {rax,rcx,rsi}, qword [r12 + disp8] */
+    void loadCtxRax64(uint8_t disp) { b(0x49); b(0x8b); b(0x44); b(0x24); b(disp); }
+    void loadCtxRcx64(uint8_t disp) { b(0x49); b(0x8b); b(0x4c); b(0x24); b(disp); }
+    void loadCtxRsi64(uint8_t disp) { b(0x49); b(0x8b); b(0x74); b(0x24); b(disp); }
+    /** mov qword [r12 + disp8], {rax,rcx,rsi} */
+    void storeCtxRax64(uint8_t disp) { b(0x49); b(0x89); b(0x44); b(0x24); b(disp); }
+    void storeCtxRcx64(uint8_t disp) { b(0x49); b(0x89); b(0x4c); b(0x24); b(disp); }
+    void storeCtxRsi64(uint8_t disp) { b(0x49); b(0x89); b(0x74); b(0x24); b(disp); }
+    /** sub qword [r12 + disp8], imm32 (sign-extended) */
+    void
+    subCtx64Imm32(uint8_t disp, uint32_t v)
+    {
+        b(0x49); b(0x81); b(0x6c); b(0x24); b(disp); d(v);
+    }
+    /** inc qword [r12 + disp8] */
+    void incCtx64(uint8_t disp) { b(0x49); b(0xff); b(0x44); b(0x24); b(disp); }
+    /** cmp rsi, qword [r12 + disp8] */
+    void cmpRsiCtx64(uint8_t disp) { b(0x49); b(0x3b); b(0x74); b(0x24); b(disp); }
+    /** add rax, qword [r12 + disp8] */
+    void addRaxCtx64(uint8_t disp) { b(0x49); b(0x03); b(0x44); b(0x24); b(disp); }
+
+    void subRaxImm32(uint32_t v) { b(0x48); b(0x2d); d(v); }
+    void subRcxImm32(uint32_t v) { b(0x48); b(0x81); b(0xe9); d(v); }
+    void testRcxRcx() { b(0x48); b(0x85); b(0xc9); }
+    void addRsi8() { b(0x48); b(0x83); b(0xc6); b(0x08); }
+    void andEaxImm8(uint8_t v) { b(0x83); b(0xe0); b(v); }
+    void shlEaxImm8(uint8_t n) { b(0xc1); b(0xe0); b(n); }
+    /** lea rcx, [r15 - 1] */
+    void leaRcxR15Minus1() { b(0x49); b(0x8d); b(0x4f); b(0xff); }
+
+    /** add qword [rdx + disp8], r15 */
+    void addMemRdxR15(uint8_t disp) { b(0x4c); b(0x01); b(0x7a); b(disp); }
+    /** add qword [rdx + disp8], rcx */
+    void addMemRdxRcx(uint8_t disp) { b(0x48); b(0x01); b(0x4a); b(disp); }
+    /** mov dword [rdx + disp8], imm32 */
+    void movMemRdxImm32(uint8_t disp, uint32_t v) { b(0xc7); b(0x42); b(disp); d(v); }
+    /** cmp byte [rdx + disp8], 0 */
+    void cmpByteRdx0(uint8_t disp) { b(0x80); b(0x7a); b(disp); b(0x00); }
+    /** mov byte [rdx + disp8], 1 */
+    void movByteRdx1(uint8_t disp) { b(0xc6); b(0x42); b(disp); b(0x01); }
+    /** mov qword [rsi], rdx */
+    void storeRdxAtRsi() { b(0x48); b(0x89); b(0x16); }
+    /** mov qword [rax], rdx */
+    void storeRdxAtRax() { b(0x48); b(0x89); b(0x10); }
+    /** mov qword [rax + 8], r15 */
+    void storeR15AtRax8() { b(0x4c); b(0x89); b(0x78); b(0x08); }
+
+    /** jmp rel32 with a caller-computed displacement (external
+     *  targets: another block's chain entry, the common exit). */
+    void jmpRel32(int32_t rel) { b(0xe9); d(static_cast<uint32_t>(rel)); }
+    /** int3 — pads the unpatched tail of a chain slot. */
+    void int3() { b(0xcc); }
 
     // ---- exit-context stores ([r12 + disp8]) ------------------------
     /** mov qword [r12 + disp8], r15 */

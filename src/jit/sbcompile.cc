@@ -1,6 +1,7 @@
 #include "jit/sbcompile.hh"
 
 #include <cstddef>
+#include <cstring>
 #include <utility>
 
 #include "isa/condition.hh"
@@ -23,12 +24,48 @@ constexpr uint8_t OffTTarget = 16;
 constexpr uint8_t OffTTaken = 20;
 constexpr uint8_t OffDone = 24;
 constexpr uint8_t OffLastPc = 28;
+constexpr uint8_t OffInstBudget = 32;
+constexpr uint8_t OffCycleBudget = 40;
+constexpr uint8_t OffCurSb = 48;
+constexpr uint8_t OffChained = 56;
+constexpr uint8_t OffDirtyCur = 64;
+constexpr uint8_t OffDirtyEnd = 72;
+constexpr uint8_t OffEpiRing = 80;
+constexpr uint8_t OffEpiPos = 88;
 static_assert(offsetof(SbJitExit, maxIters) == OffMaxIters);
 static_assert(offsetof(SbJitExit, iters) == OffIters);
 static_assert(offsetof(SbJitExit, tTarget) == OffTTarget);
 static_assert(offsetof(SbJitExit, tTaken) == OffTTaken);
 static_assert(offsetof(SbJitExit, done) == OffDone);
 static_assert(offsetof(SbJitExit, lastPc) == OffLastPc);
+static_assert(offsetof(SbJitExit, instBudget) == OffInstBudget);
+static_assert(offsetof(SbJitExit, cycleBudget) == OffCycleBudget);
+static_assert(offsetof(SbJitExit, curSb) == OffCurSb);
+static_assert(offsetof(SbJitExit, chained) == OffChained);
+static_assert(offsetof(SbJitExit, dirtyCur) == OffDirtyCur);
+static_assert(offsetof(SbJitExit, dirtyEnd) == OffDirtyEnd);
+static_assert(offsetof(SbJitExit, epiRing) == OffEpiRing);
+static_assert(offsetof(SbJitExit, epiPos) == OffEpiPos);
+
+// SbChainScratch field offsets burned into [rdx + disp8] accesses.
+// The scratch is SuperblockRecord's first member, so a record pointer
+// IS the scratch pointer.
+constexpr uint8_t ScrPendingIters = 0;
+constexpr uint8_t ScrPendingTaken = 8;
+constexpr uint8_t ScrUnchained = 16;
+constexpr uint8_t ScrDirty = 20;
+static_assert(offsetof(sim::SuperblockRecord, chain) == 0);
+static_assert(offsetof(sim::SbChainScratch, pendingIters) ==
+              ScrPendingIters);
+static_assert(offsetof(sim::SbChainScratch, pendingTaken) ==
+              ScrPendingTaken);
+static_assert(offsetof(sim::SbChainScratch, unchained) == ScrUnchained);
+static_assert(offsetof(sim::SbChainScratch, dirty) == ScrDirty);
+
+// The episode ring is indexed natively: (pos & 15) << 4.
+static_assert(sizeof(SbChainEpisode) == 16);
+static_assert(offsetof(SbChainEpisode, sb) == 0);
+static_assert(offsetof(SbChainEpisode, iters) == 8);
 
 // Flag byte offsets off r13 (isa::Flags layout, asserted by the Cpu
 // before it hands out the pointer).
@@ -246,7 +283,8 @@ scanNeeds(const SbStep *steps, uint32_t count)
 
 const void *
 compileSuperblock(CodeArena &arena, const SbJitEnv &env,
-                  const SbStep *steps, uint32_t count, bool hasTerm)
+                  const SbStep *steps, uint32_t count, bool hasTerm,
+                  SbJitCompiled *out)
 {
     // Thread-local scratch: every program load recompiles every hot
     // block (the decode cache is dropped), so per-compile heap
@@ -255,41 +293,77 @@ compileSuperblock(CodeArena &arena, const SbJitEnv &env,
     static thread_local std::vector<PendingExit> faults;
     static thread_local std::vector<PendingExit> bails;
     static thread_local std::vector<size_t> exits;
+    static thread_local std::vector<size_t> takenExits;
+    static thread_local std::vector<size_t> fallExits;
     e.clear();
     faults.clear();
     bails.clear();
     exits.clear();
+    takenExits.clear();
+    fallExits.clear();
 
-    // Prologue: save only what this block's templates touch — r12/r15
-    // plus rbx are always live, the flag base and terminator latches
-    // only when the pre-scan says so. The pad byte count keeps rsp
-    // 16-byte aligned at helper call sites, and is only paid when the
-    // block actually calls.
+    const bool chain = env.chain;
     const BlockNeeds needs = scanNeeds(steps, count);
-    const unsigned npush =
-        3u + (hasTerm ? 2u : 0u) + (needs.flags ? 1u : 0u);
-    const bool pad = needs.calls && (npush & 1u) == 0;
-    e.pushRbx();
-    if (hasTerm)
+    bool pad;
+    size_t chainEntryOff = 0;
+    if (chain) {
+        // Chain mode needs one *uniform* frame: a chain stub jumps
+        // into any block's chainEntry, so every block must save the
+        // same registers and keep the same rsp displacement. Six
+        // pushes leave rsp 8 mod 16; the constant pad restores call
+        // alignment.
+        pad = true;
+        e.pushRbx();
         e.pushRbp();
-    e.pushR12();
-    if (needs.flags)
+        e.pushR12();
         e.pushR13();
-    if (hasTerm)
         e.pushR14();
-    e.pushR15();
-    if (pad)
+        e.pushR15();
         e.subRsp8();
-    e.movR12Rdi();
-    e.movRbxImm64(reinterpret_cast<uint64_t>(env.phys));
-    if (needs.flags)
+        e.movR12Rdi();
+        e.movRbxImm64(reinterpret_cast<uint64_t>(env.phys));
         e.movR13Imm64(reinterpret_cast<uint64_t>(env.flags));
-    e.xorR15R15(); // iters = 0
-    if (hasTerm) {
-        // Zeroed so a fault/bail before the first pass reaches the
-        // terminator still stores defined values from `fin`.
-        e.xorEbpEbp();     // t_taken = false
-        e.xorR14dR14d();   // t_target = 0
+        // First-pass budget debit. The wrapper's dispatch gate
+        // guarantees admission for the call path; a chain stub debits
+        // the target itself and enters past this, at chainEntry.
+        e.subCtx64Imm32(OffInstBudget, count);
+        if (env.cycleGuard)
+            e.subCtx64Imm32(OffCycleBudget, env.passCycles);
+        chainEntryOff = e.here();
+        e.xorR15R15();   // iters = 0
+        e.xorEbpEbp();   // t_taken = false
+        e.xorR14dR14d(); // t_target = 0
+    } else {
+        // Prologue: save only what this block's templates touch —
+        // r12/r15 plus rbx are always live, the flag base and
+        // terminator latches only when the pre-scan says so. The pad
+        // byte count keeps rsp 16-byte aligned at helper call sites,
+        // and is only paid when the block actually calls.
+        const unsigned npush =
+            3u + (hasTerm ? 2u : 0u) + (needs.flags ? 1u : 0u);
+        pad = needs.calls && (npush & 1u) == 0;
+        e.pushRbx();
+        if (hasTerm)
+            e.pushRbp();
+        e.pushR12();
+        if (needs.flags)
+            e.pushR13();
+        if (hasTerm)
+            e.pushR14();
+        e.pushR15();
+        if (pad)
+            e.subRsp8();
+        e.movR12Rdi();
+        e.movRbxImm64(reinterpret_cast<uint64_t>(env.phys));
+        if (needs.flags)
+            e.movR13Imm64(reinterpret_cast<uint64_t>(env.flags));
+        e.xorR15R15(); // iters = 0
+        if (hasTerm) {
+            // Zeroed so a fault/bail before the first pass reaches
+            // the terminator still stores defined values from `fin`.
+            e.xorEbpEbp();   // t_taken = false
+            e.xorR14dR14d(); // t_target = 0
+        }
     }
 
     const size_t top = e.here();
@@ -608,10 +682,52 @@ compileSuperblock(CodeArena &arena, const SbJitEnv &env,
 
     // Pass epilogue: ++iters, then the inlined self-loop — retake the
     // block in place while the terminator jumps back to its own head,
-    // the block stays live, and the precomputed iteration budget
-    // (instruction stop + watchdog, folded in by the wrapper) allows.
+    // the block stays live, and the budget (chain mode: admission
+    // against the live instruction/cycle budgets; otherwise the
+    // precomputed maxIters the wrapper folded in) allows.
     e.incR15();
-    if (hasTerm && !env.noSelfLoop) {
+    if (chain) {
+        if (hasTerm && !env.noSelfLoop) {
+            e.testEbpEbp();
+            fallExits.push_back(e.jccFwd(Cc::E));
+            e.cmpR14dImm32(env.head);
+            takenExits.push_back(e.jccFwd(Cc::Ne));
+            e.movRaxImm64(reinterpret_cast<uint64_t>(env.live));
+            e.cmpByteRax0();
+            takenExits.push_back(e.jccFwd(Cc::E));
+            // Admit the next pass: instruction budget >= count and a
+            // non-negative cycle budget, debited only when both hold
+            // (a refused pass must leave the budgets untouched). The
+            // cycle side is skipped outright for a watchdog-less Cpu.
+            e.loadCtxRax64(OffInstBudget);
+            e.subRaxImm32(count);
+            exits.push_back(e.jccFwd(Cc::C));
+            if (env.cycleGuard) {
+                e.loadCtxRcx64(OffCycleBudget);
+                e.testRcxRcx();
+                exits.push_back(e.jccFwd(Cc::S));
+            }
+            e.storeCtxRax64(OffInstBudget);
+            if (env.cycleGuard) {
+                e.subRcxImm32(env.passCycles);
+                e.storeCtxRcx64(OffCycleBudget);
+            }
+            e.jmpBack(top);
+        } else if (hasTerm) {
+            if (env.termWindow != 0) {
+                // Window terminators are always taken.
+                takenExits.push_back(e.jmpFwd());
+            } else {
+                e.testEbpEbp();
+                fallExits.push_back(e.jccFwd(Cc::E));
+                takenExits.push_back(e.jmpFwd());
+            }
+        } else {
+            // No terminator: the block exits to its sequential
+            // successor.
+            fallExits.push_back(e.jmpFwd());
+        }
+    } else if (hasTerm && !env.noSelfLoop) {
         e.testEbpEbp();
         exits.push_back(e.jccFwd(Cc::E));
         e.cmpR14dImm32(env.head);
@@ -622,11 +738,14 @@ compileSuperblock(CodeArena &arena, const SbJitEnv &env,
         e.cmpR15Ctx(OffMaxIters);
         e.jccBack(Cc::C, top);
     }
-    // Epilogue + exit stubs are bounded: guard once for all of them.
-    if (!e.roomFor((faults.size() + bails.size()) * 24 + 96))
+    // Epilogue + exit stubs (+ chain slots) are bounded: guard once
+    // for all of them.
+    if (!e.roomFor((faults.size() + bails.size()) * 24 + 96 +
+                   (chain ? 2 * size_t{SbChainSlotSize} + 32 : 0)))
         return nullptr;
     for (const size_t fix : exits)
         e.bind(fix);
+    const size_t commonDone = e.here();
     e.xorEaxEax(); // SbJitDone
     const size_t fin = e.here();
     e.storeCtxR15(OffIters);
@@ -637,17 +756,27 @@ compileSuperblock(CodeArena &arena, const SbJitEnv &env,
         e.storeCtxImm32(OffTTarget, 0);
         e.storeCtxImm32(OffTTaken, 0);
     }
-    if (pad)
+    if (chain) {
         e.addRsp8();
-    e.popR15();
-    if (hasTerm)
+        e.popR15();
         e.popR14();
-    if (needs.flags)
         e.popR13();
-    e.popR12();
-    if (hasTerm)
+        e.popR12();
         e.popRbp();
-    e.popRbx();
+        e.popRbx();
+    } else {
+        if (pad)
+            e.addRsp8();
+        e.popR15();
+        if (hasTerm)
+            e.popR14();
+        if (needs.flags)
+            e.popR13();
+        e.popR12();
+        if (hasTerm)
+            e.popRbp();
+        e.popRbx();
+    }
     e.ret();
 
     // Out-of-line exits: record the precise step, set the status and
@@ -665,7 +794,171 @@ compileSuperblock(CodeArena &arena, const SbJitEnv &env,
         e.jmpBack(fin);
     }
 
-    return arena.install(e.data(), e.size());
+    // Patchable chain slots. Unpatched, a slot is one `jmp commonDone`
+    // (a plain exit through the normal epilogue) padded with int3 to
+    // the fixed span; linkChainSlot later rewrites it in place into a
+    // guarded direct transfer. The exit branches route the taken and
+    // fallthrough directions to their slots so a patch takes effect
+    // without touching the block body.
+    size_t takenSlotBlobOff = 0;
+    size_t fallSlotBlobOff = 0;
+    if (chain) {
+        if (hasTerm) {
+            takenSlotBlobOff = e.here();
+            for (const size_t fix : takenExits)
+                e.bind(fix);
+            e.jmpBack(commonDone);
+            while (e.size() < takenSlotBlobOff + SbChainSlotSize)
+                e.int3();
+        }
+        if (!hasTerm || env.termWindow == 0) {
+            fallSlotBlobOff = e.here();
+            for (const size_t fix : fallExits)
+                e.bind(fix);
+            e.jmpBack(commonDone);
+            while (e.size() < fallSlotBlobOff + SbChainSlotSize)
+                e.int3();
+        }
+    }
+
+    const void *entry = arena.install(e.data(), e.size());
+    if (entry == nullptr)
+        return nullptr;
+    if (out != nullptr) {
+        const size_t base = arena.offsetOf(entry);
+        out->entry = entry;
+        out->chainEntry =
+            chain ? static_cast<const uint8_t *>(entry) + chainEntryOff
+                  : nullptr;
+        out->takenSlotOff =
+            takenSlotBlobOff != 0
+                ? static_cast<uint32_t>(base + takenSlotBlobOff)
+                : 0;
+        out->fallSlotOff =
+            fallSlotBlobOff != 0
+                ? static_cast<uint32_t>(base + fallSlotBlobOff)
+                : 0;
+    }
+    return entry;
+}
+
+bool
+linkChainSlot(CodeArena &arena, const SbChainLinkReq *reqs, size_t n)
+{
+    if (n == 0 || n > 2)
+        return false;
+    const SbChainLinkReq &first = reqs[0];
+    if (first.slotOff == 0 ||
+        first.slotOff + SbChainSlotSize > arena.usedBytes())
+        return false;
+    // Recover the common-exit address from the unpatched slot's own
+    // leading `jmp rel32` — the one instruction a slot holds until it
+    // is patched. On a re-link the slot already holds a stub, so the
+    // jmp is read from the registry's saved original bytes instead.
+    const uint8_t *slot = arena.rxAt(first.slotOff);
+    const uint8_t *jmp_src = slot;
+    if (slot[0] != 0xe9) {
+        const std::vector<uint8_t> *orig = arena.chainOrig(first.slotOff);
+        if (orig == nullptr || orig->size() < 5 || (*orig)[0] != 0xe9)
+            return false;
+        jmp_src = orig->data();
+    }
+    int32_t common_rel;
+    std::memcpy(&common_rel, jmp_src + 1, 4);
+    const uint8_t *common_abs = slot + 5 + common_rel;
+
+    static thread_local Emitter e;
+    static thread_local std::vector<size_t> aborts;
+    e.clear();
+    aborts.clear();
+
+    for (size_t i = 0; i < n; ++i) {
+        const SbChainLinkReq &req = reqs[i];
+        // ---- guards: no state is mutated until every one passes ----
+        size_t next_entry = 0;
+        if (req.taken) {
+            // Inline-cache dispatch: a target mismatch tries the next
+            // cached entry; the last entry's mismatch exits through
+            // the common epilogue like every other refused guard.
+            e.cmpR14dImm32(req.dstHead);
+            if (i + 1 < n)
+                next_entry = e.jccFwd(Cc::Ne);
+            else
+                aborts.push_back(e.jccFwd(Cc::Ne));
+        }
+        e.movRaxImm64(reinterpret_cast<uint64_t>(req.dstLive));
+        e.cmpByteRax0();
+        aborts.push_back(e.jccFwd(Cc::E));
+        e.loadCtxRax64(OffInstBudget);
+        e.subRaxImm32(req.dstCount);
+        aborts.push_back(e.jccFwd(Cc::C));
+        if (req.cycleGuard) {
+            e.loadCtxRcx64(OffCycleBudget);
+            e.testRcxRcx();
+            aborts.push_back(e.jccFwd(Cc::S));
+        }
+        e.movRdxImm64(reinterpret_cast<uint64_t>(req.src));
+        e.cmpByteRdx0(ScrDirty);
+        const size_t have_slot = e.jccFwd(Cc::Ne);
+        e.loadCtxRsi64(OffDirtyCur);
+        e.cmpRsiCtx64(OffDirtyEnd);
+        aborts.push_back(e.jccFwd(Cc::Nc)); // dirty list full
+        e.bind(have_slot);
+
+        // ---- commit: budgets, source flush, episode, transfer ------
+        e.storeCtxRax64(OffInstBudget);
+        if (req.cycleGuard) {
+            e.subRcxImm32(req.dstCycles);
+            e.storeCtxRcx64(OffCycleBudget);
+        }
+        e.addMemRdxR15(ScrPendingIters);
+        if (req.taken) {
+            e.addMemRdxR15(ScrPendingTaken);
+        } else {
+            // A fallthrough exit's final pass was not taken.
+            e.leaRcxR15Minus1();
+            e.addMemRdxRcx(ScrPendingTaken);
+        }
+        e.movMemRdxImm32(ScrUnchained, 0);
+        e.cmpByteRdx0(ScrDirty);
+        const size_t skip_append = e.jccFwd(Cc::Ne);
+        e.movByteRdx1(ScrDirty);
+        e.loadCtxRsi64(OffDirtyCur);
+        e.storeRdxAtRsi();
+        e.addRsi8();
+        e.storeCtxRsi64(OffDirtyCur);
+        e.bind(skip_append);
+        // Episode ring: slot (epiPos & 15) <- {src, iters}.
+        e.loadCtxRax64(OffEpiPos);
+        e.andEaxImm8(15);
+        e.shlEaxImm8(4);
+        e.addRaxCtx64(OffEpiRing);
+        e.storeRdxAtRax();
+        e.storeR15AtRax8();
+        e.incCtx64(OffEpiPos);
+        e.incCtx64(OffChained);
+        e.movRaxImm64(reinterpret_cast<uint64_t>(req.dst));
+        e.storeCtxRax64(OffCurSb);
+        e.storeCtxImm32(OffLastPc, req.srcLastPc);
+        {
+            const uint8_t *target =
+                static_cast<const uint8_t *>(req.dstChainEntry);
+            e.jmpRel32(static_cast<int32_t>(
+                target - (slot + e.size() + 5)));
+        }
+        if (next_entry != 0)
+            e.bind(next_entry);
+    }
+    for (const size_t fix : aborts)
+        e.bind(fix);
+    e.jmpRel32(
+        static_cast<int32_t>(common_abs - (slot + e.size() + 5)));
+
+    if (e.size() > SbChainSlotSize)
+        return false;
+    return arena.patchChain(first.slotOff, e.data(), e.size(),
+                            reqs[n - 1].src, reqs[n - 1].dst,
+                            reqs[n - 1].patchedFlag);
 }
 
 #else // !__x86_64__
@@ -675,9 +968,15 @@ compileSuperblock(CodeArena &arena, const SbJitEnv &env,
 // interpreted superblock path behind the same interface.
 const void *
 compileSuperblock(CodeArena &, const SbJitEnv &, const sim::SbStep *,
-                  uint32_t, bool)
+                  uint32_t, bool, SbJitCompiled *)
 {
     return nullptr;
+}
+
+bool
+linkChainSlot(CodeArena &, const SbChainLinkReq *, size_t)
+{
+    return false;
 }
 
 #endif

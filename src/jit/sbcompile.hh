@@ -82,6 +82,17 @@ struct SbJitEnv
     JitStoreFn store32 = nullptr;
     JitStoreFn store16 = nullptr;
     JitStoreFn store8 = nullptr;
+
+    /** Chain mode: emit budget-admission loops and patchable exit
+     *  slots instead of the maxIters self-loop (see SbJitExit). */
+    bool chain = false;
+    /** Cycle cost of one whole-block pass (chain-mode budget debit),
+     *  i.e. SuperblockRecord::cycles. */
+    uint32_t passCycles = 0;
+    /** Emit the cycle-budget admission (chain mode). The watchdog is
+     *  fixed per Cpu; without one the budget is INT64_MAX and the
+     *  four-instruction check per pass can never fire — skip it. */
+    bool cycleGuard = true;
 };
 
 /**
@@ -95,7 +106,50 @@ struct SbJitExit
     uint32_t tTarget = 0;  //!< out: latched terminator target
     uint32_t tTaken = 0;   //!< out: latched terminator outcome (0/1)
     uint32_t done = 0;     //!< out: faulting/bailing step index
-    uint32_t lastPc = 0;   //!< in: lastPc_ (GTLPC in the first pass)
+    /** in: lastPc_ (GTLPC in the first pass). In chain mode every
+     *  chain stub rewrites it to the source block's final step PC, so
+     *  on exit it is the lastPc the *current* block was entered
+     *  under. */
+    uint32_t lastPc = 0;
+
+    // ---- chain mode (SbJitEnv::chain) -------------------------------
+    // Deferred-commit context: compiled blocks transfer directly to
+    // each other, debiting the shared budgets per pass and flushing
+    // per-block pass counts into each record's SbChainScratch; the
+    // wrapper commits statistics once at the true exit. The fields
+    // below stay within disp8 of r12 (static_asserts in sbcompile.cc).
+
+    /** in/out: remaining retired-instruction budget (stop bound minus
+     *  committed instructions); every admitted pass debits the pass's
+     *  step count, so it is exact at every exit. */
+    uint64_t instBudget = 0;
+    /** in/out: remaining cycle budget (watchdog minus committed
+     *  cycles; INT64_MAX when no watchdog). A pass is admitted while
+     *  non-negative and debits its cycle cost after, reproducing the
+     *  interpreter's one-block overrun exactly. */
+    int64_t cycleBudget = 0;
+    /** in/out: the SuperblockRecord the exit state (iters, tTarget,
+     *  tTaken, done) describes — the last block entered. */
+    void *curSb = nullptr;
+    /** out: native chain transfers taken (stats_.sbChained delta). */
+    uint64_t chained = 0;
+    /** in/out: bump cursor into the wrapper's dirty-record array
+     *  (SuperblockRecord**); a stub refuses to chain when full. */
+    void *dirtyCur = nullptr;
+    void *dirtyEnd = nullptr; //!< in: one past the last dirty slot
+    /** in: 16-entry SbChainEpisode ring (PC-ring replay at commit). */
+    void *epiRing = nullptr;
+    uint64_t epiPos = 0; //!< in/out: episodes appended (ring index mod 16)
+};
+
+/** One chained-run episode: `iters` whole passes of `sb` (a
+ *  sim::SuperblockRecord*), appended by the chain stub that exited
+ *  the block. The last 16 episodes cover at least 32 retired PCs
+ *  (block length >= 2), enough to rebuild the 16-entry PC ring. */
+struct SbChainEpisode
+{
+    void *sb = nullptr;
+    uint64_t iters = 0;
 };
 
 /** Native block status codes (the emitted function's return value). */
@@ -109,13 +163,75 @@ enum : uint32_t
 using SbJitFn = uint32_t (*)(SbJitExit *);
 
 /**
+ * Where a chain-mode compile left its patchable pieces. Offsets are
+ * arena byte offsets (CodeArena::offsetOf); zero means the block has
+ * no slot in that direction.
+ */
+struct SbJitCompiled
+{
+    const void *entry = nullptr;
+    /** Mid-function label a chain stub jumps to: past the prologue
+     *  and the first-pass budget debit (the stub debits instead). */
+    const void *chainEntry = nullptr;
+    uint32_t takenSlotOff = 0; //!< taken-direction exit slot
+    uint32_t fallSlotOff = 0;  //!< fallthrough-direction exit slot
+};
+
+/** Patchable exit-slot span (jmp-to-common + int3 pad when unlinked;
+ *  the full chain stub when patched). Sized for two guarded entries:
+ *  a taken slot is a two-way inline cache, so a polymorphic transfer
+ *  (a RET block returning to two call sites) chains both targets. */
+constexpr uint32_t SbChainSlotSize = 512;
+
+/**
  * Emit, install and return the native entry for one baked block, or
  * nullptr when the host is unsupported, a step has no template, or
  * the arena is exhausted (check arena.exhausted() to stop retrying).
+ * With env.chain set, `out` (required then) receives the chain entry
+ * and exit-slot offsets.
  */
 const void *compileSuperblock(CodeArena &arena, const SbJitEnv &env,
                               const sim::SbStep *steps, uint32_t count,
-                              bool hasTerm);
+                              bool hasTerm,
+                              SbJitCompiled *out = nullptr);
+
+/**
+ * Everything linkChainSlot burns into a chain stub. `src`/`dst` are
+ * the SuperblockRecord pointers of the two blocks — their first
+ * member is the SbChainScratch the stub writes through — and
+ * `patchedFlag` is the jitMeta flag the arena clears on unlink.
+ */
+struct SbChainLinkReq
+{
+    uint32_t slotOff = 0;  //!< arena offset of the slot to rewrite
+    bool taken = false;    //!< taken-direction (guarded on r14d)
+    void *src = nullptr;
+    void *dst = nullptr;
+    uint32_t srcLastPc = 0; //!< src head + (src count - 1) * 4
+    uint32_t dstHead = 0;
+    uint32_t dstCount = 0;
+    uint32_t dstCycles = 0;
+    const uint8_t *dstLive = nullptr;
+    const void *dstChainEntry = nullptr;
+    uint8_t *patchedFlag = nullptr;
+    /** Mirror of SbJitEnv::cycleGuard for the stub's admission. */
+    bool cycleGuard = true;
+};
+
+/**
+ * Rewrite the shared exit slot at reqs[0].slotOff into `n` (1 or 2)
+ * guarded native transfers, one per request: guard (taken target
+ * match, target liveness, budget admission, dirty-list capacity),
+ * flush the source block's pass counts into its scratch line, append
+ * the episode, debit the target's first pass and jump. A taken-target
+ * mismatch falls through to the next entry's guard; every other
+ * refused guard exits through the block's common epilogue. All
+ * requests must describe the same slot, and on a re-link (n == 2)
+ * reqs[0] must be the already-linked edge. False when emission or
+ * the patch write failed; the slot is untouched then.
+ */
+bool linkChainSlot(CodeArena &arena, const SbChainLinkReq *reqs,
+                   size_t n);
 
 } // namespace risc1::jit
 

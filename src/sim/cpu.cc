@@ -47,11 +47,22 @@ Cpu::Cpu(CpuOptions options)
     // reject unsupported hosts explicitly instead).
     jitOn_ = options_.jit && options_.predecode && options_.threaded &&
              options_.superblock && jit::hostSupported();
+    jitChainOn_ = jitOn_ && options_.jitChain;
+    if (jitChainOn_)
+        // Chain-stub bump array: a stub refuses to chain when full, so
+        // the size only bounds how much commit work one run can defer.
+        chainDirty_.resize(1024);
     if (jitOn_)
         dcache_.setRetireHook([this](SuperblockRecord &sb) {
+            // Unlink every patched transfer that mentions this block
+            // *before* its accounting is dropped: a demoted or retired
+            // block must never be entered natively again, and the
+            // restored slot bytes count as retired arena space.
+            jitArena_.unlinkChainsFor(&sb);
             jitArena_.retire(sb.jitBytes);
             sb.jitBytes = 0;
             sb.jitCode.clear();
+            sb.jitMeta.clear();
         });
 }
 
@@ -61,6 +72,9 @@ Cpu::load(const assembler::Program &program)
     memory_ = Memory{}; // move-assign drops the observer registration
     memory_.setLimit(options_.memLimit);
     memory_.loadProgram(program);
+    // Unlink before the records (and their patched-flag storage) are
+    // dropped; reset() asserts the chain registry drained.
+    jitArena_.unlinkAllChains();
     dcache_.invalidateAll();
     jitArena_.reset(); // every compiled entry died with its record
     if (options_.predecode)
@@ -75,6 +89,7 @@ Cpu::load(const ProgramImage &image)
     memory_.setLimit(options_.memLimit);
     for (const auto &[index, page] : image.pages())
         memory_.attachPage(index, page);
+    jitArena_.unlinkAllChains(); // before the patched flags are dropped
     dcache_.invalidateAll();
     jitArena_.reset(); // every compiled entry died with its record
     if (options_.predecode) {
@@ -153,6 +168,7 @@ Cpu::restore(const Snapshot &snap)
 {
     regs_.restore(snap.regs);
     memory_.restorePages(snap.pages); // no observer callback: ...
+    jitArena_.unlinkAllChains(); // before the patched flags are dropped
     dcache_.invalidateAll();          // ... invalidate wholesale
     jitArena_.reset(); // every compiled entry died with its record
     memory_.setStats(snap.memStats);
@@ -1126,9 +1142,13 @@ Cpu::jitEntryFor(SuperblockRecord &sb)
     env.store32 = &Cpu::jitStore32;
     env.store16 = &Cpu::jitStore16;
     env.store8 = &Cpu::jitStore8;
+    env.chain = jitChainOn_;
+    env.passCycles = static_cast<uint32_t>(sb.cycles);
+    env.cycleGuard = options_.watchdogCycles != 0;
     const size_t before = jitArena_.usedBytes();
+    jit::SbJitCompiled compiled;
     entry = jit::compileSuperblock(jitArena_, env, sb.steps.data(),
-                                   sb.count, sb.hasTerm);
+                                   sb.count, sb.hasTerm, &compiled);
     if (entry == nullptr) {
         sb.jitReject = true; // untranslatable step (or arena full)
         return nullptr;
@@ -1136,7 +1156,147 @@ Cpu::jitEntryFor(SuperblockRecord &sb)
     sb.jitBytes += static_cast<uint32_t>(jitArena_.usedBytes() - before);
     sb.jitSelfLoop = sb.hasTerm && !env.noSelfLoop;
     sb.jitCode[cwp_] = entry;
+    if (jitChainOn_) {
+        if (sb.jitMeta.empty())
+            sb.jitMeta.resize(regs_.spec().numWindows);
+        SuperblockRecord::SbJitVariant &v = sb.jitMeta[cwp_];
+        v.chainEntry = compiled.chainEntry;
+        v.takenSlot = compiled.takenSlotOff;
+        v.fallSlot = compiled.fallSlotOff;
+        v.takenPatched = 0;
+        v.fallPatched = 0;
+        v.takenDst[0] = nullptr;
+        v.takenDst[1] = nullptr;
+    }
     return entry;
+}
+
+/**
+ * Lazily patch the exit slot `src` just left through into a direct
+ * native transfer to `dst`'s variant for the current window — the
+ * classic trace-linking backpatch, done on the first C++-observed
+ * traversal of the edge. For a window-terminated source the slot lives
+ * in the variant of the window the block was *entered* under (the
+ * terminator shifted cwp_ before the exit); the shift is deterministic
+ * per variant, so the patched target window is always right.
+ */
+bool
+Cpu::tryChainPatch(SuperblockRecord &src, bool taken,
+                   SuperblockRecord &dst)
+{
+    const unsigned nwin = regs_.spec().numWindows;
+    unsigned ecwp = cwp_;
+    if (src.termWindow == 1)
+        ecwp = (cwp_ + 1) % nwin; // CALL pushed: entry window was +1
+    else if (src.termWindow == 2)
+        ecwp = (cwp_ + nwin - 1) % nwin; // RET popped: entry was -1
+    if (src.jitMeta.size() <= ecwp || dst.jitMeta.size() <= cwp_)
+        return false;
+    SuperblockRecord::SbJitVariant &sv = src.jitMeta[ecwp];
+    // Every traversal of a given slot transfers under the same cwp_
+    // (the shift from the entry window is fixed per variant), so a
+    // target's variant looked up here is the one the stub needs — for
+    // the re-link below as much as for the new edge.
+    const auto fill = [&](SuperblockRecord &d,
+                          jit::SbChainLinkReq &r) -> bool {
+        const SuperblockRecord::SbJitVariant &dv = d.jitMeta[cwp_];
+        if (dv.chainEntry == nullptr)
+            return false;
+        r.taken = taken;
+        r.src = &src;
+        r.dst = &d;
+        r.srcLastPc = src.headPc + (src.count - 1) * isa::InstBytes;
+        r.dstHead = d.headPc;
+        r.dstCount = d.count;
+        r.dstCycles = static_cast<uint32_t>(d.cycles);
+        r.dstLive = reinterpret_cast<const uint8_t *>(&d.live);
+        r.dstChainEntry = dv.chainEntry;
+        r.cycleGuard = options_.watchdogCycles != 0;
+        return true;
+    };
+    jit::SbChainLinkReq reqs[2];
+    size_t n = 0;
+    if (taken) {
+        // Two-way inline cache: a taken slot holds up to two guarded
+        // targets (a RET block returns to several call sites). The
+        // second link re-emits the whole slot, already-linked edge
+        // first; a linked target going dead unlinks the whole slot
+        // (takenPatched drops to 0) and surviving edges re-link
+        // lazily on their next C++-observed traversal.
+        if (sv.takenSlot == 0 || sv.takenPatched >= 2)
+            return false;
+        if (sv.takenPatched == 1) {
+            if (sv.takenDst[0] == &dst)
+                return false; // same edge: an earlier guard refused it
+            auto *d0 =
+                static_cast<SuperblockRecord *>(sv.takenDst[0]);
+            if (d0 == nullptr || d0->jitMeta.size() <= cwp_ ||
+                !fill(*d0, reqs[n]))
+                return false;
+            ++n;
+        }
+        if (dst.jitMeta.size() <= cwp_ || !fill(dst, reqs[n]))
+            return false;
+        reqs[n].slotOff = sv.takenSlot;
+        reqs[n].patchedFlag = &sv.takenPatched;
+        if (n == 1) {
+            reqs[0].slotOff = sv.takenSlot;
+            reqs[0].patchedFlag = &sv.takenPatched;
+        }
+        ++n;
+        if (!jit::linkChainSlot(jitArena_, reqs, n))
+            return false;
+        sv.takenDst[n - 1] = &dst;
+        return true;
+    }
+    if (sv.fallSlot == 0 || sv.fallPatched != 0)
+        return false;
+    // The fall slot's target is structurally the sequential
+    // successor, so the stub needs no runtime target guard —
+    // verify the invariant here instead, once, at patch time.
+    if (dst.headPc != src.headPc + src.count * isa::InstBytes)
+        return false;
+    if (dst.jitMeta.size() <= cwp_ || !fill(dst, reqs[0]))
+        return false;
+    reqs[0].slotOff = sv.fallSlot;
+    reqs[0].patchedFlag = &sv.fallPatched;
+    return jit::linkChainSlot(jitArena_, reqs, 1);
+}
+
+void
+Cpu::ringReplaySb(const SuperblockRecord &sb, uint64_t its)
+{
+    const uint64_t n = its * sb.count;
+    const uint32_t bhead = sb.headPc;
+    if (n <= PcRingSize) {
+        // Common case (a handful of straight-through passes): every
+        // entry lands in the ring, no wrap prefix — and no `% count`,
+        // a hardware divide by a runtime value.
+        unsigned pos = pcRingPos_;
+        uint32_t pc = bhead;
+        const uint32_t bend = bhead + sb.count * isa::InstBytes;
+        for (uint64_t k = 0; k < n; ++k) {
+            pcRing_[pos] = pc;
+            pos = (pos + 1) % PcRingSize;
+            pc += isa::InstBytes;
+            if (pc == bend)
+                pc = bhead;
+        }
+        pcRingPos_ = pos;
+    } else {
+        const uint64_t m = PcRingSize;
+        unsigned pos = static_cast<unsigned>((pcRingPos_ + (n - m)) %
+                                             PcRingSize);
+        uint32_t idx = static_cast<uint32_t>((n - m) % sb.count);
+        for (uint64_t k = 0; k < m; ++k) {
+            pcRing_[pos] = bhead + idx * isa::InstBytes;
+            pos = (pos + 1) % PcRingSize;
+            if (++idx == sb.count)
+                idx = 0;
+        }
+        pcRingPos_ = pos;
+    }
+    pcRingCount_ += n;
 }
 
 // Memory helpers callable from emitted code. A guest fault must not
@@ -1411,37 +1571,75 @@ Cpu::threadedBatch(uint64_t stop_at)
             stats_.branches += its;
             stats_.branchesTaken += taken_its;
         }
-        if (n <= PcRingSize) {
-            // Common case (a handful of straight-through passes):
-            // every entry lands in the ring, no wrap prefix — and no
-            // `% sb.count`, a hardware divide by a runtime value.
-            unsigned pos = pcRingPos_;
-            uint32_t pc = bhead;
-            const uint32_t bend = bhead + sb.count * isa::InstBytes;
-            for (uint64_t k = 0; k < n; ++k) {
-                pcRing_[pos] = pc;
-                pos = (pos + 1) % PcRingSize;
-                pc += isa::InstBytes;
-                if (pc == bend)
-                    pc = bhead;
-            }
-            pcRingPos_ = pos;
-        } else {
-            const uint64_t m = PcRingSize;
-            unsigned pos =
-                static_cast<unsigned>((pcRingPos_ + (n - m)) %
-                                      PcRingSize);
-            uint32_t idx = static_cast<uint32_t>((n - m) % sb.count);
-            for (uint64_t k = 0; k < m; ++k) {
-                pcRing_[pos] = bhead + idx * isa::InstBytes;
-                pos = (pos + 1) % PcRingSize;
-                if (++idx == sb.count)
-                    idx = 0;
-            }
-            pcRingPos_ = pos;
-        }
-        pcRingCount_ += n;
+        (void)bhead; // == sb.headPc (records are keyed by head)
+        ringReplaySb(sb, its);
     };
+
+    // Drain everything a chained native run deferred: each dirty
+    // record's pending pass counts commit exactly as commit_sb_iters
+    // would have per episode (all the scaled deltas are commutative),
+    // the per-episode instruction fetches (entry fetch + epilogue
+    // formula telescope to iters*count per middle episode), and the
+    // PC ring replayed from the episode ring in chronological order —
+    // episodes older than the kept PcRingSize only advance the cursor,
+    // and the kept ones (>= 1 PC each) overwrite the whole ring.
+    auto commit_chain_run = [&]() {
+        jit::SbJitExit &c = jitCtx_;
+        uint64_t middles = 0;
+        auto **dirty_end = static_cast<SuperblockRecord **>(c.dirtyCur);
+        for (SuperblockRecord **p = chainDirty_.data(); p != dirty_end;
+             ++p) {
+            SuperblockRecord &sb = **p;
+            const uint64_t its = sb.chain.pendingIters;
+            const uint64_t n = its * sb.count;
+            stats_.instructions += n;
+            stats_.cycles += its * sb.cycles;
+            for (unsigned k = 0; k < sb.nClasses; ++k)
+                stats_.perClass[sb.classDelta[k].first] +=
+                    its * sb.classDelta[k].second;
+            for (unsigned k = 0; k < sb.nOps; ++k)
+                tally.add(
+                    static_cast<isa::Opcode>(sb.opCounts[k].first),
+                    its * sb.opCounts[k].second);
+            stats_.nopsExecuted += its * sb.nops;
+            stats_.sbDispatches += its;
+            stats_.sbInstructions += n;
+            if (sb.hasTerm && sb.termWindow == 0) {
+                stats_.branches += its;
+                stats_.branchesTaken += sb.chain.pendingTaken;
+            }
+            memory_.countInstFetches(n);
+            middles += n;
+            sb.chain.pendingIters = 0;
+            sb.chain.pendingTaken = 0;
+            sb.chain.dirty = 0;
+        }
+        stats_.sbChained += c.chained;
+        const uint64_t nepi = c.epiPos;
+        const uint64_t shown = nepi < PcRingSize ? nepi : PcRingSize;
+        uint64_t replayed = 0;
+        for (uint64_t k = nepi - shown; k < nepi; ++k) {
+            const jit::SbChainEpisode &ep = chainEpis_[k % PcRingSize];
+            replayed +=
+                ep.iters *
+                static_cast<SuperblockRecord *>(ep.sb)->count;
+        }
+        const uint64_t skipped = middles - replayed;
+        pcRingPos_ =
+            static_cast<unsigned>((pcRingPos_ + skipped) % PcRingSize);
+        pcRingCount_ += skipped;
+        for (uint64_t k = nepi - shown; k < nepi; ++k) {
+            const jit::SbChainEpisode &ep = chainEpis_[k % PcRingSize];
+            ringReplaySb(*static_cast<SuperblockRecord *>(ep.sb),
+                         ep.iters);
+        }
+    };
+    // Chain-patch request carried across one C++ block-to-block chain:
+    // the source block and the direction it exited through, consumed
+    // (and the slot patched) once the successor's native entry is
+    // known. Set only when jitChainOn_.
+    SuperblockRecord *chainSrc = nullptr;
+    bool chainSrcTaken = false;
 
 gate:
     // The batch boundary conditions the per-step outer loop checks
@@ -1844,13 +2042,18 @@ do_loaduse: {
     // CpuOptions::superblock).
 
 do_superblock: {
-    SuperblockRecord *const sbr = rec->sb;
-    if (npc_ != pc_ + isa::InstBytes || sbr == nullptr ||
-        stats_.instructions + sbr->count > stop_at)
+    // Not const: a chained native run can end in a *different* block,
+    // and the shared epilogue / fault / bail code below then describes
+    // that one — the wrapper rebinds these on exit.
+    SuperblockRecord *sbr = rec->sb;
+    if (sbr == nullptr || npc_ != pc_ + isa::InstBytes ||
+        stats_.instructions + sbr->count > stop_at) {
+        chainSrc = nullptr;
         RISC1_DISPATCH(static_cast<uint8_t>(rec->tag));
-    DecodedOp *const head_rec = rec;
-    const uint32_t head = inst_pc;
-    const uint32_t count = sbr->count;
+    }
+    DecodedOp *head_rec = rec;
+    uint32_t head = inst_pc;
+    uint32_t count = sbr->count;
     // Native dispatch needs no baked operands (physical indices are
     // burned into the per-window code), so the hot JIT path skips
     // bakeSbPhys entirely — on recursive workloads the window moves
@@ -1863,6 +2066,14 @@ do_superblock: {
         if (native == nullptr)
             native = jitEntryFor(*sbr);
     }
+    if (chainSrc != nullptr) {
+        // Lazy backpatch on the first C++-observed traversal of this
+        // edge: both sides are compiled now, so future traversals can
+        // transfer natively without returning here.
+        if (native != nullptr)
+            tryChainPatch(*chainSrc, chainSrcTaken, *sbr);
+        chainSrc = nullptr;
+    }
     if (sbr->termWindow != 0 && native == nullptr) {
         // A window-terminated block's delay slot runs under a shifted
         // cwp only the per-window native code can bake; without it
@@ -1872,13 +2083,14 @@ do_superblock: {
     }
     if (native == nullptr && sbr->bakedCwp != cwp_)
         bakeSbPhys(*sbr); // window moved since formation: re-resolve
-    const SbStep *const steps = sbr->steps.data();
+    const SbStep *steps = sbr->steps.data();
     bool t_taken = false;  // swallowed terminator: branch outcome
     uint32_t t_target = 0; // ... and its (pre-delay-slot) target
     uint64_t iters = 0;    // completed in-place executions
     uint64_t taken_cnt = 0;
     uint64_t max_iters = 0; // 0 = budget not computed yet
     uint32_t done = 0;
+    bool chain_run = false; // this dispatch ran the chained native path
 #ifdef RISC1_COMPUTED_GOTO
     // Step handlers indexed by SbStep::code (ExecTag order, then the
     // generic flag-producing ALU handler). Call/window/PSW tags can
@@ -1897,6 +2109,61 @@ do_superblock: {
     };
 #endif
     try {
+        if (native != nullptr && jitChainOn_) {
+            // Chained native path: the emitted code runs whole passes,
+            // self-loops AND transfers directly into other compiled
+            // blocks through patched exit slots, debiting the shared
+            // instruction/cycle budgets per admitted pass — the exact
+            // admission the interpreted engines' max_iters / chain
+            // gates perform, so the run returns at the same
+            // instruction-precise boundary. Per-exit statistics are
+            // deferred into each record's scratch line and committed
+            // here, once, at the true exit.
+            chain_run = true;
+            jit::SbJitExit &jctx = jitCtx_;
+            jctx.lastPc = lastPc_;
+            // The dispatch guard above ensured instructions + count
+            // <= stop_at and the gate ensured cycles <= watchdog, so
+            // the prologue's unconditional first-pass debit is the
+            // admission the interpreter would grant.
+            jctx.instBudget = stop_at - stats_.instructions;
+            jctx.cycleBudget =
+                watchdog != 0
+                    ? static_cast<int64_t>(watchdog - stats_.cycles)
+                    : INT64_MAX;
+            jctx.curSb = sbr;
+            jctx.chained = 0;
+            jctx.dirtyCur = chainDirty_.data();
+            jctx.dirtyEnd = chainDirty_.data() + chainDirty_.size();
+            jctx.epiRing = chainEpis_.data();
+            jctx.epiPos = 0;
+            const uint32_t status = reinterpret_cast<jit::SbJitFn>(
+                reinterpret_cast<uintptr_t>(native))(&jctx);
+            if (jctx.chained != 0) {
+                commit_chain_run();
+                if (jctx.curSb != sbr) {
+                    // The run ended in another block: everything the
+                    // shared exit code reads now describes that one.
+                    sbr = static_cast<SuperblockRecord *>(jctx.curSb);
+                    head = sbr->headPc;
+                    count = sbr->count;
+                    steps = sbr->steps.data();
+                    head_rec = dcache_.lookupMut(head);
+                }
+            }
+            iters = jctx.iters;
+            t_taken = jctx.tTaken != 0;
+            t_target = jctx.tTarget;
+            done = jctx.done;
+            taken_cnt = status == jit::SbJitDone
+                            ? (t_taken ? iters : iters - 1)
+                            : iters;
+            if (status == jit::SbJitFault)
+                throw jitFault_; // stashed by the jit* memory helper
+            if (status == jit::SbJitStoreBail)
+                goto sb_text_store;
+            goto sb_epilogue;
+        }
         if (native != nullptr) {
             // Native path: the emitted code runs whole passes —
             // including the inlined self-loop — and returns at the
@@ -1909,8 +2176,16 @@ do_superblock: {
             // divisions and re-enter with the remaining budget — the
             // common straight-through dispatch never divides. The
             // stats the budget reads are untouched until the
-            // epilogue, so the values are identical.
-            jit::SbJitExit jctx;
+            // epilogue, so the values are identical. The persistent
+            // context is reused rather than a fresh local: the struct
+            // grew to 96 bytes for chain mode, and value-initializing
+            // it per dispatch is a rep-stos the straight-through path
+            // would pay on every block. Only the two input fields
+            // matter — every exit path of the emitted code rewrites
+            // iters/tTarget/tTaken before this wrapper reads them,
+            // and `done` only on the fault/bail statuses that consume
+            // it.
+            jit::SbJitExit &jctx = jitCtx_;
             jctx.lastPc = lastPc_;
             jctx.maxIters = 1;
             uint64_t base_iters = 0; // passes from earlier re-entries
@@ -2278,6 +2553,13 @@ do_superblock: {
             lastPc_ = head + (done - 1) * isa::InstBytes;
         else if (iters != 0)
             lastPc_ = head + (count - 1) * isa::InstBytes;
+        else if (chain_run)
+            // Entered via a chain stub and faulted on the very first
+            // step: the last retired instruction is the source block's
+            // final step, which the stub latched into the context (a
+            // no-op when nothing chained — the wrapper seeded it from
+            // lastPc_).
+            lastPc_ = jitCtx_.lastPc;
         pc_ = head + done * isa::InstBytes;
         npc_ = sbr->hasTerm && done == count - 1 && t_taken
                    ? t_target
@@ -2334,7 +2616,13 @@ sb_epilogue:
         // would have counted.
         memory_.countInstFetches(1);
         ++stats_.sbChained;
-        sbr->unchained = 0;
+        sbr->chain.unchained = 0;
+        if (jitChainOn_) {
+            // Arm the lazy backpatch: once the successor resolves its
+            // native entry, this edge is patched for direct transfer.
+            chainSrc = sbr;
+            chainSrcTaken = sbr->hasTerm && t_taken;
+        }
         inst_pc = pc_;
         prev_pc = pc_;
         goto do_superblock;
@@ -2346,7 +2634,8 @@ sb_epilogue:
     // blocks are exempt: each native pass replaces two dispatches plus
     // a virtual window push/pop, a win regardless of chaining.
     if (count <= 3 && iters == 1 && sbr->termWindow == 0 &&
-        ++sbr->unchained > SbUnchainedLimit) {
+        ++sbr->chain.unchained > SbUnchainedLimit &&
+        head_rec != nullptr) {
         head_rec->dcode = plainOrPairDcode(*head_rec);
         head_rec->sbReject = true;
         dcache_.notifyRetired(*sbr); // release its arena accounting

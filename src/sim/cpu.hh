@@ -18,6 +18,7 @@
 #include "asm/program.hh"
 #include "isa/condition.hh"
 #include "jit/arena.hh"
+#include "jit/sbcompile.hh"
 #include "isa/instruction.hh"
 #include "isa/trapcause.hh"
 #include "sim/decode.hh"
@@ -157,6 +158,20 @@ struct CpuOptions
      * unsupported hosts loudly instead (docs/PERFORMANCE.md §4).
      */
     bool jit = false;
+    /**
+     * Native block-to-block chaining for the template JIT: when a
+     * block's taken/fallthrough successor already has a compiled
+     * variant for the current window, the exit stub is patched (lazily,
+     * on the first C++-observed traversal) into a direct jump to that
+     * variant, and per-exit statistics are deferred — accumulated in
+     * scratch cache lines across the chained run and committed once at
+     * the true exit — so SimStats, cycle accounting and runUntil
+     * pausing stay byte-identical to the unchained engines, pinned by
+     * tests/test_jitchain.cc. Inert unless `jit` is on; benches and
+     * the lockstep sentinel A/B this via `--jit-no-chain`
+     * (docs/PERFORMANCE.md §4).
+     */
+    bool jitChain = true;
     bool trace = false;              //!< per-instruction trace
     std::ostream *traceOut = nullptr; //!< defaults to std::cerr
 };
@@ -245,6 +260,14 @@ class Cpu
      * Tests use this to assert the engine actually engaged.
      */
     size_t jitCodeBytes() const { return jitArena_.usedBytes(); }
+
+    /**
+     * Live native block-to-block chain patches (0 when chaining is
+     * off, unsupported, or every patch has been unlinked). Tests use
+     * this to assert chaining engaged — and that invalidation and
+     * demotion unlinked every patched site.
+     */
+    size_t jitChainPatches() const { return jitArena_.chainCount(); }
 
     uint32_t pc() const { return pc_; }
     uint32_t npc() const { return npc_; }
@@ -477,18 +500,44 @@ class Cpu
 
     uint32_t fetchXor_ = 0; //!< one-shot istream corruption mask
 
-    // --- template JIT state (src/jit) --------------------------------
-    /** options_.jit, gated on the superblock engine + host support. */
-    bool jitOn_ = false;
-    jit::CodeArena jitArena_;
-    /** Fault stashed by a jit* helper for the wrapper to rethrow. */
-    SimFault jitFault_;
-
     /** Ring of the last PcRingSize executed instruction PCs. */
     static constexpr unsigned PcRingSize = 16;
     std::array<uint32_t, PcRingSize> pcRing_{};
     unsigned pcRingPos_ = 0;
     uint64_t pcRingCount_ = 0;
+
+    // --- template JIT state (src/jit) --------------------------------
+    /** options_.jit, gated on the superblock engine + host support. */
+    bool jitOn_ = false;
+    /** options_.jitChain, gated on jitOn_. */
+    bool jitChainOn_ = false;
+    jit::CodeArena jitArena_;
+    /** Fault stashed by a jit* helper for the wrapper to rethrow. */
+    SimFault jitFault_;
+
+    // --- native chaining state (CpuOptions::jitChain) -----------------
+    /** Deferred-commit context shared by every chained dispatch. */
+    jit::SbJitExit jitCtx_;
+    /** Records with uncommitted pass counts (chain-stub bump array). */
+    std::vector<SuperblockRecord *> chainDirty_;
+    /** Episode ring mirrored into jitCtx_ for PC-ring replay. */
+    std::array<jit::SbChainEpisode, PcRingSize> chainEpis_{};
+
+    /**
+     * Try to patch the exit slot `src` last left through into a direct
+     * native transfer to `dst`'s compiled variant for the current
+     * window. `taken` picks the slot; no-op (false) when either side
+     * lacks chain metadata or the slot is already patched.
+     */
+    bool tryChainPatch(SuperblockRecord &src, bool taken,
+                       SuperblockRecord &dst);
+
+    /**
+     * Replay `iters` whole passes of `sb` into the PC ring — the one
+     * copy of the superblock engines' ring arithmetic, shared by the
+     * per-dispatch epilogue and the chained-run episode replay.
+     */
+    void ringReplaySb(const SuperblockRecord &sb, uint64_t iters);
 
     /** Take a pending interrupt if the machine state allows it. */
     bool maybeTakeInterrupt();

@@ -224,7 +224,7 @@ constexpr unsigned MaxSuperblockLen = 64;
  * this many consecutive unchained exits its head retires to plain
  * dispatch for good.
  */
-constexpr uint16_t SbUnchainedLimit = 32;
+constexpr uint32_t SbUnchainedLimit = 32;
 
 /**
  * One pre-resolved micro-step of a superblock. The hot fields bake the
@@ -266,6 +266,34 @@ struct SbStep
 };
 
 /**
+ * Per-record scratch cache line the native chain stubs write through
+ * (src/jit). Deferred-commit state: when compiled blocks transfer to
+ * each other directly, per-exit statistics are NOT committed — the
+ * stub flushes the pass count into `pendingIters`/`pendingTaken` and
+ * marks the record dirty; the C++ wrapper drains every dirty record
+ * once at the true exit. MUST be the first member of SuperblockRecord
+ * so a record pointer doubles as the scratch pointer with disp8
+ * addressing in the emitted code (static_asserts in sbcompile.cc pin
+ * the offsets).
+ */
+struct SbChainScratch
+{
+    /** Whole-block passes retired natively since the last commit. */
+    uint64_t pendingIters = 0;
+    /** Taken terminator exits among those passes (non-term blocks
+     *  chain through the fall stub, which adds `iters - 1` here and
+     *  the epilogue accounts the final not-taken exit). */
+    uint64_t pendingTaken = 0;
+    /** Consecutive exits of a short block that neither chained into
+     *  another block nor self-looped (see SbUnchainedLimit). Zeroed
+     *  natively by every chain stub so adaptive retirement timing is
+     *  byte-identical to the C++ chain path. */
+    uint32_t unchained = 0;
+    /** Record is on the wrapper's dirty list awaiting commit. */
+    uint8_t dirty = 0;
+};
+
+/**
  * One compiled superblock: a dense array of pre-resolved micro-steps
  * from the head through the first control transfer, executed by a
  * single dispatch with one bookkeeping epilogue. When the transfer is
@@ -283,6 +311,8 @@ struct SbStep
  */
 struct SuperblockRecord
 {
+    /** Native chain scratch — first member by contract (see above). */
+    SbChainScratch chain;
     uint32_t headPc = 0;
     uint32_t count = 0;   //!< number of steps (instructions retired)
     uint64_t cycles = 0;  //!< summed cycle cost of all steps
@@ -297,9 +327,6 @@ struct SuperblockRecord
     uint8_t termWindow = 0;
     bool live = true;     //!< false once demoted (awaiting reuse)
     uint8_t bakedCwp = 0; //!< window the step phys indices are for
-    /** Consecutive exits of a short block that neither chained into
-     *  another block nor self-looped (see SbUnchainedLimit). */
-    uint16_t unchained = 0;
     uint8_t nClasses = 0;
     uint8_t nOps = 0;
     /** Sparse per-class counts: (OpClass index, count). */
@@ -318,6 +345,24 @@ struct SuperblockRecord
     /** Native entry per register window (steps are baked per cwp),
      *  compiled lazily on dispatch; empty until the JIT engine runs. */
     std::vector<const void *> jitCode;
+    /** Per-window chain metadata, parallel to jitCode (empty, or one
+     *  entry per window). chainEntry is the mid-function label a
+     *  chain stub jumps to (prologue and budget debit already done by
+     *  the stub); the slot offsets locate this variant's patchable
+     *  taken/fallthrough exit stubs inside the arena. */
+    struct SbJitVariant
+    {
+        const void *chainEntry = nullptr;
+        uint32_t takenSlot = 0;  //!< arena offset, 0 = no slot
+        uint32_t fallSlot = 0;   //!< arena offset, 0 = no slot
+        /** Linked taken targets (the two-way inline cache): entry
+         *  count in takenPatched, the records in takenDst. The arena
+         *  zeroes takenPatched when it unlinks the slot. */
+        uint8_t takenPatched = 0;
+        uint8_t fallPatched = 0;
+        void *takenDst[2] = {nullptr, nullptr};
+    };
+    std::vector<SbJitVariant> jitMeta;
     /** Installed native bytes across all windows (arena accounting
      *  when the block retires). */
     uint32_t jitBytes = 0;

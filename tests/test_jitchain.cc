@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Native block-to-block chaining for the template JIT (CpuOptions::
+ * jitChain): compiled blocks transfer directly to each other through
+ * patched exit slots and defer per-exit statistics to one commit at
+ * the true exit. Chaining must be a pure optimisation on top of an
+ * engine that is already pinned as a pure optimisation, so every
+ * scenario here demands byte-identical architectural state AND
+ * statistics — against the plain interpreter, and between the chained
+ * and unchained JIT engines at equal instruction counts (the
+ * `--jit-no-chain` A/B the benches use). The hard cases: unlink on
+ * self-modifying-store demotion (a stale patch would jump into dead
+ * code re-formed at the same head), mid-chained-run snapshot/restore
+ * and runUntil pausing, and fuzzed programs under the lockstep
+ * sentinel with chaining forced on. On hosts without templates the
+ * engine falls back and only the engagement assertions are skipped.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "jit/arena.hh"
+#include "sim/cpu.hh"
+#include "sim/lockstep.hh"
+#include "sim/snapshot.hh"
+#include "support/logging.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace risc1;
+
+void
+expectStatsEq(const sim::SimStats &a, const sim::SimStats &b,
+              const std::string &what)
+{
+    EXPECT_EQ(a.instructions, b.instructions) << what;
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.perOpcode, b.perOpcode) << what;
+    EXPECT_EQ(a.perClass, b.perClass) << what;
+    EXPECT_EQ(a.branches, b.branches) << what;
+    EXPECT_EQ(a.branchesTaken, b.branchesTaken) << what;
+    EXPECT_EQ(a.nopsExecuted, b.nopsExecuted) << what;
+    EXPECT_EQ(a.calls, b.calls) << what;
+    EXPECT_EQ(a.returns, b.returns) << what;
+    EXPECT_EQ(a.windowOverflows, b.windowOverflows) << what;
+    EXPECT_EQ(a.windowUnderflows, b.windowUnderflows) << what;
+    EXPECT_EQ(a.spillWords, b.spillWords) << what;
+    EXPECT_EQ(a.refillWords, b.refillWords) << what;
+    EXPECT_EQ(a.memory.instFetches, b.memory.instFetches) << what;
+    EXPECT_EQ(a.memory.dataReads, b.memory.dataReads) << what;
+    EXPECT_EQ(a.memory.dataWrites, b.memory.dataWrites) << what;
+}
+
+sim::CpuOptions
+chainOptions()
+{
+    sim::CpuOptions opts;
+    opts.fuse = false;
+    opts.superblock = true;
+    opts.jit = true;
+    opts.jitChain = true;
+    return opts;
+}
+
+sim::CpuOptions
+nochainOptions()
+{
+    sim::CpuOptions opts = chainOptions();
+    opts.jitChain = false;
+    return opts;
+}
+
+sim::CpuOptions
+plainOptions()
+{
+    sim::CpuOptions opts;
+    opts.threaded = false;
+    return opts;
+}
+
+/** The reference: the plain (non-predecoded) interpreter. */
+sim::CpuOptions
+interpOptions()
+{
+    sim::CpuOptions opts;
+    opts.predecode = false;
+    opts.threaded = false;
+    opts.fuse = false;
+    opts.superblock = false;
+    return opts;
+}
+
+assembler::Program
+assembleRaw(const std::string &src)
+{
+    assembler::AsmOptions no_fill;
+    no_fill.fillDelaySlots = false;
+    return assembler::assembleOrDie(src, no_fill);
+}
+
+// ---- Suite differential: chained engine vs the plain interpreter ---------
+
+TEST(JitChain, RiscSuiteDifferentialChained)
+{
+    size_t patches = 0;
+    for (const workloads::Workload &wl : workloads::allWorkloads()) {
+        const assembler::Program prog =
+            workloads::buildRisc(wl, wl.defaultScale);
+
+        sim::Cpu chained(chainOptions());
+        sim::Cpu plain(plainOptions());
+        chained.load(prog);
+        plain.load(prog);
+        const sim::ExecResult rc = chained.run();
+        const sim::ExecResult rp = plain.run();
+
+        EXPECT_EQ(rc.reason, rp.reason) << wl.name;
+        EXPECT_EQ(chained.memory().peek32(workloads::ResultAddr),
+                  plain.memory().peek32(workloads::ResultAddr))
+            << wl.name;
+        expectStatsEq(chained.stats(), plain.stats(), wl.name);
+        patches += chained.jitChainPatches();
+    }
+    // The suite must actually exercise patched native transfers, not
+    // just pass because chaining never engaged.
+    if (jit::hostSupported())
+        EXPECT_GT(patches, 0u);
+    else
+        EXPECT_EQ(patches, 0u);
+}
+
+// ---- Chained vs unchained: byte-identical at equal instruction counts ----
+
+TEST(JitChain, ChainOnMatchesChainOffByteExact)
+{
+    size_t patches = 0;
+    for (const workloads::Workload &wl : workloads::allWorkloads()) {
+        const assembler::Program prog =
+            workloads::buildRisc(wl, wl.defaultScale);
+
+        sim::Cpu on(chainOptions());
+        sim::Cpu off(nochainOptions());
+        on.load(prog);
+        off.load(prog);
+        const sim::ExecResult ron = on.run();
+        const sim::ExecResult roff = off.run();
+
+        EXPECT_EQ(ron.reason, roff.reason) << wl.name;
+        EXPECT_EQ(ron.instructions, roff.instructions) << wl.name;
+        EXPECT_EQ(on.memory().peek32(workloads::ResultAddr),
+                  off.memory().peek32(workloads::ResultAddr))
+            << wl.name;
+        EXPECT_EQ(on.pc(), off.pc()) << wl.name;
+        expectStatsEq(on.stats(), off.stats(), wl.name);
+        EXPECT_EQ(off.jitChainPatches(), 0u) << wl.name;
+        patches += on.jitChainPatches();
+    }
+    if (jit::hostSupported()) {
+        EXPECT_GT(patches, 0u);
+    }
+}
+
+// ---- runUntil pausing over chained code ----------------------------------
+
+TEST(JitChain, RunUntilPausingByteIdenticalToUnchained)
+{
+    // Walk one workload in odd-sized instruction quanta on a chained
+    // and an unchained engine side by side: every pause must land on
+    // the precise instruction with identical statistics — the budget
+    // admission in the chain stubs must cut a chained run at exactly
+    // the boundary the interpreted max_iters computation would.
+    const workloads::Workload *pick = nullptr;
+    for (const workloads::Workload &wl : workloads::allWorkloads())
+        if (wl.name == "fibonacci")
+            pick = &wl;
+    ASSERT_NE(pick, nullptr);
+    const assembler::Program prog =
+        workloads::buildRisc(*pick, pick->defaultScale);
+
+    sim::Cpu on(chainOptions());
+    sim::Cpu off(nochainOptions());
+    on.load(prog);
+    off.load(prog);
+    uint64_t at = 0;
+    for (;;) {
+        at += 997;
+        const sim::ExecResult ron = on.runUntil(at);
+        const sim::ExecResult roff = off.runUntil(at);
+        ASSERT_EQ(ron.reason, roff.reason) << "at " << at;
+        ASSERT_EQ(ron.instructions, roff.instructions) << "at " << at;
+        expectStatsEq(on.stats(), off.stats(),
+                      strprintf("pause at %llu",
+                                static_cast<unsigned long long>(at)));
+        if (ron.reason != sim::StopReason::Paused)
+            break;
+        ASSERT_EQ(on.stats().instructions, at);
+    }
+    ASSERT_TRUE(on.halted());
+    EXPECT_EQ(on.memory().peek32(workloads::ResultAddr),
+              off.memory().peek32(workloads::ResultAddr));
+}
+
+// ---- Unlink on self-modifying-store demotion -----------------------------
+
+TEST(JitChain, UnlinkOnSelfModifyingStoreDemotion)
+{
+    // The hot loop chains its blocks, then the store at iteration 10
+    // rewrites the MIDDLE word of the running block. Demotion must
+    // unlink every patched site that mentions the record: the block
+    // re-forms at the same head PC (often recycling the very same
+    // record storage), so a stale patch would target-match and jump
+    // into the dead variant's code — computing with the pre-store
+    // instruction and corrupting both the result and the statistics.
+    const assembler::Program enc =
+        assembler::assembleOrDie("_start: add r17, 100, r17\n halt\n");
+    const uint32_t patched = *enc.wordAt(enc.entry);
+
+    const std::string src = strprintf(R"(
+        .equ RESULT, %u
+        .org  256
+_start: ldl   (r0)newword, r16
+        clr   r17
+        clr   r18
+loop:   add   r17, 1, r17
+        add   r17, 1, r17
+mid:    add   r17, 1, r17
+        add   r17, 1, r17
+        add   r18, 1, r18
+        cmp   r18, 20
+        bge   done
+        cmp   r18, 10
+        blt   loop
+        stl   r16, (r0)mid
+        b     loop
+done:   stl   r17, (r0)RESULT
+        halt
+newword: .word %u
+)",
+                                      workloads::ResultAddr, patched);
+    const assembler::Program prog = assembleRaw(src);
+
+    sim::Cpu chained(chainOptions());
+    sim::Cpu plain(plainOptions());
+    chained.load(prog);
+    plain.load(prog);
+    const sim::ExecResult rc = chained.run();
+    const sim::ExecResult rp = plain.run();
+
+    ASSERT_TRUE(rc.halted());
+    ASSERT_TRUE(rp.halted());
+    // 10 iterations of +4, then 10 of +103.
+    EXPECT_EQ(plain.memory().peek32(workloads::ResultAddr), 1070u);
+    EXPECT_EQ(chained.memory().peek32(workloads::ResultAddr), 1070u);
+    expectStatsEq(chained.stats(), plain.stats(),
+                  "mid-block store, chained");
+    EXPECT_GE(chained.stats().sbBlocksDemoted, 1u);
+    // Reloading drains the whole chain registry before the arena
+    // resets (CodeArena::reset asserts it): no patch survives its
+    // records.
+    chained.load(prog);
+    EXPECT_EQ(chained.jitChainPatches(), 0u);
+    EXPECT_EQ(chained.jitCodeBytes(), 0u);
+}
+
+// ---- Mid-chained-run snapshot/restore ------------------------------------
+
+TEST(JitChain, SnapshotRestoreMidChainedRunMatchesPlain)
+{
+    // Snapshot while chained native code is hot, keep running, then
+    // restore and finish: restore() must unlink every patch and
+    // retire every compiled entry, and the final state must match the
+    // uninterrupted plain run exactly.
+    const workloads::Workload *pick = nullptr;
+    for (const workloads::Workload &wl : workloads::allWorkloads())
+        if (wl.recursive)
+            pick = &wl;
+    ASSERT_NE(pick, nullptr);
+    const assembler::Program prog =
+        workloads::buildRisc(*pick, pick->defaultScale);
+
+    sim::Cpu plain(plainOptions());
+    plain.load(prog);
+    const sim::ExecResult rp = plain.run();
+    ASSERT_TRUE(rp.halted());
+
+    sim::Cpu chained(chainOptions());
+    chained.load(prog);
+    const uint64_t early = rp.instructions / 5 + 3;
+    const uint64_t late = (3 * rp.instructions) / 4 + 1;
+    ASSERT_EQ(chained.runUntil(early).reason, sim::StopReason::Paused);
+    EXPECT_EQ(chained.stats().instructions, early);
+    const sim::Snapshot snap = chained.snapshot();
+    ASSERT_EQ(chained.runUntil(late).reason, sim::StopReason::Paused);
+    EXPECT_EQ(chained.stats().instructions, late);
+    ASSERT_GT(chained.stats().sbInstructions, 0u);
+
+    chained.restore(snap);
+    EXPECT_EQ(chained.jitChainPatches(), 0u); // unlinked wholesale
+    EXPECT_EQ(chained.jitCodeBytes(), 0u); // arena died with records
+    const sim::ExecResult rc = chained.run();
+    ASSERT_TRUE(rc.halted());
+    EXPECT_EQ(chained.memory().peek32(workloads::ResultAddr),
+              plain.memory().peek32(workloads::ResultAddr));
+    expectStatsEq(chained.stats(), plain.stats(), "restored chained");
+}
+
+// ---- Lockstep sentinel with chaining forced on ---------------------------
+
+TEST(JitChain, FuzzedProgramsRunDivergenceFree)
+{
+    // Fixed seeds, odd stride: random programs exercise step mixes
+    // (stores into text, carry chains, window churn) no curated
+    // workload reaches, and every pause lands mid-chained-run.
+    for (uint64_t seed = 1; seed <= 10; ++seed) {
+        const assembler::Program prog = sim::randomProgram(seed);
+        sim::LockstepOptions opts;
+        opts.stride = 313;
+        opts.maxInstructions = 60'000;
+        const sim::LockstepResult res = sim::runLockstep(
+            prog, interpOptions(), chainOptions(), opts);
+        EXPECT_FALSE(res.diverged)
+            << "seed " << seed << " vs chained jit\n"
+            << res.report.str();
+        EXPECT_TRUE(res.reason == sim::StopReason::Halted ||
+                    res.reason == sim::StopReason::Paused)
+            << "seed " << seed << ": reason "
+            << static_cast<unsigned>(res.reason);
+    }
+}
+
+// ---- Arena chain registry ------------------------------------------------
+
+TEST(JitChain, ArenaAccountsUnlinkedPatches)
+{
+    // Unlinking a chain patch restores the original slot bytes and
+    // accounts the dead stub as retired arena space; reset() then
+    // asserts the registry drained.
+    jit::CodeArena arena;
+    if (!jit::hostSupported())
+        GTEST_SKIP() << "no templates for " << jit::hostArchName();
+    const std::vector<uint8_t> slot = {0xc3, 0x90, 0x90, 0x90};
+    const void *p = arena.install(slot.data(), slot.size());
+    ASSERT_NE(p, nullptr);
+    const size_t off = arena.offsetOf(p);
+    int src = 0;
+    int dst = 0;
+    uint8_t flag = 0;
+    const std::vector<uint8_t> patch = {0x90, 0x90, 0xc3};
+    ASSERT_TRUE(arena.patchChain(off, patch.data(), patch.size(), &src,
+                                 &dst, &flag));
+    EXPECT_EQ(flag, 1u);
+    EXPECT_EQ(arena.chainCount(), 1u);
+    EXPECT_EQ(arena.rxAt(off)[0], 0x90);
+    const size_t retired_before = arena.retiredBytes();
+    arena.unlinkChainsFor(&dst); // either endpoint unlinks
+    EXPECT_EQ(arena.chainCount(), 0u);
+    EXPECT_EQ(flag, 0u);
+    EXPECT_EQ(arena.rxAt(off)[0], 0xc3); // original bytes restored
+    EXPECT_EQ(arena.retiredBytes(), retired_before + patch.size());
+    arena.reset(); // would assert with a live registry
+    EXPECT_EQ(arena.usedBytes(), 0u);
+}
+
+} // namespace
