@@ -199,9 +199,16 @@ main(int argc, char **argv)
     if (!shard_out.empty()) {
         const risc1::core::ShardParams params = risc1::core::shardParams(
             injections, seed, range_first, range_last, recovery);
-        risc1::core::writeShardFile(
-            shard_out,
-            risc1::core::serializeShardRecord(params, rows));
+        std::vector<uint8_t> record =
+            risc1::core::serializeShardRecord(params, rows);
+        // Chaos: a worker that exits cleanly but hands back a
+        // bit-flipped record. The coordinator must catch it in cache
+        // validation (Corrupt), reject it, and re-queue the shard —
+        // never merge it.
+        const char *chaos = std::getenv("RISC1_SHARD_CHAOS");
+        if (have_range && chaos && std::strcmp(chaos, "corrupt") == 0)
+            record[record.size() / 2] ^= 0x01;
+        risc1::core::writeShardFile(shard_out, record);
         return 0;
     }
 

@@ -1,30 +1,41 @@
 /**
  * @file
  * The campaign fleet coordinator driver: a fault-injection campaign
- * sharded into seed ranges, fanned out over bench_fault_campaign
- * worker subprocesses, persisted shard by shard to a durable cache,
- * and merged into the R1 campaign table plus the R3 recovery-aware
- * AVF table. Interrupt it at any point and re-run with the same
- * arguments: completed shards are merged warm from the cache and the
- * final tables are byte-identical to an uninterrupted run, at any
- * worker count. Hung workers are killed by a wall-clock watchdog and
- * crashed workers re-queued with bounded retries; a shard that keeps
- * failing, or an environment where subprocesses cannot be spawned at
- * all, degrades to in-process execution. Tables go to stdout; the
- * coordinator's account of itself (shards cached/computed/retried)
- * goes to stderr so resumed runs stay byte-comparable. See
- * docs/ROBUSTNESS.md §5.
+ * sharded into seed ranges, fanned out over workers, persisted shard
+ * by shard to a durable cache, and merged into the R1 campaign table
+ * plus the R3 recovery-aware AVF table. Workers come in three tiers:
+ * remote TCP workers speaking the framed fleet protocol (--listen,
+ * served by `campaign_fleet --worker-connect` processes anywhere on
+ * the loopback), bench_fault_campaign subprocesses, and in-process
+ * execution — and the coordinator degrades down the list whenever the
+ * tier above is unreachable. Interrupt it at any point and re-run
+ * with the same arguments: completed shards are merged warm from the
+ * cache and the final tables are byte-identical to an uninterrupted
+ * run, at any worker count and over any mix of tiers. Hung or
+ * crashed workers (local or remote) have their shards re-queued with
+ * bounded, jittered retries; a remote worker that stalls its
+ * heartbeat, breaks the protocol, or returns a record that fails
+ * validation is quarantined without touching the campaign. While a
+ * campaign runs, `campaign_fleet --status HOST:PORT` prints the live
+ * merged tally table. Tables go to stdout; the coordinator's account
+ * of itself (shards cached/computed/retried) goes to stderr so
+ * resumed runs stay byte-comparable. See docs/ROBUSTNESS.md §5–§6.
  */
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include <signal.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include "core/cli.hh"
 #include "core/fleet.hh"
+#include "core/fleetnet.hh"
 #include "core/parallel.hh"
 #include "support/logging.hh"
 
@@ -41,6 +52,20 @@ siblingWorker(const char *argv0)
     return ::access(path.c_str(), X_OK) == 0 ? path : std::string();
 }
 
+/** Fork+exec one `campaign_fleet --worker-connect` child. */
+pid_t
+spawnWorker(const char *argv0, uint16_t port, unsigned jobs)
+{
+    const std::string target = "127.0.0.1:" + std::to_string(port);
+    const std::string jobs_text = std::to_string(jobs ? jobs : 1);
+    const pid_t pid = ::fork();
+    if (pid != 0)
+        return pid;
+    ::execl(argv0, argv0, "--worker-connect", target.c_str(), "--jobs",
+            jobs_text.c_str(), static_cast<char *>(nullptr));
+    ::_exit(127);
+}
+
 } // namespace
 
 int
@@ -49,13 +74,17 @@ main(int argc, char **argv)
     const risc1::core::BenchCli cli = risc1::core::parseBenchCli(
         argc, argv,
         "Campaign fleet coordinator: the R1 fault campaign sharded\n"
-        "into seed ranges and fanned out over bench_fault_campaign\n"
-        "worker subprocesses. Every completed shard is persisted to\n"
-        "the cache directory, so an interrupted campaign resumes\n"
-        "warm and prints byte-identical tables; hung or crashed\n"
-        "workers are re-queued with bounded retries. Prints the R1\n"
-        "campaign table and the R3 recovery-aware per-fault-target\n"
-        "AVF table on stdout; fleet statistics go to stderr.\n"
+        "into seed ranges and fanned out over workers — remote TCP\n"
+        "workers when --listen is given, bench_fault_campaign\n"
+        "subprocesses otherwise, degrading to in-process execution\n"
+        "when neither is reachable. Every completed shard is\n"
+        "persisted to the cache directory, so an interrupted\n"
+        "campaign resumes warm and prints byte-identical tables;\n"
+        "hung, crashed, or protocol-breaking workers are quarantined\n"
+        "and their shards re-queued with bounded jittered retries.\n"
+        "Prints the R1 campaign table and the R3 recovery-aware\n"
+        "per-fault-target AVF table on stdout; fleet statistics go\n"
+        "to stderr.\n"
         "Defaults: 100 injections, seed 1981, hardware-concurrency\n"
         "workers, 1 job per worker (--jobs sets the per-worker\n"
         "thread count), ~4 shards per worker, cache directory\n"
@@ -70,12 +99,29 @@ main(int argc, char **argv)
         "  --watchdog-sec T   per-shard wall-clock timeout\n"
         "  --halt-after N     crash-simulation hook: stop (exit 3)\n"
         "                     after N shards are merged\n"
+        "  --listen PORT      serve remote TCP workers and the live\n"
+        "                     status endpoint (0 = ephemeral port)\n"
+        "  --port-file PATH   write the bound --listen port to PATH\n"
+        "  --spawn-workers N  launch N local `campaign_fleet\n"
+        "                     --worker-connect` processes\n"
+        "  --heartbeat-sec H  heartbeat cadence expected of remote\n"
+        "                     workers (stall after 4x silence)\n"
+        "  --remote-grace T   wait T sec for a first remote worker\n"
+        "                     before degrading (default 2)\n"
+        "  --also INJ:SEED    run an extra tenant campaign over the\n"
+        "                     same worker pool (repeatable)\n"
+        "  --worker-connect HOST:PORT   run as a remote worker\n"
+        "  --status HOST:PORT print a running coordinator's live\n"
+        "                     merged tallies and exit\n"
         "  --tally / --recover / --checkpoint-interval K as for\n"
         "  bench_fault_campaign.",
         "[injections] [seed] [--workers N] [--shard-size S] "
         "[--cache-dir DIR] [--worker-exe PATH] [--in-process] "
         "[--no-cache] [--tally] [--recover] [--checkpoint-interval K] "
-        "[--max-retries R] [--watchdog-sec T] [--halt-after N]");
+        "[--max-retries R] [--watchdog-sec T] [--halt-after N] "
+        "[--listen PORT] [--port-file PATH] [--spawn-workers N] "
+        "[--heartbeat-sec H] [--remote-grace T] [--also INJ:SEED] "
+        "[--worker-connect HOST:PORT] [--status HOST:PORT]");
 
     risc1::core::FleetOptions opts;
     opts.workers = risc1::core::resolveJobs(0);
@@ -84,7 +130,15 @@ main(int argc, char **argv)
     opts.cacheDir = "campaign_fleet.cache";
     bool in_process = false;
     bool no_cache = false;
+    bool listen = false;
+    unsigned long listen_port = 0;
+    unsigned spawn_workers = 0;
+    double heartbeat_sec = 1.0;
     std::string worker_exe;
+    std::string port_file;
+    std::string worker_connect;
+    std::string status_target;
+    std::vector<std::pair<unsigned, uint64_t>> also;
     int out = 1;
     auto value = [&](int &i) -> const char * {
         if (i + 1 >= argc) {
@@ -123,6 +177,32 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--halt-after") == 0) {
             opts.haltAfterShards = static_cast<unsigned>(
                 std::strtoul(value(i), nullptr, 0));
+        } else if (std::strcmp(argv[i], "--listen") == 0) {
+            listen = true;
+            listen_port = std::strtoul(value(i), nullptr, 0);
+        } else if (std::strcmp(argv[i], "--port-file") == 0) {
+            port_file = value(i);
+        } else if (std::strcmp(argv[i], "--spawn-workers") == 0) {
+            spawn_workers = static_cast<unsigned>(
+                std::strtoul(value(i), nullptr, 0));
+        } else if (std::strcmp(argv[i], "--heartbeat-sec") == 0) {
+            heartbeat_sec = std::strtod(value(i), nullptr);
+        } else if (std::strcmp(argv[i], "--remote-grace") == 0) {
+            opts.remoteGraceSec = std::strtod(value(i), nullptr);
+        } else if (std::strcmp(argv[i], "--also") == 0) {
+            const char *spec = value(i);
+            const char *colon = std::strchr(spec, ':');
+            if (!colon)
+                risc1::fatal("campaign_fleet: --also wants INJ:SEED, "
+                             "got '%s'",
+                             spec);
+            also.emplace_back(
+                static_cast<unsigned>(std::strtoul(spec, nullptr, 0)),
+                std::strtoull(colon + 1, nullptr, 0));
+        } else if (std::strcmp(argv[i], "--worker-connect") == 0) {
+            worker_connect = value(i);
+        } else if (std::strcmp(argv[i], "--status") == 0) {
+            status_target = value(i);
         } else {
             argv[out++] = argv[i];
         }
@@ -134,12 +214,50 @@ main(int argc, char **argv)
     if (argc > 2)
         opts.seed = std::strtoull(argv[2], nullptr, 0);
 
+    // Client modes: worker and status. Both exit without coordinating.
+    if (!worker_connect.empty()) {
+        const auto target = risc1::core::parseHostPort(worker_connect);
+        if (!target)
+            risc1::fatal("campaign_fleet: bad --worker-connect "
+                         "'%s' (want HOST:PORT)",
+                         worker_connect.c_str());
+        try {
+            const unsigned completed = risc1::core::runFleetWorker(
+                target->first, target->second,
+                cli.jobs ? cli.jobs : 1);
+            risc1::inform("fleet worker: %u shards computed",
+                          completed);
+            return 0;
+        } catch (const std::exception &err) {
+            std::cerr << "campaign_fleet worker: " << err.what()
+                      << "\n";
+            return 1;
+        }
+    }
+    if (!status_target.empty()) {
+        const auto target = risc1::core::parseHostPort(status_target);
+        if (!target)
+            risc1::fatal("campaign_fleet: bad --status '%s' (want "
+                         "HOST:PORT)",
+                         status_target.c_str());
+        try {
+            const std::string text = risc1::core::fetchFleetStatus(
+                target->first, target->second);
+            std::cout << (text.empty() ? "no status yet\n" : text);
+            return 0;
+        } catch (const std::exception &err) {
+            std::cerr << "campaign_fleet status: " << err.what()
+                      << "\n";
+            return 1;
+        }
+    }
+
     if (opts.workers == 0)
         opts.workers = 1;
     if (!in_process)
         opts.workerExe =
             worker_exe.empty() ? siblingWorker(argv[0]) : worker_exe;
-    if (opts.workerExe.empty() && !in_process)
+    if (opts.workerExe.empty() && !in_process && !listen)
         risc1::warn("campaign_fleet: no worker binary next to %s, "
                     "running in-process",
                     argv[0]);
@@ -151,28 +269,92 @@ main(int argc, char **argv)
         opts.cacheDir.clear();
     }
 
-    const risc1::core::FleetResult result = risc1::core::runFleet(opts);
-    const auto &s = result.stats;
-    risc1::inform(
-        "fleet: %u shards (%u cached, %u worker-computed, %u "
-        "in-process, %u cache entries rejected); %u crashes, %u "
-        "timeouts, %u re-queues",
-        s.shards, s.cachedShards, s.computedShards, s.inProcessShards,
-        s.rejectedCache, s.workerCrashes, s.workerTimeouts, s.retries);
-    if (s.halted) {
-        risc1::inform("fleet: halted after %u shards (crash "
-                      "simulation); cache is partial, no tables",
-                      s.cachedShards + s.computedShards +
-                          s.inProcessShards);
-        return 3;
+    // The remote tier: a pool serving TCP workers and status clients.
+    std::unique_ptr<risc1::core::RemotePool> pool;
+    std::vector<pid_t> spawned;
+    if (listen) {
+        if (listen_port > 65535)
+            risc1::fatal("campaign_fleet: --listen port %lu out of "
+                         "range",
+                         listen_port);
+        risc1::core::PoolOptions pool_opts;
+        pool_opts.port = static_cast<uint16_t>(listen_port);
+        pool_opts.heartbeatSec = heartbeat_sec;
+        pool = std::make_unique<risc1::core::RemotePool>(pool_opts);
+        opts.pool = pool.get();
+        risc1::inform("fleet: listening for workers on 127.0.0.1:%u",
+                      static_cast<unsigned>(pool->port()));
+        if (!port_file.empty()) {
+            std::ofstream f(port_file);
+            f << pool->port() << "\n";
+            if (!f)
+                risc1::fatal("campaign_fleet: cannot write %s",
+                             port_file.c_str());
+        }
+        for (unsigned i = 0; i < spawn_workers; ++i)
+            spawned.push_back(
+                spawnWorker(argv[0], pool->port(), cli.jobs));
+    } else if (spawn_workers || !port_file.empty()) {
+        risc1::fatal("campaign_fleet: --spawn-workers/--port-file "
+                     "need --listen");
     }
 
-    std::cout << risc1::core::faultCampaignTable(
-                     result.rows, opts.recovery.enabled)
-              << "\n";
-    std::cout << risc1::core::avfTable(
-                     risc1::core::avfReport(result.rows),
-                     opts.recovery.enabled)
-              << "\n";
-    return 0;
+    // Tenants: the primary campaign plus one per --also, sharing the
+    // infrastructure half of the primary's options.
+    std::vector<risc1::core::FleetOptions> tenants{opts};
+    for (const auto &[injections, seed] : also) {
+        risc1::core::FleetOptions tenant = opts;
+        tenant.injections = injections;
+        tenant.seed = seed;
+        tenant.haltAfterShards = 0;
+        tenants.push_back(tenant);
+    }
+
+    const std::vector<risc1::core::FleetResult> results =
+        risc1::core::runFleets(tenants);
+
+    for (const pid_t pid : spawned) {
+        ::kill(pid, SIGKILL);
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+    }
+    if (pool)
+        pool->shutdown();
+
+    bool halted = false;
+    for (size_t t = 0; t < results.size(); ++t) {
+        const auto &s = results[t].stats;
+        risc1::inform(
+            "fleet%s: %u shards (%u cached, %u worker-computed, %u "
+            "remote, %u in-process, %u cache entries rejected); %u "
+            "crashes, %u timeouts, %u re-queues, %u remote stalls, "
+            "%u workers quarantined",
+            t == 0 ? ""
+                   : risc1::strprintf(" [tenant %zu]", t).c_str(),
+            s.shards, s.cachedShards, s.computedShards, s.remoteShards,
+            s.inProcessShards, s.rejectedCache, s.workerCrashes,
+            s.workerTimeouts, s.retries, s.remoteStalls,
+            s.quarantinedWorkers);
+        if (s.halted) {
+            risc1::inform("fleet: halted after %u shards (crash "
+                          "simulation); cache is partial, no tables",
+                          s.cachedShards + s.computedShards +
+                              s.remoteShards + s.inProcessShards);
+            halted = true;
+            continue;
+        }
+        if (t > 0)
+            std::cout << "== tenant " << t
+                      << ": injections=" << tenants[t].injections
+                      << " seed=" << tenants[t].seed << " ==\n";
+        std::cout << risc1::core::faultCampaignTable(
+                         results[t].rows,
+                         tenants[t].recovery.enabled)
+                  << "\n";
+        std::cout << risc1::core::avfTable(
+                         risc1::core::avfReport(results[t].rows),
+                         tenants[t].recovery.enabled)
+                  << "\n";
+    }
+    return halted ? 3 : 0;
 }

@@ -1,0 +1,142 @@
+# End-to-end byte-identity check for the *distributed* campaign fleet:
+# a coordinator serving remote TCP workers over loopback must print
+# tables byte-identical to a single-process `bench_fault_campaign
+# --avf` run, whatever the workers do to it along the way:
+#
+#   1. a clean run over 2 spawned `--worker-connect` workers,
+#   2. chaos: one worker killed mid-shard (crash) and one sending a
+#      deliberately corrupt frame — both quarantined, shards re-queued,
+#   3. chaos: a worker handing back a bit-flipped shard record, caught
+#      by cache validation (checksum), rejected, never merged,
+#   4. chaos: a worker that hangs and stops heartbeating, detected by
+#      the heartbeat-stall watchdog,
+#   5. a coordinator "crash" (--halt-after, exit 3) resumed warm from
+#      the shard cache through the same TCP pool,
+#   6. graceful degradation: a pool nobody connects to, falling back
+#      to subprocess workers and to pure in-process execution,
+#   7. two tenant campaigns interleaved over one worker pool, each
+#      byte-identical to its own solo run.
+#
+# Run by the bench_campaign_fleet_tcp_determinism ctest. FLEET is the
+# campaign_fleet executable, WORKER is bench_fault_campaign, WORKDIR a
+# scratch directory.
+
+set(base_args 3 7)
+set(scratch ${WORKDIR}/fleet_tcp_determinism)
+file(REMOVE_RECURSE ${scratch})
+file(MAKE_DIRECTORY ${scratch})
+
+# Small shards so every phase gets several (ordinals 0 and 1 always
+# exist for the chaos specs); 2 remote workers throughout.
+set(tcp_args ${base_args} --shard-size 4 --listen 0 --spawn-workers 2
+    --worker-exe ${WORKER})
+
+execute_process(
+    COMMAND ${WORKER} ${base_args} --avf
+    OUTPUT_VARIABLE reference
+    RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+    message(FATAL_ERROR "reference campaign failed: status ${status}")
+endif()
+
+macro(check_fleet pretty expect_status)
+    execute_process(
+        COMMAND ${ARGN}
+        OUTPUT_VARIABLE output
+        RESULT_VARIABLE status)
+    if(NOT status EQUAL ${expect_status})
+        message(FATAL_ERROR
+            "${pretty}: status ${status}, expected ${expect_status}")
+    endif()
+    if(${expect_status} EQUAL 0 AND NOT output STREQUAL reference)
+        message(FATAL_ERROR
+            "${pretty}: tables differ from the single-process "
+            "reference:\n${output}\nreference:\n${reference}")
+    endif()
+    if(NOT ${expect_status} EQUAL 0 AND NOT output STREQUAL "")
+        message(FATAL_ERROR
+            "${pretty}: a halted fleet must print no tables, got:\n"
+            "${output}")
+    endif()
+endmacro()
+
+# 1. Clean distributed run: every shard computed by a remote worker.
+check_fleet("tcp fleet clean" 0
+    ${FLEET} ${tcp_args} --cache-dir ${scratch}/clean)
+
+# 2. Worker killed mid-shard (shard 0) and a corrupt frame injected on
+# the wire (shard 1): both workers are quarantined, both shards
+# re-queued; the spare worker (or degradation) finishes the campaign.
+check_fleet("tcp fleet chaos crash+corrupt-frame" 0
+    ${CMAKE_COMMAND} -E env RISC1_FLEET_CHAOS=crash:0,corrupt-frame:1
+        ${FLEET} ${tcp_args} --cache-dir ${scratch}/crash
+        --remote-grace 1)
+
+# 3. A worker that exits cleanly but returns a bit-flipped shard
+# record: the coordinator must catch it in cache validation
+# (checksum -> Corrupt), quarantine the worker, and re-queue — a
+# corrupt tally must never reach the merged table.
+check_fleet("tcp fleet chaos corrupt-record" 0
+    ${CMAKE_COMMAND} -E env RISC1_FLEET_CHAOS=corrupt-record:0
+        ${FLEET} ${tcp_args} --cache-dir ${scratch}/corrupt
+        --remote-grace 1)
+
+# 4. A worker that hangs and stops heartbeating on shard 1: the
+# heartbeat-stall watchdog (4 x 0.25 s of silence) must reclaim the
+# shard without waiting for any wall-clock timeout.
+check_fleet("tcp fleet chaos heartbeat stall" 0
+    ${CMAKE_COMMAND} -E env RISC1_FLEET_CHAOS=hang:1
+        ${FLEET} ${tcp_args} --cache-dir ${scratch}/hang
+        --heartbeat-sec 0.25 --remote-grace 1)
+
+# 5. Coordinator crash mid-campaign (--halt-after 2, exit 3, no
+# tables), then a warm resume over a fresh TCP pool: cached shards
+# merge without re-execution, the rest run remotely, and the tables
+# come out byte-identical.
+check_fleet("tcp fleet halt" 3
+    ${FLEET} ${tcp_args} --cache-dir ${scratch}/resume --halt-after 2)
+check_fleet("tcp fleet resume" 0
+    ${FLEET} ${tcp_args} --cache-dir ${scratch}/resume)
+
+# 6. Graceful degradation: a listening pool that no worker ever
+# connects to. With a worker binary the shards fall back to
+# subprocesses; with --in-process they fall back to in-process
+# execution. Both must complete with identical tables.
+check_fleet("tcp fleet degrade to subprocess" 0
+    ${FLEET} ${base_args} --shard-size 4 --listen 0
+        --worker-exe ${WORKER} --cache-dir ${scratch}/degrade
+        --remote-grace 0.3)
+check_fleet("tcp fleet degrade to in-process" 0
+    ${FLEET} ${base_args} --shard-size 4 --listen 0 --in-process
+        --no-cache --remote-grace 0.3)
+
+# 7. Multi-tenant: a second campaign (--also 2:13) interleaved over
+# the same pool. The output is tenant 0's tables followed by a tenant
+# banner and tenant 1's tables, each byte-identical to its solo run.
+execute_process(
+    COMMAND ${WORKER} 2 13 --avf
+    OUTPUT_VARIABLE reference_b
+    RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+    message(FATAL_ERROR "tenant-1 reference failed: status ${status}")
+endif()
+set(expected_multi
+    "${reference}== tenant 1: injections=2 seed=13 ==\n${reference_b}")
+execute_process(
+    COMMAND ${FLEET} ${tcp_args} --cache-dir ${scratch}/tenants
+        --also 2:13
+    OUTPUT_VARIABLE output
+    RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+    message(FATAL_ERROR "tcp fleet multi-tenant: status ${status}")
+endif()
+if(NOT output STREQUAL expected_multi)
+    message(FATAL_ERROR
+        "tcp fleet multi-tenant: tables differ from the two solo "
+        "references:\n${output}\nexpected:\n${expected_multi}")
+endif()
+
+message(STATUS
+    "tcp fleet tables byte-identical across worker kill, corrupt "
+    "frame, corrupt record, heartbeat stall, coordinator crash + "
+    "resume, degradation, and multi-tenant scheduling")

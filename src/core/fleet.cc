@@ -3,16 +3,20 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <filesystem>
+#include <map>
 #include <thread>
 
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "core/fleetnet.hh"
 #include "sim/image.hh"
 #include "sim/serial.hh"
 #include "sim/snapshot.hh"
@@ -306,8 +310,14 @@ writeShardFile(const std::string &path,
     std::FILE *f = std::fopen(tmp.c_str(), "wb");
     if (!f)
         throwIo("cannot create", tmp);
+    // Flush and fsync before the rename: rename is atomic in the
+    // namespace, but only data already on disk survives a power cut —
+    // without the fsync a crash can leave `path` naming an empty or
+    // partial inode, exactly the torn record the temp file exists to
+    // prevent.
     const size_t wrote = std::fwrite(bytes.data(), 1, bytes.size(), f);
-    if (wrote != bytes.size() || std::fclose(f) != 0) {
+    if (wrote != bytes.size() || std::fflush(f) != 0 ||
+        ::fsync(::fileno(f)) != 0 || std::fclose(f) != 0) {
         std::remove(tmp.c_str());
         throwIo("cannot write", tmp);
     }
@@ -376,7 +386,8 @@ mergeRows(std::vector<FaultCampaignRow> &dst,
 /** One seed-range shard in flight or queued. */
 struct Shard
 {
-    size_t index = 0; //!< ordinal in the shard list (chaos addressing)
+    size_t tenant = 0; //!< owning campaign, indexing runFleets' tenants
+    size_t index = 0;  //!< ordinal in the shard list (chaos addressing)
     uint64_t first = 0;
     uint64_t last = 0;
     ShardParams params;
@@ -420,105 +431,189 @@ chaosActionFor(size_t shard_index, unsigned attempt)
     return "";
 }
 
+/**
+ * The coordinator behind runFleet/runFleets. One instance schedules
+ * every tenant campaign over one shared worker infrastructure (read
+ * from tenants[0]): remote TCP workers when a RemotePool is attached,
+ * degrading to subprocess workers and finally in-process execution.
+ * Shards of all tenants live in one round-robin interleaved queue, so
+ * the pool is shared fairly.
+ */
 class FleetCoordinator
 {
   public:
-    explicit FleetCoordinator(const FleetOptions &opts) : opts_(opts) {}
+    explicit FleetCoordinator(const std::vector<FleetOptions> &tenants)
+        : tenants_(tenants), tstate_(tenants.size())
+    {}
 
-    FleetResult
+    std::vector<FleetResult>
     run()
     {
-        const size_t nwl = workloads::allWorkloads().size();
-        const uint64_t total = uint64_t{nwl} * opts_.injections;
-        uint64_t slots = opts_.shardSlots;
-        if (slots == 0) {
-            const uint64_t want_shards =
-                std::max<uint64_t>(uint64_t{opts_.workers} * 4, 1);
-            slots = std::max<uint64_t>((total + want_shards - 1) /
-                                           want_shards, 1);
-        }
-
-        const bool subprocess = !opts_.workerExe.empty();
-        if (subprocess && opts_.cacheDir.empty())
+        const bool subprocess = !infra().workerExe.empty();
+        if (subprocess && infra().cacheDir.empty())
             fatal("fleet: subprocess workers need a cache directory "
                   "(workers hand completed shards back through it)");
-        if (!opts_.cacheDir.empty()) {
+        if (!infra().cacheDir.empty()) {
             std::error_code ec;
-            fs::create_directories(opts_.cacheDir, ec);
+            fs::create_directories(infra().cacheDir, ec);
             if (ec)
                 fatal("fleet: cannot create cache dir %s: %s",
-                      opts_.cacheDir.c_str(), ec.message().c_str());
+                      infra().cacheDir.c_str(), ec.message().c_str());
         }
 
-        // Shard the grid and resolve each shard against the cache.
-        // Params share the expensive suite image hash.
-        ShardParams proto =
-            shardParams(opts_.injections, opts_.seed, 0, total,
-                        opts_.recovery);
-        for (uint64_t first = 0; first < total; first += slots) {
-            Shard shard;
-            shard.index = static_cast<size_t>(first / slots);
-            shard.first = first;
-            shard.last = std::min(first + slots, total);
-            shard.params = proto;
-            shard.params.first = shard.first;
-            shard.params.last = shard.last;
-            if (!opts_.cacheDir.empty())
-                shard.cachePath =
-                    (fs::path(opts_.cacheDir) /
-                     shardFileName(shardKey(shard.params)))
-                        .string();
-            ++stats_.shards;
-            if (tryCache(shard))
-                continue;
-            if (halted())
-                return finish();
-            pending_.push_back(shard);
-        }
-        if (total == 0 || halted())
+        shardTenants();
+        if (pending_.empty())
             return finish();
 
-        if (!subprocess) {
-            for (const Shard &shard : pending_) {
-                runInProcess(shard);
-                if (halted())
-                    break;
+        remoteMode_ = infra().pool != nullptr;
+        graceMs_ = std::chrono::milliseconds(
+            static_cast<int64_t>(infra().remoteGraceSec * 1000));
+        remoteDeadline_ = Clock::now() + graceMs_;
+
+        while (!pending_.empty() || !active_.empty() ||
+               !inflight_.empty()) {
+            if (allHalted())
+                break;
+            purgeHalted();
+            bool progressed = false;
+            if (remoteMode_) {
+                scheduleRemote();
+                progressed = drainRemote();
+                maybeDegrade();
+            } else if (subprocess) {
+                spawnEligible();
+                progressed = reapOne();
+                enforceDeadlines();
+            } else {
+                // In-process leg: synchronous, one pass.
+                while (!pending_.empty()) {
+                    const Shard shard = pending_.front();
+                    pending_.pop_front();
+                    if (!halted(shard.tenant))
+                        runInProcess(shard);
+                }
+                progressed = true;
             }
-            pending_.clear();
-            return finish();
-        }
-
-        // Subprocess fan-out: keep up to `workers` children busy,
-        // reap completions, watchdog the stragglers.
-        while (!pending_.empty() || !active_.empty()) {
-            spawnEligible();
-            if (!reapOne())
+            publishStatus(false);
+            if (!progressed)
                 std::this_thread::sleep_for(
                     std::chrono::milliseconds(5));
-            enforceDeadlines();
-            if (halted())
-                break;
         }
         killAll();
         return finish();
     }
 
   private:
-    bool
-    halted() const
+    /** Per-tenant accumulator (results are per campaign). */
+    struct TenantState
     {
-        return opts_.haltAfterShards != 0 &&
-               done_ >= opts_.haltAfterShards;
+        std::vector<FaultCampaignRow> merged;
+        FleetStats stats;
+        unsigned done = 0;
+    };
+
+    /** The infrastructure half of the options (see runFleets). */
+    const FleetOptions &
+    infra() const
+    {
+        return tenants_.front();
     }
 
-    FleetResult
+    bool
+    halted(size_t tenant) const
+    {
+        return tenants_[tenant].haltAfterShards != 0 &&
+               tstate_[tenant].done >= tenants_[tenant].haltAfterShards;
+    }
+
+    bool
+    allHalted() const
+    {
+        for (size_t t = 0; t < tenants_.size(); ++t)
+            if (!halted(t))
+                return false;
+        return true;
+    }
+
+    /** Drop queued shards of tenants that halted since last tick. */
+    void
+    purgeHalted()
+    {
+        pending_.erase(
+            std::remove_if(pending_.begin(), pending_.end(),
+                           [this](const Shard &shard) {
+                               return halted(shard.tenant);
+                           }),
+            pending_.end());
+    }
+
+    /** Shard every tenant's grid, warm-merge its cache, and
+     *  round-robin interleave the remainders into pending_. */
+    void
+    shardTenants()
+    {
+        const size_t nwl = workloads::allWorkloads().size();
+        std::vector<std::deque<Shard>> queues(tenants_.size());
+        for (size_t t = 0; t < tenants_.size(); ++t) {
+            const FleetOptions &opts = tenants_[t];
+            const uint64_t total = uint64_t{nwl} * opts.injections;
+            uint64_t slots = opts.shardSlots;
+            if (slots == 0) {
+                const uint64_t want_shards = std::max<uint64_t>(
+                    uint64_t{infra().workers} * 4, 1);
+                slots = std::max<uint64_t>(
+                    (total + want_shards - 1) / want_shards, 1);
+            }
+            // Params share the expensive suite image hash.
+            ShardParams proto = shardParams(opts.injections, opts.seed,
+                                            0, total, opts.recovery);
+            for (uint64_t first = 0; first < total; first += slots) {
+                Shard shard;
+                shard.tenant = t;
+                shard.index = static_cast<size_t>(first / slots);
+                shard.first = first;
+                shard.last = std::min(first + slots, total);
+                shard.params = proto;
+                shard.params.first = shard.first;
+                shard.params.last = shard.last;
+                if (!infra().cacheDir.empty())
+                    shard.cachePath =
+                        (fs::path(infra().cacheDir) /
+                         shardFileName(shardKey(shard.params)))
+                            .string();
+                ++tstate_[t].stats.shards;
+                if (tryCache(shard))
+                    continue;
+                if (halted(t))
+                    break;
+                queues[t].push_back(shard);
+            }
+            if (halted(t))
+                queues[t].clear();
+        }
+        for (bool any = true; any;) {
+            any = false;
+            for (std::deque<Shard> &queue : queues) {
+                if (queue.empty())
+                    continue;
+                pending_.push_back(queue.front());
+                queue.pop_front();
+                any = true;
+            }
+        }
+    }
+
+    std::vector<FleetResult>
     finish()
     {
-        stats_.halted = halted();
-        FleetResult result;
-        result.rows = std::move(merged_);
-        result.stats = stats_;
-        return result;
+        publishStatus(true);
+        std::vector<FleetResult> results(tenants_.size());
+        for (size_t t = 0; t < tenants_.size(); ++t) {
+            tstate_[t].stats.halted = halted(t);
+            results[t].rows = std::move(tstate_[t].merged);
+            results[t].stats = tstate_[t].stats;
+        }
+        return results;
     }
 
     /** Merge a warm cache entry; reject-and-recompute on any typed
@@ -528,17 +623,18 @@ class FleetCoordinator
     {
         if (shard.cachePath.empty() || !fs::exists(shard.cachePath))
             return false;
+        TenantState &ts = tstate_[shard.tenant];
         try {
-            mergeRows(merged_,
+            mergeRows(ts.merged,
                       loadShardFile(shard.cachePath, shard.params));
-            ++stats_.cachedShards;
-            ++done_;
+            ++ts.stats.cachedShards;
+            ++ts.done;
             return true;
         } catch (const ShardCacheError &err) {
             warn("fleet: discarding cache entry %s: %s",
                  shard.cachePath.c_str(), err.what());
             std::remove(shard.cachePath.c_str());
-            ++stats_.rejectedCache;
+            ++ts.stats.rejectedCache;
             return false;
         }
     }
@@ -546,23 +642,195 @@ class FleetCoordinator
     void
     runInProcess(const Shard &shard)
     {
+        const FleetOptions &opts = tenants_[shard.tenant];
+        TenantState &ts = tstate_[shard.tenant];
         const std::vector<FaultCampaignRow> rows = faultCampaignRange(
-            opts_.injections, opts_.seed, shard.first, shard.last,
-            opts_.jobsPerWorker, opts_.streaming, opts_.recovery);
+            opts.injections, opts.seed, shard.first, shard.last,
+            infra().jobsPerWorker, opts.streaming, opts.recovery);
         if (!shard.cachePath.empty())
             writeShardFile(shard.cachePath,
                            serializeShardRecord(shard.params, rows));
-        mergeRows(merged_, rows);
-        ++stats_.inProcessShards;
-        ++done_;
+        mergeRows(ts.merged, rows);
+        ++ts.stats.inProcessShards;
+        ++ts.done;
     }
+
+    // ---- remote leg ----------------------------------------------------
+
+    /** Hand ripe pending shards to idle remote workers. */
+    void
+    scheduleRemote()
+    {
+        const Clock::time_point now = Clock::now();
+        for (auto it = pending_.begin(); it != pending_.end();) {
+            if (it->notBefore > now) {
+                ++it;
+                continue;
+            }
+            const FleetOptions &opts = tenants_[it->tenant];
+            AssignSpec spec;
+            spec.token = nextToken_++;
+            spec.injections = opts.injections;
+            spec.seed = opts.seed;
+            spec.first = it->first;
+            spec.last = it->last;
+            spec.streaming = opts.streaming;
+            spec.recovery = opts.recovery;
+            spec.jobs = infra().jobsPerWorker;
+            spec.chaos = chaosActionFor(it->index, it->attempt);
+            if (!infra().pool->assign(spec, infra().workerTimeoutSec))
+                break; // every worker busy: keep the shard queued
+            inflight_.emplace(spec.token, *it);
+            it = pending_.erase(it);
+        }
+    }
+
+    /** Process completed/failed remote shards. True if any arrived. */
+    bool
+    drainRemote()
+    {
+        bool progressed = false;
+        for (RemoteEvent &event : infra().pool->drainEvents()) {
+            progressed = true;
+            const auto it = inflight_.find(event.token);
+            if (it == inflight_.end())
+                continue; // already resolved (e.g. after a halt)
+            const Shard shard = it->second;
+            inflight_.erase(it);
+            TenantState &ts = tstate_[shard.tenant];
+            if (event.quarantined)
+                ++ts.stats.quarantinedWorkers;
+            if (event.stalled)
+                ++ts.stats.remoteStalls;
+            if (halted(shard.tenant))
+                continue;
+            if (event.done) {
+                try {
+                    // The record arrives verbatim in the durable cache
+                    // format, so it gets exactly the validation a warm
+                    // cache entry gets: a worker built from skewed
+                    // sources keys differently (KeyMismatch) and a
+                    // corrupted tally fails the checksum.
+                    std::vector<FaultCampaignRow> rows =
+                        deserializeShardRecord(event.record,
+                                               shard.params);
+                    if (!shard.cachePath.empty())
+                        writeShardFile(shard.cachePath, event.record);
+                    mergeRows(ts.merged, rows);
+                    ++ts.stats.remoteShards;
+                    ++ts.done;
+                    continue;
+                } catch (const ShardCacheError &err) {
+                    warn("fleet: rejecting remote record for shard "
+                         "%llu:%llu and quarantining worker %llu: %s",
+                         static_cast<unsigned long long>(shard.first),
+                         static_cast<unsigned long long>(shard.last),
+                         static_cast<unsigned long long>(event.worker),
+                         err.what());
+                    infra().pool->quarantine(event.worker);
+                    ++ts.stats.quarantinedWorkers;
+                }
+            } else if (!event.error.empty()) {
+                warn("fleet: remote shard %llu:%llu on worker %llu "
+                     "failed: %s",
+                     static_cast<unsigned long long>(shard.first),
+                     static_cast<unsigned long long>(shard.last),
+                     static_cast<unsigned long long>(event.worker),
+                     event.error.c_str());
+            }
+            shardFailed(shard);
+        }
+        return progressed;
+    }
+
+    /**
+     * Degrade out of remote mode when no worker is reachable: at
+     * start-up, after remoteGraceSec with no first connection; mid-run,
+     * after every worker was quarantined and none reconnected within
+     * the same grace window. Pending shards fall to the subprocess leg
+     * (workerExe set) or in-process execution.
+     */
+    void
+    maybeDegrade()
+    {
+        if (infra().pool->connectedWorkers() > 0 ||
+            !inflight_.empty()) {
+            remoteDeadline_ = Clock::now() + graceMs_;
+            return;
+        }
+        if (pending_.empty() || Clock::now() < remoteDeadline_)
+            return;
+        remoteMode_ = false;
+        warn("fleet: no remote worker reachable after %.1fs, "
+             "degrading to %s workers",
+             infra().remoteGraceSec,
+             infra().workerExe.empty() ? "in-process" : "subprocess");
+    }
+
+    /** Re-queue a failed shard with jittered exponential backoff;
+     *  exhausted retries fall back to in-process execution. */
+    void
+    shardFailed(Shard shard)
+    {
+        ++shard.attempt;
+        if (shard.attempt > infra().maxRetries) {
+            warn("fleet: shard %llu:%llu exhausted %u retries, "
+                 "running in-process",
+                 static_cast<unsigned long long>(shard.first),
+                 static_cast<unsigned long long>(shard.last),
+                 infra().maxRetries);
+            runInProcess(shard);
+            return;
+        }
+        ++tstate_[shard.tenant].stats.retries;
+        const double backoff = fleetBackoffSec(
+            infra().backoffSec, tenants_[shard.tenant].seed,
+            shard.index, shard.attempt);
+        shard.notBefore =
+            Clock::now() + std::chrono::milliseconds(
+                               static_cast<int64_t>(backoff * 1000));
+        pending_.push_back(shard);
+    }
+
+    /** Render the live status text served to StatusReq clients. */
+    void
+    publishStatus(bool final)
+    {
+        if (!infra().pool)
+            return;
+        const Clock::time_point now = Clock::now();
+        if (!final && now < nextStatus_)
+            return;
+        nextStatus_ = now + std::chrono::milliseconds(200);
+        std::string text;
+        for (size_t t = 0; t < tenants_.size(); ++t) {
+            const FleetOptions &opts = tenants_[t];
+            const TenantState &ts = tstate_[t];
+            text += strprintf(
+                "campaign %zu: injections=%u seed=%llu  shards %u/%u "
+                "merged (%u remote, %u cached, %u retries)%s%s\n",
+                t, opts.injections,
+                static_cast<unsigned long long>(opts.seed), ts.done,
+                ts.stats.shards, ts.stats.remoteShards,
+                ts.stats.cachedShards, ts.stats.retries,
+                halted(t) ? " [halted]" : "",
+                final ? " [final]" : "");
+            if (!ts.merged.empty())
+                text += faultCampaignTable(ts.merged,
+                                           opts.recovery.enabled);
+        }
+        infra().pool->setStatusText(text);
+    }
+
+    // ---- subprocess leg ------------------------------------------------
 
     void
     spawnEligible()
     {
         const Clock::time_point now = Clock::now();
         for (auto it = pending_.begin();
-             it != pending_.end() && active_.size() < opts_.workers;) {
+             it != pending_.end() &&
+             active_.size() < infra().workers;) {
             if (it->notBefore > now) {
                 ++it;
                 continue;
@@ -577,7 +845,7 @@ class FleetCoordinator
                      static_cast<unsigned long long>(shard.first),
                      static_cast<unsigned long long>(shard.last));
                 runInProcess(shard);
-                if (halted())
+                if (halted(shard.tenant))
                     return;
             }
         }
@@ -586,23 +854,24 @@ class FleetCoordinator
     bool
     spawn(const Shard &shard)
     {
+        const FleetOptions &opts = tenants_[shard.tenant];
         std::vector<std::string> args = {
-            opts_.workerExe,
-            std::to_string(opts_.injections),
-            std::to_string(opts_.seed),
+            infra().workerExe,
+            std::to_string(opts.injections),
+            std::to_string(opts.seed),
             "--seed-range",
             strprintf("%llu:%llu",
                       static_cast<unsigned long long>(shard.first),
                       static_cast<unsigned long long>(shard.last)),
             "--shard-out", shard.cachePath,
-            "--jobs", std::to_string(opts_.jobsPerWorker)};
-        if (opts_.streaming)
+            "--jobs", std::to_string(infra().jobsPerWorker)};
+        if (opts.streaming)
             args.push_back("--tally");
-        if (opts_.recovery.enabled) {
+        if (opts.recovery.enabled) {
             args.push_back("--recover");
             args.push_back("--checkpoint-interval");
             args.push_back(
-                std::to_string(opts_.recovery.checkpointInterval));
+                std::to_string(opts.recovery.checkpointInterval));
         }
         std::vector<char *> argv;
         argv.reserve(args.size() + 1);
@@ -631,7 +900,7 @@ class FleetCoordinator
         worker.deadline =
             Clock::now() +
             std::chrono::milliseconds(static_cast<int64_t>(
-                opts_.workerTimeoutSec * 1000));
+                infra().workerTimeoutSec * 1000));
         active_.push_back(worker);
         return true;
     }
@@ -647,13 +916,16 @@ class FleetCoordinator
                 continue;
             Worker worker = *it;
             active_.erase(it);
+            if (halted(worker.shard.tenant))
+                return true; // result discarded: the tenant halted
             const bool clean =
                 WIFEXITED(status) && WEXITSTATUS(status) == 0;
+            TenantState &ts = tstate_[worker.shard.tenant];
             if (clean && tryCache(worker.shard)) {
                 // tryCache merged the record the worker just wrote:
                 // account it as computed, not warm-from-cache.
-                --stats_.cachedShards;
-                ++stats_.computedShards;
+                --ts.stats.cachedShards;
+                ++ts.stats.computedShards;
             } else {
                 workerFailed(worker, status);
             }
@@ -665,34 +937,18 @@ class FleetCoordinator
     void
     workerFailed(Worker &worker, int status)
     {
-        if (worker.timedOut)
-            ++stats_.workerTimeouts;
-        else
-            ++stats_.workerCrashes;
-        if (!worker.timedOut)
+        TenantState &ts = tstate_[worker.shard.tenant];
+        if (worker.timedOut) {
+            ++ts.stats.workerTimeouts;
+        } else {
+            ++ts.stats.workerCrashes;
             warn("fleet: worker for shard %llu:%llu failed "
                  "(status 0x%x)",
                  static_cast<unsigned long long>(worker.shard.first),
                  static_cast<unsigned long long>(worker.shard.last),
                  static_cast<unsigned>(status));
-        Shard shard = worker.shard;
-        ++shard.attempt;
-        if (shard.attempt > opts_.maxRetries) {
-            warn("fleet: shard %llu:%llu exhausted %u retries, "
-                 "running in-process",
-                 static_cast<unsigned long long>(shard.first),
-                 static_cast<unsigned long long>(shard.last),
-                 opts_.maxRetries);
-            runInProcess(shard);
-            return;
         }
-        ++stats_.retries;
-        const double backoff =
-            opts_.backoffSec * double(1u << (shard.attempt - 1));
-        shard.notBefore =
-            Clock::now() + std::chrono::milliseconds(
-                               static_cast<int64_t>(backoff * 1000));
-        pending_.push_back(shard);
+        shardFailed(worker.shard);
     }
 
     void
@@ -706,7 +962,7 @@ class FleetCoordinator
                  "%.1fs watchdog, killing it",
                  static_cast<unsigned long long>(worker.shard.first),
                  static_cast<unsigned long long>(worker.shard.last),
-                 opts_.workerTimeoutSec);
+                 infra().workerTimeoutSec);
             worker.timedOut = true;
             ::kill(worker.pid, SIGKILL);
         }
@@ -723,23 +979,51 @@ class FleetCoordinator
         active_.clear();
     }
 
-    const FleetOptions &opts_;
-    std::vector<Shard> pending_;
-    std::vector<Worker> active_;
-    std::vector<FaultCampaignRow> merged_;
-    FleetStats stats_;
-    unsigned done_ = 0;
+    std::vector<FleetOptions> tenants_;
+    std::vector<TenantState> tstate_;
+    std::deque<Shard> pending_;
+    std::vector<Worker> active_;           //!< subprocess workers
+    std::map<uint64_t, Shard> inflight_;   //!< remote shards, by token
+    uint64_t nextToken_ = 1;
+    bool remoteMode_ = false;
+    std::chrono::milliseconds graceMs_{0};
+    Clock::time_point remoteDeadline_{};
+    Clock::time_point nextStatus_{};
 };
 
 } // namespace
 
+double
+fleetBackoffSec(double backoff_sec, uint64_t seed, size_t shard_index,
+                unsigned attempt)
+{
+    uint64_t h = sim::FnvOffset;
+    sim::fnvU64(h, seed);
+    sim::fnvU64(h, shard_index);
+    sim::fnvU64(h, attempt);
+    // Top 53 bits -> [0, 1): the full-precision mantissa of a double.
+    const double frac = static_cast<double>(h >> 11) * 0x1.0p-53;
+    const int doublings =
+        attempt > 0 ? static_cast<int>(attempt) - 1 : 0;
+    return std::ldexp(backoff_sec * (0.5 + 0.5 * frac), doublings);
+}
+
 FleetResult
 runFleet(const FleetOptions &options)
 {
-    if (options.injections == 0)
-        fatal("fleet: campaign needs at least one injection per "
-              "workload");
-    FleetCoordinator coordinator(options);
+    return runFleets({options}).front();
+}
+
+std::vector<FleetResult>
+runFleets(const std::vector<FleetOptions> &tenants)
+{
+    if (tenants.empty())
+        return {};
+    for (const FleetOptions &opts : tenants)
+        if (opts.injections == 0)
+            fatal("fleet: campaign needs at least one injection per "
+                  "workload");
+    FleetCoordinator coordinator(tenants);
     return coordinator.run();
 }
 

@@ -45,6 +45,8 @@
 
 namespace risc1::core {
 
+class RemotePool; // core/fleetnet.hh
+
 /** Current shard-cache record format version. */
 constexpr uint32_t ShardCacheFormatVersion = 1;
 
@@ -179,7 +181,25 @@ struct FleetOptions
 
     unsigned maxRetries = 2;        //!< re-queues per shard after a failure
     double workerTimeoutSec = 300;  //!< wall-clock watchdog per shard
-    double backoffSec = 0.05;       //!< first retry delay; doubles per retry
+    /** Base retry delay: doubles per retry, scaled by deterministic
+     *  per-(seed, shard, attempt) jitter — see fleetBackoffSec. */
+    double backoffSec = 0.05;
+
+    /**
+     * Remote TCP worker pool (core/fleetnet.hh); non-owning, nullptr
+     * disables remote scheduling. With a pool, shards are assigned to
+     * connected workers instead of subprocesses; several campaigns can
+     * share one pool (runFleets). When no worker is reachable the
+     * coordinator degrades gracefully: subprocess workers if workerExe
+     * is set, else in-process.
+     */
+    RemotePool *pool = nullptr;
+
+    /** With a pool but no connected worker, wait this long for a
+     *  first connection before degrading. Also the drought window: if
+     *  every worker is quarantined mid-campaign and none reconnects
+     *  within it, the remaining shards degrade the same way. */
+    double remoteGraceSec = 2.0;
 
     /**
      * Test/ops hook simulating a coordinator crash: stop after this
@@ -201,6 +221,11 @@ struct FleetStats
     unsigned workerCrashes = 0;   //!< nonzero-exit / signaled workers
     unsigned workerTimeouts = 0;  //!< workers killed by the watchdog
     unsigned retries = 0;         //!< shard re-queues
+    unsigned remoteShards = 0;    //!< computed by remote TCP workers
+    unsigned remoteStalls = 0;    //!< remote heartbeat stalls / timeouts
+    /** Remote workers removed for cause while serving this campaign
+     *  (protocol error, stall, or a record that failed validation). */
+    unsigned quarantinedWorkers = 0;
     bool halted = false;          //!< stopped early by haltAfterShards
 };
 
@@ -219,6 +244,34 @@ struct FleetResult
  * are partial and only the cache is meaningful.
  */
 FleetResult runFleet(const FleetOptions &options);
+
+/**
+ * Run several campaigns ("tenants") over one shared worker
+ * infrastructure. tenants[0] supplies the infrastructure half of the
+ * options (pool, workers, jobsPerWorker, workerExe, cacheDir,
+ * maxRetries, workerTimeoutSec, backoffSec, remoteGraceSec); each
+ * tenant keeps its own campaign half (injections, seed, shardSlots,
+ * streaming, recovery, haltAfterShards). Shards are interleaved
+ * round-robin across tenants so a small campaign is never starved
+ * behind a large one. Results index-match `tenants`, and each
+ * tenant's merged rows are byte-identical to running it alone.
+ */
+std::vector<FleetResult>
+runFleets(const std::vector<FleetOptions> &tenants);
+
+/**
+ * The retry delay before attempt `attempt` (1-based) of shard
+ * `shard_index`: backoff_sec doubled per attempt, scaled by a jitter
+ * factor in [0.5, 1.0) derived deterministically from fnv1a(seed,
+ * shard_index, attempt) — reproducible for a fixed campaign seed, yet
+ * decorrelating the retry times of shards that failed together (a
+ * whole fleet retrying in lockstep is its own thundering herd).
+ * Consecutive attempts of one shard never reorder: attempt N's
+ * jittered range is [2^(N-2), 2^(N-1)) x backoff_sec, strictly below
+ * attempt N+1's.
+ */
+double fleetBackoffSec(double backoff_sec, uint64_t seed,
+                       size_t shard_index, unsigned attempt);
 
 } // namespace risc1::core
 

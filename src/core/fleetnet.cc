@@ -1,0 +1,724 @@
+#include "core/fleetnet.hh"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "core/fleet.hh"
+#include "net/frame.hh"
+#include "net/transport.hh"
+#include "sim/serial.hh"
+#include "support/logging.hh"
+
+namespace risc1::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t)
+{
+    return std::chrono::duration<double>(Clock::now() - t).count();
+}
+
+/** Hello payload: role (0 = worker) + the worker's --jobs width. */
+std::vector<uint8_t>
+encodeHello(uint8_t role, uint32_t jobs)
+{
+    sim::ByteWriter w;
+    w.u8(role);
+    w.u32(jobs);
+    return w.take();
+}
+
+/** Welcome payload: the heartbeat cadence the pool expects, in ms. */
+std::vector<uint8_t>
+encodeWelcome(uint32_t heartbeat_ms)
+{
+    sim::ByteWriter w;
+    w.u32(heartbeat_ms);
+    return w.take();
+}
+
+[[noreturn]] void
+throwCorruptPayload(const char *what, const sim::ByteStreamTruncated &t)
+{
+    throw net::FleetProtocolError(
+        net::FleetProtocolError::Kind::CorruptFrame,
+        strprintf("fleet frame: %s payload truncated at byte %zu",
+                  what, t.offset));
+}
+
+std::string
+payloadString(sim::ByteReader &r)
+{
+    const uint32_t len = r.u32();
+    r.checkCount(len, 1);
+    std::string s(len, '\0');
+    if (len > 0)
+        r.bytes(reinterpret_cast<uint8_t *>(s.data()), len);
+    return s;
+}
+
+/** SIGPIPE must surface as EPIPE -> TransportError, not kill the
+ *  process: one dead peer is one quarantined worker. */
+void
+ignoreSigpipe()
+{
+    std::signal(SIGPIPE, SIG_IGN);
+}
+
+} // namespace
+
+std::vector<uint8_t>
+encodeAssign(const AssignSpec &spec)
+{
+    sim::ByteWriter w;
+    w.u64(spec.token);
+    w.u32(spec.injections);
+    w.u64(spec.seed);
+    w.u64(spec.first);
+    w.u64(spec.last);
+    w.u8(spec.streaming ? 1 : 0);
+    w.u8(spec.recovery.enabled ? 1 : 0);
+    w.u64(spec.recovery.checkpointInterval);
+    w.u32(spec.jobs);
+    w.u32(static_cast<uint32_t>(spec.chaos.size()));
+    w.bytes(reinterpret_cast<const uint8_t *>(spec.chaos.data()),
+            spec.chaos.size());
+    return w.take();
+}
+
+AssignSpec
+decodeAssign(const std::vector<uint8_t> &payload)
+{
+    sim::ByteReader r(payload);
+    AssignSpec spec;
+    try {
+        spec.token = r.u64();
+        spec.injections = r.u32();
+        spec.seed = r.u64();
+        spec.first = r.u64();
+        spec.last = r.u64();
+        spec.streaming = r.u8() != 0;
+        spec.recovery.enabled = r.u8() != 0;
+        spec.recovery.checkpointInterval = r.u64();
+        spec.jobs = r.u32();
+        spec.chaos = payloadString(r);
+    } catch (const sim::ByteStreamTruncated &t) {
+        throwCorruptPayload("Assign", t);
+    }
+    return spec;
+}
+
+// ---- RemotePool ---------------------------------------------------------
+
+struct RemotePool::Impl
+{
+    struct Session
+    {
+        uint64_t id = 0;
+        std::unique_ptr<net::Channel> channel;
+        std::thread thread;
+
+        std::mutex m;
+        std::condition_variable cv;
+        bool registered = false; //!< passed the worker handshake
+        bool busy = false;       //!< shard in flight
+        /** Shutdown or quarantine requested. Atomic: the session
+         *  thread polls it between waitReadable ticks without the
+         *  session mutex. */
+        std::atomic<bool> stop{false};
+        bool dead = false; //!< session thread has wound down
+        AssignSpec job;
+        double timeoutSec = 0;
+    };
+
+    explicit Impl(const PoolOptions &options)
+        : opts(options), listener(options.port)
+    {
+        ignoreSigpipe();
+        acceptThread = std::thread([this] { acceptLoop(); });
+    }
+
+    void
+    pushEvent(RemoteEvent event)
+    {
+        std::lock_guard<std::mutex> lock(eventsMutex);
+        events.push_back(std::move(event));
+    }
+
+    /** Unblock a session blocked in recv/waitReadable. */
+    static void
+    wake(Session &s)
+    {
+        if (auto *fd = dynamic_cast<net::FdChannel *>(s.channel.get()))
+            ::shutdown(fd->fd(), SHUT_RDWR);
+    }
+
+    void
+    acceptLoop()
+    {
+        for (;;) {
+            std::unique_ptr<net::Channel> channel;
+            try {
+                channel = listener.accept();
+            } catch (const net::TransportError &err) {
+                if (!stopping.load())
+                    warn("fleet pool: accept failed: %s", err.what());
+                return;
+            }
+            auto session = std::make_shared<Session>();
+            session->id = nextSession++;
+            session->channel = std::move(channel);
+            {
+                std::lock_guard<std::mutex> lock(sessionsMutex);
+                if (stopping.load())
+                    return;
+                sessions.push_back(session);
+            }
+            session->thread =
+                std::thread([this, session] { serve(*session); });
+        }
+    }
+
+    /**
+     * Fail the in-flight job (if any) and wind the session down.
+     * Every exit path of serve() funnels through here.
+     */
+    void
+    failSession(Session &s, const std::string &why, bool stalled,
+                bool quarantine_worker)
+    {
+        bool had_job = false;
+        AssignSpec job;
+        {
+            std::lock_guard<std::mutex> lock(s.m);
+            had_job = s.busy;
+            job = s.job;
+            s.busy = false;
+            s.stop = true;
+        }
+        if (quarantine_worker)
+            ++quarantinedCount;
+        if (stalled)
+            ++stallCount;
+        if (had_job) {
+            RemoteEvent event;
+            event.done = false;
+            event.token = job.token;
+            event.worker = s.id;
+            event.error = why;
+            event.stalled = stalled;
+            event.quarantined = quarantine_worker;
+            pushEvent(std::move(event));
+        } else if (!why.empty() && !stopping.load()) {
+            warn("fleet pool: worker %llu dropped: %s",
+                 static_cast<unsigned long long>(s.id), why.c_str());
+        }
+    }
+
+    void
+    serve(Session &s)
+    {
+        try {
+            const auto hello = net::recvFrame(*s.channel);
+            if (!hello)
+                return markDead(s);
+            if (hello->type == net::FrameType::StatusReq) {
+                std::vector<uint8_t> text;
+                {
+                    std::lock_guard<std::mutex> lock(statusMutex);
+                    text.assign(statusText.begin(), statusText.end());
+                }
+                net::sendFrame(*s.channel, net::FrameType::StatusResp,
+                               text);
+                return markDead(s);
+            }
+            if (hello->type != net::FrameType::Hello) {
+                failSession(s, "first frame was not Hello/StatusReq",
+                            false, true);
+                return markDead(s);
+            }
+            net::sendFrame(
+                *s.channel, net::FrameType::Welcome,
+                encodeWelcome(static_cast<uint32_t>(
+                    opts.heartbeatSec * 1000)));
+            {
+                std::lock_guard<std::mutex> lock(s.m);
+                s.registered = true;
+            }
+            serveJobs(s);
+        } catch (const net::FleetProtocolError &err) {
+            failSession(s, err.what(), false, true);
+        } catch (const net::TransportError &err) {
+            failSession(s, err.what(), false, true);
+        }
+        markDead(s);
+    }
+
+    void
+    serveJobs(Session &s)
+    {
+        const double stall_sec =
+            std::max(opts.stallFactor * opts.heartbeatSec, 0.25);
+        for (;;) {
+            AssignSpec job;
+            double timeout_sec;
+            {
+                std::unique_lock<std::mutex> lock(s.m);
+                s.cv.wait(lock, [&] { return s.busy || s.stop; });
+                if (s.stop) {
+                    // Polite shutdown of an idle worker.
+                    lock.unlock();
+                    try {
+                        net::sendFrame(*s.channel, net::FrameType::Bye);
+                    } catch (...) {
+                    }
+                    return;
+                }
+                job = s.job;
+                timeout_sec = s.timeoutSec;
+            }
+            net::sendFrame(*s.channel, net::FrameType::Assign,
+                           encodeAssign(job));
+
+            const Clock::time_point started = Clock::now();
+            Clock::time_point last_frame = started;
+            for (bool in_flight = true; in_flight;) {
+                if (!s.channel->waitReadable(100)) {
+                    if (s.stop)
+                        return failSession(s, "pool shutting down",
+                                           false, false);
+                    if (secondsSince(last_frame) > stall_sec)
+                        return failSession(
+                            s,
+                            strprintf("no heartbeat for %.1fs "
+                                      "(cadence %.1fs)",
+                                      secondsSince(last_frame),
+                                      opts.heartbeatSec),
+                            true, true);
+                    if (secondsSince(started) > timeout_sec)
+                        return failSession(
+                            s,
+                            strprintf("shard exceeded the %.1fs "
+                                      "wall-clock budget",
+                                      timeout_sec),
+                            true, true);
+                    continue;
+                }
+                const auto frame = net::recvFrame(*s.channel);
+                if (!frame)
+                    return failSession(s,
+                                       "worker disconnected mid-shard",
+                                       false, true);
+                last_frame = Clock::now();
+                switch (frame->type) {
+                  case net::FrameType::Heartbeat:
+                    break;
+                  case net::FrameType::ShardDone: {
+                      sim::ByteReader r(frame->payload);
+                      RemoteEvent event;
+                      event.done = true;
+                      event.worker = s.id;
+                      try {
+                          event.token = r.u64();
+                      } catch (const sim::ByteStreamTruncated &t) {
+                          throwCorruptPayload("ShardDone", t);
+                      }
+                      event.record.assign(
+                          frame->payload.begin() + 8,
+                          frame->payload.end());
+                      if (event.token != job.token)
+                          throw net::FleetProtocolError(
+                              net::FleetProtocolError::Kind::
+                                  CorruptFrame,
+                              strprintf("ShardDone token %llu for "
+                                        "assigned token %llu",
+                                        static_cast<unsigned long long>(
+                                            event.token),
+                                        static_cast<unsigned long long>(
+                                            job.token)));
+                      pushEvent(std::move(event));
+                      in_flight = false;
+                      break;
+                  }
+                  case net::FrameType::ShardFail: {
+                      sim::ByteReader r(frame->payload);
+                      RemoteEvent event;
+                      event.done = false;
+                      event.worker = s.id;
+                      try {
+                          event.token = r.u64();
+                          event.error = payloadString(r);
+                      } catch (const sim::ByteStreamTruncated &t) {
+                          throwCorruptPayload("ShardFail", t);
+                      }
+                      // An honest failure report: the worker stays in
+                      // the pool, only the shard is re-queued.
+                      pushEvent(std::move(event));
+                      in_flight = false;
+                      break;
+                  }
+                  default:
+                    throw net::FleetProtocolError(
+                        net::FleetProtocolError::Kind::CorruptFrame,
+                        strprintf("unexpected frame type %u mid-shard",
+                                  static_cast<unsigned>(frame->type)));
+                }
+            }
+            std::lock_guard<std::mutex> lock(s.m);
+            s.busy = false;
+        }
+    }
+
+    void
+    markDead(Session &s)
+    {
+        std::lock_guard<std::mutex> lock(s.m);
+        s.dead = true;
+    }
+
+    PoolOptions opts;
+    net::TcpListener listener;
+    std::thread acceptThread;
+    std::atomic<bool> stopping{false};
+    std::atomic<uint64_t> nextSession{1};
+    std::atomic<unsigned> quarantinedCount{0};
+    std::atomic<unsigned> stallCount{0};
+
+    mutable std::mutex sessionsMutex;
+    std::vector<std::shared_ptr<Session>> sessions;
+
+    std::mutex eventsMutex;
+    std::deque<RemoteEvent> events;
+
+    std::mutex statusMutex;
+    std::string statusText;
+};
+
+RemotePool::RemotePool(const PoolOptions &options)
+    : impl_(std::make_unique<Impl>(options))
+{}
+
+RemotePool::~RemotePool()
+{
+    shutdown();
+}
+
+uint16_t
+RemotePool::port() const
+{
+    return impl_->listener.port();
+}
+
+size_t
+RemotePool::connectedWorkers() const
+{
+    std::lock_guard<std::mutex> lock(impl_->sessionsMutex);
+    size_t n = 0;
+    for (const auto &session : impl_->sessions) {
+        std::lock_guard<std::mutex> slock(session->m);
+        n += session->registered && !session->dead && !session->stop;
+    }
+    return n;
+}
+
+bool
+RemotePool::assign(const AssignSpec &spec, double timeout_sec)
+{
+    std::lock_guard<std::mutex> lock(impl_->sessionsMutex);
+    for (const auto &session : impl_->sessions) {
+        std::lock_guard<std::mutex> slock(session->m);
+        if (!session->registered || session->dead || session->stop ||
+            session->busy)
+            continue;
+        session->busy = true;
+        session->job = spec;
+        session->timeoutSec = timeout_sec;
+        session->cv.notify_one();
+        return true;
+    }
+    return false;
+}
+
+std::vector<RemoteEvent>
+RemotePool::drainEvents()
+{
+    std::lock_guard<std::mutex> lock(impl_->eventsMutex);
+    std::vector<RemoteEvent> drained(impl_->events.begin(),
+                                     impl_->events.end());
+    impl_->events.clear();
+    return drained;
+}
+
+void
+RemotePool::quarantine(uint64_t worker)
+{
+    std::lock_guard<std::mutex> lock(impl_->sessionsMutex);
+    for (const auto &session : impl_->sessions) {
+        std::lock_guard<std::mutex> slock(session->m);
+        if (session->id != worker || session->dead || session->stop)
+            continue;
+        session->stop = true;
+        session->cv.notify_one();
+        Impl::wake(*session);
+        ++impl_->quarantinedCount;
+        return;
+    }
+}
+
+void
+RemotePool::setStatusText(const std::string &text)
+{
+    std::lock_guard<std::mutex> lock(impl_->statusMutex);
+    impl_->statusText = text;
+}
+
+unsigned
+RemotePool::quarantined() const
+{
+    return impl_->quarantinedCount.load();
+}
+
+unsigned
+RemotePool::stalls() const
+{
+    return impl_->stallCount.load();
+}
+
+void
+RemotePool::shutdown()
+{
+    if (impl_->stopping.exchange(true))
+        return;
+    impl_->listener.close();
+    if (impl_->acceptThread.joinable())
+        impl_->acceptThread.join();
+
+    std::vector<std::shared_ptr<Impl::Session>> sessions;
+    {
+        std::lock_guard<std::mutex> lock(impl_->sessionsMutex);
+        sessions = impl_->sessions;
+    }
+    for (const auto &session : sessions) {
+        {
+            std::lock_guard<std::mutex> slock(session->m);
+            session->stop = true;
+            session->cv.notify_one();
+        }
+    }
+    for (const auto &session : sessions) {
+        // Give the session a moment to send its polite Bye before
+        // yanking the socket out from under a blocked recv.
+        for (int i = 0; i < 20; ++i) {
+            {
+                std::lock_guard<std::mutex> slock(session->m);
+                if (session->dead)
+                    break;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        {
+            std::lock_guard<std::mutex> slock(session->m);
+            if (!session->dead)
+                Impl::wake(*session);
+        }
+        if (session->thread.joinable())
+            session->thread.join();
+    }
+    {
+        std::lock_guard<std::mutex> lock(impl_->sessionsMutex);
+        impl_->sessions.clear();
+    }
+}
+
+// ---- worker loop --------------------------------------------------------
+
+unsigned
+runFleetWorker(const std::string &host, uint16_t port, unsigned jobs)
+{
+    ignoreSigpipe();
+    std::unique_ptr<net::Channel> channel;
+    for (int attempt = 0;; ++attempt) {
+        try {
+            channel = net::connectTcp(host, port);
+            break;
+        } catch (const net::TransportError &) {
+            // The coordinator may still be binding; retry briefly.
+            if (attempt >= 50)
+                throw;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(100));
+        }
+    }
+    net::sendFrame(*channel, net::FrameType::Hello,
+                   encodeHello(0, jobs));
+    const auto welcome = net::recvFrame(*channel);
+    if (!welcome || welcome->type != net::FrameType::Welcome)
+        return 0;
+    uint32_t heartbeat_ms = 1000;
+    {
+        sim::ByteReader r(welcome->payload);
+        try {
+            heartbeat_ms = std::max(r.u32(), 10u);
+        } catch (const sim::ByteStreamTruncated &t) {
+            throwCorruptPayload("Welcome", t);
+        }
+    }
+
+    unsigned completed = 0;
+    std::mutex send_mutex;
+    for (;;) {
+        std::optional<net::Frame> frame;
+        try {
+            frame = net::recvFrame(*channel);
+        } catch (const net::FleetProtocolError &err) {
+            warn("fleet worker: %s", err.what());
+            return completed;
+        } catch (const net::TransportError &) {
+            // Coordinator yanked the connection (quarantine, crash):
+            // the worker just winds down.
+            return completed;
+        }
+        if (!frame || frame->type == net::FrameType::Bye)
+            return completed;
+        if (frame->type != net::FrameType::Assign)
+            continue;
+        const AssignSpec spec = decodeAssign(frame->payload);
+
+        // Chaos actions (ctests only; the coordinator only populates
+        // them from RISC1_FLEET_CHAOS). "crash" models a worker dying
+        // mid-shard; "hang" a livelocked worker that stops
+        // heartbeating — the coordinator's stall watchdog must catch
+        // it, and the process exits if it ever wakes.
+        if (spec.chaos == "crash")
+            std::_Exit(42);
+        if (spec.chaos == "hang") {
+            std::this_thread::sleep_for(std::chrono::seconds(600));
+            std::_Exit(42);
+        }
+
+        std::atomic<bool> computing{true};
+        std::thread heart([&] {
+            Clock::time_point last = Clock::now();
+            while (computing.load()) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(20));
+                if (!computing.load() ||
+                    secondsSince(last) * 1000 < heartbeat_ms)
+                    continue;
+                last = Clock::now();
+                std::lock_guard<std::mutex> lock(send_mutex);
+                try {
+                    net::sendFrame(*channel,
+                                   net::FrameType::Heartbeat);
+                } catch (...) {
+                    return;
+                }
+            }
+        });
+
+        std::vector<uint8_t> record;
+        std::string failure;
+        try {
+            const std::vector<FaultCampaignRow> rows =
+                faultCampaignRange(spec.injections, spec.seed,
+                                   spec.first, spec.last,
+                                   spec.jobs ? spec.jobs : jobs,
+                                   spec.streaming, spec.recovery);
+            record = serializeShardRecord(
+                shardParams(spec.injections, spec.seed, spec.first,
+                            spec.last, spec.recovery),
+                rows);
+        } catch (const std::exception &err) {
+            failure = err.what();
+        }
+        computing.store(false);
+        heart.join();
+
+        std::lock_guard<std::mutex> lock(send_mutex);
+        if (!failure.empty()) {
+            sim::ByteWriter w;
+            w.u64(spec.token);
+            w.u32(static_cast<uint32_t>(failure.size()));
+            w.bytes(reinterpret_cast<const uint8_t *>(failure.data()),
+                    failure.size());
+            net::sendFrame(*channel, net::FrameType::ShardFail,
+                           w.take());
+            continue;
+        }
+        if (spec.chaos == "corrupt-record") {
+            // A structurally intact frame carrying a bit-flipped
+            // record: the coordinator's shard-cache validation must
+            // reject it and quarantine this worker.
+            record[record.size() / 2] ^= 0x01;
+        }
+        sim::ByteWriter w;
+        w.u64(spec.token);
+        w.bytes(record.data(), record.size());
+        const std::vector<uint8_t> payload = w.take();
+        if (spec.chaos == "corrupt-frame") {
+            // Corrupt the frame itself after the checksum was
+            // computed: the coordinator sees CorruptFrame, not a
+            // wrong tally.
+            std::vector<uint8_t> raw = net::encodeFrame(
+                net::FrameType::ShardDone, payload);
+            raw[raw.size() - 9] ^= 0x01;
+            channel->send(reinterpret_cast<const char *>(raw.data()),
+                          raw.size());
+        } else {
+            net::sendFrame(*channel, net::FrameType::ShardDone,
+                           payload);
+            ++completed;
+        }
+    }
+}
+
+// ---- status client ------------------------------------------------------
+
+std::string
+fetchFleetStatus(const std::string &host, uint16_t port)
+{
+    ignoreSigpipe();
+    const std::unique_ptr<net::Channel> channel =
+        net::connectTcp(host, port);
+    net::sendFrame(*channel, net::FrameType::StatusReq);
+    const auto resp = net::recvFrame(*channel);
+    if (!resp || resp->type != net::FrameType::StatusResp)
+        throw net::FleetProtocolError(
+            net::FleetProtocolError::Kind::CorruptFrame,
+            "fleet status: coordinator closed without a StatusResp");
+    return std::string(resp->payload.begin(), resp->payload.end());
+}
+
+std::optional<std::pair<std::string, uint16_t>>
+parseHostPort(const std::string &text)
+{
+    std::string host = "127.0.0.1";
+    std::string port_text = text;
+    const size_t colon = text.rfind(':');
+    if (colon != std::string::npos) {
+        if (colon > 0)
+            host = text.substr(0, colon);
+        port_text = text.substr(colon + 1);
+    }
+    if (port_text.empty())
+        return std::nullopt;
+    char *end = nullptr;
+    const unsigned long port = std::strtoul(port_text.c_str(), &end, 10);
+    if (*end != '\0' || port == 0 || port > 65535)
+        return std::nullopt;
+    return std::make_pair(host, static_cast<uint16_t>(port));
+}
+
+} // namespace risc1::core

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The distributed side of the campaign fleet: a coordinator-side pool
+ * of remote TCP workers (RemotePool), the worker loop that serves it
+ * (runFleetWorker), and the live status endpoint, all speaking the
+ * framed, versioned fleet protocol (net/frame.hh) over the shared
+ * net/transport layer.
+ *
+ * Division of labour with core/fleet: the coordinator loop in
+ * runFleet()/runFleets() owns shard scheduling, retry/backoff and
+ * merging; RemotePool owns connections. Each connected worker gets a
+ * dedicated session thread that sends Assign frames, counts
+ * Heartbeat frames while the worker computes, and enforces two
+ * watchdogs — a heartbeat-stall window (no frame for a multiple of the
+ * advertised cadence) and a wall-clock shard timeout. Results and
+ * failures surface to the coordinator as RemoteEvents; the shard
+ * record inside a ShardDone frame is the durable cache record
+ * *verbatim* (keyed + checksummed), so the coordinator validates it
+ * with exactly the machinery it uses for warm cache entries, and a
+ * worker built from skewed sources is caught by a key mismatch.
+ *
+ * Failure policy: every typed protocol failure (FleetProtocolError —
+ * version skew, corrupt frame, truncated stream), transport error,
+ * disconnect, heartbeat stall, or shard timeout quarantines *that
+ * worker* (its session dies, its shard is re-queued by the
+ * coordinator); nothing a single worker does can kill the campaign. A
+ * worker that reports ShardFail honestly stays in the pool — its
+ * build is healthy, only the shard failed.
+ */
+
+#ifndef RISC1_CORE_FLEETNET_HH
+#define RISC1_CORE_FLEETNET_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/experiments.hh"
+
+namespace risc1::core {
+
+/** Everything a remote worker needs to compute one shard. */
+struct AssignSpec
+{
+    uint64_t token = 0; //!< coordinator-side shard identity, echoed back
+    unsigned injections = 0;
+    uint64_t seed = 0;
+    uint64_t first = 0; //!< flat grid slot range [first, last)
+    uint64_t last = 0;
+    bool streaming = false;
+    RecoveryOptions recovery;
+    unsigned jobs = 1; //!< ParallelRunner width inside the worker
+    /** Chaos action for the fleet ctests ("crash", "hang",
+     *  "corrupt-frame", "corrupt-record"); empty in real campaigns. */
+    std::string chaos;
+};
+
+/** AssignSpec <-> Assign-frame payload (exposed for tests). */
+std::vector<uint8_t> encodeAssign(const AssignSpec &spec);
+AssignSpec decodeAssign(const std::vector<uint8_t> &payload);
+
+/** What one remote worker did with one assigned shard. */
+struct RemoteEvent
+{
+    bool done = false;   //!< true: record valid to parse; false: failed
+    uint64_t token = 0;  //!< the AssignSpec token
+    uint64_t worker = 0; //!< session id, for RemotePool::quarantine()
+    std::vector<uint8_t> record; //!< ShardDone: the cache record verbatim
+    std::string error;           //!< failure description
+    bool stalled = false;        //!< heartbeat stall or shard timeout
+    bool quarantined = false;    //!< the worker was removed from the pool
+};
+
+/** Configuration of a RemotePool. */
+struct PoolOptions
+{
+    uint16_t port = 0;        //!< 0 picks an ephemeral port
+    double heartbeatSec = 1.0; //!< cadence advertised to workers
+    /**
+     * A worker is declared stalled when no frame (heartbeat or
+     * otherwise) arrives for stallFactor x heartbeatSec while a shard
+     * is in flight. 4 tolerates scheduler jitter without letting a
+     * hung worker hold a shard hostage for long.
+     */
+    double stallFactor = 4.0;
+};
+
+/**
+ * A listening pool of remote campaign workers plus the status
+ * endpoint, shared by every campaign the coordinator runs (see
+ * runFleets for multi-tenant scheduling). Thread-safe; all methods may
+ * be called from the coordinator loop while session threads run.
+ */
+class RemotePool
+{
+  public:
+    explicit RemotePool(const PoolOptions &options = {});
+    ~RemotePool();
+
+    RemotePool(const RemotePool &) = delete;
+    RemotePool &operator=(const RemotePool &) = delete;
+
+    /** The bound TCP port (workers connect to 127.0.0.1:port()). */
+    uint16_t port() const;
+
+    /** Live, handshaken, non-quarantined workers. */
+    size_t connectedWorkers() const;
+
+    /**
+     * Hand a shard to an idle worker. Returns false when every worker
+     * is busy, dead, or not yet handshaken — the coordinator keeps the
+     * shard pending and retries on the next loop tick. timeout_sec is
+     * the wall-clock budget for this shard on this worker.
+     */
+    bool assign(const AssignSpec &spec, double timeout_sec);
+
+    /** Collect completed/failed shard events since the last drain. */
+    std::vector<RemoteEvent> drainEvents();
+
+    /**
+     * Remove a worker whose *results* proved untrustworthy (e.g. a
+     * record that fails shard-cache validation: a build-skewed or
+     * corrupting worker). Protocol/transport failures quarantine
+     * automatically; this is the coordinator's hook for content-level
+     * rejection.
+     */
+    void quarantine(uint64_t worker);
+
+    /** Publish the text served to StatusReq clients (endpoint is live
+     *  from construction; empty text reads "no status yet"). */
+    void setStatusText(const std::string &text);
+
+    /** Workers removed for cause (protocol, stall, quarantine()). */
+    unsigned quarantined() const;
+    /** Heartbeat-stall / shard-timeout detections. */
+    unsigned stalls() const;
+
+    /** Bye idle workers, drop connections, join every thread.
+     *  Idempotent; the destructor calls it. */
+    void shutdown();
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/**
+ * The worker loop: connect to a coordinator (with a short connect
+ * retry window, so workers may start before it binds), handshake, then
+ * serve Assign frames — compute the shard with faultCampaignRange,
+ * heartbeat from a side thread while computing, and return the
+ * serialized shard record verbatim in a ShardDone frame — until Bye or
+ * disconnect. Returns the number of shards completed. `jobs` is the
+ * default ParallelRunner width when an Assign does not set one.
+ */
+unsigned runFleetWorker(const std::string &host, uint16_t port,
+                        unsigned jobs = 1);
+
+/**
+ * Status client: fetch the coordinator's live status text (per
+ * campaign: shards merged/total and the current merged tally table).
+ * Throws TransportError / FleetProtocolError on failure.
+ */
+std::string fetchFleetStatus(const std::string &host, uint16_t port);
+
+/**
+ * Parse "HOST:PORT", ":PORT" or "PORT" (host defaults to 127.0.0.1).
+ * nullopt on malformed input or a port outside [1, 65535].
+ */
+std::optional<std::pair<std::string, uint16_t>>
+parseHostPort(const std::string &text);
+
+} // namespace risc1::core
+
+#endif // RISC1_CORE_FLEETNET_HH

@@ -1,105 +1,27 @@
 /**
  * @file
- * Byte transports for the GDB stub: a blocking Channel interface, a
- * TCP listener/connector pair built on POSIX sockets, and an
- * in-process loopback pair (socketpair) so tests can drive a full stub
- * session without binding a port. The stub itself only ever sees
- * Channel, so every transport behaves identically at the protocol
- * layer.
- *
- * All transport failures throw TransportError with errno text; a clean
- * peer close is not an error — recv() returns 0 and the session layer
- * winds down the connection.
+ * Compatibility alias: the byte transports the GDB stub was built on
+ * (Channel, FdChannel, TcpListener, TransportError, connectTcp,
+ * loopbackPair) now live in the shared net layer (net/transport.hh),
+ * where the distributed campaign fleet uses them too. This header
+ * keeps every existing `debug/transport.hh` include and
+ * `risc1::debug::` spelling compiling unchanged; new code should
+ * include net/transport.hh directly.
  */
 
 #ifndef RISC1_DEBUG_TRANSPORT_HH
 #define RISC1_DEBUG_TRANSPORT_HH
 
-#include <cstddef>
-#include <cstdint>
-#include <memory>
-#include <stdexcept>
-#include <string>
-#include <utility>
+#include "net/transport.hh"
 
 namespace risc1::debug {
 
-/** Failure of a socket operation (never a clean peer close). */
-class TransportError : public std::runtime_error
-{
-  public:
-    explicit TransportError(const std::string &message)
-        : std::runtime_error(message)
-    {}
-};
-
-/** A blocking, bidirectional byte stream. */
-class Channel
-{
-  public:
-    virtual ~Channel() = default;
-
-    /**
-     * Read up to `n` bytes into `out`, blocking until at least one is
-     * available. Returns the count read, or 0 on clean peer close.
-     */
-    virtual size_t recv(char *out, size_t n) = 0;
-
-    /** Write all `n` bytes (looping over short writes). */
-    virtual void send(const char *data, size_t n) = 0;
-};
-
-/** Channel over an owned file descriptor (TCP or socketpair end). */
-class FdChannel : public Channel
-{
-  public:
-    explicit FdChannel(int fd);
-    ~FdChannel() override;
-
-    FdChannel(const FdChannel &) = delete;
-    FdChannel &operator=(const FdChannel &) = delete;
-
-    size_t recv(char *out, size_t n) override;
-    void send(const char *data, size_t n) override;
-
-  private:
-    int fd_;
-};
-
-/**
- * Listening TCP socket on 127.0.0.1. Port 0 asks the kernel for an
- * ephemeral port; port() reports the bound one either way (drivers
- * print it / write it to --port-file so scripted clients can attach).
- */
-class TcpListener
-{
-  public:
-    explicit TcpListener(uint16_t port);
-    ~TcpListener();
-
-    TcpListener(const TcpListener &) = delete;
-    TcpListener &operator=(const TcpListener &) = delete;
-
-    uint16_t port() const { return port_; }
-
-    /** Block until a client connects. */
-    std::unique_ptr<Channel> accept();
-
-  private:
-    int fd_;
-    uint16_t port_;
-};
-
-/** Connect to a listening stub (the scripted RSP test client). */
-std::unique_ptr<Channel> connectTcp(const std::string &host,
-                                    uint16_t port);
-
-/**
- * In-process connected pair: bytes sent on one end arrive on the
- * other. The stub serves one end while the test drives the other.
- */
-std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>>
-loopbackPair();
+using net::Channel;
+using net::connectTcp;
+using net::FdChannel;
+using net::loopbackPair;
+using net::TcpListener;
+using net::TransportError;
 
 } // namespace risc1::debug
 

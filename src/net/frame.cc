@@ -1,0 +1,140 @@
+#include "net/frame.hh"
+
+#include "sim/serial.hh"
+#include "support/logging.hh"
+
+namespace risc1::net {
+
+namespace {
+
+/** magic + version + type + payload length. */
+constexpr size_t HeaderBytes = 4 + 4 + 1 + 4;
+
+uint32_t
+readU32(const uint8_t *p)
+{
+    uint32_t v = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+uint64_t
+readU64(const uint8_t *p)
+{
+    uint64_t v = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+/**
+ * Read exactly `n` bytes. Returns false if the peer closed cleanly
+ * before the first byte and `at_boundary` allows it; a close after at
+ * least one byte is always a TruncatedStream.
+ */
+bool
+recvExact(Channel &channel, uint8_t *out, size_t n, bool at_boundary)
+{
+    size_t got = 0;
+    while (got < n) {
+        const size_t r = channel.recv(
+            reinterpret_cast<char *>(out) + got, n - got);
+        if (r == 0) {
+            if (got == 0 && at_boundary)
+                return false;
+            throw FleetProtocolError(
+                FleetProtocolError::Kind::TruncatedStream,
+                strprintf("fleet frame: peer closed after %zu of %zu "
+                          "bytes",
+                          got, n));
+        }
+        got += r;
+    }
+    return true;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+encodeFrame(FrameType type, const std::vector<uint8_t> &payload,
+            uint32_t version)
+{
+    sim::ByteWriter w;
+    w.u32(FleetFrameMagic);
+    w.u32(version);
+    w.u8(static_cast<uint8_t>(type));
+    w.u32(static_cast<uint32_t>(payload.size()));
+    if (!payload.empty())
+        w.bytes(payload.data(), payload.size());
+    w.u64(sim::fnv1a(w.buffer().data(), w.size()));
+    return w.take();
+}
+
+void
+sendFrame(Channel &channel, FrameType type,
+          const std::vector<uint8_t> &payload)
+{
+    const std::vector<uint8_t> bytes = encodeFrame(type, payload);
+    channel.send(reinterpret_cast<const char *>(bytes.data()),
+                 bytes.size());
+}
+
+std::optional<Frame>
+recvFrame(Channel &channel)
+{
+    uint8_t header[HeaderBytes];
+    if (!recvExact(channel, header, sizeof(header), true))
+        return std::nullopt;
+
+    const uint32_t magic = readU32(header);
+    if (magic != FleetFrameMagic)
+        throw FleetProtocolError(
+            FleetProtocolError::Kind::CorruptFrame,
+            strprintf("fleet frame: bad magic 0x%08x (expected "
+                      "0x%08x)",
+                      magic, FleetFrameMagic));
+    const uint32_t version = readU32(header + 4);
+    if (version != FleetProtocolVersion)
+        throw FleetProtocolError(
+            FleetProtocolError::Kind::VersionSkew,
+            strprintf("fleet frame: protocol version %u, this build "
+                      "speaks version %u",
+                      version, FleetProtocolVersion));
+    const uint8_t type = header[8];
+    if (type < static_cast<uint8_t>(FrameType::Hello) ||
+        type > static_cast<uint8_t>(FrameType::Bye))
+        throw FleetProtocolError(
+            FleetProtocolError::Kind::CorruptFrame,
+            strprintf("fleet frame: unknown type %u", type));
+    const uint32_t len = readU32(header + 9);
+    if (len > MaxFramePayload)
+        throw FleetProtocolError(
+            FleetProtocolError::Kind::CorruptFrame,
+            strprintf("fleet frame: payload length %u exceeds the "
+                      "%u-byte bound",
+                      len, MaxFramePayload));
+
+    Frame frame;
+    frame.type = static_cast<FrameType>(type);
+    frame.payload.resize(len);
+    if (len > 0)
+        recvExact(channel, frame.payload.data(), len, false);
+
+    uint8_t trailer[8];
+    recvExact(channel, trailer, sizeof(trailer), false);
+    uint64_t h = sim::FnvOffset;
+    sim::fnvBytes(h, header, sizeof(header));
+    sim::fnvBytes(h, frame.payload.data(), frame.payload.size());
+    const uint64_t want = readU64(trailer);
+    if (h != want)
+        throw FleetProtocolError(
+            FleetProtocolError::Kind::CorruptFrame,
+            strprintf("fleet frame: checksum %016llx does not match "
+                      "the frame's %016llx (corrupt frame)",
+                      static_cast<unsigned long long>(h),
+                      static_cast<unsigned long long>(want)));
+    return frame;
+}
+
+} // namespace risc1::net

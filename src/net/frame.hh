@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The framed, versioned wire protocol of the distributed campaign
+ * fleet: length-prefixed frames over a net::Channel byte stream. Every
+ * frame is
+ *
+ *     | magic u32 "R1FL" | version u32 | type u8 | payload len u32 |
+ *     | payload bytes    | fnv1a-64 checksum over every prior byte |
+ *
+ * little-endian throughout (the same sim/serial conventions as the
+ * snapshot and shard-cache formats). The checksum makes a corrupt
+ * frame a typed error instead of a misparse, and the version field in
+ * every frame (not just a hello) means a coordinator/worker build skew
+ * is detected on the very first exchange.
+ *
+ * All malformed input throws FleetProtocolError with a
+ * machine-checkable Kind: VersionSkew (peer speaks another protocol
+ * version), CorruptFrame (bad magic, checksum mismatch, unknown type,
+ * oversized length — bytes arrived but they are wrong), or
+ * TruncatedStream (the peer closed mid-frame). A clean close at a
+ * frame boundary is not an error: recvFrame returns nullopt. The
+ * receiver must treat every kind as "quarantine this peer", never as
+ * "kill the campaign" — see core/fleetnet.
+ */
+
+#ifndef RISC1_NET_FRAME_HH
+#define RISC1_NET_FRAME_HH
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/transport.hh"
+
+namespace risc1::net {
+
+/** Frame magic: "R1FL", little-endian. */
+constexpr uint32_t FleetFrameMagic = 0x4c463152;
+
+/** Current fleet wire-protocol version, carried in every frame. */
+constexpr uint32_t FleetProtocolVersion = 1;
+
+/** Upper bound on a frame payload (a shard record is ~KBs). */
+constexpr uint32_t MaxFramePayload = 64u << 20;
+
+/** Typed failure of fleet-frame decoding (see file comment). */
+class FleetProtocolError : public std::runtime_error
+{
+  public:
+    enum class Kind : uint8_t
+    {
+        VersionSkew,     //!< peer speaks a different protocol version
+        CorruptFrame,    //!< bad magic / checksum / type / length
+        TruncatedStream, //!< peer closed inside a frame
+    };
+
+    FleetProtocolError(Kind kind, const std::string &message)
+        : std::runtime_error(message), kind_(kind)
+    {}
+
+    Kind kind() const { return kind_; }
+
+  private:
+    Kind kind_;
+};
+
+/** Fleet message types (the protocol's whole vocabulary). */
+enum class FrameType : uint8_t
+{
+    Hello = 1,    //!< worker -> coordinator: role + capabilities
+    Welcome = 2,  //!< coordinator -> worker: heartbeat cadence
+    Assign = 3,   //!< coordinator -> worker: one shard of work
+    ShardDone = 4, //!< worker -> coordinator: the shard record verbatim
+    ShardFail = 5, //!< worker -> coordinator: typed execution failure
+    Heartbeat = 6, //!< worker -> coordinator: liveness while computing
+    StatusReq = 7, //!< any client -> coordinator: live status text
+    StatusResp = 8, //!< coordinator -> client: rendered status
+    Bye = 9,       //!< coordinator -> worker: no more work, wind down
+};
+
+/** One decoded frame. */
+struct Frame
+{
+    FrameType type = FrameType::Bye;
+    std::vector<uint8_t> payload;
+};
+
+/**
+ * Render a frame to raw wire bytes (exposed so tests — and the chaos
+ * hooks — can corrupt a frame deliberately before sending it).
+ * `version` defaults to the build's protocol version; passing another
+ * value fabricates the version-skew case.
+ */
+std::vector<uint8_t>
+encodeFrame(FrameType type, const std::vector<uint8_t> &payload = {},
+            uint32_t version = FleetProtocolVersion);
+
+/** Encode and send one frame. Throws TransportError on I/O failure. */
+void sendFrame(Channel &channel, FrameType type,
+               const std::vector<uint8_t> &payload = {});
+
+/**
+ * Receive one frame. Returns nullopt on a clean peer close at a frame
+ * boundary; throws FleetProtocolError on any malformed input and
+ * TransportError on I/O failure.
+ */
+std::optional<Frame> recvFrame(Channel &channel);
+
+} // namespace risc1::net
+
+#endif // RISC1_NET_FRAME_HH

@@ -1,4 +1,4 @@
-#include "debug/transport.hh"
+#include "net/transport.hh"
 
 #include <cerrno>
 #include <cstring>
@@ -6,12 +6,13 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include "support/logging.hh"
 
-namespace risc1::debug {
+namespace risc1::net {
 
 namespace {
 
@@ -23,6 +24,13 @@ throwErrno(const char *what)
 }
 
 } // namespace
+
+bool
+Channel::waitReadable(int timeout_ms)
+{
+    (void)timeout_ms;
+    return true;
+}
 
 FdChannel::FdChannel(int fd) : fd_(fd) {}
 
@@ -49,14 +57,46 @@ void
 FdChannel::send(const char *data, size_t n)
 {
     while (n > 0) {
-        const ssize_t put = ::write(fd_, data, n);
+        // MSG_NOSIGNAL: a peer that vanished mid-send must surface as
+        // a TransportError (EPIPE), not kill the process with SIGPIPE
+        // — the fleet coordinator treats it as one dead worker.
+        const ssize_t put = ::send(fd_, data, n, MSG_NOSIGNAL);
         if (put < 0) {
             if (errno == EINTR)
                 continue;
+            if (errno == ENOTSOCK) {
+                // socketpair ends are sockets too, but keep plain file
+                // descriptors working for any future pipe transport.
+                const ssize_t wrote = ::write(fd_, data, n);
+                if (wrote < 0)
+                    throwErrno("send");
+                data += wrote;
+                n -= static_cast<size_t>(wrote);
+                continue;
+            }
             throwErrno("send");
         }
         data += put;
         n -= static_cast<size_t>(put);
+    }
+}
+
+bool
+FdChannel::waitReadable(int timeout_ms)
+{
+    struct pollfd pfd;
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    for (;;) {
+        const int got = ::poll(&pfd, 1, timeout_ms);
+        if (got > 0)
+            return true; // readable, or HUP/ERR — recv() will tell
+        if (got == 0)
+            return false;
+        if (errno == EINTR)
+            continue;
+        throwErrno("poll");
     }
 }
 
@@ -78,7 +118,7 @@ TcpListener::TcpListener(uint16_t port) : fd_(-1), port_(0)
         fd_ = -1;
         throwErrno("bind");
     }
-    if (::listen(fd_, 1) != 0) {
+    if (::listen(fd_, 8) != 0) {
         ::close(fd_);
         fd_ = -1;
         throwErrno("listen");
@@ -96,8 +136,17 @@ TcpListener::TcpListener(uint16_t port) : fd_(-1), port_(0)
 
 TcpListener::~TcpListener()
 {
-    if (fd_ >= 0)
+    close();
+}
+
+void
+TcpListener::close()
+{
+    if (fd_ >= 0) {
+        ::shutdown(fd_, SHUT_RDWR);
         ::close(fd_);
+        fd_ = -1;
+    }
 }
 
 std::unique_ptr<Channel>
@@ -154,4 +203,4 @@ loopbackPair()
             std::make_unique<FdChannel>(fds[1])};
 }
 
-} // namespace risc1::debug
+} // namespace risc1::net

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Shared byte transports: a blocking Channel interface, a TCP
+ * listener/connector pair built on POSIX sockets, and an in-process
+ * loopback pair (socketpair). Originally built for the GDB stub
+ * (src/debug still re-exports these names from its old location via a
+ * thin alias header), the layer now also carries the campaign fleet's
+ * worker protocol (core/fleetnet over net/frame), so both protocol
+ * stacks see exactly the same transport semantics.
+ *
+ * All transport failures throw TransportError with errno text; a clean
+ * peer close is not an error — recv() returns 0 and the session layer
+ * winds down the connection.
+ */
+
+#ifndef RISC1_NET_TRANSPORT_HH
+#define RISC1_NET_TRANSPORT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace risc1::net {
+
+/** Failure of a socket operation (never a clean peer close). */
+class TransportError : public std::runtime_error
+{
+  public:
+    explicit TransportError(const std::string &message)
+        : std::runtime_error(message)
+    {}
+};
+
+/** A blocking, bidirectional byte stream. */
+class Channel
+{
+  public:
+    virtual ~Channel() = default;
+
+    /**
+     * Read up to `n` bytes into `out`, blocking until at least one is
+     * available. Returns the count read, or 0 on clean peer close.
+     */
+    virtual size_t recv(char *out, size_t n) = 0;
+
+    /** Write all `n` bytes (looping over short writes). */
+    virtual void send(const char *data, size_t n) = 0;
+
+    /**
+     * Wait until a recv() would not block (data or peer close
+     * pending), up to `timeout_ms` milliseconds. Returns whether it
+     * would. The base implementation returns true — "just try the
+     * blocking recv" — which is correct for transports that cannot
+     * poll; FdChannel polls the descriptor, which is what the fleet's
+     * heartbeat/stall watchdog is built on.
+     */
+    virtual bool waitReadable(int timeout_ms);
+};
+
+/** Channel over an owned file descriptor (TCP or socketpair end). */
+class FdChannel : public Channel
+{
+  public:
+    explicit FdChannel(int fd);
+    ~FdChannel() override;
+
+    FdChannel(const FdChannel &) = delete;
+    FdChannel &operator=(const FdChannel &) = delete;
+
+    size_t recv(char *out, size_t n) override;
+    void send(const char *data, size_t n) override;
+    bool waitReadable(int timeout_ms) override;
+
+    int fd() const { return fd_; }
+
+  private:
+    int fd_;
+};
+
+/**
+ * Listening TCP socket on 127.0.0.1. Port 0 asks the kernel for an
+ * ephemeral port; port() reports the bound one either way (drivers
+ * print it / write it to --port-file so scripted clients can attach).
+ */
+class TcpListener
+{
+  public:
+    explicit TcpListener(uint16_t port);
+    ~TcpListener();
+
+    TcpListener(const TcpListener &) = delete;
+    TcpListener &operator=(const TcpListener &) = delete;
+
+    uint16_t port() const { return port_; }
+
+    /** Block until a client connects. */
+    std::unique_ptr<Channel> accept();
+
+    /**
+     * Unblock a concurrent accept() and make every further accept()
+     * throw: shutdown + close the listening socket. Idempotent; the
+     * accept loop of a server thread checks its own stop flag when
+     * accept() throws after this.
+     */
+    void close();
+
+  private:
+    int fd_;
+    uint16_t port_;
+};
+
+/** Connect to a listening server (GDB test client, fleet worker). */
+std::unique_ptr<Channel> connectTcp(const std::string &host,
+                                    uint16_t port);
+
+/**
+ * In-process connected pair: bytes sent on one end arrive on the
+ * other. A server serves one end while the test drives the other.
+ */
+std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>>
+loopbackPair();
+
+} // namespace risc1::net
+
+#endif // RISC1_NET_TRANSPORT_HH

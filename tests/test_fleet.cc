@@ -13,8 +13,10 @@
  */
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -413,6 +415,75 @@ TEST(Fleet, RangePartitionSumsToFullCampaign)
         core::runFleet(inProcessOptions("", 1));
     expectRowsEqual(finest.rows, expectedRows());
     EXPECT_EQ(finest.stats.shards, gridTotal());
+}
+
+TEST(Fleet, BackoffJitterIsDeterministicBoundedAndMonotone)
+{
+    const double base = 0.05;
+    for (unsigned attempt = 1; attempt <= 6; ++attempt) {
+        for (size_t shard = 0; shard < 8; ++shard) {
+            const double d =
+                core::fleetBackoffSec(base, Seed, shard, attempt);
+            // Reproducible for a fixed (seed, shard, attempt) triple.
+            EXPECT_EQ(d, core::fleetBackoffSec(base, Seed, shard,
+                                               attempt));
+            // Attempt N's jittered range is [2^(N-2), 2^(N-1)) x base.
+            const double lo = std::ldexp(base, int(attempt) - 2);
+            const double hi = std::ldexp(base, int(attempt) - 1);
+            EXPECT_GE(d, lo) << "shard " << shard << " attempt "
+                             << attempt;
+            EXPECT_LT(d, hi) << "shard " << shard << " attempt "
+                             << attempt;
+            // Consecutive attempts of one shard never reorder.
+            if (attempt > 1) {
+                EXPECT_GT(d, core::fleetBackoffSec(base, Seed, shard,
+                                                   attempt - 1));
+            }
+        }
+    }
+    // The point of the jitter: shards that fail together do not all
+    // retry at the same instant. With 8 shards at least two distinct
+    // delays is a safe (deterministic) expectation.
+    std::set<double> delays;
+    for (size_t shard = 0; shard < 8; ++shard)
+        delays.insert(core::fleetBackoffSec(base, Seed, shard, 1));
+    EXPECT_GT(delays.size(), 1u);
+    // And the seed decorrelates fleets: a different campaign seed
+    // yields a different jitter schedule somewhere in that range.
+    bool differs = false;
+    for (size_t shard = 0; shard < 8 && !differs; ++shard)
+        differs = core::fleetBackoffSec(base, Seed, shard, 1) !=
+                  core::fleetBackoffSec(base, Seed ^ 1, shard, 1);
+    EXPECT_TRUE(differs);
+}
+
+TEST(Fleet, MultiTenantFleetsMatchSoloRuns)
+{
+    // Two campaigns share one (in-process) infrastructure; each
+    // tenant's merged rows must be byte-identical to running it
+    // alone, and per-tenant stats must not bleed into each other.
+    core::FleetOptions a = inProcessOptions("", 3);
+    core::FleetOptions b = a;
+    b.injections = 1;
+    b.seed = 13;
+
+    const std::vector<core::FleetResult> results =
+        core::runFleets({a, b});
+    ASSERT_EQ(results.size(), 2u);
+    expectRowsEqual(results[0].rows, expectedRows());
+
+    const std::vector<FaultCampaignRow> want_b =
+        core::faultCampaign(1, 13, 2, true);
+    const ShardParams pb = core::shardParams(
+        1, 13, 0, uint64_t{want_b.size()}, {});
+    EXPECT_EQ(core::serializeShardRecord(pb, results[1].rows),
+              core::serializeShardRecord(pb, want_b));
+
+    EXPECT_EQ(results[0].stats.shards + results[1].stats.shards,
+              results[0].stats.inProcessShards +
+                  results[1].stats.inProcessShards);
+    EXPECT_FALSE(results[0].stats.halted);
+    EXPECT_FALSE(results[1].stats.halted);
 }
 
 } // namespace

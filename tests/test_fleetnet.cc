@@ -1,0 +1,396 @@
+/**
+ * @file
+ * The distributed fleet layer: frame codec failure taxonomy (version
+ * skew, corrupt frame, truncated stream, clean close), the Assign
+ * payload codec, host:port parsing, and — end to end over real
+ * loopback TCP — a RemotePool serving an in-thread runFleetWorker:
+ * assigned shards come back as valid cache records byte-identical to
+ * faultCampaignRange, the status endpoint serves live text, content-
+ * level quarantine evicts a worker, and a whole runFleet over the pool
+ * reproduces the serial campaign byte for byte. Chaos at process
+ * granularity (kill/hang/corrupt over spawned workers) lives in the
+ * bench/fleet_tcp_determinism.cmake ctest, which needs real binaries.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "core/experiments.hh"
+#include "core/fleet.hh"
+#include "core/fleetnet.hh"
+#include "net/frame.hh"
+#include "net/transport.hh"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace risc1;
+using core::AssignSpec;
+using core::FaultCampaignRow;
+using core::RemoteEvent;
+using core::RemotePool;
+using core::ShardParams;
+using net::FleetProtocolError;
+using net::Frame;
+using net::FrameType;
+
+/** A scratch directory removed on scope exit. */
+class TempDir
+{
+  public:
+    TempDir()
+        : path_(fs::temp_directory_path() /
+                ("risc1_fleetnet_test_" + std::to_string(::getpid()) +
+                 "_" + std::to_string(counter_++)))
+    {
+        fs::create_directories(path_);
+    }
+
+    ~TempDir() { fs::remove_all(path_); }
+
+    std::string str() const { return path_.string(); }
+
+  private:
+    static int counter_;
+    fs::path path_;
+};
+
+int TempDir::counter_ = 0;
+
+void
+sendRaw(net::Channel &channel, const std::vector<uint8_t> &bytes)
+{
+    channel.send(reinterpret_cast<const char *>(bytes.data()),
+                 bytes.size());
+}
+
+FleetProtocolError::Kind
+recvMustThrow(net::Channel &channel)
+{
+    try {
+        (void)net::recvFrame(channel);
+    } catch (const FleetProtocolError &err) {
+        EXPECT_FALSE(std::string(err.what()).empty());
+        return err.kind();
+    }
+    ADD_FAILURE() << "malformed frame accepted";
+    return FleetProtocolError::Kind::CorruptFrame;
+}
+
+/** Spin until `done` or the deadline; the pool is asynchronous. */
+template <typename Pred>
+bool
+waitFor(Pred done, double timeout_sec = 30.0)
+{
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(timeout_sec);
+    while (!done()) {
+        if (std::chrono::steady_clock::now() > deadline)
+            return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return true;
+}
+
+// ---- frame codec -------------------------------------------------------
+
+TEST(Frame, RoundTripsOverLoopback)
+{
+    auto [a, b] = net::loopbackPair();
+    const std::vector<uint8_t> payload = {1, 2, 3, 0xff, 0};
+    net::sendFrame(*a, FrameType::Assign, payload);
+    net::sendFrame(*a, FrameType::Heartbeat); // empty payload
+    std::optional<Frame> f1 = net::recvFrame(*b);
+    ASSERT_TRUE(f1.has_value());
+    EXPECT_EQ(f1->type, FrameType::Assign);
+    EXPECT_EQ(f1->payload, payload);
+    std::optional<Frame> f2 = net::recvFrame(*b);
+    ASSERT_TRUE(f2.has_value());
+    EXPECT_EQ(f2->type, FrameType::Heartbeat);
+    EXPECT_TRUE(f2->payload.empty());
+}
+
+TEST(Frame, CleanCloseAtBoundaryIsNullopt)
+{
+    auto [a, b] = net::loopbackPair();
+    net::sendFrame(*a, FrameType::Bye);
+    a.reset(); // close after a complete frame
+    std::optional<Frame> f = net::recvFrame(*b);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->type, FrameType::Bye);
+    EXPECT_FALSE(net::recvFrame(*b).has_value());
+}
+
+TEST(Frame, VersionSkewIsTypedAndNamed)
+{
+    auto [a, b] = net::loopbackPair();
+    sendRaw(*a, net::encodeFrame(FrameType::Hello, {},
+                                 net::FleetProtocolVersion + 1));
+    try {
+        (void)net::recvFrame(*b);
+        FAIL() << "skewed version accepted";
+    } catch (const FleetProtocolError &err) {
+        EXPECT_EQ(err.kind(), FleetProtocolError::Kind::VersionSkew);
+        // The message must name both versions — it is what the
+        // operator sees when a stale worker binary connects.
+        const std::string what = err.what();
+        EXPECT_NE(what.find("version"), std::string::npos) << what;
+    }
+}
+
+TEST(Frame, CorruptPayloadByteFailsChecksum)
+{
+    auto [a, b] = net::loopbackPair();
+    std::vector<uint8_t> raw =
+        net::encodeFrame(FrameType::Assign, {1, 2, 3, 4});
+    raw[raw.size() - 9] ^= 0x01; // last payload byte, as the chaos hook
+    sendRaw(*a, raw);
+    EXPECT_EQ(recvMustThrow(*b),
+              FleetProtocolError::Kind::CorruptFrame);
+}
+
+TEST(Frame, BadMagicIsCorrupt)
+{
+    auto [a, b] = net::loopbackPair();
+    std::vector<uint8_t> raw = net::encodeFrame(FrameType::Hello);
+    raw[0] ^= 0xff;
+    sendRaw(*a, raw);
+    EXPECT_EQ(recvMustThrow(*b),
+              FleetProtocolError::Kind::CorruptFrame);
+}
+
+TEST(Frame, UnknownTypeIsCorrupt)
+{
+    auto [a, b] = net::loopbackPair();
+    sendRaw(*a, net::encodeFrame(static_cast<FrameType>(0xee)));
+    EXPECT_EQ(recvMustThrow(*b),
+              FleetProtocolError::Kind::CorruptFrame);
+}
+
+TEST(Frame, OversizedLengthIsCorruptNotAnAllocation)
+{
+    auto [a, b] = net::loopbackPair();
+    std::vector<uint8_t> raw = net::encodeFrame(FrameType::Hello);
+    // Stamp a payload length far past MaxFramePayload into the
+    // header; the decoder must reject it from the length field alone.
+    for (unsigned i = 0; i < 4; ++i)
+        raw[9 + i] = 0xff;
+    sendRaw(*a, raw);
+    EXPECT_EQ(recvMustThrow(*b),
+              FleetProtocolError::Kind::CorruptFrame);
+}
+
+TEST(Frame, PeerCloseMidFrameIsTruncatedStream)
+{
+    auto [a, b] = net::loopbackPair();
+    const std::vector<uint8_t> raw =
+        net::encodeFrame(FrameType::Assign, {1, 2, 3});
+    // Header only, then half the payload, then the peer dies.
+    std::vector<uint8_t> partial(raw.begin(), raw.begin() + 14);
+    sendRaw(*a, partial);
+    a.reset();
+    EXPECT_EQ(recvMustThrow(*b),
+              FleetProtocolError::Kind::TruncatedStream);
+}
+
+// ---- Assign payload codec ----------------------------------------------
+
+TEST(Fleetnet, AssignSpecRoundTrips)
+{
+    AssignSpec spec;
+    spec.token = 0xfeedfacecafebeefull;
+    spec.injections = 123;
+    spec.seed = 1981;
+    spec.first = 7;
+    spec.last = 99;
+    spec.streaming = true;
+    spec.recovery.enabled = true;
+    spec.recovery.checkpointInterval = 4096;
+    spec.jobs = 3;
+    spec.chaos = "corrupt-frame";
+
+    const AssignSpec got = core::decodeAssign(core::encodeAssign(spec));
+    EXPECT_EQ(got.token, spec.token);
+    EXPECT_EQ(got.injections, spec.injections);
+    EXPECT_EQ(got.seed, spec.seed);
+    EXPECT_EQ(got.first, spec.first);
+    EXPECT_EQ(got.last, spec.last);
+    EXPECT_EQ(got.streaming, spec.streaming);
+    EXPECT_EQ(got.recovery.enabled, spec.recovery.enabled);
+    EXPECT_EQ(got.recovery.checkpointInterval,
+              spec.recovery.checkpointInterval);
+    EXPECT_EQ(got.jobs, spec.jobs);
+    EXPECT_EQ(got.chaos, spec.chaos);
+}
+
+TEST(Fleetnet, TruncatedAssignPayloadIsCorruptFrame)
+{
+    AssignSpec spec;
+    spec.token = 42;
+    spec.injections = 5;
+    spec.seed = 7;
+    spec.last = 10;
+    const std::vector<uint8_t> full = core::encodeAssign(spec);
+    for (size_t cut = 0; cut < full.size(); cut += 3) {
+        std::vector<uint8_t> prefix(full.begin(), full.begin() + cut);
+        try {
+            (void)core::decodeAssign(prefix);
+            FAIL() << "truncated Assign accepted at " << cut;
+        } catch (const FleetProtocolError &err) {
+            EXPECT_EQ(err.kind(),
+                      FleetProtocolError::Kind::CorruptFrame);
+        }
+    }
+}
+
+// ---- host:port parsing -------------------------------------------------
+
+TEST(Fleetnet, ParseHostPortForms)
+{
+    auto hp = core::parseHostPort("9000");
+    ASSERT_TRUE(hp.has_value());
+    EXPECT_EQ(hp->first, "127.0.0.1");
+    EXPECT_EQ(hp->second, 9000);
+
+    hp = core::parseHostPort(":65535");
+    ASSERT_TRUE(hp.has_value());
+    EXPECT_EQ(hp->first, "127.0.0.1");
+    EXPECT_EQ(hp->second, 65535);
+
+    hp = core::parseHostPort("worker-3.local:1");
+    ASSERT_TRUE(hp.has_value());
+    EXPECT_EQ(hp->first, "worker-3.local");
+    EXPECT_EQ(hp->second, 1);
+
+    EXPECT_FALSE(core::parseHostPort("").has_value());
+    EXPECT_FALSE(core::parseHostPort("host:").has_value());
+    EXPECT_FALSE(core::parseHostPort("host:abc").has_value());
+    EXPECT_FALSE(core::parseHostPort("host:0").has_value());
+    EXPECT_FALSE(core::parseHostPort("host:70000").has_value());
+    EXPECT_FALSE(core::parseHostPort("nonsense").has_value());
+}
+
+// ---- pool + worker over loopback TCP -----------------------------------
+
+// One real shard, small: one injection per workload over grid slots
+// [0, 4). Shared so the expectation is computed once.
+constexpr unsigned Injections = 1;
+constexpr uint64_t Seed = 7;
+constexpr uint64_t First = 0;
+constexpr uint64_t Last = 4;
+
+const std::vector<FaultCampaignRow> &
+expectedShardRows()
+{
+    static const std::vector<FaultCampaignRow> rows =
+        core::faultCampaignRange(Injections, Seed, First, Last, 2,
+                                 true, {});
+    return rows;
+}
+
+TEST(Fleetnet, PoolAssignsStatusServesQuarantineEvicts)
+{
+    core::PoolOptions popts;
+    popts.heartbeatSec = 0.2;
+    RemotePool pool(popts);
+    ASSERT_NE(pool.port(), 0);
+
+    // The status endpoint is live from construction.
+    pool.setStatusText("campaign 0: warming up");
+    EXPECT_EQ(core::fetchFleetStatus("127.0.0.1", pool.port()),
+              "campaign 0: warming up");
+
+    std::thread worker(
+        [&] { core::runFleetWorker("127.0.0.1", pool.port(), 1); });
+    ASSERT_TRUE(waitFor([&] { return pool.connectedWorkers() == 1; }))
+        << "worker never completed the handshake";
+
+    AssignSpec spec;
+    spec.token = 71;
+    spec.injections = Injections;
+    spec.seed = Seed;
+    spec.first = First;
+    spec.last = Last;
+    spec.streaming = true;
+    ASSERT_TRUE(pool.assign(spec, /*timeout_sec=*/120));
+    // Every worker is now busy: a second assign must be refused, not
+    // queued — the coordinator owns the pending queue.
+    EXPECT_FALSE(pool.assign(spec, 120));
+
+    std::vector<RemoteEvent> events;
+    ASSERT_TRUE(waitFor([&] {
+        for (RemoteEvent &e : pool.drainEvents())
+            events.push_back(e);
+        return !events.empty();
+    })) << "assigned shard never produced an event";
+    ASSERT_EQ(events.size(), 1u);
+    const RemoteEvent &done = events.front();
+    EXPECT_TRUE(done.done);
+    EXPECT_EQ(done.token, 71u);
+    EXPECT_FALSE(done.stalled);
+
+    // The record is the durable cache format verbatim: it validates
+    // with the cache machinery and carries exactly the serial rows.
+    const ShardParams params =
+        core::shardParams(Injections, Seed, First, Last, {});
+    const std::vector<FaultCampaignRow> rows =
+        core::deserializeShardRecord(done.record, params);
+    EXPECT_EQ(core::serializeShardRecord(params, rows),
+              core::serializeShardRecord(params, expectedShardRows()));
+
+    // Content-level quarantine: the coordinator's verdict evicts the
+    // worker and the worker loop winds down on the dropped socket.
+    pool.quarantine(done.worker);
+    EXPECT_TRUE(waitFor([&] { return pool.connectedWorkers() == 0; }));
+    EXPECT_EQ(pool.quarantined(), 1u);
+    worker.join();
+    pool.shutdown();
+}
+
+TEST(Fleetnet, RunFleetOverTcpPoolMatchesSerialRows)
+{
+    TempDir cache;
+    RemotePool pool;
+    std::vector<std::thread> workers;
+    for (int i = 0; i < 2; ++i)
+        workers.emplace_back(
+            [&] { core::runFleetWorker("127.0.0.1", pool.port(), 1); });
+    ASSERT_TRUE(waitFor([&] { return pool.connectedWorkers() == 2; }));
+
+    core::FleetOptions opts;
+    opts.injections = 2;
+    opts.seed = 11;
+    opts.shardSlots = 5; // several shards, so both workers serve
+    opts.cacheDir = cache.str();
+    opts.pool = &pool;
+    opts.remoteGraceSec = 10;
+    const core::FleetResult result = core::runFleet(opts);
+
+    const std::vector<FaultCampaignRow> want =
+        core::faultCampaign(2, 11, 2, true);
+    const ShardParams params = core::shardParams(
+        2, 11, 0, uint64_t{want.size()} * 2, {});
+    EXPECT_EQ(core::serializeShardRecord(params, result.rows),
+              core::serializeShardRecord(params, want));
+
+    EXPECT_GT(result.stats.shards, 1u);
+    EXPECT_EQ(result.stats.remoteShards, result.stats.shards);
+    EXPECT_EQ(result.stats.inProcessShards, 0u);
+    EXPECT_EQ(result.stats.quarantinedWorkers, 0u);
+    EXPECT_FALSE(result.stats.halted);
+
+    // Shutdown Byes the idle workers; both loops return.
+    pool.shutdown();
+    for (std::thread &w : workers)
+        w.join();
+}
+
+} // namespace
